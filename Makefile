@@ -1,0 +1,26 @@
+# Development targets. The environment is assumed offline-capable:
+# `make install` uses setup.py develop because pip's editable path
+# needs the `wheel` package.
+
+.PHONY: install test bench repro repro-full clean
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Quick regeneration of every paper artifact (minutes).
+repro:
+	python -m repro all
+
+# Paper-grade averaging (1000 runs per cell; hours).
+repro-full:
+	python -m repro all --runs 1000
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

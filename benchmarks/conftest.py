@@ -1,0 +1,19 @@
+"""Benchmark-suite configuration.
+
+Each paper artifact (table/figure) gets one benchmark that regenerates
+it at a reduced-but-meaningful run count and asserts the reproduced
+*shape* (who wins, by roughly what factor).  Micro-benchmarks cover the
+hot substrate operations.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def quick_config():
+    """Shared low-run config so the whole bench suite stays minutes-scale."""
+    from repro.experiments.common import ExperimentConfig
+
+    return ExperimentConfig(runs=2, seed=2017)

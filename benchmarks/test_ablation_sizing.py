@@ -1,0 +1,81 @@
+"""Ablation: expected-volume sizing vs per-period sizing.
+
+Eq. 2 sizes each RSU's bitmap from the *historical expected* volume,
+which keeps a location's record sizes constant across periods.  An
+obvious-looking alternative — sizing each period from its realized
+volume — silently biases the split-join estimator upward: a common
+vehicle then covers ``m / max(l_j in half)`` replicated bits of a
+half's AND-join instead of exactly one (DESIGN.md, "Findings").
+
+This ablation measures both policies on the same traffic and verifies
+the constant-size policy wins, quantifying the bias.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.point import PointPersistentEstimator
+from repro.sketch.sizing import bitmap_size_for_volume
+from repro.traffic.workloads import PointWorkload
+
+N_STAR = 400
+#: Volumes straddling a power-of-two boundary at f = 2 so the
+#: per-period policy genuinely mixes sizes (8192 vs 32768).
+VOLUMES = [2500, 9500, 2500, 9500, 2500, 9500]
+RUNS = 12
+
+
+def _mean_error(per_period_sizing: bool) -> float:
+    workload = PointWorkload(s=3, load_factor=2.0, key_seed=31)
+    estimator = PointPersistentEstimator()
+    if per_period_sizing:
+        sizes = [bitmap_size_for_volume(v, 2.0) for v in VOLUMES]
+    else:
+        sizes = None
+    errors = []
+    for seed in range(RUNS):
+        rng = np.random.default_rng([int(per_period_sizing), seed])
+        result = workload.generate(
+            n_star=N_STAR,
+            volumes=VOLUMES,
+            location=1,
+            rng=rng,
+            fixed_sizes=sizes,
+        )
+        errors.append(estimator.estimate(result.records).relative_error(N_STAR))
+    return sum(errors) / len(errors)
+
+
+@pytest.fixture(scope="module")
+def policy_errors():
+    return {
+        "expected-volume (Eq. 2)": _mean_error(per_period_sizing=False),
+        "per-period": _mean_error(per_period_sizing=True),
+    }
+
+
+def test_bench_constant_size_policy(benchmark):
+    value = benchmark.pedantic(
+        _mean_error, args=(False,), rounds=1, iterations=1
+    )
+    assert value < 0.2
+
+
+def test_bench_per_period_size_policy(benchmark):
+    value = benchmark.pedantic(
+        _mean_error, args=(True,), rounds=1, iterations=1
+    )
+    assert value > 0.0
+
+
+class TestSizingAblationShape:
+    def test_constant_sizing_is_accurate(self, policy_errors):
+        assert policy_errors["expected-volume (Eq. 2)"] < 0.1
+
+    def test_per_period_sizing_is_biased(self, policy_errors):
+        """Mixed sizes inflate the estimate well beyond the constant
+        policy's error — the reason Eq. 2 uses expected volume."""
+        assert (
+            policy_errors["per-period"]
+            > 2 * policy_errors["expected-volume (Eq. 2)"]
+        )

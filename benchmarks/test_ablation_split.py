@@ -1,0 +1,62 @@
+"""Ablation: two-set split vs k-way split (Section III-B's remark).
+
+The paper: "While dividing Π into more than two sets is possible, we
+find the two-set solution is not only simple but works effectively."
+This ablation measures point-persistent estimation error at
+k ∈ {2, 3, 5} on the same workloads and checks the remark: k = 2 is
+not meaningfully worse than the alternatives (and is the cheapest).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.multisplit import MultiSplitPointEstimator
+from repro.traffic.workloads import PointWorkload
+
+N_STAR = 300
+VOLUMES = [6000] * 10
+RUNS = 12
+K_VALUES = (2, 3, 5)
+
+
+def _mean_error(k: int) -> float:
+    workload = PointWorkload(s=3, load_factor=2.0, key_seed=77)
+    estimator = MultiSplitPointEstimator(k=k)
+    errors = []
+    for seed in range(RUNS):
+        rng = np.random.default_rng([k, seed])
+        records = workload.generate(
+            n_star=N_STAR, volumes=VOLUMES, location=1, rng=rng
+        ).records
+        errors.append(estimator.estimate(records).relative_error(N_STAR))
+    return sum(errors) / len(errors)
+
+
+@pytest.fixture(scope="module")
+def errors_by_k():
+    return {k: _mean_error(k) for k in K_VALUES}
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_bench_split_k(benchmark, k):
+    """Time one full k-way estimate (10 records, m = 16384)."""
+    workload = PointWorkload(s=3, load_factor=2.0, key_seed=77)
+    rng = np.random.default_rng(0)
+    records = workload.generate(
+        n_star=N_STAR, volumes=VOLUMES, location=1, rng=rng
+    ).records
+    estimator = MultiSplitPointEstimator(k=k)
+    result = benchmark(estimator.estimate, records)
+    assert result.k == k
+
+
+class TestSplitAblationShape:
+    def test_every_k_is_accurate(self, errors_by_k):
+        for k, error in errors_by_k.items():
+            assert error < 0.25, f"k={k} mean error {error}"
+
+    def test_two_set_solution_works_effectively(self, errors_by_k):
+        """The paper's remark: k = 2 is competitive — within 3x of the
+        best k on mean relative error."""
+        best = min(errors_by_k.values())
+        assert errors_by_k[2] <= 3 * best + 0.02

@@ -1,0 +1,53 @@
+"""Benchmark: the k-location path-persistent estimator (extension).
+
+Not a paper artifact — the paper stops at two locations — but the
+natural corridor-study extension built on the same derivation
+(DESIGN.md, "Findings and extensions").  The bench times estimation
+over a four-intersection corridor and asserts accuracy, so regressions
+in the generalized formula are caught alongside the paper benches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.path import PathPersistentEstimator
+from repro.traffic.workloads import PathWorkload
+
+CORRIDOR = (1, 2, 3, 4)
+N_COMMON = 1000
+VOLUMES = [[30000] * 5, [45000] * 5, [25000] * 5, [35000] * 5]
+
+
+@pytest.fixture(scope="module")
+def corridor_records():
+    workload = PathWorkload(s=3, load_factor=2.0, key_seed=19)
+    rng = np.random.default_rng(2)
+    return workload.generate(
+        n_common=N_COMMON,
+        volumes_per_location=VOLUMES,
+        locations=CORRIDOR,
+        rng=rng,
+    ).records_per_location
+
+
+def test_bench_path_estimation(benchmark, corridor_records):
+    estimator = PathPersistentEstimator(s=3)
+    result = benchmark(estimator.estimate, corridor_records)
+    assert result.k == 4
+    assert result.estimate == pytest.approx(N_COMMON, rel=0.35)
+
+
+def test_bench_path_workload_generation(benchmark):
+    workload = PathWorkload(s=3, load_factor=2.0, key_seed=19)
+
+    def generate():
+        rng = np.random.default_rng(3)
+        return workload.generate(
+            n_common=N_COMMON,
+            volumes_per_location=VOLUMES,
+            locations=CORRIDOR,
+            rng=rng,
+        )
+
+    result = benchmark.pedantic(generate, rounds=1, iterations=1)
+    assert len(result.records_per_location) == 4

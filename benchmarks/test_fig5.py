@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Fig. 5 (accuracy scatter at f = 2).
+
+Shape contract: both panels' measurements cluster around y = x.
+"""
+
+import pytest
+
+from repro.experiments.fig5 import format_fig5, run_fig5
+
+
+@pytest.fixture(scope="module")
+def fig5_result(quick_config):
+    return run_fig5(quick_config)
+
+
+def test_bench_fig5_regeneration(benchmark, quick_config):
+    result = benchmark.pedantic(run_fig5, args=(quick_config,), rounds=1, iterations=1)
+    assert len(result.point_pairs) == 50
+
+
+class TestFig5Shape:
+    def test_point_panel_hugs_equality(self, fig5_result):
+        assert fig5_result.point_mean_relative_error < 0.15
+
+    def test_p2p_panel_clusters(self, fig5_result):
+        assert fig5_result.p2p_mean_relative_error < 0.35
+
+    def test_estimates_track_monotonically(self, fig5_result):
+        """Larger actual volumes give larger estimates overall
+        (correlation of the scatter with the equality line)."""
+        pairs = sorted(fig5_result.point_pairs)
+        first_half = [e for _, e in pairs[:25]]
+        second_half = [e for _, e in pairs[25:]]
+        assert sum(second_half) > sum(first_half)
+
+    def test_renders(self, fig5_result):
+        assert "Fig. 5" in format_fig5(fig5_result)

@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Fig. 6 (accuracy scatter at f = 3).
+
+Shape contract: the f = 3 clouds hug the equality line tighter than
+Fig. 5's f = 2 clouds — the accuracy half of the accuracy-privacy
+tradeoff (the privacy half is Table II, where f = 3 scores worse).
+"""
+
+import pytest
+
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import format_fig6, run_fig6
+
+
+@pytest.fixture(scope="module")
+def fig6_result(quick_config):
+    return run_fig6(quick_config)
+
+
+def test_bench_fig6_regeneration(benchmark, quick_config):
+    result = benchmark.pedantic(run_fig6, args=(quick_config,), rounds=1, iterations=1)
+    assert result.load_factor == 3.0
+
+
+class TestFig6Shape:
+    def test_point_panel_tight(self, fig6_result):
+        assert fig6_result.point_mean_relative_error < 0.1
+
+    def test_f3_tighter_than_f2(self, fig6_result, quick_config):
+        fig5_result = run_fig5(quick_config)
+        assert (
+            fig6_result.point_mean_relative_error
+            < fig5_result.point_mean_relative_error
+        )
+
+    def test_renders(self, fig6_result):
+        assert "Fig. 6" in format_fig6(fig6_result)

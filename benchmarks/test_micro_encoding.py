@@ -1,0 +1,81 @@
+"""Micro-benchmarks: vehicle-encoding throughput.
+
+The encoding path bounds how fast the workload generators (and a
+hypothetical RSU batch processor) can run: hashes per second for the
+vectorized splitmix64 path, the per-vehicle SHA-256 reference path,
+and the full population-to-bitmap pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.crypto.hashing import Sha256Hasher, SplitMix64Hasher
+from repro.crypto.keys import KeyGenerator
+from repro.sketch.bitmap import Bitmap
+from repro.vehicle.encoder import VehicleEncoder
+from repro.vehicle.identity import VehicleIdentity
+from repro.vehicle.population import VehiclePopulation
+
+N = 100_000
+M = 2**18
+
+
+@pytest.fixture(scope="module")
+def keygen():
+    return KeyGenerator(master_seed=1, s=3)
+
+
+@pytest.fixture(scope="module")
+def population(keygen):
+    rng = np.random.default_rng(0)
+    return VehiclePopulation.random(N, keygen, rng)
+
+
+def test_bench_splitmix_hash_array(benchmark):
+    hasher = SplitMix64Hasher(seed=1)
+    values = np.arange(N, dtype=np.uint64)
+    out = benchmark(hasher.hash_array, values)
+    assert out.shape == (N,)
+
+
+def test_bench_sha256_scalar_hash(benchmark):
+    hasher = Sha256Hasher(seed=1)
+    value = benchmark(hasher.hash_int, 123456789)
+    assert 0 <= value < 2**64
+
+
+def test_bench_population_encode_cold(benchmark, keygen):
+    """Fresh population each round: keys + constants + hash + set."""
+    encoder = VehicleEncoder()
+    rng = np.random.default_rng(3)
+
+    def encode():
+        population = VehiclePopulation.random(N, keygen, rng)
+        bitmap = Bitmap(M)
+        population.encode_into(bitmap, location=1, encoder=encoder)
+        return bitmap
+
+    assert benchmark(encode).ones() > 0
+
+
+def test_bench_population_encode_warm(benchmark, population):
+    """Persistent population re-encoding at a cached location."""
+    encoder = VehicleEncoder()
+    bitmap = Bitmap(M)
+    population.encode_into(bitmap, location=1, encoder=encoder)  # warm cache
+
+    def encode():
+        again = Bitmap(M)
+        population.encode_into(again, location=1, encoder=encoder)
+        return again
+
+    assert benchmark(encode).ones() > 0
+
+
+def test_bench_scalar_protocol_encoding(benchmark, keygen):
+    """One full scalar (protocol-path) encoding: the per-vehicle cost
+    an OBU pays per beacon response."""
+    encoder = VehicleEncoder(Sha256Hasher(seed=2))
+    identity = VehicleIdentity.from_generator(42, keygen)
+    index = benchmark(encoder.encoding_index, identity, 7, M)
+    assert 0 <= index < M

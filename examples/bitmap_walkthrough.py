@@ -1,0 +1,86 @@
+"""Walkthrough of the paper's Figures 1-3: encoding, expansion, joins.
+
+Figures 1-3 of the paper are illustrations rather than measurements;
+this example reproduces them as live code on tiny bitmaps so every
+mechanism is visible: bitwise-AND joining (Fig. 1), replication
+expansion of different-size bitmaps (Fig. 2), and how common vs
+transient vehicles interact in the joined result (Fig. 3).
+
+Run:  python examples/bitmap_walkthrough.py
+"""
+
+import numpy as np
+
+from repro import Bitmap, KeyGenerator, VehicleEncoder, VehiclePopulation
+from repro.sketch.expansion import expand_to
+from repro.sketch.join import and_join
+
+
+def show(label: str, bitmap: Bitmap) -> None:
+    bits = "".join("1" if b else "0" for b in bitmap)
+    print(f"  {label:<14} {bits}")
+
+
+def figure1() -> None:
+    print("Fig. 1 — combining two same-size bitmaps by bitwise AND")
+    b1 = Bitmap(8, [1, 1, 0, 0, 1, 0, 1, 0])
+    b2 = Bitmap(8, [1, 0, 0, 1, 1, 0, 0, 0])
+    show("B1", b1)
+    show("B2", b2)
+    show("B1 AND B2", b1 & b2)
+    print()
+
+
+def figure2() -> None:
+    print("Fig. 2 — expanding a smaller bitmap before the AND")
+    b1 = Bitmap(8, [1, 1, 0, 0, 1, 0, 1, 0])
+    b2 = Bitmap(4, [1, 0, 1, 0])
+    e2 = expand_to(b2, 8)
+    show("B1 (8 bits)", b1)
+    show("B2 (4 bits)", b2)
+    show("E2 = B2 x2", e2)
+    show("B1 AND E2", b1 & e2)
+    print()
+
+
+def figure3() -> None:
+    print("Fig. 3 — common vs transient vehicles across three periods")
+    rng = np.random.default_rng(3)
+    keygen = KeyGenerator(master_seed=1, s=3)
+    encoder = VehicleEncoder()
+    location = 5
+
+    common = VehiclePopulation.random(2, keygen, rng)  # black boxes
+    sizes = [16, 32, 32]  # B1 is half the size of B2, B3
+    records = []
+    for size in sizes:
+        bitmap = Bitmap(size)
+        common.encode_into(bitmap, location, encoder)
+        transients = VehiclePopulation.random(4, keygen, rng)  # white boxes
+        transients.encode_into(bitmap, location, encoder)
+        records.append(bitmap)
+
+    for index, bitmap in enumerate(records, start=1):
+        show(f"B{index} ({bitmap.size}b)", bitmap)
+    joined = and_join(records)
+    show("E* (AND)", joined)
+
+    common_indices = sorted(
+        set(int(i) for i in common.encoding_indices(location, joined.size, encoder))
+    )
+    print(f"  common vehicles' aligned bits in E*: {common_indices}")
+    for index in common_indices:
+        assert joined.get(index), "a common vehicle's bit must survive the AND"
+    survivors = joined.ones()
+    print(
+        f"  E* has {survivors} ones for {len(common_indices)} common-vehicle "
+        "bits — any extras are transient hash collisions, the noise the\n"
+        "  split-join estimator of Section III-B subtracts out."
+    )
+    print()
+
+
+if __name__ == "__main__":
+    figure1()
+    figure2()
+    figure3()

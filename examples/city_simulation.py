@@ -1,0 +1,109 @@
+"""Full protocol simulation of an instrumented city.
+
+Everything the paper describes, running end to end on the Sioux Falls
+road network: a trusted third party issues RSU certificates, RSUs at
+three intersections broadcast beacons, commuter and transient vehicles
+drive trip-table-sampled routes, verify certificates, answer with
+one-time MAC addresses and hashed bit indices, and the central server
+collects one bitmap per RSU per day.
+
+After a simulated work week the server answers persistent-traffic
+queries — and because this is a simulation, we can compare against the
+exact ground truth (the ID-reporting strawman design the paper rejects
+for privacy reasons).  A rogue RSU is also deployed and collects
+nothing.
+
+Run:  python examples/city_simulation.py   (~1 minute)
+"""
+
+from repro.crypto.pki import CertificateAuthority
+from repro.network.road import sioux_falls_network
+from repro.rsu.unit import RoadSideUnit
+from repro.server.queries import (
+    PointPersistentQuery,
+    PointToPointPersistentQuery,
+)
+from repro.sim.protocol import ProtocolDriver
+from repro.sim.scenario import CityScenario
+from repro.traffic.sioux_falls import sioux_falls_trip_table
+
+RSU_LOCATIONS = [10, 16, 17]  # the busiest zones of the network
+DAYS = 5
+
+
+def main() -> None:
+    scenario = CityScenario(
+        network=sioux_falls_network(),
+        trip_table=sioux_falls_trip_table(),
+        persistent_vehicles=150,
+        transient_vehicles_per_period=800,
+        rsu_locations=RSU_LOCATIONS,
+        seed=11,
+    )
+
+    print(f"Simulating {DAYS} measurement periods (days)...")
+    for summary in scenario.run(DAYS):
+        reports = ", ".join(
+            f"zone {loc}: {count}"
+            for loc, count in sorted(summary.reports_by_location.items())
+        )
+        print(
+            f"  day {summary.period}: {summary.encounters} V2I encounters "
+            f"({reports})"
+        )
+
+    server = scenario.server
+    truth = scenario.truth
+    periods = tuple(range(DAYS))
+
+    print("\nPoint persistent traffic over the work week:")
+    for location in RSU_LOCATIONS:
+        actual = truth.point_persistent(location, periods)
+        estimate = server.point_persistent(
+            PointPersistentQuery(location=location, periods=periods)
+        )
+        print(
+            f"  zone {location}: actual {actual:>4}, "
+            f"estimated {estimate.clamped:>7.1f}"
+        )
+
+    print("\nPoint-to-point persistent traffic:")
+    for location in RSU_LOCATIONS[1:]:
+        actual = truth.point_to_point_persistent(10, location, periods)
+        estimate = server.point_to_point_persistent(
+            PointToPointPersistentQuery(
+                location_a=10, location_b=location, periods=periods
+            )
+        )
+        print(
+            f"  zone 10 <-> zone {location}: actual {actual:>4}, "
+            f"estimated {estimate.clamped:>7.1f}"
+        )
+
+    # A rogue RSU tries to harvest traffic data without credentials
+    # from the real authority; every vehicle stays silent (Sec. II-B).
+    rogue_authority = CertificateAuthority(seed=666)
+    rogue = RoadSideUnit(location=10, bitmap_size=4096,
+                         credentials=rogue_authority.issue(10))
+    rogue.start_period(0)
+    driver = ProtocolDriver()
+    probes = 0
+    for obu in scenario.commuter_obus()[:50]:
+        driver.run_encounter(obu, rogue)
+        probes += 1
+    record = rogue.end_period()
+    print(
+        f"\nRogue RSU at zone 10 beaconed {probes} vehicles and collected "
+        f"{record.bitmap.ones()} bits — "
+        + ("nothing, as designed." if record.bitmap.is_empty() else "PROBLEM!")
+    )
+
+    print(
+        "\nNote: the 'actual' columns exist only because the simulation "
+        "runs the paper's rejected ID-reporting design in parallel as "
+        "ground truth; the deployed system stores bitmaps only."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""An operations view: rolling monitoring plus source ranking.
+
+Puts the operator-facing extensions together on one simulated city:
+
+* a :class:`~repro.server.monitor.PersistenceMonitor` watches the
+  busiest intersection with a sliding 3-day window, re-estimating its
+  persistent traffic every evening as the day's record arrives;
+* after a work week, :func:`~repro.server.planner.
+  rank_persistent_sources` answers the paper's Section I question —
+  which locations feed the congested target with traffic you can
+  count on *every* day — directly from the server's records;
+* the whole run uses an imperfect V2I channel (3% of passes missed).
+
+Run:  python examples/operations_dashboard.py   (~1 minute)
+"""
+
+from repro.network.road import sioux_falls_network
+from repro.server.monitor import PersistenceMonitor
+from repro.server.planner import persistent_flow_matrix, rank_persistent_sources
+from repro.sim.scenario import CityScenario
+from repro.traffic.sioux_falls import sioux_falls_trip_table
+
+TARGET = 10
+SOURCES = (16, 17, 15)
+DAYS = 5
+WINDOW = 3
+
+
+def main() -> None:
+    scenario = CityScenario(
+        network=sioux_falls_network(),
+        trip_table=sioux_falls_trip_table(),
+        persistent_vehicles=250,
+        transient_vehicles_per_period=900,
+        rsu_locations=[TARGET, *SOURCES],
+        seed=23,
+        detection_rate=0.97,
+    )
+
+    monitor = PersistenceMonitor(location=TARGET, window=WINDOW)
+    print(f"Watching zone {TARGET} with a {WINDOW}-day rolling window:\n")
+    for summary in scenario.run(DAYS):
+        record = scenario.server.store.require(TARGET, summary.period)
+        sample = monitor.push(record)
+        status = (
+            f"rolling persistent ~ {sample.estimate.clamped:6.1f}"
+            if sample is not None
+            else "warming up"
+        )
+        print(
+            f"  day {summary.period}: {summary.encounters:4d} passes, "
+            f"{summary.missed:2d} missed by the channel -> {status}"
+        )
+    print(f"\ntrend over the last windows: {monitor.trend():+.1f} vehicles")
+
+    periods = tuple(range(DAYS))
+    print(f"\nPersistent sources feeding zone {TARGET} (the relief")
+    print("priority list of the paper's introduction):")
+    ranked = rank_persistent_sources(
+        scenario.server, TARGET, SOURCES, periods
+    )
+    for rank, source in enumerate(ranked, start=1):
+        truth = scenario.truth.point_to_point_persistent(
+            source.location, TARGET, periods
+        )
+        print(
+            f"  {rank}. zone {source.location}: ~{source.volume:6.1f} "
+            f"vehicles/day every day (exact truth: {truth})"
+        )
+
+    print("\nPairwise persistent-flow matrix (vehicles/day):")
+    matrix = persistent_flow_matrix(
+        scenario.server, (TARGET, *SOURCES), periods
+    )
+    for (a, b), volume in sorted(matrix.items()):
+        print(f"  {a:>2} <-> {b:<2}: {volume:8.1f}")
+
+    print(
+        "\nEverything above came from bitmaps: the channel lost passes, "
+        "the server\nnever saw an identity, and the operator still got "
+        "a live dashboard."
+    )
+
+
+if __name__ == "__main__":
+    main()

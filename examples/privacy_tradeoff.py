@@ -1,0 +1,85 @@
+"""The accuracy-privacy tradeoff, measured from both sides.
+
+Section VI-C's central claim: the load factor ``f`` and the
+representative-bit count ``s`` trade estimation accuracy against
+tracking resistance.  This example measures both sides empirically
+for several (s, f) settings:
+
+* accuracy — mean relative error of point persistent estimation on a
+  synthetic 5-day workload;
+* privacy — the noise-to-information ratio, analytically (Eq. 24's
+  asymptotic form, as in Table II) *and* by running the simulated
+  tracking adversary of Section V against real bitmaps.
+
+Run:  python examples/privacy_tradeoff.py   (~1 minute)
+"""
+
+import numpy as np
+
+from repro import PointPersistentEstimator
+from repro.privacy.analysis import (
+    asymptotic_noise_probability,
+    asymptotic_noise_to_information_ratio,
+)
+from repro.privacy.attack import TrackingAttack
+from repro.sketch.sizing import next_power_of_two
+from repro.traffic.workloads import PointWorkload
+
+SETTINGS = [(2, 1.0), (3, 2.0), (3, 3.0), (5, 2.0), (5, 4.0)]
+DAYS = 5
+PERSISTENT = 300
+DAILY_VOLUME = 6000
+RUNS = 15
+ATTACK_TRIALS = 600
+
+
+def accuracy(s: int, f: float) -> float:
+    workload = PointWorkload(s=s, load_factor=f, key_seed=3)
+    estimator = PointPersistentEstimator()
+    errors = []
+    for run in range(RUNS):
+        rng = np.random.default_rng([s, int(f * 10), run])
+        result = workload.generate(
+            n_star=PERSISTENT,
+            volumes=[DAILY_VOLUME] * DAYS,
+            location=1,
+            rng=rng,
+            expected_volume=DAILY_VOLUME,
+        )
+        estimate = estimator.estimate(result.records)
+        errors.append(estimate.relative_error(PERSISTENT))
+    return sum(errors) / len(errors)
+
+
+def empirical_privacy(s: int, f: float) -> float:
+    m_prime = next_power_of_two(int(DAILY_VOLUME * f))
+    n_prime = int(round(m_prime / f))  # realize the load f exactly
+    attack = TrackingAttack(n_prime=n_prime, m_prime=m_prime, s=s, seed=9)
+    return attack.run(ATTACK_TRIALS).empirical_ratio
+
+
+def main() -> None:
+    print(
+        f"{'s':>3} {'f':>5} {'rel. error':>11} {'ratio (Eq.24)':>14} "
+        f"{'ratio (attack)':>15} {'noise p':>8}"
+    )
+    for s, f in SETTINGS:
+        error = accuracy(s, f)
+        analytic = asymptotic_noise_to_information_ratio(s, f)
+        empirical = empirical_privacy(s, f)
+        noise = asymptotic_noise_probability(f)
+        print(
+            f"{s:>3} {f:>5.1f} {error:>10.2%} {analytic:>14.4f} "
+            f"{empirical:>15.4f} {noise:>8.4f}"
+        )
+    print()
+    print(
+        "Reading the table: smaller f or larger s -> better privacy\n"
+        "(bigger ratio) but worse accuracy.  The paper settles on\n"
+        "s = 3, f = 2 — ratio ~2 with errors of a few percent — as the\n"
+        "compromise; the simulated adversary agrees with Eq. 24."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Quickstart: measure persistent traffic at one intersection.
+
+Five days of traffic pass a single RSU.  400 commuters show up every
+day (the persistent traffic); a few thousand transient vehicles come
+and go.  Each day produces one privacy-preserving bitmap — no vehicle
+ID is ever recorded — and the point persistent estimator recovers the
+commuter count from the five bitmaps alone.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    Bitmap,
+    KeyGenerator,
+    PointPersistentEstimator,
+    VehicleEncoder,
+    VehiclePopulation,
+    bitmap_size_for_volume,
+)
+
+LOCATION = 12  # the instrumented intersection's ID
+COMMUTERS = 400
+DAYS = 5
+EXPECTED_DAILY_VOLUME = 6000  # the server's historical average
+LOAD_FACTOR = 2.0  # the paper's accuracy/privacy compromise (f = 2)
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+
+    # Every vehicle holds a private key K_v and a constants array C
+    # (s = 3 representative bits); nothing of this is ever transmitted.
+    keygen = KeyGenerator(master_seed=7, s=3)
+    encoder = VehicleEncoder()
+
+    commuters = VehiclePopulation.random(COMMUTERS, keygen, rng)
+
+    # Eq. 2: the bitmap size comes from the expected volume.
+    size = bitmap_size_for_volume(EXPECTED_DAILY_VOLUME, LOAD_FACTOR)
+    print(f"bitmap size m = {size} bits ({size // 8} bytes per day)")
+
+    records = []
+    for day in range(DAYS):
+        daily_volume = int(rng.integers(4001, 8001))
+        bitmap = Bitmap(size)
+        commuters.encode_into(bitmap, LOCATION, encoder)
+        transients = VehiclePopulation.random(
+            daily_volume - COMMUTERS, keygen, rng
+        )
+        transients.encode_into(bitmap, LOCATION, encoder)
+        records.append(bitmap)
+        print(
+            f"day {day}: {daily_volume} vehicles -> "
+            f"{bitmap.ones()} bits set ({bitmap.one_fraction():.1%} full)"
+        )
+
+    estimate = PointPersistentEstimator().estimate(records)
+    error = estimate.relative_error(COMMUTERS)
+    print()
+    print(f"actual persistent traffic : {COMMUTERS}")
+    print(f"estimated (Eq. 12)        : {estimate.estimate:.1f}")
+    print(f"relative error            : {error:.2%}")
+    print()
+    print(
+        "The estimate came from bitmaps alone — the server never saw a "
+        "vehicle ID, a MAC address, or any fixed per-vehicle value."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+#!/bin/bash
+# Recorded reproduction pass backing EXPERIMENTS.md (~3 minutes).
+set -e
+cd "$(dirname "$0")/.."
+python -m repro table2 --empirical > results/table2.txt 2>&1
+python -m repro table1 --runs 30 > results/table1.txt 2>&1
+python -m repro fig4 --runs 30 > results/fig4.txt 2>&1
+python -m repro fig5 --points-per-target 3 > results/fig5.txt 2>&1
+python -m repro fig6 --points-per-target 3 > results/fig6.txt 2>&1
+python -m repro losscurve --runs 10 > results/losscurve.txt 2>&1
+python -m repro tradeoff --runs 20 > results/tradeoff.txt 2>&1
+python -m repro tsweep --runs 20 > results/tsweep.txt 2>&1
+echo DONE

@@ -1,0 +1,36 @@
+"""Statistics and sweep utilities for evaluating the estimators.
+
+* :mod:`repro.analysis.metrics` — relative error (the paper's accuracy
+  metric), bias, RMSE.
+* :mod:`repro.analysis.stats` — multi-run aggregation with confidence
+  intervals.
+* :mod:`repro.analysis.sweep` — a small driver for parameter sweeps
+  (repeat a measurement function over a grid, aggregate the results).
+* :mod:`repro.analysis.theory` — analytical (conservative) standard
+  deviations and confidence intervals for the estimators.
+"""
+
+from repro.analysis.metrics import bias, mean_relative_error, relative_error, rmse
+from repro.analysis.stats import RunStatistics, summarize_runs
+from repro.analysis.sweep import SweepPoint, run_sweep
+from repro.analysis.theory import (
+    point_confidence_interval,
+    point_estimate_stddev,
+    point_to_point_confidence_interval,
+    point_to_point_estimate_stddev,
+)
+
+__all__ = [
+    "RunStatistics",
+    "SweepPoint",
+    "bias",
+    "mean_relative_error",
+    "point_confidence_interval",
+    "point_estimate_stddev",
+    "point_to_point_confidence_interval",
+    "point_to_point_estimate_stddev",
+    "relative_error",
+    "rmse",
+    "run_sweep",
+    "summarize_runs",
+]

@@ -1,0 +1,40 @@
+"""Accuracy metrics.
+
+The paper's metric is the relative error ``|n̂ - n| / n`` (Section
+II-C), reported as an average over many simulation runs.  Bias and
+RMSE are included for the extended analyses (they distinguish the
+approximation bias of Eq. 21 from pure estimation variance).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def relative_error(estimate: float, actual: float) -> float:
+    """The paper's metric: ``|estimate - actual| / actual``."""
+    if actual <= 0:
+        raise ValueError(f"actual value must be positive, got {actual}")
+    return abs(estimate - actual) / actual
+
+
+def mean_relative_error(estimates: Sequence[float], actual: float) -> float:
+    """Average relative error of repeated estimates of one truth."""
+    if not estimates:
+        raise ValueError("at least one estimate is required")
+    return sum(relative_error(e, actual) for e in estimates) / len(estimates)
+
+
+def bias(estimates: Sequence[float], actual: float) -> float:
+    """Mean signed deviation ``mean(estimate) - actual``."""
+    if not estimates:
+        raise ValueError("at least one estimate is required")
+    return sum(estimates) / len(estimates) - actual
+
+
+def rmse(estimates: Sequence[float], actual: float) -> float:
+    """Root-mean-squared error of repeated estimates."""
+    if not estimates:
+        raise ValueError("at least one estimate is required")
+    return math.sqrt(sum((e - actual) ** 2 for e in estimates) / len(estimates))

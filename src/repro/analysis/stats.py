@@ -1,0 +1,54 @@
+"""Aggregation of repeated simulation runs."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class RunStatistics:
+    """Summary of a sample of per-run values.
+
+    The confidence interval uses the normal approximation (the paper
+    averages 1000 runs, far into CLT territory; for small samples the
+    interval is a rough guide, which is all the harness needs).
+    """
+
+    mean: float
+    stddev: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        if self.count <= 1:
+            return 0.0
+        return self.stddev / math.sqrt(self.count)
+
+    def confidence_interval(self, z: float = 1.96) -> tuple:
+        """Normal-approximation CI for the mean (default 95%)."""
+        margin = z * self.stderr
+        return (self.mean - margin, self.mean + margin)
+
+
+def summarize_runs(values: Sequence[float]) -> RunStatistics:
+    """Summarize a non-empty sample of per-run values."""
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    else:
+        variance = 0.0
+    return RunStatistics(
+        mean=mean,
+        stddev=math.sqrt(variance),
+        minimum=min(values),
+        maximum=max(values),
+        count=n,
+    )

@@ -1,0 +1,308 @@
+"""Command-line front end.
+
+Regenerate any paper artifact, or drive the system as a tool::
+
+    python -m repro table1 --runs 20          # paper artifacts
+    python -m repro table2 --empirical
+    python -m repro fig4 --runs 10 --step 5
+    python -m repro all --runs 5
+
+    python -m repro simulate --periods 5      # end-to-end city run
+    python -m repro attack --s 3 --f 2        # the Sec. V adversary
+    python -m repro archive verify DIR        # record-archive tooling
+    python -m repro archive inspect DIR
+
+The experiment defaults favour quick regeneration; the paper's own
+setting is 1000 runs per cell (``--runs 1000``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.common import DEFAULT_RUNS, ExperimentConfig
+from repro.experiments.fig4 import format_fig4, run_fig4
+from repro.experiments.fig5 import format_fig5, run_fig5
+from repro.experiments.fig6 import format_fig6, run_fig6
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.table2 import format_table2, run_table2
+
+_EXPERIMENT_NAMES = sorted(EXPERIMENTS) + ["all"]
+
+
+def _add_experiment_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--runs",
+        type=int,
+        default=DEFAULT_RUNS,
+        help=f"simulation runs per cell (default {DEFAULT_RUNS}; paper: 1000)",
+    )
+    parser.add_argument("--seed", type=int, default=2017, help="master random seed")
+    parser.add_argument(
+        "--step",
+        type=int,
+        default=1,
+        help="fig4 sweep subsampling (keep every Nth point)",
+    )
+    parser.add_argument(
+        "--points-per-target",
+        type=int,
+        default=1,
+        help="fig5/fig6 measurements per swept target",
+    )
+    parser.add_argument(
+        "--empirical",
+        action="store_true",
+        help="table2: also run the simulated tracking attack per cell",
+    )
+    parser.add_argument(
+        "--from-trip-table",
+        action="store_true",
+        help="table1: derive workload parameters from the embedded OD matrix",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-traffic",
+        description=(
+            "Persistent traffic measurement through V2I communications "
+            "(ICDCS 2017 reproduction)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    for name in _EXPERIMENT_NAMES:
+        sub = subparsers.add_parser(
+            name,
+            help=(
+                "regenerate every table and figure"
+                if name == "all"
+                else f"regenerate the paper's {name}"
+            ),
+        )
+        _add_experiment_options(sub)
+
+    extra_help = {
+        "losscurve": "extension: persistent estimation under V2I loss",
+        "tradeoff": "extension: measured accuracy-privacy frontier",
+        "tsweep": "extension: error vs number of measurement periods",
+    }
+    for extra, help_text in extra_help.items():
+        sub = subparsers.add_parser(extra, help=help_text)
+        sub.add_argument("--runs", type=int, default=DEFAULT_RUNS)
+        sub.add_argument("--seed", type=int, default=2017)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="run the end-to-end city simulation"
+    )
+    simulate.add_argument("--periods", type=int, default=5)
+    simulate.add_argument("--commuters", type=int, default=150)
+    simulate.add_argument("--transients", type=int, default=800)
+    simulate.add_argument(
+        "--locations",
+        type=int,
+        nargs="+",
+        default=[10, 16, 17],
+        help="zones to instrument with RSUs",
+    )
+    simulate.add_argument("--detection-rate", type=float, default=1.0)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--archive",
+        metavar="DIR",
+        default=None,
+        help="also persist every collected record to this archive",
+    )
+
+    attack = subparsers.add_parser(
+        "attack", help="run the Section V tracking adversary"
+    )
+    attack.add_argument("--s", type=int, default=3, dest="s")
+    attack.add_argument("--f", type=float, default=2.0, dest="f")
+    attack.add_argument("--volume", type=int, default=4096)
+    attack.add_argument("--trials", type=int, default=2000)
+    attack.add_argument("--seed", type=int, default=0)
+
+    archive = subparsers.add_parser(
+        "archive", help="inspect or verify a record archive"
+    )
+    archive.add_argument("action", choices=["verify", "inspect"])
+    archive.add_argument("directory")
+
+    return parser
+
+
+def _run_experiment_command(name: str, args: argparse.Namespace) -> int:
+    names = sorted(EXPERIMENTS) if name == "all" else [name]
+    for experiment in names:
+        started = time.time()
+        config = ExperimentConfig(runs=args.runs, seed=args.seed)
+        if experiment == "table1":
+            output = format_table1(
+                run_table1(config, from_trip_table=args.from_trip_table)
+            )
+        elif experiment == "table2":
+            output = format_table2(run_table2(config, empirical=args.empirical))
+        elif experiment == "fig4":
+            output = format_fig4(run_fig4(config, fraction_step=args.step))
+        elif experiment == "fig5":
+            output = format_fig5(
+                run_fig5(config, points_per_target=args.points_per_target)
+            )
+        elif experiment == "fig6":
+            output = format_fig6(
+                run_fig6(config, points_per_target=args.points_per_target)
+            )
+        else:  # pragma: no cover - registry and CLI enumerate together
+            raise KeyError(experiment)
+        elapsed = time.time() - started
+        print(output)
+        print(f"\n[{experiment} regenerated in {elapsed:.1f}s]\n")
+    return 0
+
+
+def _run_simulate(args: argparse.Namespace) -> int:
+    from repro.network.road import sioux_falls_network
+    from repro.server.persistence import RecordArchive
+    from repro.server.queries import PointPersistentQuery
+    from repro.sim.scenario import CityScenario
+    from repro.traffic.sioux_falls import sioux_falls_trip_table
+
+    scenario = CityScenario(
+        network=sioux_falls_network(),
+        trip_table=sioux_falls_trip_table(),
+        persistent_vehicles=args.commuters,
+        transient_vehicles_per_period=args.transients,
+        rsu_locations=args.locations,
+        seed=args.seed,
+        detection_rate=args.detection_rate,
+    )
+    for summary in scenario.run(args.periods):
+        print(
+            f"period {summary.period}: {summary.encounters} encounters, "
+            f"{summary.missed} missed, {summary.rejected} rejected"
+        )
+    periods = tuple(range(args.periods))
+    if len(periods) >= 2:
+        print("\npoint persistent traffic (actual vs estimated):")
+        for location in args.locations:
+            actual = scenario.truth.point_persistent(location, periods)
+            estimate = scenario.server.point_persistent(
+                PointPersistentQuery(location=location, periods=periods)
+            )
+            print(f"  zone {location}: {actual} vs {estimate.clamped:.1f}")
+    else:
+        print("\nsingle-period volumes (actual vs estimated):")
+        from repro.server.queries import PointVolumeQuery
+
+        for location in args.locations:
+            actual = len(scenario.truth.ids_at(location, 0))
+            estimate = scenario.server.point_volume(
+                PointVolumeQuery(location=location, period=0)
+            )
+            print(f"  zone {location}: {actual} vs {estimate:.1f}")
+    if args.archive:
+        archive = RecordArchive(args.archive)
+        count = archive.save_all(scenario.server.store.all_records())
+        print(f"\narchived {count} records to {args.archive}")
+    return 0
+
+
+def _run_attack(args: argparse.Namespace) -> int:
+    from repro.privacy.analysis import (
+        detection_probability,
+        noise_probability,
+        noise_to_information_ratio,
+    )
+    from repro.privacy.attack import TrackingAttack
+    from repro.sketch.sizing import next_power_of_two
+
+    m_prime = next_power_of_two(int(args.volume * args.f))
+    n_prime = int(round(m_prime / args.f))
+    attack = TrackingAttack(
+        n_prime=n_prime, m_prime=m_prime, s=args.s, seed=args.seed
+    )
+    result = attack.run(args.trials)
+    p = noise_probability(n_prime, m_prime)
+    p_prime = detection_probability(p, args.s)
+    ratio = noise_to_information_ratio(n_prime, m_prime, args.s)
+    print(f"adversary setting: s={args.s}, f={args.f:g}, n'={n_prime}, m'={m_prime}")
+    print(f"noise p           : analytic {p:.4f}, attack {result.empirical_p:.4f}")
+    print(
+        f"detection p'      : analytic {p_prime:.4f}, "
+        f"attack {result.empirical_p_prime:.4f}"
+    )
+    print(
+        f"noise/information : analytic {ratio:.4f}, "
+        f"attack {result.empirical_ratio:.4f}"
+    )
+    verdict = "questionable" if ratio > 1 else "dangerously confident"
+    print(f"=> tracking evidence from the records is {verdict}")
+    return 0
+
+
+def _run_archive(args: argparse.Namespace) -> int:
+    from repro.server.persistence import RecordArchive
+
+    archive = RecordArchive(args.directory)
+    if args.action == "verify":
+        count = archive.verify()
+        print(f"{count} records verified OK in {args.directory}")
+        return 0
+    print(f"archive {args.directory}: {len(archive)} records")
+    for location, period in archive.entries():
+        record = archive.load(location, period)
+        print(
+            f"  location {location}, period {period}: m={record.size}, "
+            f"{record.bitmap.ones()} bits set, "
+            f"~{record.point_estimate():.0f} vehicles"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-traffic`` and ``python -m repro``.
+
+    Library failures (:class:`~repro.exceptions.ReproError`) print a
+    one-line diagnosis and exit 1 instead of dumping a traceback.
+    """
+    from repro.exceptions import ReproError
+
+    args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command in _EXPERIMENT_NAMES:
+        return _run_experiment_command(args.command, args)
+    if args.command in ("losscurve", "tradeoff", "tsweep"):
+        from repro.experiments import extras
+
+        config = ExperimentConfig(runs=args.runs, seed=args.seed)
+        if args.command == "losscurve":
+            print(extras.format_losscurve(extras.run_losscurve(config)))
+        elif args.command == "tradeoff":
+            print(extras.format_tradeoff(extras.run_tradeoff(config)))
+        else:
+            print(extras.format_tsweep(extras.run_tsweep(config)))
+        return 0
+    if args.command == "simulate":
+        return _run_simulate(args)
+    if args.command == "attack":
+        return _run_attack(args)
+    if args.command == "archive":
+        return _run_archive(args)
+    raise KeyError(args.command)  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

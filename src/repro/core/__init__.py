@@ -1,0 +1,46 @@
+"""The paper's primary contribution: persistent-traffic estimators.
+
+* :mod:`repro.core.point` — point persistent traffic (Section III,
+  Eq. 12): the number of vehicles passing one location in *every*
+  measurement period of interest.
+* :mod:`repro.core.point_to_point` — point-to-point persistent traffic
+  (Section IV, Eq. 21): the number of vehicles passing *both* of two
+  locations in every period.
+* :mod:`repro.core.baselines` — the comparison methods the paper
+  evaluates against: the direct AND-join benchmark (Fig. 4) and the
+  exact, non-private ID-reporting counter that motivates the privacy
+  design.
+* :mod:`repro.core.results` — typed result objects carrying the
+  estimate together with the measured bitmap statistics that produced
+  it.
+"""
+
+from repro.core.baselines import (
+    DirectAndBenchmark,
+    ExactIdCounter,
+    direct_and_estimate,
+)
+from repro.core.multisplit import MultiSplitEstimate, MultiSplitPointEstimator
+from repro.core.path import PathEstimate, PathPersistentEstimator
+from repro.core.point import PointPersistentEstimator, estimate_point_persistent
+from repro.core.point_to_point import (
+    PointToPointPersistentEstimator,
+    estimate_point_to_point_persistent,
+)
+from repro.core.results import PointEstimate, PointToPointEstimate
+
+__all__ = [
+    "DirectAndBenchmark",
+    "ExactIdCounter",
+    "MultiSplitEstimate",
+    "MultiSplitPointEstimator",
+    "PathEstimate",
+    "PathPersistentEstimator",
+    "PointEstimate",
+    "PointPersistentEstimator",
+    "PointToPointEstimate",
+    "PointToPointPersistentEstimator",
+    "direct_and_estimate",
+    "estimate_point_persistent",
+    "estimate_point_to_point_persistent",
+]

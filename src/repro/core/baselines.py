@@ -1,0 +1,131 @@
+"""Baseline methods the paper compares against.
+
+* :class:`DirectAndBenchmark` — the Fig. 4 benchmark: AND-join all
+  ``t`` records and apply plain linear counting to the result,
+  ``n̂* = ln V*_0 / ln(1 - 1/m)``.  Transient hash collisions that
+  survive the AND inflate this estimate, which is exactly the failure
+  mode the proposed two-half estimator corrects.
+* :class:`ExactIdCounter` — the non-private strawman from the
+  introduction: every vehicle reports its unique ID and the server
+  intersects ID sets.  Perfectly accurate, zero privacy.  Used as
+  ground truth in integration tests and as the privacy foil in the
+  examples.
+
+The Table I "same-size bitmaps" baseline is a *sizing policy*, not a
+different estimator: both locations use the smaller location's bitmap
+size.  It lives in the workload layer
+(:func:`repro.traffic.workloads.same_size_sizing`) and is evaluated
+through the ordinary point-to-point estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Set
+
+from repro.core.point import RecordLike, _as_bitmaps
+from repro.sketch.join import and_join
+from repro.sketch.linear_counting import linear_counting_estimate
+
+
+@dataclass(frozen=True)
+class DirectAndEstimate:
+    """Result of the direct AND-join benchmark."""
+
+    estimate: float
+    v_star0: float
+    size: int
+    periods: int
+
+    @property
+    def clamped(self) -> float:
+        """The estimate floored at zero."""
+        return max(self.estimate, 0.0)
+
+    def relative_error(self, actual: float) -> float:
+        """The paper's accuracy metric ``|n̂ - n| / n``."""
+        if actual <= 0:
+            raise ValueError(f"actual volume must be positive, got {actual}")
+        return abs(self.estimate - actual) / actual
+
+
+class DirectAndBenchmark:
+    """Fig. 4's benchmark: linear counting straight on the AND-join."""
+
+    def estimate(self, records: Sequence[RecordLike]) -> DirectAndEstimate:
+        """AND-join all records and linear-count the result."""
+        bitmaps = _as_bitmaps(records)
+        joined = and_join(bitmaps)
+        v0 = joined.zero_fraction()
+        value = linear_counting_estimate(v0, joined.size)
+        return DirectAndEstimate(
+            estimate=value, v_star0=v0, size=joined.size, periods=len(bitmaps)
+        )
+
+
+def direct_and_estimate(records: Sequence[RecordLike]) -> DirectAndEstimate:
+    """Convenience function for :class:`DirectAndBenchmark`."""
+    return DirectAndBenchmark().estimate(records)
+
+
+class ExactIdCounter:
+    """The non-private design: vehicles report IDs, server intersects.
+
+    Section I: "we may require all vehicles to report their unique IDs
+    to the RSUs that they encounter ... However, if a vehicle keeps
+    transmitting its ID to RSUs, its entire moving history is recorded
+    in great details."  This class implements that design so the
+    examples can show precisely what the bitmap scheme gives up in
+    accuracy (nothing much) and gains in privacy (everything).
+    """
+
+    def __init__(self) -> None:
+        # (location, period) -> set of vehicle IDs observed.
+        self._observations: Dict[tuple, Set[int]] = {}
+
+    def observe(self, location: int, period: int, vehicle_id: int) -> None:
+        """Record one ID report (the privacy-invasive operation)."""
+        self._observations.setdefault((int(location), int(period)), set()).add(
+            int(vehicle_id)
+        )
+
+    def observe_many(self, location: int, period: int, vehicle_ids) -> None:
+        """Bulk :meth:`observe`."""
+        key = (int(location), int(period))
+        self._observations.setdefault(key, set()).update(int(v) for v in vehicle_ids)
+
+    def ids_at(self, location: int, period: int) -> Set[int]:
+        """The exact ID set recorded at a (location, period)."""
+        return set(self._observations.get((int(location), int(period)), set()))
+
+    def point_persistent(self, location: int, periods: Sequence[int]) -> int:
+        """Exact point persistent traffic over the given periods."""
+        sets = [self.ids_at(location, period) for period in periods]
+        if not sets:
+            return 0
+        common = set.intersection(*sets)
+        return len(common)
+
+    def point_to_point_persistent(
+        self, location_a: int, location_b: int, periods: Sequence[int]
+    ) -> int:
+        """Exact point-to-point persistent traffic over the periods."""
+        sets = [self.ids_at(location_a, period) for period in periods]
+        sets += [self.ids_at(location_b, period) for period in periods]
+        if not sets:
+            return 0
+        common = set.intersection(*sets)
+        return len(common)
+
+    def trajectory(self, vehicle_id: int) -> Set[tuple]:
+        """Everywhere a vehicle was seen — the privacy hazard itself.
+
+        Returns the full set of (location, period) sightings, i.e. the
+        "entire moving history recorded in great details" that the
+        bitmap design exists to prevent.
+        """
+        return {
+            key
+            for key, ids in self._observations.items()
+            if int(vehicle_id) in ids
+        }

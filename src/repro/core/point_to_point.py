@@ -1,0 +1,170 @@
+"""Point-to-point persistent traffic estimation (Section IV, Eq. 21).
+
+Given traffic records from two locations over the same ``t`` periods,
+the estimator:
+
+1. AND-joins the records within each location (first-level join),
+   producing ``E_*`` of size ``m`` and ``E'_*`` of size ``m'`` with
+   ``m <= m'`` (swapping if needed);
+2. expands ``E_*`` to ``m'`` by replication → ``S_*`` and ORs it with
+   ``E'_*`` → ``E''_*`` (second-level join; OR because it admits a
+   closed-form estimator where AND does not — Section IV-A);
+3. abstracts each location's AND-join as an independent population
+   (``n`` and ``n'`` vehicles via linear counting) containing the
+   ``n''`` point-to-point common vehicles, and inverts the occupancy
+   equation
+
+       E(V''_0) = (1 + 1/(s·m' − s))^{n''} · V_0 · V'_0     (Eq. 19)
+
+   using ``ln(1+x) ≈ x`` for large ``m'``:
+
+       n̂'' = s·m'·(ln V''_0 − ln V_0 − ln V'_0)            (Eq. 21)
+
+The ``(1 + 1/(s·m'-s))^{n''}`` factor comes from the representative-bit
+mechanism: a common vehicle sets *aligned* bits at the two locations
+only with probability ``1/m + (1-1/m)(1/s)(…)``, and the derivation in
+Section IV-B collapses the combined common/transient probabilities into
+that closed form.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.point import RecordLike, _as_bitmaps
+from repro.core.results import PointToPointEstimate
+from repro.exceptions import ConfigurationError, EstimationError, SaturatedBitmapError
+from repro.sketch.join import two_level_join
+
+
+def point_to_point_estimate_from_statistics(
+    v_0: float,
+    v_prime_0: float,
+    v_double_prime_0: float,
+    size_large: int,
+    s: int,
+    approximate: bool = True,
+) -> float:
+    """Evaluate Eq. 21 (or its exact pre-approximation form).
+
+    Parameters
+    ----------
+    v_0, v_prime_0:
+        Zero fractions of the per-location AND-joins ``E_*``, ``E'_*``.
+    v_double_prime_0:
+        Zero fraction of the OR-join ``E''_*``.
+    size_large:
+        The larger bitmap size ``m'``.
+    s:
+        The representative-bit parameter.
+    approximate:
+        True (default) evaluates the paper's Eq. 21, which applies
+        ``ln(1+x) ≈ x``.  False inverts Eq. 19 exactly with
+        ``log1p(1/(s·m'-s))`` — an extension useful for small bitmaps.
+    """
+    if s < 1:
+        raise ConfigurationError(f"s must be >= 1, got {s}")
+    if v_0 <= 0.0 or v_prime_0 <= 0.0:
+        raise SaturatedBitmapError(
+            "a per-location AND-join is saturated; increase the load factor f"
+        )
+    if v_double_prime_0 <= 0.0:
+        raise SaturatedBitmapError("the OR-join E''_* is saturated")
+    log_ratio = (
+        math.log(v_double_prime_0) - math.log(v_0) - math.log(v_prime_0)
+    )
+    if approximate:
+        return s * size_large * log_ratio
+    denominator = math.log1p(1.0 / (s * size_large - s))
+    if denominator <= 0.0:
+        raise EstimationError(
+            f"degenerate configuration: s={s}, m'={size_large} give a "
+            "non-positive inversion denominator"
+        )
+    return log_ratio / denominator
+
+
+class PointToPointPersistentEstimator:
+    """Estimates persistent traffic between two locations.
+
+    Parameters
+    ----------
+    s:
+        The system-wide representative-bit parameter (the size of each
+        vehicle's constants array ``C``).  Must match the value the
+        vehicles encode with; the paper uses ``s = 3`` throughout its
+        evaluation.
+    approximate:
+        Use the paper's Eq. 21 (default) or the exact inversion of
+        Eq. 19.
+    """
+
+    def __init__(self, s: int, approximate: bool = True):
+        if s < 1:
+            raise ConfigurationError(f"s must be >= 1, got {s}")
+        self._s = int(s)
+        self._approximate = bool(approximate)
+
+    @property
+    def s(self) -> int:
+        """The representative-bit parameter."""
+        return self._s
+
+    def estimate(
+        self,
+        records_a: Sequence[RecordLike],
+        records_b: Sequence[RecordLike],
+    ) -> PointToPointEstimate:
+        """Estimate common vehicles passing both locations every period.
+
+        Parameters
+        ----------
+        records_a, records_b:
+            Traffic records from locations ``L`` and ``L'`` over the
+            same measurement periods (one record per period each).
+
+        Raises
+        ------
+        EstimationError / SaturatedBitmapError
+            When joins are saturated or statistics degenerate.
+        SketchError
+            On empty record sets or non-power-of-two sizes.
+        """
+        if len(records_a) != len(records_b):
+            raise ConfigurationError(
+                f"the two locations must cover the same periods; got "
+                f"{len(records_a)} vs {len(records_b)} records"
+            )
+        joined = two_level_join(_as_bitmaps(records_a), _as_bitmaps(records_b))
+        v_0 = joined.location_a.zero_fraction()
+        v_prime_0 = joined.location_b.zero_fraction()
+        v_double_prime_0 = joined.joined.zero_fraction()
+        estimate = point_to_point_estimate_from_statistics(
+            v_0,
+            v_prime_0,
+            v_double_prime_0,
+            joined.size,
+            self._s,
+            approximate=self._approximate,
+        )
+        return PointToPointEstimate(
+            estimate=estimate,
+            v_0=v_0,
+            v_prime_0=v_prime_0,
+            v_double_prime_0=v_double_prime_0,
+            size_small=joined.location_a.size,
+            size_large=joined.size,
+            s=self._s,
+            periods=len(records_a),
+            swapped=joined.swapped,
+        )
+
+
+def estimate_point_to_point_persistent(
+    records_a: Sequence[RecordLike],
+    records_b: Sequence[RecordLike],
+    s: int,
+) -> PointToPointEstimate:
+    """Convenience function: one-shot point-to-point estimate."""
+    return PointToPointPersistentEstimator(s).estimate(records_a, records_b)

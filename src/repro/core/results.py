@@ -1,0 +1,104 @@
+"""Typed results for the persistent-traffic estimators.
+
+Every estimate carries the measured bitmap statistics it was computed
+from, so callers (and tests) can audit the estimate against the
+formulas, and the experiment harness can report intermediate
+quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PointEstimate:
+    """Result of the point persistent traffic estimator (Eq. 12).
+
+    Attributes
+    ----------
+    estimate:
+        The raw estimate ``n̂*`` of common vehicles.  May be slightly
+        negative for tiny persistent volumes (measurement noise);
+        use :attr:`clamped` when a physical count is needed.
+    v_a0:
+        Fraction of zeros in ``E_a`` (AND of the first half).
+    v_b0:
+        Fraction of zeros in ``E_b`` (AND of the second half).
+    v_star1:
+        Fraction of ones in ``E_*`` (AND of the halves).
+    size:
+        The common bitmap size ``m`` after expansion.
+    periods:
+        Number of traffic records joined (the paper's ``t``).
+    """
+
+    estimate: float
+    v_a0: float
+    v_b0: float
+    v_star1: float
+    size: int
+    periods: int
+
+    @property
+    def clamped(self) -> float:
+        """The estimate floored at zero (counts cannot be negative)."""
+        return max(self.estimate, 0.0)
+
+    def relative_error(self, actual: float) -> float:
+        """The paper's accuracy metric ``|n̂* - n*| / n*``."""
+        if actual <= 0:
+            raise ValueError(f"actual volume must be positive, got {actual}")
+        return abs(self.estimate - actual) / actual
+
+
+@dataclass(frozen=True)
+class PointToPointEstimate:
+    """Result of the point-to-point estimator (Eq. 21).
+
+    Attributes
+    ----------
+    estimate:
+        The raw estimate ``n̂''`` of vehicles passing both locations in
+        every period.
+    v_0:
+        Fraction of zeros in ``E_*`` (AND-join at the smaller-bitmap
+        location).
+    v_prime_0:
+        Fraction of zeros in ``E'_*`` (AND-join at the larger-bitmap
+        location).
+    v_double_prime_0:
+        Fraction of zeros in ``E''_*`` (the OR of the second level).
+    size_small:
+        The smaller AND-join size ``m``.
+    size_large:
+        The larger AND-join size ``m'`` (the OR-join size).
+    s:
+        The representative-bit parameter used in the formula.
+    periods:
+        Number of measurement periods ``t``.
+    swapped:
+        True when the caller's (L, L') order was internally swapped to
+        satisfy the paper's w.l.o.g. assumption ``m <= m'``.
+    """
+
+    estimate: float
+    v_0: float
+    v_prime_0: float
+    v_double_prime_0: float
+    size_small: int
+    size_large: int
+    s: int
+    periods: int
+    swapped: bool
+
+    @property
+    def clamped(self) -> float:
+        """The estimate floored at zero."""
+        return max(self.estimate, 0.0)
+
+    def relative_error(self, actual: float) -> float:
+        """The paper's accuracy metric ``|n̂'' - n''| / n''``."""
+        if actual <= 0:
+            raise ValueError(f"actual volume must be positive, got {actual}")
+        return abs(self.estimate - actual) / actual

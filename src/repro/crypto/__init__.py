@@ -1,0 +1,44 @@
+"""Cryptographic substrate for the V2I protocol.
+
+The paper's protocol (Section II-B/II-D) needs three cryptographic
+ingredients, all built here:
+
+* a hash function ``H`` "that provides good randomness"
+  (:mod:`repro.crypto.hashing`) — provided in a byte-faithful SHA-256
+  flavour and a numpy-vectorized splitmix64 flavour with identical
+  distributional behaviour;
+* a PKI with a trusted third party, RSU certificates, and
+  challenge-response authentication (:mod:`repro.crypto.pki`);
+* SpoofMAC-style one-time MAC addresses (:mod:`repro.crypto.mac`).
+"""
+
+from repro.crypto.hashing import (
+    Hasher,
+    Sha256Hasher,
+    SplitMix64Hasher,
+    default_hasher,
+)
+from repro.crypto.keys import KeyGenerator, generate_constants, generate_private_key
+from repro.crypto.mac import AnonymousMacGenerator, MacAddress
+from repro.crypto.pki import (
+    Certificate,
+    CertificateAuthority,
+    RsuCredentials,
+    verify_certificate,
+)
+
+__all__ = [
+    "AnonymousMacGenerator",
+    "Certificate",
+    "CertificateAuthority",
+    "Hasher",
+    "KeyGenerator",
+    "MacAddress",
+    "RsuCredentials",
+    "Sha256Hasher",
+    "SplitMix64Hasher",
+    "default_hasher",
+    "generate_constants",
+    "generate_private_key",
+    "verify_certificate",
+]

@@ -1,0 +1,121 @@
+"""Vehicle key material: private keys ``K_v`` and constants ``C``.
+
+Per Section II-D, every vehicle holds a private key ``K_v`` "known only
+by the vehicle" and an array ``C`` of ``s`` randomly selected constants
+also known only to the vehicle.  Neither is ever transmitted; they feed
+the hash that picks the bit index.
+
+:class:`KeyGenerator` produces this material deterministically from a
+master seed so that simulations are reproducible, while remaining
+unpredictable to any party that does not hold the seed — the same
+security argument as any PRG-based key derivation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.crypto.hashing import Hasher, SplitMix64Hasher, to_u64, xor_fold
+from repro.exceptions import ConfigurationError
+
+#: Domain-separation tags so keys and constants come from
+#: independent hash streams of the same generator.
+_DOMAIN_PRIVATE_KEY = 0x6B65795F70726976  # ascii "key_priv"
+_DOMAIN_CONSTANT = 0x636F6E7374616E74  # ascii "constant"
+
+
+def generate_private_key(rng: np.random.Generator) -> int:
+    """Draw a fresh uniform 64-bit private key ``K_v``."""
+    return int(rng.integers(0, 2**64, dtype=np.uint64))
+
+
+def generate_constants(rng: np.random.Generator, s: int) -> List[int]:
+    """Draw the vehicle's array ``C`` of ``s`` random constants."""
+    if s < 1:
+        raise ConfigurationError(f"constant array size s must be >= 1, got {s}")
+    return [int(x) for x in rng.integers(0, 2**64, size=s, dtype=np.uint64)]
+
+
+class KeyGenerator:
+    """Deterministic derivation of per-vehicle key material.
+
+    Given a secret master seed, derives ``K_v`` and ``C`` for any
+    vehicle ID on demand.  Two generators with the same seed agree on
+    every vehicle's material (reproducible simulations); without the
+    seed the material is unpredictable, matching the paper's
+    requirement that ``K_v`` and ``C`` are known only to the vehicle.
+
+    The derivation is also exposed in vectorized form so the experiment
+    harness can materialize key material for whole populations at once.
+    """
+
+    def __init__(self, master_seed: int, s: int):
+        if s < 1:
+            raise ConfigurationError(f"constant array size s must be >= 1, got {s}")
+        self._seed = to_u64(master_seed)
+        self._s = int(s)
+        self._hasher: Hasher = SplitMix64Hasher(self._seed)
+
+    @property
+    def s(self) -> int:
+        """Number of constants (= representative bits) per vehicle."""
+        return self._s
+
+    @property
+    def master_seed(self) -> int:
+        """The secret master seed."""
+        return self._seed
+
+    def private_key(self, vehicle_id: int) -> int:
+        """Derive ``K_v`` for one vehicle."""
+        return self._hasher.hash_int(xor_fold(_DOMAIN_PRIVATE_KEY, vehicle_id))
+
+    def constants(self, vehicle_id: int) -> List[int]:
+        """Derive the constants array ``C`` for one vehicle."""
+        return [
+            self._hasher.hash_int(
+                xor_fold(_DOMAIN_CONSTANT, vehicle_id, (index + 1) * 0x10001)
+            )
+            for index in range(self._s)
+        ]
+
+    def private_keys(self, vehicle_ids: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`private_key` over an id array."""
+        ids = np.asarray(vehicle_ids, dtype=np.uint64)
+        return self._hasher.hash_array(ids ^ np.uint64(_DOMAIN_PRIVATE_KEY))
+
+    def constants_matrix(self, vehicle_ids: np.ndarray) -> np.ndarray:
+        """Vectorized constants: an ``(n, s)`` uint64 matrix."""
+        ids = np.asarray(vehicle_ids, dtype=np.uint64)
+        columns = []
+        for index in range(self._s):
+            tag = np.uint64(_DOMAIN_CONSTANT) ^ np.uint64((index + 1) * 0x10001)
+            columns.append(self._hasher.hash_array(ids ^ tag))
+        return np.stack(columns, axis=1)
+
+    def chosen_constants(
+        self, vehicle_ids: np.ndarray, choices: np.ndarray
+    ) -> np.ndarray:
+        """Derive only each vehicle's *chosen* constant ``C[i]``.
+
+        Equivalent to ``constants_matrix(ids)[range(n), choices]`` but
+        a single hash pass — the encoding hot path never needs the
+        other ``s - 1`` constants.
+        """
+        ids = np.asarray(vehicle_ids, dtype=np.uint64)
+        picks = np.asarray(choices, dtype=np.uint64)
+        if picks.shape != ids.shape:
+            raise ConfigurationError(
+                f"choices shape {picks.shape} does not match ids {ids.shape}"
+            )
+        if picks.size and int(picks.max()) >= self._s:
+            raise ConfigurationError(
+                f"choice index out of range for s={self._s}"
+            )
+        with np.errstate(over="ignore"):
+            tags = np.uint64(_DOMAIN_CONSTANT) ^ (
+                (picks + np.uint64(1)) * np.uint64(0x10001)
+            )
+        return self._hasher.hash_array(ids ^ tags)

@@ -1,0 +1,66 @@
+"""SpoofMAC-style anonymous MAC addresses (Section II-B).
+
+"Before a vehicle communicates with an RSU, it picks a temporary MAC
+address randomly from a large space for one-time use, which prevents
+the MAC address from serving as an identifier of the vehicle."
+
+:class:`AnonymousMacGenerator` draws uniform 48-bit addresses with the
+locally-administered and unicast bits set the way real randomized MACs
+set them.  The generator keeps a short history so tests can verify the
+one-time-use property (no address reuse within a session, overwhelming
+unlikelihood of collision across vehicles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MacAddress:
+    """A 48-bit MAC address."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < 2**48:
+            raise ValueError(f"MAC address must fit in 48 bits, got {self.value:#x}")
+
+    @property
+    def is_locally_administered(self) -> bool:
+        """Second-least-significant bit of the first octet."""
+        return bool((self.value >> 41) & 1)
+
+    @property
+    def is_unicast(self) -> bool:
+        """Least-significant bit of the first octet is zero."""
+        return not (self.value >> 40) & 1
+
+    def __str__(self) -> str:
+        octets = [(self.value >> shift) & 0xFF for shift in range(40, -8, -8)]
+        return ":".join(f"{octet:02x}" for octet in octets)
+
+
+class AnonymousMacGenerator:
+    """Draws one-time random MAC addresses for each V2I exchange."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+        self._issued = 0
+
+    @property
+    def issued(self) -> int:
+        """How many one-time addresses have been issued."""
+        return self._issued
+
+    def next_address(self) -> MacAddress:
+        """Draw a fresh locally-administered unicast address."""
+        raw = int(self._rng.integers(0, 2**48, dtype=np.uint64))
+        # Force locally-administered (bit 41 set) and unicast (bit 40
+        # clear), the convention real MAC randomization follows.
+        raw |= 1 << 41
+        raw &= ~(1 << 40)
+        self._issued += 1
+        return MacAddress(raw)

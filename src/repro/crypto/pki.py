@@ -1,0 +1,142 @@
+"""PKI substrate: trusted third party, certificates, authentication.
+
+Section II-B: "Communications begin with an RSU broadcast beacon, each
+carrying its public-key certificate, which was obtained from a trusted
+third party and was pre-installed with the RSU.  When a vehicle
+receives a beacon, it uses its pre-installed public key of the trusted
+third party to verify the certificate. ... Rogue RSUs ... will fail the
+authentication with the vehicles, which will reject further
+communications."
+
+The paper uses PKI as an off-the-shelf component; here it is simulated
+with keyed HMACs, which preserves exactly the behaviour the protocol
+depends on: a certificate issued by the genuine authority verifies, a
+forged one does not, and a challenge-response proves the RSU holds the
+private key matching its certificate.  (Real asymmetric crypto is out
+of scope for the measurement questions the paper studies; the message
+flow is identical.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import AuthenticationError
+
+
+def _hmac64(key: bytes, message: bytes) -> bytes:
+    """HMAC-SHA256 truncated to 8 bytes (compact beacon payloads)."""
+    return hmac.new(key, message, hashlib.sha256).digest()[:8]
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A certificate binding an RSU identity to its public key.
+
+    Attributes
+    ----------
+    rsu_id:
+        The identity of the certified RSU (its location ID).
+    public_key:
+        The RSU's public key material (simulated as bytes).
+    signature:
+        The trusted third party's signature over (rsu_id, public_key).
+    """
+
+    rsu_id: int
+    public_key: bytes
+    signature: bytes
+
+
+@dataclass(frozen=True)
+class RsuCredentials:
+    """What gets pre-installed in a legitimate RSU.
+
+    The certificate is broadcast in every beacon; the private key never
+    leaves the RSU and is used to answer authentication challenges.
+    """
+
+    certificate: Certificate
+    private_key: bytes
+
+
+class CertificateAuthority:
+    """The trusted third party of Section II-B.
+
+    Issues RSU credentials and publishes the verification key that is
+    pre-installed in every vehicle.  A rogue RSU, lacking access to the
+    authority, cannot mint a certificate that verifies.
+    """
+
+    def __init__(self, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        self._root_key = rng.bytes(32)
+        # In a real PKI the verification key differs from the signing
+        # key; with HMAC simulation they coincide.  Vehicles only ever
+        # receive this through `trust_anchor`, mirroring pre-installed
+        # public keys.
+        self._rng = rng
+
+    @property
+    def trust_anchor(self) -> bytes:
+        """Verification key pre-installed in vehicles."""
+        return self._root_key
+
+    def issue(self, rsu_id: int) -> RsuCredentials:
+        """Issue credentials for a legitimate RSU."""
+        private_key = self._rng.bytes(32)
+        public_key = hashlib.sha256(private_key).digest()
+        payload = int(rsu_id).to_bytes(8, "little", signed=False) + public_key
+        signature = _hmac64(self._root_key, payload)
+        certificate = Certificate(
+            rsu_id=int(rsu_id), public_key=public_key, signature=signature
+        )
+        return RsuCredentials(certificate=certificate, private_key=private_key)
+
+
+def verify_certificate(certificate: Certificate, trust_anchor: bytes) -> bool:
+    """Verify a certificate against the trusted third party's key.
+
+    This is the check every vehicle performs on each received beacon
+    before responding; a failed check means the vehicle "will keep
+    silent" (Section II-B).
+    """
+    payload = (
+        int(certificate.rsu_id).to_bytes(8, "little", signed=False)
+        + certificate.public_key
+    )
+    expected = _hmac64(trust_anchor, payload)
+    return hmac.compare_digest(expected, certificate.signature)
+
+
+def answer_challenge(private_key: bytes, challenge: bytes) -> bytes:
+    """RSU side of the challenge-response authentication."""
+    return _hmac64(hashlib.sha256(private_key).digest() + private_key, challenge)
+
+
+def check_challenge_answer(
+    certificate: Certificate, challenge: bytes, answer: bytes, private_key: bytes
+) -> bool:
+    """Vehicle-side verification that the RSU holds the certified key.
+
+    With HMAC simulation the verifier recomputes with material derived
+    from the same private key; the test suite exercises both honest and
+    rogue paths.  (A production system would use a signature here.)
+    """
+    expected = answer_challenge(private_key, challenge)
+    if not hmac.compare_digest(expected, answer):
+        return False
+    return hashlib.sha256(private_key).digest() == certificate.public_key
+
+
+def authenticate_or_raise(certificate: Certificate, trust_anchor: bytes) -> None:
+    """Raise :class:`AuthenticationError` unless the certificate verifies."""
+    if not verify_certificate(certificate, trust_anchor):
+        raise AuthenticationError(
+            f"certificate for RSU {certificate.rsu_id} failed verification; "
+            "treating the RSU as rogue and staying silent"
+        )

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.  The
+sub-classes mirror the layers of the system: sketch-level problems,
+protocol-level problems, estimation problems, and data problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SketchError(ReproError):
+    """A bitmap/sketch operation was used incorrectly.
+
+    Examples: joining bitmaps whose sizes are not powers of two,
+    expanding a bitmap to a smaller size, or indexing out of range.
+    """
+
+
+class EstimationError(ReproError):
+    """An estimator could not produce a finite estimate.
+
+    Raised, for example, when a joined bitmap is saturated (no zero
+    bits, so ``ln V_0`` diverges) or when the measured one-fraction is
+    inconsistent with the component bitmaps (``V*_1 + V_a0 + V_b0 - 1``
+    non-positive in Eq. 12 of the paper).
+    """
+
+
+class SaturatedBitmapError(EstimationError):
+    """A bitmap is completely full and carries no counting information."""
+
+
+class ProtocolError(ReproError):
+    """A V2I protocol step failed (authentication, malformed message...)."""
+
+
+class AuthenticationError(ProtocolError):
+    """Certificate or challenge-response verification failed.
+
+    This is what a vehicle raises internally when it encounters a rogue
+    RSU; the on-board unit then stays silent, per Section II-B of the
+    paper.
+    """
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with invalid parameters."""
+
+
+class DataError(ReproError):
+    """A dataset (e.g. a trip table) is malformed or inconsistent."""

@@ -1,0 +1,17 @@
+"""Experiment harness: one module per table/figure in the paper.
+
+Each experiment module exposes ``run_*`` (compute) and ``format_*``
+(render a paper-style text artifact).  The registry below is what the
+CLI dispatches on::
+
+    python -m repro table1 --runs 10
+    python -m repro fig4
+    python -m repro all
+
+Every experiment returns plain dataclasses, so notebooks and tests can
+consume the numbers directly.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["EXPERIMENTS", "run_experiment"]

@@ -1,0 +1,43 @@
+"""Shared configuration for the experiment harness.
+
+The paper's global settings: ``s = 3`` and ``f = 2`` unless a sweep
+says otherwise, relative error averaged over many runs.  The paper
+uses 1000 runs per cell; the default here is smaller so the recorded
+artifacts regenerate in minutes — pass ``--runs`` (CLI) or
+``runs=...`` (API) to match the paper's 1000.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+#: The paper's default representative-bit parameter.
+DEFAULT_S = 3
+
+#: The paper's default load factor.
+DEFAULT_LOAD_FACTOR = 2.0
+
+#: Default runs per experiment cell (paper: 1000).
+DEFAULT_RUNS = 20
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiments."""
+
+    runs: int = DEFAULT_RUNS
+    seed: int = 2017  # the paper's year; any fixed value works
+    s: int = DEFAULT_S
+    load_factor: float = DEFAULT_LOAD_FACTOR
+
+    def __post_init__(self) -> None:
+        if self.runs < 1:
+            raise ConfigurationError(f"runs must be >= 1, got {self.runs}")
+        if self.s < 1:
+            raise ConfigurationError(f"s must be >= 1, got {self.s}")
+        if self.load_factor <= 0:
+            raise ConfigurationError(
+                f"load factor must be positive, got {self.load_factor}"
+            )

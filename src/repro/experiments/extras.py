@@ -1,0 +1,318 @@
+"""Extension experiments beyond the paper's evaluation section.
+
+* :func:`run_losscurve` — persistent estimation under V2I detection
+  loss: mean estimate vs per-pass detection rate at t = 5 and t = 10,
+  with the ``n*·d^t`` and ``n*·d^{⌈t/2⌉}`` brackets (the robustness
+  finding of DESIGN.md, as a chartable curve).
+* :func:`run_tradeoff` — the accuracy-privacy frontier: for a grid of
+  (s, f), the measured point-estimation error against the analytic
+  noise-to-information ratio, making Section VI-C's tradeoff a single
+  table instead of two separate artifacts.
+
+CLI: ``python -m repro losscurve`` / ``python -m repro tradeoff``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.analysis.stats import summarize_runs
+from repro.core.point import PointPersistentEstimator
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.report import ascii_series, format_table
+from repro.privacy.analysis import (
+    asymptotic_noise_probability,
+    asymptotic_noise_to_information_ratio,
+)
+from repro.traffic.workloads import PointWorkload
+
+# ----------------------------------------------------------------------
+# Loss curve
+# ----------------------------------------------------------------------
+
+#: Detection rates swept by the loss curve.
+LOSS_RATES: Tuple[float, ...] = (1.0, 0.98, 0.95, 0.9, 0.85, 0.8)
+
+#: Panels (period counts) of the loss curve.
+LOSS_T_VALUES: Tuple[int, ...] = (5, 10)
+
+_LOSS_N_STAR = 1000
+_LOSS_VOLUME = 8000
+
+
+@dataclass(frozen=True)
+class LossCurvePoint:
+    """Mean estimate and bracket at one detection rate."""
+
+    detection_rate: float
+    mean_estimate: float
+    floor: float
+    ceiling: float
+
+    @property
+    def within_bracket(self) -> bool:
+        """Whether the measured mean landed inside the bracket.
+
+        A 5% tolerance on each side absorbs estimator noise — at
+        d = 1.0 the bracket degenerates to the single point ``n*``.
+        """
+        return 0.95 * self.floor <= self.mean_estimate <= 1.05 * self.ceiling
+
+
+@dataclass(frozen=True)
+class LossCurveResult:
+    """One curve per t value."""
+
+    curves: Dict[int, List[LossCurvePoint]]
+    n_star: int
+    config: ExperimentConfig
+
+
+def run_losscurve(config: ExperimentConfig = ExperimentConfig()) -> LossCurveResult:
+    """Measure the persistent estimate across detection rates."""
+    workload = PointWorkload(
+        s=config.s, load_factor=config.load_factor, key_seed=config.seed
+    )
+    estimator = PointPersistentEstimator()
+    curves: Dict[int, List[LossCurvePoint]] = {}
+    for t in LOSS_T_VALUES:
+        points = []
+        for rate_index, rate in enumerate(LOSS_RATES):
+            estimates = []
+            for run in range(config.runs):
+                rng = np.random.default_rng([config.seed, t, rate_index, run])
+                records = workload.generate(
+                    n_star=_LOSS_N_STAR,
+                    volumes=[_LOSS_VOLUME] * t,
+                    location=1,
+                    rng=rng,
+                    detection_rate=rate,
+                ).records
+                estimates.append(estimator.estimate(records).clamped)
+            half = (t + 1) // 2
+            points.append(
+                LossCurvePoint(
+                    detection_rate=rate,
+                    mean_estimate=summarize_runs(estimates).mean,
+                    floor=_LOSS_N_STAR * rate**t,
+                    ceiling=_LOSS_N_STAR * rate**half,
+                )
+            )
+        curves[t] = points
+    return LossCurveResult(curves=curves, n_star=_LOSS_N_STAR, config=config)
+
+
+def format_losscurve(result: LossCurveResult) -> str:
+    """Render the loss curves with their analytic brackets."""
+    blocks = []
+    for t, points in result.curves.items():
+        chart = ascii_series(
+            [
+                ("measured", [(p.detection_rate, p.mean_estimate) for p in points]),
+                ("floor d^t", [(p.detection_rate, p.floor) for p in points]),
+                ("ceil d^t/2", [(p.detection_rate, p.ceiling) for p in points]),
+            ],
+            title=(
+                f"Persistent estimate vs V2I detection rate "
+                f"(t={t}, n*={result.n_star}, runs={result.config.runs})"
+            ),
+        )
+        table = format_table(
+            ["detection rate", "mean estimate", "floor n*d^t", "ceiling", "in bracket"],
+            [
+                [p.detection_rate, p.mean_estimate, p.floor, p.ceiling,
+                 "yes" if p.within_bracket else "NO"]
+                for p in points
+            ],
+        )
+        blocks.append(chart + "\n\n" + table)
+    return "\n\n".join(blocks)
+
+
+# ----------------------------------------------------------------------
+# Accuracy-privacy frontier
+# ----------------------------------------------------------------------
+
+#: The (s, f) grid of the frontier sweep.
+FRONTIER_SETTINGS: Tuple[Tuple[int, float], ...] = (
+    (2, 1.0), (2, 2.0), (3, 1.0), (3, 2.0), (3, 3.0),
+    (4, 2.0), (5, 2.0), (5, 4.0),
+)
+
+_FRONTIER_N_STAR = 400
+_FRONTIER_VOLUME = 6000
+_FRONTIER_T = 5
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One (s, f) setting's accuracy and privacy scores."""
+
+    s: int
+    load_factor: float
+    mean_relative_error: float
+    privacy_ratio: float
+    noise_probability: float
+
+
+@dataclass(frozen=True)
+class FrontierResult:
+    """The measured accuracy-privacy frontier."""
+
+    points: List[FrontierPoint]
+    config: ExperimentConfig
+
+
+def run_tradeoff(config: ExperimentConfig = ExperimentConfig()) -> FrontierResult:
+    """Measure error and privacy ratio over the (s, f) grid."""
+    estimator = PointPersistentEstimator()
+    points = []
+    for setting_index, (s, f) in enumerate(FRONTIER_SETTINGS):
+        workload = PointWorkload(s=s, load_factor=f, key_seed=config.seed)
+        errors = []
+        for run in range(config.runs):
+            rng = np.random.default_rng([config.seed, setting_index, run])
+            records = workload.generate(
+                n_star=_FRONTIER_N_STAR,
+                volumes=[_FRONTIER_VOLUME] * _FRONTIER_T,
+                location=1,
+                rng=rng,
+                expected_volume=_FRONTIER_VOLUME,
+            ).records
+            errors.append(
+                estimator.estimate(records).relative_error(_FRONTIER_N_STAR)
+            )
+        points.append(
+            FrontierPoint(
+                s=s,
+                load_factor=f,
+                mean_relative_error=summarize_runs(errors).mean,
+                privacy_ratio=asymptotic_noise_to_information_ratio(s, f),
+                noise_probability=asymptotic_noise_probability(f),
+            )
+        )
+    return FrontierResult(points=points, config=config)
+
+
+def format_tradeoff(result: FrontierResult) -> str:
+    """Render the frontier, best privacy first."""
+    ordered = sorted(
+        result.points, key=lambda p: p.privacy_ratio, reverse=True
+    )
+    table = format_table(
+        ["s", "f", "mean rel error", "privacy ratio", "noise p"],
+        [
+            [p.s, p.load_factor, p.mean_relative_error, p.privacy_ratio,
+             p.noise_probability]
+            for p in ordered
+        ],
+        title=(
+            "Accuracy-privacy frontier "
+            f"(point persistent, n*={_FRONTIER_N_STAR}, t={_FRONTIER_T}, "
+            f"runs={result.config.runs})"
+        ),
+    )
+    note = (
+        "\nHigher privacy ratio = harder tracking; lower error = better "
+        "measurement.\nThe paper picks s=3, f=2 (ratio ~1.95) as the "
+        "compromise."
+    )
+    return table + note
+
+
+# ----------------------------------------------------------------------
+# t-sweep: how many periods buy how much accuracy
+# ----------------------------------------------------------------------
+
+#: Period counts swept by the t-sweep experiment.
+T_SWEEP_VALUES: Tuple[int, ...] = (2, 3, 4, 5, 7, 10, 12)
+
+_TSWEEP_N_STAR = 300
+_TSWEEP_VOLUME = 8000
+
+
+@dataclass(frozen=True)
+class TSweepPoint:
+    """Errors of both estimators at one period count."""
+
+    t: int
+    proposed_error: float
+    benchmark_error: float
+
+
+@dataclass(frozen=True)
+class TSweepResult:
+    """Accuracy vs number of joined periods."""
+
+    points: List[TSweepPoint]
+    n_star: int
+    config: ExperimentConfig
+
+
+def run_tsweep(config: ExperimentConfig = ExperimentConfig()) -> TSweepResult:
+    """Measure error vs t for the proposed estimator and the benchmark.
+
+    The paper samples t at {3, 5, 7, 10} (Table I) and {5, 10}
+    (Fig. 4); this sweep fills in the curve and shows where the
+    AND-join's noise filtering saturates.
+    """
+    from repro.core.baselines import DirectAndBenchmark
+
+    workload = PointWorkload(
+        s=config.s, load_factor=config.load_factor, key_seed=config.seed
+    )
+    proposed = PointPersistentEstimator()
+    benchmark = DirectAndBenchmark()
+    points = []
+    for t_index, t in enumerate(T_SWEEP_VALUES):
+        proposed_errors, benchmark_errors = [], []
+        for run in range(config.runs):
+            rng = np.random.default_rng([config.seed, 0x75, t_index, run])
+            records = workload.generate(
+                n_star=_TSWEEP_N_STAR,
+                volumes=[_TSWEEP_VOLUME] * t,
+                location=1,
+                rng=rng,
+            ).records
+            proposed_errors.append(
+                proposed.estimate(records).relative_error(_TSWEEP_N_STAR)
+            )
+            benchmark_errors.append(
+                benchmark.estimate(records).relative_error(_TSWEEP_N_STAR)
+            )
+        points.append(
+            TSweepPoint(
+                t=t,
+                proposed_error=summarize_runs(proposed_errors).mean,
+                benchmark_error=summarize_runs(benchmark_errors).mean,
+            )
+        )
+    return TSweepResult(points=points, n_star=_TSWEEP_N_STAR, config=config)
+
+
+def format_tsweep(result: TSweepResult) -> str:
+    """Render the t-sweep as a chart plus the numbers."""
+    chart = ascii_series(
+        [
+            ("proposed", [(p.t, p.proposed_error) for p in result.points]),
+            ("benchmark", [(p.t, p.benchmark_error) for p in result.points]),
+        ],
+        title=(
+            f"Relative error vs measurement periods t "
+            f"(n*={result.n_star}, runs={result.config.runs})"
+        ),
+    )
+    table = format_table(
+        ["t", "proposed", "benchmark"],
+        [[p.t, p.proposed_error, p.benchmark_error] for p in result.points],
+    )
+    note = (
+        "\nThe benchmark rides the AND-join's noise filtering: each "
+        "extra period\nmultiplies the surviving-collision probability "
+        "by the one-fraction, so by\nt≈7 the two estimators coincide "
+        "and extra periods only tighten variance."
+    )
+    return chart + "\n\n" + table + note

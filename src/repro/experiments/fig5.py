@@ -1,0 +1,164 @@
+"""Figs. 5 and 6: actual-vs-estimated scatter plots.
+
+Each figure has two panels at t = 5: point persistent traffic (left)
+and point-to-point persistent traffic (right), with each point one
+measurement — x the actual persistent volume, y the estimated volume,
+clustered around the y = x equality line.  Fig. 5 uses f = 2, Fig. 6
+uses f = 3; the visible result is that f = 3 scatters tighter
+(bigger bitmaps, less mixing), at the cost of privacy (Table II).
+
+The shared runner lives here; :mod:`repro.experiments.fig6` is a thin
+wrapper at f = 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.point import PointPersistentEstimator
+from repro.core.point_to_point import PointToPointPersistentEstimator
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.report import ascii_scatter, format_table
+from repro.traffic.synthetic import (
+    SyntheticPointScenario,
+    SyntheticPointToPointScenario,
+    expected_volume,
+)
+from repro.traffic.workloads import PointToPointWorkload, PointWorkload
+
+#: Both figures fix t = 5.
+T = 5
+
+LOCATION_A = 1
+LOCATION_B = 2
+
+
+@dataclass(frozen=True)
+class ScatterResult:
+    """One figure's two scatter panels."""
+
+    load_factor: float
+    point_pairs: List[Tuple[int, float]]
+    p2p_pairs: List[Tuple[int, float]]
+    config: ExperimentConfig
+
+    @property
+    def point_mean_relative_error(self) -> float:
+        """Mean relative error over the point panel's measurements."""
+        return _mean_relative_error(self.point_pairs)
+
+    @property
+    def p2p_mean_relative_error(self) -> float:
+        """Mean relative error over the p2p panel's measurements."""
+        return _mean_relative_error(self.p2p_pairs)
+
+
+def _mean_relative_error(pairs: List[Tuple[int, float]]) -> float:
+    return sum(abs(y - x) / x for x, y in pairs) / len(pairs)
+
+
+def run_scatter(
+    load_factor: float,
+    config: ExperimentConfig = ExperimentConfig(),
+    points_per_target: int = 1,
+) -> ScatterResult:
+    """Generate the scatter measurements for one figure.
+
+    ``points_per_target`` > 1 draws several independent measurements
+    per swept target (denser clouds than the paper's single pass).
+    """
+    config = replace(config, load_factor=load_factor)
+
+    # Left panel: point persistent traffic.
+    point_rng = np.random.default_rng([config.seed, 5, 1])
+    point_scenario = SyntheticPointScenario.draw(point_rng, periods=T)
+    point_workload = PointWorkload(
+        s=config.s, load_factor=load_factor, key_seed=config.seed
+    )
+    point_estimator = PointPersistentEstimator()
+    point_pairs: List[Tuple[int, float]] = []
+    for target_index, n_star in enumerate(point_scenario.persistent_targets()):
+        for draw in range(points_per_target):
+            rng = np.random.default_rng([config.seed, 51, target_index, draw])
+            records = point_workload.generate(
+                n_star=n_star,
+                volumes=point_scenario.volumes,
+                location=LOCATION_A,
+                rng=rng,
+                expected_volume=expected_volume(),
+            ).records
+            estimate = point_estimator.estimate(records)
+            point_pairs.append((n_star, estimate.clamped))
+
+    # Right panel: point-to-point persistent traffic.
+    p2p_rng = np.random.default_rng([config.seed, 5, 2])
+    p2p_scenario = SyntheticPointToPointScenario.draw(p2p_rng, periods=T)
+    p2p_workload = PointToPointWorkload(
+        s=config.s, load_factor=load_factor, key_seed=config.seed
+    )
+    p2p_estimator = PointToPointPersistentEstimator(config.s)
+    p2p_pairs: List[Tuple[int, float]] = []
+    for target_index, n_pp in enumerate(p2p_scenario.persistent_targets()):
+        for draw in range(points_per_target):
+            rng = np.random.default_rng([config.seed, 52, target_index, draw])
+            result = p2p_workload.generate(
+                n_double_prime=n_pp,
+                volumes_a=p2p_scenario.volumes_a,
+                volumes_b=p2p_scenario.volumes_b,
+                location_a=LOCATION_A,
+                location_b=LOCATION_B,
+                rng=rng,
+                expected_volume_a=expected_volume(),
+                expected_volume_b=expected_volume(),
+            )
+            estimate = p2p_estimator.estimate(result.records_a, result.records_b)
+            p2p_pairs.append((n_pp, estimate.clamped))
+
+    return ScatterResult(
+        load_factor=load_factor,
+        point_pairs=point_pairs,
+        p2p_pairs=p2p_pairs,
+        config=config,
+    )
+
+
+def run_fig5(
+    config: ExperimentConfig = ExperimentConfig(),
+    points_per_target: int = 1,
+) -> ScatterResult:
+    """Fig. 5: measurement-accuracy scatter at f = 2."""
+    return run_scatter(2.0, config, points_per_target)
+
+
+def format_scatter(result: ScatterResult, figure_name: str) -> str:
+    """Render one figure's panels plus per-panel error summaries."""
+    left = ascii_scatter(
+        result.point_pairs,
+        title=(
+            f"{figure_name} left: point persistent traffic "
+            f"(t={T}, f={result.load_factor:g})"
+        ),
+    )
+    right = ascii_scatter(
+        result.p2p_pairs,
+        title=(
+            f"{figure_name} right: point-to-point persistent traffic "
+            f"(t={T}, f={result.load_factor:g})"
+        ),
+    )
+    summary = format_table(
+        ["panel", "measurements", "mean relative error"],
+        [
+            ["point", len(result.point_pairs), result.point_mean_relative_error],
+            ["point-to-point", len(result.p2p_pairs), result.p2p_mean_relative_error],
+        ],
+    )
+    return "\n\n".join([left, right, summary])
+
+
+def format_fig5(result: ScatterResult) -> str:
+    """Render Fig. 5."""
+    return format_scatter(result, "Fig. 5")

@@ -1,0 +1,27 @@
+"""Fig. 6: the Fig. 5 scatter panels at f = 3.
+
+Same workloads and estimators as Fig. 5
+(:mod:`repro.experiments.fig5`); only the load factor changes.  The
+reproduction target is the *comparison*: the f = 3 clouds must hug the
+equality line visibly tighter than the f = 2 clouds, demonstrating the
+accuracy side of the accuracy-privacy tradeoff (the privacy side is
+Table II, where f = 3 scores worse).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.fig5 import ScatterResult, format_scatter, run_scatter
+
+
+def run_fig6(
+    config: ExperimentConfig = ExperimentConfig(),
+    points_per_target: int = 1,
+) -> ScatterResult:
+    """Fig. 6: measurement-accuracy scatter at f = 3."""
+    return run_scatter(3.0, config, points_per_target)
+
+
+def format_fig6(result: ScatterResult) -> str:
+    """Render Fig. 6."""
+    return format_scatter(result, "Fig. 6")

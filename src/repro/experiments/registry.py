@@ -1,0 +1,30 @@
+"""Registry mapping experiment names to (run, format) pairs."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.fig4 import format_fig4, run_fig4
+from repro.experiments.fig5 import format_fig5, run_fig5
+from repro.experiments.fig6 import format_fig6, run_fig6
+from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.table2 import format_table2, run_table2
+
+#: name -> (run function taking an ExperimentConfig, format function).
+EXPERIMENTS: Dict[str, Tuple[Callable, Callable]] = {
+    "table1": (run_table1, format_table1),
+    "table2": (run_table2, format_table2),
+    "fig4": (run_fig4, format_fig4),
+    "fig5": (run_fig5, format_fig5),
+    "fig6": (run_fig6, format_fig6),
+}
+
+
+def run_experiment(name: str, config: ExperimentConfig) -> str:
+    """Run one experiment by name and return its rendered artifact."""
+    if name not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {name!r}; known: {known}")
+    run, fmt = EXPERIMENTS[name]
+    return fmt(run(config))

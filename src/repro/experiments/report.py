@@ -1,0 +1,151 @@
+"""Text rendering for experiment outputs.
+
+The paper's artifacts are tables and line/scatter plots; in a terminal
+we render tables with aligned columns and plots as compact ASCII
+charts.  Numbers are the contract — the charts are a convenience for
+eyeballing shapes (does the benchmark blow up at small volumes? does
+the scatter hug y = x?).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned text table."""
+    columns = len(headers)
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {columns}: {row!r}"
+            )
+        cells.append([_format_cell(value) for value in row])
+    widths = [max(len(r[c]) for r in cells) for c in range(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row_cells in cells[1:]:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row_cells, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def _format_axis_value(value: float) -> str:
+    """Axis label: thousands get commas, small values keep digits."""
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:g}"
+
+
+def ascii_scatter(
+    points: Sequence[Tuple[float, float]],
+    width: int = 64,
+    height: int = 20,
+    title: Optional[str] = None,
+    draw_diagonal: bool = True,
+) -> str:
+    """Render (x, y) points as an ASCII scatter with an y=x guide.
+
+    ``*`` marks data; ``.`` marks the y = x line (the paper's equality
+    line in Figs. 5–6).  Axes share one scale so the diagonal is
+    meaningful.
+    """
+    if not points:
+        raise ValueError("cannot plot an empty point set")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    low = min(min(xs), min(ys), 0.0)
+    high = max(max(xs), max(ys))
+    if high <= low:
+        high = low + 1.0
+    span = high - low
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_cell(x: float, y: float) -> Tuple[int, int]:
+        col = int((x - low) / span * (width - 1))
+        row = height - 1 - int((y - low) / span * (height - 1))
+        return max(0, min(height - 1, row)), max(0, min(width - 1, col))
+
+    if draw_diagonal:
+        for col in range(width):
+            value = low + span * col / (width - 1)
+            row, _ = to_cell(value, value)
+            grid[row][col] = "."
+    for x, y in points:
+        row, col = to_cell(x, y)
+        grid[row][col] = "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: {_format_axis_value(high)}")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(
+        f"x: {_format_axis_value(low)} .. {_format_axis_value(high)}   "
+        "(* data, . equality line)"
+    )
+    return "\n".join(lines)
+
+
+def ascii_series(
+    series: Sequence[Tuple[str, Sequence[Tuple[float, float]]]],
+    width: int = 64,
+    height: int = 18,
+    title: Optional[str] = None,
+) -> str:
+    """Render one or more (x, y) line series as an ASCII chart.
+
+    Each series gets its own marker (``*``, ``o``, ``+``, ``x``...).
+    Used for the Fig. 4 relative-error curves.
+    """
+    markers = "*o+x#@"
+    if not series:
+        raise ValueError("need at least one series")
+    all_points = [p for _, pts in series for p in pts]
+    if not all_points:
+        raise ValueError("series contain no points")
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(min(ys), 0.0), max(ys)
+    if x_high <= x_low:
+        x_high = x_low + 1.0
+    if y_high <= y_low:
+        y_high = y_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (label, points), marker in zip(series, markers):
+        for x, y in points:
+            col = int((x - x_low) / (x_high - x_low) * (width - 1))
+            row = height - 1 - int((y - y_low) / (y_high - y_low) * (height - 1))
+            grid[max(0, min(height - 1, row))][max(0, min(width - 1, col))] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: {y_high:.4f}")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    legend = "   ".join(
+        f"{marker} {label}" for (label, _), marker in zip(series, markers)
+    )
+    lines.append(
+        f"x: {_format_axis_value(x_low)} .. {_format_axis_value(x_high)}   {legend}"
+    )
+    return "\n".join(lines)

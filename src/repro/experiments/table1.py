@@ -1,0 +1,213 @@
+"""Table I: point-to-point persistent traffic on the Sioux Falls data.
+
+For each of eight locations ``L`` against the busiest location ``L'``
+(n' = 451,000), the experiment simulates 10 measurement periods in
+which the ``n''`` common vehicles pass both locations every period and
+each location additionally sees fresh transients filling its volume
+(Section VI-A).  Relative errors are reported for ``t ∈ {3,5,7,10}``
+(prefixes of the 10 periods, one generation per run serving all
+``t``), plus the same-size-bitmap baseline at ``t = 5``.
+
+Workload parameters come from :func:`repro.traffic.sioux_falls.
+table1_parameters` — the paper's own Table I values — so this is the
+headline apples-to-apples reproduction.  A trip-table mode
+(``from_trip_table=True``) derives the same parameters from the
+embedded OD matrix instead, exercising the full data pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.analysis.stats import RunStatistics, summarize_runs
+from repro.core.point_to_point import PointToPointPersistentEstimator
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.report import format_table
+from repro.sketch.sizing import bitmap_size_for_volume
+from repro.traffic.sioux_falls import (
+    L_PRIME_ZONE,
+    M_PRIME,
+    N_PRIME,
+    Table1Row,
+    sioux_falls_trip_table,
+    table1_parameters,
+)
+from repro.traffic.workloads import PointToPointWorkload
+
+#: The t values reported by the paper's Table I.
+T_VALUES: Tuple[int, ...] = (3, 5, 7, 10)
+
+#: Total simulated periods per run (the paper simulates 10).
+TOTAL_PERIODS = 10
+
+#: The t at which the same-size baseline row is evaluated.
+SAME_SIZE_T = 5
+
+
+@dataclass(frozen=True)
+class Table1Cell:
+    """Measured statistics for one (location, t) cell."""
+
+    statistics: RunStatistics
+
+    @property
+    def relative_error(self) -> float:
+        """Mean relative error over the runs."""
+        return self.statistics.mean
+
+
+@dataclass(frozen=True)
+class Table1LocationResult:
+    """All measured cells for one location column."""
+
+    row: Table1Row
+    errors_by_t: Dict[int, Table1Cell]
+    same_size_error: Table1Cell
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """The full reproduced Table I."""
+
+    locations: List[Table1LocationResult]
+    config: ExperimentConfig
+
+
+def _derive_rows_from_trip_table() -> List[Table1Row]:
+    """Build Table1Row-equivalents from the embedded OD matrix."""
+    table = sioux_falls_trip_table()
+    rows = []
+    for row in table1_parameters():
+        n = int(round(table.involved_volume(row.zone)))
+        npp = int(round(table.pair_volume(row.zone, L_PRIME_ZONE)))
+        m = bitmap_size_for_volume(n, 2.0)
+        rows.append(
+            Table1Row(
+                index=row.index,
+                zone=row.zone,
+                n=n,
+                m=m,
+                m_prime_ratio=M_PRIME // m,
+                n_double_prime=npp,
+                paper_relative_error=row.paper_relative_error,
+                paper_same_size_error=row.paper_same_size_error,
+            )
+        )
+    return rows
+
+
+def _measure_location(
+    row: Table1Row, config: ExperimentConfig, location_seed: int
+) -> Table1LocationResult:
+    workload = PointToPointWorkload(
+        s=config.s, load_factor=config.load_factor, key_seed=config.seed
+    )
+    estimator = PointToPointPersistentEstimator(config.s)
+    errors_by_t: Dict[int, List[float]] = {t: [] for t in T_VALUES}
+    same_size_errors: List[float] = []
+
+    for run_index in range(config.runs):
+        rng = np.random.default_rng([config.seed, location_seed, run_index])
+        # One 10-period generation serves every t as a prefix.
+        result = workload.generate(
+            n_double_prime=row.n_double_prime,
+            volumes_a=[row.n] * TOTAL_PERIODS,
+            volumes_b=[N_PRIME] * TOTAL_PERIODS,
+            location_a=row.zone,
+            location_b=L_PRIME_ZONE,
+            rng=rng,
+            fixed_sizes=([row.m] * TOTAL_PERIODS, [M_PRIME] * TOTAL_PERIODS),
+        )
+        for t in T_VALUES:
+            estimate = estimator.estimate(
+                result.records_a[:t], result.records_b[:t]
+            )
+            errors_by_t[t].append(
+                estimate.relative_error(row.n_double_prime)
+            )
+        # Same-size baseline: L' forced down to L's bitmap size.
+        rng_baseline = np.random.default_rng(
+            [config.seed, location_seed, run_index, 9]
+        )
+        baseline = workload.generate(
+            n_double_prime=row.n_double_prime,
+            volumes_a=[row.n] * SAME_SIZE_T,
+            volumes_b=[N_PRIME] * SAME_SIZE_T,
+            location_a=row.zone,
+            location_b=L_PRIME_ZONE,
+            rng=rng_baseline,
+            fixed_sizes=([row.m] * SAME_SIZE_T, [row.m] * SAME_SIZE_T),
+        )
+        baseline_estimate = estimator.estimate(
+            baseline.records_a, baseline.records_b
+        )
+        same_size_errors.append(
+            baseline_estimate.relative_error(row.n_double_prime)
+        )
+
+    return Table1LocationResult(
+        row=row,
+        errors_by_t={
+            t: Table1Cell(statistics=summarize_runs(errors))
+            for t, errors in errors_by_t.items()
+        },
+        same_size_error=Table1Cell(statistics=summarize_runs(same_size_errors)),
+    )
+
+
+def run_table1(
+    config: ExperimentConfig = ExperimentConfig(),
+    from_trip_table: bool = False,
+) -> Table1Result:
+    """Reproduce Table I.
+
+    Parameters
+    ----------
+    config:
+        Runs/seed/s/f settings.  The paper uses s=3, f=2, 1000 runs.
+    from_trip_table:
+        When True, derive (n, n'', m) from the embedded OD matrix
+        instead of using the paper's transcribed parameters.
+    """
+    rows = _derive_rows_from_trip_table() if from_trip_table else table1_parameters()
+    locations = [
+        _measure_location(row, config, location_seed=row.index)
+        for row in rows
+    ]
+    return Table1Result(locations=locations, config=config)
+
+
+def format_table1(result: Table1Result) -> str:
+    """Render the reproduced Table I with paper values alongside."""
+    headers = ["L"] + [str(loc.row.index) for loc in result.locations]
+    rows: List[List[object]] = []
+    rows.append(["n"] + [loc.row.n for loc in result.locations])
+    rows.append(["m"] + [loc.row.m for loc in result.locations])
+    rows.append(["m'/m"] + [loc.row.m_prime_ratio for loc in result.locations])
+    rows.append(["n''"] + [loc.row.n_double_prime for loc in result.locations])
+    for t in T_VALUES:
+        rows.append(
+            [f"rel err (t={t})"]
+            + [loc.errors_by_t[t].relative_error for loc in result.locations]
+        )
+        rows.append(
+            [f"  paper (t={t})"]
+            + [loc.row.paper_relative_error[t] for loc in result.locations]
+        )
+    rows.append(
+        [f"same-size (t={SAME_SIZE_T})"]
+        + [loc.same_size_error.relative_error for loc in result.locations]
+    )
+    rows.append(
+        ["  paper same-size"]
+        + [loc.row.paper_same_size_error for loc in result.locations]
+    )
+    title = (
+        "Table I: relative error of point-to-point persistent traffic "
+        f"estimation, Sioux Falls (runs={result.config.runs}, "
+        f"s={result.config.s}, f={result.config.load_factor})"
+    )
+    return format_table(headers, rows, title=title)

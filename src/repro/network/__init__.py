@@ -1,0 +1,28 @@
+"""Road-network model: graph, RSU deployment, vehicle trajectories.
+
+The estimators never see the road network — they consume bitmaps — but
+the end-to-end simulation and the city-scale example need vehicles
+that actually *move*: origin-destination trips routed over a graph,
+passing RSUs deployed at intersections.
+
+* :mod:`repro.network.road` — the network graph (the standard Sioux
+  Falls 24-node / 76-directed-link topology is built in).
+* :mod:`repro.network.deployment` — which locations get RSUs.
+* :mod:`repro.network.trajectory` — routed trips with pass-by times.
+"""
+
+from repro.network.deployment import RsuDeployment
+from repro.network.grid import gravity_trip_table, grid_location, grid_network
+from repro.network.road import RoadNetwork, sioux_falls_network
+from repro.network.trajectory import Trajectory, TripPlanner
+
+__all__ = [
+    "RoadNetwork",
+    "RsuDeployment",
+    "Trajectory",
+    "TripPlanner",
+    "gravity_trip_table",
+    "grid_location",
+    "grid_network",
+    "sioux_falls_network",
+]

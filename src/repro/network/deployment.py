@@ -1,0 +1,92 @@
+"""RSU deployment: which locations host an RSU.
+
+"Road-Side Units (RSUs) are deployed at locations of interest, such as
+street intersections" (Section II-A).  A deployment picks a subset of
+network locations, wires each with PKI credentials from the trusted
+third party, and hands out ready-to-run
+:class:`~repro.rsu.unit.RoadSideUnit` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.crypto.pki import CertificateAuthority
+from repro.exceptions import ConfigurationError, DataError
+from repro.network.road import RoadNetwork
+from repro.rsu.unit import RoadSideUnit
+
+
+class RsuDeployment:
+    """RSUs installed at chosen locations of a road network.
+
+    Parameters
+    ----------
+    network:
+        The road network being instrumented.
+    authority:
+        The trusted third party issuing RSU credentials.
+    locations:
+        Locations to instrument; defaults to every location.
+    default_bitmap_size:
+        Initial bitmap size for every RSU (the central server resizes
+        per period once history accumulates).
+    beacon_interval:
+        Seconds between beacons for every deployed RSU.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        authority: CertificateAuthority,
+        locations: Optional[Iterable[int]] = None,
+        default_bitmap_size: int = 4096,
+        beacon_interval: float = 1.0,
+    ):
+        chosen = (
+            list(network.locations)
+            if locations is None
+            else [int(loc) for loc in locations]
+        )
+        if not chosen:
+            raise ConfigurationError("a deployment needs at least one RSU")
+        for location in chosen:
+            if not network.has_location(location):
+                raise DataError(f"location {location} is not in the network")
+        if len(chosen) != len(set(chosen)):
+            raise ConfigurationError("deployment locations contain duplicates")
+        self._network = network
+        self._units: Dict[int, RoadSideUnit] = {}
+        for location in chosen:
+            credentials = authority.issue(location)
+            self._units[location] = RoadSideUnit(
+                location=location,
+                bitmap_size=default_bitmap_size,
+                credentials=credentials,
+                beacon_interval=beacon_interval,
+            )
+
+    @property
+    def network(self) -> RoadNetwork:
+        """The instrumented road network."""
+        return self._network
+
+    @property
+    def locations(self) -> List[int]:
+        """Sorted list of instrumented locations."""
+        return sorted(self._units)
+
+    def has_rsu(self, location: int) -> bool:
+        """Whether ``location`` hosts an RSU."""
+        return int(location) in self._units
+
+    def rsu_at(self, location: int) -> RoadSideUnit:
+        """The RSU at ``location`` (raises :class:`DataError` if none)."""
+        try:
+            return self._units[int(location)]
+        except KeyError as exc:
+            raise DataError(f"no RSU deployed at location {location}") from exc
+
+    def units(self) -> List[RoadSideUnit]:
+        """All deployed RSUs, ordered by location."""
+        return [self._units[location] for location in self.locations]

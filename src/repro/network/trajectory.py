@@ -1,0 +1,122 @@
+"""Vehicle trajectories: routed trips with per-location pass times.
+
+A trajectory is a vehicle's route through the network in one
+measurement period, annotated with the time it reaches each location.
+The discrete-event simulation turns these pass times into V2I
+encounters with the deployed RSUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.network.road import RoadNetwork
+from repro.traffic.trip_table import TripTable
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """One vehicle's routed trip in one period.
+
+    Attributes
+    ----------
+    vehicle_id:
+        The travelling vehicle.
+    path:
+        Location IDs visited, in order.
+    pass_times:
+        Seconds (from period start) at which each path location is
+        reached; same length as ``path``.
+    """
+
+    vehicle_id: int
+    path: Tuple[int, ...]
+    pass_times: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.path) != len(self.pass_times):
+            raise DataError("path and pass_times must have equal length")
+        if len(self.path) == 0:
+            raise DataError("a trajectory must visit at least one location")
+        if any(b < a for a, b in zip(self.pass_times, self.pass_times[1:])):
+            raise DataError("pass times must be non-decreasing")
+
+    def time_at(self, location: int) -> float:
+        """First time the trajectory reaches ``location``."""
+        for node, when in zip(self.path, self.pass_times):
+            if node == int(location):
+                return when
+        raise DataError(f"trajectory never passes location {location}")
+
+    def passes(self, location: int) -> bool:
+        """Whether the trajectory visits ``location``."""
+        return int(location) in self.path
+
+
+class TripPlanner:
+    """Routes OD trips over a network and assigns departure times.
+
+    Parameters
+    ----------
+    network:
+        The road network to route over.
+    period_seconds:
+        Length of a measurement period; departures are uniform over
+        the first 80% of it so trips complete within the period.
+    """
+
+    def __init__(self, network: RoadNetwork, period_seconds: float = 86400.0):
+        if period_seconds <= 0:
+            raise DataError(f"period length must be positive, got {period_seconds}")
+        self._network = network
+        self._period_seconds = float(period_seconds)
+        # Route cache: OD pair -> (path, cumulative times from departure).
+        self._route_cache: Dict[Tuple[int, int], Tuple[Tuple[int, ...], Tuple[float, ...]]] = {}
+
+    def _route(self, origin: int, destination: int):
+        key = (int(origin), int(destination))
+        if key not in self._route_cache:
+            path = self._network.shortest_path(*key)
+            offsets = [0.0]
+            for u, v in zip(path, path[1:]):
+                offsets.append(offsets[-1] + self._network.travel_time(u, v))
+            self._route_cache[key] = (tuple(path), tuple(offsets))
+        return self._route_cache[key]
+
+    def plan_trip(
+        self,
+        vehicle_id: int,
+        origin: int,
+        destination: int,
+        rng: np.random.Generator,
+    ) -> Trajectory:
+        """Route one trip and draw its departure time."""
+        path, offsets = self._route(origin, destination)
+        departure = float(rng.uniform(0.0, 0.8 * self._period_seconds))
+        return Trajectory(
+            vehicle_id=int(vehicle_id),
+            path=path,
+            pass_times=tuple(departure + offset for offset in offsets),
+        )
+
+    def sample_od_pairs(
+        self,
+        trip_table: TripTable,
+        count: int,
+        rng: np.random.Generator,
+    ) -> List[Tuple[int, int]]:
+        """Draw OD pairs proportional to trip-table volumes."""
+        matrix = np.asarray(trip_table.matrix, dtype=np.float64).copy()
+        np.fill_diagonal(matrix, 0.0)
+        flat = matrix.ravel()
+        total = flat.sum()
+        if total <= 0:
+            raise DataError("trip table has no inter-zonal volume to sample")
+        probabilities = flat / total
+        k = trip_table.zone_count
+        draws = rng.choice(flat.size, size=int(count), p=probabilities)
+        return [(int(d // k) + 1, int(d % k) + 1) for d in draws]

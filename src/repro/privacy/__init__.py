@@ -1,0 +1,29 @@
+"""Privacy analysis of the traffic-record design (Section V).
+
+* :mod:`repro.privacy.analysis` — the closed-form noise probability
+  ``p`` (Eq. 22), detection probability ``p'`` (Eq. 23), and the
+  probabilistic noise-to-information ratio (Eq. 24), plus the
+  asymptotic forms the paper tabulates in Table II.
+* :mod:`repro.privacy.attack` — an *empirical* tracking attack that
+  plays the adversary of Section V against actual bitmaps and
+  measures p and p' by simulation, validating the analysis.
+"""
+
+from repro.privacy.analysis import (
+    asymptotic_noise_probability,
+    asymptotic_noise_to_information_ratio,
+    detection_probability,
+    noise_probability,
+    noise_to_information_ratio,
+)
+from repro.privacy.attack import TrackingAttack, TrackingAttackResult
+
+__all__ = [
+    "TrackingAttack",
+    "TrackingAttackResult",
+    "asymptotic_noise_probability",
+    "asymptotic_noise_to_information_ratio",
+    "detection_probability",
+    "noise_probability",
+    "noise_to_information_ratio",
+]

@@ -1,0 +1,16 @@
+"""Road-Side Unit (RSU) model.
+
+* :mod:`repro.rsu.beacon` — the over-the-air messages (beacons from the
+  RSU, encoding reports from vehicles).
+* :mod:`repro.rsu.record` — the traffic record: one bitmap per
+  measurement period, stamped with its location and period.
+* :mod:`repro.rsu.unit` — the RSU itself: broadcasts beacons, collects
+  encoding reports, rolls measurement periods, and uploads the
+  finished records to the central server.
+"""
+
+from repro.rsu.beacon import Beacon, EncodingReport
+from repro.rsu.record import TrafficRecord
+from repro.rsu.unit import RoadSideUnit
+
+__all__ = ["Beacon", "EncodingReport", "RoadSideUnit", "TrafficRecord"]

@@ -1,0 +1,52 @@
+"""Over-the-air message types for the V2I exchange.
+
+Section II-D: "The RSU broadcasts beacons in preset intervals, such as
+once per second ... which carries the RSU's location L, its public-key
+certificate, and the size m of its bitmap."  The vehicle's only
+transmission is the bit index ``h_v``, sent under a one-time MAC
+address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.mac import MacAddress
+from repro.crypto.pki import Certificate
+
+
+@dataclass(frozen=True)
+class Beacon:
+    """A beacon broadcast by an RSU.
+
+    Attributes
+    ----------
+    location:
+        The RSU's location ID ``L``.
+    bitmap_size:
+        The size ``m`` of the RSU's current bitmap.
+    certificate:
+        The RSU's public-key certificate from the trusted third party.
+    sequence:
+        Monotonic beacon counter (for the discrete-event simulation's
+        bookkeeping; carries no vehicle information).
+    """
+
+    location: int
+    bitmap_size: int
+    certificate: Certificate
+    sequence: int = 0
+
+
+@dataclass(frozen=True)
+class EncodingReport:
+    """A vehicle's response to a beacon: the index to set.
+
+    The source MAC address is a fresh one-time address; combined with
+    the index being a many-to-one hash output, nothing in this message
+    identifies the vehicle.
+    """
+
+    source_mac: MacAddress
+    location: int
+    index: int

@@ -1,0 +1,65 @@
+"""Traffic records: the unit of data the system stores and queries.
+
+A traffic record is one bitmap produced by one RSU during one
+measurement period, stamped with enough metadata for the central
+server to organize and join it.  Records are immutable once produced
+(the RSU freezes the bitmap at period end).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sketch.bitmap import Bitmap
+from repro.sketch.linear_counting import linear_counting_estimate
+from repro.sketch.serial import deserialize_bitmap, serialize_bitmap
+
+
+@dataclass(frozen=True)
+class TrafficRecord:
+    """An immutable (location, period, bitmap) triple.
+
+    Attributes
+    ----------
+    location:
+        The RSU's location ID ``L``.
+    period:
+        The measurement period index this record covers.
+    bitmap:
+        The frozen bitmap ``B``.  Callers must not mutate it; the RSU
+        hands over a private copy.
+    """
+
+    location: int
+    period: int
+    bitmap: Bitmap
+
+    @property
+    def size(self) -> int:
+        """The bitmap size ``m`` of this record."""
+        return self.bitmap.size
+
+    def point_estimate(self) -> float:
+        """Single-period traffic volume estimate (Eq. 1 of the paper).
+
+        This is ordinary linear counting on one record — the quantity
+        the central server also uses as the "historical volume" input
+        to future bitmap sizing.
+        """
+        return linear_counting_estimate(self.bitmap.zero_fraction(), self.size)
+
+    def to_payload(self) -> bytes:
+        """Serialize for upload to the central server."""
+        header = (
+            int(self.location).to_bytes(8, "little", signed=False)
+            + int(self.period).to_bytes(8, "little", signed=False)
+        )
+        return header + serialize_bitmap(self.bitmap)
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "TrafficRecord":
+        """Inverse of :meth:`to_payload`."""
+        location = int.from_bytes(payload[:8], "little")
+        period = int.from_bytes(payload[8:16], "little")
+        bitmap = deserialize_bitmap(payload[16:])
+        return cls(location=location, period=period, bitmap=bitmap)

@@ -1,0 +1,175 @@
+"""The Road-Side Unit: beacons out, encoding reports in, records up.
+
+Lifecycle per measurement period (Section II-D):
+
+1. at period start, reset the bitmap to zeros (size chosen by the
+   central server from historical volume, Eq. 2);
+2. broadcast beacons at a preset interval; each beacon carries the
+   location, the certificate, and the bitmap size;
+3. for every encoding report received, set ``B[index] = 1`` — the only
+   vehicle-encoding operation;
+4. at period end, freeze the bitmap into a
+   :class:`~repro.rsu.record.TrafficRecord` and upload it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.crypto.pki import RsuCredentials, answer_challenge
+from repro.exceptions import ConfigurationError, ProtocolError, SketchError
+from repro.rsu.beacon import Beacon, EncodingReport
+from repro.rsu.record import TrafficRecord
+from repro.sketch.bitmap import Bitmap
+
+
+class RoadSideUnit:
+    """One RSU at a fixed location.
+
+    Parameters
+    ----------
+    location:
+        The location ID ``L`` (also the RSU identity in certificates).
+    bitmap_size:
+        Initial bitmap size ``m`` for the first period.  Later periods
+        may be resized by the central server via :meth:`start_period`.
+    credentials:
+        PKI material issued by the trusted third party.
+    beacon_interval:
+        Seconds between beacon broadcasts (default 1.0, "once per
+        second").
+    """
+
+    def __init__(
+        self,
+        location: int,
+        bitmap_size: int,
+        credentials: RsuCredentials,
+        beacon_interval: float = 1.0,
+    ):
+        if credentials.certificate.rsu_id != int(location):
+            raise ConfigurationError(
+                f"credentials were issued for RSU {credentials.certificate.rsu_id}, "
+                f"not location {location}"
+            )
+        if beacon_interval <= 0:
+            raise ConfigurationError(
+                f"beacon interval must be positive, got {beacon_interval}"
+            )
+        self._location = int(location)
+        self._credentials = credentials
+        self._beacon_interval = float(beacon_interval)
+        self._sequence = 0
+        self._period: Optional[int] = None
+        self._bitmap = Bitmap(bitmap_size)
+        self._completed: List[TrafficRecord] = []
+        self._reports_in_period = 0
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+
+    @property
+    def location(self) -> int:
+        """The RSU's location ID ``L``."""
+        return self._location
+
+    @property
+    def bitmap_size(self) -> int:
+        """Current bitmap size ``m``."""
+        return self._bitmap.size
+
+    @property
+    def beacon_interval(self) -> float:
+        """Seconds between beacons."""
+        return self._beacon_interval
+
+    @property
+    def current_period(self) -> Optional[int]:
+        """The period being measured, or None between periods."""
+        return self._period
+
+    @property
+    def reports_in_period(self) -> int:
+        """Encoding reports received since the period started."""
+        return self._reports_in_period
+
+    # ------------------------------------------------------------------
+    # Period lifecycle
+    # ------------------------------------------------------------------
+
+    def start_period(self, period: int, bitmap_size: Optional[int] = None) -> None:
+        """Begin a measurement period, optionally resizing the bitmap.
+
+        The central server calls this with a size computed from Eq. 2
+        when historical volume suggests a different ``m``.
+        """
+        if self._period is not None:
+            raise ProtocolError(
+                f"RSU {self._location} is already measuring period {self._period}; "
+                "end it before starting another"
+            )
+        if bitmap_size is not None and bitmap_size != self._bitmap.size:
+            self._bitmap = Bitmap(bitmap_size)
+        else:
+            self._bitmap.clear()
+        self._period = int(period)
+        self._reports_in_period = 0
+
+    def end_period(self) -> TrafficRecord:
+        """Freeze the current bitmap into a traffic record."""
+        if self._period is None:
+            raise ProtocolError(f"RSU {self._location} has no period in progress")
+        record = TrafficRecord(
+            location=self._location,
+            period=self._period,
+            bitmap=self._bitmap.copy(),
+        )
+        self._completed.append(record)
+        self._period = None
+        return record
+
+    @property
+    def completed_records(self) -> List[TrafficRecord]:
+        """Records produced so far (most recent last)."""
+        return list(self._completed)
+
+    # ------------------------------------------------------------------
+    # Over-the-air behaviour
+    # ------------------------------------------------------------------
+
+    def make_beacon(self) -> Beacon:
+        """Produce the next beacon broadcast."""
+        self._sequence += 1
+        return Beacon(
+            location=self._location,
+            bitmap_size=self._bitmap.size,
+            certificate=self._credentials.certificate,
+            sequence=self._sequence,
+        )
+
+    def answer_challenge(self, challenge: bytes) -> bytes:
+        """Respond to a vehicle's authentication challenge."""
+        return answer_challenge(self._credentials.private_key, challenge)
+
+    @property
+    def private_key(self) -> bytes:
+        """RSU private key (exposed for the simulated challenge check)."""
+        return self._credentials.private_key
+
+    def receive_report(self, report: EncodingReport) -> None:
+        """Apply one encoding report: ``B[index] = 1``."""
+        if self._period is None:
+            raise ProtocolError(
+                f"RSU {self._location} received a report outside any period"
+            )
+        if report.location != self._location:
+            raise ProtocolError(
+                f"report addressed to location {report.location} delivered to "
+                f"RSU {self._location}"
+            )
+        try:
+            self._bitmap.set(report.index)
+        except SketchError as exc:
+            raise ProtocolError(f"malformed encoding report: {exc}") from exc
+        self._reports_in_period += 1

@@ -1,0 +1,45 @@
+"""The central server: record collection, sizing, and queries.
+
+All RSUs upload their per-period traffic records here (Section II-A).
+The server:
+
+* stores records keyed by (location, period)
+  (:mod:`repro.server.store`);
+* tracks historical traffic volume per location and sets each RSU's
+  bitmap size for the next period via Eq. 2
+  (:mod:`repro.server.history`);
+* answers point and point-to-point persistent-traffic queries using
+  the core estimators (:mod:`repro.server.central`,
+  :mod:`repro.server.queries`).
+"""
+
+from repro.server.central import CentralServer
+from repro.server.history import VolumeHistory
+from repro.server.monitor import MonitorSample, PersistenceMonitor
+from repro.server.persistence import RecordArchive
+from repro.server.planner import (
+    RankedSource,
+    persistent_flow_matrix,
+    rank_persistent_sources,
+)
+from repro.server.queries import (
+    PointPersistentQuery,
+    PointToPointPersistentQuery,
+    PointVolumeQuery,
+)
+from repro.server.store import RecordStore
+
+__all__ = [
+    "CentralServer",
+    "MonitorSample",
+    "PersistenceMonitor",
+    "PointPersistentQuery",
+    "PointToPointPersistentQuery",
+    "PointVolumeQuery",
+    "RankedSource",
+    "RecordArchive",
+    "RecordStore",
+    "VolumeHistory",
+    "persistent_flow_matrix",
+    "rank_persistent_sources",
+]

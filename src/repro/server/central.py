@@ -1,0 +1,138 @@
+"""The central server tying storage, sizing and estimation together.
+
+This is the main server-side entry point of the library: RSUs (or the
+simulation driving them) upload traffic records; transportation
+engineers submit queries; the server answers them with the paper's
+estimators.  The server never sees a vehicle ID — it works purely on
+bitmaps, which is the privacy point of the whole design.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.baselines import DirectAndBenchmark, DirectAndEstimate
+from repro.core.point import PointPersistentEstimator
+from repro.core.point_to_point import PointToPointPersistentEstimator
+from repro.core.results import PointEstimate, PointToPointEstimate
+from repro.exceptions import ConfigurationError
+from repro.rsu.record import TrafficRecord
+from repro.server.history import VolumeHistory
+from repro.server.queries import (
+    PointPersistentQuery,
+    PointToPointPersistentQuery,
+    PointVolumeQuery,
+)
+from repro.server.store import RecordStore
+
+
+class CentralServer:
+    """Collects traffic records and answers persistent-traffic queries.
+
+    Parameters
+    ----------
+    s:
+        The system-wide representative-bit parameter the deployed
+        vehicles use (needed by the point-to-point estimator).
+    load_factor:
+        The system-wide load factor ``f`` used when sizing RSU bitmaps
+        from historical volume (Eq. 2).
+    archive:
+        Optional :class:`~repro.server.persistence.RecordArchive`;
+        when given, every ingested record is also persisted to disk
+        (month-scale queries need durable records).
+    """
+
+    def __init__(self, s: int = 3, load_factor: float = 2.0, archive=None):
+        if s < 1:
+            raise ConfigurationError(f"s must be >= 1, got {s}")
+        self._store = RecordStore()
+        self._history = VolumeHistory(load_factor=load_factor)
+        self._point_estimator = PointPersistentEstimator()
+        self._p2p_estimator = PointToPointPersistentEstimator(s)
+        self._benchmark = DirectAndBenchmark()
+        self._s = int(s)
+        self._archive = archive
+
+    @classmethod
+    def from_archive(cls, archive, s: int = 3, load_factor: float = 2.0):
+        """Restore a server from an on-disk archive.
+
+        Every archived record is verified and re-ingested (rebuilding
+        the volume history), and the archive stays attached so new
+        records keep being persisted.
+        """
+        server = cls(s=s, load_factor=load_factor)
+        for record in archive.load_all():
+            server.receive_record(record)
+        server._archive = archive
+        return server
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+
+    @property
+    def s(self) -> int:
+        """The representative-bit parameter of the deployment."""
+        return self._s
+
+    @property
+    def store(self) -> RecordStore:
+        """The underlying record store."""
+        return self._store
+
+    @property
+    def history(self) -> VolumeHistory:
+        """The per-location volume history used for sizing."""
+        return self._history
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def receive_record(self, record: TrafficRecord) -> None:
+        """Ingest one traffic record and update the volume history."""
+        self._store.add(record)
+        self._history.observe(record.location, max(record.point_estimate(), 1.0))
+        if self._archive is not None:
+            self._archive.save(record)
+
+    def receive_payload(self, payload: bytes) -> TrafficRecord:
+        """Ingest a serialized upload from an RSU."""
+        record = TrafficRecord.from_payload(payload)
+        self.receive_record(record)
+        return record
+
+    def recommend_bitmap_size(self, location: int) -> int:
+        """Bitmap size the RSU at ``location`` should use next (Eq. 2)."""
+        return self._history.recommend_size(location)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def point_volume(self, query: PointVolumeQuery) -> float:
+        """Single-period traffic volume estimate (Eq. 1)."""
+        record = self._store.require(query.location, query.period)
+        return record.point_estimate()
+
+    def point_persistent(self, query: PointPersistentQuery) -> PointEstimate:
+        """Point persistent traffic estimate (Eq. 12)."""
+        records = self._store.records_for(query.location, query.periods)
+        return self._point_estimator.estimate(records)
+
+    def point_persistent_benchmark(
+        self, query: PointPersistentQuery
+    ) -> DirectAndEstimate:
+        """The direct AND-join benchmark on the same query (Fig. 4)."""
+        records = self._store.records_for(query.location, query.periods)
+        return self._benchmark.estimate(records)
+
+    def point_to_point_persistent(
+        self, query: PointToPointPersistentQuery
+    ) -> PointToPointEstimate:
+        """Point-to-point persistent traffic estimate (Eq. 21)."""
+        records_a = self._store.records_for(query.location_a, query.periods)
+        records_b = self._store.records_for(query.location_b, query.periods)
+        return self._p2p_estimator.estimate(records_a, records_b)

@@ -1,0 +1,88 @@
+"""Historical traffic volume per location, driving bitmap sizing.
+
+Eq. 2 sizes each RSU's bitmap from "the expected traffic volume at the
+RSU during the measurement period based on historical average at the
+same location and the same time".  :class:`VolumeHistory` keeps an
+exponentially-weighted average of per-period volume estimates (from
+single-record linear counting) per location, and recommends the next
+period's bitmap size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.exceptions import ConfigurationError
+from repro.sketch.sizing import bitmap_size_for_volume
+
+
+class VolumeHistory:
+    """Tracks expected traffic volume ``n̄`` per location.
+
+    Parameters
+    ----------
+    load_factor:
+        The system-wide load factor ``f`` of Eq. 2.
+    smoothing:
+        Weight of the newest observation in the exponentially-weighted
+        average (1.0 = always use the latest estimate).
+    default_volume:
+        Volume assumed for a location with no history yet (a freshly
+        deployed RSU needs *some* initial bitmap size).
+    """
+
+    def __init__(
+        self,
+        load_factor: float = 2.0,
+        smoothing: float = 0.3,
+        default_volume: float = 10000.0,
+    ):
+        if load_factor <= 0:
+            raise ConfigurationError(f"load factor must be positive, got {load_factor}")
+        if not 0.0 < smoothing <= 1.0:
+            raise ConfigurationError(
+                f"smoothing must lie in (0, 1], got {smoothing}"
+            )
+        if default_volume <= 0:
+            raise ConfigurationError(
+                f"default volume must be positive, got {default_volume}"
+            )
+        self._load_factor = float(load_factor)
+        self._smoothing = float(smoothing)
+        self._default_volume = float(default_volume)
+        self._averages: Dict[int, float] = {}
+
+    @property
+    def load_factor(self) -> float:
+        """The system-wide load factor ``f``."""
+        return self._load_factor
+
+    def expected_volume(self, location: int) -> float:
+        """Current expectation ``n̄`` for a location."""
+        return self._averages.get(int(location), self._default_volume)
+
+    def observe(self, location: int, volume_estimate: float) -> None:
+        """Fold a new per-period volume estimate into the average."""
+        if volume_estimate < 0:
+            raise ConfigurationError(
+                f"volume estimate must be non-negative, got {volume_estimate}"
+            )
+        key = int(location)
+        if key not in self._averages:
+            self._averages[key] = float(volume_estimate)
+        else:
+            previous = self._averages[key]
+            self._averages[key] = (
+                self._smoothing * float(volume_estimate)
+                + (1.0 - self._smoothing) * previous
+            )
+
+    def recommend_size(self, location: int) -> int:
+        """Bitmap size for the location's next period (Eq. 2)."""
+        return bitmap_size_for_volume(self.expected_volume(location), self._load_factor)
+
+    def set_expected_volume(self, location: int, volume: float) -> None:
+        """Override the expectation (e.g. seeded from planning data)."""
+        if volume <= 0:
+            raise ConfigurationError(f"expected volume must be positive, got {volume}")
+        self._averages[int(location)] = float(volume)

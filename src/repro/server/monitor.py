@@ -1,0 +1,148 @@
+"""Rolling persistent-traffic monitoring.
+
+A transportation operator rarely asks one retrospective query; they
+watch a location continuously: "over the last ``w`` measurement
+periods, how much persistent traffic does this intersection carry, and
+is that changing?"  :class:`PersistenceMonitor` maintains a sliding
+window of the most recent records at one location and re-estimates the
+point persistent volume on every arrival.
+
+AND-joins cannot be updated incrementally when the oldest record
+leaves the window (removing a record can only *grow* the join, and
+that information is gone once collapsed), so the monitor honestly
+retains the ``w`` raw bitmaps — for the paper's sizes that is at most
+``w · 2^20`` bits, a few megabytes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from repro.core.point import PointPersistentEstimator
+from repro.core.results import PointEstimate
+from repro.exceptions import ConfigurationError, EstimationError
+from repro.rsu.record import TrafficRecord
+
+
+@dataclass(frozen=True)
+class MonitorSample:
+    """One window estimate, emitted when a new record arrives."""
+
+    latest_period: int
+    window: int
+    estimate: PointEstimate
+
+
+class PersistenceMonitor:
+    """Sliding-window point persistent traffic at one location.
+
+    Parameters
+    ----------
+    location:
+        The monitored location; records for other locations are
+        rejected loudly (silent mixing would corrupt the join).
+    window:
+        Number of most-recent periods the persistence is defined over
+        (the monitor starts emitting once the window is full).
+    """
+
+    def __init__(self, location: int, window: int = 5):
+        if window < 2:
+            raise ConfigurationError(
+                f"the split-join estimator needs a window >= 2, got {window}"
+            )
+        self._location = int(location)
+        self._window = int(window)
+        self._records: Deque[TrafficRecord] = deque(maxlen=window)
+        self._estimator = PointPersistentEstimator()
+        self._samples: List[MonitorSample] = []
+        self._last_period: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+
+    @property
+    def location(self) -> int:
+        """The monitored location."""
+        return self._location
+
+    @property
+    def window(self) -> int:
+        """The sliding-window length in periods."""
+        return self._window
+
+    @property
+    def is_warm(self) -> bool:
+        """Whether the window holds enough records to estimate."""
+        return len(self._records) == self._window
+
+    @property
+    def samples(self) -> List[MonitorSample]:
+        """Every estimate emitted so far (oldest first)."""
+        return list(self._samples)
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+
+    def push(self, record: TrafficRecord) -> Optional[MonitorSample]:
+        """Add the newest record; returns a sample once warm.
+
+        Records must arrive in strictly increasing period order —
+        out-of-order arrival would silently redefine "the last w
+        periods".
+        """
+        if record.location != self._location:
+            raise ConfigurationError(
+                f"monitor for location {self._location} received a record "
+                f"for location {record.location}"
+            )
+        if self._last_period is not None and record.period <= self._last_period:
+            raise ConfigurationError(
+                f"records must arrive in period order; got period "
+                f"{record.period} after {self._last_period}"
+            )
+        self._last_period = record.period
+        self._records.append(record)
+        if not self.is_warm:
+            return None
+        estimate = self._estimator.estimate(list(self._records))
+        sample = MonitorSample(
+            latest_period=record.period,
+            window=self._window,
+            estimate=estimate,
+        )
+        self._samples.append(sample)
+        return sample
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def current(self) -> MonitorSample:
+        """The latest window estimate.
+
+        Raises :class:`EstimationError` before the window first fills.
+        """
+        if not self._samples:
+            raise EstimationError(
+                f"monitor needs {self._window} records before estimating; "
+                f"has {len(self._records)}"
+            )
+        return self._samples[-1]
+
+    def trend(self, lookback: int = 3) -> float:
+        """Change in the window estimate over the last ``lookback``
+        samples (positive = persistent traffic is growing).
+
+        With fewer than two samples the trend is zero by definition.
+        """
+        if lookback < 1:
+            raise ConfigurationError(f"lookback must be >= 1, got {lookback}")
+        if len(self._samples) < 2:
+            return 0.0
+        recent = self._samples[-(lookback + 1):]
+        return recent[-1].estimate.clamped - recent[0].estimate.clamped

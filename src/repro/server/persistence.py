@@ -1,0 +1,183 @@
+"""Durable storage for traffic records.
+
+Persistent-traffic queries span days to months of records (Section
+II-A: "all days in a month"), so a real central server must keep
+records on disk between measurement periods.  :class:`RecordArchive`
+stores each record as its compact upload payload in a directory, with
+a JSON manifest carrying SHA-256 checksums so corruption is detected
+at load time rather than silently skewing estimates.
+
+Layout::
+
+    archive/
+      manifest.json                 {"records": {"10/3": {...}}, ...}
+      loc00010_per00003.record      <- TrafficRecord.to_payload() bytes
+
+The archive is append-only in spirit (one record per location/period,
+like the in-memory store) and loads back into a
+:class:`~repro.server.store.RecordStore` for querying.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple
+
+from repro.exceptions import DataError
+from repro.rsu.record import TrafficRecord
+from repro.server.store import RecordStore
+
+_MANIFEST_NAME = "manifest.json"
+_FORMAT_VERSION = 1
+
+
+def _record_filename(location: int, period: int) -> str:
+    return f"loc{location:05d}_per{period:05d}.record"
+
+
+def _checksum(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+class RecordArchive:
+    """A directory-backed store of traffic-record payloads.
+
+    Parameters
+    ----------
+    directory:
+        Where records live.  Created (with parents) if missing.
+    """
+
+    def __init__(self, directory):
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._manifest_path = self._directory / _MANIFEST_NAME
+        self._manifest = self._load_manifest()
+
+    # ------------------------------------------------------------------
+    # Manifest handling
+    # ------------------------------------------------------------------
+
+    def _load_manifest(self) -> Dict:
+        if not self._manifest_path.exists():
+            return {"version": _FORMAT_VERSION, "records": {}}
+        try:
+            manifest = json.loads(self._manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise DataError(f"unreadable archive manifest: {exc}") from exc
+        if manifest.get("version") != _FORMAT_VERSION:
+            raise DataError(
+                f"archive format version {manifest.get('version')!r} is not "
+                f"supported (expected {_FORMAT_VERSION})"
+            )
+        if not isinstance(manifest.get("records"), dict):
+            raise DataError("archive manifest lacks a records table")
+        return manifest
+
+    def _write_manifest(self) -> None:
+        serialized = json.dumps(self._manifest, indent=2, sort_keys=True)
+        self._manifest_path.write_text(serialized)
+
+    @staticmethod
+    def _key(location: int, period: int) -> str:
+        return f"{int(location)}/{int(period)}"
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def save(self, record: TrafficRecord) -> Path:
+        """Persist one record; duplicates for a (location, period) fail."""
+        key = self._key(record.location, record.period)
+        if key in self._manifest["records"]:
+            raise DataError(
+                f"the archive already holds a record for location "
+                f"{record.location}, period {record.period}"
+            )
+        payload = record.to_payload()
+        filename = _record_filename(record.location, record.period)
+        path = self._directory / filename
+        path.write_bytes(payload)
+        self._manifest["records"][key] = {
+            "file": filename,
+            "sha256": _checksum(payload),
+            "bits": record.size,
+        }
+        self._write_manifest()
+        return path
+
+    def save_all(self, records) -> int:
+        """Persist many records; returns how many were written."""
+        count = 0
+        for record in records:
+            self.save(record)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._manifest["records"])
+
+    def entries(self) -> List[Tuple[int, int]]:
+        """Sorted (location, period) pairs the archive holds."""
+        pairs = []
+        for key in self._manifest["records"]:
+            location, period = key.split("/")
+            pairs.append((int(location), int(period)))
+        return sorted(pairs)
+
+    def _load_payload(self, key: str) -> bytes:
+        entry = self._manifest["records"].get(key)
+        if entry is None:
+            raise DataError(f"archive has no record for {key}")
+        path = self._directory / entry["file"]
+        try:
+            payload = path.read_bytes()
+        except OSError as exc:
+            raise DataError(f"missing archive file {entry['file']}: {exc}") from exc
+        if _checksum(payload) != entry["sha256"]:
+            raise DataError(
+                f"archive file {entry['file']} failed its checksum — "
+                "the record is corrupt"
+            )
+        return payload
+
+    def load(self, location: int, period: int) -> TrafficRecord:
+        """Load and verify one record."""
+        payload = self._load_payload(self._key(location, period))
+        record = TrafficRecord.from_payload(payload)
+        if record.location != int(location) or record.period != int(period):
+            raise DataError(
+                f"archive file for {location}/{period} contains a record "
+                f"for {record.location}/{record.period}"
+            )
+        return record
+
+    def load_all(self) -> Iterator[TrafficRecord]:
+        """Iterate every archived record (verified)."""
+        for location, period in self.entries():
+            yield self.load(location, period)
+
+    def load_store(self) -> RecordStore:
+        """Materialize the archive into an in-memory record store."""
+        store = RecordStore()
+        for record in self.load_all():
+            store.add(record)
+        return store
+
+    def verify(self) -> int:
+        """Check every record's checksum; returns the verified count.
+
+        Raises :class:`DataError` on the first corrupt or missing
+        file, naming it.
+        """
+        count = 0
+        for key in sorted(self._manifest["records"]):
+            self._load_payload(key)
+            count += 1
+        return count

@@ -1,0 +1,103 @@
+"""Multi-location query planning: ranked persistent-flow studies.
+
+The paper's motivating use case (Section I): "if a location is
+consistently congested, we can find the sources of the traffic ...
+the persistent point-to-point traffic measurement tells us the minimum
+amount of traffic contribution that we can always expect from each of
+those sources.  This information helps in determining the priority
+order for planning measures of traffic relief."
+
+This module turns that paragraph into an API: given a central server
+holding records, rank candidate source locations by their estimated
+persistent contribution toward a target, or build the full pairwise
+persistent-flow matrix for a set of locations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.results import PointToPointEstimate
+from repro.exceptions import ConfigurationError, EstimationError
+from repro.server.central import CentralServer
+from repro.server.queries import PointToPointPersistentQuery
+
+
+@dataclass(frozen=True)
+class RankedSource:
+    """One candidate source's persistent contribution to the target."""
+
+    location: int
+    estimate: PointToPointEstimate
+
+    @property
+    def volume(self) -> float:
+        """The clamped persistent-volume estimate."""
+        return self.estimate.clamped
+
+
+def rank_persistent_sources(
+    server: CentralServer,
+    target: int,
+    candidates: Sequence[int],
+    periods: Sequence[int],
+) -> List[RankedSource]:
+    """Rank candidate locations by persistent traffic toward a target.
+
+    Returns the candidates sorted by estimated point-to-point
+    persistent volume with ``target``, largest first — the paper's
+    "priority order for planning measures of traffic relief".
+
+    Candidates whose estimate degenerates (saturated joins) are
+    skipped rather than failing the whole study; an empty candidate
+    list is a configuration error.
+    """
+    if not candidates:
+        raise ConfigurationError("at least one candidate source is required")
+    if int(target) in {int(c) for c in candidates}:
+        raise ConfigurationError("the target cannot be its own source")
+    ranked: List[RankedSource] = []
+    for candidate in candidates:
+        query = PointToPointPersistentQuery(
+            location_a=int(candidate),
+            location_b=int(target),
+            periods=tuple(periods),
+        )
+        try:
+            estimate = server.point_to_point_persistent(query)
+        except EstimationError:
+            continue
+        ranked.append(RankedSource(location=int(candidate), estimate=estimate))
+    ranked.sort(key=lambda source: source.volume, reverse=True)
+    return ranked
+
+
+def persistent_flow_matrix(
+    server: CentralServer,
+    locations: Sequence[int],
+    periods: Sequence[int],
+) -> Dict[Tuple[int, int], float]:
+    """Pairwise persistent-flow estimates for a set of locations.
+
+    Returns ``{(a, b): volume}`` for every unordered pair (keyed with
+    ``a < b``; the estimator is symmetric in its two locations).
+    Degenerate pairs are omitted.
+    """
+    distinct = sorted({int(loc) for loc in locations})
+    if len(distinct) < 2:
+        raise ConfigurationError("a flow matrix needs at least two locations")
+    matrix: Dict[Tuple[int, int], float] = {}
+    for index, location_a in enumerate(distinct):
+        for location_b in distinct[index + 1:]:
+            query = PointToPointPersistentQuery(
+                location_a=location_a,
+                location_b=location_b,
+                periods=tuple(periods),
+            )
+            try:
+                estimate = server.point_to_point_persistent(query)
+            except EstimationError:
+                continue
+            matrix[(location_a, location_b)] = estimate.clamped
+    return matrix

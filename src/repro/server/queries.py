@@ -1,0 +1,70 @@
+"""Query objects the central server's API accepts.
+
+Users "submit queries to estimate point or point-to-point persistent
+traffic" (Section II-D).  A query names the locations and measurement
+periods of interest; the server resolves it against the record store
+and runs the appropriate estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+def _validated_periods(periods) -> Tuple[int, ...]:
+    result = tuple(int(p) for p in periods)
+    if len(result) != len(set(result)):
+        raise ConfigurationError(f"query periods contain duplicates: {result}")
+    return result
+
+
+@dataclass(frozen=True)
+class PointVolumeQuery:
+    """Plain single-period traffic volume at one location (Eq. 1)."""
+
+    location: int
+    period: int
+
+
+@dataclass(frozen=True)
+class PointPersistentQuery:
+    """Point persistent traffic at one location over given periods.
+
+    The periods can follow "any criterion" (Section II-A): Monday
+    through Friday of a week, Mondays of consecutive weeks, every day
+    of a month...  At least two periods are needed for the split-join
+    estimator.
+    """
+
+    location: int
+    periods: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "periods", _validated_periods(self.periods))
+        if len(self.periods) < 2:
+            raise ConfigurationError(
+                "a point persistent query needs at least 2 periods, "
+                f"got {len(self.periods)}"
+            )
+
+
+@dataclass(frozen=True)
+class PointToPointPersistentQuery:
+    """Point-to-point persistent traffic between two locations."""
+
+    location_a: int
+    location_b: int
+    periods: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "periods", _validated_periods(self.periods))
+        if len(self.periods) < 1:
+            raise ConfigurationError("a point-to-point query needs >= 1 period")
+        if int(self.location_a) == int(self.location_b):
+            raise ConfigurationError(
+                "point-to-point queries need two distinct locations; "
+                "use PointPersistentQuery for a single location"
+            )

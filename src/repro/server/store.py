@@ -1,0 +1,76 @@
+"""Storage of uploaded traffic records, keyed by (location, period).
+
+The store accepts either deserialized :class:`TrafficRecord` objects
+or raw upload payloads, rejects duplicates (an RSU produces exactly one
+record per period), and serves the record sets that queries join.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import DataError
+from repro.rsu.record import TrafficRecord
+
+
+class RecordStore:
+    """In-memory store of traffic records."""
+
+    def __init__(self) -> None:
+        self._records: Dict[Tuple[int, int], TrafficRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def add(self, record: TrafficRecord) -> None:
+        """Store one record; duplicates for a (location, period) fail."""
+        key = (record.location, record.period)
+        if key in self._records:
+            raise DataError(
+                f"a record for location {record.location}, period "
+                f"{record.period} already exists"
+            )
+        self._records[key] = record
+
+    def add_payload(self, payload: bytes) -> TrafficRecord:
+        """Deserialize an uploaded payload and store it."""
+        record = TrafficRecord.from_payload(payload)
+        self.add(record)
+        return record
+
+    def get(self, location: int, period: int) -> Optional[TrafficRecord]:
+        """The record for a (location, period), or None."""
+        return self._records.get((int(location), int(period)))
+
+    def require(self, location: int, period: int) -> TrafficRecord:
+        """Like :meth:`get` but raises :class:`DataError` when missing."""
+        record = self.get(location, period)
+        if record is None:
+            raise DataError(
+                f"no traffic record for location {location}, period {period}"
+            )
+        return record
+
+    def records_for(
+        self, location: int, periods: Sequence[int]
+    ) -> List[TrafficRecord]:
+        """The records of one location over the given periods, in order.
+
+        Raises :class:`DataError` when any period is missing — a
+        persistent-traffic query is only defined over complete data.
+        """
+        return [self.require(location, period) for period in periods]
+
+    def locations(self) -> Set[int]:
+        """All locations that have uploaded at least one record."""
+        return {location for location, _ in self._records}
+
+    def periods_for(self, location: int) -> List[int]:
+        """Sorted list of periods covered at a location."""
+        return sorted(
+            period for loc, period in self._records if loc == int(location)
+        )
+
+    def all_records(self) -> Iterable[TrafficRecord]:
+        """Iterate every stored record (unspecified order)."""
+        return self._records.values()

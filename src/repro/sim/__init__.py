@@ -1,0 +1,27 @@
+"""Discrete-event simulation of the V2I measurement system.
+
+The experiment harness uses the fast vectorized encoding path; this
+package exists to run the *whole protocol* — beacons, certificate
+verification, challenge-response, one-time MACs, encoding reports,
+period rollover, uploads — so integration tests and the city example
+can validate that the end-to-end system produces exactly the bitmaps
+the fast path assumes.
+
+* :mod:`repro.sim.events` — a heap-based event engine.
+* :mod:`repro.sim.protocol` — one V2I encounter (vehicle meets RSU).
+* :mod:`repro.sim.scenario` — a city-scale scenario: trip-table
+  driven vehicles moving over a road network instrumented with RSUs,
+  reporting to a central server across measurement periods.
+"""
+
+from repro.sim.events import SimulationEngine
+from repro.sim.protocol import EncounterOutcome, ProtocolDriver
+from repro.sim.scenario import CityScenario, PeriodSummary
+
+__all__ = [
+    "CityScenario",
+    "EncounterOutcome",
+    "PeriodSummary",
+    "ProtocolDriver",
+    "SimulationEngine",
+]

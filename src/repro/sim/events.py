@@ -1,0 +1,88 @@
+"""A minimal, deterministic discrete-event engine.
+
+Events are (time, sequence, action) triples on a binary heap; ties in
+time break by insertion order, so runs are fully deterministic.  The
+engine is deliberately small — the simulation's complexity lives in
+the domain objects, not the scheduler.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+
+Action = Callable[[], None]
+
+
+class SimulationEngine:
+    """Schedules and executes timed actions in order."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Action]] = []
+        self._sequence = 0
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events not yet executed."""
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(self, time: float, action: Action) -> None:
+        """Schedule ``action`` at absolute ``time``.
+
+        Scheduling in the past (before the engine's current time) is a
+        configuration error — it would silently reorder causality.
+        """
+        if time < self._now:
+            raise ConfigurationError(
+                f"cannot schedule an event at {time:.3f}s; "
+                f"the simulation is already at {self._now:.3f}s"
+            )
+        heapq.heappush(self._heap, (float(time), self._sequence, action))
+        self._sequence += 1
+
+    def schedule_in(self, delay: float, action: Action) -> None:
+        """Schedule ``action`` after ``delay`` seconds from now."""
+        if delay < 0:
+            raise ConfigurationError(f"delay must be >= 0, got {delay}")
+        self.schedule(self._now + delay, action)
+
+    def step(self) -> bool:
+        """Execute the next event; returns False when none remain."""
+        if not self._heap:
+            return False
+        time, _, action = heapq.heappop(self._heap)
+        self._now = time
+        action()
+        self._processed += 1
+        return True
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Run events (optionally only those at time <= ``until``).
+
+        Returns the number of events executed.  With ``until`` set,
+        the engine's clock advances to ``until`` even if the last
+        event fired earlier, so period boundaries are exact.
+        """
+        executed = 0
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                break
+            self.step()
+            executed += 1
+        if until is not None and self._now < until:
+            self._now = float(until)
+        return executed

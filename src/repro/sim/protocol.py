@@ -1,0 +1,84 @@
+"""One V2I encounter: a vehicle within range of a broadcasting RSU.
+
+Runs the complete exchange of Section II-B/II-D:
+
+1. the RSU's next beacon (location, certificate, bitmap size) reaches
+   the vehicle — in simulation, at the first beacon slot after the
+   vehicle arrives;
+2. the vehicle verifies the certificate against its trust anchor; a
+   rogue RSU fails here and the vehicle stays silent;
+3. the vehicle challenges the RSU, which answers with its private key;
+4. the vehicle computes ``h_v`` and transmits it under a one-time MAC;
+5. the RSU sets ``B[h_v] = 1``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.rsu.unit import RoadSideUnit
+from repro.vehicle.onboard import OnBoardUnit
+
+
+class EncounterOutcome(Enum):
+    """How a V2I encounter ended."""
+
+    ENCODED = "encoded"
+    REJECTED_ROGUE = "rejected_rogue"
+
+
+@dataclass(frozen=True)
+class EncounterResult:
+    """Outcome plus the beacon-slot delay the vehicle experienced."""
+
+    outcome: EncounterOutcome
+    beacon_delay: float
+    index: Optional[int] = None
+
+
+class ProtocolDriver:
+    """Executes encounters between on-board units and RSUs."""
+
+    def __init__(self, authenticate: bool = True):
+        # When True, the challenge-response round runs on every
+        # encounter; when False only certificate verification gates
+        # the response (faster, same bitmap outcome for honest RSUs).
+        self._authenticate = authenticate
+
+    def beacon_wait(self, rsu: RoadSideUnit, arrival_offset: float) -> float:
+        """Seconds from arrival until the next beacon broadcast."""
+        interval = rsu.beacon_interval
+        slots_passed = math.floor(arrival_offset / interval)
+        next_slot = (slots_passed + 1) * interval
+        return next_slot - arrival_offset
+
+    def run_encounter(
+        self, obu: OnBoardUnit, rsu: RoadSideUnit, arrival_offset: float = 0.0
+    ) -> EncounterResult:
+        """Run one full encounter; applies the report to the RSU."""
+        delay = self.beacon_wait(rsu, arrival_offset)
+        beacon = rsu.make_beacon()
+        if self._authenticate:
+            challenge = obu.make_challenge()
+            answer = rsu.answer_challenge(challenge)
+            report = obu.respond_to_beacon(
+                beacon,
+                challenge_answer=answer,
+                rsu_private_key=rsu.private_key,
+                challenge=challenge,
+            )
+        else:
+            report = obu.respond_to_beacon(beacon)
+        if report is None:
+            return EncounterResult(
+                outcome=EncounterOutcome.REJECTED_ROGUE, beacon_delay=delay
+            )
+        rsu.receive_report(report)
+        return EncounterResult(
+            outcome=EncounterOutcome.ENCODED,
+            beacon_delay=delay,
+            index=report.index,
+        )

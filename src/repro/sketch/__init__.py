@@ -1,0 +1,59 @@
+"""Bit-level sketch substrate.
+
+This package implements the probabilistic data structures that the
+paper's traffic records are built from:
+
+* :class:`~repro.sketch.bitmap.Bitmap` — a fixed-size bit array with
+  vectorized set/count operations (the paper's traffic record ``B``).
+* :mod:`~repro.sketch.linear_counting` — the linear probabilistic
+  counting estimator of Whang et al. (Eq. 1 of the paper) together with
+  its variance analysis.
+* :mod:`~repro.sketch.sizing` — the power-of-two bitmap sizing rule
+  (Eq. 2 of the paper).
+* :mod:`~repro.sketch.expansion` — replication-based bitmap expansion
+  (Section III-A / Fig. 2).
+* :mod:`~repro.sketch.join` — AND/OR joins over groups of bitmaps,
+  including the two-level join of Section IV-A.
+* :mod:`~repro.sketch.serial` — compact serialization of traffic
+  records for RSU-to-server uploads.
+"""
+
+from repro.sketch.bitmap import Bitmap
+from repro.sketch.expansion import expand_to, expansion_factor
+from repro.sketch.join import (
+    and_join,
+    or_join,
+    split_and_join,
+    two_level_join,
+)
+from repro.sketch.linear_counting import (
+    LinearCounting,
+    linear_counting_estimate,
+    linear_counting_stddev,
+    zero_fraction_expectation,
+)
+from repro.sketch.serial import deserialize_bitmap, serialize_bitmap
+from repro.sketch.sizing import (
+    bitmap_size_for_volume,
+    is_power_of_two,
+    next_power_of_two,
+)
+
+__all__ = [
+    "Bitmap",
+    "LinearCounting",
+    "and_join",
+    "bitmap_size_for_volume",
+    "deserialize_bitmap",
+    "expand_to",
+    "expansion_factor",
+    "is_power_of_two",
+    "linear_counting_estimate",
+    "linear_counting_stddev",
+    "next_power_of_two",
+    "or_join",
+    "serialize_bitmap",
+    "split_and_join",
+    "two_level_join",
+    "zero_fraction_expectation",
+]

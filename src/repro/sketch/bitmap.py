@@ -1,0 +1,244 @@
+"""The bitmap data structure underlying every traffic record.
+
+The paper's traffic record is "a bitmap ``B`` of ``m`` bits" whose bits
+are set by passing vehicles (Section II-D).  This module provides a
+numpy-backed :class:`Bitmap` with the operations the rest of the system
+needs: single and bulk bit setting, zero/one accounting, bitwise
+AND/OR combination, and replication-based expansion.
+
+The backing store is a ``numpy.ndarray`` of ``bool``.  For the sizes
+the paper uses (up to 2^20 bits) this is both faster and simpler than a
+packed representation, and the serialization layer
+(:mod:`repro.sketch.serial`) packs to actual bits for transport.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Union
+
+import numpy as np
+
+from repro.exceptions import SketchError
+from repro.sketch.sizing import is_power_of_two
+
+
+class Bitmap:
+    """A fixed-size bit array, the paper's traffic-record ``B``.
+
+    Parameters
+    ----------
+    size:
+        Number of bits ``m``.  Must be a positive integer.  The paper's
+        sizing rule always produces powers of two; the class accepts any
+        positive size but the expansion/join machinery requires powers
+        of two and will raise :class:`SketchError` otherwise.
+    bits:
+        Optional initial content — anything convertible to a boolean
+        numpy array of length ``size``.  When omitted, all bits start
+        at zero (the state of a traffic record at the beginning of a
+        measurement period).
+
+    Examples
+    --------
+    >>> b = Bitmap(8)
+    >>> b.set(3)
+    >>> b.ones()
+    1
+    >>> b.zero_fraction()
+    0.875
+    """
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, size: int, bits: Union[np.ndarray, Iterable[int], None] = None):
+        if int(size) <= 0:
+            raise SketchError(f"bitmap size must be positive, got {size}")
+        size = int(size)
+        if bits is None:
+            self._bits = np.zeros(size, dtype=np.bool_)
+        else:
+            arr = np.asarray(bits, dtype=np.bool_)
+            if arr.ndim != 1 or arr.shape[0] != size:
+                raise SketchError(
+                    f"initial bits must be a flat array of length {size}, "
+                    f"got shape {arr.shape}"
+                )
+            self._bits = arr.copy()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_array(cls, bits: np.ndarray) -> "Bitmap":
+        """Wrap an existing boolean array (copied) into a bitmap."""
+        arr = np.asarray(bits, dtype=np.bool_)
+        return cls(arr.shape[0], arr)
+
+    @classmethod
+    def from_indices(cls, size: int, indices: Iterable[int]) -> "Bitmap":
+        """Create a bitmap of ``size`` bits with the given indices set.
+
+        This is the bulk equivalent of an RSU processing a whole
+        measurement period of vehicle encodings at once.
+        """
+        bitmap = cls(size)
+        bitmap.set_many(indices)
+        return bitmap
+
+    def copy(self) -> "Bitmap":
+        """Return an independent copy of this bitmap."""
+        return Bitmap(self.size, self._bits)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of bits ``m`` in the bitmap."""
+        return int(self._bits.shape[0])
+
+    @property
+    def bits(self) -> np.ndarray:
+        """Read-only view of the underlying boolean array."""
+        view = self._bits.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def is_power_of_two_sized(self) -> bool:
+        """Whether ``size`` is a power of two (required for joining)."""
+        return is_power_of_two(self.size)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def set(self, index: int) -> None:
+        """Set the bit at ``index`` to one (the paper's ``B[h_v] = 1``)."""
+        idx = int(index)
+        if not 0 <= idx < self.size:
+            raise SketchError(f"bit index {idx} out of range for size {self.size}")
+        self._bits[idx] = True
+
+    def set_many(self, indices: Iterable[int]) -> None:
+        """Set every bit whose index appears in ``indices``.
+
+        Duplicate indices are harmless (setting a set bit is a no-op),
+        exactly as hash collisions are in the paper's encoding.
+        """
+        idx = np.asarray(list(indices) if not isinstance(indices, np.ndarray) else indices)
+        if idx.size == 0:
+            return
+        idx = idx.astype(np.int64, copy=False)
+        if idx.min() < 0 or idx.max() >= self.size:
+            raise SketchError(
+                f"bit indices must lie in [0, {self.size}), "
+                f"got range [{idx.min()}, {idx.max()}]"
+            )
+        self._bits[idx] = True
+
+    def clear(self) -> None:
+        """Reset every bit to zero (start of a new measurement period)."""
+        self._bits[:] = False
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def get(self, index: int) -> bool:
+        """Return the value of the bit at ``index``."""
+        idx = int(index)
+        if not 0 <= idx < self.size:
+            raise SketchError(f"bit index {idx} out of range for size {self.size}")
+        return bool(self._bits[idx])
+
+    def ones(self) -> int:
+        """Number of bits that are one."""
+        return int(np.count_nonzero(self._bits))
+
+    def zeros(self) -> int:
+        """Number of bits that are zero."""
+        return self.size - self.ones()
+
+    def one_fraction(self) -> float:
+        """Fraction of bits that are one (the paper's ``V_1``)."""
+        return self.ones() / self.size
+
+    def zero_fraction(self) -> float:
+        """Fraction of bits that are zero (the paper's ``V_0``)."""
+        return self.zeros() / self.size
+
+    def is_saturated(self) -> bool:
+        """True when every bit is one — no counting information left."""
+        return bool(self._bits.all())
+
+    def is_empty(self) -> bool:
+        """True when every bit is zero."""
+        return not self._bits.any()
+
+    # ------------------------------------------------------------------
+    # Combination
+    # ------------------------------------------------------------------
+
+    def _check_same_size(self, other: "Bitmap", op: str) -> None:
+        if not isinstance(other, Bitmap):
+            raise SketchError(f"cannot {op} a Bitmap with {type(other).__name__}")
+        if other.size != self.size:
+            raise SketchError(
+                f"cannot {op} bitmaps of different sizes "
+                f"({self.size} vs {other.size}); expand first"
+            )
+
+    def __and__(self, other: "Bitmap") -> "Bitmap":
+        self._check_same_size(other, "AND")
+        return Bitmap(self.size, self._bits & other._bits)
+
+    def __or__(self, other: "Bitmap") -> "Bitmap":
+        self._check_same_size(other, "OR")
+        return Bitmap(self.size, self._bits | other._bits)
+
+    def __xor__(self, other: "Bitmap") -> "Bitmap":
+        self._check_same_size(other, "XOR")
+        return Bitmap(self.size, self._bits ^ other._bits)
+
+    def __invert__(self) -> "Bitmap":
+        return Bitmap(self.size, ~self._bits)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bitmap):
+            return NotImplemented
+        return self.size == other.size and bool(np.array_equal(self._bits, other._bits))
+
+    def __hash__(self) -> int:  # pragma: no cover - bitmaps are mutable
+        raise TypeError("Bitmap is mutable and unhashable")
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+
+    def expand(self, target_size: int) -> "Bitmap":
+        """Replicate this bitmap until it reaches ``target_size`` bits.
+
+        This is the paper's bitmap expansion (Fig. 2): the bitmap is
+        tiled whole, which requires ``target_size`` to be an exact
+        multiple (and, for correctness of the alignment property, both
+        sizes to be powers of two).
+        """
+        from repro.sketch.expansion import expand_to
+
+        return expand_to(self, target_size)
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[bool]:
+        return (bool(b) for b in self._bits)
+
+    def __repr__(self) -> str:
+        return f"Bitmap(size={self.size}, ones={self.ones()})"

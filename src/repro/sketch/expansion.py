@@ -1,0 +1,65 @@
+"""Replication-based bitmap expansion (Section III-A, Fig. 2).
+
+A bitmap of size ``l`` is expanded to size ``m`` (both powers of two,
+``l <= m``) by tiling it ``m / l`` times.  The key alignment property,
+proved in Section III-A of the paper, is::
+
+    if B[h mod l] == 1  then  E[h mod m] == 1   for any hash value h
+
+because ``h mod m = (h mod l) + k·l`` for some integer k when both
+sizes are powers of two.  :func:`verify_alignment` checks the property
+directly and is used by the property-based tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SketchError
+from repro.sketch.bitmap import Bitmap
+from repro.sketch.sizing import is_power_of_two
+
+
+def expansion_factor(source_size: int, target_size: int) -> int:
+    """Number of replications needed to expand ``source`` to ``target``.
+
+    Raises :class:`SketchError` unless both sizes are powers of two and
+    ``target_size >= source_size`` — the exact preconditions the paper
+    establishes for the alignment property to hold.
+    """
+    if not is_power_of_two(source_size):
+        raise SketchError(f"source size {source_size} is not a power of two")
+    if not is_power_of_two(target_size):
+        raise SketchError(f"target size {target_size} is not a power of two")
+    if target_size < source_size:
+        raise SketchError(
+            f"cannot expand a bitmap of size {source_size} down to {target_size}"
+        )
+    return target_size // source_size
+
+
+def expand_to(bitmap: Bitmap, target_size: int) -> Bitmap:
+    """Expand ``bitmap`` to ``target_size`` bits by whole replication.
+
+    Returns the input unchanged (as a copy-free reference) when the
+    sizes already match, mirroring the paper's "if l_j = m then E_j is
+    simply B_j".
+    """
+    factor = expansion_factor(bitmap.size, target_size)
+    if factor == 1:
+        return bitmap
+    tiled = np.tile(bitmap.bits, factor)
+    return Bitmap(target_size, tiled)
+
+
+def verify_alignment(bitmap: Bitmap, target_size: int, hash_value: int) -> bool:
+    """Check the alignment property for one hash value.
+
+    Returns True iff ``B[h mod l] == E[h mod m]`` where ``E`` is the
+    expansion of ``B`` to ``target_size``.  The paper proves this holds
+    with equality-to-one implication; for power-of-two sizes the two
+    bits are literally the same stored bit, so the values always match.
+    """
+    expanded = expand_to(bitmap, target_size)
+    h = int(hash_value)
+    return bitmap.get(h % bitmap.size) == expanded.get(h % target_size)

@@ -1,0 +1,158 @@
+"""Bitmap joins (Sections III-A and IV-A of the paper).
+
+* :func:`and_join` — expand a group of bitmaps to a common (maximum)
+  size and AND them.  Used within a single location to isolate bits
+  that were one in *every* measurement period.
+* :func:`split_and_join` — the two-subset construction of Section
+  III-B: split the records into Π_a and Π_b, AND within each half to
+  get ``E_a`` and ``E_b``, and AND those to get ``E_*``.
+* :func:`or_join` — expand to a common size and OR.  Used at the second
+  level between two locations (Section IV-A), where OR admits a
+  closed-form estimator and AND does not.
+* :func:`two_level_join` — the full point-to-point pipeline: AND per
+  location, then expand the smaller result and OR across locations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import SketchError
+from repro.sketch.bitmap import Bitmap
+from repro.sketch.expansion import expand_to
+
+
+def _common_size(bitmaps: Sequence[Bitmap]) -> int:
+    if not bitmaps:
+        raise SketchError("cannot join an empty collection of bitmaps")
+    return max(b.size for b in bitmaps)
+
+
+def and_join(bitmaps: Sequence[Bitmap]) -> Bitmap:
+    """Expand all bitmaps to the maximum size and AND them together.
+
+    This is the join of Section III-A: a one bit in the result means
+    the aligned bit was one in every input bitmap, i.e. the bit *may*
+    encode a common vehicle (or colliding transients).
+    """
+    size = _common_size(bitmaps)
+    result = expand_to(bitmaps[0], size).copy()
+    for bitmap in bitmaps[1:]:
+        result = result & expand_to(bitmap, size)
+    return result
+
+
+def or_join(bitmaps: Sequence[Bitmap]) -> Bitmap:
+    """Expand all bitmaps to the maximum size and OR them together."""
+    size = _common_size(bitmaps)
+    result = expand_to(bitmaps[0], size).copy()
+    for bitmap in bitmaps[1:]:
+        result = result | expand_to(bitmap, size)
+    return result
+
+
+@dataclass(frozen=True)
+class SplitJoinResult:
+    """The three bitmaps of Section III-B.
+
+    Attributes
+    ----------
+    half_a:
+        ``E_a`` — AND of the first ``ceil(t/2)`` expanded records.
+    half_b:
+        ``E_b`` — AND of the remaining records.
+    joined:
+        ``E_*`` — AND of ``E_a`` and ``E_b``.
+    """
+
+    half_a: Bitmap
+    half_b: Bitmap
+    joined: Bitmap
+
+    @property
+    def size(self) -> int:
+        """The common (maximum) bitmap size ``m``."""
+        return self.joined.size
+
+
+def split_and_join(bitmaps: Sequence[Bitmap]) -> SplitJoinResult:
+    """Perform the two-subset split-and-join of Section III-B.
+
+    The records are split into Π_a (first ``ceil(t/2)``) and Π_b (the
+    rest); each half is AND-joined after expansion to the global
+    maximum size, and the two halves are AND-joined into ``E_*``.
+
+    Requires at least two bitmaps so that both halves are non-empty.
+    """
+    if len(bitmaps) < 2:
+        raise SketchError(
+            f"split-and-join needs at least 2 traffic records, got {len(bitmaps)}"
+        )
+    size = _common_size(bitmaps)
+    midpoint = (len(bitmaps) + 1) // 2  # ceil(t/2), as in the paper
+    expanded = [expand_to(b, size) for b in bitmaps]
+    half_a = and_join(expanded[:midpoint])
+    half_b = and_join(expanded[midpoint:])
+    return SplitJoinResult(half_a=half_a, half_b=half_b, joined=half_a & half_b)
+
+
+@dataclass(frozen=True)
+class TwoLevelJoinResult:
+    """The bitmaps of the point-to-point pipeline (Section IV-A).
+
+    Attributes
+    ----------
+    location_a:
+        ``E_*`` — AND-join of the records at the first location
+        (size ``m``, the smaller of the two).
+    location_b:
+        ``E'_*`` — AND-join of the records at the second location
+        (size ``m'``, with ``m <= m'``).
+    expanded_a:
+        ``S_*`` — ``E_*`` expanded to ``m'``.
+    joined:
+        ``E''_*`` — OR of ``S_*`` and ``E'_*``.
+    swapped:
+        True when the caller's argument order was (larger, smaller)
+        and the roles were swapped to satisfy ``m <= m'``.
+    """
+
+    location_a: Bitmap
+    location_b: Bitmap
+    expanded_a: Bitmap
+    joined: Bitmap
+    swapped: bool
+
+    @property
+    def size(self) -> int:
+        """The larger bitmap size ``m'`` (size of the OR-join)."""
+        return self.joined.size
+
+
+def two_level_join(
+    records_a: Sequence[Bitmap], records_b: Sequence[Bitmap]
+) -> TwoLevelJoinResult:
+    """Run the two-level expansion-and-join of Section IV-A.
+
+    First level: AND-join the records within each location (after
+    intra-location expansion).  Second level: expand the smaller
+    AND-join to the larger size and OR the two together.
+
+    The paper assumes w.l.o.g. ``m <= m'``; this function swaps the
+    locations internally when needed and reports it via ``swapped`` so
+    the estimator can keep its parameters straight.
+    """
+    joined_a = and_join(records_a)
+    joined_b = and_join(records_b)
+    swapped = joined_a.size > joined_b.size
+    if swapped:
+        joined_a, joined_b = joined_b, joined_a
+    expanded_a = expand_to(joined_a, joined_b.size)
+    return TwoLevelJoinResult(
+        location_a=joined_a,
+        location_b=joined_b,
+        expanded_a=expanded_a,
+        joined=expanded_a | joined_b,
+        swapped=swapped,
+    )

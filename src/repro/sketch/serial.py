@@ -1,0 +1,43 @@
+"""Compact serialization of bitmaps for RSU-to-server uploads.
+
+At the end of each measurement period the RSU "sends the content of
+the bitmap B as its traffic record to the central server" (Section
+II-D).  This module packs a :class:`~repro.sketch.bitmap.Bitmap` into a
+small byte payload (1 bit per bit plus an 8-byte size header) and back,
+so the transport layer of the simulation moves realistic message sizes.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.exceptions import SketchError
+from repro.sketch.bitmap import Bitmap
+
+_HEADER = struct.Struct("<Q")  # little-endian uint64 bit count
+
+
+def serialize_bitmap(bitmap: Bitmap) -> bytes:
+    """Pack a bitmap into ``8 + ceil(m/8)`` bytes."""
+    packed = np.packbits(bitmap.bits)
+    return _HEADER.pack(bitmap.size) + packed.tobytes()
+
+
+def deserialize_bitmap(payload: bytes) -> Bitmap:
+    """Inverse of :func:`serialize_bitmap`."""
+    if len(payload) < _HEADER.size:
+        raise SketchError("bitmap payload too short to contain a header")
+    (size,) = _HEADER.unpack_from(payload)
+    body = payload[_HEADER.size:]
+    expected_bytes = (size + 7) // 8
+    if len(body) != expected_bytes:
+        raise SketchError(
+            f"bitmap payload body has {len(body)} bytes, "
+            f"expected {expected_bytes} for {size} bits"
+        )
+    if size == 0:
+        raise SketchError("bitmap payload declares zero bits")
+    bits = np.unpackbits(np.frombuffer(body, dtype=np.uint8))[:size]
+    return Bitmap(int(size), bits.astype(np.bool_))

@@ -1,0 +1,68 @@
+"""Bitmap sizing — Eq. 2 of the paper.
+
+The central server sets each RSU's bitmap size from the expected
+traffic volume ``n̄`` (historical average at the same location and
+time) and a system-wide load factor ``f``:
+
+    m = 2 ** ceil(log2(n̄ · f))
+
+The power-of-two constraint is what makes replication-based expansion
+align representative bits across bitmaps of different sizes
+(Section III-A).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ConfigurationError
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    v = int(value)
+    return v > 0 and (v & (v - 1)) == 0
+
+
+def next_power_of_two(value: int) -> int:
+    """Smallest power of two that is >= ``value`` (>= 1)."""
+    v = int(value)
+    if v <= 1:
+        return 1
+    return 1 << (v - 1).bit_length()
+
+
+def bitmap_size_for_volume(expected_volume: float, load_factor: float) -> int:
+    """Compute the bitmap size ``m`` from Eq. 2 of the paper.
+
+    Parameters
+    ----------
+    expected_volume:
+        The expected traffic volume ``n̄`` at the RSU during a
+        measurement period, based on historical averages.
+    load_factor:
+        The system-wide load factor ``f``: the ratio of bitmap size to
+        expected traffic volume.  Larger ``f`` improves estimation
+        accuracy and weakens privacy (Section VI-C).
+
+    Returns
+    -------
+    int
+        ``m = 2^ceil(log2(n̄ × f))``.
+
+    Examples
+    --------
+    >>> bitmap_size_for_volume(213000, 2)
+    524288
+    >>> bitmap_size_for_volume(28000, 2)
+    65536
+    """
+    if expected_volume <= 0:
+        raise ConfigurationError(
+            f"expected traffic volume must be positive, got {expected_volume}"
+        )
+    if load_factor <= 0:
+        raise ConfigurationError(f"load factor must be positive, got {load_factor}")
+    target = expected_volume * load_factor
+    exponent = math.ceil(math.log2(target))
+    return 1 << max(exponent, 0)

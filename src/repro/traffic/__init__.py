@@ -1,0 +1,71 @@
+"""Traffic data: trip tables, synthetic generators, workloads.
+
+* :mod:`repro.traffic.trip_table` — origin-destination trip tables and
+  the volume bookkeeping the Table I experiment needs.
+* :mod:`repro.traffic.sioux_falls` — the Sioux Falls network data used
+  by the paper's real-data evaluation, plus the exact Table I
+  parameters the paper reports.
+* :mod:`repro.traffic.synthetic` — the synthetic workload generators of
+  Section VI-B (per-period volumes uniform over (2000, 10000], swept
+  persistent fractions).
+* :mod:`repro.traffic.workloads` — turn-key workloads that generate
+  traffic records (bitmaps) together with their ground truth.
+* :mod:`repro.traffic.periods` — measurement-period calendars (the
+  paper's "Mondays of three consecutive weeks" style selections).
+"""
+
+from repro.traffic.patterns import WeeklyPattern, volumes_for_schedule
+from repro.traffic.periods import MeasurementSchedule, PeriodSelection
+from repro.traffic.sioux_falls import (
+    TABLE1_LOCATIONS,
+    sioux_falls_trip_table,
+    table1_parameters,
+)
+from repro.traffic.synthetic import (
+    SyntheticPointScenario,
+    SyntheticPointToPointScenario,
+    draw_period_volume,
+)
+from repro.traffic.tntp import (
+    format_tntp_trips,
+    load_tntp_trips,
+    parse_tntp_trips,
+    save_tntp_trips,
+)
+from repro.traffic.trip_table import TripTable
+from repro.traffic.workloads import (
+    PathWorkload,
+    PathWorkloadResult,
+    PointToPointWorkload,
+    PointToPointWorkloadResult,
+    PointWorkload,
+    PointWorkloadResult,
+    paper_sizing,
+    same_size_sizing,
+)
+
+__all__ = [
+    "MeasurementSchedule",
+    "PathWorkload",
+    "PathWorkloadResult",
+    "PeriodSelection",
+    "PointToPointWorkload",
+    "PointToPointWorkloadResult",
+    "PointWorkload",
+    "PointWorkloadResult",
+    "SyntheticPointScenario",
+    "SyntheticPointToPointScenario",
+    "TABLE1_LOCATIONS",
+    "TripTable",
+    "WeeklyPattern",
+    "draw_period_volume",
+    "format_tntp_trips",
+    "load_tntp_trips",
+    "paper_sizing",
+    "parse_tntp_trips",
+    "same_size_sizing",
+    "save_tntp_trips",
+    "sioux_falls_trip_table",
+    "table1_parameters",
+    "volumes_for_schedule",
+]

@@ -1,0 +1,87 @@
+"""Weekly traffic patterns: realistic per-day volume modulation.
+
+The paper's period selections ("workdays of a week", "Saturdays of
+several weeks") only make interesting measurements when traffic
+actually varies by day of week.  :class:`WeeklyPattern` gives each
+weekday a multiplicative factor around a base volume, and
+:func:`volumes_for_schedule` turns a calendar schedule into concrete
+per-period volumes with lognormal day-to-day noise — the input the
+workload generators and the monthly example consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.traffic.periods import MeasurementSchedule
+
+#: A typical urban shape: flat across workdays, quieter weekends.
+DEFAULT_FACTORS: Tuple[float, ...] = (1.0, 1.02, 1.03, 1.02, 1.05, 0.78, 0.62)
+
+
+@dataclass(frozen=True)
+class WeeklyPattern:
+    """Multiplicative volume factors per weekday (Monday-first).
+
+    Attributes
+    ----------
+    factors:
+        Seven positive multipliers, index 0 = Monday.
+    """
+
+    factors: Tuple[float, ...] = DEFAULT_FACTORS
+
+    def __post_init__(self) -> None:
+        if len(self.factors) != 7:
+            raise ConfigurationError(
+                f"a weekly pattern needs 7 factors, got {len(self.factors)}"
+            )
+        if any(f <= 0 for f in self.factors):
+            raise ConfigurationError("weekly factors must be positive")
+
+    def factor_for(self, weekday: int) -> float:
+        """The multiplier for a weekday (0 = Monday .. 6 = Sunday)."""
+        if not 0 <= int(weekday) <= 6:
+            raise ConfigurationError(f"weekday must be 0..6, got {weekday}")
+        return self.factors[int(weekday)]
+
+    @classmethod
+    def flat(cls) -> "WeeklyPattern":
+        """No weekday variation (the paper's synthetic setting)."""
+        return cls(factors=(1.0,) * 7)
+
+    @classmethod
+    def commuter_heavy(cls) -> "WeeklyPattern":
+        """Strong workday peaks, very quiet weekends."""
+        return cls(factors=(1.1, 1.12, 1.12, 1.1, 1.08, 0.55, 0.4))
+
+
+def volumes_for_schedule(
+    schedule: MeasurementSchedule,
+    base_volume: float,
+    pattern: WeeklyPattern = WeeklyPattern(),
+    rng: np.random.Generator = None,
+    noise_sigma: float = 0.05,
+) -> List[int]:
+    """Concrete per-period volumes for a calendar schedule.
+
+    Each period's volume is ``base · factor(weekday) · lognormal
+    noise``; pass ``noise_sigma=0`` (or no rng) for a deterministic
+    series.
+    """
+    if base_volume <= 0:
+        raise ConfigurationError(f"base volume must be positive, got {base_volume}")
+    if noise_sigma < 0:
+        raise ConfigurationError(f"noise sigma must be >= 0, got {noise_sigma}")
+    volumes = []
+    for period in range(schedule.period_count):
+        weekday = schedule.date_of(period).weekday()
+        value = base_volume * pattern.factor_for(weekday)
+        if rng is not None and noise_sigma > 0:
+            value *= float(np.exp(rng.normal(0.0, noise_sigma)))
+        volumes.append(max(int(round(value)), 1))
+    return volumes

@@ -1,0 +1,120 @@
+"""Measurement-period calendars and selections.
+
+Persistent traffic is defined over *sets of periods chosen by any
+criterion* (Section II-A): "records from Monday through Friday of a
+certain week, records from Mondays of three consecutive weeks, or
+several records of interest based on any other criterion."  This
+module gives those criteria a concrete, testable form: a
+:class:`MeasurementSchedule` maps period indices to calendar days, and
+:class:`PeriodSelection` helpers express the paper's examples.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PeriodSelection:
+    """A named set of period indices to query persistent traffic over."""
+
+    name: str
+    periods: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.periods) != len(set(self.periods)):
+            raise ConfigurationError(
+                f"period selection {self.name!r} contains duplicates"
+            )
+
+    def __len__(self) -> int:
+        return len(self.periods)
+
+
+class MeasurementSchedule:
+    """A run of daily measurement periods anchored to a calendar date.
+
+    Period ``0`` covers ``start_date``; period ``i`` covers
+    ``start_date + i`` days.  The length of a period is a system choice
+    ("e.g., a day", Section II-A); daily periods are what every example
+    in the paper uses.
+    """
+
+    def __init__(self, start_date: _dt.date, period_count: int):
+        if period_count < 1:
+            raise ConfigurationError(
+                f"a schedule needs at least one period, got {period_count}"
+            )
+        self._start = start_date
+        self._count = int(period_count)
+
+    @property
+    def period_count(self) -> int:
+        """Number of periods in the schedule."""
+        return self._count
+
+    @property
+    def start_date(self) -> _dt.date:
+        """The calendar day of period 0."""
+        return self._start
+
+    def date_of(self, period: int) -> _dt.date:
+        """The calendar day covered by ``period``."""
+        p = int(period)
+        if not 0 <= p < self._count:
+            raise ConfigurationError(
+                f"period {period} out of range 0..{self._count - 1}"
+            )
+        return self._start + _dt.timedelta(days=p)
+
+    def _matching(self, predicate) -> List[int]:
+        return [p for p in range(self._count) if predicate(self.date_of(p))]
+
+    # ------------------------------------------------------------------
+    # The paper's selection criteria
+    # ------------------------------------------------------------------
+
+    def weekdays_of_week(self, week_index: int) -> PeriodSelection:
+        """Monday through Friday of the ``week_index``-th ISO week
+        touched by the schedule ("over the workdays of a week")."""
+        weeks = self._iso_weeks()
+        if not 0 <= week_index < len(weeks):
+            raise ConfigurationError(
+                f"week index {week_index} out of range 0..{len(weeks) - 1}"
+            )
+        target = weeks[week_index]
+        periods = self._matching(
+            lambda d: d.isocalendar()[:2] == target and d.weekday() < 5
+        )
+        return PeriodSelection(name=f"weekdays-of-week-{week_index}", periods=tuple(periods))
+
+    def weekday_across_weeks(self, weekday: int, weeks: int) -> PeriodSelection:
+        """The same weekday over the first ``weeks`` occurrences
+        ("over the Saturdays of several weeks"); 0 = Monday."""
+        if not 0 <= weekday <= 6:
+            raise ConfigurationError(f"weekday must be 0..6, got {weekday}")
+        periods = self._matching(lambda d: d.weekday() == weekday)[:weeks]
+        if len(periods) < weeks:
+            raise ConfigurationError(
+                f"schedule only contains {len(periods)} occurrences of "
+                f"weekday {weekday}, need {weeks}"
+            )
+        return PeriodSelection(
+            name=f"weekday-{weekday}-x{weeks}", periods=tuple(periods)
+        )
+
+    def all_periods(self) -> PeriodSelection:
+        """Every period ("all days in a month")."""
+        return PeriodSelection(name="all-periods", periods=tuple(range(self._count)))
+
+    def _iso_weeks(self) -> List[Tuple[int, int]]:
+        seen: List[Tuple[int, int]] = []
+        for p in range(self._count):
+            key = self.date_of(p).isocalendar()[:2]
+            if key not in seen:
+                seen.append(key)
+        return seen

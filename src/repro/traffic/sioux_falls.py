@@ -1,0 +1,226 @@
+"""Sioux Falls data for the Table I experiment.
+
+The paper's real-data evaluation (Section VI-A) uses "the real-world
+vehicle trip table measured at the city of Sioux Falls, South Dakota"
+(LeBlanc, Morlok & Pierskalla 1975, ref. [24]) and reports in Table I,
+for eight locations ``L`` against the busiest location ``L'``
+(``n' = 451,000``): the involved volume ``n``, the bitmap sizes ``m``
+and ``m'/m``, the common volume ``n''``, and relative errors at
+``t ∈ {3, 5, 7, 10}`` plus a same-size-bitmap baseline at ``t = 5``.
+
+Two data products live here:
+
+* :func:`table1_parameters` — the paper's exact Table I workload
+  parameters, transcribed verbatim.  This is the headline reproduction
+  input: the paper fully specifies the per-location workloads, so the
+  experiment can regenerate every cell directly.
+* :func:`sioux_falls_trip_table` — a 24-zone OD matrix.  The paper
+  does not state how it scaled/derived its volumes from the 1975 trip
+  table (whose published total, 360,600 trips, is far below the
+  paper's n' = 451,000), so this matrix is *reconstructed*: a
+  deterministic symmetric gravity/IPF construction over the Sioux
+  Falls 24-zone structure, calibrated so the nine Table I locations
+  have exactly the involved volumes and pair volumes the paper
+  reports.  Every number the Table I experiment consumes therefore
+  matches the paper; the remaining entries are smooth plausible fill.
+  (Documented as substitution #4 in DESIGN.md.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.traffic.trip_table import TripTable
+
+#: The busiest location's involved volume (the paper's n').
+N_PRIME = 451_000
+
+#: Bitmap size at L' under f = 2: 2^ceil(log2(451000 * 2)) = 2^20.
+M_PRIME = 1_048_576
+
+#: Zone of the busiest location in the reconstructed network.
+L_PRIME_ZONE = 10
+
+#: Zones hosting the eight Table I locations L = 1..8 (high-volume
+#: zones of the Sioux Falls structure, fixed for reproducibility).
+TABLE1_LOCATIONS: Tuple[int, ...] = (16, 17, 13, 20, 19, 4, 11, 3)
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One column of the paper's Table I (one location ``L``).
+
+    ``paper_relative_error`` maps ``t`` to the relative error the paper
+    reports, and ``paper_same_size_error`` is the same-size-bitmap
+    baseline at ``t = 5`` — both kept so the experiment harness can
+    print paper-vs-measured side by side.
+    """
+
+    index: int
+    zone: int
+    n: int
+    m: int
+    m_prime_ratio: int
+    n_double_prime: int
+    paper_relative_error: Dict[int, float]
+    paper_same_size_error: float
+
+    @property
+    def m_prime(self) -> int:
+        """The bitmap size at L' (same for every row)."""
+        return M_PRIME
+
+
+_TABLE1_RAW = [
+    # index, n,      m,       m'/m, n'',   {t: rel err},                             same-size t=5
+    (1, 213_000, 524_288, 2, 40_000,
+     {3: 0.0122, 5: 0.0101, 7: 0.0111, 10: 0.0104}, 0.0110),
+    (2, 140_000, 524_288, 2, 20_000,
+     {3: 0.0167, 5: 0.0144, 7: 0.0151, 10: 0.0139}, 0.0172),
+    (3, 121_000, 262_144, 4, 19_000,
+     {3: 0.0210, 5: 0.0169, 7: 0.0171, 10: 0.0172}, 0.0267),
+    (4, 78_000, 262_144, 4, 8_000,
+     {3: 0.0369, 5: 0.0252, 7: 0.0257, 10: 0.0258}, 0.0510),
+    (5, 76_000, 262_144, 4, 8_000,
+     {3: 0.0361, 5: 0.0267, 7: 0.0241, 10: 0.0256}, 0.0491),
+    (6, 47_000, 131_072, 8, 7_000,
+     {3: 0.0398, 5: 0.0284, 7: 0.0279, 10: 0.0261}, 0.1271),
+    (7, 40_000, 131_072, 8, 6_000,
+     {3: 0.0438, 5: 0.0265, 7: 0.0251, 10: 0.0234}, 0.1305),
+    (8, 28_000, 65_536, 16, 3_000,
+     {3: 0.0948, 5: 0.0585, 7: 0.0518, 10: 0.0497}, 1.3749),
+]
+
+
+def table1_parameters() -> List[Table1Row]:
+    """The paper's Table I parameters, one row per location ``L``."""
+    rows = []
+    for (index, n, m, ratio, npp, errors, same_size), zone in zip(
+        _TABLE1_RAW, TABLE1_LOCATIONS
+    ):
+        rows.append(
+            Table1Row(
+                index=index,
+                zone=zone,
+                n=n,
+                m=m,
+                m_prime_ratio=ratio,
+                n_double_prime=npp,
+                paper_relative_error=dict(errors),
+                paper_same_size_error=same_size,
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Reconstructed trip table
+# ----------------------------------------------------------------------
+
+#: Target involved volumes (row+column sums) for all 24 zones.  The
+#: nine starred zones carry the paper's exact Table I volumes; the
+#: rest are smooth fill chosen to make a plausible city-wide total.
+_TARGET_INVOLVED: Dict[int, int] = {
+    1: 102_000,
+    2: 64_000,
+    3: 28_000,     # Table I location 8
+    4: 47_000,     # Table I location 6
+    5: 92_000,
+    6: 134_000,
+    7: 186_000,
+    8: 158_000,
+    9: 96_000,
+    10: 451_000,   # L' (busiest)
+    11: 40_000,    # Table I location 7
+    12: 88_000,
+    13: 121_000,   # Table I location 3
+    14: 72_000,
+    15: 168_000,
+    16: 213_000,   # Table I location 1
+    17: 140_000,   # Table I location 2
+    18: 110_000,
+    19: 76_000,    # Table I location 5
+    20: 78_000,    # Table I location 4
+    21: 54_000,
+    22: 146_000,
+    23: 58_000,
+    24: 36_000,
+}
+
+_IPF_SWEEPS = 400
+
+
+def _fixed_pair_entries() -> Dict[Tuple[int, int], float]:
+    """Directed entries pinned to the paper's n'' pair volumes."""
+    fixed: Dict[Tuple[int, int], float] = {}
+    for row in table1_parameters():
+        half = row.n_double_prime / 2.0
+        fixed[(row.zone, L_PRIME_ZONE)] = half
+        fixed[(L_PRIME_ZONE, row.zone)] = half
+    return fixed
+
+
+def _build_matrix() -> np.ndarray:
+    zones = sorted(_TARGET_INVOLVED)
+    k = len(zones)
+    # For a symmetric matrix with zero diagonal, involved volume is
+    # exactly twice the row sum, so the row-sum targets are half the
+    # involved-volume targets.
+    row_targets = np.array(
+        [_TARGET_INVOLVED[zone] / 2.0 for zone in zones], dtype=np.float64
+    )
+
+    fixed = _fixed_pair_entries()
+    fixed_mask = np.zeros((k, k), dtype=bool)
+    fixed_values = np.zeros((k, k), dtype=np.float64)
+    for (origin, destination), value in fixed.items():
+        fixed_mask[origin - 1, destination - 1] = True
+        fixed_values[origin - 1, destination - 1] = value
+
+    # Gravity seed: attraction proportional to the product of zone
+    # weights, zero diagonal, fixed cells excluded from scaling.
+    weights = row_targets / row_targets.sum()
+    seed = np.outer(weights, weights)
+    np.fill_diagonal(seed, 0.0)
+    free = seed * ~fixed_mask
+
+    # Iterative proportional fitting with symmetrization: scale each
+    # row's free entries to absorb the residual row target, then
+    # average with the transpose so the matrix stays symmetric (the
+    # fixed block is already symmetric by construction).
+    residual_targets = row_targets - fixed_values.sum(axis=1)
+    if (residual_targets <= 0).any():
+        raise AssertionError("pinned pair volumes exceed a zone's row target")
+    matrix = free.copy()
+    for _ in range(_IPF_SWEEPS):
+        row_sums = matrix.sum(axis=1)
+        scale = np.divide(
+            residual_targets,
+            row_sums,
+            out=np.ones_like(row_sums),
+            where=row_sums > 0,
+        )
+        matrix = matrix * scale[:, np.newaxis]
+        matrix = (matrix + matrix.T) / 2.0
+    matrix = matrix + fixed_values
+    return np.round(matrix)
+
+
+_CACHED_TABLE: TripTable = None
+
+
+def sioux_falls_trip_table() -> TripTable:
+    """The reconstructed 24-zone Sioux Falls trip table (memoized).
+
+    Calibrated so the involved volume of every Table I location and of
+    L' matches the paper's reported value to within rounding, and the
+    pair volume between each location and L' equals the paper's n''
+    exactly.
+    """
+    global _CACHED_TABLE
+    if _CACHED_TABLE is None:
+        _CACHED_TABLE = TripTable(_build_matrix())
+    return _CACHED_TABLE

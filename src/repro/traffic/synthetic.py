@@ -1,0 +1,160 @@
+"""Synthetic traffic scenarios (Section VI-B).
+
+"The number of vehicles that passes L during each measurement period
+is randomly generated from the range of (2000, 10000].  Let n_min be
+the minimum number of generated vehicles that pass location L in any
+measurement period.  We set the number of common vehicles n* at L ...
+from 0.01 n_min to 0.5 n_min, with steps of 0.01 n_min."
+
+A *scenario* draws the per-period volumes once and then yields the
+swept persistent-volume targets; the workload layer
+(:mod:`repro.traffic.workloads`) turns each (volumes, target) pair
+into actual traffic records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+#: The paper's per-period volume range (2000, 10000].
+DEFAULT_VOLUME_RANGE: Tuple[int, int] = (2000, 10000)
+
+#: The paper's persistent-fraction sweep: 0.01..0.5 step 0.01.
+DEFAULT_FRACTIONS = tuple(round(0.01 * k, 2) for k in range(1, 51))
+
+
+def expected_volume(
+    volume_range: Tuple[int, int] = DEFAULT_VOLUME_RANGE
+) -> float:
+    """The long-run expected per-period volume ``n̄`` of a location.
+
+    This is what the central server's historical average converges to
+    for a location whose traffic is uniform over ``(low, high]`` — the
+    quantity Eq. 2's sizing actually consumes.  Using the *sample*
+    mean of a handful of periods instead would make the bitmap size
+    flap across power-of-two boundaries from run to run.
+    """
+    low, high = volume_range
+    if not 0 <= low < high:
+        raise ConfigurationError(f"invalid volume range {volume_range}")
+    return (low + 1 + high) / 2.0
+
+
+def draw_period_volume(
+    rng: np.random.Generator, volume_range: Tuple[int, int] = DEFAULT_VOLUME_RANGE
+) -> int:
+    """Draw one period's traffic volume uniformly from (low, high]."""
+    low, high = volume_range
+    if not 0 <= low < high:
+        raise ConfigurationError(f"invalid volume range {volume_range}")
+    return int(rng.integers(low + 1, high + 1))
+
+
+def draw_period_volumes(
+    rng: np.random.Generator,
+    periods: int,
+    volume_range: Tuple[int, int] = DEFAULT_VOLUME_RANGE,
+) -> List[int]:
+    """Draw ``periods`` independent per-period volumes."""
+    if periods < 1:
+        raise ConfigurationError(f"periods must be >= 1, got {periods}")
+    return [draw_period_volume(rng, volume_range) for _ in range(periods)]
+
+
+@dataclass(frozen=True)
+class SyntheticPointScenario:
+    """One drawn instance of the Section VI-B point workload.
+
+    Attributes
+    ----------
+    volumes:
+        Per-period total volumes at the location.
+    fractions:
+        The sweep of persistent fractions of ``n_min``.
+    """
+
+    volumes: Tuple[int, ...]
+    fractions: Tuple[float, ...] = DEFAULT_FRACTIONS
+
+    @classmethod
+    def draw(
+        cls,
+        rng: np.random.Generator,
+        periods: int,
+        volume_range: Tuple[int, int] = DEFAULT_VOLUME_RANGE,
+        fractions: Tuple[float, ...] = DEFAULT_FRACTIONS,
+    ) -> "SyntheticPointScenario":
+        """Draw per-period volumes for a ``periods``-period scenario."""
+        return cls(
+            volumes=tuple(draw_period_volumes(rng, periods, volume_range)),
+            fractions=fractions,
+        )
+
+    @property
+    def periods(self) -> int:
+        """Number of measurement periods ``t``."""
+        return len(self.volumes)
+
+    @property
+    def n_min(self) -> int:
+        """Minimum per-period volume, the sweep's reference point."""
+        return min(self.volumes)
+
+    def persistent_targets(self) -> List[int]:
+        """The swept values of ``n*`` (at least 1 vehicle each)."""
+        return [max(int(round(f * self.n_min)), 1) for f in self.fractions]
+
+
+@dataclass(frozen=True)
+class SyntheticPointToPointScenario:
+    """One drawn instance of the Section VI-B point-to-point workload.
+
+    Both locations draw volumes from the same range, "and thus the two
+    locations have the same average traffic".  The sweep is over
+    ``n''_min = min(n_min, n'_min)``.
+    """
+
+    volumes_a: Tuple[int, ...]
+    volumes_b: Tuple[int, ...]
+    fractions: Tuple[float, ...] = DEFAULT_FRACTIONS
+
+    @classmethod
+    def draw(
+        cls,
+        rng: np.random.Generator,
+        periods: int,
+        volume_range: Tuple[int, int] = DEFAULT_VOLUME_RANGE,
+        fractions: Tuple[float, ...] = DEFAULT_FRACTIONS,
+    ) -> "SyntheticPointToPointScenario":
+        """Draw per-period volumes at both locations."""
+        return cls(
+            volumes_a=tuple(draw_period_volumes(rng, periods, volume_range)),
+            volumes_b=tuple(draw_period_volumes(rng, periods, volume_range)),
+            fractions=fractions,
+        )
+
+    def __post_init__(self) -> None:
+        if len(self.volumes_a) != len(self.volumes_b):
+            raise ConfigurationError(
+                "the two locations must cover the same number of periods"
+            )
+
+    @property
+    def periods(self) -> int:
+        """Number of measurement periods ``t``."""
+        return len(self.volumes_a)
+
+    @property
+    def n_double_prime_min(self) -> int:
+        """``min(n_min, n'_min)``, the sweep's reference point."""
+        return min(min(self.volumes_a), min(self.volumes_b))
+
+    def persistent_targets(self) -> List[int]:
+        """The swept values of ``n''`` (at least 1 vehicle each)."""
+        reference = self.n_double_prime_min
+        return [max(int(round(f * reference)), 1) for f in self.fractions]

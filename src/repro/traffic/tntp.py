@@ -1,0 +1,157 @@
+"""Reader/writer for the TNTP trip-table format.
+
+The transportation research community distributes OD matrices —
+including the original Sioux Falls data the paper cites — in the TNTP
+``*_trips.tntp`` text format::
+
+    <NUMBER OF ZONES> 24
+    <TOTAL OD FLOW> 360600.0
+    <END OF METADATA>
+
+    Origin  1
+        2 :     100.0;    3 :     100.0;    4 :     500.0;
+    Origin  2
+        1 :     100.0;   ...
+
+This module parses that format into a
+:class:`~repro.traffic.trip_table.TripTable` and writes tables back
+out, so the Table I pipeline can run on any real dataset a user
+downloads, not just the built-in reconstruction.  The parser is
+deliberately tolerant of the format's loose whitespace but strict
+about semantic problems (zone counts, duplicate pairs, flow totals).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.traffic.trip_table import TripTable
+
+_METADATA_PATTERN = re.compile(r"^<(?P<key>[^>]+)>\s*(?P<value>.*)$")
+_ORIGIN_PATTERN = re.compile(r"^Origin\s+(?P<zone>\d+)\s*$", re.IGNORECASE)
+_PAIR_PATTERN = re.compile(r"(\d+)\s*:\s*([0-9.eE+-]+)\s*;")
+
+#: Relative tolerance for the declared-vs-actual total flow check.
+_TOTAL_TOLERANCE = 0.01
+
+
+def parse_tntp_trips(text: str) -> TripTable:
+    """Parse TNTP trips text into a trip table.
+
+    Raises :class:`DataError` on malformed metadata, unknown zones,
+    duplicate OD pairs, or a declared total that disagrees with the
+    entries by more than 1%.
+    """
+    zones: Optional[int] = None
+    declared_total: Optional[float] = None
+    in_body = False
+    current_origin: Optional[int] = None
+    entries: Dict[Tuple[int, int], float] = {}
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("~"):
+            continue
+        if not in_body:
+            match = _METADATA_PATTERN.match(line)
+            if match:
+                key = match.group("key").strip().upper()
+                value = match.group("value").strip()
+                if key == "NUMBER OF ZONES":
+                    zones = int(value)
+                elif key == "TOTAL OD FLOW":
+                    declared_total = float(value)
+                elif key == "END OF METADATA":
+                    in_body = True
+                continue
+            # Some files omit <END OF METADATA>; the first Origin line
+            # starts the body.
+            if _ORIGIN_PATTERN.match(line):
+                in_body = True
+            else:
+                continue
+        origin_match = _ORIGIN_PATTERN.match(line)
+        if origin_match:
+            current_origin = int(origin_match.group("zone"))
+            continue
+        pairs = _PAIR_PATTERN.findall(line)
+        if pairs and current_origin is None:
+            raise DataError(
+                f"line {line_number}: OD entries before any Origin header"
+            )
+        for destination_text, volume_text in pairs:
+            destination = int(destination_text)
+            try:
+                volume = float(volume_text)
+            except ValueError as exc:
+                raise DataError(
+                    f"line {line_number}: bad volume {volume_text!r}"
+                ) from exc
+            key = (current_origin, destination)
+            if key in entries:
+                raise DataError(
+                    f"line {line_number}: duplicate OD pair {key}"
+                )
+            entries[key] = volume
+
+    if zones is None:
+        raise DataError("missing <NUMBER OF ZONES> metadata")
+    if not entries:
+        raise DataError("the file contains no OD entries")
+
+    matrix = np.zeros((zones, zones), dtype=np.float64)
+    for (origin, destination), volume in entries.items():
+        if not 1 <= origin <= zones or not 1 <= destination <= zones:
+            raise DataError(
+                f"OD pair ({origin}, {destination}) outside 1..{zones}"
+            )
+        matrix[origin - 1, destination - 1] = volume
+
+    if declared_total is not None and declared_total > 0:
+        actual = float(matrix.sum())
+        if abs(actual - declared_total) > _TOTAL_TOLERANCE * declared_total:
+            raise DataError(
+                f"declared total flow {declared_total:,.1f} disagrees with "
+                f"the entries' sum {actual:,.1f}"
+            )
+    return TripTable(matrix)
+
+
+def load_tntp_trips(path: Union[str, Path]) -> TripTable:
+    """Read and parse a ``*_trips.tntp`` file."""
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise DataError(f"cannot read TNTP file {path}: {exc}") from exc
+    return parse_tntp_trips(text)
+
+
+def format_tntp_trips(table: TripTable) -> str:
+    """Serialize a trip table to TNTP trips text (zero entries omitted)."""
+    lines = [
+        f"<NUMBER OF ZONES> {table.zone_count}",
+        f"<TOTAL OD FLOW> {table.total_volume():.1f}",
+        "<END OF METADATA>",
+        "",
+    ]
+    matrix = table.matrix
+    for origin in table.zones:
+        lines.append(f"Origin  {origin}")
+        row_parts = []
+        for destination in table.zones:
+            volume = matrix[origin - 1, destination - 1]
+            if volume > 0:
+                row_parts.append(f"    {destination} :    {volume:.1f};")
+        for start in range(0, len(row_parts), 5):
+            lines.append("".join(row_parts[start:start + 5]))
+    return "\n".join(lines) + "\n"
+
+
+def save_tntp_trips(table: TripTable, path: Union[str, Path]) -> None:
+    """Write a trip table to a ``*_trips.tntp`` file."""
+    Path(path).write_text(format_tntp_trips(table))

@@ -1,0 +1,131 @@
+"""Origin-destination trip tables.
+
+A trip table records ``T[i, j]`` — the number of vehicles travelling
+from zone ``i`` to zone ``j`` during a reference period.  The Table I
+experiment derives three quantities from it (Section VI-A):
+
+* the *involved volume* of a location ``L``: "the sum of all entries in
+  the trip table involving L" — row sum plus column sum (minus the
+  diagonal once, so intra-zonal trips are not double counted);
+* the point-to-point common volume ``n''`` between ``L`` and ``L'``:
+  the trips connecting the two zones (both directions);
+* the busiest location, chosen as the paper's ``L'``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+
+class TripTable:
+    """A square OD matrix with integer zone IDs 1..k.
+
+    Parameters
+    ----------
+    matrix:
+        A ``(k, k)`` array; entry ``[i-1, j-1]`` is the volume from
+        zone ``i`` to zone ``j``.  Values must be non-negative finite
+        numbers.
+    """
+
+    def __init__(self, matrix: np.ndarray):
+        arr = np.asarray(matrix, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+            raise DataError(f"a trip table must be square, got shape {arr.shape}")
+        if arr.shape[0] < 2:
+            raise DataError("a trip table needs at least two zones")
+        if not np.isfinite(arr).all():
+            raise DataError("trip table contains non-finite entries")
+        if (arr < 0).any():
+            raise DataError("trip table contains negative entries")
+        self._matrix = arr.copy()
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def zone_count(self) -> int:
+        """Number of zones ``k``."""
+        return int(self._matrix.shape[0])
+
+    @property
+    def zones(self) -> List[int]:
+        """Zone IDs, 1-based as in the transportation literature."""
+        return list(range(1, self.zone_count + 1))
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Read-only view of the OD matrix."""
+        view = self._matrix.view()
+        view.flags.writeable = False
+        return view
+
+    def _check_zone(self, zone: int) -> int:
+        z = int(zone)
+        if not 1 <= z <= self.zone_count:
+            raise DataError(f"zone {zone} out of range 1..{self.zone_count}")
+        return z
+
+    def volume(self, origin: int, destination: int) -> float:
+        """Trips from ``origin`` to ``destination``."""
+        o = self._check_zone(origin)
+        d = self._check_zone(destination)
+        return float(self._matrix[o - 1, d - 1])
+
+    def total_volume(self) -> float:
+        """Sum of every entry."""
+        return float(self._matrix.sum())
+
+    # ------------------------------------------------------------------
+    # The quantities the Table I experiment needs
+    # ------------------------------------------------------------------
+
+    def involved_volume(self, zone: int) -> float:
+        """Sum of all entries involving ``zone`` (row + column).
+
+        Intra-zonal trips (the diagonal) are counted once, since they
+        involve the zone but appear in both the row and the column.
+        """
+        z = self._check_zone(zone) - 1
+        return float(
+            self._matrix[z, :].sum()
+            + self._matrix[:, z].sum()
+            - self._matrix[z, z]
+        )
+
+    def pair_volume(self, zone_a: int, zone_b: int) -> float:
+        """Trips connecting two zones (both directions)."""
+        a = self._check_zone(zone_a) - 1
+        b = self._check_zone(zone_b) - 1
+        if a == b:
+            raise DataError("pair volume requires two distinct zones")
+        return float(self._matrix[a, b] + self._matrix[b, a])
+
+    def busiest_zone(self) -> int:
+        """The zone with the largest involved volume (the paper's L')."""
+        volumes = [self.involved_volume(zone) for zone in self.zones]
+        return int(np.argmax(volumes)) + 1
+
+    def zones_by_involved_volume(self) -> List[Tuple[int, float]]:
+        """Zones sorted by involved volume, descending."""
+        pairs = [(zone, self.involved_volume(zone)) for zone in self.zones]
+        return sorted(pairs, key=lambda item: item[1], reverse=True)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+
+    def scaled(self, factor: float) -> "TripTable":
+        """A copy with every entry multiplied by ``factor``."""
+        if factor <= 0:
+            raise DataError(f"scale factor must be positive, got {factor}")
+        return TripTable(self._matrix * float(factor))
+
+    def rounded(self) -> "TripTable":
+        """A copy with entries rounded to whole vehicles."""
+        return TripTable(np.round(self._matrix))

@@ -1,0 +1,468 @@
+"""Turn-key workloads: scenario parameters → traffic records + truth.
+
+A workload owns the key-derivation context and the encoder, draws the
+vehicle populations (one persistent population reused in every period,
+fresh transients per period — exactly the paper's simulation setup in
+Section VI), encodes them into per-period bitmaps sized by Eq. 2, and
+returns the records together with the ground truth the estimators are
+judged against.
+
+Two sizing policies reproduce the paper's designs:
+
+* :func:`paper_sizing` — each location's bitmaps are sized from its own
+  expected volume (the proposed design);
+* :func:`same_size_sizing` — both locations use the size determined by
+  the *first* location's volume (the Table I last-row baseline, "we
+  set m' = m and m is determined by n and f").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.crypto.hashing import default_hasher
+from repro.crypto.keys import KeyGenerator
+from repro.exceptions import ConfigurationError
+from repro.sketch.bitmap import Bitmap
+from repro.sketch.sizing import bitmap_size_for_volume
+from repro.vehicle.encoder import VehicleEncoder
+from repro.vehicle.population import VehiclePopulation
+
+#: A sizing policy maps (volume_a, volume_b, load_factor) to (m_a, m_b).
+SizingPolicy = Callable[[float, float, float], Tuple[int, int]]
+
+
+def paper_sizing(volume_a: float, volume_b: float, load_factor: float) -> Tuple[int, int]:
+    """Each location sized from its own volume (the proposed design)."""
+    return (
+        bitmap_size_for_volume(volume_a, load_factor),
+        bitmap_size_for_volume(volume_b, load_factor),
+    )
+
+
+def same_size_sizing(
+    volume_a: float, volume_b: float, load_factor: float
+) -> Tuple[int, int]:
+    """Both locations use location A's size (Table I baseline row).
+
+    The paper motivates it as "to ensure the privacy of the vehicles
+    pass location L" — the smaller location's privacy dictates a small
+    bitmap everywhere, which is what wrecks accuracy at L'.
+    """
+    size = bitmap_size_for_volume(volume_a, load_factor)
+    return size, size
+
+
+@dataclass(frozen=True)
+class PointWorkloadResult:
+    """Records and ground truth for one point-persistent run."""
+
+    records: List[Bitmap]
+    n_star: int
+    volumes: Tuple[int, ...]
+    sizes: Tuple[int, ...]
+    location: int
+
+
+@dataclass(frozen=True)
+class PathWorkloadResult:
+    """Records and ground truth for one k-location path run.
+
+    ``records_per_location[i]`` holds location ``i``'s per-period
+    bitmaps; the ``n_common`` path-persistent vehicles pass every
+    location in every period.
+    """
+
+    records_per_location: List[List[Bitmap]]
+    n_common: int
+    volumes_per_location: Tuple[Tuple[int, ...], ...]
+    sizes_per_location: Tuple[int, ...]
+    locations: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class PointToPointWorkloadResult:
+    """Records and ground truth for one point-to-point run."""
+
+    records_a: List[Bitmap]
+    records_b: List[Bitmap]
+    n_double_prime: int
+    volumes_a: Tuple[int, ...]
+    volumes_b: Tuple[int, ...]
+    sizes_a: Tuple[int, ...]
+    sizes_b: Tuple[int, ...]
+    location_a: int
+    location_b: int
+
+
+def _encode_with_loss(
+    population: VehiclePopulation,
+    bitmap: Bitmap,
+    location: int,
+    encoder: VehicleEncoder,
+    detection_rate: float,
+    rng: np.random.Generator,
+) -> None:
+    """Encode a population, dropping each vehicle with loss probability.
+
+    The detected subset is drawn independently per call, so a
+    persistent vehicle can be seen one day and missed the next —
+    exactly the failure mode a lossy V2I channel produces.
+    """
+    if population.size == 0:
+        return
+    if detection_rate >= 1.0:
+        population.encode_into(bitmap, location, encoder)
+        return
+    detected = np.flatnonzero(rng.random(population.size) < detection_rate)
+    if detected.size == 0:
+        return
+    population.subset(detected).encode_into(bitmap, location, encoder)
+
+
+class _WorkloadBase:
+    """Shared key/encoder context for workload generators."""
+
+    def __init__(
+        self,
+        s: int = 3,
+        load_factor: float = 2.0,
+        key_seed: int = 0x5EED,
+        hasher_seed: int = 0xA5A5,
+        hasher_flavour: str = "splitmix64",
+    ):
+        if load_factor <= 0:
+            raise ConfigurationError(
+                f"load factor must be positive, got {load_factor}"
+            )
+        self._keygen = KeyGenerator(master_seed=key_seed, s=s)
+        self._encoder = VehicleEncoder(default_hasher(hasher_seed, hasher_flavour))
+        self._load_factor = float(load_factor)
+
+    @property
+    def s(self) -> int:
+        """Representative-bit parameter shared by all vehicles."""
+        return self._keygen.s
+
+    @property
+    def load_factor(self) -> float:
+        """The system-wide load factor ``f``."""
+        return self._load_factor
+
+    @property
+    def encoder(self) -> VehicleEncoder:
+        """The encoder (fixed hash function ``H``) of the deployment."""
+        return self._encoder
+
+    @property
+    def keygen(self) -> KeyGenerator:
+        """The key-derivation context of the vehicle fleet."""
+        return self._keygen
+
+
+class PointWorkload(_WorkloadBase):
+    """Generates point-persistent workloads at a single location.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> workload = PointWorkload(s=3, load_factor=2.0)
+    >>> rng = np.random.default_rng(7)
+    >>> result = workload.generate(
+    ...     n_star=100, volumes=[3000, 4000, 5000], location=5, rng=rng)
+    >>> len(result.records), result.n_star
+    (3, 100)
+    """
+
+    def generate(
+        self,
+        n_star: int,
+        volumes: Sequence[int],
+        location: int,
+        rng: np.random.Generator,
+        expected_volume: Optional[float] = None,
+        fixed_sizes: Optional[Sequence[int]] = None,
+        detection_rate: float = 1.0,
+    ) -> PointWorkloadResult:
+        """Generate one run: ``t`` records with ``n_star`` persistents.
+
+        Each period encodes the persistent population plus
+        ``volume - n_star`` fresh transient vehicles.
+
+        Bitmap sizing follows Eq. 2: ``m`` comes from the *expected*
+        volume ``n̄`` (the server's historical average for this
+        location/time), not from each period's realized volume — so by
+        default all ``t`` records share one size, as in the paper's
+        evaluation.  ``expected_volume`` defaults to the mean of
+        ``volumes``; ``fixed_sizes`` overrides sizing entirely (e.g.
+        to study the mixed-size regime, where the split-join estimator
+        picks up a bias — see DESIGN.md).
+
+        ``detection_rate`` < 1 injects V2I faults: each vehicle is
+        recorded in each period only with that probability (missed
+        beacons, collisions, packet loss).  A persistent vehicle
+        missed in any period stops being persistent over the query, so
+        the expected persistent estimate degrades to roughly
+        ``n* · detection_rate^t`` — quantified by
+        ``benchmarks/test_robustness_loss.py``.
+        """
+        if not 0.0 < detection_rate <= 1.0:
+            raise ConfigurationError(
+                f"detection rate must lie in (0, 1], got {detection_rate}"
+            )
+        if n_star < 0:
+            raise ConfigurationError(f"n_star must be >= 0, got {n_star}")
+        if any(v < n_star for v in volumes):
+            raise ConfigurationError(
+                f"every period volume must be >= n_star={n_star}, got {volumes}"
+            )
+        if fixed_sizes is not None and len(fixed_sizes) != len(volumes):
+            raise ConfigurationError(
+                "fixed_sizes must provide one size per period"
+            )
+        if expected_volume is None:
+            expected_volume = sum(volumes) / len(volumes)
+        common_size = bitmap_size_for_volume(expected_volume, self._load_factor)
+        persistent = VehiclePopulation.random(n_star, self._keygen, rng)
+        records: List[Bitmap] = []
+        sizes: List[int] = []
+        for period, volume in enumerate(volumes):
+            size = common_size if fixed_sizes is None else int(fixed_sizes[period])
+            bitmap = Bitmap(size)
+            _encode_with_loss(
+                persistent, bitmap, location, self._encoder, detection_rate, rng
+            )
+            transients = VehiclePopulation.random(
+                int(volume) - n_star, self._keygen, rng
+            )
+            _encode_with_loss(
+                transients, bitmap, location, self._encoder, detection_rate, rng
+            )
+            records.append(bitmap)
+            sizes.append(size)
+        return PointWorkloadResult(
+            records=records,
+            n_star=int(n_star),
+            volumes=tuple(int(v) for v in volumes),
+            sizes=tuple(sizes),
+            location=int(location),
+        )
+
+
+class PointToPointWorkload(_WorkloadBase):
+    """Generates point-to-point workloads between two locations."""
+
+    def generate(
+        self,
+        n_double_prime: int,
+        volumes_a: Sequence[int],
+        volumes_b: Sequence[int],
+        location_a: int,
+        location_b: int,
+        rng: np.random.Generator,
+        sizing: SizingPolicy = paper_sizing,
+        fixed_sizes: Optional[Tuple[Sequence[int], Sequence[int]]] = None,
+        expected_volume_a: Optional[float] = None,
+        expected_volume_b: Optional[float] = None,
+        detection_rate: float = 1.0,
+    ) -> PointToPointWorkloadResult:
+        """Generate one run of the two-location workload.
+
+        The ``n_double_prime`` persistent vehicles pass *both* locations
+        in *every* period; each location additionally sees
+        ``volume - n_double_prime`` fresh transients per period (the
+        paper's Section VI-A setup).
+
+        Per Eq. 2, bitmap sizes come from each location's *expected*
+        volume (default: the mean of its per-period volumes) and are
+        therefore constant across periods unless ``fixed_sizes`` says
+        otherwise.
+
+        Parameters
+        ----------
+        sizing:
+            Maps the two expected volumes to bitmap sizes;
+            :func:`paper_sizing` or :func:`same_size_sizing`.
+        fixed_sizes:
+            Optional explicit per-period sizes ``(sizes_a, sizes_b)``
+            overriding the policy — used by the Table I experiment,
+            where the paper states the sizes directly.
+        expected_volume_a, expected_volume_b:
+            Historical expected volumes ``n̄`` driving Eq. 2.
+        detection_rate:
+            V2I fault injection: probability that a passing vehicle is
+            actually recorded, drawn independently per vehicle, period
+            and location (see the point workload's docstring).
+        """
+        if not 0.0 < detection_rate <= 1.0:
+            raise ConfigurationError(
+                f"detection rate must lie in (0, 1], got {detection_rate}"
+            )
+        if len(volumes_a) != len(volumes_b):
+            raise ConfigurationError(
+                "both locations must cover the same number of periods"
+            )
+        if int(location_a) == int(location_b):
+            raise ConfigurationError("the two locations must be distinct")
+        if n_double_prime < 0:
+            raise ConfigurationError(
+                f"n_double_prime must be >= 0, got {n_double_prime}"
+            )
+        if any(v < n_double_prime for v in volumes_a) or any(
+            v < n_double_prime for v in volumes_b
+        ):
+            raise ConfigurationError(
+                "every period volume at both locations must be >= "
+                f"n_double_prime={n_double_prime}"
+            )
+
+        if expected_volume_a is None:
+            expected_volume_a = sum(volumes_a) / len(volumes_a)
+        if expected_volume_b is None:
+            expected_volume_b = sum(volumes_b) / len(volumes_b)
+        policy_sizes = sizing(expected_volume_a, expected_volume_b, self._load_factor)
+
+        persistent = VehiclePopulation.random(n_double_prime, self._keygen, rng)
+        records_a: List[Bitmap] = []
+        records_b: List[Bitmap] = []
+        sizes_a: List[int] = []
+        sizes_b: List[int] = []
+        for period, (volume_a, volume_b) in enumerate(zip(volumes_a, volumes_b)):
+            if fixed_sizes is not None:
+                size_a = int(fixed_sizes[0][period])
+                size_b = int(fixed_sizes[1][period])
+            else:
+                size_a, size_b = policy_sizes
+            bitmap_a = Bitmap(size_a)
+            bitmap_b = Bitmap(size_b)
+            _encode_with_loss(
+                persistent, bitmap_a, location_a, self._encoder,
+                detection_rate, rng,
+            )
+            _encode_with_loss(
+                persistent, bitmap_b, location_b, self._encoder,
+                detection_rate, rng,
+            )
+            _encode_with_loss(
+                VehiclePopulation.random(
+                    int(volume_a) - n_double_prime, self._keygen, rng
+                ),
+                bitmap_a, location_a, self._encoder, detection_rate, rng,
+            )
+            _encode_with_loss(
+                VehiclePopulation.random(
+                    int(volume_b) - n_double_prime, self._keygen, rng
+                ),
+                bitmap_b, location_b, self._encoder, detection_rate, rng,
+            )
+            records_a.append(bitmap_a)
+            records_b.append(bitmap_b)
+            sizes_a.append(size_a)
+            sizes_b.append(size_b)
+        return PointToPointWorkloadResult(
+            records_a=records_a,
+            records_b=records_b,
+            n_double_prime=int(n_double_prime),
+            volumes_a=tuple(int(v) for v in volumes_a),
+            volumes_b=tuple(int(v) for v in volumes_b),
+            sizes_a=tuple(sizes_a),
+            sizes_b=tuple(sizes_b),
+            location_a=int(location_a),
+            location_b=int(location_b),
+        )
+
+
+class PathWorkload(_WorkloadBase):
+    """Generates k-location path workloads (corridor studies).
+
+    The ``n_common`` path-persistent vehicles pass *every* location in
+    *every* period; each location additionally sees fresh transients
+    per period filling its volume — the k-location generalization of
+    the paper's Section VI-A setup, feeding
+    :class:`~repro.core.path.PathPersistentEstimator`.
+    """
+
+    def generate(
+        self,
+        n_common: int,
+        volumes_per_location: Sequence[Sequence[int]],
+        locations: Sequence[int],
+        rng: np.random.Generator,
+        expected_volumes: Optional[Sequence[float]] = None,
+    ) -> PathWorkloadResult:
+        """Generate one run over ``len(locations)`` locations.
+
+        Parameters
+        ----------
+        n_common:
+            Vehicles traversing the whole path every period.
+        volumes_per_location:
+            One per-period volume sequence per location (equal period
+            counts).
+        locations:
+            Distinct location IDs, one per volume sequence.
+        expected_volumes:
+            Optional per-location ``n̄`` values for Eq. 2 sizing
+            (default: each location's mean volume).
+        """
+        if len(volumes_per_location) != len(locations):
+            raise ConfigurationError(
+                "one volume sequence per location is required"
+            )
+        if len(locations) < 2:
+            raise ConfigurationError("a path needs at least two locations")
+        if len(set(int(loc) for loc in locations)) != len(locations):
+            raise ConfigurationError("path locations must be distinct")
+        period_counts = {len(volumes) for volumes in volumes_per_location}
+        if len(period_counts) != 1:
+            raise ConfigurationError(
+                "all locations must cover the same number of periods"
+            )
+        if n_common < 0:
+            raise ConfigurationError(f"n_common must be >= 0, got {n_common}")
+        for volumes in volumes_per_location:
+            if any(v < n_common for v in volumes):
+                raise ConfigurationError(
+                    "every period volume at every location must be >= "
+                    f"n_common={n_common}"
+                )
+        if expected_volumes is None:
+            expected_volumes = [
+                sum(volumes) / len(volumes) for volumes in volumes_per_location
+            ]
+        if len(expected_volumes) != len(locations):
+            raise ConfigurationError(
+                "one expected volume per location is required"
+            )
+        sizes = [
+            bitmap_size_for_volume(expected, self._load_factor)
+            for expected in expected_volumes
+        ]
+
+        persistent = VehiclePopulation.random(n_common, self._keygen, rng)
+        records: List[List[Bitmap]] = []
+        for location, volumes, size in zip(
+            locations, volumes_per_location, sizes
+        ):
+            location_records = []
+            for volume in volumes:
+                bitmap = Bitmap(size)
+                persistent.encode_into(bitmap, location, self._encoder)
+                VehiclePopulation.random(
+                    int(volume) - n_common, self._keygen, rng
+                ).encode_into(bitmap, location, self._encoder)
+                location_records.append(bitmap)
+            records.append(location_records)
+        return PathWorkloadResult(
+            records_per_location=records,
+            n_common=int(n_common),
+            volumes_per_location=tuple(
+                tuple(int(v) for v in volumes)
+                for volumes in volumes_per_location
+            ),
+            sizes_per_location=tuple(sizes),
+            locations=tuple(int(loc) for loc in locations),
+        )

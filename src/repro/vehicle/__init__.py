@@ -1,0 +1,25 @@
+"""Vehicle-side model: identities, bit encoding, and the on-board unit.
+
+* :mod:`repro.vehicle.identity` — the paper's vehicle triple
+  (ID ``v``, private key ``K_v``, constants array ``C``).
+* :mod:`repro.vehicle.encoder` — the encoding of Section II-D that maps
+  a vehicle at a location to a bit index, with both a scalar and a
+  vectorized implementation, plus the representative-bits machinery.
+* :mod:`repro.vehicle.onboard` — the protocol state machine a vehicle
+  runs when it hears a beacon (verify certificate → authenticate →
+  transmit index under a one-time MAC address).
+* :mod:`repro.vehicle.population` — array-backed populations of many
+  vehicles for the large-scale experiments.
+"""
+
+from repro.vehicle.encoder import VehicleEncoder
+from repro.vehicle.identity import VehicleIdentity
+from repro.vehicle.onboard import OnBoardUnit
+from repro.vehicle.population import VehiclePopulation
+
+__all__ = [
+    "OnBoardUnit",
+    "VehicleEncoder",
+    "VehicleIdentity",
+    "VehiclePopulation",
+]

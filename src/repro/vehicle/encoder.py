@@ -1,0 +1,208 @@
+"""The vehicle-encoding algorithm of Section II-D.
+
+A vehicle ``v`` passing the RSU at location ``L`` with bitmap size
+``m`` computes::
+
+    i   = H(L ⊕ v) mod s                (which constant to use)
+    h_v = H(v ⊕ K_v ⊕ C[i]) mod m       (the bit index it transmits)
+
+The ``s`` values ``h_v(i) = H(v ⊕ K_v ⊕ C[i]) mod m`` are the
+vehicle's *representative bits* in a bitmap of size ``m``; the location
+deterministically selects one of them.  Two properties drive the whole
+paper:
+
+* At a fixed location the selection ``i`` never changes, so a vehicle
+  sets bits derived from the *same* 64-bit hash in every measurement
+  period — which is why AND-joins retain common vehicles even when the
+  bitmap size differs across periods (power-of-two alignment).
+* Across locations the selection varies uniformly over ``s`` choices,
+  which is the source of the privacy noise analysed in Section V.
+
+:class:`VehicleEncoder` exposes the scalar form (used by the on-board
+unit protocol) and a fully vectorized form over numpy arrays (used by
+the experiment harness to encode whole populations at once).  Both are
+exercised against each other in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.crypto.hashing import Hasher, default_hasher, xor_fold
+from repro.exceptions import ConfigurationError
+from repro.sketch.bitmap import Bitmap
+from repro.vehicle.identity import VehicleIdentity
+
+
+class VehicleEncoder:
+    """Computes bit indices for vehicles, scalar and vectorized.
+
+    Parameters
+    ----------
+    hasher:
+        The hash function ``H``.  Defaults to the fast vectorized
+        splitmix64 flavour; pass a
+        :class:`~repro.crypto.hashing.Sha256Hasher` for the
+        byte-faithful protocol path.
+    """
+
+    def __init__(self, hasher: Hasher = None):
+        self._hasher = hasher if hasher is not None else default_hasher()
+
+    @property
+    def hasher(self) -> Hasher:
+        """The underlying hash function ``H``."""
+        return self._hasher
+
+    # ------------------------------------------------------------------
+    # Scalar path (protocol-faithful)
+    # ------------------------------------------------------------------
+
+    def constant_choice(self, identity: VehicleIdentity, location: int) -> int:
+        """The index ``i = H(L ⊕ v) mod s`` selecting which constant."""
+        return self._hasher.hash_int(xor_fold(location, identity.vehicle_id)) % identity.s
+
+    def encoded_hash(self, identity: VehicleIdentity, location: int) -> int:
+        """The full 64-bit hash ``H(v ⊕ K_v ⊕ C[i])`` before ``mod m``.
+
+        Exposing the un-reduced hash matters: the alignment property of
+        bitmap expansion is a statement about one hash value reduced by
+        different power-of-two moduli.
+        """
+        choice = self.constant_choice(identity, location)
+        return self._hasher.hash_int(
+            xor_fold(
+                identity.vehicle_id,
+                identity.private_key,
+                identity.constants[choice],
+            )
+        )
+
+    def encoding_index(self, identity: VehicleIdentity, location: int, size: int) -> int:
+        """The transmitted index ``h_v`` for a bitmap of ``size`` bits."""
+        if size <= 0:
+            raise ConfigurationError(f"bitmap size must be positive, got {size}")
+        return self.encoded_hash(identity, location) % int(size)
+
+    def representative_bits(
+        self, identity: VehicleIdentity, size: int
+    ) -> List[int]:
+        """All ``s`` representative bit indices of a vehicle.
+
+        ``h_v(i) = H(v ⊕ K_v ⊕ C[i]) mod m`` for each constant.  Note
+        these do not depend on the location — only the *choice among
+        them* does.
+        """
+        if size <= 0:
+            raise ConfigurationError(f"bitmap size must be positive, got {size}")
+        return [
+            self._hasher.hash_int(
+                xor_fold(identity.vehicle_id, identity.private_key, constant)
+            )
+            % int(size)
+            for constant in identity.constants
+        ]
+
+    def encode(self, identity: VehicleIdentity, location: int, bitmap: Bitmap) -> int:
+        """Encode one vehicle into a bitmap; returns the index set."""
+        index = self.encoding_index(identity, location, bitmap.size)
+        bitmap.set(index)
+        return index
+
+    # ------------------------------------------------------------------
+    # Vectorized path (experiment-scale)
+    # ------------------------------------------------------------------
+
+    def constant_choices(
+        self, vehicle_ids: np.ndarray, location: int, s: int
+    ) -> np.ndarray:
+        """Vectorized :meth:`constant_choice`: ``i = H(L ⊕ v) mod s``."""
+        if s < 1:
+            raise ConfigurationError(f"s must be >= 1, got {s}")
+        ids = np.asarray(vehicle_ids, dtype=np.uint64)
+        return self._hasher.hash_array(ids ^ np.uint64(location)) % np.uint64(s)
+
+    def hashes_from_chosen(
+        self,
+        vehicle_ids: np.ndarray,
+        private_keys: np.ndarray,
+        chosen_constants: np.ndarray,
+    ) -> np.ndarray:
+        """Full 64-bit hashes given each vehicle's chosen constant.
+
+        The fused hot path: combined with
+        :meth:`~repro.crypto.keys.KeyGenerator.chosen_constants`, it
+        computes the same values as :meth:`encoded_hash_array` without
+        materializing the ``(n, s)`` constants matrix.
+        """
+        ids = np.asarray(vehicle_ids, dtype=np.uint64)
+        keys = np.asarray(private_keys, dtype=np.uint64)
+        chosen = np.asarray(chosen_constants, dtype=np.uint64)
+        return self._hasher.hash_array(ids ^ keys ^ chosen)
+
+    def encoded_hash_array(
+        self,
+        vehicle_ids: np.ndarray,
+        private_keys: np.ndarray,
+        constants: np.ndarray,
+        location: int,
+    ) -> np.ndarray:
+        """Vectorized :meth:`encoded_hash` for a whole population.
+
+        Parameters
+        ----------
+        vehicle_ids:
+            ``(n,)`` uint64 array of vehicle IDs.
+        private_keys:
+            ``(n,)`` uint64 array of private keys ``K_v``.
+        constants:
+            ``(n, s)`` uint64 matrix; row ``j`` is vehicle ``j``'s
+            constants array ``C``.
+        location:
+            The location ID ``L``.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n,)`` uint64 array of full 64-bit encoded hashes.
+        """
+        ids = np.asarray(vehicle_ids, dtype=np.uint64)
+        keys = np.asarray(private_keys, dtype=np.uint64)
+        consts = np.asarray(constants, dtype=np.uint64)
+        if consts.ndim != 2 or consts.shape[0] != ids.shape[0]:
+            raise ConfigurationError(
+                f"constants matrix must be (n, s) with n={ids.shape[0]}, "
+                f"got shape {consts.shape}"
+            )
+        s = consts.shape[1]
+        choice = self._hasher.hash_array(ids ^ np.uint64(location)) % np.uint64(s)
+        chosen = consts[np.arange(ids.shape[0]), choice.astype(np.intp)]
+        return self._hasher.hash_array(ids ^ keys ^ chosen)
+
+    def encoding_indices(
+        self,
+        vehicle_ids: np.ndarray,
+        private_keys: np.ndarray,
+        constants: np.ndarray,
+        location: int,
+        size: int,
+    ) -> np.ndarray:
+        """Vectorized :meth:`encoding_index`: ``(n,)`` int64 indices."""
+        hashes = self.encoded_hash_array(vehicle_ids, private_keys, constants, location)
+        return (hashes % np.uint64(size)).astype(np.int64)
+
+    def encode_population(
+        self,
+        vehicle_ids: np.ndarray,
+        private_keys: np.ndarray,
+        constants: np.ndarray,
+        location: int,
+        bitmap: Bitmap,
+    ) -> None:
+        """Encode a whole population into ``bitmap`` in one shot."""
+        indices = self.encoding_indices(
+            vehicle_ids, private_keys, constants, location, bitmap.size
+        )
+        bitmap.set_many(indices)

@@ -1,0 +1,73 @@
+"""Vehicle identity: the triple (``v``, ``K_v``, ``C``).
+
+Section II-D: a vehicle holds a unique ID ``v``, a private key ``K_v``
+known only to itself, and an array ``C`` of ``s`` randomly selected
+constants, also private.  The ID is never transmitted; everything the
+vehicle sends is a hash output derived from this material.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.crypto.keys import KeyGenerator, generate_constants, generate_private_key
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class VehicleIdentity:
+    """The private identity material of one vehicle.
+
+    Attributes
+    ----------
+    vehicle_id:
+        The unique ID ``v`` (e.g. derived from the VIN).  Never
+        transmitted to any RSU.
+    private_key:
+        The private key ``K_v``, known only to the vehicle.
+    constants:
+        The array ``C`` of ``s`` random constants, known only to the
+        vehicle.  Its length ``s`` bounds how many distinct
+        representative bits the vehicle can map to in a bitmap.
+    """
+
+    vehicle_id: int
+    private_key: int
+    constants: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.constants) < 1:
+            raise ConfigurationError("a vehicle needs at least one constant (s >= 1)")
+
+    @property
+    def s(self) -> int:
+        """The number of constants (representative bits per bitmap)."""
+        return len(self.constants)
+
+    @classmethod
+    def random(
+        cls, vehicle_id: int, s: int, rng: np.random.Generator
+    ) -> "VehicleIdentity":
+        """Draw fresh random key material for a vehicle."""
+        return cls(
+            vehicle_id=int(vehicle_id),
+            private_key=generate_private_key(rng),
+            constants=tuple(generate_constants(rng, s)),
+        )
+
+    @classmethod
+    def from_generator(cls, vehicle_id: int, keygen: KeyGenerator) -> "VehicleIdentity":
+        """Derive the identity deterministically from a key generator.
+
+        This is how the array-backed population and the scalar identity
+        stay mutually consistent: both derive ``K_v`` and ``C`` through
+        the same :class:`~repro.crypto.keys.KeyGenerator`.
+        """
+        return cls(
+            vehicle_id=int(vehicle_id),
+            private_key=keygen.private_key(vehicle_id),
+            constants=tuple(keygen.constants(vehicle_id)),
+        )

@@ -1,0 +1,139 @@
+"""The on-board unit (OBU): the vehicle side of the V2I protocol.
+
+Section II-B/II-D end to end, from the vehicle's point of view:
+
+1. receive a beacon carrying the RSU's location ``L``, its public-key
+   certificate, and its bitmap size ``m``;
+2. verify the certificate against the pre-installed trust anchor — if
+   it fails, *stay silent* (rogue RSU);
+3. challenge the RSU to prove possession of the certified key;
+4. pick a one-time random MAC address (SpoofMAC);
+5. compute ``h_v`` and transmit it to the RSU.
+
+The OBU never transmits its vehicle ID, its private key, its constants,
+or any fixed number.  The only payload is a bit index, sent under a
+fresh MAC address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.crypto.mac import AnonymousMacGenerator
+from repro.crypto.pki import (
+    Certificate,
+    check_challenge_answer,
+    verify_certificate,
+)
+from repro.exceptions import AuthenticationError
+from repro.rsu.beacon import Beacon, EncodingReport
+from repro.vehicle.encoder import VehicleEncoder
+from repro.vehicle.identity import VehicleIdentity
+
+
+@dataclass(frozen=True)
+class ObuStats:
+    """Counters describing what an OBU did over its lifetime."""
+
+    beacons_heard: int
+    beacons_rejected: int
+    reports_sent: int
+
+
+class OnBoardUnit:
+    """Protocol state machine run inside one vehicle.
+
+    Parameters
+    ----------
+    identity:
+        The vehicle's private identity material.
+    trust_anchor:
+        The trusted third party's verification key, pre-installed.
+    encoder:
+        The hash-encoding implementation (shared with RSUs only in the
+        sense that both use the same public hash function ``H``).
+    mac_seed:
+        Seed for the one-time MAC generator.
+    """
+
+    def __init__(
+        self,
+        identity: VehicleIdentity,
+        trust_anchor: bytes,
+        encoder: VehicleEncoder,
+        mac_seed: int = 0,
+    ):
+        self._identity = identity
+        self._trust_anchor = trust_anchor
+        self._encoder = encoder
+        self._mac = AnonymousMacGenerator(mac_seed)
+        self._rng = np.random.default_rng(mac_seed ^ 0xB0A7)
+        self._beacons_heard = 0
+        self._beacons_rejected = 0
+        self._reports_sent = 0
+
+    @property
+    def identity(self) -> VehicleIdentity:
+        """The vehicle's identity (never transmitted)."""
+        return self._identity
+
+    @property
+    def stats(self) -> ObuStats:
+        """Lifetime protocol counters."""
+        return ObuStats(
+            beacons_heard=self._beacons_heard,
+            beacons_rejected=self._beacons_rejected,
+            reports_sent=self._reports_sent,
+        )
+
+    def make_challenge(self) -> bytes:
+        """Draw a fresh nonce for challenge-response authentication."""
+        return self._rng.bytes(16)
+
+    def verify_beacon(self, beacon: Beacon) -> bool:
+        """Certificate check of step 2; False means 'stay silent'."""
+        return verify_certificate(beacon.certificate, self._trust_anchor)
+
+    def respond_to_beacon(
+        self,
+        beacon: Beacon,
+        challenge_answer: Optional[bytes] = None,
+        rsu_private_key: Optional[bytes] = None,
+        challenge: Optional[bytes] = None,
+    ) -> Optional[EncodingReport]:
+        """Run the full vehicle-side protocol for one beacon.
+
+        Returns the encoding report to transmit, or ``None`` when the
+        RSU failed verification and the vehicle stays silent.  The
+        optional challenge-response arguments let callers exercise the
+        authentication exchange; when omitted, certificate verification
+        alone gates the response (the common fast path in simulation).
+        """
+        self._beacons_heard += 1
+        if not self.verify_beacon(beacon):
+            self._beacons_rejected += 1
+            return None
+        if challenge_answer is not None:
+            if challenge is None or rsu_private_key is None:
+                raise AuthenticationError(
+                    "challenge verification requires both the challenge and "
+                    "the RSU key material"
+                )
+            ok = check_challenge_answer(
+                beacon.certificate, challenge, challenge_answer, rsu_private_key
+            )
+            if not ok:
+                self._beacons_rejected += 1
+                return None
+        index = self._encoder.encoding_index(
+            self._identity, beacon.location, beacon.bitmap_size
+        )
+        self._reports_sent += 1
+        return EncodingReport(
+            source_mac=self._mac.next_address(),
+            location=beacon.location,
+            index=index,
+        )

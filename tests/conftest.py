@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crypto.hashing import Sha256Hasher, SplitMix64Hasher
+from repro.crypto.keys import KeyGenerator
+from repro.vehicle.encoder import VehicleEncoder
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG for test reproducibility."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def keygen() -> KeyGenerator:
+    """A key generator with the paper's default s = 3."""
+    return KeyGenerator(master_seed=777, s=3)
+
+
+@pytest.fixture
+def encoder() -> VehicleEncoder:
+    """A vehicle encoder on the fast splitmix64 hasher."""
+    return VehicleEncoder(SplitMix64Hasher(seed=99))
+
+
+@pytest.fixture
+def sha_encoder() -> VehicleEncoder:
+    """A vehicle encoder on the byte-faithful SHA-256 hasher."""
+    return VehicleEncoder(Sha256Hasher(seed=99))

@@ -1,0 +1,47 @@
+"""Unit tests for repro.analysis.metrics."""
+
+import pytest
+
+from repro.analysis.metrics import bias, mean_relative_error, relative_error, rmse
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+
+    def test_symmetric_in_sign(self):
+        assert relative_error(90, 100) == relative_error(110, 100)
+
+    def test_exact_is_zero(self):
+        assert relative_error(100, 100) == 0.0
+
+    def test_invalid_actual(self):
+        with pytest.raises(ValueError):
+            relative_error(1, 0)
+
+
+class TestAggregates:
+    def test_mean_relative_error(self):
+        assert mean_relative_error([90, 110], 100) == pytest.approx(0.1)
+
+    def test_mean_relative_error_empty(self):
+        with pytest.raises(ValueError):
+            mean_relative_error([], 100)
+
+    def test_bias_signed(self):
+        assert bias([90, 110, 130], 100) == pytest.approx(10.0)
+        assert bias([80, 90], 100) == pytest.approx(-15.0)
+
+    def test_bias_empty(self):
+        with pytest.raises(ValueError):
+            bias([], 100)
+
+    def test_rmse(self):
+        assert rmse([90, 110], 100) == pytest.approx(10.0)
+
+    def test_rmse_dominated_by_outliers(self):
+        assert rmse([100, 100, 140], 100) > rmse([113, 113, 114], 100)
+
+    def test_rmse_empty(self):
+        with pytest.raises(ValueError):
+            rmse([], 100)

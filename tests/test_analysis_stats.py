@@ -1,0 +1,40 @@
+"""Unit tests for repro.analysis.stats."""
+
+import pytest
+
+from repro.analysis.stats import summarize_runs
+
+
+class TestSummarizeRuns:
+    def test_basic_statistics(self):
+        stats = summarize_runs([1.0, 2.0, 3.0])
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+        assert stats.count == 3
+        assert stats.stddev == pytest.approx(1.0)
+
+    def test_single_value(self):
+        stats = summarize_runs([5.0])
+        assert stats.mean == 5.0
+        assert stats.stddev == 0.0
+        assert stats.stderr == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_runs([])
+
+    def test_stderr(self):
+        stats = summarize_runs([1.0, 2.0, 3.0, 4.0])
+        assert stats.stderr == pytest.approx(stats.stddev / 2.0)
+
+    def test_confidence_interval_contains_mean(self):
+        stats = summarize_runs([1.0, 2.0, 3.0])
+        low, high = stats.confidence_interval()
+        assert low <= stats.mean <= high
+
+    def test_confidence_interval_width_scales_with_z(self):
+        stats = summarize_runs([1.0, 2.0, 3.0, 4.0])
+        narrow = stats.confidence_interval(z=1.0)
+        wide = stats.confidence_interval(z=3.0)
+        assert (wide[1] - wide[0]) == pytest.approx(3 * (narrow[1] - narrow[0]))

@@ -1,0 +1,50 @@
+"""Unit tests for repro.analysis.sweep."""
+
+import pytest
+
+from repro.analysis.sweep import run_sweep
+from repro.exceptions import ConfigurationError
+
+
+class TestRunSweep:
+    def test_aggregates_per_point(self):
+        results = run_sweep(
+            points=[1, 2, 3],
+            measure=lambda point, rng: float(point * 10),
+            runs=4,
+        )
+        assert [r.point for r in results] == [1, 2, 3]
+        assert [r.mean for r in results] == [10.0, 20.0, 30.0]
+        assert all(r.statistics.count == 4 for r in results)
+
+    def test_deterministic_given_seed(self):
+        def noisy(point, rng):
+            return float(rng.normal(point, 1.0))
+
+        a = run_sweep([5], noisy, runs=3, seed=9)
+        b = run_sweep([5], noisy, runs=3, seed=9)
+        assert a[0].statistics.mean == b[0].statistics.mean
+
+    def test_seed_changes_draws(self):
+        def noisy(point, rng):
+            return float(rng.normal(point, 1.0))
+
+        a = run_sweep([5], noisy, runs=3, seed=1)
+        b = run_sweep([5], noisy, runs=3, seed=2)
+        assert a[0].statistics.mean != b[0].statistics.mean
+
+    def test_runs_independent_per_point(self):
+        """Different points must get different RNG streams."""
+        def draw(point, rng):
+            return float(rng.uniform())
+
+        results = run_sweep([1, 2], draw, runs=1, seed=0)
+        assert results[0].mean != results[1].mean
+
+    def test_invalid_runs(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep([1], lambda p, r: 0.0, runs=0)
+
+    def test_empty_points(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep([], lambda p, r: 0.0, runs=1)

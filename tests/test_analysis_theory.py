@@ -1,0 +1,135 @@
+"""Tests validating the analytical variance models against Monte Carlo."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.theory import (
+    point_confidence_interval,
+    point_estimate_stddev,
+    point_to_point_confidence_interval,
+    point_to_point_estimate_stddev,
+)
+from repro.core.point import PointPersistentEstimator
+from repro.core.point_to_point import PointToPointPersistentEstimator
+from repro.core.results import PointEstimate, PointToPointEstimate
+from repro.exceptions import EstimationError
+from repro.traffic.workloads import PointToPointWorkload, PointWorkload
+
+
+def _point_estimates(n_star, volumes, runs):
+    workload = PointWorkload(s=3, load_factor=2.0, key_seed=5)
+    estimator = PointPersistentEstimator()
+    estimates = []
+    for seed in range(runs):
+        rng = np.random.default_rng([n_star, seed])
+        records = workload.generate(
+            n_star=n_star, volumes=volumes, location=1, rng=rng
+        ).records
+        estimates.append(estimator.estimate(records))
+    return estimates
+
+
+def _p2p_estimates(n_pp, volumes_a, volumes_b, runs):
+    workload = PointToPointWorkload(s=3, load_factor=2.0, key_seed=5)
+    estimator = PointToPointPersistentEstimator(3)
+    estimates = []
+    for seed in range(runs):
+        rng = np.random.default_rng([n_pp, seed])
+        result = workload.generate(
+            n_double_prime=n_pp,
+            volumes_a=volumes_a,
+            volumes_b=volumes_b,
+            location_a=1,
+            location_b=2,
+            rng=rng,
+        )
+        estimates.append(estimator.estimate(result.records_a, result.records_b))
+    return estimates
+
+
+class TestPointVariance:
+    def test_prediction_is_conservative_and_bounded(self):
+        """The bound must cover the Monte-Carlo spread from above but
+        stay within a small factor of it (not uselessly loose)."""
+        estimates = _point_estimates(400, [6000] * 5, runs=150)
+        measured = float(np.std([e.estimate for e in estimates]))
+        predicted = float(
+            np.median([point_estimate_stddev(e) for e in estimates])
+        )
+        assert measured <= predicted <= 6 * measured
+
+    def test_stddev_grows_with_traffic_load(self):
+        light = _point_estimates(200, [3000] * 4, runs=1)[0]
+        heavy = _point_estimates(200, [9000] * 4, runs=1)[0]
+        # Heavier transient traffic at comparable m -> noisier joins.
+        assert point_estimate_stddev(heavy) > point_estimate_stddev(light) * 0.5
+
+    def test_confidence_interval_covers_truth(self):
+        """A 95% CI should cover the truth in the large majority of
+        runs (loose bound: at least 80% of 60 runs)."""
+        estimates = _point_estimates(400, [6000] * 5, runs=60)
+        covered = 0
+        for estimate in estimates:
+            low, high = point_confidence_interval(estimate)
+            if low <= 400 <= high:
+                covered += 1
+        assert covered >= 48
+
+    def test_degenerate_statistics_rejected(self):
+        bad = PointEstimate(
+            estimate=1.0, v_a0=0.5, v_b0=0.4, v_star1=0.05, size=1024, periods=4
+        )
+        with pytest.raises(EstimationError):
+            point_estimate_stddev(bad)
+
+
+class TestPointToPointVariance:
+    def test_prediction_matches_monte_carlo(self):
+        """At the paper's operating point the p2p bound is tight."""
+        estimates = _p2p_estimates(1500, [20000] * 5, [30000] * 5, runs=120)
+        measured = float(np.std([e.estimate for e in estimates]))
+        predicted = float(
+            np.median([point_to_point_estimate_stddev(e) for e in estimates])
+        )
+        assert 0.7 * measured <= predicted <= 1.6 * measured
+
+    def test_confidence_interval_covers_truth(self):
+        estimates = _p2p_estimates(1500, [20000] * 5, [30000] * 5, runs=60)
+        covered = 0
+        for estimate in estimates:
+            low, high = point_to_point_confidence_interval(estimate)
+            if low <= 1500 <= high:
+                covered += 1
+        assert covered >= 45
+
+    def test_counting_floor_in_sparse_regime(self):
+        """Near-saturated-zero joins: the occupancy terms cancel, so
+        the Poisson floor sqrt(n̂) must take over."""
+        sparse = PointToPointEstimate(
+            estimate=2500.0,
+            v_0=0.96,
+            v_prime_0=0.98,
+            v_double_prime_0=0.9409,
+            size_small=65536,
+            size_large=131072,
+            s=3,
+            periods=5,
+            swapped=False,
+        )
+        stddev = point_to_point_estimate_stddev(sparse)
+        assert stddev == pytest.approx(50.0, rel=0.01)  # sqrt(2500)
+
+    def test_degenerate_statistics_rejected(self):
+        bad = PointToPointEstimate(
+            estimate=1.0,
+            v_0=0.0,
+            v_prime_0=0.5,
+            v_double_prime_0=0.2,
+            size_small=64,
+            size_large=128,
+            s=3,
+            periods=2,
+            swapped=False,
+        )
+        with pytest.raises(EstimationError):
+            point_to_point_estimate_stddev(bad)

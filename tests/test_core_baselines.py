@@ -1,0 +1,100 @@
+"""Tests for the baseline methods (Fig. 4 benchmark, ID counter)."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import DirectAndBenchmark, ExactIdCounter, direct_and_estimate
+from repro.core.point import PointPersistentEstimator
+from repro.traffic.workloads import PointWorkload
+
+
+def _records(n_star, volumes, seed=0):
+    workload = PointWorkload(s=3, load_factor=2.0, key_seed=11)
+    rng = np.random.default_rng(seed)
+    return workload.generate(
+        n_star=n_star, volumes=volumes, location=2, rng=rng
+    ).records
+
+
+class TestDirectAndBenchmark:
+    def test_estimates_include_collision_noise(self):
+        """The benchmark must systematically over-estimate small n*."""
+        overshoots = []
+        for seed in range(10):
+            records = _records(50, [8000] * 5, seed=seed)
+            estimate = DirectAndBenchmark().estimate(records)
+            overshoots.append(estimate.estimate - 50)
+        assert np.mean(overshoots) > 0
+
+    def test_proposed_beats_benchmark_at_small_n_star(self):
+        """The Fig. 4 headline claim, at one representative point."""
+        benchmark_errors, proposed_errors = [], []
+        for seed in range(15):
+            records = _records(100, [9000] * 5, seed=seed)
+            benchmark_errors.append(
+                DirectAndBenchmark().estimate(records).relative_error(100)
+            )
+            proposed_errors.append(
+                PointPersistentEstimator().estimate(records).relative_error(100)
+            )
+        assert np.mean(proposed_errors) < np.mean(benchmark_errors)
+
+    def test_result_fields(self):
+        records = _records(100, [4000, 5000])
+        estimate = DirectAndBenchmark().estimate(records)
+        assert estimate.periods == 2
+        assert 0 < estimate.v_star0 <= 1
+        assert estimate.clamped >= 0
+
+    def test_relative_error_validates_actual(self):
+        records = _records(100, [4000, 5000])
+        estimate = DirectAndBenchmark().estimate(records)
+        with pytest.raises(ValueError):
+            estimate.relative_error(0)
+
+    def test_convenience_function(self):
+        records = _records(100, [4000, 5000])
+        assert (
+            direct_and_estimate(records).estimate
+            == DirectAndBenchmark().estimate(records).estimate
+        )
+
+
+class TestExactIdCounter:
+    def test_point_persistent_exact(self):
+        counter = ExactIdCounter()
+        counter.observe_many(1, 0, [10, 11, 12, 13])
+        counter.observe_many(1, 1, [11, 12, 13, 14])
+        counter.observe_many(1, 2, [12, 13, 15])
+        assert counter.point_persistent(1, [0, 1, 2]) == 2
+
+    def test_point_to_point_exact(self):
+        counter = ExactIdCounter()
+        for period in range(2):
+            counter.observe_many(1, period, [1, 2, 3])
+            counter.observe_many(2, period, [2, 3, 4])
+        assert counter.point_to_point_persistent(1, 2, [0, 1]) == 2
+
+    def test_missing_data_gives_zero(self):
+        counter = ExactIdCounter()
+        assert counter.point_persistent(9, [0]) == 0
+        assert counter.point_to_point_persistent(1, 2, []) == 0
+
+    def test_observe_single(self):
+        counter = ExactIdCounter()
+        counter.observe(5, 0, 42)
+        assert counter.ids_at(5, 0) == {42}
+
+    def test_trajectory_exposes_the_privacy_hazard(self):
+        """The ID design reveals complete movement histories."""
+        counter = ExactIdCounter()
+        counter.observe(1, 0, 99)
+        counter.observe(2, 0, 99)
+        counter.observe(1, 1, 99)
+        assert counter.trajectory(99) == {(1, 0), (2, 0), (1, 1)}
+
+    def test_ids_at_returns_copy(self):
+        counter = ExactIdCounter()
+        counter.observe(1, 0, 5)
+        counter.ids_at(1, 0).add(6)
+        assert counter.ids_at(1, 0) == {5}

@@ -1,0 +1,111 @@
+"""Tests for the k-way split estimator extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.multisplit import (
+    MultiSplitPointEstimator,
+    multi_split_estimate_from_statistics,
+)
+from repro.core.point import PointPersistentEstimator
+from repro.exceptions import ConfigurationError, EstimationError, SketchError
+from repro.sketch.bitmap import Bitmap
+from repro.traffic.workloads import PointWorkload
+
+
+def _records(n_star, volumes, seed=0):
+    workload = PointWorkload(s=3, load_factor=2.0, key_seed=21)
+    rng = np.random.default_rng(seed)
+    return workload.generate(
+        n_star=n_star, volumes=volumes, location=4, rng=rng
+    ).records
+
+
+class TestFormula:
+    def test_k2_matches_paper_closed_form(self):
+        """The k=2 path must agree with Eq. 12 bit for bit."""
+        from repro.core.point import point_estimate_from_statistics
+
+        v_a0, v_b0, v_star1, m = 0.55, 0.48, 0.31, 8192
+        assert multi_split_estimate_from_statistics(
+            [v_a0, v_b0], v_star1, m
+        ) == point_estimate_from_statistics(v_a0, v_b0, v_star1, m)
+
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_numeric_inversion_recovers_truth(self, k):
+        """Feed the exact occupancy expectation, get n* back."""
+        m, n_star = 2**14, 400
+        x = (1 - 1 / m) ** n_star
+        group_counts = [n_star + 1500 + 200 * g for g in range(k)]
+        fractions = [(1 - 1 / m) ** n for n in group_counts]
+        product = 1.0
+        for v in fractions:
+            product *= 1 - v / x
+        v_star1 = (1 - x) + x * product
+        recovered = multi_split_estimate_from_statistics(fractions, v_star1, m)
+        assert recovered == pytest.approx(n_star, rel=1e-6)
+
+    def test_zero_common_returns_zero(self):
+        m = 2**14
+        fractions = [0.6, 0.5, 0.7]
+        product = 1.0
+        for v in fractions:
+            product *= 1 - v  # x = 1
+        v_star1 = product
+        assert multi_split_estimate_from_statistics(
+            fractions, v_star1 * 0.9, m
+        ) == 0.0
+
+    def test_saturated_group_rejected(self):
+        with pytest.raises(EstimationError):
+            multi_split_estimate_from_statistics([0.0, 0.5, 0.5], 0.2, 1024)
+
+    def test_single_group_rejected(self):
+        with pytest.raises(ConfigurationError):
+            multi_split_estimate_from_statistics([0.5], 0.2, 1024)
+
+    def test_impossible_statistics_rejected(self):
+        """V*_1 above 1 - max(V_g0) cannot come from real AND-joins."""
+        with pytest.raises(EstimationError):
+            multi_split_estimate_from_statistics([0.5, 0.6, 0.7], 0.5, 1024)
+
+
+class TestEstimator:
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            MultiSplitPointEstimator(k=1)
+
+    def test_too_few_records(self):
+        with pytest.raises(SketchError):
+            MultiSplitPointEstimator(k=3).estimate([Bitmap(64), Bitmap(64)])
+
+    def test_k2_agrees_with_point_estimator(self):
+        records = _records(300, [5000] * 6)
+        via_multi = MultiSplitPointEstimator(k=2).estimate(records)
+        via_paper = PointPersistentEstimator().estimate(records)
+        assert via_multi.estimate == pytest.approx(via_paper.estimate)
+
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_recovers_truth_for_all_k(self, k):
+        estimates = []
+        for seed in range(10):
+            records = _records(400, [6000] * 10, seed=seed)
+            estimates.append(
+                MultiSplitPointEstimator(k=k).estimate(records).estimate
+            )
+        assert np.mean(estimates) == pytest.approx(400, rel=0.15)
+
+    def test_group_split_balanced(self):
+        records = _records(100, [4000] * 7)
+        result = MultiSplitPointEstimator(k=3).estimate(records)
+        assert result.k == 3
+        assert result.periods == 7
+        assert len(result.group_zero_fractions) == 3
+
+    def test_result_fields(self):
+        records = _records(100, [4000] * 4)
+        result = MultiSplitPointEstimator(k=2).estimate(records)
+        assert result.clamped >= 0
+        assert result.relative_error(100) >= 0
+        with pytest.raises(ValueError):
+            result.relative_error(0)

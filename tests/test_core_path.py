@@ -1,0 +1,224 @@
+"""Tests for the k-location path-persistent estimator extension."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.path import (
+    PathPersistentEstimator,
+    common_avoidance_probability,
+    path_estimate_from_statistics,
+)
+from repro.core.point_to_point import PointToPointPersistentEstimator
+from repro.exceptions import ConfigurationError, SaturatedBitmapError
+from repro.traffic.workloads import PathWorkload
+
+
+def _generate(n_common, volumes_per_location, locations, seed=0, s=3):
+    workload = PathWorkload(s=s, load_factor=2.0, key_seed=13)
+    rng = np.random.default_rng(seed)
+    return workload.generate(
+        n_common=n_common,
+        volumes_per_location=volumes_per_location,
+        locations=locations,
+        rng=rng,
+    )
+
+
+class TestAvoidanceProbability:
+    def test_reduces_to_paper_formula_for_k2(self):
+        """P₁ for two locations must equal Eq. 14's per-vehicle base:
+        (1 - 1/m)(1/s + (1 - 1/s)(1 - 1/m'))."""
+        m, m_prime, s = 2**14, 2**16, 3
+        expected = (1 - 1 / m) * (1 / s + (1 - 1 / s) * (1 - 1 / m_prime))
+        assert common_avoidance_probability([m, m_prime], s) == pytest.approx(
+            expected, rel=1e-12
+        )
+
+    def test_k2_rho_matches_eq15(self):
+        """ρ = 1 + 1/(s·m' − s), the paper's Eq. 15 factor."""
+        m, m_prime, s = 2**12, 2**15, 3
+        p1 = common_avoidance_probability([m, m_prime], s)
+        rho = p1 / ((1 - 1 / m) * (1 - 1 / m_prime))
+        assert rho == pytest.approx(1 + 1 / (s * m_prime - s), rel=1e-12)
+
+    def test_single_location(self):
+        """k = 1: the vehicle avoids the bit with prob 1 - 1/m."""
+        assert common_avoidance_probability([1024], 3) == pytest.approx(
+            1 - 1 / 1024
+        )
+
+    def test_s1_collapses_to_min_size(self):
+        """s = 1: every location uses the same constant, so avoidance
+        is governed by the smallest bitmap alone."""
+        sizes = [256, 1024, 4096]
+        assert common_avoidance_probability(sizes, 1) == pytest.approx(
+            1 - 1 / 256
+        )
+
+    def test_monotone_decreasing_in_s(self):
+        """Sharing a constant across locations merges their collision
+        chances into one, so avoidance P₁ is largest at s = 1 and
+        decreases toward the independent product as s grows."""
+        import math
+
+        sizes = [256, 4096, 4096]
+        values = [common_avoidance_probability(sizes, s) for s in (1, 2, 4, 8)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+        independent = math.prod(1 - 1 / m for m in sizes)
+        assert all(v > independent for v in values)
+
+    def test_enumeration_cap(self):
+        with pytest.raises(ConfigurationError):
+            common_avoidance_probability([64] * 10, 6)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            common_avoidance_probability([], 3)
+        with pytest.raises(ConfigurationError):
+            common_avoidance_probability([64], 0)
+
+
+class TestFormula:
+    def test_inversion_recovers_truth(self):
+        sizes = [2**13, 2**14, 2**15]
+        s, n_c = 3, 500
+        p1 = common_avoidance_probability(sizes, s)
+        independent = math.prod(1 - 1 / m for m in sizes)
+        rho = p1 / independent
+        fractions = [0.5, 0.45, 0.55]
+        v_or0 = rho**n_c * math.prod(fractions)
+        recovered = path_estimate_from_statistics(fractions, v_or0, sizes, s)
+        assert recovered == pytest.approx(n_c, rel=1e-9)
+
+    def test_independent_traffic_estimates_zero(self):
+        sizes = [2**13, 2**13]
+        fractions = [0.5, 0.5]
+        value = path_estimate_from_statistics(
+            fractions, 0.25, sizes, 3
+        )
+        assert value == pytest.approx(0.0, abs=1e-9)
+
+    def test_saturated_inputs(self):
+        with pytest.raises(SaturatedBitmapError):
+            path_estimate_from_statistics([0.0, 0.5], 0.2, [64, 64], 3)
+        with pytest.raises(SaturatedBitmapError):
+            path_estimate_from_statistics([0.5, 0.5], 0.0, [64, 64], 3)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            path_estimate_from_statistics([0.5], 0.2, [64, 64], 3)
+
+
+class TestEstimator:
+    def test_recovers_known_three_location_path(self):
+        estimates = []
+        for seed in range(8):
+            result = _generate(
+                800,
+                [[20000] * 5, [30000] * 5, [25000] * 5],
+                locations=[1, 2, 3],
+                seed=seed,
+            )
+            estimate = PathPersistentEstimator(3).estimate(
+                result.records_per_location
+            )
+            estimates.append(estimate.estimate)
+        assert np.mean(estimates) == pytest.approx(800, rel=0.2)
+
+    def test_k2_agrees_with_point_to_point_estimator(self):
+        """On two locations, the path estimator is the exact-mode
+        point-to-point estimator."""
+        result = _generate(
+            1000, [[20000] * 5, [40000] * 5], locations=[1, 2], seed=3
+        )
+        path = PathPersistentEstimator(3).estimate(result.records_per_location)
+        p2p = PointToPointPersistentEstimator(3, approximate=False).estimate(
+            result.records_per_location[0], result.records_per_location[1]
+        )
+        assert path.estimate == pytest.approx(p2p.estimate, rel=1e-9)
+
+    def test_four_location_corridor(self):
+        result = _generate(
+            500,
+            [[15000] * 5] * 4,
+            locations=[1, 2, 3, 4],
+            seed=5,
+        )
+        estimate = PathPersistentEstimator(3).estimate(
+            result.records_per_location
+        )
+        assert estimate.k == 4
+        assert estimate.estimate == pytest.approx(500, rel=0.45)
+
+    def test_zero_common_near_zero(self):
+        result = _generate(
+            0, [[10000] * 5, [10000] * 5, [10000] * 5], locations=[1, 2, 3]
+        )
+        estimate = PathPersistentEstimator(3).estimate(
+            result.records_per_location
+        )
+        assert estimate.clamped < 250
+
+    def test_result_fields(self):
+        result = _generate(
+            100, [[5000] * 3, [6000] * 3], locations=[7, 8]
+        )
+        estimate = PathPersistentEstimator(3).estimate(
+            result.records_per_location
+        )
+        assert estimate.periods == 3
+        assert len(estimate.sizes) == 2
+        assert 0 < estimate.v_or0 < 1
+
+    def test_single_location_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PathPersistentEstimator(3).estimate([[]])
+
+    def test_mismatched_periods_rejected(self):
+        result = _generate(
+            10, [[5000] * 3, [5000] * 3], locations=[1, 2]
+        )
+        with pytest.raises(ConfigurationError):
+            PathPersistentEstimator(3).estimate(
+                [result.records_per_location[0][:2],
+                 result.records_per_location[1]]
+            )
+
+    def test_invalid_s(self):
+        with pytest.raises(ConfigurationError):
+            PathPersistentEstimator(0)
+
+
+class TestPathWorkload:
+    def test_validation(self, rng):
+        workload = PathWorkload(s=3, load_factor=2.0)
+        with pytest.raises(ConfigurationError):
+            workload.generate(1, [[100]], locations=[1], rng=rng)
+        with pytest.raises(ConfigurationError):
+            workload.generate(1, [[100], [100]], locations=[1, 1], rng=rng)
+        with pytest.raises(ConfigurationError):
+            workload.generate(
+                1, [[100], [100, 100]], locations=[1, 2], rng=rng
+            )
+        with pytest.raises(ConfigurationError):
+            workload.generate(
+                200, [[100], [100]], locations=[1, 2], rng=rng
+            )
+        with pytest.raises(ConfigurationError):
+            workload.generate(
+                -1, [[100], [100]], locations=[1, 2], rng=rng
+            )
+
+    def test_metadata(self, rng):
+        workload = PathWorkload(s=3, load_factor=2.0)
+        result = workload.generate(
+            50, [[4000, 5000], [6000, 7000]], locations=[3, 4], rng=rng
+        )
+        assert result.n_common == 50
+        assert result.locations == (3, 4)
+        assert len(result.records_per_location) == 2
+        assert all(len(r) == 2 for r in result.records_per_location)
+        # Constant per-location sizing from the mean volume.
+        assert result.sizes_per_location == (16384, 16384)

@@ -1,0 +1,149 @@
+"""Tests for the point persistent estimator (Section III, Eq. 12)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.point import (
+    PointPersistentEstimator,
+    estimate_point_persistent,
+    point_estimate_from_statistics,
+)
+from repro.exceptions import EstimationError, SaturatedBitmapError, SketchError
+from repro.rsu.record import TrafficRecord
+from repro.sketch.bitmap import Bitmap
+from repro.traffic.workloads import PointWorkload
+
+
+def _workload_records(n_star, volumes, seed=0, location=1, s=3, f=2.0):
+    workload = PointWorkload(s=s, load_factor=f, key_seed=42)
+    rng = np.random.default_rng(seed)
+    return workload.generate(
+        n_star=n_star, volumes=volumes, location=location, rng=rng
+    ).records
+
+
+class TestFormula:
+    def test_closed_form_inversion(self):
+        """Feeding Eq. 10's expectation back must recover n* exactly."""
+        m, n_star, n_a, n_b = 16384, 500, 4000, 5000
+        v_a0 = (1 - 1 / m) ** n_a
+        v_b0 = (1 - 1 / m) ** n_b
+        v_star1 = (
+            1 - v_a0 - v_b0 + v_a0 * v_b0 * (1 - 1 / m) ** (-n_star)
+        )
+        recovered = point_estimate_from_statistics(v_a0, v_b0, v_star1, m)
+        assert recovered == pytest.approx(n_star, rel=1e-9)
+
+    def test_zero_common_vehicles(self):
+        """With n* = 0 the expectation gives exactly zero."""
+        m, n_a, n_b = 8192, 3000, 2000
+        v_a0 = (1 - 1 / m) ** n_a
+        v_b0 = (1 - 1 / m) ** n_b
+        v_star1 = 1 - v_a0 - v_b0 + v_a0 * v_b0
+        assert point_estimate_from_statistics(v_a0, v_b0, v_star1, m) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_saturated_half_a(self):
+        with pytest.raises(SaturatedBitmapError):
+            point_estimate_from_statistics(0.0, 0.5, 0.2, 64)
+
+    def test_saturated_half_b(self):
+        with pytest.raises(SaturatedBitmapError):
+            point_estimate_from_statistics(0.5, 0.0, 0.2, 64)
+
+    def test_inconsistent_statistics(self):
+        """V*_1 smaller than independent collisions -> no estimate."""
+        with pytest.raises(EstimationError):
+            point_estimate_from_statistics(0.5, 0.4, 0.05, 1024)
+
+
+class TestEstimator:
+    def test_recovers_known_persistent_volume(self):
+        records = _workload_records(500, [5000, 6000, 7000, 8000, 9000])
+        estimate = PointPersistentEstimator().estimate(records)
+        assert estimate.estimate == pytest.approx(500, abs=150)
+
+    def test_mean_over_runs_is_unbiased(self):
+        estimates = []
+        for seed in range(30):
+            records = _workload_records(400, [4000, 5000, 6000, 7000], seed=seed)
+            estimates.append(PointPersistentEstimator().estimate(records).estimate)
+        assert np.mean(estimates) == pytest.approx(400, rel=0.1)
+
+    def test_result_statistics_populated(self):
+        records = _workload_records(100, [3000, 4000, 5000])
+        estimate = PointPersistentEstimator().estimate(records)
+        assert 0 < estimate.v_a0 < 1
+        assert 0 < estimate.v_b0 < 1
+        assert 0 < estimate.v_star1 < 1
+        assert estimate.periods == 3
+        assert estimate.size == max(r.size for r in records)
+
+    def test_accepts_traffic_records(self):
+        bitmaps = _workload_records(200, [4000, 4000])
+        records = [
+            TrafficRecord(location=1, period=i, bitmap=b)
+            for i, b in enumerate(bitmaps)
+        ]
+        a = PointPersistentEstimator().estimate(records)
+        b = PointPersistentEstimator().estimate(bitmaps)
+        assert a.estimate == b.estimate
+
+    def test_mixed_bitmap_sizes(self):
+        """Records of different sizes exercise the expansion path.
+
+        The estimator remains usable but picks up a positive bias in
+        this regime: a common vehicle covers m/l_max bits of a half's
+        AND-join rather than 1 (see DESIGN.md), so the tolerance here
+        is deliberately loose.
+        """
+        workload = PointWorkload(s=3, load_factor=2.0, key_seed=42)
+        rng = np.random.default_rng(0)
+        result = workload.generate(
+            n_star=300,
+            volumes=[2500, 9500, 2500, 9500],
+            location=1,
+            rng=rng,
+            fixed_sizes=[8192, 32768, 8192, 32768],
+        )
+        estimate = PointPersistentEstimator().estimate(result.records)
+        assert estimate.estimate == pytest.approx(300, abs=250)
+        assert estimate.size == 32768
+
+    def test_more_periods_do_not_hurt(self):
+        """t=10 should estimate at least as well as t=3 on average."""
+        errors_small_t, errors_large_t = [], []
+        for seed in range(12):
+            records = _workload_records(
+                200, [5000] * 10, seed=seed
+            )
+            small = PointPersistentEstimator().estimate(records[:3])
+            large = PointPersistentEstimator().estimate(records)
+            errors_small_t.append(abs(small.estimate - 200))
+            errors_large_t.append(abs(large.estimate - 200))
+        assert np.mean(errors_large_t) <= np.mean(errors_small_t) * 1.5
+
+    def test_single_record_rejected(self):
+        with pytest.raises(SketchError):
+            PointPersistentEstimator().estimate([Bitmap(64)])
+
+    def test_convenience_function(self):
+        records = _workload_records(100, [3000, 3000])
+        assert (
+            estimate_point_persistent(records).estimate
+            == PointPersistentEstimator().estimate(records).estimate
+        )
+
+    def test_all_transient_traffic_estimates_near_zero(self):
+        records = _workload_records(0, [5000, 6000, 7000, 8000])
+        estimate = PointPersistentEstimator().estimate(records)
+        assert estimate.clamped < 120
+
+    def test_everything_persistent(self):
+        """n* equal to the full volume: E_a = E_b = E_*."""
+        records = _workload_records(3000, [3000, 3000, 3000, 3000])
+        estimate = PointPersistentEstimator().estimate(records)
+        assert estimate.estimate == pytest.approx(3000, rel=0.1)

@@ -1,0 +1,184 @@
+"""Tests for the point-to-point estimator (Section IV, Eq. 21)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.point_to_point import (
+    PointToPointPersistentEstimator,
+    estimate_point_to_point_persistent,
+    point_to_point_estimate_from_statistics,
+)
+from repro.exceptions import (
+    ConfigurationError,
+    SaturatedBitmapError,
+)
+from repro.traffic.workloads import PointToPointWorkload
+
+
+def _generate(n_pp, volumes_a, volumes_b, seed=0, s=3, f=2.0, **kwargs):
+    workload = PointToPointWorkload(s=s, load_factor=f, key_seed=7)
+    rng = np.random.default_rng(seed)
+    return workload.generate(
+        n_double_prime=n_pp,
+        volumes_a=volumes_a,
+        volumes_b=volumes_b,
+        location_a=11,
+        location_b=22,
+        rng=rng,
+        **kwargs,
+    )
+
+
+class TestFormula:
+    def test_closed_form_inversion_exact_mode(self):
+        """Inverting Eq. 19 exactly must recover n'' exactly."""
+        m_prime, s, n_pp = 2**16, 3, 700
+        v_0, v_prime_0 = 0.4, 0.35
+        v_pp_0 = (1 + 1 / (s * m_prime - s)) ** n_pp * v_0 * v_prime_0
+        recovered = point_to_point_estimate_from_statistics(
+            v_0, v_prime_0, v_pp_0, m_prime, s, approximate=False
+        )
+        assert recovered == pytest.approx(n_pp, rel=1e-9)
+
+    def test_paper_approximation_close_for_large_m(self):
+        m_prime, s, n_pp = 2**20, 3, 3000
+        v_0, v_prime_0 = 0.4, 0.35
+        v_pp_0 = (1 + 1 / (s * m_prime - s)) ** n_pp * v_0 * v_prime_0
+        approx = point_to_point_estimate_from_statistics(
+            v_0, v_prime_0, v_pp_0, m_prime, s, approximate=True
+        )
+        assert approx == pytest.approx(n_pp, rel=1e-3)
+
+    def test_zero_common(self):
+        v_0, v_prime_0 = 0.5, 0.5
+        value = point_to_point_estimate_from_statistics(
+            v_0, v_prime_0, v_0 * v_prime_0, 2**16, 3
+        )
+        assert value == pytest.approx(0.0, abs=1e-6)
+
+    def test_saturated_inputs(self):
+        with pytest.raises(SaturatedBitmapError):
+            point_to_point_estimate_from_statistics(0.0, 0.5, 0.2, 1024, 3)
+        with pytest.raises(SaturatedBitmapError):
+            point_to_point_estimate_from_statistics(0.5, 0.5, 0.0, 1024, 3)
+
+    def test_invalid_s(self):
+        with pytest.raises(ConfigurationError):
+            point_to_point_estimate_from_statistics(0.5, 0.5, 0.3, 1024, 0)
+
+
+class TestEstimator:
+    def test_recovers_known_common_volume(self):
+        result = _generate(2000, [30000] * 5, [50000] * 5)
+        estimate = PointToPointPersistentEstimator(3).estimate(
+            result.records_a, result.records_b
+        )
+        assert estimate.estimate == pytest.approx(2000, rel=0.25)
+
+    def test_mean_over_runs_near_truth(self):
+        estimates = []
+        for seed in range(20):
+            result = _generate(1000, [20000] * 5, [20000] * 5, seed=seed)
+            estimates.append(
+                PointToPointPersistentEstimator(3)
+                .estimate(result.records_a, result.records_b)
+                .estimate
+            )
+        assert np.mean(estimates) == pytest.approx(1000, rel=0.15)
+
+    def test_different_sizes_expansion(self):
+        """m'/m = 16, like Table I's last column."""
+        result = _generate(3000, [28000] * 5, [451000] * 5)
+        estimate = PointToPointPersistentEstimator(3).estimate(
+            result.records_a, result.records_b
+        )
+        assert estimate.size_small < estimate.size_large
+        assert estimate.estimate == pytest.approx(3000, rel=0.25)
+
+    def test_swapped_argument_order(self):
+        """Passing (larger, smaller) must give the same estimate."""
+        result = _generate(1500, [10000] * 4, [80000] * 4, seed=3)
+        forward = PointToPointPersistentEstimator(3).estimate(
+            result.records_a, result.records_b
+        )
+        backward = PointToPointPersistentEstimator(3).estimate(
+            result.records_b, result.records_a
+        )
+        assert forward.estimate == pytest.approx(backward.estimate)
+        assert backward.swapped != forward.swapped
+
+    def test_statistics_populated(self):
+        result = _generate(500, [8000] * 3, [9000] * 3)
+        estimate = PointToPointPersistentEstimator(3).estimate(
+            result.records_a, result.records_b
+        )
+        assert 0 < estimate.v_0 < 1
+        assert 0 < estimate.v_prime_0 < 1
+        assert 0 < estimate.v_double_prime_0 < 1
+        assert estimate.periods == 3
+        assert estimate.s == 3
+
+    def test_mismatched_period_counts_rejected(self):
+        result = _generate(100, [5000] * 3, [5000] * 3)
+        with pytest.raises(ConfigurationError):
+            PointToPointPersistentEstimator(3).estimate(
+                result.records_a[:2], result.records_b
+            )
+
+    def test_invalid_s_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PointToPointPersistentEstimator(0)
+
+    def test_s_property(self):
+        assert PointToPointPersistentEstimator(4).s == 4
+
+    def test_convenience_function(self):
+        result = _generate(300, [6000] * 3, [7000] * 3)
+        a = estimate_point_to_point_persistent(result.records_a, result.records_b, 3)
+        b = PointToPointPersistentEstimator(3).estimate(
+            result.records_a, result.records_b
+        )
+        assert a.estimate == b.estimate
+
+    def test_single_period_degenerates_to_plain_p2p(self):
+        """With t = 1 the 'persistent' problem reduces to ordinary
+        point-to-point traffic measurement (the prior work's problem,
+        refs [15]/[16]) and the estimator still works."""
+        result = _generate(2000, [30000], [40000], seed=5)
+        estimate = PointToPointPersistentEstimator(3).estimate(
+            result.records_a, result.records_b
+        )
+        assert estimate.periods == 1
+        assert estimate.estimate == pytest.approx(2000, rel=0.35)
+
+    def test_zero_common_near_zero(self):
+        result = _generate(0, [10000] * 5, [10000] * 5)
+        estimate = PointToPointPersistentEstimator(3).estimate(
+            result.records_a, result.records_b
+        )
+        assert estimate.clamped < 350
+
+    def test_estimator_s_must_match_encoding_s(self):
+        """Using the wrong s mis-scales the estimate by ~s_wrong/s."""
+        result = _generate(2000, [30000] * 5, [30000] * 5, s=3)
+        wrong = PointToPointPersistentEstimator(6).estimate(
+            result.records_a, result.records_b
+        )
+        assert wrong.estimate == pytest.approx(4000, rel=0.3)
+
+    def test_same_size_design_still_estimates(self):
+        """Table I baseline: both locations at the small size — noisy
+        but functional at moderate asymmetry."""
+        result = _generate(
+            2000,
+            [30000] * 5,
+            [50000] * 5,
+            fixed_sizes=([65536] * 5, [65536] * 5),
+        )
+        estimate = PointToPointPersistentEstimator(3).estimate(
+            result.records_a, result.records_b
+        )
+        assert estimate.size_large == 65536
+        assert estimate.estimate == pytest.approx(2000, rel=0.6)

@@ -1,0 +1,59 @@
+"""Tests for the estimator result dataclasses."""
+
+import pytest
+
+from repro.core.results import PointEstimate, PointToPointEstimate
+
+
+def _point(estimate=100.0):
+    return PointEstimate(
+        estimate=estimate, v_a0=0.5, v_b0=0.5, v_star1=0.3, size=1024, periods=5
+    )
+
+
+def _p2p(estimate=100.0):
+    return PointToPointEstimate(
+        estimate=estimate,
+        v_0=0.5,
+        v_prime_0=0.4,
+        v_double_prime_0=0.3,
+        size_small=512,
+        size_large=1024,
+        s=3,
+        periods=5,
+        swapped=False,
+    )
+
+
+class TestPointEstimate:
+    def test_clamped_floors_negatives(self):
+        assert _point(-5.0).clamped == 0.0
+        assert _point(5.0).clamped == 5.0
+
+    def test_relative_error(self):
+        assert _point(110.0).relative_error(100) == pytest.approx(0.1)
+        assert _point(90.0).relative_error(100) == pytest.approx(0.1)
+
+    def test_relative_error_invalid_actual(self):
+        with pytest.raises(ValueError):
+            _point().relative_error(0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            _point().estimate = 7
+
+
+class TestPointToPointEstimate:
+    def test_clamped(self):
+        assert _p2p(-1.0).clamped == 0.0
+
+    def test_relative_error(self):
+        assert _p2p(150.0).relative_error(100) == pytest.approx(0.5)
+
+    def test_relative_error_invalid_actual(self):
+        with pytest.raises(ValueError):
+            _p2p().relative_error(-3)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            _p2p().s = 9

@@ -1,0 +1,113 @@
+"""Unit tests for repro.crypto.hashing."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.hashing import (
+    Sha256Hasher,
+    SplitMix64Hasher,
+    default_hasher,
+    to_u64,
+    xor_fold,
+)
+
+
+class TestU64Domain:
+    def test_to_u64_reduces_large_values(self):
+        assert to_u64(2**64 + 5) == 5
+
+    def test_to_u64_handles_negative(self):
+        assert to_u64(-1) == 2**64 - 1
+
+    def test_xor_fold_matches_manual(self):
+        assert xor_fold(0b1010, 0b0110) == 0b1100
+
+    def test_xor_fold_empty_is_zero(self):
+        assert xor_fold() == 0
+
+    def test_xor_fold_is_involutive(self):
+        value = xor_fold(123456, 987654)
+        assert xor_fold(value, 987654) == 123456
+
+
+@pytest.mark.parametrize("hasher_class", [Sha256Hasher, SplitMix64Hasher])
+class TestHasherContract:
+    """Properties both hash flavours must share."""
+
+    def test_deterministic(self, hasher_class):
+        hasher = hasher_class(seed=5)
+        assert hasher.hash_int(42) == hasher.hash_int(42)
+
+    def test_seed_changes_output(self, hasher_class):
+        assert hasher_class(seed=1).hash_int(42) != hasher_class(seed=2).hash_int(42)
+
+    def test_output_in_u64_range(self, hasher_class):
+        hasher = hasher_class(seed=0)
+        for value in (0, 1, 2**63, 2**64 - 1):
+            output = hasher.hash_int(value)
+            assert 0 <= output < 2**64
+
+    def test_array_matches_scalar(self, hasher_class):
+        hasher = hasher_class(seed=9)
+        values = np.array([0, 1, 12345, 2**50], dtype=np.uint64)
+        array_out = hasher.hash_array(values)
+        for value, output in zip(values, array_out):
+            assert hasher.hash_int(int(value)) == int(output)
+
+    def test_hash_mod(self, hasher_class):
+        hasher = hasher_class(seed=3)
+        assert hasher.hash_mod(77, 64) == hasher.hash_int(77) % 64
+
+    def test_avalanche_one_bit_flip(self, hasher_class):
+        """Flipping one input bit should flip ~half the output bits."""
+        hasher = hasher_class(seed=0)
+        total_flips = 0
+        samples = 200
+        for value in range(samples):
+            a = hasher.hash_int(value)
+            b = hasher.hash_int(value ^ 1)
+            total_flips += bin(a ^ b).count("1")
+        mean_flips = total_flips / samples
+        assert 24 <= mean_flips <= 40  # ideal 32
+
+    def test_uniformity_of_reduced_indices(self, hasher_class):
+        """Chi-square check: indices mod 64 close to uniform."""
+        hasher = hasher_class(seed=11)
+        buckets = 64
+        samples = 6400
+        values = hasher.hash_array(np.arange(samples, dtype=np.uint64))
+        counts = np.bincount(values % buckets, minlength=buckets)
+        expected = samples / buckets
+        chi_square = float(((counts - expected) ** 2 / expected).sum())
+        # 63 dof: mean 63, stddev ~11.2; 130 is beyond any plausible
+        # healthy value only for a badly broken hash.
+        assert chi_square < 130
+
+    def test_seed_property(self, hasher_class):
+        assert hasher_class(seed=21).seed == 21
+
+
+class TestDefaultHasher:
+    def test_default_is_splitmix(self):
+        assert isinstance(default_hasher(), SplitMix64Hasher)
+
+    def test_sha_flavour(self):
+        assert isinstance(default_hasher(0, "sha256"), Sha256Hasher)
+
+    def test_unknown_flavour_rejected(self):
+        with pytest.raises(ValueError):
+            default_hasher(0, "md5")
+
+
+class TestCrossFlavourAgreement:
+    def test_distributionally_equivalent_fill(self, rng):
+        """Both flavours must give the same expected bitmap fill."""
+        m, n = 4096, 4096
+        values = rng.integers(0, 2**64, size=n, dtype=np.uint64)
+        fills = []
+        for hasher in (Sha256Hasher(1), SplitMix64Hasher(1)):
+            indices = hasher.hash_array(values) % m
+            fills.append(len(np.unique(indices)) / m)
+        expected = 1 - (1 - 1 / m) ** n
+        for fill in fills:
+            assert fill == pytest.approx(expected, rel=0.05)

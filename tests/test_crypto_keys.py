@@ -1,0 +1,94 @@
+"""Unit tests for repro.crypto.keys."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.keys import KeyGenerator, generate_constants, generate_private_key
+from repro.exceptions import ConfigurationError
+
+
+class TestRandomGeneration:
+    def test_private_key_in_range(self, rng):
+        key = generate_private_key(rng)
+        assert 0 <= key < 2**64
+
+    def test_constants_length(self, rng):
+        assert len(generate_constants(rng, 5)) == 5
+
+    def test_constants_invalid_s(self, rng):
+        with pytest.raises(ConfigurationError):
+            generate_constants(rng, 0)
+
+
+class TestKeyGenerator:
+    def test_invalid_s_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KeyGenerator(master_seed=1, s=0)
+
+    def test_deterministic_across_instances(self):
+        a = KeyGenerator(master_seed=42, s=3)
+        b = KeyGenerator(master_seed=42, s=3)
+        assert a.private_key(7) == b.private_key(7)
+        assert a.constants(7) == b.constants(7)
+
+    def test_different_seeds_differ(self):
+        a = KeyGenerator(master_seed=1, s=3)
+        b = KeyGenerator(master_seed=2, s=3)
+        assert a.private_key(7) != b.private_key(7)
+
+    def test_key_and_constants_streams_independent(self):
+        """K_v must not equal any constant (domain separation)."""
+        keygen = KeyGenerator(master_seed=5, s=4)
+        for vehicle in range(20):
+            key = keygen.private_key(vehicle)
+            assert key not in keygen.constants(vehicle)
+
+    def test_constants_distinct_per_index(self):
+        keygen = KeyGenerator(master_seed=5, s=5)
+        constants = keygen.constants(99)
+        assert len(set(constants)) == 5
+
+    def test_vectorized_private_keys_match_scalar(self):
+        keygen = KeyGenerator(master_seed=8, s=3)
+        ids = np.array([1, 5, 1000], dtype=np.uint64)
+        vector = keygen.private_keys(ids)
+        for vid, key in zip(ids, vector):
+            assert keygen.private_key(int(vid)) == int(key)
+
+    def test_vectorized_constants_match_scalar(self):
+        keygen = KeyGenerator(master_seed=8, s=3)
+        ids = np.array([2, 77], dtype=np.uint64)
+        matrix = keygen.constants_matrix(ids)
+        assert matrix.shape == (2, 3)
+        for row, vid in enumerate(ids):
+            assert list(matrix[row]) == [
+                np.uint64(c) for c in keygen.constants(int(vid))
+            ]
+
+    def test_chosen_constants_match_matrix(self):
+        keygen = KeyGenerator(master_seed=8, s=3)
+        ids = np.arange(50, dtype=np.uint64)
+        choices = np.array([i % 3 for i in range(50)], dtype=np.uint64)
+        fused = keygen.chosen_constants(ids, choices)
+        matrix = keygen.constants_matrix(ids)
+        expected = matrix[np.arange(50), choices.astype(np.intp)]
+        assert np.array_equal(fused, expected)
+
+    def test_chosen_constants_shape_mismatch(self):
+        keygen = KeyGenerator(master_seed=8, s=3)
+        with pytest.raises(ConfigurationError):
+            keygen.chosen_constants(
+                np.arange(5, dtype=np.uint64), np.zeros(3, dtype=np.uint64)
+            )
+
+    def test_chosen_constants_choice_out_of_range(self):
+        keygen = KeyGenerator(master_seed=8, s=3)
+        with pytest.raises(ConfigurationError):
+            keygen.chosen_constants(
+                np.arange(2, dtype=np.uint64), np.array([0, 3], dtype=np.uint64)
+            )
+
+    def test_properties(self):
+        keygen = KeyGenerator(master_seed=13, s=4)
+        assert keygen.s == 4
+        assert keygen.master_seed == 13

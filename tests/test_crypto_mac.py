@@ -1,0 +1,48 @@
+"""Unit tests for repro.crypto.mac (SpoofMAC-style addresses)."""
+
+import pytest
+
+from repro.crypto.mac import AnonymousMacGenerator, MacAddress
+
+
+class TestMacAddress:
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            MacAddress(2**48)
+
+    def test_string_format(self):
+        assert str(MacAddress(0x0242AC110002)) == "02:42:ac:11:00:02"
+
+    def test_locally_administered_bit(self):
+        assert MacAddress(0x020000000000).is_locally_administered
+        assert not MacAddress(0x000000000000).is_locally_administered
+
+    def test_unicast_bit(self):
+        assert MacAddress(0x020000000000).is_unicast
+        assert not MacAddress(0x010000000000).is_unicast
+
+
+class TestGenerator:
+    def test_addresses_are_well_formed(self):
+        generator = AnonymousMacGenerator(seed=1)
+        for _ in range(100):
+            address = generator.next_address()
+            assert address.is_locally_administered
+            assert address.is_unicast
+
+    def test_one_time_use_no_repeats(self):
+        """The whole point: no address reuse across exchanges."""
+        generator = AnonymousMacGenerator(seed=2)
+        addresses = [generator.next_address().value for _ in range(2000)]
+        assert len(set(addresses)) == len(addresses)
+
+    def test_issued_counter(self):
+        generator = AnonymousMacGenerator(seed=3)
+        generator.next_address()
+        generator.next_address()
+        assert generator.issued == 2
+
+    def test_different_seeds_differ(self):
+        a = AnonymousMacGenerator(seed=1).next_address()
+        b = AnonymousMacGenerator(seed=2).next_address()
+        assert a.value != b.value

@@ -1,0 +1,102 @@
+"""Unit tests for repro.crypto.pki (Section II-B)."""
+
+import pytest
+
+from repro.crypto.pki import (
+    CertificateAuthority,
+    answer_challenge,
+    authenticate_or_raise,
+    check_challenge_answer,
+    verify_certificate,
+)
+from repro.exceptions import AuthenticationError
+
+
+class TestCertificates:
+    def test_issued_certificate_verifies(self):
+        authority = CertificateAuthority(seed=1)
+        credentials = authority.issue(rsu_id=17)
+        assert verify_certificate(credentials.certificate, authority.trust_anchor)
+
+    def test_certificate_binds_rsu_id(self):
+        authority = CertificateAuthority(seed=1)
+        credentials = authority.issue(rsu_id=17)
+        assert credentials.certificate.rsu_id == 17
+
+    def test_rogue_authority_fails_verification(self):
+        """Section II-B: rogue RSUs fail authentication."""
+        honest = CertificateAuthority(seed=1)
+        rogue = CertificateAuthority(seed=2)
+        rogue_credentials = rogue.issue(rsu_id=17)
+        assert not verify_certificate(
+            rogue_credentials.certificate, honest.trust_anchor
+        )
+
+    def test_tampered_rsu_id_fails(self):
+        authority = CertificateAuthority(seed=1)
+        credentials = authority.issue(rsu_id=17)
+        from dataclasses import replace
+
+        forged = replace(credentials.certificate, rsu_id=99)
+        assert not verify_certificate(forged, authority.trust_anchor)
+
+    def test_tampered_public_key_fails(self):
+        authority = CertificateAuthority(seed=1)
+        credentials = authority.issue(rsu_id=17)
+        from dataclasses import replace
+
+        forged = replace(credentials.certificate, public_key=b"\x00" * 32)
+        assert not verify_certificate(forged, authority.trust_anchor)
+
+    def test_distinct_rsus_get_distinct_keys(self):
+        authority = CertificateAuthority(seed=1)
+        a = authority.issue(rsu_id=1)
+        b = authority.issue(rsu_id=2)
+        assert a.private_key != b.private_key
+
+
+class TestChallengeResponse:
+    def test_honest_rsu_passes_challenge(self):
+        authority = CertificateAuthority(seed=3)
+        credentials = authority.issue(rsu_id=5)
+        challenge = b"\x01" * 16
+        answer = answer_challenge(credentials.private_key, challenge)
+        assert check_challenge_answer(
+            credentials.certificate, challenge, answer, credentials.private_key
+        )
+
+    def test_wrong_key_fails_challenge(self):
+        authority = CertificateAuthority(seed=3)
+        credentials = authority.issue(rsu_id=5)
+        other = authority.issue(rsu_id=6)
+        challenge = b"\x02" * 16
+        answer = answer_challenge(other.private_key, challenge)
+        assert not check_challenge_answer(
+            credentials.certificate, challenge, answer, credentials.private_key
+        )
+
+    def test_replayed_answer_fails_fresh_challenge(self):
+        authority = CertificateAuthority(seed=3)
+        credentials = authority.issue(rsu_id=5)
+        old_answer = answer_challenge(credentials.private_key, b"old-challenge")
+        assert not check_challenge_answer(
+            credentials.certificate,
+            b"new-challenge",
+            old_answer,
+            credentials.private_key,
+        )
+
+
+class TestAuthenticateOrRaise:
+    def test_honest_passes_silently(self):
+        authority = CertificateAuthority(seed=4)
+        credentials = authority.issue(rsu_id=9)
+        authenticate_or_raise(credentials.certificate, authority.trust_anchor)
+
+    def test_rogue_raises(self):
+        honest = CertificateAuthority(seed=4)
+        rogue = CertificateAuthority(seed=5)
+        with pytest.raises(AuthenticationError):
+            authenticate_or_raise(
+                rogue.issue(rsu_id=9).certificate, honest.trust_anchor
+            )

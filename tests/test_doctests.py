@@ -1,0 +1,34 @@
+"""Runs the docstring examples of the key public modules.
+
+Docstring examples are documentation that can rot; executing them in
+the suite keeps the README-level snippets honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.privacy.analysis
+import repro.sketch.bitmap
+import repro.sketch.linear_counting
+import repro.sketch.sizing
+import repro.core.point
+import repro.traffic.workloads
+
+MODULES = [
+    repro,
+    repro.privacy.analysis,
+    repro.sketch.bitmap,
+    repro.sketch.linear_counting,
+    repro.sketch.sizing,
+    repro.core.point,
+    repro.traffic.workloads,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} doctest failures"
+    assert results.attempted > 0, f"{module.__name__} has no doctests to run"

@@ -1,0 +1,47 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    AuthenticationError,
+    ConfigurationError,
+    DataError,
+    EstimationError,
+    ProtocolError,
+    ReproError,
+    SaturatedBitmapError,
+    SketchError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_class",
+        [
+            AuthenticationError,
+            ConfigurationError,
+            DataError,
+            EstimationError,
+            ProtocolError,
+            SaturatedBitmapError,
+            SketchError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception_class):
+        """One except clause catches any library failure."""
+        assert issubclass(exception_class, ReproError)
+
+    def test_saturated_is_estimation_error(self):
+        assert issubclass(SaturatedBitmapError, EstimationError)
+
+    def test_authentication_is_protocol_error(self):
+        assert issubclass(AuthenticationError, ProtocolError)
+
+    def test_catching_base_catches_concrete(self):
+        with pytest.raises(ReproError):
+            raise SaturatedBitmapError("full")
+
+    def test_distinct_branches_do_not_cross(self):
+        assert not issubclass(SketchError, ProtocolError)
+        assert not issubclass(ProtocolError, SketchError)
+        assert not issubclass(DataError, EstimationError)

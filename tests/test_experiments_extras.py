@@ -1,0 +1,115 @@
+"""Tests for the extension experiments (loss curve, frontier)."""
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.extras import (
+    FRONTIER_SETTINGS,
+    LOSS_RATES,
+    LOSS_T_VALUES,
+    T_SWEEP_VALUES,
+    format_losscurve,
+    format_tradeoff,
+    format_tsweep,
+    run_losscurve,
+    run_tradeoff,
+    run_tsweep,
+)
+
+
+@pytest.fixture(scope="module")
+def losscurve():
+    return run_losscurve(ExperimentConfig(runs=2, seed=6))
+
+
+@pytest.fixture(scope="module")
+def frontier():
+    return run_tradeoff(ExperimentConfig(runs=3, seed=6))
+
+
+class TestLossCurve:
+    def test_structure(self, losscurve):
+        assert set(losscurve.curves) == set(LOSS_T_VALUES)
+        for points in losscurve.curves.values():
+            assert [p.detection_rate for p in points] == list(LOSS_RATES)
+
+    def test_estimates_decrease_with_loss(self, losscurve):
+        for points in losscurve.curves.values():
+            estimates = [p.mean_estimate for p in points]
+            assert estimates[0] > estimates[-1]
+
+    def test_every_point_in_bracket(self, losscurve):
+        for points in losscurve.curves.values():
+            assert all(p.within_bracket for p in points)
+
+    def test_longer_t_decays_faster(self, losscurve):
+        """At the same loss rate, more periods mean fewer survivors."""
+        t5 = losscurve.curves[5][-1].mean_estimate
+        t10 = losscurve.curves[10][-1].mean_estimate
+        assert t10 < t5
+
+    def test_render(self, losscurve):
+        text = format_losscurve(losscurve)
+        assert "detection rate" in text
+        assert "t=5" in text and "t=10" in text
+
+
+class TestTSweep:
+    @pytest.fixture(scope="class")
+    def tsweep(self):
+        return run_tsweep(ExperimentConfig(runs=3, seed=6))
+
+    def test_all_t_values_measured(self, tsweep):
+        assert [p.t for p in tsweep.points] == list(T_SWEEP_VALUES)
+
+    def test_benchmark_error_monotone_decreasing(self, tsweep):
+        errors = [p.benchmark_error for p in tsweep.points]
+        assert all(a >= b * 0.8 for a, b in zip(errors, errors[1:]))
+
+    def test_benchmark_catastrophic_at_t2(self, tsweep):
+        """With only two records, surviving collisions dominate."""
+        first = tsweep.points[0]
+        assert first.benchmark_error > 2.0
+        assert first.benchmark_error > 10 * first.proposed_error
+
+    def test_estimators_converge_by_t10(self, tsweep):
+        by_t = {p.t: p for p in tsweep.points}
+        late = by_t[10]
+        assert late.benchmark_error == pytest.approx(
+            late.proposed_error, rel=0.3, abs=0.01
+        )
+
+    def test_render(self, tsweep):
+        text = format_tsweep(tsweep)
+        assert "proposed" in text and "benchmark" in text
+
+
+class TestFrontier:
+    def test_all_settings_measured(self, frontier):
+        assert len(frontier.points) == len(FRONTIER_SETTINGS)
+
+    def test_privacy_values_are_analytic(self, frontier):
+        from repro.privacy.analysis import (
+            asymptotic_noise_to_information_ratio,
+        )
+
+        for point in frontier.points:
+            assert point.privacy_ratio == pytest.approx(
+                asymptotic_noise_to_information_ratio(point.s, point.load_factor)
+            )
+
+    def test_tradeoff_direction_across_f(self, frontier):
+        """At fixed s = 3, f = 3 must beat f = 1 on accuracy and lose
+        on privacy."""
+        by_setting = {(p.s, p.load_factor): p for p in frontier.points}
+        loose = by_setting[(3, 3.0)]
+        tight = by_setting[(3, 1.0)]
+        assert loose.mean_relative_error < tight.mean_relative_error
+        assert loose.privacy_ratio < tight.privacy_ratio
+
+    def test_render_sorted_by_privacy(self, frontier):
+        text = format_tradeoff(frontier)
+        assert "frontier" in text
+        lines = [l for l in text.splitlines() if l and l[0].isdigit()]
+        ratios = [float(line.split()[3]) for line in lines]
+        assert ratios == sorted(ratios, reverse=True)

@@ -1,0 +1,73 @@
+"""Tests for the Fig. 4 experiment (coarse grid for speed)."""
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.fig4 import Fig4Result, format_fig4, run_fig4
+
+
+@pytest.fixture(scope="module")
+def result() -> Fig4Result:
+    # Every 10th sweep point, 3 runs: fast but shape-preserving.
+    return run_fig4(ExperimentConfig(runs=3, seed=4), fraction_step=10)
+
+
+class TestStructure:
+    def test_two_panels(self, result):
+        assert [panel.t for panel in result.panels] == [5, 10]
+
+    def test_points_subsampled(self, result):
+        assert all(len(panel.points) == 5 for panel in result.panels)
+
+    def test_volumes_in_paper_range(self, result):
+        for panel in result.panels:
+            assert len(panel.volumes) == panel.t
+            assert all(2000 < v <= 10000 for v in panel.volumes)
+
+    def test_targets_scale_with_n_min(self, result):
+        for panel in result.panels:
+            n_min = min(panel.volumes)
+            assert panel.points[0].n_star <= 0.11 * n_min
+            assert panel.points[-1].n_star <= 0.5 * n_min + 1
+
+
+class TestShape:
+    """The qualitative claims of Fig. 4."""
+
+    def test_proposed_beats_benchmark_at_smallest_volume_t5(self, result):
+        """At t=5 the surviving transient collisions wreck the
+        benchmark at small persistent volumes (the Fig. 4 left-plot
+        headline)."""
+        t5 = result.panels[0]
+        smallest = t5.points[0]
+        assert smallest.benchmark_error > 5 * smallest.proposed_error
+
+    def test_benchmark_never_better_at_t10(self, result):
+        """At t=10 the AND of ten bitmaps filters nearly all noise, so
+        the two estimators converge (right plot's compressed y-axis);
+        the benchmark still shouldn't *beat* the proposed estimator
+        meaningfully anywhere."""
+        t10 = result.panels[1]
+        for point in t10.points:
+            assert point.benchmark_error >= point.proposed_error * 0.5
+
+    def test_benchmark_error_decreases_with_volume_t5(self, result):
+        """The benchmark's relative error collapses toward zero as
+        the persistent volume grows (fixed additive noise)."""
+        t5 = result.panels[0]
+        assert t5.points[-1].benchmark_error < t5.points[0].benchmark_error
+
+    def test_proposed_error_stays_moderate(self, result):
+        for panel in result.panels:
+            for point in panel.points[1:]:
+                assert point.proposed_error < 0.5
+
+    def test_t10_benchmark_better_than_t5(self, result):
+        """More AND-joins filter more transients (Section VI-B)."""
+        t5, t10 = result.panels
+        assert t10.points[0].benchmark_error < t5.points[0].benchmark_error
+
+    def test_format_contains_both_panels(self, result):
+        text = format_fig4(result)
+        assert "t=5" in text and "t=10" in text
+        assert "proposed" in text and "benchmark" in text

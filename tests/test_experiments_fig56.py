@@ -1,0 +1,60 @@
+"""Tests for the Fig. 5 / Fig. 6 scatter experiments."""
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.fig5 import format_fig5, run_fig5, run_scatter
+from repro.experiments.fig6 import format_fig6, run_fig6
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return run_fig5(ExperimentConfig(runs=1, seed=8))
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return run_fig6(ExperimentConfig(runs=1, seed=8))
+
+
+class TestStructure:
+    def test_fifty_measurements_per_panel(self, fig5):
+        assert len(fig5.point_pairs) == 50
+        assert len(fig5.p2p_pairs) == 50
+
+    def test_load_factors(self, fig5, fig6):
+        assert fig5.load_factor == 2.0
+        assert fig6.load_factor == 3.0
+
+    def test_points_per_target_multiplies(self):
+        result = run_scatter(2.0, ExperimentConfig(runs=1, seed=1), points_per_target=2)
+        assert len(result.point_pairs) == 100
+
+    def test_actuals_positive_estimates_nonnegative(self, fig5):
+        for actual, estimated in fig5.point_pairs + fig5.p2p_pairs:
+            assert actual >= 1
+            assert estimated >= 0
+
+
+class TestShape:
+    """The qualitative claims of Figs. 5-6."""
+
+    def test_point_scatter_hugs_equality_line(self, fig5):
+        assert fig5.point_mean_relative_error < 0.25
+
+    def test_larger_volumes_estimate_tightly(self, fig5):
+        """The upper half of the sweep should be accurate."""
+        upper = [
+            (a, e) for a, e in fig5.p2p_pairs if a > 0.25 * max(x for x, _ in fig5.p2p_pairs)
+        ]
+        errors = [abs(e - a) / a for a, e in upper]
+        assert sum(errors) / len(errors) < 0.25
+
+    def test_f3_tighter_than_f2_on_point_panel(self, fig5, fig6):
+        """The accuracy side of the accuracy-privacy tradeoff."""
+        assert fig6.point_mean_relative_error < fig5.point_mean_relative_error
+
+    def test_format_outputs(self, fig5, fig6):
+        assert "Fig. 5" in format_fig5(fig5)
+        assert "Fig. 6" in format_fig6(fig6)
+        assert "equality line" in format_fig5(fig5)

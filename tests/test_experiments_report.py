@@ -1,0 +1,59 @@
+"""Unit tests for the experiment report renderers."""
+
+import pytest
+
+from repro.experiments.report import ascii_scatter, ascii_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(
+            ["name", "value"], [["alpha", 1.5], ["b", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.5000" in text  # floats rendered at 4 decimals
+        assert "22" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_no_title(self):
+        text = format_table(["x"], [[1]])
+        assert text.splitlines()[0].strip() == "x"
+
+
+class TestAsciiScatter:
+    def test_contains_markers_and_diagonal(self):
+        text = ascii_scatter([(0, 0), (100, 95), (50, 55)], title="scatter")
+        assert "*" in text
+        assert "." in text
+        assert "scatter" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([])
+
+    def test_degenerate_single_point(self):
+        text = ascii_scatter([(5, 5)])
+        assert "*" in text
+
+
+class TestAsciiSeries:
+    def test_legend_lists_all_series(self):
+        text = ascii_series(
+            [
+                ("proposed", [(0, 0.1), (10, 0.05)]),
+                ("benchmark", [(0, 0.9), (10, 0.7)]),
+            ]
+        )
+        assert "proposed" in text and "benchmark" in text
+        assert "*" in text and "o" in text
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_series([])
+        with pytest.raises(ValueError):
+            ascii_series([("empty", [])])

@@ -1,0 +1,80 @@
+"""Tests for the Table I experiment (small-run smoke + structure)."""
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.table1 import (
+    SAME_SIZE_T,
+    T_VALUES,
+    Table1Result,
+    _derive_rows_from_trip_table,
+    format_table1,
+    run_table1,
+)
+
+
+@pytest.fixture(scope="module")
+def result() -> Table1Result:
+    """One cheap Table I run shared by the structural tests."""
+    return run_table1(ExperimentConfig(runs=2, seed=11))
+
+
+class TestStructure:
+    def test_eight_locations(self, result):
+        assert len(result.locations) == 8
+
+    def test_all_t_values_measured(self, result):
+        for location in result.locations:
+            assert set(location.errors_by_t) == set(T_VALUES)
+
+    def test_same_size_baseline_measured(self, result):
+        for location in result.locations:
+            assert location.same_size_error.statistics.count == 2
+
+
+class TestShape:
+    """The qualitative claims of Table I at low run counts."""
+
+    def test_errors_are_small_overall(self, result):
+        """Every proposed-estimator cell is well under 20% error."""
+        for location in result.locations:
+            for cell in location.errors_by_t.values():
+                assert cell.relative_error < 0.2
+
+    def test_hardest_location_worse_than_easiest(self, result):
+        """L=8 (n''=3000 vs n'=451000) errs more than L=1 (n''=40000),
+        averaged over all t — the transient noise dominates when the
+        common volume is relatively tiny."""
+        def mean_error(location):
+            cells = location.errors_by_t.values()
+            return sum(cell.relative_error for cell in cells) / len(cells)
+
+        assert mean_error(result.locations[-1]) > mean_error(result.locations[0])
+
+    def test_same_size_baseline_collapses_at_l8(self, result):
+        """The paper's headline baseline failure: at L=8 the same-size
+        design is far worse than the proposed sizing."""
+        l8 = result.locations[-1]
+        proposed = l8.errors_by_t[SAME_SIZE_T].relative_error
+        baseline = l8.same_size_error.relative_error
+        assert baseline > 3 * proposed
+
+    def test_format_includes_paper_reference_rows(self, result):
+        text = format_table1(result)
+        assert "paper (t=5)" in text
+        assert "paper same-size" in text
+        assert "0.0585" in text  # the paper's L=8 t=5 value
+
+
+class TestTripTableMode:
+    def test_derived_rows_match_paper_parameters(self):
+        """The OD matrix reconstructs every Table I parameter to
+        within IPF rounding (a handful of vehicles)."""
+        derived = _derive_rows_from_trip_table()
+        paper_n = [213000, 140000, 121000, 78000, 76000, 47000, 40000, 28000]
+        paper_npp = [40000, 20000, 19000, 8000, 8000, 7000, 6000, 3000]
+        paper_m = [524288, 524288, 262144, 262144, 262144, 131072, 131072, 65536]
+        for row, n, npp, m in zip(derived, paper_n, paper_npp, paper_m):
+            assert row.n == pytest.approx(n, abs=20)
+            assert row.n_double_prime == pytest.approx(npp, abs=20)
+            assert row.m == m

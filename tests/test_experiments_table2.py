@@ -1,0 +1,48 @@
+"""Tests for the Table II experiment."""
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.table2 import (
+    F_VALUES,
+    PAPER_NOISE,
+    PAPER_RATIOS,
+    S_VALUES,
+    format_table2,
+    run_table2,
+)
+
+
+class TestTable2:
+    def test_full_grid_computed(self):
+        result = run_table2()
+        assert set(result.ratios) == {(s, f) for s in S_VALUES for f in F_VALUES}
+        assert set(result.noise) == set(F_VALUES)
+
+    def test_every_cell_matches_paper(self):
+        """The analytic grid must agree with the paper's Table II to
+        printed precision."""
+        result = run_table2()
+        for key, paper_value in PAPER_RATIOS.items():
+            assert result.ratios[key] == pytest.approx(paper_value, abs=2e-3)
+        for f, paper_value in PAPER_NOISE.items():
+            assert result.noise[f] == pytest.approx(paper_value, abs=1e-4)
+
+    def test_no_empirical_by_default(self):
+        assert run_table2().empirical_ratios is None
+
+    def test_empirical_validation_single_cell_quality(self):
+        """Run the attack on a coarse grid and check one cell agrees."""
+        result = run_table2(
+            ExperimentConfig(runs=1, seed=3), empirical=True,
+            attack_trials=400, attack_volume=1024,
+        )
+        analytic = result.ratios[(3, 2.0)]
+        empirical = result.empirical_ratios[(3, 2.0)]
+        assert empirical == pytest.approx(analytic, rel=0.5)
+
+    def test_format_contains_paper_rows(self):
+        text = format_table2(run_table2())
+        assert "paper s=3" in text
+        assert "paper p" in text
+        assert "1.9462" in text

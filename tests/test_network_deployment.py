@@ -1,0 +1,61 @@
+"""Unit tests for repro.network.deployment."""
+
+import pytest
+
+from repro.crypto.pki import CertificateAuthority, verify_certificate
+from repro.exceptions import ConfigurationError, DataError
+from repro.network.deployment import RsuDeployment
+from repro.network.road import sioux_falls_network
+
+
+@pytest.fixture
+def network():
+    return sioux_falls_network()
+
+
+@pytest.fixture
+def authority():
+    return CertificateAuthority(seed=30)
+
+
+class TestDeployment:
+    def test_default_instruments_every_location(self, network, authority):
+        deployment = RsuDeployment(network, authority)
+        assert deployment.locations == network.locations
+
+    def test_subset_deployment(self, network, authority):
+        deployment = RsuDeployment(network, authority, locations=[10, 16])
+        assert deployment.locations == [10, 16]
+        assert deployment.has_rsu(10)
+        assert not deployment.has_rsu(1)
+
+    def test_unknown_location_rejected(self, network, authority):
+        with pytest.raises(DataError):
+            RsuDeployment(network, authority, locations=[999])
+
+    def test_duplicate_locations_rejected(self, network, authority):
+        with pytest.raises(ConfigurationError):
+            RsuDeployment(network, authority, locations=[1, 1])
+
+    def test_empty_deployment_rejected(self, network, authority):
+        with pytest.raises(ConfigurationError):
+            RsuDeployment(network, authority, locations=[])
+
+    def test_rsu_at_missing_location(self, network, authority):
+        deployment = RsuDeployment(network, authority, locations=[10])
+        with pytest.raises(DataError):
+            deployment.rsu_at(11)
+
+    def test_rsus_have_valid_credentials(self, network, authority):
+        deployment = RsuDeployment(network, authority, locations=[5, 6])
+        for rsu in deployment.units():
+            beacon = rsu.make_beacon()
+            assert verify_certificate(beacon.certificate, authority.trust_anchor)
+            assert beacon.certificate.rsu_id == rsu.location
+
+    def test_units_ordered_by_location(self, network, authority):
+        deployment = RsuDeployment(network, authority, locations=[8, 3, 5])
+        assert [u.location for u in deployment.units()] == [3, 5, 8]
+
+    def test_network_property(self, network, authority):
+        assert RsuDeployment(network, authority).network is network

@@ -1,0 +1,122 @@
+"""Tests for the synthetic grid-city generator."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network.grid import grid_location, grid_network, gravity_trip_table
+from repro.network.road import RoadNetwork
+
+
+class TestGridNetwork:
+    def test_node_and_edge_counts(self):
+        network = grid_network(3, 4)
+        assert len(network.locations) == 12
+        # R*(C-1) horizontal + (R-1)*C vertical links.
+        assert network.graph.number_of_edges() == 3 * 3 + 2 * 4
+
+    def test_location_numbering_row_major(self):
+        assert grid_location(0, 0, 4) == 1
+        assert grid_location(0, 3, 4) == 4
+        assert grid_location(2, 3, 4) == 12
+
+    def test_manhattan_shortest_path(self):
+        network = grid_network(3, 3, seconds_per_link=100.0)
+        # Corner to corner: 4 links.
+        path = network.shortest_path(1, 9)
+        assert network.path_travel_time(path) == pytest.approx(400.0)
+
+    def test_single_row_grid(self):
+        network = grid_network(1, 5)
+        assert len(network.locations) == 5
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            grid_network(1, 1)
+        with pytest.raises(ConfigurationError):
+            grid_network(0, 4)
+        with pytest.raises(ConfigurationError):
+            grid_network(2, 2, seconds_per_link=0)
+
+
+class TestGravityTripTable:
+    @pytest.fixture(scope="class")
+    def city(self):
+        network = grid_network(4, 5)
+        return network, gravity_trip_table(network, total_trips=100_000)
+
+    def test_total_scaled_exactly(self, city):
+        _, trips = city
+        assert trips.total_volume() == pytest.approx(100_000)
+
+    def test_symmetric_zero_diagonal(self, city):
+        _, trips = city
+        matrix = trips.matrix
+        assert np.allclose(matrix, matrix.T)
+        assert np.diagonal(matrix).sum() == 0
+
+    def test_distance_decay(self, city):
+        """Adjacent zones exchange more traffic than distant ones on
+        average (normalizing out the attraction weights)."""
+        network, trips = city
+        near, far = [], []
+        for a in network.locations:
+            for b in network.locations:
+                if a >= b:
+                    continue
+                hops = len(network.shortest_path(a, b)) - 1
+                value = trips.volume(a, b)
+                if hops == 1:
+                    near.append(value)
+                elif hops >= 5:
+                    far.append(value)
+        assert np.mean(near) > 3 * np.mean(far)
+
+    def test_works_with_estimation_pipeline(self, city):
+        """The generated city drives the workload layer end to end."""
+        from repro.core.point_to_point import PointToPointPersistentEstimator
+        from repro.traffic.workloads import PointToPointWorkload
+
+        network, trips = city
+        busiest = trips.busiest_zone()
+        source = next(
+            zone for zone, _ in trips.zones_by_involved_volume()[1:2]
+        )
+        n_pp = max(int(trips.pair_volume(source, busiest)), 50)
+        workload = PointToPointWorkload(s=3, load_factor=2.0, key_seed=4)
+        rng = np.random.default_rng(8)
+        result = workload.generate(
+            n_double_prime=n_pp,
+            volumes_a=[n_pp + 5000] * 4,
+            volumes_b=[n_pp + 8000] * 4,
+            location_a=source,
+            location_b=busiest,
+            rng=rng,
+        )
+        estimate = PointToPointPersistentEstimator(3).estimate(
+            result.records_a, result.records_b
+        )
+        assert estimate.estimate == pytest.approx(n_pp, rel=0.5, abs=150)
+
+    def test_invalid_parameters(self, city):
+        network, _ = city
+        with pytest.raises(ConfigurationError):
+            gravity_trip_table(network, total_trips=0)
+        with pytest.raises(ConfigurationError):
+            gravity_trip_table(network, total_trips=100, decay=-1)
+
+    def test_non_contiguous_ids_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge(5, 9, travel_time=10.0)
+        network = RoadNetwork(graph)
+        with pytest.raises(ConfigurationError, match="contiguous"):
+            gravity_trip_table(network, total_trips=100)
+
+    def test_deterministic_given_seed(self):
+        network = grid_network(2, 3)
+        a = gravity_trip_table(network, 1000, attraction_seed=5)
+        b = gravity_trip_table(network, 1000, attraction_seed=5)
+        assert np.array_equal(a.matrix, b.matrix)
+        c = gravity_trip_table(network, 1000, attraction_seed=6)
+        assert not np.array_equal(a.matrix, c.matrix)

@@ -1,0 +1,94 @@
+"""Unit tests for repro.network.road."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import DataError
+from repro.network.road import SIOUX_FALLS_LINKS, RoadNetwork, sioux_falls_network
+
+
+class TestValidation:
+    def test_missing_travel_time_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge(1, 2)
+        with pytest.raises(DataError):
+            RoadNetwork(graph)
+
+    def test_non_positive_travel_time_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge(1, 2, travel_time=0)
+        with pytest.raises(DataError):
+            RoadNetwork(graph)
+
+    def test_disconnected_rejected(self):
+        network = nx.Graph()
+        network.add_edge(1, 2, travel_time=1.0)
+        network.add_edge(3, 4, travel_time=1.0)
+        with pytest.raises(DataError):
+            RoadNetwork(network)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(DataError):
+            RoadNetwork(nx.Graph())
+
+
+class TestBasicOperations:
+    @pytest.fixture
+    def network(self):
+        return RoadNetwork.from_links(
+            [(1, 2, 10.0), (2, 3, 20.0), (1, 3, 50.0)]
+        )
+
+    def test_locations(self, network):
+        assert network.locations == [1, 2, 3]
+
+    def test_has_location(self, network):
+        assert network.has_location(2)
+        assert not network.has_location(9)
+
+    def test_travel_time(self, network):
+        assert network.travel_time(1, 2) == 10.0
+
+    def test_travel_time_missing_link(self, network):
+        with pytest.raises(DataError):
+            network.travel_time(1, 99)
+
+    def test_shortest_path_prefers_cheap_route(self, network):
+        # 1->2->3 costs 30 < direct 50.
+        assert network.shortest_path(1, 3) == [1, 2, 3]
+
+    def test_shortest_path_unknown_location(self, network):
+        with pytest.raises(DataError):
+            network.shortest_path(1, 42)
+
+    def test_path_travel_time(self, network):
+        assert network.path_travel_time([1, 2, 3]) == 30.0
+
+
+class TestSiouxFalls:
+    def test_standard_link_count(self):
+        """24 nodes, 38 undirected links (76 directed)."""
+        assert len(SIOUX_FALLS_LINKS) == 38
+        network = sioux_falls_network()
+        assert len(network.locations) == 24
+        assert network.graph.number_of_edges() == 38
+
+    def test_all_zones_reachable(self):
+        network = sioux_falls_network()
+        for destination in (2, 10, 24):
+            path = network.shortest_path(1, destination)
+            assert path[0] == 1 and path[-1] == destination
+
+    def test_travel_times_modulated(self):
+        """Links differ (deterministically), around the base time."""
+        network = sioux_falls_network(seconds_per_link=180.0)
+        times = [
+            network.travel_time(u, v) for u, v in SIOUX_FALLS_LINKS
+        ]
+        assert len(set(times)) > 10
+        assert all(0.7 * 180 <= t <= 1.3 * 180 for t in times)
+
+    def test_deterministic(self):
+        a = sioux_falls_network()
+        b = sioux_falls_network()
+        assert a.travel_time(1, 2) == b.travel_time(1, 2)

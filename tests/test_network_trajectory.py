@@ -1,0 +1,90 @@
+"""Unit tests for repro.network.trajectory."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.network.road import sioux_falls_network
+from repro.network.trajectory import Trajectory, TripPlanner
+from repro.traffic.sioux_falls import sioux_falls_trip_table
+
+
+@pytest.fixture
+def network():
+    return sioux_falls_network()
+
+
+@pytest.fixture
+def planner(network):
+    return TripPlanner(network, period_seconds=86400.0)
+
+
+class TestTrajectory:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            Trajectory(vehicle_id=1, path=(1, 2), pass_times=(0.0,))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            Trajectory(vehicle_id=1, path=(), pass_times=())
+
+    def test_decreasing_times_rejected(self):
+        with pytest.raises(DataError):
+            Trajectory(vehicle_id=1, path=(1, 2), pass_times=(5.0, 1.0))
+
+    def test_time_at(self):
+        trajectory = Trajectory(vehicle_id=1, path=(1, 2, 3), pass_times=(0, 5, 9))
+        assert trajectory.time_at(2) == 5
+
+    def test_time_at_missing(self):
+        trajectory = Trajectory(vehicle_id=1, path=(1,), pass_times=(0,))
+        with pytest.raises(DataError):
+            trajectory.time_at(9)
+
+    def test_passes(self):
+        trajectory = Trajectory(vehicle_id=1, path=(1, 2), pass_times=(0, 5))
+        assert trajectory.passes(2)
+        assert not trajectory.passes(3)
+
+
+class TestTripPlanner:
+    def test_invalid_period_rejected(self, network):
+        with pytest.raises(DataError):
+            TripPlanner(network, period_seconds=0)
+
+    def test_plan_trip_follows_shortest_path(self, planner, network, rng):
+        trajectory = planner.plan_trip(7, origin=1, destination=20, rng=rng)
+        assert list(trajectory.path) == network.shortest_path(1, 20)
+
+    def test_pass_times_increase_by_link_times(self, planner, network, rng):
+        trajectory = planner.plan_trip(7, origin=1, destination=13, rng=rng)
+        for (a, b), (ta, tb) in zip(
+            zip(trajectory.path, trajectory.path[1:]),
+            zip(trajectory.pass_times, trajectory.pass_times[1:]),
+        ):
+            assert tb - ta == pytest.approx(network.travel_time(a, b))
+
+    def test_departure_within_first_80_percent(self, planner, rng):
+        for _ in range(20):
+            trajectory = planner.plan_trip(1, origin=3, destination=4, rng=rng)
+            assert 0 <= trajectory.pass_times[0] <= 0.8 * 86400
+
+    def test_route_cache_reused(self, planner, rng):
+        planner.plan_trip(1, 1, 24, rng)
+        planner.plan_trip(2, 1, 24, rng)
+        assert len(planner._route_cache) == 1
+
+    def test_sample_od_pairs_proportional(self, planner, rng):
+        """High-volume pairs must be sampled much more often."""
+        table = sioux_falls_trip_table()
+        pairs = planner.sample_od_pairs(table, 5000, rng)
+        assert len(pairs) == 5000
+        involving_busiest = sum(1 for o, d in pairs if 10 in (o, d))
+        share = involving_busiest / len(pairs)
+        expected = table.involved_volume(10) / table.total_volume()
+        assert share == pytest.approx(expected, rel=0.25)
+
+    def test_sample_od_pairs_never_intra_zonal(self, planner, rng):
+        table = sioux_falls_trip_table()
+        pairs = planner.sample_od_pairs(table, 500, rng)
+        assert all(o != d for o, d in pairs)

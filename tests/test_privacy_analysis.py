@@ -1,0 +1,123 @@
+"""Unit tests for repro.privacy.analysis (Eqs. 22–24, Table II)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.privacy.analysis import (
+    asymptotic_noise_probability,
+    asymptotic_noise_to_information_ratio,
+    detection_probability,
+    noise_probability,
+    noise_to_information_ratio,
+)
+
+
+class TestNoiseProbability:
+    def test_zero_traffic_no_noise(self):
+        assert noise_probability(0, 1024) == 0.0
+
+    def test_matches_formula(self):
+        assert noise_probability(100, 1024) == pytest.approx(
+            1 - (1 - 1 / 1024) ** 100
+        )
+
+    def test_monotone_in_traffic(self):
+        assert noise_probability(2000, 4096) > noise_probability(1000, 4096)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            noise_probability(10, 1)
+        with pytest.raises(ConfigurationError):
+            noise_probability(-5, 64)
+
+
+class TestDetectionProbability:
+    def test_formula(self):
+        assert detection_probability(0.4, 3) == pytest.approx(0.4 + 0.6 / 3)
+
+    def test_s_one_always_detects(self):
+        """s = 1: the vehicle always sets the watched bit."""
+        assert detection_probability(0.2, 1) == pytest.approx(1.0)
+
+    def test_bounds(self):
+        with pytest.raises(ConfigurationError):
+            detection_probability(1.2, 3)
+        with pytest.raises(ConfigurationError):
+            detection_probability(0.5, 0)
+
+
+class TestRatio:
+    def test_equals_sp_over_one_minus_p(self):
+        n_prime, m_prime, s = 8192, 16384, 3
+        p = noise_probability(n_prime, m_prime)
+        expected = s * p / (1 - p)
+        assert noise_to_information_ratio(n_prime, m_prime, s) == pytest.approx(
+            expected
+        )
+
+    def test_relationship_to_p_prime(self):
+        """ratio = p / (p' - p) by construction."""
+        n_prime, m_prime, s = 5000, 8192, 4
+        p = noise_probability(n_prime, m_prime)
+        p_prime = detection_probability(p, s)
+        assert noise_to_information_ratio(n_prime, m_prime, s) == pytest.approx(
+            p / (p_prime - p)
+        )
+
+    def test_saturated_bitmap_infinite_privacy(self):
+        assert noise_to_information_ratio(10**9, 4, 2) == math.inf
+
+
+class TestAsymptoticForms:
+    """The exact closed forms behind the paper's Table II."""
+
+    @pytest.mark.parametrize(
+        "f, expected",
+        [(1.0, 0.6321), (2.0, 0.3935), (3.0, 0.2835), (4.0, 0.2212)],
+    )
+    def test_noise_matches_paper(self, f, expected):
+        assert asymptotic_noise_probability(f) == pytest.approx(expected, abs=1e-4)
+
+    @pytest.mark.parametrize(
+        "s, f, expected",
+        [
+            (2, 1.0, 3.4368),
+            (3, 2.0, 1.9462),
+            (4, 2.5, 1.9673),
+            (5, 4.0, 1.4201),
+        ],
+    )
+    def test_ratio_matches_paper(self, s, f, expected):
+        assert asymptotic_noise_to_information_ratio(s, f) == pytest.approx(
+            expected, abs=2e-3
+        )
+
+    def test_finite_converges_to_asymptotic(self):
+        """Finite-n' ratio approaches the Table II limit as n' grows."""
+        s, f = 3, 2.0
+        limit = asymptotic_noise_to_information_ratio(s, f)
+        finite = noise_to_information_ratio(10**7, int(f * 10**7), s)
+        assert finite == pytest.approx(limit, rel=1e-4)
+
+    def test_paper_parameter_choice_has_ratio_near_two(self):
+        """Section VI-C: at s=3, f=2 the ratio is about 2."""
+        assert asymptotic_noise_to_information_ratio(3, 2.0) == pytest.approx(
+            1.95, abs=0.05
+        )
+
+    def test_privacy_accuracy_tradeoff_direction(self):
+        """Ratio improves as f decreases or s increases."""
+        assert asymptotic_noise_to_information_ratio(
+            3, 1.0
+        ) > asymptotic_noise_to_information_ratio(3, 2.0)
+        assert asymptotic_noise_to_information_ratio(
+            4, 2.0
+        ) > asymptotic_noise_to_information_ratio(3, 2.0)
+
+    def test_invalid_load_factor(self):
+        with pytest.raises(ConfigurationError):
+            asymptotic_noise_probability(0)
+        with pytest.raises(ConfigurationError):
+            asymptotic_noise_to_information_ratio(3, -1)

@@ -1,0 +1,57 @@
+"""Tests for the empirical tracking attack (Section V validation)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.privacy.analysis import detection_probability, noise_probability
+from repro.privacy.attack import TrackingAttack, TrackingAttackResult
+
+
+class TestResultObject:
+    def test_ratio_computed(self):
+        result = TrackingAttackResult(
+            empirical_p=0.4, empirical_p_prime=0.6, trials=100
+        )
+        assert result.empirical_ratio == pytest.approx(2.0)
+
+    def test_no_information_is_infinite_ratio(self):
+        result = TrackingAttackResult(
+            empirical_p=0.5, empirical_p_prime=0.5, trials=100
+        )
+        assert result.empirical_ratio == float("inf")
+
+
+class TestAttackValidation:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            TrackingAttack(n_prime=0, m_prime=64, s=3)
+        with pytest.raises(ConfigurationError):
+            TrackingAttack(n_prime=10, m_prime=1, s=3)
+        with pytest.raises(ConfigurationError):
+            TrackingAttack(n_prime=10, m_prime=64, s=3).run(0)
+
+    def test_empirical_matches_analytic(self):
+        """The simulated adversary must measure Eqs. 22-23."""
+        n_prime, m_prime, s = 2048, 4096, 3
+        attack = TrackingAttack(n_prime=n_prime, m_prime=m_prime, s=s, seed=7)
+        result = attack.run(trials=1500)
+        p = noise_probability(n_prime, m_prime)
+        p_prime = detection_probability(p, s)
+        assert result.empirical_p == pytest.approx(p, abs=0.04)
+        assert result.empirical_p_prime == pytest.approx(p_prime, abs=0.04)
+
+    def test_detection_exceeds_noise(self):
+        """Presence must leak *some* information (p' > p)."""
+        attack = TrackingAttack(n_prime=1024, m_prime=4096, s=3, seed=1)
+        result = attack.run(trials=800)
+        assert result.empirical_p_prime > result.empirical_p
+
+    def test_smaller_load_factor_improves_privacy(self):
+        """f = m'/n' down -> noise up -> better (larger) ratio."""
+        tight = TrackingAttack(n_prime=4096, m_prime=4096, s=3, seed=2).run(600)
+        loose = TrackingAttack(n_prime=1024, m_prime=4096, s=3, seed=2).run(600)
+        assert tight.empirical_p > loose.empirical_p
+
+    def test_trials_recorded(self):
+        attack = TrackingAttack(n_prime=128, m_prime=512, s=2, seed=3)
+        assert attack.run(50).trials == 50

@@ -1,0 +1,106 @@
+"""Property-based tests for vehicle encoding and key derivation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hashing import Sha256Hasher, SplitMix64Hasher
+from repro.crypto.keys import KeyGenerator
+from repro.vehicle.encoder import VehicleEncoder
+from repro.vehicle.identity import VehicleIdentity
+
+u64 = st.integers(min_value=0, max_value=2**64 - 1)
+small_s = st.integers(min_value=1, max_value=6)
+pow2_m = st.integers(min_value=4, max_value=20).map(lambda e: 1 << e)
+
+
+class TestEncodingInvariants:
+    @given(u64, u64, small_s, pow2_m, u64)
+    @settings(max_examples=60)
+    def test_index_always_a_representative_bit(
+        self, vehicle_id, seed, s, size, location
+    ):
+        """Whatever the parameters, the transmitted index is one of
+        the vehicle's s representative bits (Section II-D)."""
+        keygen = KeyGenerator(master_seed=seed, s=s)
+        encoder = VehicleEncoder(SplitMix64Hasher(seed ^ 1))
+        identity = VehicleIdentity.from_generator(vehicle_id, keygen)
+        index = encoder.encoding_index(identity, location, size)
+        assert index in encoder.representative_bits(identity, size)
+
+    @given(u64, u64, small_s, u64)
+    @settings(max_examples=60)
+    def test_power_of_two_alignment(self, vehicle_id, seed, s, location):
+        """The same vehicle's indices at nested power-of-two sizes are
+        congruent — the premise of replication expansion."""
+        keygen = KeyGenerator(master_seed=seed, s=s)
+        encoder = VehicleEncoder(SplitMix64Hasher(seed ^ 1))
+        identity = VehicleIdentity.from_generator(vehicle_id, keygen)
+        sizes = [1 << e for e in (6, 8, 10, 12)]
+        indices = [encoder.encoding_index(identity, location, m) for m in sizes]
+        for smaller, larger, m_small in zip(indices, indices[1:], sizes):
+            assert larger % m_small == smaller
+
+    @given(u64, u64, small_s, u64)
+    @settings(max_examples=40)
+    def test_location_independent_of_bitmap_size_choice(
+        self, vehicle_id, seed, s, location
+    ):
+        """The constant choice i depends only on (L, v), never on m."""
+        keygen = KeyGenerator(master_seed=seed, s=s)
+        encoder = VehicleEncoder(SplitMix64Hasher(seed ^ 1))
+        identity = VehicleIdentity.from_generator(vehicle_id, keygen)
+        choice = encoder.constant_choice(identity, location)
+        assert 0 <= choice < s
+        assert choice == encoder.constant_choice(identity, location)
+
+    @given(u64, u64)
+    @settings(max_examples=20)
+    def test_sha_and_splitmix_both_hit_representatives(self, vehicle_id, seed):
+        """The invariant holds for both hash flavours."""
+        keygen = KeyGenerator(master_seed=seed, s=3)
+        identity = VehicleIdentity.from_generator(vehicle_id, keygen)
+        for hasher in (Sha256Hasher(seed), SplitMix64Hasher(seed)):
+            encoder = VehicleEncoder(hasher)
+            index = encoder.encoding_index(identity, 5, 1024)
+            assert index in encoder.representative_bits(identity, 1024)
+
+
+class TestVectorScalarAgreement:
+    @given(
+        st.lists(u64, min_size=1, max_size=30, unique=True),
+        u64,
+        small_s,
+        pow2_m,
+        u64,
+    )
+    @settings(max_examples=30)
+    def test_vectorized_equals_scalar_everywhere(
+        self, vehicle_ids, seed, s, size, location
+    ):
+        keygen = KeyGenerator(master_seed=seed, s=s)
+        encoder = VehicleEncoder(SplitMix64Hasher(seed ^ 7))
+        ids = np.array(vehicle_ids, dtype=np.uint64)
+        vector = encoder.encoding_indices(
+            ids, keygen.private_keys(ids), keygen.constants_matrix(ids),
+            location, size,
+        )
+        for position, vehicle_id in enumerate(vehicle_ids):
+            identity = VehicleIdentity.from_generator(vehicle_id, keygen)
+            assert encoder.encoding_index(identity, location, size) == vector[position]
+
+
+class TestKeyDerivationProperties:
+    @given(u64, u64, small_s)
+    @settings(max_examples=50)
+    def test_derivation_deterministic(self, vehicle_id, seed, s):
+        a = KeyGenerator(master_seed=seed, s=s)
+        b = KeyGenerator(master_seed=seed, s=s)
+        assert a.private_key(vehicle_id) == b.private_key(vehicle_id)
+        assert a.constants(vehicle_id) == b.constants(vehicle_id)
+
+    @given(u64, st.tuples(u64, u64).filter(lambda t: t[0] != t[1]))
+    @settings(max_examples=50)
+    def test_distinct_vehicles_distinct_keys(self, seed, pair):
+        keygen = KeyGenerator(master_seed=seed, s=3)
+        assert keygen.private_key(pair[0]) != keygen.private_key(pair[1])

@@ -1,0 +1,205 @@
+"""Property-based tests for the estimator formulas."""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.point import point_estimate_from_statistics
+from repro.core.point_to_point import point_to_point_estimate_from_statistics
+from repro.privacy.analysis import (
+    detection_probability,
+    noise_probability,
+    noise_to_information_ratio,
+)
+
+pow2_m = st.integers(min_value=8, max_value=20).map(lambda e: 1 << e)
+
+
+class TestPointFormulaProperties:
+    @given(
+        st.integers(min_value=0, max_value=2000),
+        st.integers(min_value=0, max_value=6000),
+        st.integers(min_value=0, max_value=6000),
+        pow2_m,
+    )
+    @settings(max_examples=120)
+    def test_inversion_recovers_n_star(self, n_star, extra_a, extra_b, m):
+        """Eq. 12 applied to Eq. 10's exact expectation returns n*
+        for every admissible parameter combination."""
+        n_a = n_star + extra_a
+        n_b = n_star + extra_b
+        assume(n_a + n_b < 3 * m)  # keep away from saturation
+        v_a0 = (1 - 1 / m) ** n_a
+        v_b0 = (1 - 1 / m) ** n_b
+        v_star1 = 1 - v_a0 - v_b0 + v_a0 * v_b0 * (1 - 1 / m) ** (-n_star)
+        recovered = point_estimate_from_statistics(v_a0, v_b0, v_star1, m)
+        assert recovered == pytest.approx(n_star, abs=max(1e-6 * n_star, 1e-6))
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.95),
+        st.floats(min_value=0.05, max_value=0.95),
+        pow2_m,
+    )
+    @settings(max_examples=80)
+    def test_monotone_in_observed_ones(self, v_a0, v_b0, m):
+        """More ones in E_* -> strictly more estimated commons."""
+        base = v_a0 * v_b0  # the n*=0 expectation of V*1 + Va0 + Vb0 - 1
+        low = 1 - v_a0 - v_b0 + base * 1.05
+        high = 1 - v_a0 - v_b0 + base * 1.5
+        assume(0 < low < high < 1)
+        assert point_estimate_from_statistics(
+            v_a0, v_b0, high, m
+        ) > point_estimate_from_statistics(v_a0, v_b0, low, m)
+
+
+class TestPointToPointFormulaProperties:
+    @given(
+        st.integers(min_value=0, max_value=3000),
+        st.floats(min_value=0.1, max_value=0.9),
+        st.floats(min_value=0.1, max_value=0.9),
+        st.integers(min_value=12, max_value=20).map(lambda e: 1 << e),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=120)
+    def test_exact_inversion_recovers_n(self, n_pp, v_0, v_p0, m, s):
+        factor = (1 + 1 / (s * m - s)) ** n_pp
+        v_pp0 = factor * v_0 * v_p0
+        assume(v_pp0 < 1.0)
+        recovered = point_to_point_estimate_from_statistics(
+            v_0, v_p0, v_pp0, m, s, approximate=False
+        )
+        assert recovered == pytest.approx(n_pp, abs=max(1e-6 * n_pp, 1e-6))
+
+    @given(
+        st.integers(min_value=0, max_value=3000),
+        st.integers(min_value=14, max_value=20).map(lambda e: 1 << e),
+        st.integers(min_value=2, max_value=5),
+    )
+    @settings(max_examples=80)
+    def test_paper_approximation_relative_error_small(self, n_pp, m, s):
+        """Eq. 21's ln(1+x)≈x costs under 0.1% at the paper's sizes."""
+        v_0, v_p0 = 0.4, 0.4
+        v_pp0 = (1 + 1 / (s * m - s)) ** n_pp * v_0 * v_p0
+        assume(v_pp0 < 1.0)
+        approx = point_to_point_estimate_from_statistics(
+            v_0, v_p0, v_pp0, m, s, approximate=True
+        )
+        assert approx == pytest.approx(n_pp, rel=1e-3, abs=0.01)
+
+    @given(
+        st.floats(min_value=0.1, max_value=0.9),
+        st.floats(min_value=0.1, max_value=0.9),
+        st.integers(min_value=2, max_value=5),
+    )
+    @settings(max_examples=60)
+    def test_independent_locations_estimate_zero(self, v_0, v_p0, s):
+        """V''_0 = V_0·V'_0 (independence) must yield exactly 0."""
+        value = point_to_point_estimate_from_statistics(
+            v_0, v_p0, v_0 * v_p0, 2**16, s
+        )
+        assert value == pytest.approx(0.0, abs=1e-6)
+
+
+class TestPathFormulaProperties:
+    @given(
+        st.integers(min_value=0, max_value=2000),
+        st.lists(
+            st.integers(min_value=10, max_value=16).map(lambda e: 1 << e),
+            min_size=2,
+            max_size=4,
+        ),
+        st.integers(min_value=1, max_value=5),
+        st.floats(min_value=0.1, max_value=0.9),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_path_inversion_recovers_n(self, n_c, sizes, s, base_fraction):
+        """Feeding the exact path occupancy expectation back through
+        the inversion must recover n_c for any sizes/s combination."""
+        import math
+
+        from repro.core.path import (
+            common_avoidance_probability,
+            path_estimate_from_statistics,
+        )
+
+        p1 = common_avoidance_probability(sizes, s)
+        independent = math.prod(1 - 1 / m for m in sizes)
+        rho = p1 / independent
+        fractions = [base_fraction] * len(sizes)
+        v_or0 = rho**n_c * math.prod(fractions)
+        assume(v_or0 < 1.0)
+        recovered = path_estimate_from_statistics(fractions, v_or0, sizes, s)
+        assert recovered == pytest.approx(n_c, rel=1e-6, abs=1e-6)
+
+    @given(
+        st.lists(
+            st.integers(min_value=8, max_value=14).map(lambda e: 1 << e),
+            min_size=1,
+            max_size=5,
+        ),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=80)
+    def test_avoidance_probability_bounds(self, sizes, s):
+        """P₁ lies between the independent product (all constants
+        distinct) and the single-smallest-bitmap bound (one shared
+        constant)."""
+        import math
+
+        from repro.core.path import common_avoidance_probability
+
+        p1 = common_avoidance_probability(sizes, s)
+        independent = math.prod(1 - 1 / m for m in sizes)
+        shared = 1 - 1 / min(sizes)
+        assert independent - 1e-12 <= p1 <= shared + 1e-12
+
+
+class TestPrivacyFormulaProperties:
+    @given(
+        st.integers(min_value=1, max_value=10**6),
+        pow2_m,
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=100)
+    def test_probability_ordering(self, n_prime, m_prime, s):
+        """0 <= p < p' <= 1 whenever the bitmap is not float-saturated
+        (p rounds to exactly 1.0 when n' >> m', where the trace carries
+        no information at all)."""
+        p = noise_probability(n_prime, m_prime)
+        # Within ~1e-9 of saturation, (1 - p)/s underflows against p
+        # in float64 and the strict inequality loses meaning.
+        assume(p < 1.0 - 1e-9)
+        p_prime = detection_probability(p, s)
+        assert 0 <= p < 1
+        assert p < p_prime <= 1
+
+    @given(
+        st.integers(min_value=1, max_value=10**5),
+        pow2_m,
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=100)
+    def test_ratio_consistent_with_definition(self, n_prime, m_prime, s):
+        p = noise_probability(n_prime, m_prime)
+        p_prime = detection_probability(p, s)
+        ratio = noise_to_information_ratio(n_prime, m_prime, s)
+        if p >= 1.0:
+            # Saturated bitmap: zero information, infinite privacy.
+            assert ratio == math.inf
+        else:
+            # Near saturation, p' - p is a catastrophic cancellation
+            # and the two expressions legitimately diverge in float64;
+            # only check where the subtraction keeps >= 3 digits.
+            assume(p < 1.0 - 1e-9)
+            assert ratio == pytest.approx(p / (p_prime - p), rel=1e-3)
+
+    @given(pow2_m, st.integers(min_value=1, max_value=7))
+    @settings(max_examples=60)
+    def test_ratio_monotone_in_s(self, m_prime, s):
+        """More representative bits -> better privacy, always."""
+        n_prime = m_prime // 2
+        assert noise_to_information_ratio(
+            n_prime, m_prime, s + 1
+        ) > noise_to_information_ratio(n_prime, m_prime, s)

@@ -1,0 +1,78 @@
+"""Property/fuzz tests for the serialization layer.
+
+Uploads cross a (simulated) network; the deserializers must never
+crash with anything but the library's own error type, and valid
+payloads must round-trip bit-for-bit.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ReproError, SketchError
+from repro.rsu.record import TrafficRecord
+from repro.sketch.bitmap import Bitmap
+from repro.sketch.serial import deserialize_bitmap, serialize_bitmap
+
+
+class TestBitmapFuzz:
+    @given(st.binary(max_size=256))
+    @settings(max_examples=200)
+    def test_arbitrary_bytes_never_crash_unexpectedly(self, payload):
+        """Any input either parses cleanly or raises SketchError."""
+        try:
+            bitmap = deserialize_bitmap(payload)
+        except SketchError:
+            return
+        assert serialize_bitmap(bitmap) == payload
+
+    @given(
+        st.integers(min_value=1, max_value=4096),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=100)
+    def test_valid_payloads_roundtrip(self, size, seed):
+        rng = np.random.default_rng(seed)
+        bitmap = Bitmap(size)
+        bitmap.set_many(rng.integers(0, size, size=max(size // 3, 1)))
+        assert deserialize_bitmap(serialize_bitmap(bitmap)) == bitmap
+
+    @given(st.binary(min_size=8, max_size=64))
+    @settings(max_examples=100)
+    def test_truncation_always_detected(self, junk):
+        """A declared size never silently mismatches the body."""
+        payload = serialize_bitmap(Bitmap(128))[:-3] + junk[:2]
+        try:
+            bitmap = deserialize_bitmap(payload)
+        except SketchError:
+            return
+        # If it parsed, the payload must have been self-consistent.
+        assert serialize_bitmap(bitmap) == payload
+
+
+class TestRecordFuzz:
+    @given(st.binary(max_size=128))
+    @settings(max_examples=150)
+    def test_record_payload_fuzz(self, payload):
+        """TrafficRecord parsing fails only with library errors."""
+        try:
+            record = TrafficRecord.from_payload(payload)
+        except ReproError:
+            return
+        assert record.to_payload() == payload
+
+    @given(
+        st.integers(min_value=0, max_value=2**32),
+        st.integers(min_value=0, max_value=10000),
+        st.integers(min_value=1, max_value=1024),
+    )
+    @settings(max_examples=100)
+    def test_record_roundtrip(self, location, period, size):
+        record = TrafficRecord(location=location, period=period, bitmap=Bitmap(size))
+        restored = TrafficRecord.from_payload(record.to_payload())
+        assert (restored.location, restored.period, restored.size) == (
+            location,
+            period,
+            size,
+        )

@@ -1,0 +1,124 @@
+"""Property-based tests for the sketch substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.bitmap import Bitmap
+from repro.sketch.expansion import expand_to
+from repro.sketch.join import and_join, or_join, split_and_join
+from repro.sketch.linear_counting import linear_counting_estimate
+from repro.sketch.serial import deserialize_bitmap, serialize_bitmap
+from repro.sketch.sizing import bitmap_size_for_volume, is_power_of_two
+
+#: Power-of-two bitmap sizes in a range the tests can afford.
+pow2_sizes = st.integers(min_value=3, max_value=10).map(lambda e: 1 << e)
+
+
+@st.composite
+def bitmaps(draw, size=None):
+    m = draw(pow2_sizes) if size is None else size
+    count = draw(st.integers(min_value=0, max_value=m))
+    indices = draw(
+        st.lists(st.integers(min_value=0, max_value=m - 1), max_size=count)
+    )
+    return Bitmap.from_indices(m, indices)
+
+
+class TestBitmapProperties:
+    @given(bitmaps())
+    def test_serialization_roundtrip(self, bitmap):
+        assert deserialize_bitmap(serialize_bitmap(bitmap)) == bitmap
+
+    @given(bitmaps())
+    def test_fractions_partition(self, bitmap):
+        assert bitmap.ones() + bitmap.zeros() == bitmap.size
+
+    @given(bitmaps(size=256), bitmaps(size=256))
+    def test_and_is_subset_of_operands(self, a, b):
+        joined = a & b
+        assert joined.ones() <= min(a.ones(), b.ones())
+
+    @given(bitmaps(size=256), bitmaps(size=256))
+    def test_or_is_superset_of_operands(self, a, b):
+        joined = a | b
+        assert joined.ones() >= max(a.ones(), b.ones())
+
+    @given(bitmaps(size=128), bitmaps(size=128))
+    def test_demorgan(self, a, b):
+        assert ~(a & b) == (~a | ~b)
+
+    @given(bitmaps(size=128))
+    def test_and_idempotent(self, a):
+        assert (a & a) == a
+
+
+class TestExpansionProperties:
+    @given(bitmaps(), st.integers(min_value=0, max_value=14))
+    def test_expansion_preserves_fraction(self, bitmap, extra_exponent):
+        target = bitmap.size << min(extra_exponent, 14 - bitmap.size.bit_length())
+        if target < bitmap.size:
+            target = bitmap.size
+        expanded = expand_to(bitmap, target)
+        assert expanded.one_fraction() == bitmap.one_fraction()
+
+    @given(bitmaps(), st.integers(min_value=0, max_value=2**63))
+    def test_alignment_property(self, bitmap, hash_value):
+        """For ANY hash value, the expanded bit equals the source bit.
+        This is the Section III-A theorem verbatim."""
+        expanded = expand_to(bitmap, bitmap.size * 8)
+        assert expanded.get(hash_value % expanded.size) == bitmap.get(
+            hash_value % bitmap.size
+        )
+
+    @given(st.lists(bitmaps(), min_size=1, max_size=5))
+    def test_and_join_size_is_max(self, group):
+        assert and_join(group).size == max(b.size for b in group)
+
+    @given(st.lists(bitmaps(), min_size=1, max_size=5))
+    def test_or_join_size_is_max(self, group):
+        assert or_join(group).size == max(b.size for b in group)
+
+    @given(st.lists(bitmaps(), min_size=2, max_size=6))
+    def test_split_join_consistency(self, group):
+        """E_* = E_a AND E_b always, and a one in E_* implies aligned
+        ones in every expanded input."""
+        result = split_and_join(group)
+        assert result.joined == (result.half_a & result.half_b)
+        size = result.size
+        ones = [i for i in range(size) if result.joined.get(i)]
+        for bitmap in group:
+            for index in ones:
+                assert bitmap.get(index % bitmap.size)
+
+
+class TestSizingProperties:
+    @given(
+        st.floats(min_value=1.0, max_value=1e7),
+        st.floats(min_value=0.1, max_value=8.0),
+    )
+    def test_size_power_of_two_and_sufficient(self, volume, load_factor):
+        size = bitmap_size_for_volume(volume, load_factor)
+        assert is_power_of_two(size)
+        assert size >= volume * load_factor / 2  # tight power-of-two bound
+        assert size <= max(volume * load_factor * 2, 1)
+
+
+class TestLinearCountingProperties:
+    @given(
+        st.integers(min_value=1, max_value=5000),
+        st.integers(min_value=8, max_value=13).map(lambda e: 1 << e),
+    )
+    def test_estimate_inverts_expectation(self, n, m):
+        v0 = (1 - 1 / m) ** n
+        assert abs(linear_counting_estimate(v0, m) - n) < 1e-6 * max(n, 1)
+
+    @given(
+        st.floats(min_value=1e-6, max_value=1.0, exclude_max=False),
+        st.integers(min_value=8, max_value=16).map(lambda e: 1 << e),
+    )
+    def test_estimate_nonnegative_and_monotone(self, v0, m):
+        estimate = linear_counting_estimate(v0, m)
+        assert estimate >= 0
+        smaller_v0 = v0 / 2
+        assert linear_counting_estimate(smaller_v0, m) >= estimate

@@ -1,0 +1,130 @@
+"""Property-based tests for the workload generators and trip tables."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.sizing import is_power_of_two
+from repro.traffic.trip_table import TripTable
+from repro.traffic.workloads import PointToPointWorkload, PointWorkload
+
+#: Small scales keep hypothesis examples fast; the invariants do not
+#: depend on magnitude.
+volumes_strategy = st.lists(
+    st.integers(min_value=200, max_value=2000), min_size=1, max_size=5
+)
+
+
+class TestPointWorkloadProperties:
+    @given(
+        volumes_strategy,
+        st.integers(min_value=0, max_value=150),
+        st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_generated_records_satisfy_invariants(self, volumes, n_star, seed):
+        assume(n_star <= min(volumes))
+        workload = PointWorkload(s=3, load_factor=2.0, key_seed=1)
+        rng = np.random.default_rng(seed)
+        result = workload.generate(
+            n_star=n_star, volumes=volumes, location=3, rng=rng
+        )
+        # One record per period, all power-of-two and equal sized.
+        assert len(result.records) == len(volumes)
+        assert len(set(result.sizes)) == 1
+        assert all(is_power_of_two(size) for size in result.sizes)
+        # Per-record fill never exceeds the period volume.
+        for bitmap, volume in zip(result.records, result.volumes):
+            assert 0 <= bitmap.ones() <= volume
+
+    @given(
+        st.integers(min_value=1, max_value=100),
+        st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_persistent_bits_survive_and_join(self, n_star, seed):
+        """Every record shares at least the persistent vehicles' ones."""
+        from repro.sketch.join import and_join
+
+        workload = PointWorkload(s=3, load_factor=2.0, key_seed=1)
+        rng = np.random.default_rng(seed)
+        result = workload.generate(
+            n_star=n_star, volumes=[n_star + 300] * 3, location=3, rng=rng
+        )
+        joined = and_join(result.records)
+        # At most n_star distinct persistent bits, at least 1.
+        assert 1 <= joined.ones()
+        # The AND-join can't have more ones than any single record.
+        assert joined.ones() <= min(r.ones() for r in result.records)
+
+
+class TestPointToPointWorkloadProperties:
+    @given(
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_two_location_invariants(self, n_common, seed):
+        workload = PointToPointWorkload(s=3, load_factor=2.0, key_seed=1)
+        rng = np.random.default_rng(seed)
+        result = workload.generate(
+            n_double_prime=n_common,
+            volumes_a=[n_common + 400] * 2,
+            volumes_b=[n_common + 600] * 2,
+            location_a=1,
+            location_b=2,
+            rng=rng,
+        )
+        assert len(result.records_a) == len(result.records_b) == 2
+        assert all(is_power_of_two(s) for s in result.sizes_a + result.sizes_b)
+        # Sizes constant per location (expected-volume sizing).
+        assert len(set(result.sizes_a)) == 1
+        assert len(set(result.sizes_b)) == 1
+
+
+class TestTripTableProperties:
+    @st.composite
+    @staticmethod
+    def matrices(draw):
+        k = draw(st.integers(min_value=2, max_value=6))
+        values = draw(
+            st.lists(
+                st.floats(min_value=0, max_value=10000),
+                min_size=k * k,
+                max_size=k * k,
+            )
+        )
+        return np.array(values).reshape(k, k)
+
+    @given(matrices())
+    @settings(max_examples=50)
+    def test_involved_volumes_sum(self, matrix):
+        """Sum of involved volumes = 2·total − diagonal total (each
+        off-diagonal trip involves two zones, intra-zonal one)."""
+        table = TripTable(matrix)
+        total_involved = sum(table.involved_volume(z) for z in table.zones)
+        diagonal = float(np.trace(matrix))
+        assert total_involved == pytest.approx(
+            2 * table.total_volume() - diagonal, rel=1e-9, abs=1e-6
+        )
+
+    @given(matrices())
+    @settings(max_examples=50)
+    def test_busiest_zone_maximizes(self, matrix):
+        table = TripTable(matrix)
+        best = table.busiest_zone()
+        for zone in table.zones:
+            assert table.involved_volume(best) >= table.involved_volume(zone)
+
+    @given(matrices(), st.floats(min_value=0.1, max_value=10))
+    @settings(max_examples=30)
+    def test_scaling_scales_everything(self, matrix, factor):
+        table = TripTable(matrix)
+        scaled = table.scaled(factor)
+        assert scaled.total_volume() == pytest.approx(
+            factor * table.total_volume(), rel=1e-9, abs=1e-6
+        )
+        assert scaled.involved_volume(1) == pytest.approx(
+            factor * table.involved_volume(1), rel=1e-9, abs=1e-6
+        )

@@ -1,0 +1,44 @@
+"""Unit tests for repro.rsu.record and repro.rsu.beacon."""
+
+import pytest
+
+from repro.crypto.mac import MacAddress
+from repro.rsu.beacon import EncodingReport
+from repro.rsu.record import TrafficRecord
+from repro.sketch.bitmap import Bitmap
+
+
+class TestTrafficRecord:
+    def test_size_property(self):
+        record = TrafficRecord(location=1, period=0, bitmap=Bitmap(256))
+        assert record.size == 256
+
+    def test_point_estimate_matches_linear_counting(self, rng):
+        m, n = 4096, 1000
+        bitmap = Bitmap(m)
+        bitmap.set_many(rng.integers(0, m, size=n))
+        record = TrafficRecord(location=1, period=0, bitmap=bitmap)
+        assert record.point_estimate() == pytest.approx(n, rel=0.1)
+
+    def test_payload_roundtrip(self, rng):
+        bitmap = Bitmap(512)
+        bitmap.set_many(rng.integers(0, 512, size=100))
+        record = TrafficRecord(location=77, period=12, bitmap=bitmap)
+        restored = TrafficRecord.from_payload(record.to_payload())
+        assert restored.location == 77
+        assert restored.period == 12
+        assert restored.bitmap == bitmap
+
+    def test_payload_is_compact(self):
+        record = TrafficRecord(location=1, period=0, bitmap=Bitmap(65536))
+        # 16 bytes of metadata + 8 bytes bitmap header + bits.
+        assert len(record.to_payload()) == 16 + 8 + 65536 // 8
+
+
+class TestEncodingReport:
+    def test_fields(self):
+        report = EncodingReport(
+            source_mac=MacAddress(0x020000000001), location=4, index=99
+        )
+        assert report.location == 4
+        assert report.index == 99

@@ -1,0 +1,135 @@
+"""Unit tests for repro.rsu.unit (the RSU lifecycle)."""
+
+import pytest
+
+from repro.crypto.mac import MacAddress
+from repro.crypto.pki import CertificateAuthority
+from repro.exceptions import ConfigurationError, ProtocolError
+from repro.rsu.beacon import EncodingReport
+from repro.rsu.unit import RoadSideUnit
+
+
+@pytest.fixture
+def authority():
+    return CertificateAuthority(seed=20)
+
+
+@pytest.fixture
+def rsu(authority):
+    return RoadSideUnit(
+        location=7, bitmap_size=256, credentials=authority.issue(7)
+    )
+
+
+def _report(location=7, index=0):
+    return EncodingReport(
+        source_mac=MacAddress(0x020000000001), location=location, index=index
+    )
+
+
+class TestConstruction:
+    def test_credentials_must_match_location(self, authority):
+        with pytest.raises(ConfigurationError):
+            RoadSideUnit(location=7, bitmap_size=256, credentials=authority.issue(8))
+
+    def test_invalid_beacon_interval(self, authority):
+        with pytest.raises(ConfigurationError):
+            RoadSideUnit(
+                location=7,
+                bitmap_size=256,
+                credentials=authority.issue(7),
+                beacon_interval=0,
+            )
+
+
+class TestPeriodLifecycle:
+    def test_start_and_end_period(self, rsu):
+        rsu.start_period(0)
+        assert rsu.current_period == 0
+        record = rsu.end_period()
+        assert record.period == 0
+        assert record.location == 7
+        assert rsu.current_period is None
+
+    def test_double_start_rejected(self, rsu):
+        rsu.start_period(0)
+        with pytest.raises(ProtocolError):
+            rsu.start_period(1)
+
+    def test_end_without_start_rejected(self, rsu):
+        with pytest.raises(ProtocolError):
+            rsu.end_period()
+
+    def test_resize_between_periods(self, rsu):
+        rsu.start_period(0)
+        rsu.end_period()
+        rsu.start_period(1, bitmap_size=1024)
+        assert rsu.bitmap_size == 1024
+
+    def test_bitmap_reset_between_periods(self, rsu):
+        rsu.start_period(0)
+        rsu.receive_report(_report(index=5))
+        record0 = rsu.end_period()
+        rsu.start_period(1)
+        record1 = rsu.end_period()
+        assert record0.bitmap.ones() == 1
+        assert record1.bitmap.is_empty()
+
+    def test_completed_records_accumulate(self, rsu):
+        for period in range(3):
+            rsu.start_period(period)
+            rsu.end_period()
+        assert [r.period for r in rsu.completed_records] == [0, 1, 2]
+
+    def test_record_is_frozen_copy(self, rsu):
+        rsu.start_period(0)
+        record = rsu.end_period()
+        rsu.start_period(1)
+        rsu.receive_report(_report(index=3))
+        assert record.bitmap.is_empty()
+
+
+class TestReports:
+    def test_report_sets_bit(self, rsu):
+        rsu.start_period(0)
+        rsu.receive_report(_report(index=42))
+        assert rsu.reports_in_period == 1
+        assert rsu.end_period().bitmap.get(42)
+
+    def test_report_outside_period_rejected(self, rsu):
+        with pytest.raises(ProtocolError):
+            rsu.receive_report(_report())
+
+    def test_misaddressed_report_rejected(self, rsu):
+        rsu.start_period(0)
+        with pytest.raises(ProtocolError):
+            rsu.receive_report(_report(location=99))
+
+    def test_malformed_index_rejected(self, rsu):
+        rsu.start_period(0)
+        with pytest.raises(ProtocolError):
+            rsu.receive_report(_report(index=10_000))
+
+    def test_duplicate_indices_idempotent(self, rsu):
+        rsu.start_period(0)
+        rsu.receive_report(_report(index=1))
+        rsu.receive_report(_report(index=1))
+        assert rsu.end_period().bitmap.ones() == 1
+
+
+class TestBeacons:
+    def test_beacon_carries_protocol_fields(self, rsu):
+        beacon = rsu.make_beacon()
+        assert beacon.location == 7
+        assert beacon.bitmap_size == 256
+        assert beacon.certificate.rsu_id == 7
+
+    def test_beacon_sequence_increments(self, rsu):
+        assert rsu.make_beacon().sequence < rsu.make_beacon().sequence
+
+    def test_beacon_reflects_resize(self, rsu):
+        rsu.start_period(0, bitmap_size=2048)
+        assert rsu.make_beacon().bitmap_size == 2048
+
+    def test_answer_challenge_deterministic(self, rsu):
+        assert rsu.answer_challenge(b"c") == rsu.answer_challenge(b"c")

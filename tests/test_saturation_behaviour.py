@@ -1,0 +1,100 @@
+"""Edge-case behaviour when bitmaps approach saturation.
+
+Eq. 2's load factor keeps occupancy near 1/f, but a real deployment
+can get it wrong (traffic doubles overnight, someone sets f = 0.25).
+These tests pin down what the library does then: estimators raise the
+dedicated :class:`SaturatedBitmapError` (never a numeric crash or a
+silent garbage number), and moderately overloaded bitmaps still
+estimate, just noisily.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.point import PointPersistentEstimator
+from repro.core.point_to_point import PointToPointPersistentEstimator
+from repro.exceptions import EstimationError, SaturatedBitmapError
+from repro.sketch.bitmap import Bitmap
+from repro.sketch.linear_counting import linear_counting_estimate
+from repro.traffic.workloads import PointToPointWorkload, PointWorkload
+
+
+def _overloaded_records(load_factor, n_star=100, volume=8000, periods=4, seed=0):
+    workload = PointWorkload(s=3, load_factor=load_factor, key_seed=9)
+    rng = np.random.default_rng(seed)
+    return workload.generate(
+        n_star=n_star, volumes=[volume] * periods, location=1, rng=rng
+    ).records
+
+
+class TestSingleRecordSaturation:
+    def test_full_bitmap_raises_saturated(self):
+        bitmap = Bitmap.from_indices(64, range(64))
+        with pytest.raises(SaturatedBitmapError):
+            linear_counting_estimate(bitmap.zero_fraction(), bitmap.size)
+
+    def test_nearly_full_bitmap_still_estimates(self):
+        bitmap = Bitmap.from_indices(64, range(63))
+        value = linear_counting_estimate(bitmap.zero_fraction(), 64)
+        assert value > 64  # heavy extrapolation, but finite
+
+
+class TestPointEstimatorUnderOverload:
+    def test_quarter_load_factor_still_works(self):
+        """f = 0.5 (4x the paper's occupancy): noisy but functional.
+
+        The AND-join of several dense bitmaps thins out, so the halves
+        are not saturated even though single records are ~86% full.
+        """
+        records = _overloaded_records(load_factor=0.5, n_star=400)
+        estimate = PointPersistentEstimator().estimate(records)
+        assert estimate.estimate == pytest.approx(400, rel=1.0)
+
+    def test_saturated_halves_raise_cleanly(self):
+        """Two fully saturated records leave no zeros in either half."""
+        full = Bitmap.from_indices(128, range(128))
+        with pytest.raises(SaturatedBitmapError):
+            PointPersistentEstimator().estimate([full, full.copy()])
+
+    def test_errors_are_library_typed(self):
+        """Whatever degenerate input arrives, only ReproError types
+        escape the estimator (never ValueError/ZeroDivisionError)."""
+        from repro.exceptions import ReproError
+
+        nasty_cases = [
+            [Bitmap.from_indices(64, range(64))] * 2,  # saturated
+            [Bitmap(64), Bitmap(64)],  # empty (V_a0 = V_b0 = 1)
+        ]
+        for records in nasty_cases:
+            try:
+                PointPersistentEstimator().estimate(records)
+            except ReproError:
+                pass
+
+    def test_empty_records_estimate_zero(self):
+        estimate = PointPersistentEstimator().estimate([Bitmap(64), Bitmap(64)])
+        assert estimate.estimate == pytest.approx(0.0, abs=1e-9)
+
+
+class TestPointToPointUnderOverload:
+    def test_saturated_or_join_raises(self):
+        full = Bitmap.from_indices(128, range(128))
+        empty = Bitmap(128)
+        with pytest.raises(SaturatedBitmapError):
+            PointToPointPersistentEstimator(3).estimate([full], [empty])
+
+    def test_overloaded_p2p_still_estimates(self):
+        workload = PointToPointWorkload(s=3, load_factor=1.0, key_seed=9)
+        rng = np.random.default_rng(4)
+        result = workload.generate(
+            n_double_prime=2000,
+            volumes_a=[20000] * 5,
+            volumes_b=[20000] * 5,
+            location_a=1,
+            location_b=2,
+            rng=rng,
+        )
+        estimate = PointToPointPersistentEstimator(3).estimate(
+            result.records_a, result.records_b
+        )
+        assert estimate.estimate == pytest.approx(2000, rel=0.5)

@@ -1,0 +1,137 @@
+"""Unit and integration tests for repro.server.central."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.rsu.record import TrafficRecord
+from repro.server.central import CentralServer
+from repro.server.queries import (
+    PointPersistentQuery,
+    PointToPointPersistentQuery,
+    PointVolumeQuery,
+)
+from repro.sketch.bitmap import Bitmap
+from repro.traffic.workloads import PointToPointWorkload, PointWorkload
+
+
+def _upload_point_workload(server, location=4, n_star=300, volumes=(4000, 5000, 6000, 7000)):
+    workload = PointWorkload(s=server.s, load_factor=2.0, key_seed=5)
+    rng = np.random.default_rng(77)
+    result = workload.generate(
+        n_star=n_star, volumes=list(volumes), location=location, rng=rng
+    )
+    for period, bitmap in enumerate(result.records):
+        server.receive_record(
+            TrafficRecord(location=location, period=period, bitmap=bitmap)
+        )
+    return result
+
+
+class TestConfiguration:
+    def test_invalid_s(self):
+        with pytest.raises(ConfigurationError):
+            CentralServer(s=0)
+
+
+class TestIngestion:
+    def test_receive_record_updates_history(self, rng):
+        server = CentralServer(s=3, load_factor=2.0)
+        bitmap = Bitmap(8192)
+        bitmap.set_many(rng.integers(0, 8192, size=3000))
+        server.receive_record(TrafficRecord(location=3, period=0, bitmap=bitmap))
+        # History should now recommend a size near 2*~3000 -> 8192.
+        assert server.recommend_bitmap_size(3) == 8192
+
+    def test_receive_payload(self, rng):
+        server = CentralServer()
+        record = TrafficRecord(location=9, period=2, bitmap=Bitmap(64))
+        restored = server.receive_payload(record.to_payload())
+        assert restored.location == 9
+        assert server.store.get(9, 2) is not None
+
+
+class TestQueries:
+    def test_point_volume(self, rng):
+        server = CentralServer()
+        bitmap = Bitmap(4096)
+        bitmap.set_many(rng.integers(0, 4096, size=1000))
+        server.receive_record(TrafficRecord(location=1, period=0, bitmap=bitmap))
+        estimate = server.point_volume(PointVolumeQuery(location=1, period=0))
+        assert estimate == pytest.approx(1000, rel=0.1)
+
+    def test_point_persistent_query(self):
+        server = CentralServer(s=3)
+        result = _upload_point_workload(server, location=4, n_star=300)
+        estimate = server.point_persistent(
+            PointPersistentQuery(location=4, periods=(0, 1, 2, 3))
+        )
+        assert estimate.estimate == pytest.approx(300, abs=120)
+
+    def test_point_persistent_benchmark_query(self):
+        server = CentralServer(s=3)
+        _upload_point_workload(server, location=4, n_star=300)
+        benchmark = server.point_persistent_benchmark(
+            PointPersistentQuery(location=4, periods=(0, 1, 2, 3))
+        )
+        # The benchmark over-counts: transient collisions survive.
+        assert benchmark.estimate >= 250
+
+    def test_point_to_point_query(self):
+        server = CentralServer(s=3)
+        workload = PointToPointWorkload(s=3, load_factor=2.0, key_seed=5)
+        rng = np.random.default_rng(99)
+        result = workload.generate(
+            n_double_prime=500,
+            volumes_a=[6000] * 4,
+            volumes_b=[8000] * 4,
+            location_a=1,
+            location_b=2,
+            rng=rng,
+        )
+        for period in range(4):
+            server.receive_record(
+                TrafficRecord(location=1, period=period, bitmap=result.records_a[period])
+            )
+            server.receive_record(
+                TrafficRecord(location=2, period=period, bitmap=result.records_b[period])
+            )
+        estimate = server.point_to_point_persistent(
+            PointToPointPersistentQuery(location_a=1, location_b=2, periods=(0, 1, 2, 3))
+        )
+        assert estimate.estimate == pytest.approx(500, abs=350)
+
+    def test_archive_attached_persists_records(self, tmp_path, rng):
+        from repro.server.persistence import RecordArchive
+
+        archive = RecordArchive(tmp_path / "arch")
+        server = CentralServer(archive=archive)
+        bitmap = Bitmap(256)
+        bitmap.set_many(rng.integers(0, 256, size=40))
+        server.receive_record(TrafficRecord(location=2, period=0, bitmap=bitmap))
+        assert len(archive) == 1
+        assert archive.load(2, 0).bitmap == bitmap
+
+    def test_from_archive_restores_state(self, tmp_path, rng):
+        from repro.server.persistence import RecordArchive
+
+        archive = RecordArchive(tmp_path / "arch2")
+        original = CentralServer(archive=archive)
+        for period in range(3):
+            bitmap = Bitmap(4096)
+            bitmap.set_many(rng.integers(0, 4096, size=1000))
+            original.receive_record(
+                TrafficRecord(location=5, period=period, bitmap=bitmap)
+            )
+        restored = CentralServer.from_archive(RecordArchive(tmp_path / "arch2"))
+        assert restored.store.periods_for(5) == [0, 1, 2]
+        # History rebuilt: sizing now reflects the observed ~1000/period.
+        assert restored.recommend_bitmap_size(5) == 2048
+
+    def test_server_never_sees_vehicle_ids(self):
+        """The store holds only bitmaps — no ID-bearing structure."""
+        server = CentralServer()
+        _upload_point_workload(server, location=4, n_star=10)
+        for record in server.store.all_records():
+            assert isinstance(record.bitmap, Bitmap)
+            assert not hasattr(record, "vehicle_ids")

@@ -1,0 +1,66 @@
+"""Unit tests for repro.server.history."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.server.history import VolumeHistory
+
+
+class TestConfiguration:
+    def test_invalid_load_factor(self):
+        with pytest.raises(ConfigurationError):
+            VolumeHistory(load_factor=0)
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ConfigurationError):
+            VolumeHistory(smoothing=0.0)
+        with pytest.raises(ConfigurationError):
+            VolumeHistory(smoothing=1.5)
+
+    def test_invalid_default_volume(self):
+        with pytest.raises(ConfigurationError):
+            VolumeHistory(default_volume=-5)
+
+
+class TestHistory:
+    def test_default_volume_before_observations(self):
+        history = VolumeHistory(default_volume=5000)
+        assert history.expected_volume(1) == 5000
+
+    def test_first_observation_replaces_default(self):
+        history = VolumeHistory()
+        history.observe(1, 2000)
+        assert history.expected_volume(1) == 2000
+
+    def test_ewma_blend(self):
+        history = VolumeHistory(smoothing=0.5)
+        history.observe(1, 1000)
+        history.observe(1, 2000)
+        assert history.expected_volume(1) == pytest.approx(1500)
+
+    def test_locations_independent(self):
+        history = VolumeHistory()
+        history.observe(1, 1000)
+        history.observe(2, 9000)
+        assert history.expected_volume(1) != history.expected_volume(2)
+
+    def test_negative_observation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VolumeHistory().observe(1, -1)
+
+    def test_recommend_size_matches_eq2(self):
+        history = VolumeHistory(load_factor=2.0)
+        history.observe(1, 28000)
+        assert history.recommend_size(1) == 65536
+
+    def test_set_expected_volume_override(self):
+        history = VolumeHistory(load_factor=2.0)
+        history.set_expected_volume(4, 451000)
+        assert history.recommend_size(4) == 1048576
+
+    def test_set_expected_volume_invalid(self):
+        with pytest.raises(ConfigurationError):
+            VolumeHistory().set_expected_volume(1, 0)
+
+    def test_load_factor_property(self):
+        assert VolumeHistory(load_factor=3.0).load_factor == 3.0

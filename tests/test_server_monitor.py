@@ -1,0 +1,110 @@
+"""Tests for the rolling persistence monitor."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, EstimationError
+from repro.rsu.record import TrafficRecord
+from repro.server.monitor import PersistenceMonitor
+from repro.traffic.workloads import PointWorkload
+
+LOCATION = 6
+
+
+def _records(n_star, periods, seed=0, volume=6000):
+    workload = PointWorkload(s=3, load_factor=2.0, key_seed=2)
+    rng = np.random.default_rng(seed)
+    result = workload.generate(
+        n_star=n_star, volumes=[volume] * periods, location=LOCATION, rng=rng
+    )
+    return [
+        TrafficRecord(location=LOCATION, period=period, bitmap=bitmap)
+        for period, bitmap in enumerate(result.records)
+    ]
+
+
+class TestWarmup:
+    def test_no_sample_until_window_full(self):
+        monitor = PersistenceMonitor(LOCATION, window=4)
+        records = _records(100, 4)
+        assert monitor.push(records[0]) is None
+        assert monitor.push(records[1]) is None
+        assert monitor.push(records[2]) is None
+        assert not monitor.is_warm
+        sample = monitor.push(records[3])
+        assert sample is not None
+        assert monitor.is_warm
+
+    def test_current_before_warm_raises(self):
+        monitor = PersistenceMonitor(LOCATION, window=3)
+        with pytest.raises(EstimationError):
+            monitor.current()
+
+    def test_window_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PersistenceMonitor(LOCATION, window=1)
+
+
+class TestEstimation:
+    def test_window_estimate_tracks_truth(self):
+        monitor = PersistenceMonitor(LOCATION, window=5)
+        for record in _records(400, 8):
+            monitor.push(record)
+        assert monitor.current().estimate.estimate == pytest.approx(400, abs=120)
+
+    def test_sliding_emits_one_sample_per_arrival_after_warm(self):
+        monitor = PersistenceMonitor(LOCATION, window=3)
+        for record in _records(200, 7):
+            monitor.push(record)
+        assert len(monitor.samples) == 5  # periods 2..6
+        assert [s.latest_period for s in monitor.samples] == [2, 3, 4, 5, 6]
+
+    def test_detects_persistence_change(self):
+        """When the commuter base grows, the rolling estimate follows
+        once the window covers only new-regime records."""
+        monitor = PersistenceMonitor(LOCATION, window=3)
+        # Regime A: 150 persistent vehicles for 3 periods.
+        for record in _records(150, 3, seed=1):
+            monitor.push(record)
+        before = monitor.current().estimate.estimate
+        # Regime B: 600 persistent vehicles for the next 3 periods
+        # (renumbered to keep arrival order strict).
+        regime_b = _records(600, 3, seed=2)
+        for offset, record in enumerate(regime_b):
+            monitor.push(
+                TrafficRecord(
+                    location=LOCATION, period=3 + offset, bitmap=record.bitmap
+                )
+            )
+        after = monitor.current().estimate.estimate
+        # The persistent sets of the two regimes are disjoint random
+        # populations, so mid-transition windows estimate near zero;
+        # the final window (all regime B) must see ~600.
+        assert before == pytest.approx(150, abs=80)
+        assert after == pytest.approx(600, abs=150)
+        assert monitor.trend(lookback=3) > 300
+
+
+class TestValidation:
+    def test_wrong_location_rejected(self):
+        monitor = PersistenceMonitor(LOCATION, window=2)
+        record = _records(10, 1)[0]
+        bad = TrafficRecord(location=99, period=0, bitmap=record.bitmap)
+        with pytest.raises(ConfigurationError, match="location"):
+            monitor.push(bad)
+
+    def test_out_of_order_rejected(self):
+        monitor = PersistenceMonitor(LOCATION, window=2)
+        records = _records(10, 2)
+        monitor.push(records[1])  # period 1 first
+        with pytest.raises(ConfigurationError, match="order"):
+            monitor.push(records[0])
+
+    def test_trend_lookback_validation(self):
+        monitor = PersistenceMonitor(LOCATION, window=2)
+        with pytest.raises(ConfigurationError):
+            monitor.trend(lookback=0)
+
+    def test_trend_zero_with_few_samples(self):
+        monitor = PersistenceMonitor(LOCATION, window=2)
+        assert monitor.trend() == 0.0

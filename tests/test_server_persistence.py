@@ -1,0 +1,119 @@
+"""Tests for the file-backed record archive."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.rsu.record import TrafficRecord
+from repro.server.persistence import RecordArchive
+from repro.sketch.bitmap import Bitmap
+
+
+def _record(location, period, size=256, seed=0):
+    rng = np.random.default_rng(seed)
+    bitmap = Bitmap(size)
+    bitmap.set_many(rng.integers(0, size, size=size // 4))
+    return TrafficRecord(location=location, period=period, bitmap=bitmap)
+
+
+@pytest.fixture
+def archive(tmp_path):
+    return RecordArchive(tmp_path / "archive")
+
+
+class TestSaveAndLoad:
+    def test_roundtrip(self, archive):
+        original = _record(10, 3)
+        archive.save(original)
+        restored = archive.load(10, 3)
+        assert restored.location == 10
+        assert restored.period == 3
+        assert restored.bitmap == original.bitmap
+
+    def test_duplicate_rejected(self, archive):
+        archive.save(_record(1, 0))
+        with pytest.raises(DataError):
+            archive.save(_record(1, 0))
+
+    def test_missing_record(self, archive):
+        with pytest.raises(DataError):
+            archive.load(9, 9)
+
+    def test_save_all_and_len(self, archive):
+        count = archive.save_all(_record(loc, per) for loc in (1, 2) for per in (0, 1))
+        assert count == 4
+        assert len(archive) == 4
+
+    def test_entries_sorted(self, archive):
+        for loc, per in [(2, 1), (1, 0), (2, 0)]:
+            archive.save(_record(loc, per))
+        assert archive.entries() == [(1, 0), (2, 0), (2, 1)]
+
+    def test_load_store(self, archive):
+        for period in range(3):
+            archive.save(_record(7, period, seed=period))
+        store = archive.load_store()
+        assert store.periods_for(7) == [0, 1, 2]
+
+    def test_persistence_across_instances(self, tmp_path):
+        """A new archive object on the same directory sees the data."""
+        first = RecordArchive(tmp_path / "a")
+        first.save(_record(4, 2))
+        second = RecordArchive(tmp_path / "a")
+        assert second.load(4, 2).location == 4
+
+
+class TestIntegrity:
+    def test_verify_clean_archive(self, archive):
+        archive.save_all([_record(1, p) for p in range(5)])
+        assert archive.verify() == 5
+
+    def test_corruption_detected(self, archive, tmp_path):
+        path = archive.save(_record(3, 1))
+        payload = path.read_bytes()
+        path.write_bytes(payload[:-1] + bytes([payload[-1] ^ 0xFF]))
+        with pytest.raises(DataError, match="checksum"):
+            archive.load(3, 1)
+
+    def test_deleted_file_detected(self, archive):
+        path = archive.save(_record(3, 1))
+        path.unlink()
+        with pytest.raises(DataError, match="missing"):
+            archive.verify()
+
+    def test_bad_manifest_version(self, tmp_path):
+        directory = tmp_path / "bad"
+        directory.mkdir()
+        (directory / "manifest.json").write_text(
+            json.dumps({"version": 99, "records": {}})
+        )
+        with pytest.raises(DataError, match="version"):
+            RecordArchive(directory)
+
+    def test_garbled_manifest(self, tmp_path):
+        directory = tmp_path / "bad2"
+        directory.mkdir()
+        (directory / "manifest.json").write_text("{not json")
+        with pytest.raises(DataError, match="unreadable"):
+            RecordArchive(directory)
+
+    def test_mislabelled_record_detected(self, archive):
+        """A payload whose embedded metadata disagrees with its
+        manifest key is rejected."""
+        path = archive.save(_record(5, 0))
+        # Overwrite with a record for a different location but patch
+        # the checksum so only the metadata check can catch it.
+        other = _record(6, 0)
+        payload = other.to_payload()
+        path.write_bytes(payload)
+        manifest_path = path.parent / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        import hashlib
+
+        manifest["records"]["5/0"]["sha256"] = hashlib.sha256(payload).hexdigest()
+        manifest_path.write_text(json.dumps(manifest))
+        reopened = RecordArchive(path.parent)
+        with pytest.raises(DataError, match="contains a record"):
+            reopened.load(5, 0)

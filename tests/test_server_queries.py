@@ -1,0 +1,56 @@
+"""Unit tests for repro.server.queries."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.server.queries import (
+    PointPersistentQuery,
+    PointToPointPersistentQuery,
+    PointVolumeQuery,
+)
+
+
+class TestPointVolumeQuery:
+    def test_fields(self):
+        query = PointVolumeQuery(location=3, period=1)
+        assert query.location == 3 and query.period == 1
+
+
+class TestPointPersistentQuery:
+    def test_valid(self):
+        query = PointPersistentQuery(location=1, periods=(0, 1, 2))
+        assert len(query.periods) == 3
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PointPersistentQuery(location=1, periods=(0, 0, 1))
+
+    def test_single_period_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PointPersistentQuery(location=1, periods=(0,))
+
+    def test_periods_coerced_to_ints(self):
+        query = PointPersistentQuery(location=1, periods=[0.0, 1.0])
+        assert query.periods == (0, 1)
+
+
+class TestPointToPointQuery:
+    def test_valid(self):
+        query = PointToPointPersistentQuery(
+            location_a=1, location_b=2, periods=(0, 1)
+        )
+        assert query.periods == (0, 1)
+
+    def test_same_location_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PointToPointPersistentQuery(location_a=1, location_b=1, periods=(0,))
+
+    def test_empty_periods_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PointToPointPersistentQuery(location_a=1, location_b=2, periods=())
+
+    def test_duplicate_periods_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PointToPointPersistentQuery(
+                location_a=1, location_b=2, periods=(3, 3)
+            )

@@ -1,0 +1,68 @@
+"""Unit tests for repro.server.store."""
+
+import pytest
+
+from repro.exceptions import DataError
+from repro.rsu.record import TrafficRecord
+from repro.server.store import RecordStore
+from repro.sketch.bitmap import Bitmap
+
+
+def _record(location, period, size=64):
+    return TrafficRecord(location=location, period=period, bitmap=Bitmap(size))
+
+
+class TestRecordStore:
+    def test_add_and_get(self):
+        store = RecordStore()
+        record = _record(1, 0)
+        store.add(record)
+        assert store.get(1, 0) is record
+        assert len(store) == 1
+
+    def test_duplicate_rejected(self):
+        store = RecordStore()
+        store.add(_record(1, 0))
+        with pytest.raises(DataError):
+            store.add(_record(1, 0))
+
+    def test_get_missing_returns_none(self):
+        assert RecordStore().get(1, 0) is None
+
+    def test_require_missing_raises(self):
+        with pytest.raises(DataError):
+            RecordStore().require(1, 0)
+
+    def test_records_for_ordered(self):
+        store = RecordStore()
+        for period in (2, 0, 1):
+            store.add(_record(5, period))
+        records = store.records_for(5, [0, 1, 2])
+        assert [r.period for r in records] == [0, 1, 2]
+
+    def test_records_for_missing_period_raises(self):
+        store = RecordStore()
+        store.add(_record(5, 0))
+        with pytest.raises(DataError):
+            store.records_for(5, [0, 1])
+
+    def test_add_payload_roundtrip(self):
+        store = RecordStore()
+        restored = store.add_payload(_record(9, 3).to_payload())
+        assert restored.location == 9
+        assert store.get(9, 3) is not None
+
+    def test_locations_and_periods(self):
+        store = RecordStore()
+        store.add(_record(1, 0))
+        store.add(_record(1, 1))
+        store.add(_record(2, 0))
+        assert store.locations() == {1, 2}
+        assert store.periods_for(1) == [0, 1]
+        assert store.periods_for(2) == [0]
+
+    def test_all_records(self):
+        store = RecordStore()
+        store.add(_record(1, 0))
+        store.add(_record(2, 0))
+        assert len(list(store.all_records())) == 2

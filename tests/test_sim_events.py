@@ -1,0 +1,92 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sim.events import SimulationEngine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        engine = SimulationEngine()
+        log = []
+        engine.schedule(5.0, lambda: log.append("b"))
+        engine.schedule(1.0, lambda: log.append("a"))
+        engine.schedule(9.0, lambda: log.append("c"))
+        engine.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        engine = SimulationEngine()
+        log = []
+        engine.schedule(1.0, lambda: log.append("first"))
+        engine.schedule(1.0, lambda: log.append("second"))
+        engine.run()
+        assert log == ["first", "second"]
+
+    def test_scheduling_in_past_rejected(self):
+        engine = SimulationEngine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(ConfigurationError):
+            engine.schedule(1.0, lambda: None)
+
+    def test_schedule_in_relative(self):
+        engine = SimulationEngine()
+        log = []
+        engine.schedule(2.0, lambda: engine.schedule_in(3.0, lambda: log.append(engine.now)))
+        engine.run()
+        assert log == [5.0]
+
+    def test_schedule_in_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationEngine().schedule_in(-1.0, lambda: None)
+
+
+class TestExecution:
+    def test_step_returns_false_when_empty(self):
+        assert SimulationEngine().step() is False
+
+    def test_now_advances_with_events(self):
+        engine = SimulationEngine()
+        engine.schedule(7.5, lambda: None)
+        engine.step()
+        assert engine.now == 7.5
+
+    def test_run_until_stops_at_boundary(self):
+        engine = SimulationEngine()
+        log = []
+        engine.schedule(1.0, lambda: log.append(1))
+        engine.schedule(10.0, lambda: log.append(10))
+        executed = engine.run(until=5.0)
+        assert executed == 1
+        assert log == [1]
+        assert engine.now == 5.0
+        assert engine.pending == 1
+
+    def test_run_until_advances_clock_even_without_events(self):
+        engine = SimulationEngine()
+        engine.run(until=100.0)
+        assert engine.now == 100.0
+
+    def test_events_can_schedule_events(self):
+        engine = SimulationEngine()
+        log = []
+
+        def cascade():
+            if len(log) < 3:
+                log.append(engine.now)
+                engine.schedule_in(1.0, cascade)
+
+        engine.schedule(0.0, cascade)
+        engine.run()
+        assert log == [0.0, 1.0, 2.0]
+
+    def test_counters(self):
+        engine = SimulationEngine()
+        for t in range(5):
+            engine.schedule(float(t), lambda: None)
+        assert engine.pending == 5
+        engine.run()
+        assert engine.processed == 5
+        assert engine.pending == 0

@@ -1,0 +1,79 @@
+"""Unit tests for the V2I encounter driver."""
+
+import pytest
+
+from repro.crypto.pki import CertificateAuthority
+from repro.rsu.unit import RoadSideUnit
+from repro.sim.protocol import EncounterOutcome, ProtocolDriver
+from repro.vehicle.identity import VehicleIdentity
+from repro.vehicle.onboard import OnBoardUnit
+
+
+@pytest.fixture
+def authority():
+    return CertificateAuthority(seed=40)
+
+
+@pytest.fixture
+def rsu(authority):
+    unit = RoadSideUnit(location=5, bitmap_size=512, credentials=authority.issue(5))
+    unit.start_period(0)
+    return unit
+
+
+@pytest.fixture
+def obu(keygen, encoder, authority):
+    identity = VehicleIdentity.from_generator(321, keygen)
+    return OnBoardUnit(identity, authority.trust_anchor, encoder, mac_seed=321)
+
+
+class TestBeaconWait:
+    def test_wait_until_next_slot(self, rsu):
+        driver = ProtocolDriver()
+        # Beacons at 1.0, 2.0, ...; arriving at 0.3 waits 0.7.
+        assert driver.beacon_wait(rsu, 0.3) == pytest.approx(0.7)
+
+    def test_arrival_on_slot_waits_full_interval(self, rsu):
+        driver = ProtocolDriver()
+        assert driver.beacon_wait(rsu, 2.0) == pytest.approx(1.0)
+
+    def test_wait_bounded_by_interval(self, rsu):
+        driver = ProtocolDriver()
+        for offset in (0.0, 0.01, 0.5, 0.999, 123.456):
+            wait = driver.beacon_wait(rsu, offset)
+            assert 0 < wait <= rsu.beacon_interval
+
+
+class TestEncounter:
+    def test_honest_encounter_encodes(self, obu, rsu, encoder):
+        driver = ProtocolDriver()
+        result = driver.run_encounter(obu, rsu, arrival_offset=0.2)
+        assert result.outcome is EncounterOutcome.ENCODED
+        expected = encoder.encoding_index(obu.identity, 5, 512)
+        assert result.index == expected
+        assert rsu.reports_in_period == 1
+        assert rsu.end_period().bitmap.get(expected)
+
+    def test_rogue_rsu_rejected(self, obu, authority):
+        rogue_authority = CertificateAuthority(seed=41)
+        rogue = RoadSideUnit(
+            location=5, bitmap_size=512, credentials=rogue_authority.issue(5)
+        )
+        rogue.start_period(0)
+        driver = ProtocolDriver()
+        result = driver.run_encounter(obu, rogue)
+        assert result.outcome is EncounterOutcome.REJECTED_ROGUE
+        assert rogue.reports_in_period == 0
+
+    def test_no_authentication_fast_path(self, obu, rsu):
+        driver = ProtocolDriver(authenticate=False)
+        result = driver.run_encounter(obu, rsu)
+        assert result.outcome is EncounterOutcome.ENCODED
+
+    def test_repeat_encounters_same_bit(self, obu, rsu):
+        """Same vehicle, same location: idempotent encoding."""
+        driver = ProtocolDriver()
+        first = driver.run_encounter(obu, rsu)
+        second = driver.run_encounter(obu, rsu)
+        assert first.index == second.index
+        assert rsu.end_period().bitmap.ones() == 1

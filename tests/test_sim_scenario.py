@@ -1,0 +1,173 @@
+"""Integration tests for the city-scale scenario."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network.road import sioux_falls_network
+from repro.server.queries import PointPersistentQuery
+from repro.sim.scenario import CityScenario
+from repro.traffic.sioux_falls import sioux_falls_trip_table
+
+
+@pytest.fixture(scope="module")
+def small_scenario():
+    """A small but complete city run shared across tests (3 periods)."""
+    scenario = CityScenario(
+        network=sioux_falls_network(),
+        trip_table=sioux_falls_trip_table(),
+        persistent_vehicles=60,
+        transient_vehicles_per_period=300,
+        rsu_locations=[10, 16, 17],
+        seed=5,
+    )
+    summaries = scenario.run(periods=3)
+    return scenario, summaries
+
+
+class TestScenarioRun:
+    def test_periods_complete(self, small_scenario):
+        scenario, summaries = small_scenario
+        assert scenario.periods_run == 3
+        assert [s.period for s in summaries] == [0, 1, 2]
+
+    def test_no_rogue_rejections_in_honest_city(self, small_scenario):
+        _, summaries = small_scenario
+        assert all(s.rejected == 0 for s in summaries)
+
+    def test_records_uploaded_for_every_rsu_and_period(self, small_scenario):
+        scenario, _ = small_scenario
+        store = scenario.server.store
+        assert store.locations() == {10, 16, 17}
+        for location in (10, 16, 17):
+            assert store.periods_for(location) == [0, 1, 2]
+
+    def test_encounters_happen(self, small_scenario):
+        _, summaries = small_scenario
+        assert all(s.encounters > 0 for s in summaries)
+
+    def test_reports_match_truth_counts(self, small_scenario):
+        """Bitmap reports per location = distinct truth sightings
+        plus repeat encounters (reports >= distinct vehicles)."""
+        scenario, summaries = small_scenario
+        for summary in summaries:
+            for location, count in summary.reports_by_location.items():
+                truth = len(scenario.truth.ids_at(location, summary.period))
+                assert count >= truth > 0 or count == truth == 0
+
+    def test_estimate_tracks_exact_truth(self, small_scenario):
+        """End-to-end: protocol-produced bitmaps estimate close to the
+        non-private ground truth."""
+        scenario, _ = small_scenario
+        location = 10
+        truth = scenario.truth.point_persistent(location, [0, 1, 2])
+        estimate = scenario.server.point_persistent(
+            PointPersistentQuery(location=location, periods=(0, 1, 2))
+        )
+        # Small volumes here, so tolerate generous sketch noise; the
+        # point is that the full pipeline is wired correctly.
+        assert estimate.estimate == pytest.approx(truth, abs=max(60, truth))
+
+    def test_fleet_properties(self, small_scenario):
+        scenario, _ = small_scenario
+        assert scenario.persistent_fleet_size == 60
+        assert scenario.deployment.locations == [10, 16, 17]
+
+
+class TestMonitorIntegration:
+    def test_scenario_feeds_rolling_monitor(self, small_scenario):
+        """Records straight off the simulated city drive the rolling
+        persistence monitor."""
+        from repro.server.monitor import PersistenceMonitor
+
+        scenario, _ = small_scenario
+        monitor = PersistenceMonitor(location=10, window=2)
+        store = scenario.server.store
+        samples = []
+        for period in store.periods_for(10):
+            sample = monitor.push(store.require(10, period))
+            if sample is not None:
+                samples.append(sample)
+        assert len(samples) == 2  # periods (0,1) and (1,2) windows
+        truth = scenario.truth.point_persistent(10, [1, 2])
+        assert samples[-1].estimate.clamped == pytest.approx(
+            truth, abs=max(60, truth)
+        )
+
+
+class TestDetectionLoss:
+    def test_lossy_channel_misses_encounters(self):
+        scenario = CityScenario(
+            network=sioux_falls_network(),
+            trip_table=sioux_falls_trip_table(),
+            persistent_vehicles=30,
+            transient_vehicles_per_period=200,
+            rsu_locations=[10],
+            seed=9,
+            detection_rate=0.5,
+        )
+        summary = scenario.run_period()
+        assert summary.missed > 0
+        # Roughly half the encounters should be missed.
+        assert 0.3 < summary.missed / summary.encounters < 0.7
+        # Truth still records physical passes the channel missed.
+        truth_count = len(scenario.truth.ids_at(10, 0))
+        assert truth_count > summary.reports_by_location[10]
+
+    def test_perfect_channel_misses_nothing(self):
+        scenario = CityScenario(
+            network=sioux_falls_network(),
+            trip_table=sioux_falls_trip_table(),
+            persistent_vehicles=10,
+            transient_vehicles_per_period=50,
+            rsu_locations=[10],
+            seed=9,
+        )
+        assert scenario.run_period().missed == 0
+
+    def test_invalid_detection_rate(self):
+        with pytest.raises(ConfigurationError):
+            CityScenario(
+                network=sioux_falls_network(),
+                trip_table=sioux_falls_trip_table(),
+                detection_rate=0.0,
+            )
+
+
+class TestHasherFlavours:
+    def test_sha256_flavour_runs_end_to_end(self):
+        """The byte-faithful SHA-256 path drives the whole pipeline
+        (slower, so the fleet is tiny)."""
+        scenario = CityScenario(
+            network=sioux_falls_network(),
+            trip_table=sioux_falls_trip_table(),
+            persistent_vehicles=10,
+            transient_vehicles_per_period=60,
+            rsu_locations=[10],
+            seed=3,
+            hasher_flavour="sha256",
+        )
+        summaries = scenario.run(2)
+        assert all(s.encounters > 0 for s in summaries)
+        record = scenario.server.store.require(10, 0)
+        assert record.bitmap.ones() > 0
+
+
+class TestScenarioValidation:
+    def test_negative_fleet_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CityScenario(
+                network=sioux_falls_network(),
+                trip_table=sioux_falls_trip_table(),
+                persistent_vehicles=-1,
+            )
+
+    def test_zero_periods_rejected(self):
+        scenario = CityScenario(
+            network=sioux_falls_network(),
+            trip_table=sioux_falls_trip_table(),
+            persistent_vehicles=1,
+            transient_vehicles_per_period=1,
+            rsu_locations=[10],
+        )
+        with pytest.raises(ConfigurationError):
+            scenario.run(0)

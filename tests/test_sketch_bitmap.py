@@ -1,0 +1,179 @@
+"""Unit tests for repro.sketch.bitmap."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SketchError
+from repro.sketch.bitmap import Bitmap
+
+
+class TestConstruction:
+    def test_new_bitmap_is_all_zero(self):
+        bitmap = Bitmap(64)
+        assert bitmap.size == 64
+        assert bitmap.ones() == 0
+        assert bitmap.is_empty()
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(SketchError):
+            Bitmap(0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(SketchError):
+            Bitmap(-8)
+
+    def test_initial_bits_accepted(self):
+        bitmap = Bitmap(4, [1, 0, 1, 0])
+        assert bitmap.ones() == 2
+        assert bitmap.get(0) and bitmap.get(2)
+
+    def test_initial_bits_wrong_length_rejected(self):
+        with pytest.raises(SketchError):
+            Bitmap(4, [1, 0])
+
+    def test_initial_bits_wrong_shape_rejected(self):
+        with pytest.raises(SketchError):
+            Bitmap(4, np.zeros((2, 2)))
+
+    def test_from_array_copies(self):
+        source = np.array([True, False, True])
+        bitmap = Bitmap.from_array(source)
+        source[0] = False
+        assert bitmap.get(0)
+
+    def test_from_indices(self):
+        bitmap = Bitmap.from_indices(16, [1, 5, 5, 9])
+        assert bitmap.ones() == 3
+
+    def test_copy_is_independent(self):
+        original = Bitmap(8)
+        duplicate = original.copy()
+        duplicate.set(3)
+        assert original.ones() == 0
+        assert duplicate.ones() == 1
+
+
+class TestMutation:
+    def test_set_and_get(self):
+        bitmap = Bitmap(8)
+        bitmap.set(5)
+        assert bitmap.get(5)
+        assert not bitmap.get(4)
+
+    def test_set_out_of_range(self):
+        bitmap = Bitmap(8)
+        with pytest.raises(SketchError):
+            bitmap.set(8)
+        with pytest.raises(SketchError):
+            bitmap.set(-1)
+
+    def test_get_out_of_range(self):
+        bitmap = Bitmap(8)
+        with pytest.raises(SketchError):
+            bitmap.get(100)
+
+    def test_set_many_with_duplicates(self):
+        bitmap = Bitmap(32)
+        bitmap.set_many([0, 0, 0, 31])
+        assert bitmap.ones() == 2
+
+    def test_set_many_empty_is_noop(self):
+        bitmap = Bitmap(8)
+        bitmap.set_many([])
+        assert bitmap.is_empty()
+
+    def test_set_many_numpy_array(self):
+        bitmap = Bitmap(16)
+        bitmap.set_many(np.array([2, 4, 6]))
+        assert bitmap.ones() == 3
+
+    def test_set_many_out_of_range(self):
+        bitmap = Bitmap(8)
+        with pytest.raises(SketchError):
+            bitmap.set_many([3, 8])
+
+    def test_clear(self):
+        bitmap = Bitmap.from_indices(8, [1, 2, 3])
+        bitmap.clear()
+        assert bitmap.is_empty()
+
+
+class TestAccounting:
+    def test_fractions_sum_to_one(self):
+        bitmap = Bitmap.from_indices(10, [0, 1, 2])
+        assert bitmap.one_fraction() + bitmap.zero_fraction() == pytest.approx(1.0)
+        assert bitmap.one_fraction() == pytest.approx(0.3)
+
+    def test_zeros_plus_ones_is_size(self):
+        bitmap = Bitmap.from_indices(64, range(0, 64, 3))
+        assert bitmap.zeros() + bitmap.ones() == 64
+
+    def test_saturated(self):
+        bitmap = Bitmap.from_indices(4, range(4))
+        assert bitmap.is_saturated()
+        assert bitmap.zero_fraction() == 0.0
+
+    def test_power_of_two_detection(self):
+        assert Bitmap(1024).is_power_of_two_sized
+        assert not Bitmap(1000).is_power_of_two_sized
+
+
+class TestCombination:
+    def test_and(self):
+        a = Bitmap(4, [1, 1, 0, 0])
+        b = Bitmap(4, [1, 0, 1, 0])
+        assert (a & b) == Bitmap(4, [1, 0, 0, 0])
+
+    def test_or(self):
+        a = Bitmap(4, [1, 1, 0, 0])
+        b = Bitmap(4, [1, 0, 1, 0])
+        assert (a | b) == Bitmap(4, [1, 1, 1, 0])
+
+    def test_xor(self):
+        a = Bitmap(4, [1, 1, 0, 0])
+        b = Bitmap(4, [1, 0, 1, 0])
+        assert (a ^ b) == Bitmap(4, [0, 1, 1, 0])
+
+    def test_invert(self):
+        a = Bitmap(4, [1, 0, 1, 0])
+        assert (~a) == Bitmap(4, [0, 1, 0, 1])
+
+    def test_and_size_mismatch(self):
+        with pytest.raises(SketchError):
+            Bitmap(4) & Bitmap(8)
+
+    def test_and_wrong_type(self):
+        with pytest.raises(SketchError):
+            Bitmap(4) & [1, 0, 1, 0]
+
+    def test_combination_does_not_mutate_operands(self):
+        a = Bitmap(4, [1, 1, 0, 0])
+        b = Bitmap(4, [0, 1, 1, 0])
+        _ = a & b
+        assert a == Bitmap(4, [1, 1, 0, 0])
+        assert b == Bitmap(4, [0, 1, 1, 0])
+
+    def test_equality_against_other_types(self):
+        assert Bitmap(4) != "not a bitmap"
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Bitmap(4))
+
+
+class TestDunder:
+    def test_len(self):
+        assert len(Bitmap(123)) == 123
+
+    def test_iter(self):
+        bitmap = Bitmap(3, [1, 0, 1])
+        assert list(bitmap) == [True, False, True]
+
+    def test_repr_mentions_size_and_ones(self):
+        text = repr(Bitmap.from_indices(16, [3]))
+        assert "16" in text and "1" in text
+
+    def test_bits_view_is_readonly(self):
+        bitmap = Bitmap(8)
+        with pytest.raises(ValueError):
+            bitmap.bits[0] = True

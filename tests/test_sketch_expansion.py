@@ -1,0 +1,75 @@
+"""Unit tests for repro.sketch.expansion (Section III-A / Fig. 2)."""
+
+import pytest
+
+from repro.exceptions import SketchError
+from repro.sketch.bitmap import Bitmap
+from repro.sketch.expansion import expand_to, expansion_factor, verify_alignment
+
+
+class TestExpansionFactor:
+    def test_equal_sizes(self):
+        assert expansion_factor(1024, 1024) == 1
+
+    def test_doubling(self):
+        assert expansion_factor(512, 1024) == 2
+
+    def test_paper_ratio_16(self):
+        """Table I's largest ratio: 65536 -> 1048576."""
+        assert expansion_factor(65536, 1048576) == 16
+
+    def test_shrinking_rejected(self):
+        with pytest.raises(SketchError):
+            expansion_factor(1024, 512)
+
+    def test_non_power_source_rejected(self):
+        with pytest.raises(SketchError):
+            expansion_factor(1000, 2048)
+
+    def test_non_power_target_rejected(self):
+        with pytest.raises(SketchError):
+            expansion_factor(1024, 3000)
+
+
+class TestExpandTo:
+    def test_replication_pattern(self):
+        """Fig. 2: the expansion is the bitmap tiled whole."""
+        original = Bitmap(4, [1, 0, 1, 0])
+        expanded = expand_to(original, 8)
+        assert expanded == Bitmap(8, [1, 0, 1, 0, 1, 0, 1, 0])
+
+    def test_same_size_returns_same_object(self):
+        """The paper: 'if l_j = m, then E_j is simply B_j'."""
+        bitmap = Bitmap(8)
+        assert expand_to(bitmap, 8) is bitmap
+
+    def test_expansion_preserves_one_fraction(self):
+        bitmap = Bitmap.from_indices(64, [3, 17, 40])
+        expanded = expand_to(bitmap, 512)
+        assert expanded.one_fraction() == pytest.approx(bitmap.one_fraction())
+
+    def test_method_on_bitmap(self):
+        bitmap = Bitmap(4, [0, 1, 0, 0])
+        assert bitmap.expand(8).size == 8
+
+
+class TestAlignmentProperty:
+    """The Section III-A proof: B[h mod l] == E[h mod m]."""
+
+    @pytest.mark.parametrize("hash_value", [0, 1, 12345, 2**40 + 17, 2**63])
+    def test_alignment_for_specific_hashes(self, hash_value):
+        bitmap = Bitmap.from_indices(64, [hash_value % 64])
+        assert verify_alignment(bitmap, 1024, hash_value)
+
+    def test_alignment_over_many_hashes(self, rng):
+        bitmap = Bitmap(256)
+        hashes = rng.integers(0, 2**63, size=200)
+        bitmap.set_many([int(h) % 256 for h in hashes])
+        for h in hashes:
+            assert verify_alignment(bitmap, 4096, int(h))
+
+    def test_alignment_index_arithmetic(self):
+        """h mod m = (h mod l) + k*l for power-of-two sizes."""
+        l, m = 64, 1024
+        for h in (17, 999, 123456789):
+            assert (h % m) % l == h % l

@@ -1,0 +1,129 @@
+"""Unit tests for repro.sketch.join (Sections III-A/B, IV-A)."""
+
+import pytest
+
+from repro.exceptions import SketchError
+from repro.sketch.bitmap import Bitmap
+from repro.sketch.join import and_join, or_join, split_and_join, two_level_join
+
+
+class TestAndJoin:
+    def test_single_bitmap_identity(self):
+        bitmap = Bitmap(8, [1, 0, 0, 1, 0, 0, 0, 0])
+        assert and_join([bitmap]) == bitmap
+
+    def test_same_size_and(self):
+        """The Fig. 1 example: plain bitwise AND."""
+        a = Bitmap(8, [1, 1, 0, 0, 1, 0, 1, 0])
+        b = Bitmap(8, [1, 0, 0, 1, 1, 0, 0, 0])
+        assert and_join([a, b]) == Bitmap(8, [1, 0, 0, 0, 1, 0, 0, 0])
+
+    def test_mixed_sizes_expand_to_max(self):
+        """The Fig. 2 example: the smaller bitmap is replicated."""
+        small = Bitmap(4, [1, 0, 1, 0])
+        large = Bitmap(8, [1, 1, 0, 0, 1, 0, 1, 0])
+        joined = and_join([small, large])
+        assert joined.size == 8
+        # expansion of small: 1,0,1,0,1,0,1,0
+        assert joined == Bitmap(8, [1, 0, 0, 0, 1, 0, 1, 0])
+
+    def test_common_bit_survives_any_sizes(self):
+        """A bit set via the same hash in all bitmaps survives the join."""
+        h = 123456789
+        sizes = [64, 128, 256, 1024]
+        bitmaps = [Bitmap.from_indices(m, [h % m]) for m in sizes]
+        joined = and_join(bitmaps)
+        assert joined.get(h % joined.size)
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(SketchError):
+            and_join([])
+
+    def test_inputs_not_mutated(self):
+        a = Bitmap(4, [1, 1, 1, 1])
+        b = Bitmap(4, [0, 0, 0, 0])
+        and_join([a, b])
+        assert a.ones() == 4 and b.ones() == 0
+
+
+class TestOrJoin:
+    def test_or_accumulates(self):
+        a = Bitmap(4, [1, 0, 0, 0])
+        b = Bitmap(4, [0, 0, 0, 1])
+        assert or_join([a, b]) == Bitmap(4, [1, 0, 0, 1])
+
+    def test_or_with_expansion(self):
+        small = Bitmap(2, [1, 0])
+        large = Bitmap(4, [0, 0, 0, 1])
+        assert or_join([small, large]) == Bitmap(4, [1, 0, 1, 1])
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(SketchError):
+            or_join([])
+
+
+class TestSplitAndJoin:
+    def test_split_sizes_follow_ceil(self):
+        """Π_a gets ceil(t/2) records (Section III-B)."""
+        bitmaps = [Bitmap.from_indices(8, [i]) for i in range(5)]
+        result = split_and_join(bitmaps)
+        # ceil(5/2)=3 in half a: AND of disjoint single bits is empty.
+        assert result.half_a.is_empty()
+        assert result.half_b.is_empty()
+        assert result.joined.is_empty()
+
+    def test_joined_is_and_of_halves(self):
+        a = Bitmap(8, [1, 1, 1, 0, 0, 0, 1, 0])
+        b = Bitmap(8, [1, 1, 0, 0, 1, 0, 1, 0])
+        c = Bitmap(8, [1, 0, 1, 0, 1, 0, 1, 0])
+        result = split_and_join([a, b, c])
+        assert result.joined == (result.half_a & result.half_b)
+
+    def test_common_bit_in_all_three_parts(self):
+        h = 987654321
+        bitmaps = [Bitmap.from_indices(m, [h % m]) for m in (64, 64, 128, 128)]
+        result = split_and_join(bitmaps)
+        for part in (result.half_a, result.half_b, result.joined):
+            assert part.get(h % part.size)
+
+    def test_size_is_max(self):
+        bitmaps = [Bitmap(64), Bitmap(256), Bitmap(128)]
+        assert split_and_join(bitmaps).size == 256
+
+    def test_fewer_than_two_rejected(self):
+        with pytest.raises(SketchError):
+            split_and_join([Bitmap(8)])
+
+
+class TestTwoLevelJoin:
+    def test_joined_is_or_of_expanded(self):
+        records_a = [Bitmap.from_indices(64, [5]), Bitmap.from_indices(64, [5])]
+        records_b = [Bitmap.from_indices(128, [70]), Bitmap.from_indices(128, [70])]
+        result = two_level_join(records_a, records_b)
+        assert result.size == 128
+        assert result.joined == (result.expanded_a | result.location_b)
+        assert not result.swapped
+
+    def test_swap_when_first_is_larger(self):
+        records_a = [Bitmap(256)]
+        records_b = [Bitmap(64)]
+        result = two_level_join(records_a, records_b)
+        assert result.swapped
+        assert result.location_a.size == 64
+        assert result.location_b.size == 256
+
+    def test_equal_sizes_no_expansion(self):
+        records = [Bitmap.from_indices(64, [1])]
+        result = two_level_join(records, [Bitmap.from_indices(64, [2])])
+        assert result.expanded_a is result.location_a
+
+    def test_common_vehicle_or_semantics(self):
+        """A bit set at either location appears in the OR join."""
+        result = two_level_join(
+            [Bitmap.from_indices(64, [3])], [Bitmap.from_indices(64, [60])]
+        )
+        assert result.joined.get(3) and result.joined.get(60)
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(SketchError):
+            two_level_join([], [Bitmap(8)])

@@ -1,0 +1,118 @@
+"""Unit tests for repro.sketch.linear_counting (Eqs. 1 and 3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SaturatedBitmapError, SketchError
+from repro.sketch.bitmap import Bitmap
+from repro.sketch.linear_counting import (
+    LinearCounting,
+    linear_counting_estimate,
+    linear_counting_stddev,
+    zero_fraction_expectation,
+)
+
+
+class TestZeroFractionExpectation:
+    def test_no_items(self):
+        assert zero_fraction_expectation(0, 1024) == 1.0
+
+    def test_one_item(self):
+        assert zero_fraction_expectation(1, 4) == pytest.approx(0.75)
+
+    def test_monotone_decreasing_in_n(self):
+        values = [zero_fraction_expectation(n, 256) for n in range(0, 500, 50)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_invalid_size(self):
+        with pytest.raises(SketchError):
+            zero_fraction_expectation(10, 0)
+
+
+class TestEstimate:
+    def test_empty_bitmap_estimates_zero(self):
+        assert linear_counting_estimate(1.0, 1024) == 0.0
+
+    def test_exact_inverts_expectation(self):
+        """Estimate(E[V0]) must return n exactly in the exact form."""
+        for n in (1, 10, 500, 5000):
+            v0 = zero_fraction_expectation(n, 8192)
+            assert linear_counting_estimate(v0, 8192) == pytest.approx(n)
+
+    def test_approximate_form_close_for_large_m(self):
+        v0 = zero_fraction_expectation(1000, 2**16)
+        exact = linear_counting_estimate(v0, 2**16, exact=True)
+        approx = linear_counting_estimate(v0, 2**16, exact=False)
+        assert approx == pytest.approx(exact, rel=1e-4)
+
+    def test_saturated_raises(self):
+        with pytest.raises(SaturatedBitmapError):
+            linear_counting_estimate(0.0, 64)
+
+    def test_fraction_out_of_range(self):
+        with pytest.raises(SketchError):
+            linear_counting_estimate(1.5, 64)
+        with pytest.raises(SketchError):
+            linear_counting_estimate(-0.1, 64)
+
+    def test_invalid_size(self):
+        with pytest.raises(SketchError):
+            linear_counting_estimate(0.5, 0)
+
+    def test_accuracy_on_random_fill(self, rng):
+        """End-to-end: encode n random indices, estimate within 5%."""
+        m, n = 2**16, 20000
+        bitmap = Bitmap(m)
+        bitmap.set_many(rng.integers(0, m, size=n))
+        estimate = linear_counting_estimate(bitmap.zero_fraction(), m)
+        assert estimate == pytest.approx(n, rel=0.05)
+
+
+class TestStddev:
+    def test_zero_items(self):
+        assert linear_counting_stddev(0, 1024) == 0.0
+
+    def test_grows_with_load(self):
+        assert linear_counting_stddev(2000, 1024) > linear_counting_stddev(500, 1024)
+
+    def test_matches_whang_formula(self):
+        m, n = 4096, 2048
+        t = n / m
+        expected = math.sqrt(m * (math.exp(t) - t - 1))
+        assert linear_counting_stddev(n, m) == pytest.approx(expected)
+
+    def test_invalid_size(self):
+        with pytest.raises(SketchError):
+            linear_counting_stddev(10, -5)
+
+    def test_empirical_spread_matches_theory(self, rng):
+        """The estimator's spread should match Whang's formula."""
+        m, n, trials = 4096, 4096, 200
+        estimates = []
+        for _ in range(trials):
+            bitmap = Bitmap(m)
+            bitmap.set_many(rng.integers(0, m, size=n))
+            estimates.append(linear_counting_estimate(bitmap.zero_fraction(), m))
+        measured = np.std(estimates)
+        predicted = linear_counting_stddev(n, m)
+        assert measured == pytest.approx(predicted, rel=0.3)
+
+
+class TestWrapper:
+    def test_estimate_object_fields(self):
+        counter = LinearCounting()
+        bitmap = Bitmap.from_indices(1024, range(100))
+        result = counter.estimate(bitmap)
+        assert result.size == 1024
+        assert result.zero_fraction == bitmap.zero_fraction()
+        assert result.load == pytest.approx(result.estimate / 1024)
+
+    def test_estimate_value_shortcut(self):
+        counter = LinearCounting()
+        bitmap = Bitmap.from_indices(256, [1, 2, 3])
+        assert counter.estimate_value(bitmap) == counter.estimate(bitmap).estimate
+
+    def test_exact_flag_exposed(self):
+        assert LinearCounting(exact=False).exact is False

@@ -1,0 +1,74 @@
+"""Unit tests for repro.sketch.sizing (Eq. 2)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sketch.sizing import (
+    bitmap_size_for_volume,
+    is_power_of_two,
+    next_power_of_two,
+)
+
+
+class TestPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 1024, 2**20])
+    def test_powers_detected(self, value):
+        assert is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 12, 1000, 2**20 + 1])
+    def test_non_powers_rejected(self, value):
+        assert not is_power_of_two(value)
+
+    @pytest.mark.parametrize(
+        "value, expected",
+        [(0, 1), (1, 1), (2, 2), (3, 4), (5, 8), (1025, 2048)],
+    )
+    def test_next_power_of_two(self, value, expected):
+        assert next_power_of_two(value) == expected
+
+
+class TestSizing:
+    def test_paper_table1_sizes(self):
+        """Eq. 2 must reproduce every m value in the paper's Table I."""
+        cases = {
+            213000: 524288,
+            140000: 524288,
+            121000: 262144,
+            78000: 262144,
+            76000: 262144,
+            47000: 131072,
+            40000: 131072,
+            28000: 65536,
+            451000: 1048576,
+        }
+        for volume, expected in cases.items():
+            assert bitmap_size_for_volume(volume, 2) == expected
+
+    def test_result_is_power_of_two(self):
+        for volume in (100, 999, 12345, 54321):
+            assert is_power_of_two(bitmap_size_for_volume(volume, 2.0))
+
+    def test_size_at_least_target(self):
+        assert bitmap_size_for_volume(1000, 2.0) >= 2000
+
+    def test_exact_power_of_two_target(self):
+        assert bitmap_size_for_volume(1024, 2.0) == 2048
+
+    def test_larger_load_factor_never_shrinks(self):
+        small = bitmap_size_for_volume(5000, 2.0)
+        large = bitmap_size_for_volume(5000, 3.0)
+        assert large >= small
+
+    def test_fractional_load_factor(self):
+        assert bitmap_size_for_volume(1000, 1.5) == 2048
+
+    def test_tiny_target_clamps_to_one(self):
+        assert bitmap_size_for_volume(0.1, 1.0) >= 1
+
+    def test_zero_volume_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bitmap_size_for_volume(0, 2.0)
+
+    def test_negative_load_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bitmap_size_for_volume(1000, -1.0)

@@ -1,0 +1,85 @@
+"""Tests for the weekly traffic patterns."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.traffic.patterns import (
+    WeeklyPattern,
+    volumes_for_schedule,
+)
+from repro.traffic.periods import MeasurementSchedule
+
+
+@pytest.fixture
+def schedule():
+    # Monday 2017-06-05 for two weeks.
+    return MeasurementSchedule(datetime.date(2017, 6, 5), 14)
+
+
+class TestWeeklyPattern:
+    def test_needs_seven_factors(self):
+        with pytest.raises(ConfigurationError):
+            WeeklyPattern(factors=(1.0, 1.0))
+
+    def test_factors_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            WeeklyPattern(factors=(1.0,) * 6 + (0.0,))
+
+    def test_factor_for_weekday(self):
+        pattern = WeeklyPattern()
+        assert pattern.factor_for(0) == pytest.approx(1.0)
+        assert pattern.factor_for(6) < pattern.factor_for(0)
+
+    def test_invalid_weekday(self):
+        with pytest.raises(ConfigurationError):
+            WeeklyPattern().factor_for(7)
+
+    def test_flat_pattern(self):
+        assert set(WeeklyPattern.flat().factors) == {1.0}
+
+    def test_commuter_heavy_shape(self):
+        pattern = WeeklyPattern.commuter_heavy()
+        assert min(pattern.factors[:5]) > max(pattern.factors[5:])
+
+
+class TestVolumesForSchedule:
+    def test_deterministic_without_rng(self, schedule):
+        a = volumes_for_schedule(schedule, 6000)
+        b = volumes_for_schedule(schedule, 6000)
+        assert a == b
+        assert len(a) == 14
+
+    def test_weekend_dip(self, schedule):
+        volumes = volumes_for_schedule(schedule, 6000)
+        # Periods 5, 6 are the first Saturday/Sunday.
+        weekday_mean = np.mean(volumes[0:5])
+        assert volumes[5] < weekday_mean
+        assert volumes[6] < volumes[5]
+
+    def test_weekly_repetition_without_noise(self, schedule):
+        volumes = volumes_for_schedule(schedule, 6000)
+        assert volumes[:7] == volumes[7:]
+
+    def test_noise_varies_days(self, schedule, rng):
+        volumes = volumes_for_schedule(schedule, 6000, rng=rng, noise_sigma=0.1)
+        assert volumes[:7] != volumes[7:]
+
+    def test_noise_centred_on_pattern(self, schedule):
+        rng = np.random.default_rng(3)
+        draws = [
+            volumes_for_schedule(schedule, 6000, rng=rng, noise_sigma=0.05)[0]
+            for _ in range(200)
+        ]
+        assert np.mean(draws) == pytest.approx(6000, rel=0.03)
+
+    def test_invalid_inputs(self, schedule):
+        with pytest.raises(ConfigurationError):
+            volumes_for_schedule(schedule, 0)
+        with pytest.raises(ConfigurationError):
+            volumes_for_schedule(schedule, 100, noise_sigma=-1)
+
+    def test_volumes_at_least_one(self, schedule):
+        assert min(volumes_for_schedule(schedule, 1)) >= 1

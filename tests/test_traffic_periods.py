@@ -1,0 +1,71 @@
+"""Unit tests for repro.traffic.periods."""
+
+import datetime
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.traffic.periods import MeasurementSchedule, PeriodSelection
+
+
+@pytest.fixture
+def schedule():
+    # Monday 2017-06-05 through Sunday 2017-07-02 (4 weeks).
+    return MeasurementSchedule(datetime.date(2017, 6, 5), 28)
+
+
+class TestPeriodSelection:
+    def test_duplicates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PeriodSelection(name="bad", periods=(1, 1))
+
+    def test_len(self):
+        assert len(PeriodSelection(name="ok", periods=(1, 2, 3))) == 3
+
+
+class TestSchedule:
+    def test_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            MeasurementSchedule(datetime.date(2017, 1, 1), 0)
+
+    def test_date_of(self, schedule):
+        assert schedule.date_of(0) == datetime.date(2017, 6, 5)
+        assert schedule.date_of(7) == datetime.date(2017, 6, 12)
+
+    def test_date_out_of_range(self, schedule):
+        with pytest.raises(ConfigurationError):
+            schedule.date_of(28)
+
+    def test_weekdays_of_week(self, schedule):
+        """'Over the workdays of a week' — Monday..Friday."""
+        selection = schedule.weekdays_of_week(0)
+        assert selection.periods == (0, 1, 2, 3, 4)
+        dates = [schedule.date_of(p) for p in selection.periods]
+        assert all(d.weekday() < 5 for d in dates)
+
+    def test_weekdays_of_second_week(self, schedule):
+        assert schedule.weekdays_of_week(1).periods == (7, 8, 9, 10, 11)
+
+    def test_weekdays_invalid_week(self, schedule):
+        with pytest.raises(ConfigurationError):
+            schedule.weekdays_of_week(99)
+
+    def test_saturdays_of_several_weeks(self, schedule):
+        """'Over the Saturdays of several weeks' — 3 Saturdays."""
+        selection = schedule.weekday_across_weeks(weekday=5, weeks=3)
+        assert len(selection) == 3
+        assert all(
+            schedule.date_of(p).weekday() == 5 for p in selection.periods
+        )
+
+    def test_not_enough_occurrences(self, schedule):
+        with pytest.raises(ConfigurationError):
+            schedule.weekday_across_weeks(weekday=5, weeks=10)
+
+    def test_invalid_weekday(self, schedule):
+        with pytest.raises(ConfigurationError):
+            schedule.weekday_across_weeks(weekday=7, weeks=1)
+
+    def test_all_periods(self, schedule):
+        """'All days in a month'."""
+        assert len(schedule.all_periods()) == 28

@@ -1,0 +1,89 @@
+"""Tests for the Sioux Falls data (Table I parameters + trip table)."""
+
+import pytest
+
+from repro.sketch.sizing import bitmap_size_for_volume
+from repro.traffic.sioux_falls import (
+    L_PRIME_ZONE,
+    M_PRIME,
+    N_PRIME,
+    TABLE1_LOCATIONS,
+    sioux_falls_trip_table,
+    table1_parameters,
+)
+
+
+class TestTable1Parameters:
+    def test_eight_locations(self):
+        assert len(table1_parameters()) == 8
+
+    def test_paper_volumes_transcribed(self):
+        ns = [row.n for row in table1_parameters()]
+        assert ns == [213000, 140000, 121000, 78000, 76000, 47000, 40000, 28000]
+
+    def test_m_consistent_with_eq2(self):
+        """Every m in Table I must equal Eq. 2's output at f = 2."""
+        for row in table1_parameters():
+            assert row.m == bitmap_size_for_volume(row.n, 2)
+
+    def test_m_prime_ratio_consistent(self):
+        for row in table1_parameters():
+            assert row.m * row.m_prime_ratio == M_PRIME
+
+    def test_m_prime_matches_n_prime(self):
+        assert bitmap_size_for_volume(N_PRIME, 2) == M_PRIME
+
+    def test_paper_errors_present_for_all_t(self):
+        for row in table1_parameters():
+            assert set(row.paper_relative_error) == {3, 5, 7, 10}
+
+    def test_common_volumes_below_involved_volumes(self):
+        for row in table1_parameters():
+            assert row.n_double_prime < row.n
+            assert row.n_double_prime < N_PRIME
+
+
+class TestTripTable:
+    def test_busiest_zone_is_l_prime(self):
+        assert sioux_falls_trip_table().busiest_zone() == L_PRIME_ZONE
+
+    def test_l_prime_involved_volume(self):
+        table = sioux_falls_trip_table()
+        assert table.involved_volume(L_PRIME_ZONE) == pytest.approx(
+            N_PRIME, rel=0.001
+        )
+
+    def test_involved_volumes_match_paper(self):
+        table = sioux_falls_trip_table()
+        for row in table1_parameters():
+            assert table.involved_volume(row.zone) == pytest.approx(
+                row.n, rel=0.001
+            )
+
+    def test_pair_volumes_match_paper(self):
+        table = sioux_falls_trip_table()
+        for row in table1_parameters():
+            assert table.pair_volume(row.zone, L_PRIME_ZONE) == pytest.approx(
+                row.n_double_prime, rel=0.01
+            )
+
+    def test_24_zones(self):
+        assert sioux_falls_trip_table().zone_count == 24
+
+    def test_memoized(self):
+        assert sioux_falls_trip_table() is sioux_falls_trip_table()
+
+    def test_matrix_symmetric(self):
+        import numpy as np
+
+        matrix = sioux_falls_trip_table().matrix
+        assert np.allclose(matrix, matrix.T, atol=1.0)
+
+    def test_no_intra_zonal_trips(self):
+        import numpy as np
+
+        assert np.diagonal(sioux_falls_trip_table().matrix).sum() == 0
+
+    def test_table1_zones_are_distinct(self):
+        assert len(set(TABLE1_LOCATIONS)) == 8
+        assert L_PRIME_ZONE not in TABLE1_LOCATIONS

@@ -1,0 +1,94 @@
+"""Unit tests for repro.traffic.synthetic (Section VI-B workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.traffic.synthetic import (
+    DEFAULT_FRACTIONS,
+    SyntheticPointScenario,
+    SyntheticPointToPointScenario,
+    draw_period_volume,
+    draw_period_volumes,
+)
+
+
+class TestVolumeDraws:
+    def test_volume_in_paper_range(self, rng):
+        """(2000, 10000]: strictly above 2000, at most 10000."""
+        for _ in range(500):
+            volume = draw_period_volume(rng)
+            assert 2000 < volume <= 10000
+
+    def test_boundaries_reachable(self):
+        seen = set()
+        rng = np.random.default_rng(0)
+        for _ in range(200000):
+            seen.add(draw_period_volume(rng, (1, 3)))
+        assert seen == {2, 3}
+
+    def test_invalid_range(self, rng):
+        with pytest.raises(ConfigurationError):
+            draw_period_volume(rng, (5000, 5000))
+
+    def test_multiple_draws(self, rng):
+        assert len(draw_period_volumes(rng, 7)) == 7
+
+    def test_zero_periods_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            draw_period_volumes(rng, 0)
+
+
+class TestDefaultFractions:
+    def test_fifty_steps_of_one_percent(self):
+        assert len(DEFAULT_FRACTIONS) == 50
+        assert DEFAULT_FRACTIONS[0] == pytest.approx(0.01)
+        assert DEFAULT_FRACTIONS[-1] == pytest.approx(0.5)
+
+
+class TestPointScenario:
+    def test_draw(self, rng):
+        scenario = SyntheticPointScenario.draw(rng, periods=5)
+        assert scenario.periods == 5
+        assert scenario.n_min == min(scenario.volumes)
+
+    def test_targets_relative_to_n_min(self, rng):
+        scenario = SyntheticPointScenario.draw(rng, periods=5)
+        targets = scenario.persistent_targets()
+        assert len(targets) == 50
+        assert targets[0] == max(int(round(0.01 * scenario.n_min)), 1)
+        assert targets[-1] == int(round(0.5 * scenario.n_min))
+
+    def test_targets_monotone(self, rng):
+        scenario = SyntheticPointScenario.draw(rng, periods=10)
+        targets = scenario.persistent_targets()
+        assert all(a <= b for a, b in zip(targets, targets[1:]))
+
+    def test_targets_at_least_one(self):
+        scenario = SyntheticPointScenario(volumes=(2001, 2001), fractions=(0.0001,))
+        assert scenario.persistent_targets() == [1]
+
+
+class TestPointToPointScenario:
+    def test_draw(self, rng):
+        scenario = SyntheticPointToPointScenario.draw(rng, periods=5)
+        assert scenario.periods == 5
+        assert len(scenario.volumes_a) == len(scenario.volumes_b) == 5
+
+    def test_reference_is_min_across_locations(self, rng):
+        scenario = SyntheticPointToPointScenario.draw(rng, periods=5)
+        assert scenario.n_double_prime_min == min(
+            min(scenario.volumes_a), min(scenario.volumes_b)
+        )
+
+    def test_mismatched_periods_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticPointToPointScenario(
+                volumes_a=(3000, 4000), volumes_b=(3000,)
+            )
+
+    def test_targets(self, rng):
+        scenario = SyntheticPointToPointScenario.draw(rng, periods=5)
+        targets = scenario.persistent_targets()
+        assert len(targets) == 50
+        assert targets[-1] == int(round(0.5 * scenario.n_double_prime_min))

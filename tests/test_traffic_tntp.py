@@ -1,0 +1,109 @@
+"""Tests for the TNTP trip-table reader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.traffic.sioux_falls import sioux_falls_trip_table
+from repro.traffic.tntp import (
+    format_tntp_trips,
+    load_tntp_trips,
+    parse_tntp_trips,
+    save_tntp_trips,
+)
+from repro.traffic.trip_table import TripTable
+
+SAMPLE = """
+<NUMBER OF ZONES> 3
+<TOTAL OD FLOW> 600.0
+<END OF METADATA>
+
+Origin  1
+    2 :    100.0;    3 :    200.0;
+Origin  2
+    1 :    50.0;
+Origin  3
+    1 :    150.0;    2 :    100.0;
+"""
+
+
+class TestParsing:
+    def test_basic_parse(self):
+        table = parse_tntp_trips(SAMPLE)
+        assert table.zone_count == 3
+        assert table.volume(1, 2) == 100.0
+        assert table.volume(3, 1) == 150.0
+        assert table.total_volume() == 600.0
+
+    def test_comment_lines_ignored(self):
+        text = SAMPLE.replace("Origin  2", "~ a comment\nOrigin  2")
+        assert parse_tntp_trips(text).total_volume() == 600.0
+
+    def test_missing_end_of_metadata_tolerated(self):
+        text = SAMPLE.replace("<END OF METADATA>\n", "")
+        assert parse_tntp_trips(text).total_volume() == 600.0
+
+    def test_missing_zone_count_rejected(self):
+        text = SAMPLE.replace("<NUMBER OF ZONES> 3\n", "")
+        with pytest.raises(DataError, match="NUMBER OF ZONES"):
+            parse_tntp_trips(text)
+
+    def test_total_mismatch_rejected(self):
+        text = SAMPLE.replace("600.0", "999.0")
+        with pytest.raises(DataError, match="disagrees"):
+            parse_tntp_trips(text)
+
+    def test_duplicate_pair_rejected(self):
+        text = SAMPLE.replace(
+            "    2 :    100.0;    3 :    200.0;",
+            "    2 :    100.0;    2 :    100.0;    3 :    100.0;",
+        )
+        with pytest.raises(DataError, match="duplicate"):
+            parse_tntp_trips(text)
+
+    def test_zone_out_of_range_rejected(self):
+        text = SAMPLE.replace("3 :    200.0;", "9 :    200.0;")
+        with pytest.raises(DataError, match="outside"):
+            parse_tntp_trips(text)
+
+    def test_entries_before_origin_rejected(self):
+        text = "<NUMBER OF ZONES> 2\n<END OF METADATA>\n  1 :  5.0;\n"
+        with pytest.raises(DataError, match="before any Origin"):
+            parse_tntp_trips(text)
+
+    def test_empty_body_rejected(self):
+        text = "<NUMBER OF ZONES> 2\n<END OF METADATA>\n"
+        with pytest.raises(DataError, match="no OD entries"):
+            parse_tntp_trips(text)
+
+    def test_bad_volume_rejected(self):
+        text = SAMPLE.replace("100.0;", "abc;", 1)
+        with pytest.raises(DataError):
+            parse_tntp_trips(text)
+
+
+class TestRoundTrip:
+    def test_format_then_parse(self):
+        table = TripTable(np.array([[0, 10, 0], [5, 0, 2], [0, 1, 0]]))
+        restored = parse_tntp_trips(format_tntp_trips(table))
+        assert np.array_equal(restored.matrix, table.matrix)
+
+    def test_sioux_falls_roundtrip(self):
+        """The built-in reconstruction survives TNTP serialization."""
+        table = sioux_falls_trip_table()
+        restored = parse_tntp_trips(format_tntp_trips(table))
+        assert restored.zone_count == 24
+        assert restored.total_volume() == pytest.approx(
+            table.total_volume(), rel=1e-6
+        )
+        assert restored.busiest_zone() == table.busiest_zone()
+
+    def test_file_roundtrip(self, tmp_path):
+        table = TripTable(np.array([[0, 3], [4, 0]]))
+        path = tmp_path / "tiny_trips.tntp"
+        save_tntp_trips(table, path)
+        assert np.array_equal(load_tntp_trips(path).matrix, table.matrix)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError, match="cannot read"):
+            load_tntp_trips(tmp_path / "nope.tntp")

@@ -1,0 +1,104 @@
+"""Unit tests for repro.traffic.trip_table."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.traffic.trip_table import TripTable
+
+
+@pytest.fixture
+def table():
+    return TripTable(
+        np.array(
+            [
+                [0, 10, 20],
+                [30, 0, 40],
+                [50, 60, 5],
+            ]
+        )
+    )
+
+
+class TestValidation:
+    def test_non_square_rejected(self):
+        with pytest.raises(DataError):
+            TripTable(np.zeros((2, 3)))
+
+    def test_single_zone_rejected(self):
+        with pytest.raises(DataError):
+            TripTable(np.zeros((1, 1)))
+
+    def test_negative_entry_rejected(self):
+        with pytest.raises(DataError):
+            TripTable(np.array([[0, -1], [2, 0]]))
+
+    def test_nan_rejected(self):
+        with pytest.raises(DataError):
+            TripTable(np.array([[0, np.nan], [2, 0]]))
+
+    def test_matrix_is_copied(self):
+        source = np.array([[0.0, 1.0], [2.0, 0.0]])
+        table = TripTable(source)
+        source[0, 1] = 99
+        assert table.volume(1, 2) == 1.0
+
+
+class TestAccessors:
+    def test_zone_count_and_zones(self, table):
+        assert table.zone_count == 3
+        assert table.zones == [1, 2, 3]
+
+    def test_volume(self, table):
+        assert table.volume(1, 2) == 10
+        assert table.volume(3, 1) == 50
+
+    def test_volume_out_of_range(self, table):
+        with pytest.raises(DataError):
+            table.volume(0, 1)
+        with pytest.raises(DataError):
+            table.volume(1, 4)
+
+    def test_total_volume(self, table):
+        assert table.total_volume() == 215
+
+    def test_matrix_readonly(self, table):
+        with pytest.raises(ValueError):
+            table.matrix[0, 0] = 1
+
+
+class TestDerivedQuantities:
+    def test_involved_volume_counts_diagonal_once(self, table):
+        # Zone 3: row 50+60+5, column 20+40+5, minus diagonal 5 once.
+        assert table.involved_volume(3) == 50 + 60 + 5 + 20 + 40 + 5 - 5
+
+    def test_pair_volume_both_directions(self, table):
+        assert table.pair_volume(1, 2) == 10 + 30
+
+    def test_pair_volume_same_zone_rejected(self, table):
+        with pytest.raises(DataError):
+            table.pair_volume(2, 2)
+
+    def test_busiest_zone(self, table):
+        volumes = [table.involved_volume(z) for z in table.zones]
+        assert table.involved_volume(table.busiest_zone()) == max(volumes)
+
+    def test_zones_sorted_descending(self, table):
+        ranked = table.zones_by_involved_volume()
+        values = [v for _, v in ranked]
+        assert values == sorted(values, reverse=True)
+
+
+class TestTransformations:
+    def test_scaled(self, table):
+        assert table.scaled(2.0).total_volume() == 430
+
+    def test_scaled_invalid_factor(self, table):
+        with pytest.raises(DataError):
+            table.scaled(0)
+
+    def test_rounded(self):
+        table = TripTable(np.array([[0, 1.4], [2.6, 0]]))
+        rounded = table.rounded()
+        assert rounded.volume(1, 2) == 1
+        assert rounded.volume(2, 1) == 3

@@ -1,0 +1,250 @@
+"""Unit tests for repro.traffic.workloads."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import ExactIdCounter
+from repro.exceptions import ConfigurationError
+from repro.sketch.sizing import bitmap_size_for_volume
+from repro.traffic.workloads import (
+    PointToPointWorkload,
+    PointWorkload,
+    paper_sizing,
+    same_size_sizing,
+)
+
+
+class TestSizingPolicies:
+    def test_paper_sizing_independent(self):
+        assert paper_sizing(28000, 451000, 2.0) == (65536, 1048576)
+
+    def test_same_size_uses_first_location(self):
+        assert same_size_sizing(28000, 451000, 2.0) == (65536, 65536)
+
+
+class TestPointWorkload:
+    def test_records_sized_from_expected_volume(self, rng):
+        """Eq. 2 sizes from the historical expectation, so all of a
+        location's records share one size by default."""
+        workload = PointWorkload(s=3, load_factor=2.0)
+        result = workload.generate(
+            n_star=100, volumes=[2500, 9000], location=1, rng=rng
+        )
+        expected = bitmap_size_for_volume((2500 + 9000) / 2, 2.0)
+        assert result.sizes == (expected, expected)
+
+    def test_explicit_expected_volume(self, rng):
+        workload = PointWorkload(s=3, load_factor=2.0)
+        result = workload.generate(
+            n_star=10,
+            volumes=[3000, 3000],
+            location=1,
+            rng=rng,
+            expected_volume=28000,
+        )
+        assert result.sizes == (65536, 65536)
+
+    def test_fixed_sizes_override(self, rng):
+        workload = PointWorkload(s=3, load_factor=2.0)
+        result = workload.generate(
+            n_star=10,
+            volumes=[3000, 3000],
+            location=1,
+            rng=rng,
+            fixed_sizes=[4096, 16384],
+        )
+        assert result.sizes == (4096, 16384)
+
+    def test_fixed_sizes_length_checked(self, rng):
+        workload = PointWorkload(s=3, load_factor=2.0)
+        with pytest.raises(ConfigurationError):
+            workload.generate(
+                n_star=10,
+                volumes=[3000, 3000],
+                location=1,
+                rng=rng,
+                fixed_sizes=[4096],
+            )
+
+    def test_record_fill_matches_volume(self, rng):
+        """Each record must encode exactly `volume` vehicles' worth."""
+        workload = PointWorkload(s=3, load_factor=2.0)
+        volume = 8000
+        result = workload.generate(
+            n_star=500, volumes=[volume] * 3, location=1, rng=rng
+        )
+        for bitmap in result.records:
+            expected_zero = (1 - 1 / bitmap.size) ** volume
+            assert bitmap.zero_fraction() == pytest.approx(expected_zero, rel=0.02)
+
+    def test_negative_n_star_rejected(self, rng):
+        workload = PointWorkload()
+        with pytest.raises(ConfigurationError):
+            workload.generate(n_star=-1, volumes=[3000], location=1, rng=rng)
+
+    def test_volume_below_n_star_rejected(self, rng):
+        workload = PointWorkload()
+        with pytest.raises(ConfigurationError):
+            workload.generate(n_star=5000, volumes=[3000], location=1, rng=rng)
+
+    def test_invalid_load_factor(self):
+        with pytest.raises(ConfigurationError):
+            PointWorkload(load_factor=0)
+
+    def test_detection_loss_thins_point_records(self):
+        workload = PointWorkload(s=3, load_factor=2.0)
+        full = workload.generate(
+            n_star=0, volumes=[8000], location=1,
+            rng=np.random.default_rng(5),
+        )
+        lossy = workload.generate(
+            n_star=0, volumes=[8000], location=1,
+            rng=np.random.default_rng(5), detection_rate=0.4,
+        )
+        # Roughly 40% of the fill should remain.
+        assert lossy.records[0].ones() < 0.6 * full.records[0].ones()
+
+    def test_invalid_detection_rate(self, rng):
+        workload = PointWorkload()
+        with pytest.raises(ConfigurationError):
+            workload.generate(
+                n_star=0, volumes=[100], location=1, rng=rng,
+                detection_rate=1.5,
+            )
+
+    def test_properties(self):
+        workload = PointWorkload(s=4, load_factor=3.0)
+        assert workload.s == 4
+        assert workload.load_factor == 3.0
+        assert workload.encoder is not None
+        assert workload.keygen.s == 4
+
+
+class TestPointToPointWorkload:
+    def test_persistent_vehicles_really_persist(self, rng):
+        """The common population sets identical bits in every period
+        at each location (that is what 'persistent' means)."""
+        workload = PointToPointWorkload(s=3, load_factor=2.0)
+        result = workload.generate(
+            n_double_prime=3000,
+            volumes_a=[3000] * 3,  # no transients at location a
+            volumes_b=[3000] * 3,
+            location_a=1,
+            location_b=2,
+            rng=rng,
+        )
+        assert result.records_a[0] == result.records_a[1] == result.records_a[2]
+        assert result.records_b[0] == result.records_b[1]
+
+    def test_transients_differ_across_periods(self, rng):
+        workload = PointToPointWorkload(s=3, load_factor=2.0)
+        result = workload.generate(
+            n_double_prime=0,
+            volumes_a=[5000] * 2,
+            volumes_b=[5000] * 2,
+            location_a=1,
+            location_b=2,
+            rng=rng,
+        )
+        assert result.records_a[0] != result.records_a[1]
+
+    def test_same_size_policy_applied(self, rng):
+        workload = PointToPointWorkload(s=3, load_factor=2.0)
+        result = workload.generate(
+            n_double_prime=100,
+            volumes_a=[3000] * 2,
+            volumes_b=[9000] * 2,
+            location_a=1,
+            location_b=2,
+            rng=rng,
+            sizing=same_size_sizing,
+        )
+        assert result.sizes_a == result.sizes_b
+
+    def test_fixed_sizes_override(self, rng):
+        workload = PointToPointWorkload(s=3, load_factor=2.0)
+        result = workload.generate(
+            n_double_prime=10,
+            volumes_a=[3000] * 2,
+            volumes_b=[3000] * 2,
+            location_a=1,
+            location_b=2,
+            rng=rng,
+            fixed_sizes=([4096, 4096], [16384, 16384]),
+        )
+        assert result.sizes_a == (4096, 4096)
+        assert result.sizes_b == (16384, 16384)
+
+    def test_period_count_mismatch_rejected(self, rng):
+        workload = PointToPointWorkload()
+        with pytest.raises(ConfigurationError):
+            workload.generate(
+                n_double_prime=1,
+                volumes_a=[3000],
+                volumes_b=[3000, 3000],
+                location_a=1,
+                location_b=2,
+                rng=rng,
+            )
+
+    def test_same_location_rejected(self, rng):
+        workload = PointToPointWorkload()
+        with pytest.raises(ConfigurationError):
+            workload.generate(
+                n_double_prime=1,
+                volumes_a=[3000],
+                volumes_b=[3000],
+                location_a=1,
+                location_b=1,
+                rng=rng,
+            )
+
+    def test_volume_below_common_rejected(self, rng):
+        workload = PointToPointWorkload()
+        with pytest.raises(ConfigurationError):
+            workload.generate(
+                n_double_prime=4000,
+                volumes_a=[3000],
+                volumes_b=[9000],
+                location_a=1,
+                location_b=2,
+                rng=rng,
+            )
+
+    def test_detection_loss_thins_records(self, rng):
+        workload = PointToPointWorkload(s=3, load_factor=2.0)
+        full = workload.generate(
+            n_double_prime=0, volumes_a=[8000] * 2, volumes_b=[8000] * 2,
+            location_a=1, location_b=2,
+            rng=np.random.default_rng(5),
+        )
+        lossy = workload.generate(
+            n_double_prime=0, volumes_a=[8000] * 2, volumes_b=[8000] * 2,
+            location_a=1, location_b=2,
+            rng=np.random.default_rng(5),
+            detection_rate=0.5,
+        )
+        assert lossy.records_a[0].ones() < full.records_a[0].ones()
+        assert lossy.records_b[0].ones() < full.records_b[0].ones()
+
+    def test_invalid_detection_rate(self, rng):
+        workload = PointToPointWorkload()
+        with pytest.raises(ConfigurationError):
+            workload.generate(
+                n_double_prime=0, volumes_a=[100], volumes_b=[100],
+                location_a=1, location_b=2, rng=rng, detection_rate=0.0,
+            )
+
+    def test_ground_truth_metadata(self, rng):
+        workload = PointToPointWorkload(s=3, load_factor=2.0)
+        result = workload.generate(
+            n_double_prime=123,
+            volumes_a=[4000, 5000],
+            volumes_b=[6000, 7000],
+            location_a=3,
+            location_b=4,
+            rng=rng,
+        )
+        assert result.n_double_prime == 123
+        assert result.volumes_a == (4000, 5000)
+        assert result.location_a == 3 and result.location_b == 4

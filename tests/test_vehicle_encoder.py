@@ -1,0 +1,154 @@
+"""Unit tests for repro.vehicle.encoder (Section II-D encoding)."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.hashing import Sha256Hasher, SplitMix64Hasher
+from repro.exceptions import ConfigurationError
+from repro.sketch.bitmap import Bitmap
+from repro.vehicle.encoder import VehicleEncoder
+from repro.vehicle.identity import VehicleIdentity
+
+
+@pytest.fixture
+def identity(keygen):
+    return VehicleIdentity.from_generator(1001, keygen)
+
+
+class TestScalarEncoding:
+    def test_constant_choice_in_range(self, encoder, identity):
+        for location in range(20):
+            assert 0 <= encoder.constant_choice(identity, location) < identity.s
+
+    def test_constant_choice_fixed_per_location(self, encoder, identity):
+        """i = H(L ⊕ v) mod s is deterministic in (L, v)."""
+        assert encoder.constant_choice(identity, 7) == encoder.constant_choice(
+            identity, 7
+        )
+
+    def test_encoding_index_within_bitmap(self, encoder, identity):
+        for size in (64, 1024, 2**20):
+            assert 0 <= encoder.encoding_index(identity, 3, size) < size
+
+    def test_index_is_a_representative_bit(self, encoder, identity):
+        """The chosen index must be one of the s representative bits."""
+        size = 4096
+        reps = encoder.representative_bits(identity, size)
+        index = encoder.encoding_index(identity, 5, size)
+        assert index in reps
+
+    def test_same_location_same_index(self, encoder, identity):
+        """At one location, a vehicle always sets the same hash's bit —
+        the property persistent measurement depends on."""
+        a = encoder.encoding_index(identity, 9, 1024)
+        b = encoder.encoding_index(identity, 9, 1024)
+        assert a == b
+
+    def test_power_of_two_alignment_across_sizes(self, encoder, identity):
+        """Index mod smaller size is consistent (expansion property)."""
+        large = encoder.encoding_index(identity, 9, 1024)
+        small = encoder.encoding_index(identity, 9, 64)
+        assert large % 64 == small
+
+    def test_different_locations_can_differ(self, encoder, keygen):
+        """Across locations the index varies (privacy property) —
+        check that a population has many location-dependent changes."""
+        changed = 0
+        for vehicle_id in range(100):
+            identity = VehicleIdentity.from_generator(vehicle_id, keygen)
+            if encoder.encoding_index(identity, 1, 4096) != encoder.encoding_index(
+                identity, 2, 4096
+            ):
+                changed += 1
+        # With s=3, ~2/3 of vehicles pick a different constant, and
+        # nearly all of those land on a different bit.
+        assert changed > 40
+
+    def test_encode_sets_bit(self, encoder, identity):
+        bitmap = Bitmap(256)
+        index = encoder.encode(identity, 4, bitmap)
+        assert bitmap.get(index)
+        assert bitmap.ones() == 1
+
+    def test_invalid_size_rejected(self, encoder, identity):
+        with pytest.raises(ConfigurationError):
+            encoder.encoding_index(identity, 1, 0)
+        with pytest.raises(ConfigurationError):
+            encoder.representative_bits(identity, -4)
+
+    def test_representative_bits_count(self, encoder, identity):
+        assert len(encoder.representative_bits(identity, 512)) == identity.s
+
+    def test_default_hasher_is_splitmix(self):
+        assert isinstance(VehicleEncoder().hasher, SplitMix64Hasher)
+
+
+class TestVectorizedEncoding:
+    def test_matches_scalar_path(self, encoder, keygen):
+        ids = np.arange(1, 101, dtype=np.uint64)
+        keys = keygen.private_keys(ids)
+        constants = keygen.constants_matrix(ids)
+        indices = encoder.encoding_indices(ids, keys, constants, location=3, size=2048)
+        for position, vehicle_id in enumerate(ids):
+            identity = VehicleIdentity.from_generator(int(vehicle_id), keygen)
+            assert encoder.encoding_index(identity, 3, 2048) == indices[position]
+
+    def test_sha256_flavour_matches_scalar_too(self, keygen):
+        encoder = VehicleEncoder(Sha256Hasher(seed=4))
+        ids = np.arange(1, 21, dtype=np.uint64)
+        keys = keygen.private_keys(ids)
+        constants = keygen.constants_matrix(ids)
+        indices = encoder.encoding_indices(ids, keys, constants, location=8, size=512)
+        for position, vehicle_id in enumerate(ids):
+            identity = VehicleIdentity.from_generator(int(vehicle_id), keygen)
+            assert encoder.encoding_index(identity, 8, 512) == indices[position]
+
+    def test_constants_shape_checked(self, encoder):
+        ids = np.arange(10, dtype=np.uint64)
+        keys = np.arange(10, dtype=np.uint64)
+        bad_constants = np.zeros((5, 3), dtype=np.uint64)
+        with pytest.raises(ConfigurationError):
+            encoder.encoding_indices(ids, keys, bad_constants, 1, 64)
+
+    def test_encode_population_sets_bits(self, encoder, keygen):
+        ids = np.arange(200, dtype=np.uint64)
+        bitmap = Bitmap(1024)
+        encoder.encode_population(
+            ids,
+            keygen.private_keys(ids),
+            keygen.constants_matrix(ids),
+            location=1,
+            bitmap=bitmap,
+        )
+        assert 0 < bitmap.ones() <= 200
+
+    def test_fused_path_matches_matrix_path(self, encoder, keygen):
+        ids = np.arange(500, dtype=np.uint64)
+        keys = keygen.private_keys(ids)
+        constants = keygen.constants_matrix(ids)
+        via_matrix = encoder.encoded_hash_array(ids, keys, constants, location=6)
+        choices = encoder.constant_choices(ids, 6, keygen.s)
+        chosen = keygen.chosen_constants(ids, choices)
+        via_fused = encoder.hashes_from_chosen(ids, keys, chosen)
+        assert np.array_equal(via_matrix, via_fused)
+
+    def test_constant_choices_invalid_s(self, encoder):
+        with pytest.raises(ConfigurationError):
+            encoder.constant_choices(np.arange(3, dtype=np.uint64), 1, 0)
+
+
+class TestEncodingDistribution:
+    def test_indices_spread_uniformly(self, encoder, keygen, rng):
+        """Occupancy after encoding n vehicles matches (1-1/m)^n."""
+        m, n = 4096, 4096
+        ids = rng.integers(0, 2**64, size=n, dtype=np.uint64)
+        bitmap = Bitmap(m)
+        encoder.encode_population(
+            ids,
+            keygen.private_keys(ids),
+            keygen.constants_matrix(ids),
+            location=7,
+            bitmap=bitmap,
+        )
+        expected_zero = (1 - 1 / m) ** n
+        assert bitmap.zero_fraction() == pytest.approx(expected_zero, rel=0.05)

@@ -1,0 +1,43 @@
+"""Unit tests for repro.vehicle.identity."""
+
+import pytest
+
+from repro.crypto.keys import KeyGenerator
+from repro.exceptions import ConfigurationError
+from repro.vehicle.identity import VehicleIdentity
+
+
+class TestVehicleIdentity:
+    def test_s_is_constants_length(self):
+        identity = VehicleIdentity(vehicle_id=1, private_key=2, constants=(3, 4, 5))
+        assert identity.s == 3
+
+    def test_empty_constants_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VehicleIdentity(vehicle_id=1, private_key=2, constants=())
+
+    def test_random_draws_material(self, rng):
+        identity = VehicleIdentity.random(vehicle_id=9, s=4, rng=rng)
+        assert identity.vehicle_id == 9
+        assert identity.s == 4
+        assert len(set(identity.constants)) == 4
+
+    def test_random_identities_differ(self, rng):
+        a = VehicleIdentity.random(1, 3, rng)
+        b = VehicleIdentity.random(2, 3, rng)
+        assert a.private_key != b.private_key
+
+    def test_from_generator_matches_generator(self, keygen):
+        identity = VehicleIdentity.from_generator(42, keygen)
+        assert identity.private_key == keygen.private_key(42)
+        assert list(identity.constants) == keygen.constants(42)
+
+    def test_from_generator_deterministic(self, keygen):
+        a = VehicleIdentity.from_generator(42, keygen)
+        b = VehicleIdentity.from_generator(42, keygen)
+        assert a == b
+
+    def test_frozen(self, keygen):
+        identity = VehicleIdentity.from_generator(1, keygen)
+        with pytest.raises(AttributeError):
+            identity.vehicle_id = 5

@@ -1,0 +1,106 @@
+"""Unit tests for repro.vehicle.onboard (the OBU protocol)."""
+
+import pytest
+
+from repro.crypto.pki import CertificateAuthority
+from repro.exceptions import AuthenticationError
+from repro.rsu.beacon import Beacon
+from repro.vehicle.identity import VehicleIdentity
+from repro.vehicle.onboard import OnBoardUnit
+
+
+@pytest.fixture
+def authority():
+    return CertificateAuthority(seed=10)
+
+
+@pytest.fixture
+def obu(keygen, encoder, authority):
+    identity = VehicleIdentity.from_generator(555, keygen)
+    return OnBoardUnit(
+        identity=identity,
+        trust_anchor=authority.trust_anchor,
+        encoder=encoder,
+        mac_seed=555,
+    )
+
+
+def _beacon(authority, location=3, size=1024):
+    credentials = authority.issue(location)
+    return Beacon(location=location, bitmap_size=size, certificate=credentials.certificate), credentials
+
+
+class TestBeaconHandling:
+    def test_honest_beacon_produces_report(self, obu, authority, encoder):
+        beacon, _ = _beacon(authority)
+        report = obu.respond_to_beacon(beacon)
+        assert report is not None
+        assert report.location == 3
+        expected = encoder.encoding_index(obu.identity, 3, 1024)
+        assert report.index == expected
+
+    def test_rogue_beacon_silences_vehicle(self, obu):
+        rogue = CertificateAuthority(seed=99)
+        beacon, _ = _beacon(rogue)
+        assert obu.respond_to_beacon(beacon) is None
+        assert obu.stats.beacons_rejected == 1
+        assert obu.stats.reports_sent == 0
+
+    def test_report_never_contains_identity(self, obu, authority):
+        """The transmitted payload carries only a MAC and an index."""
+        beacon, _ = _beacon(authority)
+        report = obu.respond_to_beacon(beacon)
+        payload_fields = {"source_mac", "location", "index"}
+        assert set(report.__dataclass_fields__) == payload_fields
+        assert report.index != obu.identity.vehicle_id
+
+    def test_one_time_mac_differs_across_reports(self, obu, authority):
+        beacon, _ = _beacon(authority)
+        first = obu.respond_to_beacon(beacon)
+        second = obu.respond_to_beacon(beacon)
+        assert first.source_mac.value != second.source_mac.value
+
+    def test_stats_counters(self, obu, authority):
+        beacon, _ = _beacon(authority)
+        obu.respond_to_beacon(beacon)
+        obu.respond_to_beacon(beacon)
+        stats = obu.stats
+        assert stats.beacons_heard == 2
+        assert stats.reports_sent == 2
+        assert stats.beacons_rejected == 0
+
+
+class TestChallengeResponse:
+    def test_valid_challenge_accepted(self, obu, authority):
+        beacon, credentials = _beacon(authority)
+        from repro.crypto.pki import answer_challenge
+
+        challenge = obu.make_challenge()
+        answer = answer_challenge(credentials.private_key, challenge)
+        report = obu.respond_to_beacon(
+            beacon,
+            challenge_answer=answer,
+            rsu_private_key=credentials.private_key,
+            challenge=challenge,
+        )
+        assert report is not None
+
+    def test_bad_answer_rejected(self, obu, authority):
+        beacon, credentials = _beacon(authority)
+        challenge = obu.make_challenge()
+        report = obu.respond_to_beacon(
+            beacon,
+            challenge_answer=b"\x00" * 8,
+            rsu_private_key=credentials.private_key,
+            challenge=challenge,
+        )
+        assert report is None
+        assert obu.stats.beacons_rejected == 1
+
+    def test_missing_challenge_material_raises(self, obu, authority):
+        beacon, _ = _beacon(authority)
+        with pytest.raises(AuthenticationError):
+            obu.respond_to_beacon(beacon, challenge_answer=b"\x00" * 8)
+
+    def test_challenges_are_fresh(self, obu):
+        assert obu.make_challenge() != obu.make_challenge()

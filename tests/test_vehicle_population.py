@@ -1,0 +1,124 @@
+"""Unit tests for repro.vehicle.population."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.keys import KeyGenerator
+from repro.exceptions import ConfigurationError
+from repro.sketch.bitmap import Bitmap
+from repro.vehicle.population import VehiclePopulation
+
+
+class TestConstruction:
+    def test_duplicate_ids_rejected(self, keygen):
+        with pytest.raises(ConfigurationError):
+            VehiclePopulation(np.array([1, 1, 2], dtype=np.uint64), keygen)
+
+    def test_random_count(self, keygen, rng):
+        assert VehiclePopulation.random(123, keygen, rng).size == 123
+
+    def test_random_zero_vehicles(self, keygen, rng):
+        assert VehiclePopulation.random(0, keygen, rng).size == 0
+
+    def test_random_negative_rejected(self, keygen, rng):
+        with pytest.raises(ConfigurationError):
+            VehiclePopulation.random(-1, keygen, rng)
+
+    def test_from_range(self, keygen):
+        population = VehiclePopulation.from_range(10, 5, keygen)
+        assert list(population.vehicle_ids) == [10, 11, 12, 13, 14]
+
+    def test_ids_view_readonly(self, keygen):
+        population = VehiclePopulation.from_range(0, 3, keygen)
+        with pytest.raises(ValueError):
+            population.vehicle_ids[0] = 99
+
+
+class TestKeyMaterial:
+    def test_s_from_keygen(self, keygen):
+        assert VehiclePopulation.from_range(0, 2, keygen).s == keygen.s
+
+    def test_private_keys_memoized(self, keygen):
+        population = VehiclePopulation.from_range(0, 10, keygen)
+        assert population.private_keys() is population.private_keys()
+
+    def test_identity_consistent_with_arrays(self, keygen):
+        population = VehiclePopulation.from_range(5, 10, keygen)
+        identity = population.identity(3)
+        assert identity.vehicle_id == 8
+        assert identity.private_key == int(population.private_keys()[3])
+        assert list(identity.constants) == list(population.constants_matrix()[3])
+
+    def test_identities_iterator(self, keygen):
+        population = VehiclePopulation.from_range(0, 4, keygen)
+        assert len(list(population.identities())) == 4
+
+
+class TestSetOperations:
+    def test_subset(self, keygen):
+        population = VehiclePopulation.from_range(0, 10, keygen)
+        subset = population.subset(np.array([0, 5]))
+        assert list(subset.vehicle_ids) == [0, 5]
+
+    def test_union_disjoint(self, keygen):
+        a = VehiclePopulation.from_range(0, 5, keygen)
+        b = VehiclePopulation.from_range(5, 5, keygen)
+        assert a.union(b).size == 10
+
+    def test_union_overlapping_dedups(self, keygen):
+        a = VehiclePopulation.from_range(0, 5, keygen)
+        b = VehiclePopulation.from_range(3, 5, keygen)
+        assert a.union(b).size == 8
+
+    def test_union_requires_same_keygen(self, keygen):
+        other = KeyGenerator(master_seed=1, s=3)
+        a = VehiclePopulation.from_range(0, 2, keygen)
+        b = VehiclePopulation.from_range(5, 2, other)
+        with pytest.raises(ConfigurationError):
+            a.union(b)
+
+
+class TestEncoding:
+    def test_encode_into_sets_bits(self, keygen, encoder):
+        population = VehiclePopulation.from_range(0, 100, keygen)
+        bitmap = Bitmap(1024)
+        population.encode_into(bitmap, location=1, encoder=encoder)
+        assert 0 < bitmap.ones() <= 100
+
+    def test_empty_population_noop(self, keygen, encoder):
+        population = VehiclePopulation.from_range(0, 0, keygen)
+        bitmap = Bitmap(64)
+        population.encode_into(bitmap, location=1, encoder=encoder)
+        assert bitmap.is_empty()
+        assert population.encoding_indices(1, 64, encoder).size == 0
+
+    def test_indices_match_scalar_identities(self, keygen, encoder):
+        population = VehiclePopulation.from_range(0, 50, keygen)
+        indices = population.encoding_indices(3, 512, encoder)
+        for k in range(50):
+            identity = population.identity(k)
+            assert encoder.encoding_index(identity, 3, 512) == indices[k]
+
+    def test_hash_cache_reused_across_sizes(self, keygen, encoder):
+        """Same location, different period sizes: cached hashes align."""
+        population = VehiclePopulation.from_range(0, 64, keygen)
+        large = population.encoding_indices(2, 1024, encoder)
+        small = population.encoding_indices(2, 64, encoder)
+        assert np.array_equal(large % 64, small)
+
+    def test_deterministic_across_population_objects(self, keygen, encoder):
+        a = VehiclePopulation.from_range(0, 30, keygen)
+        b = VehiclePopulation.from_range(0, 30, keygen)
+        assert np.array_equal(
+            a.encoding_indices(1, 256, encoder), b.encoding_indices(1, 256, encoder)
+        )
+
+    def test_persistence_across_periods(self, keygen, encoder):
+        """A persistent population sets identical bits every period
+        at a fixed location — the core measurement premise."""
+        population = VehiclePopulation.from_range(100, 40, keygen)
+        day1 = Bitmap(512)
+        day2 = Bitmap(512)
+        population.encode_into(day1, location=6, encoder=encoder)
+        population.encode_into(day2, location=6, encoder=encoder)
+        assert day1 == day2
