@@ -2,16 +2,24 @@
 # `make install` uses setup.py develop because pip's editable path
 # needs the `wheel` package.
 
-.PHONY: install test bench repro repro-full clean
+.PHONY: install test bench report repro repro-full clean
 
 install:
 	python setup.py develop
 
+# Same invocation as the tier-1 verify in ROADMAP.md — works from a
+# clean checkout, no `make install` needed.
 test:
-	pytest tests/
+	PYTHONPATH=src python -m pytest -x -q
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# End-to-end simulation with the observability layer on: prints the
+# run report and leaves a Prometheus exposition next to it.
+report:
+	PYTHONPATH=src python -m repro simulate --periods 3 \
+		--metrics-out /tmp/repro-metrics.prom --metrics-format prom
 
 # Quick regeneration of every paper artifact (minutes).
 repro:

@@ -12,6 +12,13 @@ Regenerate any paper artifact, or drive the system as a tool::
     python -m repro archive verify DIR        # record-archive tooling
     python -m repro archive inspect DIR
 
+Every simulate/attack/experiment subcommand accepts ``--metrics-out
+PATH`` (with ``--metrics-format {prom,json,text}``) to activate the
+observability layer for the run and export the collected metrics, and
+``--events-out PATH`` to stream structured JSONL events.  Without
+those flags nothing is collected and output is unchanged.  See
+``docs/observability.md`` for the metric catalog.
+
 The experiment defaults favour quick regeneration; the paper's own
 setting is 1000 runs per cell (``--runs 1000``).
 """
@@ -32,6 +39,30 @@ from repro.experiments.table1 import format_table1, run_table1
 from repro.experiments.table2 import format_table2, run_table2
 
 _EXPERIMENT_NAMES = sorted(EXPERIMENTS) + ["all"]
+
+#: Exporter formats accepted by --metrics-format.
+_METRICS_FORMATS = ("prom", "json", "text")
+
+
+def _add_metrics_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="collect runtime metrics and write them to PATH",
+    )
+    parser.add_argument(
+        "--metrics-format",
+        choices=_METRICS_FORMATS,
+        default="prom",
+        help="exporter for --metrics-out (default: prom)",
+    )
+    parser.add_argument(
+        "--events-out",
+        metavar="PATH",
+        default=None,
+        help="append structured JSONL events (spans, periods) to PATH",
+    )
 
 
 def _add_experiment_options(parser: argparse.ArgumentParser) -> None:
@@ -67,12 +98,17 @@ def _add_experiment_options(parser: argparse.ArgumentParser) -> None:
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro-traffic",
         description=(
             "Persistent traffic measurement through V2I communications "
             "(ICDCS 2017 reproduction)."
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -86,6 +122,7 @@ def _build_parser() -> argparse.ArgumentParser:
             ),
         )
         _add_experiment_options(sub)
+        _add_metrics_options(sub)
 
     extra_help = {
         "losscurve": "extension: persistent estimation under V2I loss",
@@ -96,6 +133,7 @@ def _build_parser() -> argparse.ArgumentParser:
         sub = subparsers.add_parser(extra, help=help_text)
         sub.add_argument("--runs", type=int, default=DEFAULT_RUNS)
         sub.add_argument("--seed", type=int, default=2017)
+        _add_metrics_options(sub)
 
     simulate = subparsers.add_parser(
         "simulate", help="run the end-to-end city simulation"
@@ -118,6 +156,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also persist every collected record to this archive",
     )
+    _add_metrics_options(simulate)
 
     attack = subparsers.add_parser(
         "attack", help="run the Section V tracking adversary"
@@ -127,6 +166,7 @@ def _build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--volume", type=int, default=4096)
     attack.add_argument("--trials", type=int, default=2000)
     attack.add_argument("--seed", type=int, default=0)
+    _add_metrics_options(attack)
 
     archive = subparsers.add_parser(
         "archive", help="inspect or verify a record archive"
@@ -281,19 +321,77 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
 
 
+def _write_metrics(registry, path: str, fmt: str) -> None:
+    from repro import obs
+
+    renderers = {
+        "prom": obs.to_prometheus,
+        "json": obs.to_json,
+        "text": obs.format_report,
+    }
+    text = renderers[fmt](registry)
+    if not text.endswith("\n"):
+        text += "\n"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+
+
 def _dispatch(args: argparse.Namespace) -> int:
+    metrics_out = getattr(args, "metrics_out", None)
+    events_out = getattr(args, "events_out", None)
+    if not metrics_out and not events_out:
+        return _dispatch_command(args)
+
+    # Observability opted in: collect for the duration of the command,
+    # then export and (for simulate) print the run report.
+    from repro import obs
+
+    try:
+        event_log = obs.StructuredLog(events_out) if events_out else None
+    except OSError as exc:
+        print(f"error: cannot open {events_out}: {exc}", file=sys.stderr)
+        return 1
+    registry = obs.enable(registry=obs.MetricsRegistry(), event_log=event_log)
+    try:
+        code = _dispatch_command(args)
+    finally:
+        obs.disable()
+    if code == 0:
+        if args.command == "simulate":
+            print()
+            print(obs.format_report(registry))
+        if metrics_out:
+            try:
+                _write_metrics(registry, metrics_out, args.metrics_format)
+            except OSError as exc:
+                print(
+                    f"error: cannot write {metrics_out}: {exc}",
+                    file=sys.stderr,
+                )
+                return 1
+            print(f"[metrics written to {metrics_out} ({args.metrics_format})]")
+        if events_out and event_log is not None:
+            print(
+                f"[{event_log.events_written} events written to {events_out}]"
+            )
+    return code
+
+
+def _dispatch_command(args: argparse.Namespace) -> int:
     if args.command in _EXPERIMENT_NAMES:
         return _run_experiment_command(args.command, args)
     if args.command in ("losscurve", "tradeoff", "tsweep"):
         from repro.experiments import extras
+        from repro.experiments.common import cell_timer
 
         config = ExperimentConfig(runs=args.runs, seed=args.seed)
-        if args.command == "losscurve":
-            print(extras.format_losscurve(extras.run_losscurve(config)))
-        elif args.command == "tradeoff":
-            print(extras.format_tradeoff(extras.run_tradeoff(config)))
-        else:
-            print(extras.format_tsweep(extras.run_tsweep(config)))
+        with cell_timer(args.command, "total"):
+            if args.command == "losscurve":
+                print(extras.format_losscurve(extras.run_losscurve(config)))
+            elif args.command == "tradeoff":
+                print(extras.format_tradeoff(extras.run_tradeoff(config)))
+            else:
+                print(extras.format_tsweep(extras.run_tsweep(config)))
         return 0
     if args.command == "simulate":
         return _run_simulate(args)

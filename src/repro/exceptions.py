@@ -54,3 +54,13 @@ class ConfigurationError(ReproError):
 
 class DataError(ReproError):
     """A dataset (e.g. a trip table) is malformed or inconsistent."""
+
+
+class ObservabilityError(ReproError):
+    """The observability layer was used incorrectly.
+
+    Examples: registering the same metric name with two different
+    types, decreasing a counter, or malformed metric/label names.
+    Never raised while observability is disabled — the no-op layer
+    accepts everything.
+    """

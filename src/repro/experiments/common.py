@@ -9,9 +9,13 @@ artifacts regenerate in minutes — pass ``--runs`` (CLI) or
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.exceptions import ConfigurationError
+from repro.obs import runtime as obs
 
 #: The paper's default representative-bit parameter.
 DEFAULT_S = 3
@@ -41,3 +45,26 @@ class ExperimentConfig:
             raise ConfigurationError(
                 f"load factor must be positive, got {self.load_factor}"
             )
+
+
+@contextmanager
+def cell_timer(experiment: str, cell: str) -> Iterator[None]:
+    """Time one experiment cell into ``repro_experiment_cell_seconds``.
+
+    A *cell* is one unit of the sweep (a Table I location column, a
+    Fig. 4 target point, a whole experiment run — whatever granularity
+    the caller chooses).  Free while observability is disabled.
+    """
+    if not obs.enabled():
+        yield
+        return
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        obs.histogram(
+            "repro_experiment_cell_seconds",
+            "Wall-clock time of one experiment cell.",
+            experiment=experiment,
+            cell=cell,
+        ).observe(time.perf_counter() - started)

@@ -21,7 +21,7 @@ import numpy as np
 from repro.analysis.stats import summarize_runs
 from repro.core.baselines import DirectAndBenchmark
 from repro.core.point import PointPersistentEstimator
-from repro.experiments.common import ExperimentConfig
+from repro.experiments.common import ExperimentConfig, cell_timer
 from repro.experiments.report import ascii_series, format_table
 from repro.traffic.synthetic import SyntheticPointScenario, expected_volume
 from repro.traffic.workloads import PointWorkload
@@ -74,32 +74,33 @@ def _run_panel(
 
     points: List[Fig4Point] = []
     for target_index, n_star in enumerate(targets):
-        proposed_errors: List[float] = []
-        benchmark_errors: List[float] = []
-        for run_index in range(config.runs):
-            rng = np.random.default_rng(
-                [config.seed, t, target_index, run_index]
+        with cell_timer("fig4", f"t={t},n*={n_star}"):
+            proposed_errors: List[float] = []
+            benchmark_errors: List[float] = []
+            for run_index in range(config.runs):
+                rng = np.random.default_rng(
+                    [config.seed, t, target_index, run_index]
+                )
+                result = workload.generate(
+                    n_star=n_star,
+                    volumes=scenario.volumes,
+                    location=LOCATION,
+                    rng=rng,
+                    expected_volume=expected_volume(),
+                )
+                proposed_errors.append(
+                    proposed.estimate(result.records).relative_error(n_star)
+                )
+                benchmark_errors.append(
+                    benchmark.estimate(result.records).relative_error(n_star)
+                )
+            points.append(
+                Fig4Point(
+                    n_star=n_star,
+                    proposed_error=summarize_runs(proposed_errors).mean,
+                    benchmark_error=summarize_runs(benchmark_errors).mean,
+                )
             )
-            result = workload.generate(
-                n_star=n_star,
-                volumes=scenario.volumes,
-                location=LOCATION,
-                rng=rng,
-                expected_volume=expected_volume(),
-            )
-            proposed_errors.append(
-                proposed.estimate(result.records).relative_error(n_star)
-            )
-            benchmark_errors.append(
-                benchmark.estimate(result.records).relative_error(n_star)
-            )
-        points.append(
-            Fig4Point(
-                n_star=n_star,
-                proposed_error=summarize_runs(proposed_errors).mean,
-                benchmark_error=summarize_runs(benchmark_errors).mean,
-            )
-        )
     return Fig4Panel(t=t, volumes=scenario.volumes, points=points)
 
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Tuple
 
-from repro.experiments.common import ExperimentConfig
+from repro.experiments.common import ExperimentConfig, cell_timer
 from repro.experiments.fig4 import format_fig4, run_fig4
 from repro.experiments.fig5 import format_fig5, run_fig5
 from repro.experiments.fig6 import format_fig6, run_fig6
@@ -27,4 +27,5 @@ def run_experiment(name: str, config: ExperimentConfig) -> str:
         known = ", ".join(sorted(EXPERIMENTS))
         raise KeyError(f"unknown experiment {name!r}; known: {known}")
     run, fmt = EXPERIMENTS[name]
-    return fmt(run(config))
+    with cell_timer(name, "total"):
+        return fmt(run(config))

@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.analysis.stats import RunStatistics, summarize_runs
 from repro.core.point_to_point import PointToPointPersistentEstimator
-from repro.experiments.common import ExperimentConfig
+from repro.experiments.common import ExperimentConfig, cell_timer
 from repro.experiments.report import format_table
 from repro.sketch.sizing import bitmap_size_for_volume
 from repro.traffic.sioux_falls import (
@@ -173,10 +173,12 @@ def run_table1(
         instead of using the paper's transcribed parameters.
     """
     rows = _derive_rows_from_trip_table() if from_trip_table else table1_parameters()
-    locations = [
-        _measure_location(row, config, location_seed=row.index)
-        for row in rows
-    ]
+    locations = []
+    for row in rows:
+        with cell_timer("table1", f"L{row.index}"):
+            locations.append(
+                _measure_location(row, config, location_seed=row.index)
+            )
     return Table1Result(locations=locations, config=config)
 
 

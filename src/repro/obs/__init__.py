@@ -1,0 +1,96 @@
+"""repro.obs — runtime observability for the measurement pipeline.
+
+The paper's system measures traffic; this package measures the
+measurer.  It provides:
+
+* :mod:`repro.obs.metrics` — a dependency-free, thread-safe metrics
+  registry (counters, gauges, log-bucketed histograms);
+* :mod:`repro.obs.spans` — scoped timers feeding a duration histogram
+  and, optionally, a structured JSONL event log;
+* :mod:`repro.obs.events` — the :class:`StructuredLog` JSONL sink;
+* :mod:`repro.obs.export` — Prometheus text exposition, JSON
+  snapshots, and a one-screen human report;
+* :mod:`repro.obs.runtime` — the process-global enable/disable switch.
+
+Nothing is collected by default: instrumentation throughout the
+library is guarded by :func:`~repro.obs.runtime.enabled` and costs a
+single no-op check until a registry is activated, keeping the paper
+reproduction paths byte- and timing-identical.
+
+Quickstart::
+
+    from repro import obs
+
+    registry = obs.enable()
+    ...  # run simulations, serve queries
+    print(obs.format_report(registry))
+    open("metrics.prom", "w").write(obs.to_prometheus(registry))
+    obs.disable()
+
+The metric catalog (names, types, labels, units) lives in
+``docs/observability.md``.
+"""
+
+from repro.obs.events import StructuredLog, memory_log
+from repro.obs.export import (
+    format_report,
+    parse_prometheus,
+    to_json,
+    to_prometheus,
+)
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    NULL_REGISTRY,
+    POW2_BUCKETS,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    NullRegistry,
+    log_buckets,
+)
+from repro.obs.runtime import (
+    counter,
+    disable,
+    enable,
+    enabled,
+    event_log,
+    gauge,
+    histogram,
+    registry,
+)
+from repro.obs.spans import SPAN_HISTOGRAM, Span, current_span, span
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "POW2_BUCKETS",
+    "SIZE_BUCKETS",
+    "SPAN_HISTOGRAM",
+    "Span",
+    "StructuredLog",
+    "counter",
+    "current_span",
+    "disable",
+    "enable",
+    "enabled",
+    "event_log",
+    "format_report",
+    "gauge",
+    "histogram",
+    "log_buckets",
+    "memory_log",
+    "parse_prometheus",
+    "registry",
+    "span",
+    "to_json",
+    "to_prometheus",
+]

@@ -1,0 +1,97 @@
+"""Structured JSONL event sink.
+
+Metrics aggregate; events narrate.  A :class:`StructuredLog` appends
+one JSON object per line to a file (or any text stream), giving an
+replayable record of what the system did: spans closing with their
+durations, simulation periods completing, losses occurring.  The
+format is deliberately boring — ``jq`` and a pager are the intended
+consumers.
+
+Every event carries:
+
+* ``ts``    — wall-clock UNIX timestamp (seconds, float);
+* ``type``  — event class (``"span"``, ``"period"``, ...);
+* ``name``  — the specific event within the class;
+* any extra fields the emitter attached.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+from typing import IO, Optional, Union
+
+
+class StructuredLog:
+    """Thread-safe JSON-lines event writer.
+
+    Parameters
+    ----------
+    sink:
+        A path to append to, or an already-open text stream (the
+        stream is *not* closed by :meth:`close` unless the log opened
+        it itself).
+    """
+
+    def __init__(self, sink: Union[str, IO[str]]):
+        self._lock = threading.Lock()
+        if isinstance(sink, (str, bytes)):
+            self._stream: IO[str] = open(sink, "a", encoding="utf-8")
+            self._owns_stream = True
+            self.path: Optional[str] = str(sink)
+        else:
+            self._stream = sink
+            self._owns_stream = False
+            self.path = getattr(sink, "name", None)
+        self._events_written = 0
+        self._closed = False
+
+    @property
+    def events_written(self) -> int:
+        """Number of events emitted so far."""
+        return self._events_written
+
+    def emit(self, type: str, name: str, **fields: object) -> None:
+        """Write one event line; silently drops events after close."""
+        record = {"ts": time.time(), "type": type, "name": name}
+        record.update(fields)
+        line = json.dumps(record, sort_keys=False, default=str)
+        with self._lock:
+            if self._closed:
+                return
+            self._stream.write(line + "\n")
+            self._events_written += 1
+
+    def flush(self) -> None:
+        """Flush the underlying stream."""
+        with self._lock:
+            if not self._closed:
+                self._stream.flush()
+
+    def close(self) -> None:
+        """Flush and (when owned) close the underlying stream."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._stream.flush()
+            except (ValueError, OSError):  # stream already gone
+                pass
+            if self._owns_stream:
+                self._stream.close()
+
+    def __enter__(self) -> "StructuredLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def memory_log() -> "tuple[StructuredLog, io.StringIO]":
+    """A log writing into an in-memory buffer (tests, reports)."""
+    buffer = io.StringIO()
+    return StructuredLog(buffer), buffer

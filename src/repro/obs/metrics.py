@@ -1,0 +1,446 @@
+"""Metric primitives: counters, gauges, histograms, and their registry.
+
+The registry is deliberately dependency-free (no ``prometheus_client``)
+and thread-safe: RSU uploads may arrive from many threads once the
+server runs behind a real transport, and the simulation engine must be
+free to parallelise periods later without revisiting this layer.
+
+Metrics follow Prometheus conventions: a *family* is identified by a
+metric name (``repro_records_ingested_total``), holds one child per
+distinct label set, and has a fixed type.  Histograms use fixed
+log-scale bucket boundaries (:func:`log_buckets`), so the exposition is
+mergeable across processes.
+
+All of this is *passive*: nothing in the library touches a registry
+unless one was activated through :mod:`repro.obs.runtime`.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ObservabilityError
+
+#: Valid Prometheus metric names.
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: Valid Prometheus label names.
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: A child's key: the label set as a sorted tuple of (name, value).
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def log_buckets(start: float, end: float, per_decade: int = 3) -> Tuple[float, ...]:
+    """Fixed log-scale histogram boundaries from ``start`` to ``end``.
+
+    Produces ``per_decade`` boundaries per factor of ten, e.g.
+    ``log_buckets(0.001, 1.0, 3)`` gives 1ms, ~2.2ms, ~4.6ms, 10ms, ...
+    Boundaries are rounded to 12 significant digits so the exposition
+    text stays stable across platforms.
+    """
+    if start <= 0:
+        raise ObservabilityError(f"bucket start must be positive, got {start}")
+    if end <= start:
+        raise ObservabilityError(f"bucket end {end} must exceed start {start}")
+    if per_decade < 1:
+        raise ObservabilityError(f"per_decade must be >= 1, got {per_decade}")
+    lo = round(per_decade * math.log10(start))
+    hi = round(per_decade * math.log10(end))
+    return tuple(float(f"{10 ** (k / per_decade):.12g}") for k in range(lo, hi + 1))
+
+
+#: Default latency buckets: 1 microsecond to 10 seconds, 3 per decade.
+DEFAULT_TIME_BUCKETS = log_buckets(1e-6, 10.0, per_decade=3)
+
+#: Buckets for power-of-two quantities (expansion factors, size ratios).
+POW2_BUCKETS = tuple(float(2 ** k) for k in range(11))
+
+#: Buckets for bit/byte-sized quantities: 2^6 .. 2^24.
+SIZE_BUCKETS = tuple(float(2 ** k) for k in range(6, 25, 2))
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    for name in labels:
+        if not _LABEL_RE.match(name):
+            raise ObservabilityError(f"invalid label name {name!r}")
+    return tuple(sorted((name, str(value)) for name, value in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (events, records, bits)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ObservabilityError(
+                f"counters only go up; cannot inc by {amount}"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """The current count."""
+        return self._value
+
+    def reset(self) -> None:
+        """Zero the counter (for between-run reuse, not for scraping)."""
+        with self._lock:
+            self._value = 0.0
+
+
+class Gauge:
+    """A value that can go up and down (resident records, bits)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge to an absolute value."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative) to the gauge."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the gauge."""
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        """The current level."""
+        return self._value
+
+    def reset(self) -> None:
+        """Zero the gauge."""
+        with self._lock:
+            self._value = 0.0
+
+
+class Histogram:
+    """A distribution over fixed buckets (latencies, ratios, sizes).
+
+    Buckets are *upper bounds*: an observation ``v`` lands in the first
+    bucket with ``v <= upper``; anything beyond the last bound lands in
+    the implicit ``+Inf`` overflow bucket.  Export is cumulative, as
+    Prometheus expects.
+    """
+
+    __slots__ = ("_lock", "_uppers", "_counts", "_sum", "_count")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS):
+        uppers = tuple(float(b) for b in buckets)
+        if not uppers:
+            raise ObservabilityError("a histogram needs at least one bucket")
+        if list(uppers) != sorted(set(uppers)):
+            raise ObservabilityError(
+                f"bucket bounds must be strictly increasing, got {uppers}"
+            )
+        self._lock = threading.Lock()
+        self._uppers = uppers
+        self._counts = [0] * (len(uppers) + 1)  # +1 for +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    @property
+    def buckets(self) -> Tuple[float, ...]:
+        """The finite upper bounds (``+Inf`` is implicit)."""
+        return self._uppers
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        index = bisect_left(self._uppers, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observations."""
+        return self._sum
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return self._count
+
+    def bucket_counts(self) -> List[int]:
+        """Per-bucket (non-cumulative) counts, overflow last."""
+        with self._lock:
+            return list(self._counts)
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """Prometheus-style cumulative ``(le, count)`` pairs, +Inf last."""
+        with self._lock:
+            counts = list(self._counts)
+        pairs: List[Tuple[float, int]] = []
+        running = 0
+        for upper, count in zip(self._uppers, counts):
+            running += count
+            pairs.append((upper, running))
+        pairs.append((math.inf, running + counts[-1]))
+        return pairs
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from bucket bounds.
+
+        Returns the upper bound of the bucket containing the quantile
+        (the last finite bound for overflow observations, NaN when
+        empty) — coarse, but honest about the histogram's resolution.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile must lie in [0, 1], got {q}")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+        if total == 0:
+            return math.nan
+        target = q * total
+        running = 0
+        for upper, count in zip(self._uppers, counts):
+            running += count
+            if running >= target:
+                return upper
+        return self._uppers[-1]
+
+    def reset(self) -> None:
+        """Forget all observations."""
+        with self._lock:
+            self._counts = [0] * (len(self._uppers) + 1)
+            self._sum = 0.0
+            self._count = 0
+
+
+class MetricFamily:
+    """All children (label sets) of one named metric."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ):
+        if not _NAME_RE.match(name):
+            raise ObservabilityError(f"invalid metric name {name!r}")
+        if kind not in ("counter", "gauge", "histogram"):
+            raise ObservabilityError(f"unknown metric kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.help_text = help_text
+        self._buckets = tuple(buckets) if buckets is not None else None
+        self._lock = threading.Lock()
+        self._children: Dict[LabelKey, object] = {}
+
+    def labels(self, **labels: object):
+        """The child for this label set, created on first use."""
+        key = _label_key(labels)
+        child = self._children.get(key)
+        if child is not None:
+            return child
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                if self.kind == "counter":
+                    child = Counter()
+                elif self.kind == "gauge":
+                    child = Gauge()
+                else:
+                    child = Histogram(self._buckets or DEFAULT_TIME_BUCKETS)
+                self._children[key] = child
+            return child
+
+    def children(self) -> Iterator[Tuple[LabelKey, object]]:
+        """Iterate ``(label_key, child)`` pairs, sorted by label key."""
+        with self._lock:
+            items = list(self._children.items())
+        return iter(sorted(items, key=lambda item: item[0]))
+
+    def reset(self) -> None:
+        """Reset every child in the family."""
+        with self._lock:
+            children = list(self._children.values())
+        for child in children:
+            child.reset()  # type: ignore[attr-defined]
+
+
+class MetricsRegistry:
+    """A thread-safe collection of metric families.
+
+    The registry is the unit of enable/export: the CLI activates one
+    per run and renders it through :mod:`repro.obs.export`; libraries
+    reach the active one through :mod:`repro.obs.runtime`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, MetricFamily] = {}
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        family = self._families.get(name)
+        if family is None:
+            with self._lock:
+                family = self._families.get(name)
+                if family is None:
+                    family = MetricFamily(name, kind, help_text, buckets)
+                    self._families[name] = family
+        if family.kind != kind:
+            raise ObservabilityError(
+                f"metric {name!r} is a {family.kind}, not a {kind}"
+            )
+        if help_text and not family.help_text:
+            family.help_text = help_text
+        return family
+
+    def counter(self, name: str, help: str = "", **labels: object) -> Counter:
+        """The counter ``name`` for this label set (created on demand)."""
+        return self._family(name, "counter", help).labels(**labels)
+
+    def gauge(self, name: str, help: str = "", **labels: object) -> Gauge:
+        """The gauge ``name`` for this label set (created on demand)."""
+        return self._family(name, "gauge", help).labels(**labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+        **labels: object,
+    ) -> Histogram:
+        """The histogram ``name`` for this label set.
+
+        ``buckets`` only takes effect when the family is first created;
+        later calls reuse the family's bounds (they must be consistent
+        for the exposition to merge).
+        """
+        return self._family(name, "histogram", help, buckets).labels(**labels)
+
+    def families(self) -> List[MetricFamily]:
+        """All families, sorted by name."""
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        """Look up a family by name (None when absent)."""
+        return self._families.get(name)
+
+    def reset(self) -> None:
+        """Reset every metric in place (families and labels survive)."""
+        for family in self.families():
+            family.reset()
+
+    def snapshot(self) -> Dict[str, dict]:
+        """A plain-data view of every metric (drives the exporters)."""
+        out: Dict[str, dict] = {}
+        for family in self.families():
+            children = []
+            for key, child in family.children():
+                labels = dict(key)
+                if family.kind == "histogram":
+                    children.append(
+                        {
+                            "labels": labels,
+                            "sum": child.sum,  # type: ignore[attr-defined]
+                            "count": child.count,  # type: ignore[attr-defined]
+                            "buckets": [
+                                ["+Inf" if math.isinf(le) else le, count]
+                                for le, count in child.cumulative()  # type: ignore[attr-defined]
+                            ],
+                        }
+                    )
+                else:
+                    children.append(
+                        {"labels": labels, "value": child.value}  # type: ignore[attr-defined]
+                    )
+            out[family.name] = {
+                "type": family.kind,
+                "help": family.help_text,
+                "children": children,
+            }
+        return out
+
+
+class _NullMetric:
+    """Absorbs every metric operation; shared by all disabled handles."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:  # noqa: D102
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:  # noqa: D102
+        pass
+
+    def set(self, value: float) -> None:  # noqa: D102
+        pass
+
+    def observe(self, value: float) -> None:  # noqa: D102
+        pass
+
+    def reset(self) -> None:  # noqa: D102
+        pass
+
+
+NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """Registry stand-in used while observability is disabled.
+
+    Every lookup returns the shared :data:`NULL_METRIC`, so
+    instrumentation can run unconditionally without allocating.
+    """
+
+    def counter(self, name: str, help: str = "", **labels: object) -> _NullMetric:
+        return NULL_METRIC
+
+    def gauge(self, name: str, help: str = "", **labels: object) -> _NullMetric:
+        return NULL_METRIC
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+        **labels: object,
+    ) -> _NullMetric:
+        return NULL_METRIC
+
+    def families(self) -> List[MetricFamily]:
+        return []
+
+    def get(self, name: str) -> None:
+        return None
+
+    def reset(self) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, dict]:
+        return {}
+
+
+NULL_REGISTRY = NullRegistry()

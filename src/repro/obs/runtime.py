@@ -1,0 +1,117 @@
+"""The process-global observability switch.
+
+Instrumentation throughout the library funnels through this module.
+By default nothing is active: :func:`enabled` returns False and the
+metric accessors hand out shared no-op objects, so the hot paths
+(`receive_record`, joins, expansions, encounters) pay only a guard —
+one function call and a ``None`` comparison.  Tier-1 behaviour and
+timings are therefore unchanged until someone opts in:
+
+>>> from repro.obs import runtime
+>>> registry = runtime.enable()
+>>> runtime.counter("repro_demo_total").inc()
+>>> registry.get("repro_demo_total") is not None
+True
+>>> _ = runtime.disable()
+>>> runtime.enabled()
+False
+
+The canonical instrumentation idiom is::
+
+    from repro.obs import runtime as obs
+    ...
+    if obs.enabled():
+        obs.counter("repro_things_total", kind="x").inc()
+
+The ``if`` guard keeps the disabled cost to the single ``enabled()``
+call (no label kwargs are even packed); calling the accessors without
+the guard is also safe — they return no-op metrics when disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.obs.events import StructuredLog
+from repro.obs.metrics import (
+    NULL_METRIC,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+_active: Optional[MetricsRegistry] = None
+_event_log: Optional[StructuredLog] = None
+
+
+def enabled() -> bool:
+    """Whether a live registry is collecting metrics right now."""
+    return _active is not None
+
+
+def registry() -> Union[MetricsRegistry, NullRegistry]:
+    """The active registry, or the shared no-op one when disabled."""
+    return _active if _active is not None else NULL_REGISTRY
+
+
+def event_log() -> Optional[StructuredLog]:
+    """The active structured-event sink, or None."""
+    return _event_log
+
+
+def enable(
+    registry: Optional[MetricsRegistry] = None,
+    event_log: Optional[StructuredLog] = None,
+) -> MetricsRegistry:
+    """Activate metrics collection (idempotent; returns the registry).
+
+    Passing a registry replaces any active one; passing none keeps an
+    already-active registry or creates a fresh one.  The event log, if
+    given, receives span and simulation events until :func:`disable`.
+    """
+    global _active, _event_log
+    if registry is not None:
+        _active = registry
+    elif _active is None:
+        _active = MetricsRegistry()
+    if event_log is not None:
+        _event_log = event_log
+    return _active
+
+
+def disable() -> Optional[MetricsRegistry]:
+    """Deactivate collection; closes the event log if one was attached.
+
+    Returns the registry that was active (still readable/exportable —
+    deactivation stops *collection*, not access).
+    """
+    global _active, _event_log
+    previous = _active
+    _active = None
+    if _event_log is not None:
+        _event_log.close()
+        _event_log = None
+    return previous
+
+
+def counter(name: str, help: str = "", **labels: object) -> Counter:
+    """Counter ``name`` on the active registry (no-op when disabled)."""
+    return registry().counter(name, help, **labels)
+
+
+def gauge(name: str, help: str = "", **labels: object) -> Gauge:
+    """Gauge ``name`` on the active registry (no-op when disabled)."""
+    return registry().gauge(name, help, **labels)
+
+
+def histogram(
+    name: str,
+    help: str = "",
+    buckets: Optional[Sequence[float]] = None,
+    **labels: object,
+) -> Histogram:
+    """Histogram ``name`` on the active registry (no-op when disabled)."""
+    return registry().histogram(name, help, buckets, **labels)

@@ -1,0 +1,137 @@
+"""Timing spans: scoped wall-clock measurement of named operations.
+
+A span times a block of work and, when observability is active,
+records the duration into the ``repro_span_duration_seconds``
+histogram (labelled by span name) and emits a structured event to the
+active JSONL sink, including the parent span for nested work::
+
+    from repro.obs.spans import span
+
+    with span("sketch.and_join", bits=m):
+        ... do the join ...
+
+Spans nest naturally — a ``sim.period`` span around a measurement
+period will show up as the parent of every ``sketch.and_join`` span
+opened inside it.  Nesting is tracked per thread.
+
+When observability is disabled, :func:`span` returns a shared no-op
+context manager without touching the clock, so sprinkling spans on hot
+paths is safe.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.obs import runtime
+
+#: Histogram fed by every closed span, labelled span=<name>.
+SPAN_HISTOGRAM = "repro_span_duration_seconds"
+
+_stacks = threading.local()
+
+
+def _stack() -> List["Span"]:
+    stack = getattr(_stacks, "spans", None)
+    if stack is None:
+        stack = []
+        _stacks.spans = stack
+    return stack
+
+
+def current_span() -> Optional["Span"]:
+    """The innermost open span on this thread, or None."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+class Span:
+    """One timed scope.  Use via :func:`span`, not directly."""
+
+    __slots__ = ("name", "attrs", "duration", "_started", "_parent_name", "_depth")
+
+    def __init__(self, name: str, attrs: Dict[str, object]):
+        self.name = name
+        self.attrs = attrs
+        self.duration: Optional[float] = None
+        self._started = 0.0
+        self._parent_name: Optional[str] = None
+        self._depth = 0
+
+    @property
+    def parent_name(self) -> Optional[str]:
+        """Name of the enclosing span at entry, or None at top level."""
+        return self._parent_name
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth at entry (0 = top level)."""
+        return self._depth
+
+    def __enter__(self) -> "Span":
+        stack = _stack()
+        if stack:
+            self._parent_name = stack[-1].name
+        self._depth = len(stack)
+        stack.append(self)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self._started
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        if runtime.enabled():
+            runtime.histogram(
+                SPAN_HISTOGRAM,
+                help="Wall-clock duration of instrumented spans.",
+                span=self.name,
+            ).observe(self.duration)
+            log = runtime.event_log()
+            if log is not None:
+                log.emit(
+                    "span",
+                    self.name,
+                    duration_seconds=self.duration,
+                    parent=self._parent_name,
+                    depth=self._depth,
+                    error=exc_type.__name__ if exc_type is not None else None,
+                    **self.attrs,
+                )
+        return False
+
+
+class _NullSpan:
+    """Reusable do-nothing span for the disabled path."""
+
+    __slots__ = ()
+
+    name = ""
+    attrs: Dict[str, object] = {}
+    duration = None
+    parent_name = None
+    depth = 0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str, **attrs: object):
+    """A context manager timing ``name`` (no-op while disabled).
+
+    Extra keyword attributes ride along on the emitted JSONL event
+    (they do *not* become histogram labels — durations aggregate per
+    span name only, keeping cardinality bounded).
+    """
+    if not runtime.enabled():
+        return _NULL_SPAN
+    return Span(name, attrs)

@@ -9,6 +9,7 @@ bitmaps, which is the privacy point of the whole design.
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from repro.core.baselines import DirectAndBenchmark, DirectAndEstimate
@@ -16,6 +17,7 @@ from repro.core.point import PointPersistentEstimator
 from repro.core.point_to_point import PointToPointPersistentEstimator
 from repro.core.results import PointEstimate, PointToPointEstimate
 from repro.exceptions import ConfigurationError
+from repro.obs import runtime as obs
 from repro.rsu.record import TrafficRecord
 from repro.server.history import VolumeHistory
 from repro.server.queries import (
@@ -97,6 +99,16 @@ class CentralServer:
         self._history.observe(record.location, max(record.point_estimate(), 1.0))
         if self._archive is not None:
             self._archive.save(record)
+        if obs.enabled():
+            obs.counter(
+                "repro_records_ingested_total",
+                "Traffic records accepted by the central server.",
+            ).inc()
+            if self._archive is not None:
+                obs.counter(
+                    "repro_archive_writes_total",
+                    "Records persisted to the attached archive.",
+                ).inc()
 
     def receive_payload(self, payload: bytes) -> TrafficRecord:
         """Ingest a serialized upload from an RSU."""
@@ -112,27 +124,57 @@ class CentralServer:
     # Queries
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _observe_query(kind: str, started: float) -> None:
+        """Account one served query (only called while obs is enabled)."""
+        obs.counter(
+            "repro_queries_total",
+            "Queries served by the central server.",
+            kind=kind,
+        ).inc()
+        obs.histogram(
+            "repro_estimate_latency_seconds",
+            "Wall-clock latency of answering one query.",
+            kind=kind,
+        ).observe(time.perf_counter() - started)
+
     def point_volume(self, query: PointVolumeQuery) -> float:
         """Single-period traffic volume estimate (Eq. 1)."""
+        started = time.perf_counter()
         record = self._store.require(query.location, query.period)
-        return record.point_estimate()
+        estimate = record.point_estimate()
+        if obs.enabled():
+            self._observe_query("point_volume", started)
+        return estimate
 
     def point_persistent(self, query: PointPersistentQuery) -> PointEstimate:
         """Point persistent traffic estimate (Eq. 12)."""
+        started = time.perf_counter()
         records = self._store.records_for(query.location, query.periods)
-        return self._point_estimator.estimate(records)
+        estimate = self._point_estimator.estimate(records)
+        if obs.enabled():
+            self._observe_query("point_persistent", started)
+        return estimate
 
     def point_persistent_benchmark(
         self, query: PointPersistentQuery
     ) -> DirectAndEstimate:
         """The direct AND-join benchmark on the same query (Fig. 4)."""
+        started = time.perf_counter()
         records = self._store.records_for(query.location, query.periods)
-        return self._benchmark.estimate(records)
+        estimate = self._benchmark.estimate(records)
+        if obs.enabled():
+            self._observe_query("benchmark", started)
+        return estimate
 
     def point_to_point_persistent(
         self, query: PointToPointPersistentQuery
     ) -> PointToPointEstimate:
         """Point-to-point persistent traffic estimate (Eq. 21)."""
+        started = time.perf_counter()
         records_a = self._store.records_for(query.location_a, query.periods)
         records_b = self._store.records_for(query.location_b, query.periods)
-        return self._p2p_estimator.estimate(records_a, records_b)
+        estimate = self._p2p_estimator.estimate(records_a, records_b)
+        if obs.enabled():
+            self._observe_query("point_to_point", started)
+        return estimate

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.exceptions import ConfigurationError
+from repro.obs import runtime as obs
 from repro.sketch.sizing import bitmap_size_for_volume
 
 
@@ -76,9 +77,23 @@ class VolumeHistory:
                 self._smoothing * float(volume_estimate)
                 + (1.0 - self._smoothing) * previous
             )
+        if obs.enabled():
+            obs.counter(
+                "repro_volume_observations_total",
+                "Per-period volume estimates folded into the history.",
+            ).inc()
+            obs.gauge(
+                "repro_history_locations",
+                "Locations with a tracked volume average.",
+            ).set(len(self._averages))
 
     def recommend_size(self, location: int) -> int:
         """Bitmap size for the location's next period (Eq. 2)."""
+        if obs.enabled():
+            obs.counter(
+                "repro_sizing_recommendations_total",
+                "Eq. 2 bitmap-size recommendations issued.",
+            ).inc()
         return bitmap_size_for_volume(self.expected_volume(location), self._load_factor)
 
     def set_expected_volume(self, location: int, volume: float) -> None:

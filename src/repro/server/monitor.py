@@ -23,6 +23,7 @@ from typing import Deque, List, Optional
 from repro.core.point import PointPersistentEstimator
 from repro.core.results import PointEstimate
 from repro.exceptions import ConfigurationError, EstimationError
+from repro.obs import runtime as obs
 from repro.rsu.record import TrafficRecord
 
 
@@ -116,6 +117,12 @@ class PersistenceMonitor:
             estimate=estimate,
         )
         self._samples.append(sample)
+        if obs.enabled():
+            obs.counter(
+                "repro_monitor_refreshes_total",
+                "Sliding-window re-estimates emitted by monitors.",
+                location=self._location,
+            ).inc()
         return sample
 
     # ------------------------------------------------------------------

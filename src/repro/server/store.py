@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import DataError
+from repro.obs import runtime as obs
 from repro.rsu.record import TrafficRecord
 
 
@@ -18,9 +19,15 @@ class RecordStore:
 
     def __init__(self) -> None:
         self._records: Dict[Tuple[int, int], TrafficRecord] = {}
+        self._total_bits = 0
 
     def __len__(self) -> int:
         return len(self._records)
+
+    @property
+    def total_bits(self) -> int:
+        """Memory-resident bitmap bits across all stored records."""
+        return self._total_bits
 
     def add(self, record: TrafficRecord) -> None:
         """Store one record; duplicates for a (location, period) fail."""
@@ -31,6 +38,16 @@ class RecordStore:
                 f"{record.period} already exists"
             )
         self._records[key] = record
+        self._total_bits += record.size
+        if obs.enabled():
+            obs.gauge(
+                "repro_store_records",
+                "Traffic records resident in the in-memory store.",
+            ).set(len(self._records))
+            obs.gauge(
+                "repro_store_bits",
+                "Bitmap bits resident in the in-memory store.",
+            ).set(self._total_bits)
 
     def add_payload(self, payload: bytes) -> TrafficRecord:
         """Deserialize an uploaded payload and store it."""

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Optional
 
+from repro.obs import runtime as obs
 from repro.rsu.unit import RoadSideUnit
 from repro.vehicle.onboard import OnBoardUnit
 
@@ -73,10 +74,26 @@ class ProtocolDriver:
         else:
             report = obu.respond_to_beacon(beacon)
         if report is None:
+            if obs.enabled():
+                obs.counter(
+                    "repro_encounters_total",
+                    "V2I encounters executed, by outcome.",
+                    outcome="rejected_rogue",
+                ).inc()
             return EncounterResult(
                 outcome=EncounterOutcome.REJECTED_ROGUE, beacon_delay=delay
             )
         rsu.receive_report(report)
+        if obs.enabled():
+            obs.counter(
+                "repro_encounters_total",
+                "V2I encounters executed, by outcome.",
+                outcome="encoded",
+            ).inc()
+            obs.counter(
+                "repro_bits_set_total",
+                "Bitmap bits set by successful encounters.",
+            ).inc()
         return EncounterResult(
             outcome=EncounterOutcome.ENCODED,
             beacon_delay=delay,

@@ -30,6 +30,8 @@ from repro.crypto.pki import CertificateAuthority
 from repro.exceptions import ConfigurationError
 from repro.network.deployment import RsuDeployment
 from repro.network.road import RoadNetwork
+from repro.obs import runtime as obs
+from repro.obs.spans import span
 from repro.network.trajectory import TripPlanner
 from repro.server.central import CentralServer
 from repro.sim.events import SimulationEngine
@@ -196,6 +198,22 @@ class CityScenario:
 
     def run_period(self) -> PeriodSummary:
         """Simulate one full measurement period."""
+        with span("sim.period", period=self._periods_run):
+            summary = self._run_period()
+        log = obs.event_log()
+        if log is not None:
+            log.emit(
+                "period",
+                "sim.period",
+                period=summary.period,
+                encounters=summary.encounters,
+                missed=summary.missed,
+                rejected=summary.rejected,
+                reports_by_location=summary.reports_by_location,
+            )
+        return summary
+
+    def _run_period(self) -> PeriodSummary:
         period = self._periods_run
         engine = SimulationEngine()
         counters = {"encounters": 0, "rejected": 0, "missed": 0}
@@ -265,6 +283,11 @@ class CityScenario:
                 and self._rng.random() >= self._detection_rate
             ):
                 counters["missed"] += 1
+                if obs.enabled():
+                    obs.counter(
+                        "repro_loss_events_total",
+                        "Physical passes lost to V2I channel faults.",
+                    ).inc()
                 return
             rsu = self._deployment.rsu_at(location)
             result = self._driver.run_encounter(

@@ -16,6 +16,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import SketchError
+from repro.obs import runtime as obs
+from repro.obs.metrics import POW2_BUCKETS
 from repro.sketch.bitmap import Bitmap
 from repro.sketch.sizing import is_power_of_two
 
@@ -46,6 +48,16 @@ def expand_to(bitmap: Bitmap, target_size: int) -> Bitmap:
     simply B_j".
     """
     factor = expansion_factor(bitmap.size, target_size)
+    if obs.enabled():
+        obs.counter(
+            "repro_expansions_total",
+            "Replication-based bitmap expansions (incl. factor 1).",
+        ).inc()
+        obs.histogram(
+            "repro_expansion_ratio",
+            "Replication factor m/l of each expansion.",
+            buckets=POW2_BUCKETS,
+        ).observe(factor)
     if factor == 1:
         return bitmap
     tiled = np.tile(bitmap.bits, factor)

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.exceptions import SketchError
+from repro.obs import runtime as obs
 from repro.sketch.bitmap import Bitmap
 from repro.sketch.expansion import expand_to
 
@@ -29,6 +30,22 @@ def _common_size(bitmaps: Sequence[Bitmap]) -> int:
     return max(b.size for b in bitmaps)
 
 
+def _observe_join(op: str, size: int, inputs: int) -> None:
+    """Account one join (only called while obs is enabled).
+
+    ``and``/``or`` joins performed inside ``split``/``two_level``
+    pipelines are counted under their own op as well — the counters
+    measure work done, not top-level API calls.
+    """
+    obs.counter(
+        "repro_joins_total", "Bitmap joins performed.", op=op
+    ).inc()
+    obs.counter(
+        "repro_join_bits_processed_total",
+        "Bitmap bits streamed through joins (size x inputs).",
+    ).inc(size * inputs)
+
+
 def and_join(bitmaps: Sequence[Bitmap]) -> Bitmap:
     """Expand all bitmaps to the maximum size and AND them together.
 
@@ -37,6 +54,8 @@ def and_join(bitmaps: Sequence[Bitmap]) -> Bitmap:
     encode a common vehicle (or colliding transients).
     """
     size = _common_size(bitmaps)
+    if obs.enabled():
+        _observe_join("and", size, len(bitmaps))
     result = expand_to(bitmaps[0], size).copy()
     for bitmap in bitmaps[1:]:
         result = result & expand_to(bitmap, size)
@@ -46,6 +65,8 @@ def and_join(bitmaps: Sequence[Bitmap]) -> Bitmap:
 def or_join(bitmaps: Sequence[Bitmap]) -> Bitmap:
     """Expand all bitmaps to the maximum size and OR them together."""
     size = _common_size(bitmaps)
+    if obs.enabled():
+        _observe_join("or", size, len(bitmaps))
     result = expand_to(bitmaps[0], size).copy()
     for bitmap in bitmaps[1:]:
         result = result | expand_to(bitmap, size)
@@ -90,6 +111,8 @@ def split_and_join(bitmaps: Sequence[Bitmap]) -> SplitJoinResult:
             f"split-and-join needs at least 2 traffic records, got {len(bitmaps)}"
         )
     size = _common_size(bitmaps)
+    if obs.enabled():
+        _observe_join("split", size, len(bitmaps))
     midpoint = (len(bitmaps) + 1) // 2  # ceil(t/2), as in the paper
     expanded = [expand_to(b, size) for b in bitmaps]
     half_a = and_join(expanded[:midpoint])
@@ -143,6 +166,12 @@ def two_level_join(
     locations internally when needed and reports it via ``swapped`` so
     the estimator can keep its parameters straight.
     """
+    if obs.enabled():
+        _observe_join(
+            "two_level",
+            max(_common_size(records_a), _common_size(records_b)),
+            len(records_a) + len(records_b),
+        )
     joined_a = and_join(records_a)
     joined_b = and_join(records_b)
     swapped = joined_a.size > joined_b.size

@@ -10,6 +10,15 @@ from repro.crypto.keys import KeyGenerator
 from repro.vehicle.encoder import VehicleEncoder
 
 
+@pytest.fixture(autouse=True)
+def _obs_disabled():
+    """Guarantee observability state never leaks between tests."""
+    from repro.obs import runtime
+
+    yield
+    runtime.disable()
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic RNG for test reproducibility."""

@@ -1,0 +1,126 @@
+"""Tests for the Prometheus/JSON/report exporters (with round-trips)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.exceptions import ObservabilityError
+from repro.obs.export import (
+    format_report,
+    parse_prometheus,
+    to_json,
+    to_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def populated():
+    registry = MetricsRegistry()
+    registry.counter("repro_records_ingested_total", "Records accepted.").inc(9)
+    registry.counter("repro_queries_total", kind="point_persistent").inc(3)
+    registry.counter("repro_queries_total", kind="point_volume").inc(1)
+    registry.gauge("repro_store_bits").set(4096)
+    histogram = registry.histogram(
+        "repro_estimate_latency_seconds", buckets=(0.001, 0.01, 0.1)
+    )
+    for value in (0.0005, 0.002, 0.05, 2.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestPrometheusExposition:
+    def test_headers_and_samples(self, populated):
+        text = to_prometheus(populated)
+        assert "# HELP repro_records_ingested_total Records accepted.\n" in text
+        assert "# TYPE repro_records_ingested_total counter\n" in text
+        assert "\nrepro_records_ingested_total 9\n" in text
+        assert 'repro_queries_total{kind="point_persistent"} 3\n' in text
+        assert "# TYPE repro_store_bits gauge\n" in text
+
+    def test_histogram_series(self, populated):
+        text = to_prometheus(populated)
+        assert (
+            'repro_estimate_latency_seconds_bucket{le="0.001"} 1\n' in text
+        )
+        assert 'repro_estimate_latency_seconds_bucket{le="+Inf"} 4\n' in text
+        assert "repro_estimate_latency_seconds_count 4\n" in text
+        assert "repro_estimate_latency_seconds_sum" in text
+
+    def test_round_trip_through_parser(self, populated):
+        samples = parse_prometheus(to_prometheus(populated))
+        assert samples[("repro_records_ingested_total", ())] == 9.0
+        assert (
+            samples[("repro_queries_total", (("kind", "point_persistent"),))]
+            == 3.0
+        )
+        assert samples[("repro_store_bits", ())] == 4096.0
+        assert (
+            samples[
+                ("repro_estimate_latency_seconds_bucket", (("le", "+Inf"),))
+            ]
+            == 4.0
+        )
+        assert samples[("repro_estimate_latency_seconds_count", ())] == 4.0
+        assert samples[("repro_estimate_latency_seconds_sum", ())] == (
+            pytest.approx(2.0525)
+        )
+
+    def test_label_values_escaped_and_unescaped(self):
+        registry = MetricsRegistry()
+        nasty = 'quote " slash \\ newline \n end'
+        registry.counter("repro_x_total", tag=nasty).inc()
+        text = to_prometheus(registry)
+        samples = parse_prometheus(text)
+        assert samples[("repro_x_total", (("tag", nasty),))] == 1.0
+
+    def test_empty_registry_exports_empty_document(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+        assert parse_prometheus("") == {}
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ObservabilityError):
+            parse_prometheus("!!! not exposition")
+
+    def test_parser_handles_special_values(self):
+        samples = parse_prometheus("x_total +Inf\ny_total NaN\n")
+        assert math.isinf(samples[("x_total", ())])
+        assert math.isnan(samples[("y_total", ())])
+
+
+class TestJsonExport:
+    def test_document_parses_and_matches_snapshot(self, populated):
+        document = json.loads(to_json(populated))
+        assert document == json.loads(
+            json.dumps(populated.snapshot(), sort_keys=True)
+        )
+        assert (
+            document["repro_records_ingested_total"]["children"][0]["value"]
+            == 9.0
+        )
+
+
+class TestFormatReport:
+    def test_contains_every_metric_one_screen(self, populated):
+        report = format_report(populated)
+        assert report.startswith("run report")
+        assert "repro_records_ingested_total" in report
+        assert "repro_queries_total{kind=point_persistent}" in report
+        assert "repro_estimate_latency_seconds" in report
+        assert "n=4" in report
+        assert len(report.splitlines()) < 40  # one screen
+
+    def test_time_histograms_use_human_units(self, populated):
+        report = format_report(populated)
+        line = next(
+            l
+            for l in report.splitlines()
+            if l.startswith("repro_estimate_latency_seconds")
+        )
+        assert "ms" in line or "µs" in line or "s" in line
+
+    def test_empty_registry(self):
+        assert "no metrics collected" in format_report(MetricsRegistry())

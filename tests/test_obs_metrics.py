@@ -1,0 +1,210 @@
+"""Unit tests for the metric primitives and the registry."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.exceptions import ObservabilityError
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    NULL_METRIC,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log_buckets,
+)
+
+
+class TestLogBuckets:
+    def test_three_per_decade(self):
+        buckets = log_buckets(0.001, 1.0, per_decade=3)
+        assert buckets[0] == pytest.approx(0.001)
+        assert buckets[-1] == pytest.approx(1.0)
+        assert len(buckets) == 10  # 3 decades x 3 + endpoint
+
+    def test_strictly_increasing(self):
+        buckets = log_buckets(1e-6, 10.0, per_decade=3)
+        assert list(buckets) == sorted(set(buckets))
+
+    def test_default_time_buckets_span_us_to_10s(self):
+        assert DEFAULT_TIME_BUCKETS[0] == pytest.approx(1e-6)
+        assert DEFAULT_TIME_BUCKETS[-1] == pytest.approx(10.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ObservabilityError):
+            log_buckets(0.0, 1.0)
+        with pytest.raises(ObservabilityError):
+            log_buckets(1.0, 1.0)
+        with pytest.raises(ObservabilityError):
+            log_buckets(1.0, 10.0, per_decade=0)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter()
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Counter().inc(-1)
+
+    def test_reset(self):
+        counter = Counter()
+        counter.inc(7)
+        counter.reset()
+        assert counter.value == 0.0
+
+    def test_thread_safety(self):
+        counter = Counter()
+
+        def work():
+            for _ in range(10_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 40_000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == pytest.approx(12.0)
+
+    def test_can_go_negative(self):
+        gauge = Gauge()
+        gauge.dec(4)
+        assert gauge.value == pytest.approx(-4.0)
+
+
+class TestHistogram:
+    def test_boundary_value_lands_in_its_bucket(self):
+        # le-semantics: an observation equal to an upper bound belongs
+        # to that bucket, exactly as Prometheus defines it.
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        h.observe(2.0)
+        assert h.bucket_counts() == [0, 1, 0, 0]
+
+    def test_overflow_goes_to_inf_bucket(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(100.0)
+        assert h.bucket_counts() == [0, 0, 1]
+
+    def test_cumulative_counts(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 50.0):
+            h.observe(value)
+        cumulative = h.cumulative()
+        assert cumulative == [(1.0, 1), (2.0, 2), (4.0, 3), (math.inf, 4)]
+        assert h.count == 4
+        assert h.sum == pytest.approx(55.0)
+
+    def test_quantile_estimates(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 0.6, 1.5, 3.0):
+            h.observe(value)
+        assert h.quantile(0.5) == pytest.approx(1.0)
+        assert h.quantile(1.0) == pytest.approx(4.0)
+        assert math.isnan(Histogram(buckets=(1.0,)).quantile(0.5))
+
+    def test_reset(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(0.5)
+        h.reset()
+        assert h.count == 0
+        assert h.sum == 0.0
+        assert h.bucket_counts() == [0, 0]
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Histogram(buckets=(2.0, 1.0))
+        with pytest.raises(ObservabilityError):
+            Histogram(buckets=(1.0, 1.0))
+        with pytest.raises(ObservabilityError):
+            Histogram(buckets=())
+
+
+class TestRegistry:
+    def test_same_name_and_labels_share_a_child(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x_total", kind="a")
+        b = registry.counter("repro_x_total", kind="a")
+        other = registry.counter("repro_x_total", kind="b")
+        a.inc()
+        assert b.value == 1.0
+        assert other.value == 0.0
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x_total", one="1", two="2")
+        b = registry.counter("repro_x_total", two="2", one="1")
+        assert a is b
+
+    def test_type_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("repro_x_total")
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.counter("0bad")
+        with pytest.raises(ObservabilityError):
+            registry.counter("repro_ok_total", **{"0bad": "x"})
+
+    def test_histogram_buckets_fixed_at_creation(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("repro_h", buckets=(1.0, 2.0))
+        second = registry.histogram("repro_h", buckets=(9.0,))
+        assert first is second
+        assert first.buckets == (1.0, 2.0)
+
+    def test_reset_keeps_families(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", kind="a").inc(5)
+        registry.reset()
+        assert registry.counter("repro_x_total", kind="a").value == 0.0
+        assert [f.name for f in registry.families()] == ["repro_x_total"]
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_c_total", "help!").inc(2)
+        registry.histogram("repro_h", buckets=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["repro_c_total"]["type"] == "counter"
+        assert snap["repro_c_total"]["help"] == "help!"
+        assert snap["repro_c_total"]["children"][0]["value"] == 2.0
+        hist = snap["repro_h"]["children"][0]
+        assert hist["count"] == 1
+        assert hist["buckets"][-1][0] == "+Inf"
+
+
+class TestNullRegistry:
+    def test_all_handles_are_the_shared_noop(self):
+        assert NULL_REGISTRY.counter("anything", weird="label") is NULL_METRIC
+        assert NULL_REGISTRY.gauge("anything") is NULL_METRIC
+        assert NULL_REGISTRY.histogram("anything") is NULL_METRIC
+
+    def test_noop_accepts_every_operation(self):
+        NULL_METRIC.inc()
+        NULL_METRIC.dec(3)
+        NULL_METRIC.set(7)
+        NULL_METRIC.observe(0.1)
+        NULL_METRIC.reset()
+        assert NULL_REGISTRY.snapshot() == {}
+        assert NULL_REGISTRY.families() == []

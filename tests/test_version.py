@@ -1,0 +1,40 @@
+"""The package version is sourced from exactly one place."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cli import main
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestSingleSource:
+    def test_version_is_a_pep440_string(self):
+        assert re.match(r"^\d+\.\d+\.\d+", repro.__version__)
+
+    def test_pyproject_defers_to_package_attribute(self):
+        pyproject = (_REPO_ROOT / "pyproject.toml").read_text()
+        # No literal version in [project] — it must be declared dynamic
+        # and resolved from repro.__version__.
+        assert 'dynamic = ["version"]' in pyproject
+        assert 'version = { attr = "repro.__version__" }' in pyproject
+        assert not re.search(
+            r'^version = "\d', pyproject, flags=re.MULTILINE
+        )
+
+    def test_setup_py_is_a_pure_shim(self):
+        setup_py = (_REPO_ROOT / "setup.py").read_text()
+        assert "version" not in setup_py  # setup() reads pyproject
+
+
+class TestCliFlag:
+    def test_version_flag_prints_and_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
