@@ -20,7 +20,9 @@ those flags nothing is collected and output is unchanged.  See
 ``docs/observability.md`` for the metric catalog.
 
 The experiment defaults favour quick regeneration; the paper's own
-setting is 1000 runs per cell (``--runs 1000``).
+setting is 1000 runs per cell (``--runs 1000``).  ``--workers N`` fans
+independent sweep cells over N processes with byte-identical output
+(see ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -73,6 +75,15 @@ def _add_experiment_options(parser: argparse.ArgumentParser) -> None:
         help=f"simulation runs per cell (default {DEFAULT_RUNS}; paper: 1000)",
     )
     parser.add_argument("--seed", type=int, default=2017, help="master random seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "processes for independent experiment cells (default 1 = "
+            "serial; any value yields byte-identical output)"
+        ),
+    )
     parser.add_argument(
         "--step",
         type=int,
@@ -181,7 +192,9 @@ def _run_experiment_command(name: str, args: argparse.Namespace) -> int:
     names = sorted(EXPERIMENTS) if name == "all" else [name]
     for experiment in names:
         started = time.time()
-        config = ExperimentConfig(runs=args.runs, seed=args.seed)
+        config = ExperimentConfig(
+            runs=args.runs, seed=args.seed, workers=args.workers
+        )
         if experiment == "table1":
             output = format_table1(
                 run_table1(config, from_trip_table=args.from_trip_table)

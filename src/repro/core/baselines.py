@@ -21,9 +21,10 @@ through the ordinary point-to-point estimator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Set
+from typing import Dict, List, Sequence, Set
 
 from repro.core.point import RecordLike, _as_bitmaps
+from repro.sketch.batch import BitmapBatch, and_join_batch
 from repro.sketch.join import and_join
 from repro.sketch.linear_counting import linear_counting_estimate
 
@@ -61,6 +62,28 @@ class DirectAndBenchmark:
         return DirectAndEstimate(
             estimate=value, v_star0=v0, size=joined.size, periods=len(bitmaps)
         )
+
+
+    def estimate_batch(
+        self, batches: Sequence[BitmapBatch]
+    ) -> List[DirectAndEstimate]:
+        """AND-join and linear-count every stacked run at once.
+
+        One :class:`DirectAndEstimate` per run, bit-identical to
+        :meth:`estimate` on that run's scalar records.
+        """
+        joined = and_join_batch(batches)
+        size = joined.size
+        periods = len(batches)
+        return [
+            DirectAndEstimate(
+                estimate=linear_counting_estimate(v0, size),
+                v_star0=v0,
+                size=size,
+                periods=periods,
+            )
+            for v0 in joined.zero_fractions().tolist()
+        ]
 
 
 def direct_and_estimate(records: Sequence[RecordLike]) -> DirectAndEstimate:

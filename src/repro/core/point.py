@@ -25,11 +25,12 @@ which Eq. 12 inverts.
 from __future__ import annotations
 
 import math
-from typing import Sequence, Union
+from typing import List, Sequence, Union
 
 from repro.core.results import PointEstimate
 from repro.exceptions import EstimationError, SaturatedBitmapError
 from repro.rsu.record import TrafficRecord
+from repro.sketch.batch import BitmapBatch, split_and_join_batch
 from repro.sketch.bitmap import Bitmap
 from repro.sketch.join import split_and_join
 
@@ -131,6 +132,36 @@ class PointPersistentEstimator:
             size=split.size,
             periods=len(bitmaps),
         )
+
+
+    def estimate_batch(
+        self, batches: Sequence[BitmapBatch]
+    ) -> List[PointEstimate]:
+        """Estimate every stacked run of a cell at once.
+
+        ``batches[p]`` holds period ``p``'s bitmaps for all runs; the
+        result list has one :class:`PointEstimate` per run, each
+        bit-identical to :meth:`estimate` on that run's scalar records
+        (the joins are boolean reductions and the final formula is
+        evaluated per run on the same IEEE doubles).
+        """
+        split = split_and_join_batch(batches)
+        v_a0 = split.half_a.zero_fractions().tolist()
+        v_b0 = split.half_b.zero_fractions().tolist()
+        v_star1 = split.joined.one_fractions().tolist()
+        size = split.joined.size
+        periods = len(batches)
+        return [
+            PointEstimate(
+                estimate=point_estimate_from_statistics(a, b, v, size),
+                v_a0=a,
+                v_b0=b,
+                v_star1=v,
+                size=size,
+                periods=periods,
+            )
+            for a, b, v in zip(v_a0, v_b0, v_star1)
+        ]
 
 
 def estimate_point_persistent(records: Sequence[RecordLike]) -> PointEstimate:

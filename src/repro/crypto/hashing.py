@@ -71,6 +71,17 @@ class Hasher(ABC):
     def hash_array(self, values: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`hash_int` over a ``uint64`` array."""
 
+    def hash_array_inplace(self, values: np.ndarray) -> np.ndarray:
+        """Hash a caller-owned contiguous ``uint64`` array in place.
+
+        Identical output to :meth:`hash_array` but licensed to clobber
+        ``values`` (and to reuse it as the result buffer), saving the
+        defensive copy on the batch-encoding hot path.  The default
+        implementation falls back to :meth:`hash_array`.
+        """
+        values[...] = self.hash_array(values)
+        return values
+
     def hash_mod(self, value: int, modulus: int) -> int:
         """Hash and reduce — the paper's ``H(x) mod m``."""
         return self.hash_int(value) % int(modulus)
@@ -143,6 +154,23 @@ class SplitMix64Hasher(Hasher):
             z = (z ^ (z >> np.uint64(30))) * np.uint64(_SPLITMIX_MUL1)
             z = (z ^ (z >> np.uint64(27))) * np.uint64(_SPLITMIX_MUL2)
         return z ^ (z >> np.uint64(31))
+
+    def hash_array_inplace(self, values: np.ndarray) -> np.ndarray:
+        # Same arithmetic as hash_array with every step writing back
+        # into the caller's buffer (one scratch array for the shifts).
+        z = values
+        z ^= np.uint64(self._offset)
+        with np.errstate(over="ignore"):
+            z += np.uint64(_SPLITMIX_GAMMA)
+            scratch = z >> np.uint64(30)
+            z ^= scratch
+            z *= np.uint64(_SPLITMIX_MUL1)
+            np.right_shift(z, np.uint64(27), out=scratch)
+            z ^= scratch
+            z *= np.uint64(_SPLITMIX_MUL2)
+            np.right_shift(z, np.uint64(31), out=scratch)
+            z ^= scratch
+        return z
 
 
 #: Flavour names accepted by :func:`default_hasher`.

@@ -68,6 +68,30 @@ class KeyGenerator:
         """The secret master seed."""
         return self._seed
 
+    @property
+    def hasher(self) -> Hasher:
+        """The derivation hasher (simulation tooling; secret on-vehicle)."""
+        return self._hasher
+
+    def chosen_tags_inplace(self, choices: np.ndarray) -> np.ndarray:
+        """Overwrite uint64 choice indices with their domain tags.
+
+        ``tag(i) = DOMAIN_CONSTANT ^ ((i+1)·0x10001)`` — the same
+        domain separation :meth:`constants` and
+        :meth:`chosen_constants` hash under.  Part of the batch
+        encoding hot path; the buffer is caller-owned scratch.
+        """
+        with np.errstate(over="ignore"):
+            choices += np.uint64(1)
+            choices *= np.uint64(0x10001)
+            choices ^= np.uint64(_DOMAIN_CONSTANT)
+        return choices
+
+    def private_keys_inplace(self, ids_scratch: np.ndarray) -> np.ndarray:
+        """:meth:`private_keys` overwriting a caller-owned id buffer."""
+        ids_scratch ^= np.uint64(_DOMAIN_PRIVATE_KEY)
+        return self._hasher.hash_array_inplace(ids_scratch)
+
     def private_key(self, vehicle_id: int) -> int:
         """Derive ``K_v`` for one vehicle."""
         return self._hasher.hash_int(xor_fold(_DOMAIN_PRIVATE_KEY, vehicle_id))

@@ -29,12 +29,19 @@ DEFAULT_RUNS = 20
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """Knobs shared by all experiments."""
+    """Knobs shared by all experiments.
+
+    ``workers`` fans independent experiment cells out over that many
+    processes (see :mod:`repro.experiments.parallel`); results are
+    byte-identical to the default serial run because every cell seeds
+    its own generators.
+    """
 
     runs: int = DEFAULT_RUNS
     seed: int = 2017  # the paper's year; any fixed value works
     s: int = DEFAULT_S
     load_factor: float = DEFAULT_LOAD_FACTOR
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.runs < 1:
@@ -44,6 +51,10 @@ class ExperimentConfig:
         if self.load_factor <= 0:
             raise ConfigurationError(
                 f"load factor must be positive, got {self.load_factor}"
+            )
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {self.workers}"
             )
 
 

@@ -14,6 +14,7 @@ improve markedly from t = 5 to t = 10.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import List, Tuple
 
 import numpy as np
@@ -22,6 +23,7 @@ from repro.analysis.stats import summarize_runs
 from repro.core.baselines import DirectAndBenchmark
 from repro.core.point import PointPersistentEstimator
 from repro.experiments.common import ExperimentConfig, cell_timer
+from repro.experiments.parallel import map_cells
 from repro.experiments.report import ascii_series, format_table
 from repro.traffic.synthetic import SyntheticPointScenario, expected_volume
 from repro.traffic.workloads import PointWorkload
@@ -59,6 +61,54 @@ class Fig4Result:
     config: ExperimentConfig
 
 
+def _panel_cell(
+    item: Tuple[int, int],
+    t: int,
+    volumes: Tuple[int, ...],
+    config: ExperimentConfig,
+) -> Fig4Point:
+    """One sweep point: all of a target's runs through the batch engine.
+
+    Module-level (and driven by ``functools.partial``) so the parallel
+    harness can pickle it.  Each cell derives its own run generators
+    from ``[seed, t, target_index, run_index]``, matching the
+    historical serial loop draw for draw, and the batch pipeline is
+    bit-identical to per-run generation + estimation — so this cell
+    produces the same floats the seed harness did, at any worker count.
+    """
+    target_index, n_star = item
+    with cell_timer("fig4", f"t={t},n*={n_star}"):
+        workload = PointWorkload(
+            s=config.s, load_factor=config.load_factor, key_seed=config.seed
+        )
+        rngs = [
+            np.random.default_rng([config.seed, t, target_index, run_index])
+            for run_index in range(config.runs)
+        ]
+        batch = workload.generate_batch(
+            n_star=n_star,
+            volumes=volumes,
+            location=LOCATION,
+            rngs=rngs,
+            expected_volume=expected_volume(),
+        )
+        proposed_errors = [
+            estimate.relative_error(n_star)
+            for estimate in PointPersistentEstimator().estimate_batch(
+                batch.batches
+            )
+        ]
+        benchmark_errors = [
+            estimate.relative_error(n_star)
+            for estimate in DirectAndBenchmark().estimate_batch(batch.batches)
+        ]
+    return Fig4Point(
+        n_star=n_star,
+        proposed_error=summarize_runs(proposed_errors).mean,
+        benchmark_error=summarize_runs(benchmark_errors).mean,
+    )
+
+
 def _run_panel(
     t: int, config: ExperimentConfig, fraction_step: int
 ) -> Fig4Panel:
@@ -66,41 +116,12 @@ def _run_panel(
     scenario = SyntheticPointScenario.draw(scenario_rng, periods=t)
     targets = scenario.persistent_targets()[::fraction_step]
 
-    workload = PointWorkload(
-        s=config.s, load_factor=config.load_factor, key_seed=config.seed
+    points = map_cells(
+        partial(_panel_cell, t=t, volumes=scenario.volumes, config=config),
+        list(enumerate(targets)),
+        workers=config.workers,
+        experiment="fig4",
     )
-    proposed = PointPersistentEstimator()
-    benchmark = DirectAndBenchmark()
-
-    points: List[Fig4Point] = []
-    for target_index, n_star in enumerate(targets):
-        with cell_timer("fig4", f"t={t},n*={n_star}"):
-            proposed_errors: List[float] = []
-            benchmark_errors: List[float] = []
-            for run_index in range(config.runs):
-                rng = np.random.default_rng(
-                    [config.seed, t, target_index, run_index]
-                )
-                result = workload.generate(
-                    n_star=n_star,
-                    volumes=scenario.volumes,
-                    location=LOCATION,
-                    rng=rng,
-                    expected_volume=expected_volume(),
-                )
-                proposed_errors.append(
-                    proposed.estimate(result.records).relative_error(n_star)
-                )
-                benchmark_errors.append(
-                    benchmark.estimate(result.records).relative_error(n_star)
-                )
-            points.append(
-                Fig4Point(
-                    n_star=n_star,
-                    proposed_error=summarize_runs(proposed_errors).mean,
-                    benchmark_error=summarize_runs(benchmark_errors).mean,
-                )
-            )
     return Fig4Panel(t=t, volumes=scenario.volumes, points=points)
 
 

@@ -14,6 +14,7 @@ wrapper at f = 3.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import partial
 from typing import List, Tuple
 
 import numpy as np
@@ -21,6 +22,7 @@ import numpy as np
 from repro.core.point import PointPersistentEstimator
 from repro.core.point_to_point import PointToPointPersistentEstimator
 from repro.experiments.common import ExperimentConfig
+from repro.experiments.parallel import map_cells
 from repro.experiments.report import ascii_scatter, format_table
 from repro.traffic.synthetic import (
     SyntheticPointScenario,
@@ -60,6 +62,65 @@ def _mean_relative_error(pairs: List[Tuple[int, float]]) -> float:
     return sum(abs(y - x) / x for x, y in pairs) / len(pairs)
 
 
+def _point_cell(
+    item: Tuple[int, int],
+    volumes: Tuple[int, ...],
+    config: ExperimentConfig,
+    points_per_target: int,
+) -> List[Tuple[int, float]]:
+    """One left-panel target: all its draws through the batch engine."""
+    target_index, n_star = item
+    workload = PointWorkload(
+        s=config.s, load_factor=config.load_factor, key_seed=config.seed
+    )
+    rngs = [
+        np.random.default_rng([config.seed, 51, target_index, draw])
+        for draw in range(points_per_target)
+    ]
+    batch = workload.generate_batch(
+        n_star=n_star,
+        volumes=volumes,
+        location=LOCATION_A,
+        rngs=rngs,
+        expected_volume=expected_volume(),
+    )
+    return [
+        (n_star, estimate.clamped)
+        for estimate in PointPersistentEstimator().estimate_batch(batch.batches)
+    ]
+
+
+def _p2p_cell(
+    item: Tuple[int, int],
+    volumes_a: Tuple[int, ...],
+    volumes_b: Tuple[int, ...],
+    config: ExperimentConfig,
+    points_per_target: int,
+) -> List[Tuple[int, float]]:
+    """One right-panel target (scalar path — two interleaved streams)."""
+    target_index, n_pp = item
+    workload = PointToPointWorkload(
+        s=config.s, load_factor=config.load_factor, key_seed=config.seed
+    )
+    estimator = PointToPointPersistentEstimator(config.s)
+    pairs: List[Tuple[int, float]] = []
+    for draw in range(points_per_target):
+        rng = np.random.default_rng([config.seed, 52, target_index, draw])
+        result = workload.generate(
+            n_double_prime=n_pp,
+            volumes_a=volumes_a,
+            volumes_b=volumes_b,
+            location_a=LOCATION_A,
+            location_b=LOCATION_B,
+            rng=rng,
+            expected_volume_a=expected_volume(),
+            expected_volume_b=expected_volume(),
+        )
+        estimate = estimator.estimate(result.records_a, result.records_b)
+        pairs.append((n_pp, estimate.clamped))
+    return pairs
+
+
 def run_scatter(
     load_factor: float,
     config: ExperimentConfig = ExperimentConfig(),
@@ -75,47 +136,35 @@ def run_scatter(
     # Left panel: point persistent traffic.
     point_rng = np.random.default_rng([config.seed, 5, 1])
     point_scenario = SyntheticPointScenario.draw(point_rng, periods=T)
-    point_workload = PointWorkload(
-        s=config.s, load_factor=load_factor, key_seed=config.seed
+    point_cells = map_cells(
+        partial(
+            _point_cell,
+            volumes=point_scenario.volumes,
+            config=config,
+            points_per_target=points_per_target,
+        ),
+        list(enumerate(point_scenario.persistent_targets())),
+        workers=config.workers,
+        experiment="fig5-point",
     )
-    point_estimator = PointPersistentEstimator()
-    point_pairs: List[Tuple[int, float]] = []
-    for target_index, n_star in enumerate(point_scenario.persistent_targets()):
-        for draw in range(points_per_target):
-            rng = np.random.default_rng([config.seed, 51, target_index, draw])
-            records = point_workload.generate(
-                n_star=n_star,
-                volumes=point_scenario.volumes,
-                location=LOCATION_A,
-                rng=rng,
-                expected_volume=expected_volume(),
-            ).records
-            estimate = point_estimator.estimate(records)
-            point_pairs.append((n_star, estimate.clamped))
+    point_pairs = [pair for cell in point_cells for pair in cell]
 
     # Right panel: point-to-point persistent traffic.
     p2p_rng = np.random.default_rng([config.seed, 5, 2])
     p2p_scenario = SyntheticPointToPointScenario.draw(p2p_rng, periods=T)
-    p2p_workload = PointToPointWorkload(
-        s=config.s, load_factor=load_factor, key_seed=config.seed
+    p2p_cells = map_cells(
+        partial(
+            _p2p_cell,
+            volumes_a=p2p_scenario.volumes_a,
+            volumes_b=p2p_scenario.volumes_b,
+            config=config,
+            points_per_target=points_per_target,
+        ),
+        list(enumerate(p2p_scenario.persistent_targets())),
+        workers=config.workers,
+        experiment="fig5-p2p",
     )
-    p2p_estimator = PointToPointPersistentEstimator(config.s)
-    p2p_pairs: List[Tuple[int, float]] = []
-    for target_index, n_pp in enumerate(p2p_scenario.persistent_targets()):
-        for draw in range(points_per_target):
-            rng = np.random.default_rng([config.seed, 52, target_index, draw])
-            result = p2p_workload.generate(
-                n_double_prime=n_pp,
-                volumes_a=p2p_scenario.volumes_a,
-                volumes_b=p2p_scenario.volumes_b,
-                location_a=LOCATION_A,
-                location_b=LOCATION_B,
-                rng=rng,
-                expected_volume_a=expected_volume(),
-                expected_volume_b=expected_volume(),
-            )
-            estimate = p2p_estimator.estimate(result.records_a, result.records_b)
-            p2p_pairs.append((n_pp, estimate.clamped))
+    p2p_pairs = [pair for cell in p2p_cells for pair in cell]
 
     return ScatterResult(
         load_factor=load_factor,

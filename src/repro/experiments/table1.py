@@ -18,6 +18,7 @@ embedded OD matrix instead, exercising the full data pipeline.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -25,6 +26,7 @@ import numpy as np
 from repro.analysis.stats import RunStatistics, summarize_runs
 from repro.core.point_to_point import PointToPointPersistentEstimator
 from repro.experiments.common import ExperimentConfig, cell_timer
+from repro.experiments.parallel import map_cells
 from repro.experiments.report import format_table
 from repro.sketch.sizing import bitmap_size_for_volume
 from repro.traffic.sioux_falls import (
@@ -158,6 +160,19 @@ def _measure_location(
     )
 
 
+def _measure_column(
+    row: Table1Row, config: ExperimentConfig
+) -> Table1LocationResult:
+    """One Table I location column — the parallel harness's cell.
+
+    The column's generators derive from ``[seed, row.index, run]``
+    alone, so columns are independent and any worker count reproduces
+    the serial output exactly.
+    """
+    with cell_timer("table1", f"L{row.index}"):
+        return _measure_location(row, config, location_seed=row.index)
+
+
 def run_table1(
     config: ExperimentConfig = ExperimentConfig(),
     from_trip_table: bool = False,
@@ -173,12 +188,12 @@ def run_table1(
         instead of using the paper's transcribed parameters.
     """
     rows = _derive_rows_from_trip_table() if from_trip_table else table1_parameters()
-    locations = []
-    for row in rows:
-        with cell_timer("table1", f"L{row.index}"):
-            locations.append(
-                _measure_location(row, config, location_seed=row.index)
-            )
+    locations = map_cells(
+        partial(_measure_column, config=config),
+        rows,
+        workers=config.workers,
+        experiment="table1",
+    )
     return Table1Result(locations=locations, config=config)
 
 

@@ -11,9 +11,11 @@ tracking attack (:mod:`repro.privacy.attack`).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.common import ExperimentConfig
+from repro.experiments.parallel import map_cells
 from repro.experiments.report import format_table
 from repro.privacy.analysis import (
     asymptotic_noise_probability,
@@ -54,6 +56,19 @@ class Table2Result:
     config: ExperimentConfig
 
 
+def _attack_cell(
+    cell: Tuple[int, float], seed: int, attack_trials: int, attack_volume: int
+) -> float:
+    """Empirically validate one (s, f) cell via the tracking attack."""
+    s, f = cell
+    m_prime = next_power_of_two(int(attack_volume * f))
+    # Scale n' so the realized load matches f exactly (Table II's
+    # asymptotic forms assume m' = f·n').
+    n_prime = int(round(m_prime / f))
+    attack = TrackingAttack(n_prime=n_prime, m_prime=m_prime, s=s, seed=seed)
+    return attack.run(attack_trials).empirical_ratio
+
+
 def run_table2(
     config: ExperimentConfig = ExperimentConfig(),
     empirical: bool = False,
@@ -74,18 +89,19 @@ def run_table2(
     noise = {f: asymptotic_noise_probability(f) for f in F_VALUES}
     empirical_ratios = None
     if empirical:
-        empirical_ratios = {}
-        for s in S_VALUES:
-            for f in F_VALUES:
-                m_prime = next_power_of_two(int(attack_volume * f))
-                # Scale n' so the realized load matches f exactly
-                # (Table II's asymptotic forms assume m' = f·n').
-                n_prime = int(round(m_prime / f))
-                attack = TrackingAttack(
-                    n_prime=n_prime, m_prime=m_prime, s=s, seed=config.seed
-                )
-                outcome = attack.run(attack_trials)
-                empirical_ratios[(s, f)] = outcome.empirical_ratio
+        grid = [(s, f) for s in S_VALUES for f in F_VALUES]
+        measured = map_cells(
+            partial(
+                _attack_cell,
+                seed=config.seed,
+                attack_trials=attack_trials,
+                attack_volume=attack_volume,
+            ),
+            grid,
+            workers=config.workers,
+            experiment="table2",
+        )
+        empirical_ratios = dict(zip(grid, measured))
     return Table2Result(
         ratios=ratios, noise=noise, empirical_ratios=empirical_ratios, config=config
     )

@@ -19,6 +19,7 @@ what a simulation is for.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import chain
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -178,19 +179,37 @@ class CityScenario:
     # ------------------------------------------------------------------
 
     def _new_vehicle(self) -> _FleetVehicle:
-        vehicle_id = self._next_vehicle_id
-        self._next_vehicle_id += 1
-        identity = VehicleIdentity.from_generator(vehicle_id, self._keygen)
-        obu = OnBoardUnit(
-            identity=identity,
-            trust_anchor=self._authority.trust_anchor,
-            encoder=self._encoder,
-            mac_seed=vehicle_id,
+        return self._new_vehicles(1)[0]
+
+    def _new_vehicles(self, count: int) -> List[_FleetVehicle]:
+        """Mint ``count`` fresh vehicles with one batched OD draw.
+
+        ``rng.choice(size=k)`` consumes the underlying uniform stream
+        exactly as ``k`` single draws do, so batching leaves the RNG
+        stream — and therefore every simulation output — unchanged
+        while paying the trip-table normalization once instead of per
+        vehicle.
+        """
+        od_pairs = (
+            self._planner.sample_od_pairs(self._trip_table, count, self._rng)
+            if count > 0
+            else []
         )
-        origin, destination = self._planner.sample_od_pairs(
-            self._trip_table, 1, self._rng
-        )[0]
-        return _FleetVehicle(obu=obu, origin=origin, destination=destination)
+        vehicles: List[_FleetVehicle] = []
+        for origin, destination in od_pairs:
+            vehicle_id = self._next_vehicle_id
+            self._next_vehicle_id += 1
+            identity = VehicleIdentity.from_generator(vehicle_id, self._keygen)
+            obu = OnBoardUnit(
+                identity=identity,
+                trust_anchor=self._authority.trust_anchor,
+                encoder=self._encoder,
+                mac_seed=vehicle_id,
+            )
+            vehicles.append(
+                _FleetVehicle(obu=obu, origin=origin, destination=destination)
+            )
+        return vehicles
 
     # ------------------------------------------------------------------
     # Period execution
@@ -225,8 +244,8 @@ class CityScenario:
             size = self._server.recommend_bitmap_size(location)
             self._deployment.rsu_at(location).start_period(period, bitmap_size=size)
 
-        transients = [self._new_vehicle() for _ in range(self._transients_per_period)]
-        for vehicle in self._persistent_fleet + transients:
+        transients = self._new_vehicles(self._transients_per_period)
+        for vehicle in chain(self._persistent_fleet, transients):
             trajectory = self._planner.plan_trip(
                 vehicle.obu.identity.vehicle_id,
                 vehicle.origin,

@@ -14,10 +14,19 @@ paper's traffic records are built from:
   (Section III-A / Fig. 2).
 * :mod:`~repro.sketch.join` — AND/OR joins over groups of bitmaps,
   including the two-level join of Section IV-A.
+* :mod:`~repro.sketch.batch` — :class:`~repro.sketch.batch.BitmapBatch`
+  matrices joining whole Monte-Carlo cells as single numpy reductions.
 * :mod:`~repro.sketch.serial` — compact serialization of traffic
   records for RSU-to-server uploads.
 """
 
+from repro.sketch.batch import (
+    BitmapBatch,
+    and_join_batch,
+    or_join_batch,
+    split_and_join_batch,
+    two_level_join_batch,
+)
 from repro.sketch.bitmap import Bitmap
 from repro.sketch.expansion import expand_to, expansion_factor
 from repro.sketch.join import (
@@ -41,8 +50,10 @@ from repro.sketch.sizing import (
 
 __all__ = [
     "Bitmap",
+    "BitmapBatch",
     "LinearCounting",
     "and_join",
+    "and_join_batch",
     "bitmap_size_for_volume",
     "deserialize_bitmap",
     "expand_to",
@@ -52,8 +63,11 @@ __all__ = [
     "linear_counting_stddev",
     "next_power_of_two",
     "or_join",
+    "or_join_batch",
     "serialize_bitmap",
     "split_and_join",
+    "split_and_join_batch",
     "two_level_join",
+    "two_level_join_batch",
     "zero_fraction_expectation",
 ]

@@ -76,6 +76,18 @@ class Bitmap:
         return cls(arr.shape[0], arr)
 
     @classmethod
+    def _adopt(cls, bits: np.ndarray) -> "Bitmap":
+        """Wrap a freshly-allocated boolean array *without* copying.
+
+        Internal: the caller transfers ownership of ``bits`` (a flat,
+        non-empty ``bool_`` array nobody else mutates).  Used by the
+        join accumulators to avoid a defensive copy per join.
+        """
+        bitmap = cls.__new__(cls)
+        bitmap._bits = bits
+        return bitmap
+
+    @classmethod
     def from_indices(cls, size: int, indices: Iterable[int]) -> "Bitmap":
         """Create a bitmap of ``size`` bits with the given indices set.
 
@@ -122,21 +134,35 @@ class Bitmap:
             raise SketchError(f"bit index {idx} out of range for size {self.size}")
         self._bits[idx] = True
 
-    def set_many(self, indices: Iterable[int]) -> None:
+    def set_many(
+        self, indices: Iterable[int], *, assume_in_range: bool = False
+    ) -> None:
         """Set every bit whose index appears in ``indices``.
 
         Duplicate indices are harmless (setting a set bit is a no-op),
         exactly as hash collisions are in the paper's encoding.
+
+        ``assume_in_range=True`` skips the min/max range scan — an
+        internal fast path for callers (the population encoder) whose
+        indices are already reduced modulo ``size``.  Out-of-range
+        indices then raise ``IndexError`` from numpy instead of
+        :class:`SketchError`; negative ones silently wrap, so only pass
+        it when the guarantee actually holds.
         """
-        idx = np.asarray(list(indices) if not isinstance(indices, np.ndarray) else indices)
+        if isinstance(indices, np.ndarray):
+            idx = indices
+        else:
+            # One-pass conversion; no intermediate Python list.
+            idx = np.fromiter(indices, dtype=np.int64)
         if idx.size == 0:
             return
-        idx = idx.astype(np.int64, copy=False)
-        if idx.min() < 0 or idx.max() >= self.size:
-            raise SketchError(
-                f"bit indices must lie in [0, {self.size}), "
-                f"got range [{idx.min()}, {idx.max()}]"
-            )
+        if not assume_in_range:
+            idx = idx.astype(np.int64, copy=False)
+            if idx.min() < 0 or idx.max() >= self.size:
+                raise SketchError(
+                    f"bit indices must lie in [0, {self.size}), "
+                    f"got range [{idx.min()}, {idx.max()}]"
+                )
         self._bits[idx] = True
 
     def clear(self) -> None:

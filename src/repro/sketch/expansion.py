@@ -40,6 +40,19 @@ def expansion_factor(source_size: int, target_size: int) -> int:
     return target_size // source_size
 
 
+def _observe_expansion(factor: int) -> None:
+    """Account one (possibly virtual) expansion while obs is enabled."""
+    obs.counter(
+        "repro_expansions_total",
+        "Replication-based bitmap expansions (incl. factor 1).",
+    ).inc()
+    obs.histogram(
+        "repro_expansion_ratio",
+        "Replication factor m/l of each expansion.",
+        buckets=POW2_BUCKETS,
+    ).observe(factor)
+
+
 def expand_to(bitmap: Bitmap, target_size: int) -> Bitmap:
     """Expand ``bitmap`` to ``target_size`` bits by whole replication.
 
@@ -49,19 +62,37 @@ def expand_to(bitmap: Bitmap, target_size: int) -> Bitmap:
     """
     factor = expansion_factor(bitmap.size, target_size)
     if obs.enabled():
-        obs.counter(
-            "repro_expansions_total",
-            "Replication-based bitmap expansions (incl. factor 1).",
-        ).inc()
-        obs.histogram(
-            "repro_expansion_ratio",
-            "Replication factor m/l of each expansion.",
-            buckets=POW2_BUCKETS,
-        ).observe(factor)
+        _observe_expansion(factor)
     if factor == 1:
         return bitmap
     tiled = np.tile(bitmap.bits, factor)
     return Bitmap(target_size, tiled)
+
+
+def apply_expanded(out: np.ndarray, bits: np.ndarray, op: np.ufunc) -> None:
+    """Combine ``bits`` into ``out`` as if ``bits`` were tile-expanded.
+
+    ``out`` is a boolean accumulator whose last axis has ``m`` bits;
+    ``bits`` has ``l`` bits with ``m = k·l`` (both powers of two).
+    Instead of materializing the ``k``-fold tiling of ``bits``, ``out``
+    is viewed as ``(..., k, l)`` and ``op`` (``np.logical_and`` /
+    ``np.logical_or``) is broadcast in place — the alignment property
+    guarantees this touches exactly the bits the tiled expansion would.
+    Allocation drops from O(m) per input to zero.
+
+    Works on 1-D accumulators (single bitmaps) and on 2-D ``(runs, m)``
+    batch matrices, where ``bits`` may be ``(l,)`` or ``(runs, l)``.
+    """
+    factor = expansion_factor(bits.shape[-1], out.shape[-1])
+    if obs.enabled():
+        _observe_expansion(factor)
+    if factor == 1:
+        op(out, bits, out=out)
+        return
+    view = out.reshape(out.shape[:-1] + (factor, bits.shape[-1]))
+    if bits.ndim > 1:
+        bits = bits[..., np.newaxis, :]
+    op(view, bits, out=view)
 
 
 def verify_alignment(bitmap: Bitmap, target_size: int, hash_value: int) -> bool:

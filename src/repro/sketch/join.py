@@ -16,18 +16,33 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.exceptions import SketchError
 from repro.obs import runtime as obs
 from repro.sketch.bitmap import Bitmap
-from repro.sketch.expansion import expand_to
+from repro.sketch.expansion import (
+    _observe_expansion,
+    apply_expanded,
+    expand_to,
+    expansion_factor,
+)
 
 
-def _common_size(bitmaps: Sequence[Bitmap]) -> int:
+def _common_size(bitmaps: Sequence[Bitmap], size: Optional[int] = None) -> int:
     if not bitmaps:
         raise SketchError("cannot join an empty collection of bitmaps")
-    return max(b.size for b in bitmaps)
+    largest = max(b.size for b in bitmaps)
+    if size is None:
+        return largest
+    if int(size) < largest:
+        raise SketchError(
+            f"requested join size {size} is smaller than the largest "
+            f"input bitmap ({largest})"
+        )
+    return int(size)
 
 
 def _observe_join(op: str, size: int, inputs: int) -> None:
@@ -46,31 +61,51 @@ def _observe_join(op: str, size: int, inputs: int) -> None:
     ).inc(size * inputs)
 
 
-def and_join(bitmaps: Sequence[Bitmap]) -> Bitmap:
-    """Expand all bitmaps to the maximum size and AND them together.
+def _accumulate_join(
+    op: np.ufunc, bitmaps: Sequence[Bitmap], size: int
+) -> Bitmap:
+    """AND/OR ``bitmaps`` into one freshly-allocated accumulator.
+
+    The first bitmap seeds the accumulator (tiled when smaller than
+    ``size``); every further input is folded in place through the
+    broadcast view of :func:`apply_expanded`, so no per-input expansion
+    is ever materialized and no defensive copies are chained.
+    """
+    factor = expansion_factor(bitmaps[0].size, size)
+    if factor == 1:
+        out = np.array(bitmaps[0].bits)  # the one unavoidable copy
+    else:
+        out = np.tile(bitmaps[0].bits, factor)
+    if obs.enabled():
+        _observe_expansion(factor)
+    for bitmap in bitmaps[1:]:
+        apply_expanded(out, bitmap.bits, op)
+    return Bitmap._adopt(out)
+
+
+def and_join(bitmaps: Sequence[Bitmap], size: Optional[int] = None) -> Bitmap:
+    """Expand all bitmaps to a common size and AND them together.
 
     This is the join of Section III-A: a one bit in the result means
     the aligned bit was one in every input bitmap, i.e. the bit *may*
     encode a common vehicle (or colliding transients).
+
+    ``size`` optionally forces a larger (power-of-two) target than the
+    inputs' maximum — callers composing joins at an outer common size
+    (e.g. :func:`split_and_join`) use it to skip re-expansion.
     """
-    size = _common_size(bitmaps)
+    size = _common_size(bitmaps, size)
     if obs.enabled():
         _observe_join("and", size, len(bitmaps))
-    result = expand_to(bitmaps[0], size).copy()
-    for bitmap in bitmaps[1:]:
-        result = result & expand_to(bitmap, size)
-    return result
+    return _accumulate_join(np.logical_and, bitmaps, size)
 
 
-def or_join(bitmaps: Sequence[Bitmap]) -> Bitmap:
-    """Expand all bitmaps to the maximum size and OR them together."""
-    size = _common_size(bitmaps)
+def or_join(bitmaps: Sequence[Bitmap], size: Optional[int] = None) -> Bitmap:
+    """Expand all bitmaps to a common size and OR them together."""
+    size = _common_size(bitmaps, size)
     if obs.enabled():
         _observe_join("or", size, len(bitmaps))
-    result = expand_to(bitmaps[0], size).copy()
-    for bitmap in bitmaps[1:]:
-        result = result | expand_to(bitmap, size)
-    return result
+    return _accumulate_join(np.logical_or, bitmaps, size)
 
 
 @dataclass(frozen=True)
@@ -114,9 +149,8 @@ def split_and_join(bitmaps: Sequence[Bitmap]) -> SplitJoinResult:
     if obs.enabled():
         _observe_join("split", size, len(bitmaps))
     midpoint = (len(bitmaps) + 1) // 2  # ceil(t/2), as in the paper
-    expanded = [expand_to(b, size) for b in bitmaps]
-    half_a = and_join(expanded[:midpoint])
-    half_b = and_join(expanded[midpoint:])
+    half_a = and_join(bitmaps[:midpoint], size=size)
+    half_b = and_join(bitmaps[midpoint:], size=size)
     return SplitJoinResult(half_a=half_a, half_b=half_b, joined=half_a & half_b)
 
 

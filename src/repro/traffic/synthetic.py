@@ -109,6 +109,32 @@ class SyntheticPointScenario:
         """The swept values of ``n*`` (at least 1 vehicle each)."""
         return [max(int(round(f * self.n_min)), 1) for f in self.fractions]
 
+    def generate_batch(
+        self,
+        workload,
+        n_star: int,
+        location: int,
+        rngs,
+        detection_rate: float = 1.0,
+        volume_range: Tuple[int, int] = DEFAULT_VOLUME_RANGE,
+    ):
+        """Generate a whole Monte-Carlo cell of this scenario at once.
+
+        Thin convenience over
+        :meth:`repro.traffic.workloads.PointWorkload.generate_batch`
+        wiring in this scenario's drawn volumes and the long-run
+        expected volume (Eq. 2 sizing) — the same arguments the
+        experiment harness passes for a single serial run.
+        """
+        return workload.generate_batch(
+            n_star=n_star,
+            volumes=self.volumes,
+            location=location,
+            rngs=rngs,
+            expected_volume=expected_volume(volume_range),
+            detection_rate=detection_rate,
+        )
+
 
 @dataclass(frozen=True)
 class SyntheticPointToPointScenario:

@@ -26,8 +26,9 @@ import numpy as np
 from repro.crypto.hashing import default_hasher
 from repro.crypto.keys import KeyGenerator
 from repro.exceptions import ConfigurationError
+from repro.sketch.batch import BitmapBatch
 from repro.sketch.bitmap import Bitmap
-from repro.sketch.sizing import bitmap_size_for_volume
+from repro.sketch.sizing import bitmap_size_for_volume, is_power_of_two
 from repro.vehicle.encoder import VehicleEncoder
 from repro.vehicle.population import VehiclePopulation
 
@@ -65,6 +66,40 @@ class PointWorkloadResult:
     volumes: Tuple[int, ...]
     sizes: Tuple[int, ...]
     location: int
+
+
+@dataclass(frozen=True)
+class PointWorkloadBatchResult:
+    """Stacked records and ground truth for a whole cell of runs.
+
+    ``batches[p]`` holds period ``p``'s bitmaps for every run as one
+    :class:`~repro.sketch.batch.BitmapBatch`; row ``r`` of every batch
+    belongs to run ``r``.
+    """
+
+    batches: List[BitmapBatch]
+    n_star: int
+    volumes: Tuple[int, ...]
+    sizes: Tuple[int, ...]
+    location: int
+
+    @property
+    def runs(self) -> int:
+        """Number of stacked Monte-Carlo runs."""
+        return self.batches[0].runs
+
+    def run_records(self, run: int) -> List[Bitmap]:
+        """Materialize one run's records as scalar bitmaps."""
+        return [batch.row(run) for batch in self.batches]
+
+
+def _reduce_hashes(hashes: np.ndarray, size: int) -> np.ndarray:
+    """Reduce 64-bit hashes to bit indices, bit-identical to ``% size``."""
+    if is_power_of_two(size):
+        # For powers of two the mask equals the modulo but skips the
+        # (slow) uint64 division.
+        return hashes & np.uint64(size - 1)
+    return hashes % np.uint64(size)
 
 
 @dataclass(frozen=True)
@@ -248,6 +283,144 @@ class PointWorkload(_WorkloadBase):
             n_star=int(n_star),
             volumes=tuple(int(v) for v in volumes),
             sizes=tuple(sizes),
+            location=int(location),
+        )
+
+
+    def generate_batch(
+        self,
+        n_star: int,
+        volumes: Sequence[int],
+        location: int,
+        rngs: Sequence[np.random.Generator],
+        expected_volume: Optional[float] = None,
+        fixed_sizes: Optional[Sequence[int]] = None,
+        detection_rate: float = 1.0,
+        group_elements: int = 1 << 16,
+    ) -> PointWorkloadBatchResult:
+        """Generate a whole cell — one run per rng — in stacked form.
+
+        Bit-for-bit equivalent to calling :meth:`generate` once per
+        entry of ``rngs``: each run consumes its generator in exactly
+        the serial draw order (persistent ids, then per period the
+        optional persistent loss mask, the transient ids, and the
+        optional transient loss mask), so
+        ``result.run_records(r)`` equals the serial
+        ``generate(..., rng=rngs[r]).records``.
+
+        The speed comes from hashing: vehicle ids are accumulated
+        across runs into groups of roughly ``group_elements`` ids and
+        pushed through the fused single-pass hash pipeline
+        (:meth:`~repro.vehicle.encoder.VehicleEncoder.
+        encoded_hash_array_fused`), replacing thousands of small numpy
+        calls with a few large ones.
+        """
+        if not 0.0 < detection_rate <= 1.0:
+            raise ConfigurationError(
+                f"detection rate must lie in (0, 1], got {detection_rate}"
+            )
+        if n_star < 0:
+            raise ConfigurationError(f"n_star must be >= 0, got {n_star}")
+        if any(v < n_star for v in volumes):
+            raise ConfigurationError(
+                f"every period volume must be >= n_star={n_star}, got {volumes}"
+            )
+        if fixed_sizes is not None and len(fixed_sizes) != len(volumes):
+            raise ConfigurationError(
+                "fixed_sizes must provide one size per period"
+            )
+        runs = len(rngs)
+        if runs < 1:
+            raise ConfigurationError("generate_batch needs at least one rng")
+        if expected_volume is None:
+            expected_volume = sum(volumes) / len(volumes)
+        common_size = bitmap_size_for_volume(expected_volume, self._load_factor)
+        periods = len(volumes)
+        sizes = tuple(
+            common_size if fixed_sizes is None else int(fixed_sizes[p])
+            for p in range(periods)
+        )
+        arrays = [
+            np.zeros((runs, size), dtype=np.bool_) for size in sizes
+        ]
+
+        lossy = detection_rate < 1.0
+        n_star = int(n_star)
+        transients_per_run = int(sum(volumes)) - n_star * periods
+        group = max(1, int(group_elements) // max(transients_per_run, 1))
+
+        for start in range(0, runs, group):
+            stop = min(start + group, runs)
+            persistent_ids: List[np.ndarray] = []
+            # One entry per (run, period) in draw order:
+            # (run, period, transient ids, detection mask or None).
+            segments: List[tuple] = []
+            persistent_masks: dict = {}
+            for run in range(start, stop):
+                rng = rngs[run]
+                # Draw order mirrors generate(): persistent ids first,
+                # then per period [persistent mask], transients,
+                # [transient mask].
+                persistent_ids.append(
+                    rng.integers(0, 2**64, size=n_star, dtype=np.uint64)
+                )
+                for period, volume in enumerate(volumes):
+                    if lossy and n_star > 0:
+                        persistent_masks[(run, period)] = (
+                            rng.random(n_star) < detection_rate
+                        )
+                    count = int(volume) - n_star
+                    transients = rng.integers(
+                        0, 2**64, size=count, dtype=np.uint64
+                    )
+                    mask = None
+                    if lossy and count > 0:
+                        mask = rng.random(count) < detection_rate
+                    segments.append((run, period, transients, mask))
+
+            # One fused hash pass per group for each id class.
+            if n_star > 0:
+                hashed = self._encoder.encoded_hash_array_fused(
+                    np.concatenate(persistent_ids), location, self._keygen
+                )
+                persistent_hashes = np.split(
+                    hashed, np.arange(n_star, hashed.size, n_star)
+                )
+            transient_hashes = np.split(
+                self._encoder.encoded_hash_array_fused(
+                    np.concatenate([seg[2] for seg in segments]),
+                    location,
+                    self._keygen,
+                ),
+                np.cumsum([seg[2].size for seg in segments])[:-1],
+            )
+
+            for (run, period, _, mask), hashes in zip(
+                segments, transient_hashes
+            ):
+                indices = _reduce_hashes(hashes, sizes[period])
+                if mask is not None:
+                    indices = indices[mask]
+                arrays[period][run, indices] = True
+            if n_star > 0:
+                for offset, run in enumerate(range(start, stop)):
+                    reduced: dict = {}
+                    for period in range(periods):
+                        size = sizes[period]
+                        indices = reduced.get(size)
+                        if indices is None:
+                            indices = reduced[size] = _reduce_hashes(
+                                persistent_hashes[offset], size
+                            )
+                        mask = persistent_masks.get((run, period))
+                        selected = indices if mask is None else indices[mask]
+                        arrays[period][run, selected] = True
+
+        return PointWorkloadBatchResult(
+            batches=[BitmapBatch._adopt(array) for array in arrays],
+            n_star=n_star,
+            volumes=tuple(int(v) for v in volumes),
+            sizes=sizes,
             location=int(location),
         )
 

@@ -142,6 +142,29 @@ class VehicleEncoder:
         chosen = np.asarray(chosen_constants, dtype=np.uint64)
         return self._hasher.hash_array(ids ^ keys ^ chosen)
 
+    def encoded_hash_array_fused(
+        self, vehicle_ids: np.ndarray, location: int, keygen
+    ) -> np.ndarray:
+        """One-pass encoded hashes for a raw id array (batch hot path).
+
+        Bit-identical to composing :meth:`constant_choices` →
+        :meth:`~repro.crypto.keys.KeyGenerator.chosen_constants` →
+        :meth:`~repro.crypto.keys.KeyGenerator.private_keys` →
+        :meth:`hashes_from_chosen`, but every hash runs in place on
+        scratch buffers, so a whole Monte-Carlo cell's vehicles hash
+        with a handful of allocations.  ``vehicle_ids`` is only read.
+        """
+        ids = np.asarray(vehicle_ids, dtype=np.uint64)
+        choices = self._hasher.hash_array_inplace(ids ^ np.uint64(location))
+        choices %= np.uint64(keygen.s)
+        tags = keygen.chosen_tags_inplace(choices)
+        tags ^= ids
+        chosen = keygen.hasher.hash_array_inplace(tags)
+        keys = keygen.private_keys_inplace(ids.copy())
+        keys ^= ids
+        keys ^= chosen
+        return self._hasher.hash_array_inplace(keys)
+
     def encoded_hash_array(
         self,
         vehicle_ids: np.ndarray,
@@ -205,4 +228,5 @@ class VehicleEncoder:
         indices = self.encoding_indices(
             vehicle_ids, private_keys, constants, location, bitmap.size
         )
-        bitmap.set_many(indices)
+        # Indices are already reduced modulo bitmap.size; skip the scan.
+        bitmap.set_many(indices, assume_in_range=True)

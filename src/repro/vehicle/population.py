@@ -181,7 +181,11 @@ class VehiclePopulation:
         """
         if self.size == 0:
             return
-        bitmap.set_many(self.encoding_indices(location, bitmap.size, encoder))
+        # encoding_indices already reduces modulo bitmap.size.
+        bitmap.set_many(
+            self.encoding_indices(location, bitmap.size, encoder),
+            assume_in_range=True,
+        )
 
     def encoding_indices(
         self, location: int, size: int, encoder: VehicleEncoder

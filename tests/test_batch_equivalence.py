@@ -1,0 +1,248 @@
+"""Seeded equivalence: the batch pipeline reproduces the scalar path
+bit for bit.
+
+The performance work (fused hashing, broadcast joins, stacked
+generation, batched estimation) is only admissible because it changes
+*nothing* about the outputs: same seeds in, same bitmaps and same IEEE
+doubles out.  These tests pin that contract at every layer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import DirectAndBenchmark
+from repro.core.point import PointPersistentEstimator
+from repro.core.point_to_point import PointToPointPersistentEstimator
+from repro.crypto.hashing import SplitMix64Hasher, default_hasher
+from repro.crypto.keys import KeyGenerator
+from repro.sketch.batch import BitmapBatch
+from repro.sketch.bitmap import Bitmap
+from repro.sketch.expansion import apply_expanded, expand_to
+from repro.traffic.workloads import PointToPointWorkload, PointWorkload
+from repro.vehicle.encoder import VehicleEncoder
+
+
+class TestHashingEquivalence:
+    def test_hash_array_inplace_matches_hash_array(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 2**64, size=1000, dtype=np.uint64)
+        for seed in (0, 1, 0xA5A5, 0x5EED):
+            hasher = SplitMix64Hasher(seed)
+            expected = hasher.hash_array(values)
+            scratch = values.copy()
+            result = hasher.hash_array_inplace(scratch)
+            assert result is scratch
+            assert np.array_equal(result, expected)
+
+    def test_fused_encoder_matches_compositional_path(self):
+        rng = np.random.default_rng(1)
+        ids = rng.integers(0, 2**64, size=500, dtype=np.uint64)
+        keygen = KeyGenerator(master_seed=0x5EED, s=3)
+        encoder = VehicleEncoder(default_hasher(0xA5A5))
+        for location in (1, 2, 17):
+            choices = encoder.constant_choices(ids, location, keygen.s)
+            chosen = keygen.chosen_constants(ids, choices)
+            expected = encoder.hashes_from_chosen(
+                ids, keygen.private_keys(ids), chosen
+            )
+            ids_before = ids.copy()
+            fused = encoder.encoded_hash_array_fused(ids, location, keygen)
+            assert np.array_equal(fused, expected)
+            # The fused path must not clobber the caller's id array.
+            assert np.array_equal(ids, ids_before)
+
+    def test_keygen_inplace_helpers_match_vectorized(self):
+        rng = np.random.default_rng(2)
+        ids = rng.integers(0, 2**64, size=300, dtype=np.uint64)
+        keygen = KeyGenerator(master_seed=99, s=4)
+        assert np.array_equal(
+            keygen.private_keys_inplace(ids.copy()), keygen.private_keys(ids)
+        )
+        choices = rng.integers(0, 4, size=300).astype(np.uint64)
+        expected = keygen.chosen_constants(ids, choices)
+        tags = keygen.chosen_tags_inplace(choices.copy())
+        tags ^= ids
+        assert np.array_equal(keygen.hasher.hash_array(tags), expected)
+
+
+class TestBroadcastJoinEquivalence:
+    @pytest.mark.parametrize("small,large", [(8, 8), (8, 64), (32, 256)])
+    def test_apply_expanded_matches_tiled_expansion(self, small, large):
+        rng = np.random.default_rng(3)
+        for op in (np.logical_and, np.logical_or):
+            acc = rng.random(large) < 0.5
+            bits = rng.random(small) < 0.5
+            expected = op(acc, expand_to(Bitmap(small, bits), large).bits)
+            out = acc.copy()
+            apply_expanded(out, bits, op)
+            assert np.array_equal(out, expected)
+
+    def test_apply_expanded_2d_accumulator(self):
+        rng = np.random.default_rng(4)
+        acc = rng.random((6, 128)) < 0.5
+        bits = rng.random((6, 32)) < 0.5
+        expected = np.array(
+            [
+                np.logical_and(
+                    acc[r], expand_to(Bitmap(32, bits[r]), 128).bits
+                )
+                for r in range(6)
+            ]
+        )
+        out = acc.copy()
+        apply_expanded(out, bits, np.logical_and)
+        assert np.array_equal(out, expected)
+
+
+class TestSetManyFastPath:
+    def test_assume_in_range_matches_checked_path(self):
+        indices = np.array([0, 5, 5, 63], dtype=np.int64)
+        checked, fast = Bitmap(64), Bitmap(64)
+        checked.set_many(indices)
+        fast.set_many(indices, assume_in_range=True)
+        assert checked == fast
+
+    def test_checked_path_still_validates(self):
+        from repro.exceptions import SketchError
+
+        with pytest.raises(SketchError):
+            Bitmap(8).set_many([3, 8])
+        with pytest.raises(SketchError):
+            Bitmap(8).set_many([-1, 3])
+
+
+def _serial_point_runs(workload, n_star, volumes, location, seeds, **kwargs):
+    return [
+        workload.generate(
+            n_star=n_star,
+            volumes=volumes,
+            location=location,
+            rng=np.random.default_rng(seed),
+            **kwargs,
+        )
+        for seed in seeds
+    ]
+
+
+class TestWorkloadEquivalence:
+    @pytest.mark.parametrize(
+        "n_star,volumes,detection_rate,fixed_sizes",
+        [
+            (300, (3000, 4000, 5000), 1.0, None),
+            (300, (3000, 4000, 5000), 0.9, None),
+            (0, (1000, 2000), 1.0, None),
+            (150, (800, 900), 0.8, (2048, 512)),
+            (100, (100, 100, 100), 0.5, None),  # zero transients, lossy
+        ],
+    )
+    def test_generate_batch_bit_identical(
+        self, n_star, volumes, detection_rate, fixed_sizes
+    ):
+        seeds = [[7, i] for i in range(6)]
+        workload = PointWorkload(s=3, load_factor=2.0)
+        serial = _serial_point_runs(
+            workload, n_star, volumes, 5, seeds,
+            detection_rate=detection_rate, fixed_sizes=fixed_sizes,
+        )
+        batch = PointWorkload(s=3, load_factor=2.0).generate_batch(
+            n_star=n_star,
+            volumes=volumes,
+            location=5,
+            rngs=[np.random.default_rng(seed) for seed in seeds],
+            detection_rate=detection_rate,
+            fixed_sizes=fixed_sizes,
+            group_elements=1 << 12,  # force multiple run groups
+        )
+        assert batch.sizes == serial[0].sizes
+        assert batch.runs == len(seeds)
+        for run, result in enumerate(serial):
+            assert batch.run_records(run) == result.records
+
+    def test_generate_batch_validations(self):
+        from repro.exceptions import ConfigurationError
+
+        workload = PointWorkload()
+        rngs = [np.random.default_rng(0)]
+        with pytest.raises(ConfigurationError):
+            workload.generate_batch(
+                n_star=10, volumes=[5], location=1, rngs=rngs
+            )
+        with pytest.raises(ConfigurationError):
+            workload.generate_batch(
+                n_star=1, volumes=[5], location=1, rngs=[]
+            )
+        with pytest.raises(ConfigurationError):
+            workload.generate_batch(
+                n_star=1, volumes=[5], location=1, rngs=rngs,
+                detection_rate=0.0,
+            )
+        with pytest.raises(ConfigurationError):
+            workload.generate_batch(
+                n_star=1, volumes=[5, 6], location=1, rngs=rngs,
+                fixed_sizes=[8],
+            )
+
+
+class TestEstimatorEquivalence:
+    def test_point_and_benchmark_estimates_identical(self):
+        workload = PointWorkload(s=3, load_factor=2.0)
+        seeds = [[11, i] for i in range(8)]
+        serial = _serial_point_runs(
+            workload, 400, (4000, 5000, 4500, 5500, 6000), 1, seeds
+        )
+        batch = workload.generate_batch(
+            n_star=400,
+            volumes=(4000, 5000, 4500, 5500, 6000),
+            location=1,
+            rngs=[np.random.default_rng(seed) for seed in seeds],
+        )
+        proposed = PointPersistentEstimator()
+        benchmark = DirectAndBenchmark()
+        batch_proposed = proposed.estimate_batch(batch.batches)
+        batch_benchmark = benchmark.estimate_batch(batch.batches)
+        for run, result in enumerate(serial):
+            scalar = proposed.estimate(result.records)
+            assert scalar == batch_proposed[run]
+            scalar_bench = benchmark.estimate(result.records)
+            assert scalar_bench == batch_benchmark[run]
+
+    def test_point_to_point_estimates_identical(self):
+        workload = PointToPointWorkload(s=3, load_factor=2.0)
+        runs = 8
+        serial = [
+            workload.generate(
+                n_double_prime=200,
+                volumes_a=[2000, 2500, 2200],
+                volumes_b=[7000, 7500, 7200],
+                location_a=1,
+                location_b=2,
+                rng=np.random.default_rng([13, run]),
+            )
+            for run in range(runs)
+        ]
+        batches_a = [
+            BitmapBatch.from_bitmaps(
+                [serial[run].records_a[p] for run in range(runs)]
+            )
+            for p in range(3)
+        ]
+        batches_b = [
+            BitmapBatch.from_bitmaps(
+                [serial[run].records_b[p] for run in range(runs)]
+            )
+            for p in range(3)
+        ]
+        estimator = PointToPointPersistentEstimator(s=3)
+        batched = estimator.estimate_batch(batches_a, batches_b)
+        for run, result in enumerate(serial):
+            scalar = estimator.estimate(result.records_a, result.records_b)
+            assert scalar == batched[run]
+
+    def test_point_to_point_batch_validates_period_counts(self):
+        from repro.exceptions import ConfigurationError
+
+        batch = BitmapBatch.zeros(2, 64)
+        with pytest.raises(ConfigurationError):
+            PointToPointPersistentEstimator(s=3).estimate_batch(
+                [batch, batch], [batch]
+            )

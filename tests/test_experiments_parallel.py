@@ -1,0 +1,111 @@
+"""The parallel harness: worker counts never change experiment output.
+
+Every experiment derives each cell's randomness from per-cell seeds,
+so fanning cells over processes must be invisible in the results.
+These tests run each experiment at ``workers=1`` and ``workers=2`` on
+small configurations and require *equality*, not closeness.
+"""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import table1 as table1_module
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.fig4 import format_fig4, run_fig4
+from repro.experiments.fig5 import format_fig5, run_fig5
+from repro.experiments.fig6 import format_fig6, run_fig6
+from repro.experiments.parallel import map_cells
+from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.table2 import format_table2, run_table2
+
+
+def _square(x):
+    return x * x
+
+
+def _maybe_fail(x):
+    if x == 2:
+        raise ValueError("boom")
+    return x
+
+
+class TestMapCells:
+    def test_serial_matches_comprehension(self):
+        assert map_cells(_square, range(5)) == [x * x for x in range(5)]
+
+    def test_parallel_preserves_order(self):
+        assert map_cells(_square, range(7), workers=3) == [
+            x * x for x in range(7)
+        ]
+
+    def test_single_item_stays_in_process(self):
+        # len(items) <= 1 short-circuits to the serial path even with
+        # workers > 1 (no pool spin-up for nothing).
+        assert map_cells(_square, [4], workers=8) == [16]
+
+    def test_empty_items(self):
+        assert map_cells(_square, [], workers=4) == []
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ConfigurationError):
+            map_cells(_square, [1], workers=0)
+
+    def test_cell_exception_propagates(self):
+        with pytest.raises(ValueError):
+            map_cells(_maybe_fail, range(4), workers=2)
+
+
+class TestWorkerInvariance:
+    """workers=2 output must be byte-identical to workers=1."""
+
+    def test_fig4(self):
+        serial = format_fig4(
+            run_fig4(ExperimentConfig(runs=2), fraction_step=20)
+        )
+        parallel = format_fig4(
+            run_fig4(ExperimentConfig(runs=2, workers=2), fraction_step=20)
+        )
+        assert serial == parallel
+
+    def test_fig5(self):
+        serial = format_fig5(run_fig5(ExperimentConfig(runs=2)))
+        parallel = format_fig5(run_fig5(ExperimentConfig(runs=2, workers=2)))
+        assert serial == parallel
+
+    def test_fig6(self):
+        serial = format_fig6(run_fig6(ExperimentConfig(runs=2)))
+        parallel = format_fig6(run_fig6(ExperimentConfig(runs=2, workers=2)))
+        assert serial == parallel
+
+    def test_table1(self, monkeypatch):
+        # Two location columns keep the test fast; forked workers
+        # inherit the monkeypatched module state.
+        rows = table1_module.table1_parameters()[:2]
+        monkeypatch.setattr(
+            table1_module, "table1_parameters", lambda: rows
+        )
+        serial = format_table1(run_table1(ExperimentConfig(runs=1)))
+        parallel = format_table1(
+            run_table1(ExperimentConfig(runs=1, workers=2))
+        )
+        assert serial == parallel
+
+    def test_table2_empirical(self):
+        serial = format_table2(
+            run_table2(ExperimentConfig(runs=1), empirical=True,
+                       attack_trials=30)
+        )
+        parallel = format_table2(
+            run_table2(ExperimentConfig(runs=1, workers=2), empirical=True,
+                       attack_trials=30)
+        )
+        assert serial == parallel
+
+
+class TestConfig:
+    def test_workers_validated(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(workers=0)
+
+    def test_default_is_serial(self):
+        assert ExperimentConfig().workers == 1

@@ -1,0 +1,195 @@
+"""Unit tests for repro.sketch.batch (the batched estimation engine)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SketchError
+from repro.sketch.batch import (
+    BitmapBatch,
+    and_join_batch,
+    or_join_batch,
+    split_and_join_batch,
+    two_level_join_batch,
+)
+from repro.sketch.bitmap import Bitmap
+from repro.sketch.join import and_join, or_join, split_and_join, two_level_join
+
+
+def _random_batches(rng, runs, sizes, density=0.4):
+    """One random BitmapBatch per size, plus the per-run scalar view."""
+    batches = [
+        BitmapBatch(rng.random((runs, size)) < density) for size in sizes
+    ]
+    scalar_rows = [
+        [batch.row(run) for batch in batches] for run in range(runs)
+    ]
+    return batches, scalar_rows
+
+
+class TestConstruction:
+    def test_rejects_non_matrix(self):
+        with pytest.raises(SketchError):
+            BitmapBatch(np.zeros(8, dtype=np.bool_))
+        with pytest.raises(SketchError):
+            BitmapBatch(np.zeros((2, 2, 2), dtype=np.bool_))
+
+    def test_rejects_empty_axes(self):
+        with pytest.raises(SketchError):
+            BitmapBatch(np.zeros((0, 8), dtype=np.bool_))
+        with pytest.raises(SketchError):
+            BitmapBatch(np.zeros((3, 0), dtype=np.bool_))
+
+    def test_zeros(self):
+        batch = BitmapBatch.zeros(3, 16)
+        assert batch.runs == 3 and batch.size == 16
+        assert not batch.bits.any()
+        with pytest.raises(SketchError):
+            BitmapBatch.zeros(0, 16)
+
+    def test_from_bitmaps_roundtrip(self):
+        rng = np.random.default_rng(1)
+        bitmaps = [Bitmap(32, rng.random(32) < 0.5) for _ in range(5)]
+        batch = BitmapBatch.from_bitmaps(bitmaps)
+        assert batch.runs == 5 and batch.size == 32
+        assert batch.to_bitmaps() == bitmaps
+        assert all(batch.row(i) == bitmaps[i] for i in range(5))
+
+    def test_from_bitmaps_rejects_mixed_sizes_and_empty(self):
+        with pytest.raises(SketchError):
+            BitmapBatch.from_bitmaps([])
+        with pytest.raises(SketchError):
+            BitmapBatch.from_bitmaps([Bitmap(8), Bitmap(16)])
+
+    def test_constructor_copies_by_default(self):
+        source = np.zeros((2, 4), dtype=np.bool_)
+        batch = BitmapBatch(source)
+        source[0, 0] = True
+        assert not batch.bits[0, 0]
+
+    def test_bits_view_is_read_only(self):
+        batch = BitmapBatch.zeros(2, 8)
+        with pytest.raises(ValueError):
+            batch.bits[0, 0] = True
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(BitmapBatch.zeros(1, 4))
+
+
+class TestAccounting:
+    def test_counts_match_scalar_rows(self):
+        rng = np.random.default_rng(2)
+        batch = BitmapBatch(rng.random((6, 64)) < 0.3)
+        for run, bitmap in enumerate(batch.to_bitmaps()):
+            assert batch.ones()[run] == bitmap.ones()
+            assert batch.zeros_count()[run] == bitmap.zeros()
+            assert batch.one_fractions()[run] == bitmap.one_fraction()
+            assert batch.zero_fractions()[run] == bitmap.zero_fraction()
+
+    def test_set_row_indices(self):
+        batch = BitmapBatch.zeros(2, 8)
+        batch.set_row_indices(1, np.array([0, 3, 3, 7]))
+        assert batch.row(0) == Bitmap(8)
+        assert batch.row(1) == Bitmap.from_indices(8, [0, 3, 7])
+
+
+class TestExpansionAndOperators:
+    def test_expand_matches_scalar_expansion(self):
+        rng = np.random.default_rng(3)
+        batch = BitmapBatch(rng.random((4, 16)) < 0.5)
+        expanded = batch.expand(64)
+        assert expanded.size == 64
+        for run, bitmap in enumerate(batch.to_bitmaps()):
+            assert expanded.row(run) == bitmap.expand(64)
+
+    def test_expand_same_size_is_identity(self):
+        batch = BitmapBatch.zeros(2, 8)
+        assert batch.expand(8) is batch
+
+    def test_and_or_mixed_sizes_match_scalar(self):
+        rng = np.random.default_rng(4)
+        small = BitmapBatch(rng.random((5, 32)) < 0.5)
+        large = BitmapBatch(rng.random((5, 128)) < 0.5)
+        anded = small & large
+        ored = large | small
+        for run in range(5):
+            srow, lrow = small.row(run), large.row(run)
+            assert anded.row(run) == and_join([srow, lrow])
+            assert ored.row(run) == or_join([srow, lrow])
+
+    def test_operators_reject_mismatched_runs(self):
+        with pytest.raises(SketchError):
+            BitmapBatch.zeros(2, 8) & BitmapBatch.zeros(3, 8)
+        with pytest.raises(SketchError):
+            BitmapBatch.zeros(2, 8) | BitmapBatch.zeros(3, 8)
+
+    def test_equality(self):
+        a = BitmapBatch.zeros(2, 8)
+        b = BitmapBatch.zeros(2, 8)
+        assert a == b
+        b.set_row_indices(0, np.array([1]))
+        assert a != b
+        assert a != "not a batch"
+
+
+class TestJoins:
+    @pytest.mark.parametrize("sizes", [(64, 64, 64), (32, 128, 64), (256, 32)])
+    def test_and_or_join_match_scalar_per_run(self, sizes):
+        rng = np.random.default_rng(5)
+        batches, scalar_rows = _random_batches(rng, 7, sizes)
+        anded = and_join_batch(batches)
+        ored = or_join_batch(batches)
+        for run, rows in enumerate(scalar_rows):
+            assert anded.row(run) == and_join(rows)
+            assert ored.row(run) == or_join(rows)
+
+    def test_join_size_override(self):
+        rng = np.random.default_rng(6)
+        batches, scalar_rows = _random_batches(rng, 3, (16, 32))
+        joined = and_join_batch(batches, size=128)
+        assert joined.size == 128
+        for run, rows in enumerate(scalar_rows):
+            assert joined.row(run) == and_join(rows, size=128)
+        with pytest.raises(SketchError):
+            and_join_batch(batches, size=16)
+
+    def test_join_rejects_empty_and_mismatched_runs(self):
+        with pytest.raises(SketchError):
+            and_join_batch([])
+        with pytest.raises(SketchError):
+            or_join_batch([BitmapBatch.zeros(2, 8), BitmapBatch.zeros(3, 8)])
+
+    @pytest.mark.parametrize("periods", [2, 3, 5, 10])
+    def test_split_and_join_matches_scalar(self, periods):
+        rng = np.random.default_rng(7)
+        batches, scalar_rows = _random_batches(
+            rng, 4, tuple(64 for _ in range(periods))
+        )
+        split = split_and_join_batch(batches)
+        for run, rows in enumerate(scalar_rows):
+            scalar = split_and_join(rows)
+            assert split.half_a.row(run) == scalar.half_a
+            assert split.half_b.row(run) == scalar.half_b
+            assert split.joined.row(run) == scalar.joined
+            assert split.size == scalar.size
+
+    def test_split_and_join_needs_two_records(self):
+        with pytest.raises(SketchError):
+            split_and_join_batch([BitmapBatch.zeros(2, 8)])
+
+    @pytest.mark.parametrize(
+        "sizes_a,sizes_b", [((64, 64), (256, 256)), ((512, 512), (128, 128))]
+    )
+    def test_two_level_join_matches_scalar(self, sizes_a, sizes_b):
+        rng = np.random.default_rng(8)
+        batches_a, rows_a = _random_batches(rng, 5, sizes_a)
+        batches_b, rows_b = _random_batches(rng, 5, sizes_b)
+        joined = two_level_join_batch(batches_a, batches_b)
+        for run in range(5):
+            scalar = two_level_join(rows_a[run], rows_b[run])
+            assert joined.swapped == scalar.swapped
+            assert joined.location_a.row(run) == scalar.location_a
+            assert joined.location_b.row(run) == scalar.location_b
+            assert joined.expanded_a.row(run) == scalar.expanded_a
+            assert joined.joined.row(run) == scalar.joined
+            assert joined.size == scalar.size
