@@ -45,18 +45,30 @@ from repro.crypto.keys import KeyGenerator
 from repro.exceptions import (
     AuthenticationError,
     ConfigurationError,
+    CoverageError,
     DataError,
     EstimationError,
     ProtocolError,
     ReproError,
     SaturatedBitmapError,
     SketchError,
+    TransportError,
 )
+# Fault-plan types come from their submodules directly (not the
+# repro.faults package root) so `import repro` stays light — the
+# chaos harness pulls in the whole simulation stack.
+from repro.faults.plan import FaultInjector, FaultPlan, OutageWindow
+from repro.faults.transport import UploadTransport
 from repro.rsu.record import TrafficRecord
 from repro.rsu.unit import RoadSideUnit
 from repro.server.central import CentralServer
+from repro.server.degradation import (
+    CoveragePolicy,
+    CoverageReport,
+    DegradedResult,
+)
 from repro.server.monitor import PersistenceMonitor
-from repro.server.persistence import RecordArchive
+from repro.server.persistence import RecordArchive, RepairReport
 from repro.server.queries import (
     PointPersistentQuery,
     PointToPointPersistentQuery,
@@ -75,10 +87,16 @@ __all__ = [
     "Bitmap",
     "CentralServer",
     "ConfigurationError",
+    "CoverageError",
+    "CoveragePolicy",
+    "CoverageReport",
     "DataError",
+    "DegradedResult",
     "DirectAndBenchmark",
     "EstimationError",
     "ExactIdCounter",
+    "FaultInjector",
+    "FaultPlan",
     "KeyGenerator",
     "MultiSplitPointEstimator",
     "PathPersistentEstimator",
@@ -89,14 +107,18 @@ __all__ = [
     "PointToPointEstimate",
     "PointToPointPersistentEstimator",
     "PointToPointPersistentQuery",
+    "OutageWindow",
     "PointVolumeQuery",
     "ProtocolError",
     "RecordArchive",
+    "RepairReport",
     "ReproError",
     "RoadSideUnit",
     "SaturatedBitmapError",
     "SketchError",
     "TrafficRecord",
+    "TransportError",
+    "UploadTransport",
     "VehicleEncoder",
     "VehicleIdentity",
     "VehiclePopulation",

@@ -8,9 +8,12 @@ Regenerate any paper artifact, or drive the system as a tool::
     python -m repro all --runs 5
 
     python -m repro simulate --periods 5      # end-to-end city run
+    python -m repro simulate --fault-plan plan.json   # lossy ingest
+    python -m repro chaos                     # fault-grid chaos sweep
     python -m repro attack --s 3 --f 2        # the Sec. V adversary
     python -m repro archive verify DIR        # record-archive tooling
     python -m repro archive inspect DIR
+    python -m repro archive repair DIR        # crash recovery
 
 Every simulate/attack/experiment subcommand accepts ``--metrics-out
 PATH`` (with ``--metrics-format {prom,json,text}``) to activate the
@@ -139,6 +142,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "losscurve": "extension: persistent estimation under V2I loss",
         "tradeoff": "extension: measured accuracy-privacy frontier",
         "tsweep": "extension: error vs number of measurement periods",
+        "faultgrid": "extension: estimator error under injected ingest faults",
     }
     for extra, help_text in extra_help.items():
         sub = subparsers.add_parser(extra, help=help_text)
@@ -167,7 +171,38 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also persist every collected record to this archive",
     )
+    simulate.add_argument(
+        "--fault-plan",
+        metavar="PATH",
+        default=None,
+        help="inject faults from a FaultPlan JSON file (see docs/robustness.md)",
+    )
+    simulate.add_argument(
+        "--min-coverage",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help=(
+            "answer queries from surviving periods when at least this "
+            "fraction is covered (default: strict, or 0.5 with --fault-plan)"
+        ),
+    )
+    simulate.add_argument(
+        "--dead-letter",
+        metavar="PATH",
+        default=None,
+        help="append quarantined uploads to this JSONL dead-letter log",
+    )
     _add_metrics_options(simulate)
+
+    chaos = subparsers.add_parser(
+        "chaos", help="sweep injected faults through the city pipeline"
+    )
+    chaos.add_argument("--seed", type=int, default=2017)
+    chaos.add_argument("--periods", type=int, default=6)
+    chaos.add_argument("--commuters", type=int, default=120)
+    chaos.add_argument("--transients", type=int, default=600)
+    _add_metrics_options(chaos)
 
     attack = subparsers.add_parser(
         "attack", help="run the Section V tracking adversary"
@@ -180,9 +215,9 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_metrics_options(attack)
 
     archive = subparsers.add_parser(
-        "archive", help="inspect or verify a record archive"
+        "archive", help="inspect, verify, or repair a record archive"
     )
-    archive.add_argument("action", choices=["verify", "inspect"])
+    archive.add_argument("action", choices=["verify", "inspect", "repair"])
     archive.add_argument("directory")
 
     return parser
@@ -220,12 +255,19 @@ def _run_experiment_command(name: str, args: argparse.Namespace) -> int:
 
 
 def _run_simulate(args: argparse.Namespace) -> int:
+    from repro.exceptions import CoverageError
     from repro.network.road import sioux_falls_network
+    from repro.server.degradation import CoveragePolicy
     from repro.server.persistence import RecordArchive
     from repro.server.queries import PointPersistentQuery
     from repro.sim.scenario import CityScenario
     from repro.traffic.sioux_falls import sioux_falls_trip_table
 
+    fault_plan = None
+    if args.fault_plan:
+        from repro.faults.plan import FaultPlan
+
+        fault_plan = FaultPlan.from_file(args.fault_plan)
     scenario = CityScenario(
         network=sioux_falls_network(),
         trip_table=sioux_falls_trip_table(),
@@ -234,21 +276,57 @@ def _run_simulate(args: argparse.Namespace) -> int:
         rsu_locations=args.locations,
         seed=args.seed,
         detection_rate=args.detection_rate,
+        fault_plan=fault_plan,
+        dead_letter_path=args.dead_letter,
     )
     for summary in scenario.run(args.periods):
-        print(
+        line = (
             f"period {summary.period}: {summary.encounters} encounters, "
             f"{summary.missed} missed, {summary.rejected} rejected"
+        )
+        if fault_plan is not None:
+            line += f", {summary.lost} lost, {summary.outaged} outaged"
+        print(line)
+    if scenario.transport is not None:
+        stats = scenario.transport.stats
+        print(
+            f"transport: {stats.delivered}/{stats.uploads} delivered, "
+            f"{stats.retries} retries, {stats.duplicates} duplicates, "
+            f"{stats.quarantined} quarantined"
+        )
+    policy = None
+    if args.min_coverage is not None or fault_plan is not None:
+        policy = CoveragePolicy(
+            min_coverage=(
+                args.min_coverage if args.min_coverage is not None else 0.5
+            ),
+            min_periods=min(2, args.periods),
         )
     periods = tuple(range(args.periods))
     if len(periods) >= 2:
         print("\npoint persistent traffic (actual vs estimated):")
         for location in args.locations:
             actual = scenario.truth.point_persistent(location, periods)
-            estimate = scenario.server.point_persistent(
-                PointPersistentQuery(location=location, periods=periods)
+            query = PointPersistentQuery(location=location, periods=periods)
+            if policy is None:
+                estimate = scenario.server.point_persistent(query)
+                print(f"  zone {location}: {actual} vs {estimate.clamped:.1f}")
+                continue
+            try:
+                result = scenario.server.point_persistent(query, policy=policy)
+            except CoverageError as exc:
+                print(f"  zone {location}: {actual} vs unavailable ({exc})")
+                continue
+            tag = ""
+            if result.degraded:
+                tag = (
+                    f"  [degraded: {len(result.covered_periods)}/"
+                    f"{len(result.requested_periods)} periods]"
+                )
+            print(
+                f"  zone {location}: {actual} vs "
+                f"{result.value.clamped:.1f}{tag}"
             )
-            print(f"  zone {location}: {actual} vs {estimate.clamped:.1f}")
     else:
         print("\nsingle-period volumes (actual vs estimated):")
         from repro.server.queries import PointVolumeQuery
@@ -299,8 +377,44 @@ def _run_attack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import ChaosConfig, format_chaos, run_chaos
+
+    config = ChaosConfig(
+        seed=args.seed,
+        periods=args.periods,
+        commuters=args.commuters,
+        transients=args.transients,
+    )
+    result = run_chaos(config)
+    print(format_chaos(result))
+    if not result.ok:
+        print(
+            f"\nchaos sweep FAILED: {len(result.violations)} violation(s)",
+            file=sys.stderr,
+        )
+        for violation in result.violations:
+            print(f"  - {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_archive(args: argparse.Namespace) -> int:
     from repro.server.persistence import RecordArchive
+
+    if args.action == "repair":
+        archive, report = RecordArchive.recover(args.directory)
+        print(
+            f"archive {args.directory}: {len(archive)} records after repair"
+        )
+        print(
+            f"  recovered {len(report.recovered)} orphan(s), "
+            f"dropped {len(report.dropped)} vanished entr(ies), "
+            f"quarantined {len(report.quarantined)} corrupt file(s)"
+        )
+        if report.clean:
+            print("  manifest was already consistent")
+        return 0
 
     archive = RecordArchive(args.directory)
     if args.action == "verify":
@@ -393,7 +507,7 @@ def _dispatch(args: argparse.Namespace) -> int:
 def _dispatch_command(args: argparse.Namespace) -> int:
     if args.command in _EXPERIMENT_NAMES:
         return _run_experiment_command(args.command, args)
-    if args.command in ("losscurve", "tradeoff", "tsweep"):
+    if args.command in ("losscurve", "tradeoff", "tsweep", "faultgrid"):
         from repro.experiments import extras
         from repro.experiments.common import cell_timer
 
@@ -403,11 +517,15 @@ def _dispatch_command(args: argparse.Namespace) -> int:
                 print(extras.format_losscurve(extras.run_losscurve(config)))
             elif args.command == "tradeoff":
                 print(extras.format_tradeoff(extras.run_tradeoff(config)))
+            elif args.command == "faultgrid":
+                print(extras.format_faultgrid(extras.run_faultgrid(config)))
             else:
                 print(extras.format_tsweep(extras.run_tsweep(config)))
         return 0
     if args.command == "simulate":
         return _run_simulate(args)
+    if args.command == "chaos":
+        return _run_chaos(args)
     if args.command == "attack":
         return _run_attack(args)
     if args.command == "archive":

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Set
 
 from repro.core.point import RecordLike, _as_bitmaps
+from repro.exceptions import EstimationError
 from repro.sketch.batch import BitmapBatch, and_join_batch
 from repro.sketch.join import and_join
 from repro.sketch.linear_counting import linear_counting_estimate
@@ -75,15 +76,19 @@ class DirectAndBenchmark:
         joined = and_join_batch(batches)
         size = joined.size
         periods = len(batches)
-        return [
-            DirectAndEstimate(
-                estimate=linear_counting_estimate(v0, size),
-                v_star0=v0,
-                size=size,
-                periods=periods,
+        results = []
+        for run, v0 in enumerate(joined.zero_fractions().tolist()):
+            try:
+                value = linear_counting_estimate(v0, size)
+            except EstimationError as exc:
+                # Same typed error as the scalar path, naming the run.
+                raise type(exc)(f"run {run}: {exc}") from exc
+            results.append(
+                DirectAndEstimate(
+                    estimate=value, v_star0=v0, size=size, periods=periods
+                )
             )
-            for v0 in joined.zero_fractions().tolist()
-        ]
+        return results
 
 
 def direct_and_estimate(records: Sequence[RecordLike]) -> DirectAndEstimate:

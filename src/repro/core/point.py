@@ -144,6 +144,12 @@ class PointPersistentEstimator:
         bit-identical to :meth:`estimate` on that run's scalar records
         (the joins are boolean reductions and the final formula is
         evaluated per run on the same IEEE doubles).
+
+        Degenerate runs (saturated halves, inconsistent join
+        statistics) raise exactly the same typed
+        :class:`~repro.exceptions.EstimationError` /
+        :class:`~repro.exceptions.SaturatedBitmapError` the scalar
+        path raises, prefixed with the failing run's index.
         """
         split = split_and_join_batch(batches)
         v_a0 = split.half_a.zero_fractions().tolist()
@@ -151,17 +157,23 @@ class PointPersistentEstimator:
         v_star1 = split.joined.one_fractions().tolist()
         size = split.joined.size
         periods = len(batches)
-        return [
-            PointEstimate(
-                estimate=point_estimate_from_statistics(a, b, v, size),
-                v_a0=a,
-                v_b0=b,
-                v_star1=v,
-                size=size,
-                periods=periods,
+        results = []
+        for run, (a, b, v) in enumerate(zip(v_a0, v_b0, v_star1)):
+            try:
+                value = point_estimate_from_statistics(a, b, v, size)
+            except EstimationError as exc:
+                raise type(exc)(f"run {run}: {exc}") from exc
+            results.append(
+                PointEstimate(
+                    estimate=value,
+                    v_a0=a,
+                    v_b0=b,
+                    v_star1=v,
+                    size=size,
+                    periods=periods,
+                )
             )
-            for a, b, v in zip(v_a0, v_b0, v_star1)
-        ]
+        return results
 
 
 def estimate_point_persistent(records: Sequence[RecordLike]) -> PointEstimate:

@@ -186,23 +186,32 @@ class PointToPointPersistentEstimator:
         size_small = joined.location_a.size
         size_large = joined.joined.size
         periods = len(batches_a)
-        return [
-            PointToPointEstimate(
-                estimate=point_to_point_estimate_from_statistics(
+        results = []
+        for run, (v, vp, vpp) in enumerate(
+            zip(v_0, v_prime_0, v_double_prime_0)
+        ):
+            try:
+                value = point_to_point_estimate_from_statistics(
                     v, vp, vpp, size_large, self._s,
                     approximate=self._approximate,
-                ),
-                v_0=v,
-                v_prime_0=vp,
-                v_double_prime_0=vpp,
-                size_small=size_small,
-                size_large=size_large,
-                s=self._s,
-                periods=periods,
-                swapped=joined.swapped,
+                )
+            except EstimationError as exc:
+                # Same typed error as the scalar path, naming the run.
+                raise type(exc)(f"run {run}: {exc}") from exc
+            results.append(
+                PointToPointEstimate(
+                    estimate=value,
+                    v_0=v,
+                    v_prime_0=vp,
+                    v_double_prime_0=vpp,
+                    size_small=size_small,
+                    size_large=size_large,
+                    s=self._s,
+                    periods=periods,
+                    swapped=joined.swapped,
+                )
             )
-            for v, vp, vpp in zip(v_0, v_prime_0, v_double_prime_0)
-        ]
+        return results
 
 
 def estimate_point_to_point_persistent(

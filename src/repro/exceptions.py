@@ -56,6 +56,32 @@ class DataError(ReproError):
     """A dataset (e.g. a trip table) is malformed or inconsistent."""
 
 
+class CoverageError(DataError):
+    """A query's surviving data falls below its coverage policy.
+
+    Raised by degraded-mode queries (``min_coverage`` policies on the
+    central server) when so many measurement periods are missing that
+    the caller's floor cannot be met.  Carries the coverage metadata so
+    operators can decide whether to relax the policy or re-collect.
+    """
+
+    def __init__(self, message, coverage=None):
+        super().__init__(message)
+        #: The :class:`~repro.server.degradation.CoverageReport` that
+        #: failed the policy, when the raiser had one (else None).
+        self.coverage = coverage
+
+
+class TransportError(ReproError):
+    """An RSU-to-server upload could not be delivered.
+
+    Raised by :class:`~repro.faults.transport.UploadTransport` only for
+    caller mistakes (e.g. malformed frames handed to ``deliver``);
+    in-flight faults — timeouts, corruption — are retried or quarantined
+    to the dead-letter log instead of raised.
+    """
+
+
 class ObservabilityError(ReproError):
     """The observability layer was used incorrectly.
 

@@ -1,0 +1,58 @@
+"""Fault injection and resilience for the V2I measurement pipeline.
+
+A real roadside deployment degrades constantly: DSRC encounters are
+lost to occlusion and packet collisions, RSUs lose power for whole
+measurement periods, upload links time out, and payloads arrive
+corrupted, duplicated, delayed, or out of order.  This package makes
+those failure processes first-class and reproducible:
+
+* :mod:`repro.faults.plan` — a seeded :class:`FaultPlan` describing
+  *what* goes wrong (rates and outage windows) and the stateful
+  :class:`FaultInjector` that samples every fault from independent,
+  deterministic substreams of one master seed;
+* :mod:`repro.faults.transport` — :class:`UploadTransport`, the
+  resilient RSU-to-server upload path: checksummed frames, retry with
+  exponential backoff, idempotent duplicate handling, and a dead-letter
+  quarantine for payloads that cannot be delivered intact;
+* :mod:`repro.faults.chaos` — the chaos harness: end-to-end scenario
+  sweeps across loss/outage/corruption rates asserting the pipeline
+  never crashes and the estimators stay within bounded error.
+
+Every injected fault increments ``repro_faults_injected_total`` (by
+``kind``) on the active :mod:`repro.obs` registry, so chaos runs export
+their fault mix alongside the ordinary runtime metrics.  See
+``docs/robustness.md`` for the fault model and degradation policy.
+"""
+
+from repro.faults.chaos import (
+    ChaosCellResult,
+    ChaosConfig,
+    ChaosResult,
+    format_chaos,
+    run_chaos,
+)
+from repro.faults.plan import FaultInjector, FaultKind, FaultPlan, OutageWindow
+from repro.faults.transport import (
+    DeadLetter,
+    DeadLetterLog,
+    UploadOutcome,
+    UploadReceipt,
+    UploadTransport,
+)
+
+__all__ = [
+    "ChaosCellResult",
+    "ChaosConfig",
+    "ChaosResult",
+    "DeadLetter",
+    "DeadLetterLog",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "OutageWindow",
+    "UploadOutcome",
+    "UploadReceipt",
+    "UploadTransport",
+    "format_chaos",
+    "run_chaos",
+]

@@ -1,0 +1,391 @@
+"""The chaos harness: prove the pipeline survives what it injects.
+
+Runs the end-to-end city scenario under a grid of channel-loss and
+corruption rates (plus a fixed outage window and steady timeout /
+duplicate / delay rates), then answers every location's persistent
+query through the degraded path and validates, per cell:
+
+* **zero crashes** — only typed :class:`~repro.exceptions.ReproError`
+  subclasses may surface, and only the expected ones
+  (:class:`~repro.exceptions.CoverageError`,
+  :class:`~repro.exceptions.EstimationError`); anything else
+  propagates out of :func:`run_chaos` as a genuine bug;
+* **honest degradation** — a query whose requested periods were not
+  all served must come back flagged ``degraded=True`` with the covered
+  period list matching what the store actually holds;
+* **bounded error** — the (clamped) estimate must fall inside a
+  slackened version of the loss bracket ``[n*·d^t', n*]`` around the
+  ground truth over the covered periods, where ``d`` is the detection
+  probability after channel loss and ``t'`` the surviving period
+  count.
+
+Any violation lands in :attr:`ChaosResult.violations`;
+:meth:`ChaosResult.check` raises with the full list.  The CI
+``chaos-smoke`` step runs this at a fixed seed (see
+``tests/test_faults_chaos.py``, marker ``chaos``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import CoverageError, EstimationError
+from repro.experiments.report import format_table
+from repro.faults.plan import FaultPlan, OutageWindow
+from repro.obs import runtime as obs
+from repro.server.degradation import CoveragePolicy
+from repro.server.queries import PointPersistentQuery
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One chaos sweep: scenario shape, fault grid, and error bounds.
+
+    The defaults are sized for a CI smoke run (a few seconds per
+    cell); the error bounds are deliberately slack — chaos validates
+    *survival and honesty*, not estimator accuracy, which the paper
+    experiments already cover.
+    """
+
+    seed: int = 2017
+    periods: int = 6
+    commuters: int = 120
+    transients: int = 600
+    locations: Tuple[int, ...] = (10, 16, 17)
+    channel_loss_rates: Tuple[float, ...] = (0.0, 0.05, 0.15)
+    corruption_rates: Tuple[float, ...] = (0.0, 0.01)
+    timeout: float = 0.05
+    duplicate: float = 0.05
+    delay: float = 0.05
+    outage_periods: int = 1
+    min_coverage: float = 0.34
+    error_slack: float = 0.6
+    error_margin: float = 60.0
+
+    def fault_plan(self, channel_loss: float, corruption: float) -> FaultPlan:
+        """The plan for one grid cell (outage pinned mid-run)."""
+        outages: Tuple[OutageWindow, ...] = ()
+        if self.outage_periods > 0:
+            first = self.periods // 2
+            outages = (
+                OutageWindow(
+                    first_period=first,
+                    last_period=first + self.outage_periods - 1,
+                    location=self.locations[0],
+                ),
+            )
+        return FaultPlan(
+            seed=self.seed,
+            channel_loss=channel_loss,
+            corruption=corruption,
+            timeout=self.timeout,
+            duplicate=self.duplicate,
+            delay=self.delay,
+            outages=outages,
+        )
+
+
+@dataclass(frozen=True)
+class ChaosCellResult:
+    """One (channel_loss, corruption, location) cell of the sweep."""
+
+    channel_loss: float
+    corruption: float
+    location: int
+    answered: bool
+    degraded: bool
+    coverage: float
+    covered: Tuple[int, ...]
+    requested: Tuple[int, ...]
+    estimate: Optional[float]
+    truth: Optional[int]
+    floor: Optional[float]
+    ceiling: Optional[float]
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class ChaosResult:
+    """Everything one chaos sweep observed."""
+
+    cells: List[ChaosCellResult]
+    fault_counts: Dict[str, int]
+    transport_stats: Dict[str, float]
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every cell survived with honest, bounded answers."""
+        return not self.violations
+
+    @property
+    def degraded_cells(self) -> int:
+        """Answered cells that came back flagged degraded."""
+        return sum(1 for c in self.cells if c.answered and c.degraded)
+
+    def check(self) -> "ChaosResult":
+        """Raise AssertionError listing every violation (if any)."""
+        if self.violations:
+            raise AssertionError(
+                "chaos sweep failed:\n  " + "\n  ".join(self.violations)
+            )
+        return self
+
+
+def _error_bounds(
+    truth: int, detection: float, covered_periods: int, config: ChaosConfig
+) -> Tuple[float, float]:
+    """The slackened loss bracket around the covered-period truth.
+
+    A commuter survives the AND-join only if it was detected in every
+    covered period, so the expected estimate sits between
+    ``truth * d^t'`` (independent per-pass losses) and ``truth``
+    (no loss).  ``error_slack`` widens the bracket multiplicatively
+    and ``error_margin`` absolutely, absorbing estimator noise at
+    these small CI-sized volumes.
+    """
+    floor = truth * detection ** covered_periods
+    lower = floor * (1.0 - config.error_slack) - config.error_margin
+    upper = truth * (1.0 + config.error_slack) + config.error_margin
+    return max(lower, 0.0), upper
+
+
+def run_chaos(config: ChaosConfig = ChaosConfig()) -> ChaosResult:
+    """Run the full chaos grid; never raises for injected faults.
+
+    Builds a fresh scenario per (channel_loss, corruption) cell so
+    every cell sees the identical fault substreams for its rates, runs
+    all periods through the faulty transport, and queries every
+    location through the degraded path.
+    """
+    from repro.network.road import sioux_falls_network
+    from repro.sim.scenario import CityScenario
+    from repro.traffic.sioux_falls import sioux_falls_trip_table
+
+    if obs.enabled():
+        # Pre-register the fault counters so the export always carries
+        # all four, even for kinds that never fire at this seed.
+        obs.counter(
+            "repro_faults_injected_total",
+            "Faults injected into the pipeline, by kind.",
+            kind="channel_loss",
+        )
+        obs.counter(
+            "repro_uploads_retried_total",
+            "Upload attempts retried after in-flight timeouts.",
+        )
+        obs.counter(
+            "repro_records_quarantined_total",
+            "Uploads quarantined to the dead-letter log, by reason.",
+            reason="checksum",
+        )
+        obs.counter(
+            "repro_queries_degraded_total",
+            "Queries answered over incomplete period coverage.",
+        )
+
+    policy = CoveragePolicy(min_coverage=config.min_coverage, min_periods=2)
+    requested = tuple(range(config.periods))
+    cells: List[ChaosCellResult] = []
+    violations: List[str] = []
+    fault_counts: Dict[str, int] = {}
+    transport_totals: Dict[str, float] = {}
+
+    for channel_loss in config.channel_loss_rates:
+        for corruption in config.corruption_rates:
+            plan = config.fault_plan(channel_loss, corruption)
+            scenario = CityScenario(
+                network=sioux_falls_network(),
+                trip_table=sioux_falls_trip_table(),
+                persistent_vehicles=config.commuters,
+                transient_vehicles_per_period=config.transients,
+                rsu_locations=list(config.locations),
+                seed=config.seed,
+                fault_plan=plan,
+            )
+            scenario.run(config.periods)
+            for kind, count in scenario.injector.counts.items():
+                fault_counts[kind] = fault_counts.get(kind, 0) + count
+            stats = scenario.transport.stats
+            for name in (
+                "uploads",
+                "delivered",
+                "duplicates",
+                "quarantined",
+                "deferred",
+                "retries",
+                "backoff_seconds",
+            ):
+                transport_totals[name] = transport_totals.get(name, 0) + getattr(
+                    stats, name
+                )
+            for location in config.locations:
+                cells.append(
+                    _run_cell(
+                        scenario,
+                        location,
+                        requested,
+                        policy,
+                        channel_loss,
+                        corruption,
+                        config,
+                        violations,
+                    )
+                )
+            if obs.enabled():
+                obs.counter(
+                    "repro_chaos_cells_total",
+                    "Chaos grid cells executed end-to-end.",
+                ).inc(len(config.locations))
+
+    return ChaosResult(
+        cells=cells,
+        fault_counts=fault_counts,
+        transport_stats=transport_totals,
+        violations=violations,
+    )
+
+
+def _run_cell(
+    scenario,
+    location: int,
+    requested: Tuple[int, ...],
+    policy: CoveragePolicy,
+    channel_loss: float,
+    corruption: float,
+    config: ChaosConfig,
+    violations: List[str],
+) -> ChaosCellResult:
+    """Query one location through the degraded path and validate."""
+    label = f"loss={channel_loss:g} corr={corruption:g} zone={location}"
+    store = scenario.server.store
+    actually_covered = store.covered_periods(location, requested)
+    try:
+        result = scenario.server.point_persistent(
+            PointPersistentQuery(location=location, periods=requested),
+            policy=policy,
+        )
+    except CoverageError as exc:
+        report = exc.coverage
+        coverage = report.fraction if report is not None else 0.0
+        if len(actually_covered) >= policy.min_periods and (
+            len(actually_covered) / len(requested) >= policy.min_coverage
+        ):
+            violations.append(
+                f"{label}: CoverageError despite sufficient coverage "
+                f"{actually_covered}"
+            )
+        return ChaosCellResult(
+            channel_loss=channel_loss,
+            corruption=corruption,
+            location=location,
+            answered=False,
+            degraded=True,
+            coverage=coverage,
+            covered=actually_covered,
+            requested=requested,
+            estimate=None,
+            truth=None,
+            floor=None,
+            ceiling=None,
+            reason="coverage_below_policy",
+        )
+    except EstimationError as exc:
+        return ChaosCellResult(
+            channel_loss=channel_loss,
+            corruption=corruption,
+            location=location,
+            answered=False,
+            degraded=len(actually_covered) < len(requested),
+            coverage=len(actually_covered) / len(requested),
+            covered=actually_covered,
+            requested=requested,
+            estimate=None,
+            truth=None,
+            floor=None,
+            ceiling=None,
+            reason=f"estimation_error: {exc}",
+        )
+
+    # Honesty checks: the degraded flag and coverage metadata must
+    # describe exactly what the store served.
+    if result.covered_periods != actually_covered:
+        violations.append(
+            f"{label}: result covered {result.covered_periods} but the "
+            f"store holds {actually_covered}"
+        )
+    expected_degraded = len(actually_covered) < len(requested)
+    if result.degraded != expected_degraded:
+        violations.append(
+            f"{label}: degraded flag {result.degraded}, expected "
+            f"{expected_degraded}"
+        )
+
+    truth = scenario.truth.point_persistent(location, result.covered_periods)
+    floor, ceiling = _error_bounds(
+        truth, 1.0 - channel_loss, len(result.covered_periods), config
+    )
+    estimate = result.value.clamped
+    if not floor <= estimate <= ceiling:
+        violations.append(
+            f"{label}: estimate {estimate:.1f} outside bracket "
+            f"[{floor:.1f}, {ceiling:.1f}] (truth {truth})"
+        )
+    return ChaosCellResult(
+        channel_loss=channel_loss,
+        corruption=corruption,
+        location=location,
+        answered=True,
+        degraded=result.degraded,
+        coverage=result.coverage_fraction,
+        covered=result.covered_periods,
+        requested=requested,
+        estimate=estimate,
+        truth=truth,
+        floor=floor,
+        ceiling=ceiling,
+    )
+
+
+def format_chaos(result: ChaosResult) -> str:
+    """Render a chaos sweep as an aligned text report."""
+    rows = []
+    for cell in result.cells:
+        rows.append(
+            [
+                f"{cell.channel_loss:.2f}",
+                f"{cell.corruption:.2f}",
+                cell.location,
+                "yes" if cell.degraded else "no",
+                f"{cell.coverage:.2f}",
+                "-" if cell.estimate is None else f"{cell.estimate:.1f}",
+                "-" if cell.truth is None else cell.truth,
+                cell.reason or ("ok" if cell.answered else "unanswered"),
+            ]
+        )
+    table = format_table(
+        ["loss", "corrupt", "zone", "degraded", "coverage", "estimate",
+         "truth", "status"],
+        rows,
+        title="chaos sweep",
+    )
+    faults = ", ".join(
+        f"{kind}={count}" for kind, count in sorted(result.fault_counts.items())
+    )
+    transport = ", ".join(
+        f"{name}={value:g}"
+        for name, value in sorted(result.transport_stats.items())
+    )
+    lines = [
+        table,
+        "",
+        f"faults injected : {faults}",
+        f"transport       : {transport}",
+        f"degraded cells  : {result.degraded_cells}/{len(result.cells)}",
+        f"verdict         : {'OK' if result.ok else 'FAILED'}",
+    ]
+    if result.violations:
+        lines.append("violations:")
+        lines.extend(f"  - {v}" for v in result.violations)
+    return "\n".join(lines)

@@ -1,0 +1,314 @@
+"""Seeded fault plans: what goes wrong, when, and how often.
+
+A :class:`FaultPlan` is an immutable description of a deployment's
+failure processes — per-encounter channel loss, RSU outage windows
+that blank whole periods, upload timeouts, bit-flip corruption,
+duplicated and delayed uploads.  The plan itself holds no state; its
+:meth:`FaultPlan.injector` mints a :class:`FaultInjector` whose every
+decision is drawn from an independent, deterministically seeded
+substream, so one master seed reproduces the exact same fault sequence
+across runs regardless of which fault kinds are enabled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.obs import runtime as obs
+
+
+class FaultKind(Enum):
+    """The injectable fault categories, used as metric labels."""
+
+    CHANNEL_LOSS = "channel_loss"
+    OUTAGE = "outage"
+    TIMEOUT = "timeout"
+    CORRUPTION = "corruption"
+    DUPLICATE = "duplicate"
+    DELAY = "delay"
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """An RSU outage: one location (or all) down for a span of periods.
+
+    Attributes
+    ----------
+    first_period, last_period:
+        Inclusive period range during which the RSU is dark — no
+        beacons, no encodings, no upload for those periods.
+    location:
+        The affected location, or None for a site-wide blackout.
+    """
+
+    first_period: int
+    last_period: int
+    location: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.first_period < 0 or self.last_period < self.first_period:
+            raise ConfigurationError(
+                f"invalid outage window [{self.first_period}, "
+                f"{self.last_period}]"
+            )
+
+    def covers(self, location: int, period: int) -> bool:
+        """Whether this window blanks ``(location, period)``."""
+        if self.location is not None and int(location) != self.location:
+            return False
+        return self.first_period <= int(period) <= self.last_period
+
+    def to_dict(self) -> Dict:
+        return {
+            "first_period": self.first_period,
+            "last_period": self.last_period,
+            "location": self.location,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "OutageWindow":
+        return cls(
+            first_period=int(data["first_period"]),
+            last_period=int(data["last_period"]),
+            location=None if data.get("location") is None else int(data["location"]),
+        )
+
+
+_RATE_FIELDS = ("channel_loss", "timeout", "corruption", "duplicate", "delay")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, seed-reproducible description of injected faults.
+
+    All rates are probabilities in ``[0, 1)``; a zero-everything plan
+    is a valid no-op that exercises the resilient code paths without
+    perturbing results.
+
+    Attributes
+    ----------
+    seed:
+        Master seed; every fault decision derives from it.
+    channel_loss:
+        Per-encounter probability that the vehicle's encoding report
+        is lost on the DSRC channel (the pass goes unrecorded).
+    timeout:
+        Per-attempt probability that an upload times out in flight and
+        the transport must retry.
+    corruption:
+        Per-upload probability that the payload suffers a bit flip
+        before reaching the server (caught by the frame checksum).
+    duplicate:
+        Per-upload probability the RSU re-sends the same record.
+    delay:
+        Per-upload probability the record is held back and delivered
+        out of order at the next transport flush.
+    outages:
+        RSU outage windows blanking whole ``(location, period)`` cells.
+    """
+
+    seed: int = 0
+    channel_loss: float = 0.0
+    timeout: float = 0.0
+    corruption: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    outages: Tuple[OutageWindow, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            rate = getattr(self, name)
+            if not 0.0 <= float(rate) < 1.0:
+                raise ConfigurationError(
+                    f"fault rate {name} must lie in [0, 1), got {rate}"
+                )
+        object.__setattr__(self, "outages", tuple(self.outages))
+
+    # ------------------------------------------------------------------
+    # Derived state
+    # ------------------------------------------------------------------
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return not self.outages and all(
+            getattr(self, name) == 0.0 for name in _RATE_FIELDS
+        )
+
+    def outage_covers(self, location: int, period: int) -> bool:
+        """Whether any outage window blanks ``(location, period)``."""
+        return any(w.covers(location, period) for w in self.outages)
+
+    def substream_seed(self, name: str) -> int:
+        """A stable 64-bit seed for one named fault substream.
+
+        Hash-derived so enabling one fault kind never shifts the
+        random draws of another — the channel-loss sequence at seed 7
+        is identical whether or not corruption is also switched on.
+        """
+        digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+        return int.from_bytes(digest[:8], "little")
+
+    def injector(self) -> "FaultInjector":
+        """Mint a fresh stateful injector for one simulation run."""
+        return FaultInjector(self)
+
+    def scaled(self, factor: float) -> "FaultPlan":
+        """A copy with every rate multiplied by ``factor`` (clamped)."""
+        updates = {
+            name: min(max(getattr(self, name) * factor, 0.0), 0.999)
+            for name in _RATE_FIELDS
+        }
+        return replace(self, **updates)
+
+    # ------------------------------------------------------------------
+    # Serialization (CLI --fault-plan files)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        data = {"seed": self.seed}
+        data.update({name: getattr(self, name) for name in _RATE_FIELDS})
+        data["outages"] = [w.to_dict() for w in self.outages]
+        return data
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"a fault plan must be a JSON object, got {type(data).__name__}"
+            )
+        known = {"seed", "outages", *_RATE_FIELDS}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault-plan fields: {', '.join(unknown)}"
+            )
+        outages = tuple(
+            OutageWindow.from_dict(w) for w in data.get("outages", [])
+        )
+        rates = {
+            name: float(data.get(name, 0.0)) for name in _RATE_FIELDS
+        }
+        return cls(seed=int(data.get("seed", 0)), outages=outages, **rates)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"malformed fault-plan JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_file(cls, path) -> "FaultPlan":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read fault plan {path}: {exc}") from exc
+        return cls.from_json(text)
+
+
+class FaultInjector:
+    """Samples a :class:`FaultPlan`'s faults from per-kind substreams.
+
+    One injector drives one simulation run.  Each fault kind draws
+    from its own :func:`numpy.random.default_rng` stream seeded via
+    :meth:`FaultPlan.substream_seed`, and every injected fault is
+    counted locally (:attr:`counts`) and on the active metrics
+    registry as ``repro_faults_injected_total{kind=...}``.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self._plan = plan
+        self._rngs: Dict[str, np.random.Generator] = {
+            kind.value: np.random.default_rng(plan.substream_seed(kind.value))
+            for kind in FaultKind
+        }
+        self.counts: Dict[str, int] = {kind.value: 0 for kind in FaultKind}
+
+    @property
+    def plan(self) -> FaultPlan:
+        """The immutable plan this injector samples."""
+        return self._plan
+
+    @property
+    def total_injected(self) -> int:
+        """Faults injected so far, across all kinds."""
+        return sum(self.counts.values())
+
+    def _record(self, kind: FaultKind) -> None:
+        self.counts[kind.value] += 1
+        if obs.enabled():
+            obs.counter(
+                "repro_faults_injected_total",
+                "Faults injected into the pipeline, by kind.",
+                kind=kind.value,
+            ).inc()
+
+    def _sample(self, kind: FaultKind, rate: float) -> bool:
+        if rate <= 0.0:
+            return False
+        if self._rngs[kind.value].random() >= rate:
+            return False
+        self._record(kind)
+        return True
+
+    # ------------------------------------------------------------------
+    # Fault decisions
+    # ------------------------------------------------------------------
+
+    def drop_report(self) -> bool:
+        """Whether this encounter's encoding report is lost."""
+        return self._sample(FaultKind.CHANNEL_LOSS, self._plan.channel_loss)
+
+    def in_outage(self, location: int, period: int) -> bool:
+        """Whether the RSU at ``location`` is dark during ``period``.
+
+        Deterministic (window lookup, no randomness); counted once per
+        blanked encounter or upload so the fault total reflects the
+        actual impact.
+        """
+        if not self._plan.outage_covers(location, period):
+            return False
+        self._record(FaultKind.OUTAGE)
+        return True
+
+    def upload_times_out(self) -> bool:
+        """Whether one upload attempt times out in flight."""
+        return self._sample(FaultKind.TIMEOUT, self._plan.timeout)
+
+    def duplicate_upload(self) -> bool:
+        """Whether the RSU re-sends this record."""
+        return self._sample(FaultKind.DUPLICATE, self._plan.duplicate)
+
+    def delay_upload(self) -> bool:
+        """Whether this record is held back until the next flush."""
+        return self._sample(FaultKind.DELAY, self._plan.delay)
+
+    def corrupt_payload(self, payload: bytes) -> bytes:
+        """Maybe flip one random bit of ``payload``.
+
+        Returns the payload unchanged when the corruption draw misses
+        (or the payload is empty); otherwise a copy with a single bit
+        flipped at a substream-chosen offset.
+        """
+        if not payload or not self._sample(
+            FaultKind.CORRUPTION, self._plan.corruption
+        ):
+            return payload
+        rng = self._rngs[FaultKind.CORRUPTION.value]
+        bit = int(rng.integers(0, len(payload) * 8))
+        corrupted = bytearray(payload)
+        corrupted[bit // 8] ^= 1 << (bit % 8)
+        return bytes(corrupted)

@@ -1,0 +1,331 @@
+"""The resilient RSU-to-server upload path.
+
+The seed pipeline handed ``TrafficRecord.to_payload()`` bytes straight
+to the server and let any problem — a flipped bit, a re-sent record —
+surface as a raised :class:`~repro.exceptions.DataError` deep inside a
+simulation.  :class:`UploadTransport` is the layer a real deployment
+would put in between:
+
+* every payload travels in a checksummed frame (magic + SHA-256), so
+  in-flight corruption is *detected* at the server edge;
+* transient timeouts are retried with exponential backoff, up to a
+  configurable attempt budget;
+* payloads that cannot be delivered intact (checksum failures,
+  undecodable records, exhausted retries, conflicting re-uploads) are
+  quarantined to a :class:`DeadLetterLog` instead of raised;
+* byte-identical re-uploads are absorbed by the store's idempotent
+  ``add`` and reported as duplicates, not errors;
+* fault-injected *delays* hold frames back until :meth:`UploadTransport.flush`,
+  delivering them out of order relative to the live stream.
+
+The transport never raises for in-flight faults; callers read the
+:class:`UploadReceipt` (and the dead-letter log) to learn what
+happened.  Backoff sleeps are simulated by default (virtual seconds
+accumulated on the stats), so retries cost no wall-clock time in tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, List, Optional, Union
+
+from repro.exceptions import DataError, ReproError, TransportError
+from repro.faults.plan import FaultInjector
+from repro.obs import runtime as obs
+from repro.rsu.record import TrafficRecord
+
+#: Frame layout: magic, 32-byte SHA-256 of the payload, payload bytes.
+FRAME_MAGIC = b"RFR1"
+_DIGEST_BYTES = 32
+_HEADER_BYTES = len(FRAME_MAGIC) + _DIGEST_BYTES
+
+
+def frame_payload(payload: bytes) -> bytes:
+    """Wrap an upload payload in a checksummed frame."""
+    return FRAME_MAGIC + hashlib.sha256(payload).digest() + payload
+
+
+def unframe_payload(frame: bytes) -> tuple:
+    """Split a frame into ``(payload, checksum_ok)``.
+
+    Raises :class:`~repro.exceptions.TransportError` only for frames
+    that are structurally not frames at all (short, wrong magic) —
+    a *failed checksum* is an expected in-flight fault and is reported
+    through the boolean, not an exception.
+    """
+    if len(frame) < _HEADER_BYTES:
+        raise TransportError(
+            f"frame of {len(frame)} bytes is shorter than the "
+            f"{_HEADER_BYTES}-byte header"
+        )
+    if frame[: len(FRAME_MAGIC)] != FRAME_MAGIC:
+        raise TransportError("frame does not start with the RFR1 magic")
+    digest = frame[len(FRAME_MAGIC) : _HEADER_BYTES]
+    payload = frame[_HEADER_BYTES:]
+    return payload, hashlib.sha256(payload).digest() == digest
+
+
+class UploadOutcome(Enum):
+    """How one upload ended, from the sender's point of view."""
+
+    DELIVERED = "delivered"
+    DUPLICATE = "duplicate"
+    QUARANTINED = "quarantined"
+    DEFERRED = "deferred"
+
+
+@dataclass(frozen=True)
+class UploadReceipt:
+    """What the transport did with one upload."""
+
+    outcome: UploadOutcome
+    attempts: int = 1
+    record: Optional[TrafficRecord] = None
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One quarantined upload."""
+
+    reason: str
+    sha256: str
+    size: int
+    attempts: int
+    frame: bytes = field(repr=False)
+
+    def to_dict(self) -> dict:
+        return {
+            "reason": self.reason,
+            "sha256": self.sha256,
+            "size": self.size,
+            "attempts": self.attempts,
+        }
+
+
+class DeadLetterLog:
+    """Quarantine for undeliverable uploads.
+
+    Keeps every :class:`DeadLetter` in memory (frames included, so
+    operators can inspect or re-drive them) and, when a path is given,
+    appends one JSON line per letter for offline forensics.
+    """
+
+    def __init__(self, path=None):
+        self._entries: List[DeadLetter] = []
+        self._path = path
+        self._handle = (
+            open(path, "a", encoding="utf-8") if path is not None else None
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> List[DeadLetter]:
+        """The quarantined letters, oldest first."""
+        return list(self._entries)
+
+    def append(self, reason: str, frame: bytes, attempts: int) -> DeadLetter:
+        """Quarantine one frame."""
+        letter = DeadLetter(
+            reason=reason,
+            sha256=hashlib.sha256(frame).hexdigest(),
+            size=len(frame),
+            attempts=attempts,
+            frame=bytes(frame),
+        )
+        self._entries.append(letter)
+        if self._handle is not None:
+            self._handle.write(json.dumps(letter.to_dict(), sort_keys=True) + "\n")
+            self._handle.flush()
+        if obs.enabled():
+            obs.counter(
+                "repro_records_quarantined_total",
+                "Uploads quarantined to the dead-letter log, by reason.",
+                reason=reason,
+            ).inc()
+        return letter
+
+    def close(self) -> None:
+        """Close the JSONL sink, if any (entries stay readable)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def _virtual_sleep(stats: "TransportStats") -> Callable[[float], None]:
+    def sleep(seconds: float) -> None:
+        stats.backoff_seconds += seconds
+
+    return sleep
+
+
+@dataclass
+class TransportStats:
+    """Mutable delivery counters for one transport instance."""
+
+    uploads: int = 0
+    delivered: int = 0
+    duplicates: int = 0
+    quarantined: int = 0
+    deferred: int = 0
+    retries: int = 0
+    backoff_seconds: float = 0.0
+
+
+class UploadTransport:
+    """Delivers RSU uploads to a central server, surviving faults.
+
+    Parameters
+    ----------
+    server:
+        Anything with ``receive_record(TrafficRecord) -> bool``
+        (normally :class:`~repro.server.central.CentralServer`); the
+        boolean reports whether the record was newly stored (False for
+        an absorbed byte-identical duplicate).
+    injector:
+        Optional :class:`~repro.faults.plan.FaultInjector` perturbing
+        deliveries.  Without one the transport is a transparent (but
+        still checksummed and idempotent) pipe.
+    max_attempts:
+        Attempt budget per upload before it is dead-lettered.
+    base_backoff / backoff_factor:
+        Exponential backoff schedule between attempts, in (virtual)
+        seconds: ``base_backoff * backoff_factor**(attempt-1)``.
+    dead_letter_path:
+        Optional JSONL file mirroring the quarantine.
+    sleep:
+        Backoff hook; defaults to accumulating virtual seconds on
+        :attr:`stats` so simulations never block.
+    """
+
+    def __init__(
+        self,
+        server,
+        injector: Optional[FaultInjector] = None,
+        max_attempts: int = 4,
+        base_backoff: float = 0.05,
+        backoff_factor: float = 2.0,
+        dead_letter_path=None,
+        sleep: Optional[Callable[[float], None]] = None,
+    ):
+        if max_attempts < 1:
+            raise TransportError(f"max_attempts must be >= 1, got {max_attempts}")
+        self._server = server
+        self._injector = injector
+        self._max_attempts = int(max_attempts)
+        self._base_backoff = float(base_backoff)
+        self._backoff_factor = float(backoff_factor)
+        self.stats = TransportStats()
+        self.dead_letters = DeadLetterLog(dead_letter_path)
+        self._sleep = sleep if sleep is not None else _virtual_sleep(self.stats)
+        self._pending: List[bytes] = []
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Frames held back by injected delays, awaiting a flush."""
+        return len(self._pending)
+
+    def send(self, upload: Union[TrafficRecord, bytes]) -> UploadReceipt:
+        """Upload one record (or raw payload bytes) to the server.
+
+        Never raises for in-flight faults; the receipt (and the
+        dead-letter log) reports what happened.  Injected duplicates
+        are re-sent immediately after the primary delivery and are
+        absorbed by the idempotent store.
+        """
+        payload = (
+            upload.to_payload() if isinstance(upload, TrafficRecord) else bytes(upload)
+        )
+        self.stats.uploads += 1
+        if self._injector is not None and self._injector.delay_upload():
+            self._pending.append(payload)
+            self.stats.deferred += 1
+            return UploadReceipt(
+                outcome=UploadOutcome.DEFERRED, attempts=0, reason="delayed"
+            )
+        receipt = self._transmit(payload)
+        if self._injector is not None and self._injector.duplicate_upload():
+            self.stats.uploads += 1
+            self._transmit(payload)
+        return receipt
+
+    def flush(self) -> List[UploadReceipt]:
+        """Deliver every delayed frame, newest first (out of order)."""
+        pending, self._pending = self._pending, []
+        return [self._transmit(payload) for payload in reversed(pending)]
+
+    # ------------------------------------------------------------------
+    # The wire
+    # ------------------------------------------------------------------
+
+    def _transmit(self, payload: bytes) -> UploadReceipt:
+        """Run the attempt loop for one framed payload."""
+        frame = frame_payload(payload)
+        attempts = 0
+        while attempts < self._max_attempts:
+            attempts += 1
+            if self._injector is not None and self._injector.upload_times_out():
+                self.stats.retries += 1
+                if obs.enabled():
+                    obs.counter(
+                        "repro_uploads_retried_total",
+                        "Upload attempts retried after in-flight timeouts.",
+                    ).inc()
+                self._sleep(
+                    self._base_backoff * self._backoff_factor ** (attempts - 1)
+                )
+                continue
+            wire = (
+                self._injector.corrupt_payload(frame)
+                if self._injector is not None
+                else frame
+            )
+            return self._deliver(wire, attempts)
+        return self._quarantine("retries_exhausted", frame, attempts)
+
+    def _deliver(self, wire: bytes, attempts: int) -> UploadReceipt:
+        """Server-edge handling of one received frame."""
+        try:
+            payload, checksum_ok = unframe_payload(wire)
+        except TransportError:
+            # In-flight corruption can hit the magic prefix itself.
+            return self._quarantine("malformed", wire, attempts)
+        if not checksum_ok:
+            return self._quarantine("checksum", wire, attempts)
+        try:
+            record = TrafficRecord.from_payload(payload)
+        except ReproError:
+            return self._quarantine("undecodable", wire, attempts)
+        try:
+            added = self._server.receive_record(record)
+        except DataError:
+            # A conflicting record already holds this (location, period).
+            return self._quarantine("conflict", wire, attempts)
+        if added is False:
+            self.stats.duplicates += 1
+            return UploadReceipt(
+                outcome=UploadOutcome.DUPLICATE,
+                attempts=attempts,
+                record=record,
+                reason="byte-identical re-upload",
+            )
+        self.stats.delivered += 1
+        return UploadReceipt(
+            outcome=UploadOutcome.DELIVERED, attempts=attempts, record=record
+        )
+
+    def _quarantine(self, reason: str, frame: bytes, attempts: int) -> UploadReceipt:
+        self.stats.quarantined += 1
+        self.dead_letters.append(reason, frame, attempts)
+        return UploadReceipt(
+            outcome=UploadOutcome.QUARANTINED, attempts=attempts, reason=reason
+        )

@@ -14,9 +14,14 @@ The server:
 """
 
 from repro.server.central import CentralServer
+from repro.server.degradation import (
+    CoveragePolicy,
+    CoverageReport,
+    DegradedResult,
+)
 from repro.server.history import VolumeHistory
 from repro.server.monitor import MonitorSample, PersistenceMonitor
-from repro.server.persistence import RecordArchive
+from repro.server.persistence import RecordArchive, RepairReport
 from repro.server.planner import (
     RankedSource,
     persistent_flow_matrix,
@@ -31,8 +36,12 @@ from repro.server.store import RecordStore
 
 __all__ = [
     "CentralServer",
+    "CoveragePolicy",
+    "CoverageReport",
+    "DegradedResult",
     "MonitorSample",
     "PersistenceMonitor",
+    "RepairReport",
     "PointPersistentQuery",
     "PointToPointPersistentQuery",
     "PointVolumeQuery",

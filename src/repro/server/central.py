@@ -16,9 +16,14 @@ from repro.core.baselines import DirectAndBenchmark, DirectAndEstimate
 from repro.core.point import PointPersistentEstimator
 from repro.core.point_to_point import PointToPointPersistentEstimator
 from repro.core.results import PointEstimate, PointToPointEstimate
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, CoverageError
 from repro.obs import runtime as obs
 from repro.rsu.record import TrafficRecord
+from repro.server.degradation import (
+    CoveragePolicy,
+    CoverageReport,
+    DegradedResult,
+)
 from repro.server.history import VolumeHistory
 from repro.server.queries import (
     PointPersistentQuery,
@@ -93,9 +98,16 @@ class CentralServer:
     # Ingestion
     # ------------------------------------------------------------------
 
-    def receive_record(self, record: TrafficRecord) -> None:
-        """Ingest one traffic record and update the volume history."""
-        self._store.add(record)
+    def receive_record(self, record: TrafficRecord) -> bool:
+        """Ingest one traffic record and update the volume history.
+
+        Returns whether the record was newly stored.  A byte-identical
+        re-upload (retried or duplicated transmission) is an idempotent
+        no-op returning False — history and archive are not touched
+        again, so degraded transports can re-send safely.
+        """
+        if not self._store.add(record):
+            return False
         self._history.observe(record.location, max(record.point_estimate(), 1.0))
         if self._archive is not None:
             self._archive.save(record)
@@ -109,6 +121,7 @@ class CentralServer:
                     "repro_archive_writes_total",
                     "Records persisted to the attached archive.",
                 ).inc()
+        return True
 
     def receive_payload(self, payload: bytes) -> TrafficRecord:
         """Ingest a serialized upload from an RSU."""
@@ -147,34 +160,114 @@ class CentralServer:
             self._observe_query("point_volume", started)
         return estimate
 
-    def point_persistent(self, query: PointPersistentQuery) -> PointEstimate:
-        """Point persistent traffic estimate (Eq. 12)."""
+    def _resolve_coverage(
+        self, locations, periods, policy: CoveragePolicy
+    ) -> CoverageReport:
+        """Apply a coverage policy to a query's requested periods.
+
+        A period survives only when *every* involved location holds a
+        record for it (a point-to-point join needs both sides).  When
+        the surviving set fails the policy, raises
+        :class:`~repro.exceptions.CoverageError` carrying the report;
+        otherwise counts the query as degraded (if it is) and returns
+        the report.
+        """
+        requested = tuple(periods)
+        covered = tuple(
+            p
+            for p in requested
+            if all(self._store.get(loc, p) is not None for loc in locations)
+        )
+        report = CoverageReport(requested=requested, covered=covered)
+        if not policy.permits(report):
+            raise CoverageError(
+                f"coverage {report.fraction:.0%} over periods {requested} "
+                f"(covered {covered}) falls below the policy floor "
+                f"(min_coverage={policy.min_coverage:g}, "
+                f"min_periods={policy.min_periods})",
+                coverage=report,
+            )
+        if report.degraded and obs.enabled():
+            obs.counter(
+                "repro_queries_degraded_total",
+                "Queries answered over incomplete period coverage.",
+            ).inc()
+        return report
+
+    def point_persistent(
+        self,
+        query: PointPersistentQuery,
+        policy: Optional[CoveragePolicy] = None,
+    ):
+        """Point persistent traffic estimate (Eq. 12).
+
+        Without a policy this is the strict paper behaviour: any
+        missing period raises :class:`~repro.exceptions.DataError`.
+        With a :class:`~repro.server.degradation.CoveragePolicy` the
+        estimate runs over the surviving periods and comes back
+        wrapped in a :class:`~repro.server.degradation.DegradedResult`
+        (raising :class:`~repro.exceptions.CoverageError` only below
+        the policy floor).
+        """
         started = time.perf_counter()
-        records = self._store.records_for(query.location, query.periods)
+        if policy is None:
+            records = self._store.records_for(query.location, query.periods)
+            estimate = self._point_estimator.estimate(records)
+            if obs.enabled():
+                self._observe_query("point_persistent", started)
+            return estimate
+        report = self._resolve_coverage([query.location], query.periods, policy)
+        records = self._store.records_for(query.location, report.covered)
         estimate = self._point_estimator.estimate(records)
         if obs.enabled():
             self._observe_query("point_persistent", started)
-        return estimate
+        return DegradedResult(value=estimate, coverage=report)
 
     def point_persistent_benchmark(
-        self, query: PointPersistentQuery
-    ) -> DirectAndEstimate:
+        self,
+        query: PointPersistentQuery,
+        policy: Optional[CoveragePolicy] = None,
+    ):
         """The direct AND-join benchmark on the same query (Fig. 4)."""
         started = time.perf_counter()
-        records = self._store.records_for(query.location, query.periods)
+        if policy is None:
+            records = self._store.records_for(query.location, query.periods)
+            estimate = self._benchmark.estimate(records)
+            if obs.enabled():
+                self._observe_query("benchmark", started)
+            return estimate
+        report = self._resolve_coverage([query.location], query.periods, policy)
+        records = self._store.records_for(query.location, report.covered)
         estimate = self._benchmark.estimate(records)
         if obs.enabled():
             self._observe_query("benchmark", started)
-        return estimate
+        return DegradedResult(value=estimate, coverage=report)
 
     def point_to_point_persistent(
-        self, query: PointToPointPersistentQuery
-    ) -> PointToPointEstimate:
-        """Point-to-point persistent traffic estimate (Eq. 21)."""
+        self,
+        query: PointToPointPersistentQuery,
+        policy: Optional[CoveragePolicy] = None,
+    ):
+        """Point-to-point persistent traffic estimate (Eq. 21).
+
+        With a policy, a period survives only when *both* locations
+        hold its record, and the result is wrapped in a
+        :class:`~repro.server.degradation.DegradedResult`.
+        """
         started = time.perf_counter()
-        records_a = self._store.records_for(query.location_a, query.periods)
-        records_b = self._store.records_for(query.location_b, query.periods)
+        if policy is None:
+            records_a = self._store.records_for(query.location_a, query.periods)
+            records_b = self._store.records_for(query.location_b, query.periods)
+            estimate = self._p2p_estimator.estimate(records_a, records_b)
+            if obs.enabled():
+                self._observe_query("point_to_point", started)
+            return estimate
+        report = self._resolve_coverage(
+            [query.location_a, query.location_b], query.periods, policy
+        )
+        records_a = self._store.records_for(query.location_a, report.covered)
+        records_b = self._store.records_for(query.location_b, report.covered)
         estimate = self._p2p_estimator.estimate(records_a, records_b)
         if obs.enabled():
             self._observe_query("point_to_point", started)
-        return estimate
+        return DegradedResult(value=estimate, coverage=report)

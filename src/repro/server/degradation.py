@@ -1,0 +1,119 @@
+"""Coverage policies: answering queries over incomplete data.
+
+The paper assumes every RSU uploads every period, but a lossy
+deployment (outages, dead-lettered uploads) leaves holes in the record
+store.  A :class:`CoveragePolicy` lets a query opt into graceful
+degradation: the server estimates over the *surviving* periods and
+returns a :class:`DegradedResult` carrying an explicit ``degraded``
+flag, the requested and covered period lists, and the coverage
+fraction — instead of hard-failing on the first missing record.  Only
+when coverage falls below the policy's floor does the query raise, and
+then with the typed :class:`~repro.exceptions.CoverageError` carrying
+the same metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Which of a query's requested periods the store could serve."""
+
+    requested: Tuple[int, ...]
+    covered: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "requested", tuple(self.requested))
+        object.__setattr__(self, "covered", tuple(self.covered))
+
+    @property
+    def missing(self) -> Tuple[int, ...]:
+        """Requested periods with no usable record, in request order."""
+        covered = set(self.covered)
+        return tuple(p for p in self.requested if p not in covered)
+
+    @property
+    def fraction(self) -> float:
+        """Covered share of the requested periods, in [0, 1]."""
+        if not self.requested:
+            return 1.0
+        return len(self.covered) / len(self.requested)
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one requested period is missing."""
+        return len(self.covered) < len(self.requested)
+
+
+@dataclass(frozen=True)
+class CoveragePolicy:
+    """How much missing data a query is willing to tolerate.
+
+    Attributes
+    ----------
+    min_coverage:
+        Minimum covered fraction of the requested periods, in (0, 1].
+        A query whose coverage falls below this raises
+        :class:`~repro.exceptions.CoverageError`.
+    min_periods:
+        Absolute floor on surviving periods (the split-join estimator
+        needs at least 2; single-period volume queries accept 1).
+    """
+
+    min_coverage: float = 0.5
+    min_periods: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.min_coverage <= 1.0:
+            raise ConfigurationError(
+                f"min_coverage must lie in (0, 1], got {self.min_coverage}"
+            )
+        if self.min_periods < 1:
+            raise ConfigurationError(
+                f"min_periods must be >= 1, got {self.min_periods}"
+            )
+
+    def permits(self, report: CoverageReport) -> bool:
+        """Whether a coverage report satisfies this policy."""
+        return (
+            report.fraction >= self.min_coverage
+            and len(report.covered) >= self.min_periods
+        )
+
+
+@dataclass(frozen=True)
+class DegradedResult:
+    """An estimate computed over whatever periods survived.
+
+    Wraps the ordinary estimator result (``value``) so callers keep
+    the full statistics, plus the coverage metadata that tells them
+    how much data the estimate actually saw.
+    """
+
+    value: Any
+    coverage: CoverageReport
+
+    @property
+    def degraded(self) -> bool:
+        """True when the estimate did not see every requested period."""
+        return self.coverage.degraded
+
+    @property
+    def covered_periods(self) -> Tuple[int, ...]:
+        """The periods the estimate was computed over."""
+        return self.coverage.covered
+
+    @property
+    def requested_periods(self) -> Tuple[int, ...]:
+        """The periods the query asked for."""
+        return self.coverage.requested
+
+    @property
+    def coverage_fraction(self) -> float:
+        """Covered share of the requested periods."""
+        return self.coverage.fraction

@@ -1,8 +1,9 @@
 """Storage of uploaded traffic records, keyed by (location, period).
 
 The store accepts either deserialized :class:`TrafficRecord` objects
-or raw upload payloads, rejects duplicates (an RSU produces exactly one
-record per period), and serves the record sets that queries join.
+or raw upload payloads, absorbs byte-identical re-uploads while
+rejecting conflicting ones (an RSU produces exactly one record per
+period), and serves the record sets that queries join.
 """
 
 from __future__ import annotations
@@ -29,13 +30,29 @@ class RecordStore:
         """Memory-resident bitmap bits across all stored records."""
         return self._total_bits
 
-    def add(self, record: TrafficRecord) -> None:
-        """Store one record; duplicates for a (location, period) fail."""
+    def add(self, record: TrafficRecord) -> bool:
+        """Store one record; returns whether it was newly added.
+
+        A byte-identical re-upload of an already-stored record (a
+        retried or duplicated upload — RSUs legitimately re-send) is
+        an idempotent no-op returning False.  A *conflicting* record —
+        same ``(location, period)``, different bitmap — still raises
+        :class:`DataError`: an RSU produces exactly one record per
+        period, so a mismatch means corruption or misbehaviour.
+        """
         key = (record.location, record.period)
-        if key in self._records:
+        existing = self._records.get(key)
+        if existing is not None:
+            if existing.bitmap == record.bitmap:
+                if obs.enabled():
+                    obs.counter(
+                        "repro_store_duplicates_total",
+                        "Byte-identical re-uploads absorbed as no-ops.",
+                    ).inc()
+                return False
             raise DataError(
-                f"a record for location {record.location}, period "
-                f"{record.period} already exists"
+                f"a conflicting record for location {record.location}, "
+                f"period {record.period} already exists"
             )
         self._records[key] = record
         self._total_bits += record.size
@@ -48,6 +65,7 @@ class RecordStore:
                 "repro_store_bits",
                 "Bitmap bits resident in the in-memory store.",
             ).set(self._total_bits)
+        return True
 
     def add_payload(self, payload: bytes) -> TrafficRecord:
         """Deserialize an uploaded payload and store it."""
@@ -77,6 +95,16 @@ class RecordStore:
         persistent-traffic query is only defined over complete data.
         """
         return [self.require(location, period) for period in periods]
+
+    def covered_periods(
+        self, location: int, periods: Sequence[int]
+    ) -> Tuple[int, ...]:
+        """The subset of ``periods`` that hold a record, request order.
+
+        The degraded-query path uses this to decide what a query can
+        still be answered over when uploads went missing.
+        """
+        return tuple(p for p in periods if self.get(location, p) is not None)
 
     def locations(self) -> Set[int]:
         """All locations that have uploaded at least one record."""

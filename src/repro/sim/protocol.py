@@ -29,6 +29,7 @@ class EncounterOutcome(Enum):
 
     ENCODED = "encoded"
     REJECTED_ROGUE = "rejected_rogue"
+    LOST_CHANNEL = "lost_channel"
 
 
 @dataclass(frozen=True)
@@ -43,11 +44,14 @@ class EncounterResult:
 class ProtocolDriver:
     """Executes encounters between on-board units and RSUs."""
 
-    def __init__(self, authenticate: bool = True):
+    def __init__(self, authenticate: bool = True, injector=None):
         # When True, the challenge-response round runs on every
         # encounter; when False only certificate verification gates
         # the response (faster, same bitmap outcome for honest RSUs).
         self._authenticate = authenticate
+        # Optional repro.faults.FaultInjector; when its channel-loss
+        # draw fires, the encoding report never reaches the RSU.
+        self._injector = injector
 
     def beacon_wait(self, rsu: RoadSideUnit, arrival_offset: float) -> float:
         """Seconds from arrival until the next beacon broadcast."""
@@ -59,7 +63,13 @@ class ProtocolDriver:
     def run_encounter(
         self, obu: OnBoardUnit, rsu: RoadSideUnit, arrival_offset: float = 0.0
     ) -> EncounterResult:
-        """Run one full encounter; applies the report to the RSU."""
+        """Run one full encounter; applies the report to the RSU.
+
+        With a fault injector attached, the encoding report may be
+        lost on the DSRC channel — the full exchange still runs (the
+        vehicle doesn't know its report was dropped), but the RSU's
+        bitmap is never touched and the outcome is ``LOST_CHANNEL``.
+        """
         delay = self.beacon_wait(rsu, arrival_offset)
         beacon = rsu.make_beacon()
         if self._authenticate:
@@ -82,6 +92,16 @@ class ProtocolDriver:
                 ).inc()
             return EncounterResult(
                 outcome=EncounterOutcome.REJECTED_ROGUE, beacon_delay=delay
+            )
+        if self._injector is not None and self._injector.drop_report():
+            if obs.enabled():
+                obs.counter(
+                    "repro_encounters_total",
+                    "V2I encounters executed, by outcome.",
+                    outcome="lost_channel",
+                ).inc()
+            return EncounterResult(
+                outcome=EncounterOutcome.LOST_CHANNEL, beacon_delay=delay
             )
         rsu.receive_report(report)
         if obs.enabled():

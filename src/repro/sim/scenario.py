@@ -45,13 +45,21 @@ from repro.vehicle.onboard import OnBoardUnit
 
 @dataclass(frozen=True)
 class PeriodSummary:
-    """What happened during one simulated measurement period."""
+    """What happened during one simulated measurement period.
+
+    ``missed`` counts passes lost to the legacy ``detection_rate``
+    knob; ``lost`` counts injected channel-loss faults and ``outaged``
+    counts passes blanked by RSU outage windows (both zero without a
+    fault plan).
+    """
 
     period: int
     encounters: int
     rejected: int
     missed: int
     reports_by_location: Dict[int, int]
+    lost: int = 0
+    outaged: int = 0
 
 
 class _FleetVehicle:
@@ -91,6 +99,17 @@ class CityScenario:
     hasher_flavour:
         ``"splitmix64"`` (fast, default) or ``"sha256"``
         (byte-faithful protocol hashing).
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan`.  When given,
+        encounters may lose their encoding reports, outage windows
+        blank whole (location, period) cells, and every upload runs
+        through a resilient
+        :class:`~repro.faults.transport.UploadTransport` (retries,
+        checksummed frames, duplicate absorption, dead-lettering)
+        instead of being handed straight to the server.
+    dead_letter_path:
+        Optional JSONL file mirroring the transport's quarantine
+        (only meaningful with a fault plan).
     """
 
     def __init__(
@@ -106,6 +125,8 @@ class CityScenario:
         seed: int = 0,
         hasher_flavour: str = "splitmix64",
         detection_rate: float = 1.0,
+        fault_plan=None,
+        dead_letter_path=None,
     ):
         if persistent_vehicles < 0 or transient_vehicles_per_period < 0:
             raise ConfigurationError("fleet sizes must be non-negative")
@@ -126,7 +147,19 @@ class CityScenario:
         self._keygen = KeyGenerator(master_seed=seed ^ 0x5EED, s=s)
         self._encoder = VehicleEncoder(default_hasher(seed ^ 0xA5A5, hasher_flavour))
         self._planner = TripPlanner(network, period_seconds=period_seconds)
-        self._driver = ProtocolDriver(authenticate=True)
+        self._fault_plan = fault_plan
+        self._injector = fault_plan.injector() if fault_plan is not None else None
+        if fault_plan is not None:
+            from repro.faults.transport import UploadTransport
+
+            self._transport = UploadTransport(
+                self._server,
+                injector=self._injector,
+                dead_letter_path=dead_letter_path,
+            )
+        else:
+            self._transport = None
+        self._driver = ProtocolDriver(authenticate=True, injector=self._injector)
         self._truth = ExactIdCounter()
         self._period_seconds = float(period_seconds)
         self._detection_rate = float(detection_rate)
@@ -155,6 +188,21 @@ class CityScenario:
     def truth(self) -> ExactIdCounter:
         """Exact (non-private) ground truth, for evaluation only."""
         return self._truth
+
+    @property
+    def fault_plan(self):
+        """The attached fault plan, or None."""
+        return self._fault_plan
+
+    @property
+    def injector(self):
+        """The run's fault injector (fault counts live here), or None."""
+        return self._injector
+
+    @property
+    def transport(self):
+        """The resilient upload transport, or None without faults."""
+        return self._transport
 
     @property
     def periods_run(self) -> int:
@@ -228,6 +276,8 @@ class CityScenario:
                 encounters=summary.encounters,
                 missed=summary.missed,
                 rejected=summary.rejected,
+                lost=summary.lost,
+                outaged=summary.outaged,
                 reports_by_location=summary.reports_by_location,
             )
         return summary
@@ -235,7 +285,17 @@ class CityScenario:
     def _run_period(self) -> PeriodSummary:
         period = self._periods_run
         engine = SimulationEngine()
-        counters = {"encounters": 0, "rejected": 0, "missed": 0}
+        if self._transport is not None:
+            # Delayed uploads from earlier periods arrive now, out of
+            # order relative to the live stream.
+            self._transport.flush()
+        counters = {
+            "encounters": 0,
+            "rejected": 0,
+            "missed": 0,
+            "lost": 0,
+            "outaged": 0,
+        }
         reports_by_location: Dict[int, int] = {
             location: 0 for location in self._deployment.locations
         }
@@ -267,7 +327,16 @@ class CityScenario:
 
         for location in self._deployment.locations:
             record = self._deployment.rsu_at(location).end_period()
-            self._server.receive_payload(record.to_payload())
+            if self._injector is not None and self._injector.in_outage(
+                location, period
+            ):
+                # The RSU was dark this whole period: its record never
+                # leaves the site.  Queries over this period degrade.
+                continue
+            if self._transport is not None:
+                self._transport.send(record)
+            else:
+                self._server.receive_payload(record.to_payload())
 
         self._periods_run += 1
         return PeriodSummary(
@@ -276,6 +345,8 @@ class CityScenario:
             rejected=counters["rejected"],
             missed=counters["missed"],
             reports_by_location=reports_by_location,
+            lost=counters["lost"],
+            outaged=counters["outaged"],
         )
 
     def _make_encounter_action(
@@ -294,6 +365,13 @@ class CityScenario:
             self._truth.observe(
                 location, period, vehicle.obu.identity.vehicle_id
             )
+            # An RSU in an injected outage window broadcasts nothing;
+            # the pass happens but can never be recorded.
+            if self._injector is not None and self._injector.in_outage(
+                location, period
+            ):
+                counters["outaged"] += 1
+                return
             # Channel fault injection: the vehicle misses the beacon
             # window (occlusion, collision, packet loss) and passes
             # unrecorded.
@@ -315,12 +393,22 @@ class CityScenario:
             if result.outcome is EncounterOutcome.REJECTED_ROGUE:
                 counters["rejected"] += 1
                 return
+            if result.outcome is EncounterOutcome.LOST_CHANNEL:
+                counters["lost"] += 1
+                return
             reports_by_location[location] += 1
 
         return action
+
+    def flush_uploads(self) -> None:
+        """Deliver any fault-delayed uploads still held by the transport."""
+        if self._transport is not None:
+            self._transport.flush()
 
     def run(self, periods: int) -> List[PeriodSummary]:
         """Run several consecutive measurement periods."""
         if periods < 1:
             raise ConfigurationError(f"periods must be >= 1, got {periods}")
-        return [self.run_period() for _ in range(periods)]
+        summaries = [self.run_period() for _ in range(periods)]
+        self.flush_uploads()
+        return summaries

@@ -109,6 +109,20 @@ class SyntheticPointScenario:
         """The swept values of ``n*`` (at least 1 vehicle each)."""
         return [max(int(round(f * self.n_min)), 1) for f in self.fractions]
 
+    def surviving_periods(self, fault_plan, location: int) -> Tuple[int, ...]:
+        """Period indices an injected fault plan's outages don't blank.
+
+        The synthetic workload has no upload path, so RSU outages are
+        modelled at the scenario level: a blanked period simply never
+        produces a record, and callers estimate over what survives
+        (degraded, exactly like the city pipeline).
+        """
+        return tuple(
+            p
+            for p in range(self.periods)
+            if not fault_plan.outage_covers(location, p)
+        )
+
     def generate_batch(
         self,
         workload,
@@ -117,6 +131,7 @@ class SyntheticPointScenario:
         rngs,
         detection_rate: float = 1.0,
         volume_range: Tuple[int, int] = DEFAULT_VOLUME_RANGE,
+        fault_plan=None,
     ):
         """Generate a whole Monte-Carlo cell of this scenario at once.
 
@@ -125,7 +140,14 @@ class SyntheticPointScenario:
         wiring in this scenario's drawn volumes and the long-run
         expected volume (Eq. 2 sizing) — the same arguments the
         experiment harness passes for a single serial run.
+
+        A :class:`~repro.faults.plan.FaultPlan` folds its per-encounter
+        channel loss into the detection rate (the synthetic workload's
+        per-pass miss probability models exactly that fault); outages
+        are applied by the caller via :meth:`surviving_periods`.
         """
+        if fault_plan is not None:
+            detection_rate = detection_rate * (1.0 - fault_plan.channel_loss)
         return workload.generate_batch(
             n_star=n_star,
             volumes=self.volumes,

@@ -1,0 +1,116 @@
+"""Edge-case behaviour of the estimators: saturation, emptiness, and
+scalar/batch typed-error parity (the graceful-degradation contract)."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import DirectAndBenchmark
+from repro.core.point import PointPersistentEstimator
+from repro.core.point_to_point import PointToPointPersistentEstimator
+from repro.exceptions import (
+    EstimationError,
+    SaturatedBitmapError,
+    SketchError,
+)
+from repro.sketch.batch import BitmapBatch
+from repro.sketch.bitmap import Bitmap
+
+
+def _full(size=64):
+    bitmap = Bitmap(size)
+    bitmap.set_many(np.arange(size))
+    return bitmap
+
+
+def _sparse(size=64, fill=8, seed=0):
+    rng = np.random.default_rng(seed)
+    bitmap = Bitmap(size)
+    bitmap.set_many(rng.integers(0, size, size=fill))
+    return bitmap
+
+
+class TestScalarEdges:
+    def test_saturated_halves_raise_typed_error(self):
+        with pytest.raises(SaturatedBitmapError):
+            PointPersistentEstimator().estimate([_full(), _full()])
+
+    def test_all_zero_records_estimate_zero(self):
+        estimate = PointPersistentEstimator().estimate(
+            [Bitmap(64), Bitmap(64), Bitmap(64)]
+        )
+        assert estimate.estimate == 0.0
+        assert estimate.clamped == 0.0
+
+    def test_single_record_rejected(self):
+        with pytest.raises(SketchError, match="at least 2"):
+            PointPersistentEstimator().estimate([_sparse()])
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(SketchError):
+            PointPersistentEstimator().estimate([])
+
+    def test_saturated_or_join_point_to_point(self):
+        estimator = PointToPointPersistentEstimator(s=3)
+        with pytest.raises(SaturatedBitmapError):
+            estimator.estimate([_full(), _full()], [_full(), _full()])
+
+    def test_saturated_benchmark(self):
+        with pytest.raises(SaturatedBitmapError):
+            DirectAndBenchmark().estimate([_full(), _full()])
+
+
+class TestBatchErrorParity:
+    """estimate_batch must raise the same typed error the scalar path
+    raises for the failing run, naming the run index."""
+
+    def _batches(self, runs):
+        """Two periods; ``runs`` is a list of per-run (a, b) bitmaps."""
+        period_a = BitmapBatch.from_bitmaps([a for a, _ in runs])
+        period_b = BitmapBatch.from_bitmaps([b for _, b in runs])
+        return [period_a, period_b]
+
+    def test_point_batch_matches_scalar_error(self):
+        healthy = (_sparse(seed=1), _sparse(seed=2))
+        saturated = (_full(), _full())
+        batches = self._batches([healthy, saturated])
+        with pytest.raises(SaturatedBitmapError, match="run 1"):
+            PointPersistentEstimator().estimate_batch(batches)
+        # The scalar path agrees on the error type.
+        with pytest.raises(SaturatedBitmapError):
+            PointPersistentEstimator().estimate(list(saturated))
+
+    def test_point_batch_healthy_runs_match_scalar(self):
+        runs = [
+            (_sparse(seed=1), _sparse(seed=2)),
+            (_sparse(seed=3), _sparse(seed=4)),
+        ]
+        batch_results = PointPersistentEstimator().estimate_batch(
+            self._batches(runs)
+        )
+        for run, (a, b) in enumerate(runs):
+            scalar = PointPersistentEstimator().estimate([a, b])
+            assert batch_results[run].estimate == scalar.estimate
+
+    def test_point_to_point_batch_matches_scalar_error(self):
+        estimator = PointToPointPersistentEstimator(s=3)
+        healthy_a = (_sparse(seed=1), _sparse(seed=2))
+        healthy_b = (_sparse(seed=3), _sparse(seed=4))
+        saturated = (_full(), _full())
+        batches_a = self._batches([healthy_a, saturated])
+        batches_b = self._batches([healthy_b, saturated])
+        with pytest.raises(SaturatedBitmapError, match="run 1"):
+            estimator.estimate_batch(batches_a, batches_b)
+
+    def test_benchmark_batch_matches_scalar_error(self):
+        healthy = (_sparse(seed=1), _sparse(seed=2))
+        saturated = (_full(), _full())
+        batches = self._batches([healthy, saturated])
+        with pytest.raises(SaturatedBitmapError, match="run 1"):
+            DirectAndBenchmark().estimate_batch(batches)
+
+    def test_batch_error_chains_original(self):
+        batches = self._batches([(_full(), _full())])
+        with pytest.raises(SaturatedBitmapError) as excinfo:
+            PointPersistentEstimator().estimate_batch(batches)
+        assert isinstance(excinfo.value.__cause__, SaturatedBitmapError)
+        assert isinstance(excinfo.value, EstimationError)  # the shared base

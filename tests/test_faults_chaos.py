@@ -1,0 +1,101 @@
+"""The chaos smoke test: the acceptance gate for the fault pipeline.
+
+Runs the full city pipeline under a fixed-seed fault grid (channel
+loss x corruption, plus an outage window and steady timeout /
+duplicate / delay rates) and asserts the tentpole guarantees: zero
+uncaught exceptions, honest degradation flags, bounded estimates, and
+all fault counters visible in the Prometheus export.
+
+Marked ``chaos`` so CI can run it as a dedicated smoke step
+(``pytest -m chaos``); it also runs in the plain suite and stays well
+under the 60 s budget (~5 s).
+"""
+
+import pytest
+
+from repro.faults.chaos import ChaosConfig, format_chaos, run_chaos
+from repro.obs import export, runtime
+
+pytestmark = pytest.mark.chaos
+
+#: The acceptance grid: 5% loss, one outage window, 1% corruption.
+_CONFIG = ChaosConfig(
+    seed=2017,
+    periods=6,
+    commuters=120,
+    transients=600,
+    channel_loss_rates=(0.0, 0.05),
+    corruption_rates=(0.0, 0.01),
+)
+
+_FAULT_COUNTERS = (
+    "repro_faults_injected_total",
+    "repro_uploads_retried_total",
+    "repro_records_quarantined_total",
+    "repro_queries_degraded_total",
+)
+
+
+@pytest.fixture(scope="module")
+def chaos_run():
+    """One shared sweep (the suite asserts many facets of one run)."""
+    registry = runtime.enable(export.MetricsRegistry())
+    try:
+        result = run_chaos(_CONFIG)
+    finally:
+        runtime.disable()
+    return result, registry
+
+
+class TestChaosSweep:
+    def test_zero_crashes_and_all_violations_checked(self, chaos_run):
+        result, _ = chaos_run
+        assert result.ok, "\n".join(result.violations)
+        result.check()  # must not raise
+
+    def test_every_cell_answered_or_typed(self, chaos_run):
+        result, _ = chaos_run
+        assert result.cells
+        for cell in result.cells:
+            if not cell.answered:
+                # Unanswered cells must carry a typed reason, never a
+                # swallowed crash.
+                assert cell.reason
+
+    def test_degradation_is_honest(self, chaos_run):
+        """Every query with missing periods is flagged degraded with
+        the covered subset of what it requested."""
+        result, _ = chaos_run
+        degraded = [c for c in result.cells if c.answered and c.degraded]
+        assert degraded, "the outage window must degrade some queries"
+        for cell in degraded:
+            assert set(cell.covered) < set(cell.requested)
+            assert 0.0 < cell.coverage < 1.0
+
+    def test_faults_actually_injected(self, chaos_run):
+        result, _ = chaos_run
+        assert result.fault_counts["channel_loss"] > 0
+        assert result.fault_counts["outage"] > 0
+        assert result.transport_stats["uploads"] > 0
+
+    def test_all_fault_counters_exported(self, chaos_run):
+        """The four acceptance counters appear in the Prometheus
+        export even when a fault kind never fired at this seed."""
+        _, registry = chaos_run
+        prom = export.to_prometheus(registry)
+        for counter in _FAULT_COUNTERS:
+            assert counter in prom, f"{counter} missing from export"
+
+    def test_deterministic_for_a_seed(self, chaos_run):
+        result, _ = chaos_run
+        again = run_chaos(_CONFIG)
+        assert again.fault_counts == result.fault_counts
+        assert [c.estimate for c in again.cells] == [
+            c.estimate for c in result.cells
+        ]
+
+    def test_format_renders(self, chaos_run):
+        result, _ = chaos_run
+        text = format_chaos(result)
+        assert "verdict" in text
+        assert "faults injected" in text

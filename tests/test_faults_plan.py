@@ -1,0 +1,134 @@
+"""Unit tests for the fault plan and injector (repro.faults.plan)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.faults.plan import FaultInjector, FaultKind, FaultPlan, OutageWindow
+
+
+class TestOutageWindow:
+    def test_covers(self):
+        window = OutageWindow(first_period=2, last_period=4, location=7)
+        assert window.covers(7, 2)
+        assert window.covers(7, 4)
+        assert not window.covers(7, 1)
+        assert not window.covers(8, 3)
+
+    def test_any_location(self):
+        window = OutageWindow(first_period=0, last_period=0, location=None)
+        assert window.covers(1, 0)
+        assert window.covers(99, 0)
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OutageWindow(first_period=3, last_period=1)
+
+
+class TestFaultPlan:
+    def test_noop_by_default(self):
+        assert FaultPlan().is_noop
+        assert not FaultPlan(channel_loss=0.1).is_noop
+        assert not FaultPlan(outages=(OutageWindow(0, 0),)).is_noop
+
+    def test_rates_validated(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(channel_loss=1.0)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(corruption=-0.1)
+
+    def test_json_roundtrip(self):
+        plan = FaultPlan(
+            seed=9,
+            channel_loss=0.05,
+            timeout=0.02,
+            outages=(OutageWindow(1, 2, location=5),),
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        plan = FaultPlan(seed=3, duplicate=0.1)
+        path.write_text(plan.to_json())
+        assert FaultPlan.from_file(path) == plan
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            FaultPlan.from_json('{"seed": 1, "not_a_fault": 0.5}')
+
+    def test_scaled(self):
+        plan = FaultPlan(channel_loss=0.2, corruption=0.1)
+        half = plan.scaled(0.5)
+        assert half.channel_loss == pytest.approx(0.1)
+        assert half.corruption == pytest.approx(0.05)
+        assert half.seed == plan.seed
+
+    def test_substream_seeds_differ_by_name(self):
+        plan = FaultPlan(seed=11)
+        assert plan.substream_seed("channel_loss") != plan.substream_seed(
+            "timeout"
+        )
+
+
+class TestFaultInjector:
+    def test_deterministic_for_a_seed(self):
+        draws_a = [
+            FaultPlan(seed=5, channel_loss=0.3).injector().drop_report()
+            for _ in range(1)
+        ]
+        injector_a = FaultPlan(seed=5, channel_loss=0.3).injector()
+        injector_b = FaultPlan(seed=5, channel_loss=0.3).injector()
+        sequence_a = [injector_a.drop_report() for _ in range(200)]
+        sequence_b = [injector_b.drop_report() for _ in range(200)]
+        assert sequence_a == sequence_b
+        assert any(sequence_a) and not all(sequence_a)
+        assert draws_a[0] == sequence_a[0]
+
+    def test_substreams_independent(self):
+        """Enabling one fault kind never shifts another kind's draws."""
+        loss_only = FaultPlan(seed=5, channel_loss=0.3).injector()
+        loss_and_timeout = FaultPlan(
+            seed=5, channel_loss=0.3, timeout=0.5
+        ).injector()
+        drops_a = [loss_only.drop_report() for _ in range(200)]
+        drops_b = []
+        for _ in range(200):
+            loss_and_timeout.upload_times_out()  # interleaved other-kind draws
+            drops_b.append(loss_and_timeout.drop_report())
+        assert drops_a == drops_b
+
+    def test_counts_by_kind(self):
+        injector = FaultPlan(seed=1, channel_loss=0.5).injector()
+        fired = sum(injector.drop_report() for _ in range(100))
+        assert injector.counts[FaultKind.CHANNEL_LOSS.value] == fired
+        assert injector.total_injected == fired
+
+    def test_outage_deterministic(self):
+        plan = FaultPlan(seed=2, outages=(OutageWindow(1, 2, location=4),))
+        injector = plan.injector()
+        assert injector.in_outage(4, 1)
+        assert injector.in_outage(4, 2)
+        assert not injector.in_outage(4, 0)
+        assert not injector.in_outage(5, 1)
+        assert injector.counts[FaultKind.OUTAGE.value] == 2
+
+    def test_corrupt_payload_flips_one_bit(self):
+        injector = FaultPlan(seed=8, corruption=0.999).injector()
+        payload = bytes(range(32))
+        corrupted = None
+        for _ in range(50):  # rate < 1, so retry until the fault fires
+            corrupted = injector.corrupt_payload(payload)
+            if corrupted != payload:
+                break
+        assert corrupted is not None and corrupted != payload
+        assert len(corrupted) == len(payload)
+        differing = [
+            bin(a ^ b).count("1") for a, b in zip(payload, corrupted)
+        ]
+        assert sum(differing) == 1
+
+    def test_zero_rate_never_fires(self):
+        injector = FaultPlan(seed=8).injector()
+        assert not any(injector.upload_times_out() for _ in range(100))
+        payload = b"\x00" * 16
+        assert injector.corrupt_payload(payload) == payload
+        assert injector.total_injected == 0

@@ -1,0 +1,185 @@
+"""Unit tests for the resilient upload transport (repro.faults.transport)."""
+
+import json
+
+import pytest
+
+from repro.exceptions import DataError, TransportError
+from repro.faults.plan import FaultPlan
+from repro.faults.transport import (
+    FRAME_MAGIC,
+    DeadLetterLog,
+    UploadOutcome,
+    UploadTransport,
+    frame_payload,
+    unframe_payload,
+)
+from repro.rsu.record import TrafficRecord
+from repro.sketch.bitmap import Bitmap
+
+
+def _record(location=1, period=0, size=64, bit=None):
+    bitmap = Bitmap(size)
+    if bit is not None:
+        bitmap.set(bit)
+    return TrafficRecord(location=location, period=period, bitmap=bitmap)
+
+
+class _FakeServer:
+    """Minimal receive_record endpoint with the store's idempotency."""
+
+    def __init__(self):
+        self.records = {}
+
+    def receive_record(self, record):
+        key = (record.location, record.period)
+        existing = self.records.get(key)
+        if existing is not None:
+            if existing.bitmap == record.bitmap:
+                return False
+            raise DataError("conflicting record")
+        self.records[key] = record
+        return True
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        payload = b"traffic record bytes"
+        frame = frame_payload(payload)
+        assert frame.startswith(FRAME_MAGIC)
+        recovered, ok = unframe_payload(frame)
+        assert ok and recovered == payload
+
+    def test_bit_flip_detected(self):
+        frame = bytearray(frame_payload(b"payload"))
+        frame[-1] ^= 0x01
+        _, ok = unframe_payload(bytes(frame))
+        assert not ok
+
+    def test_wrong_magic_rejected(self):
+        with pytest.raises(TransportError):
+            unframe_payload(b"XXXX" + b"\x00" * 40)
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(TransportError):
+            unframe_payload(b"RF")
+
+
+class TestCleanDelivery:
+    def test_delivers_without_injector(self):
+        server = _FakeServer()
+        transport = UploadTransport(server)
+        receipt = transport.send(_record())
+        assert receipt.outcome is UploadOutcome.DELIVERED
+        assert receipt.attempts == 1
+        assert (1, 0) in server.records
+        assert transport.stats.delivered == 1
+
+    def test_identical_duplicate_absorbed(self):
+        transport = UploadTransport(_FakeServer())
+        transport.send(_record())
+        receipt = transport.send(_record())
+        assert receipt.outcome is UploadOutcome.DUPLICATE
+        assert transport.stats.duplicates == 1
+        assert len(transport.dead_letters) == 0
+
+    def test_conflict_quarantined_not_raised(self):
+        transport = UploadTransport(_FakeServer())
+        transport.send(_record(bit=1))
+        receipt = transport.send(_record(bit=2))
+        assert receipt.outcome is UploadOutcome.QUARANTINED
+        assert receipt.reason == "conflict"
+        assert transport.dead_letters.entries[0].reason == "conflict"
+
+    def test_undecodable_payload_quarantined(self):
+        transport = UploadTransport(_FakeServer())
+        receipt = transport.send(b"not a traffic record")
+        assert receipt.outcome is UploadOutcome.QUARANTINED
+        assert receipt.reason == "undecodable"
+
+
+class TestInjectedFaults:
+    def test_timeouts_retry_with_backoff(self):
+        # timeout=0.7 at this seed fires a few times, then delivery
+        # succeeds within the attempt budget.
+        injector = FaultPlan(seed=3, timeout=0.7).injector()
+        transport = UploadTransport(
+            _FakeServer(), injector=injector, max_attempts=50
+        )
+        receipt = transport.send(_record())
+        assert receipt.outcome is UploadOutcome.DELIVERED
+        assert receipt.attempts == transport.stats.retries + 1
+        assert transport.stats.retries >= 1
+        assert transport.stats.backoff_seconds > 0.0
+
+    def test_retries_exhausted_quarantines(self):
+        injector = FaultPlan(seed=3, timeout=0.999).injector()
+        transport = UploadTransport(
+            _FakeServer(), injector=injector, max_attempts=3
+        )
+        receipt = transport.send(_record())
+        assert receipt.outcome is UploadOutcome.QUARANTINED
+        assert receipt.reason == "retries_exhausted"
+        assert receipt.attempts == 3
+
+    def test_corruption_caught_by_checksum(self):
+        injector = FaultPlan(seed=4, corruption=0.999).injector()
+        server = _FakeServer()
+        transport = UploadTransport(server, injector=injector)
+        outcomes = {transport.send(_record(period=p)).outcome for p in range(20)}
+        assert UploadOutcome.QUARANTINED in outcomes
+        quarantined = [
+            d
+            for d in transport.dead_letters.entries
+            if d.reason in ("checksum", "malformed")
+        ]
+        assert quarantined
+        # Nothing corrupted ever reached the store.
+        assert all(r.bitmap == Bitmap(64) for r in server.records.values())
+
+    def test_injected_duplicate_absorbed(self):
+        injector = FaultPlan(seed=5, duplicate=0.999).injector()
+        transport = UploadTransport(_FakeServer(), injector=injector)
+        receipt = transport.send(_record())
+        assert receipt.outcome is UploadOutcome.DELIVERED
+        assert transport.stats.uploads == 2
+        assert transport.stats.duplicates >= 1
+
+    def test_delay_defers_until_flush(self):
+        injector = FaultPlan(seed=6, delay=0.999).injector()
+        server = _FakeServer()
+        transport = UploadTransport(server, injector=injector)
+        receipt = transport.send(_record())
+        assert receipt.outcome is UploadOutcome.DEFERRED
+        assert transport.pending == 1
+        assert not server.records
+        flushed = transport.flush()
+        assert [r.outcome for r in flushed] == [UploadOutcome.DELIVERED]
+        assert (1, 0) in server.records
+        assert transport.pending == 0
+
+    def test_flush_delivers_out_of_order(self):
+        injector = FaultPlan(seed=6, delay=0.999).injector()
+        server = _FakeServer()
+        transport = UploadTransport(server, injector=injector)
+        for period in range(3):
+            transport.send(_record(period=period))
+        flushed = transport.flush()
+        assert [r.record.period for r in flushed] == [2, 1, 0]
+
+
+class TestDeadLetterLog:
+    def test_jsonl_mirror(self, tmp_path):
+        path = tmp_path / "dead.jsonl"
+        log = DeadLetterLog(path)
+        log.append("checksum", frame_payload(b"payload"), attempts=2)
+        log.close()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1
+        entry = json.loads(lines[0])
+        assert entry["reason"] == "checksum"
+        assert entry["attempts"] == 2
+
+    def test_invalid_max_attempts(self):
+        with pytest.raises(TransportError):
+            UploadTransport(_FakeServer(), max_attempts=0)

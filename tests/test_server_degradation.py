@@ -1,0 +1,139 @@
+"""Tests for coverage-policy graceful degradation (repro.server.degradation)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, CoverageError, DataError
+from repro.rsu.record import TrafficRecord
+from repro.server.central import CentralServer
+from repro.server.degradation import (
+    CoveragePolicy,
+    CoverageReport,
+    DegradedResult,
+)
+from repro.server.queries import PointPersistentQuery, PointToPointPersistentQuery
+from repro.sketch.bitmap import Bitmap
+
+
+def _record(location, period, size=256, seed=None):
+    rng = np.random.default_rng(seed if seed is not None else (location, period))
+    bitmap = Bitmap(size)
+    bitmap.set_many(rng.integers(0, size, size=size // 4))
+    return TrafficRecord(location=location, period=period, bitmap=bitmap)
+
+
+class TestCoverageReport:
+    def test_full_coverage(self):
+        report = CoverageReport(requested=(0, 1, 2), covered=(0, 1, 2))
+        assert not report.degraded
+        assert report.fraction == 1.0
+        assert report.missing == ()
+
+    def test_partial_coverage(self):
+        report = CoverageReport(requested=(0, 1, 2, 3), covered=(0, 2))
+        assert report.degraded
+        assert report.fraction == pytest.approx(0.5)
+        assert report.missing == (1, 3)
+
+
+class TestCoveragePolicy:
+    def test_permits(self):
+        policy = CoveragePolicy(min_coverage=0.5, min_periods=2)
+        assert policy.permits(CoverageReport((0, 1, 2, 3), (0, 1)))
+        assert not policy.permits(CoverageReport((0, 1, 2, 3), (0,)))
+        assert not policy.permits(CoverageReport((0, 1, 2), (0,)))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CoveragePolicy(min_coverage=1.5)
+        with pytest.raises(ConfigurationError):
+            CoveragePolicy(min_periods=0)
+
+
+class TestDegradedQueries:
+    def _server(self, periods=(0, 1, 2, 3), locations=(1,)):
+        server = CentralServer(s=3)
+        for location in locations:
+            for period in periods:
+                server.receive_record(_record(location, period))
+        return server
+
+    def test_full_coverage_not_degraded(self):
+        server = self._server()
+        result = server.point_persistent(
+            PointPersistentQuery(location=1, periods=(0, 1, 2, 3)),
+            policy=CoveragePolicy(),
+        )
+        assert isinstance(result, DegradedResult)
+        assert not result.degraded
+        assert result.coverage_fraction == 1.0
+        strict = server.point_persistent(
+            PointPersistentQuery(location=1, periods=(0, 1, 2, 3))
+        )
+        assert result.value.estimate == strict.estimate
+
+    def test_missing_period_degrades(self):
+        server = self._server(periods=(0, 1, 3))
+        result = server.point_persistent(
+            PointPersistentQuery(location=1, periods=(0, 1, 2, 3)),
+            policy=CoveragePolicy(min_coverage=0.5),
+        )
+        assert result.degraded
+        assert result.covered_periods == (0, 1, 3)
+        assert result.requested_periods == (0, 1, 2, 3)
+        assert result.coverage_fraction == pytest.approx(0.75)
+        # The value matches a strict query over the surviving periods.
+        strict = server.point_persistent(
+            PointPersistentQuery(location=1, periods=(0, 1, 3))
+        )
+        assert result.value.estimate == strict.estimate
+
+    def test_below_floor_raises_typed_error(self):
+        server = self._server(periods=(0,))
+        with pytest.raises(CoverageError) as excinfo:
+            server.point_persistent(
+                PointPersistentQuery(location=1, periods=(0, 1, 2, 3)),
+                policy=CoveragePolicy(min_coverage=0.5),
+            )
+        report = excinfo.value.coverage
+        assert report is not None
+        assert report.covered == (0,)
+        assert report.requested == (0, 1, 2, 3)
+
+    def test_without_policy_stays_strict(self):
+        server = self._server(periods=(0, 1))
+        with pytest.raises(DataError):
+            server.point_persistent(
+                PointPersistentQuery(location=1, periods=(0, 1, 2))
+            )
+
+    def test_point_to_point_needs_both_sides(self):
+        server = CentralServer(s=3)
+        for period in (0, 1, 2):
+            server.receive_record(_record(1, period))
+        for period in (0, 1):  # location 2 lost period 2
+            server.receive_record(_record(2, period))
+        result = server.point_to_point_persistent(
+            PointToPointPersistentQuery(
+                location_a=1, location_b=2, periods=(0, 1, 2)
+            ),
+            policy=CoveragePolicy(min_coverage=0.5),
+        )
+        assert result.degraded
+        assert result.covered_periods == (0, 1)
+
+    def test_degraded_counter(self):
+        from repro.obs import runtime
+
+        server = self._server(periods=(0, 1, 3))
+        registry = runtime.enable()
+        try:
+            server.point_persistent(
+                PointPersistentQuery(location=1, periods=(0, 1, 2, 3)),
+                policy=CoveragePolicy(min_coverage=0.5),
+            )
+        finally:
+            runtime.disable()
+        family = registry.get("repro_queries_degraded_total")
+        assert family is not None
+        assert sum(child.value for _, child in family.children()) == 1

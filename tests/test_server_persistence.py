@@ -32,10 +32,17 @@ class TestSaveAndLoad:
         assert restored.period == 3
         assert restored.bitmap == original.bitmap
 
-    def test_duplicate_rejected(self, archive):
+    def test_identical_duplicate_is_noop(self, archive):
+        """Re-saving the same record returns the existing path."""
+        first = archive.save(_record(1, 0))
+        second = archive.save(_record(1, 0))
+        assert first == second
+        assert len(archive) == 1
+
+    def test_conflicting_duplicate_rejected(self, archive):
         archive.save(_record(1, 0))
         with pytest.raises(DataError):
-            archive.save(_record(1, 0))
+            archive.save(_record(1, 0, seed=1))
 
     def test_missing_record(self, archive):
         with pytest.raises(DataError):
@@ -99,6 +106,77 @@ class TestIntegrity:
         with pytest.raises(DataError, match="unreadable"):
             RecordArchive(directory)
 
+class TestCrashRecovery:
+    def test_kill_mid_save_recovers_orphan(self, archive):
+        """A record file without a manifest entry (crash between the
+        record write and the manifest write) is adopted with no loss."""
+        archive.save(_record(1, 0))
+        # Simulate the crash: the record landed on disk, the manifest
+        # update never happened.
+        orphan = _record(1, 1, seed=7)
+        orphan_path = archive._directory / "loc00001_per00001.record"
+        orphan_path.write_bytes(orphan.to_payload())
+        reopened = RecordArchive(archive._directory)
+        with pytest.raises(DataError):
+            reopened.load(1, 1)  # invisible before repair
+        report = reopened.repair()
+        assert report.recovered == ((1, 1),)
+        assert report.dropped == ()
+        assert report.quarantined == ()
+        assert reopened.load(1, 1).bitmap == orphan.bitmap
+        # The repair is durable: a fresh instance sees the record.
+        assert RecordArchive(archive._directory).load(1, 1).period == 1
+
+    def test_unparseable_orphan_quarantined(self, archive):
+        archive.save(_record(2, 0))
+        junk = archive._directory / "loc00002_per00001.record"
+        junk.write_bytes(b"\x00garbage")
+        report = archive.repair()
+        assert report.quarantined == ("loc00002_per00001.record",)
+        assert not junk.exists()
+        assert (archive._directory / "loc00002_per00001.record.corrupt").exists()
+
+    def test_mislabelled_orphan_quarantined(self, archive):
+        """An orphan whose payload disagrees with its filename is not
+        adopted under the wrong key."""
+        mislabelled = _record(5, 5)
+        path = archive._directory / "loc00005_per00004.record"
+        path.write_bytes(mislabelled.to_payload())
+        report = archive.repair()
+        assert report.recovered == ()
+        assert report.quarantined == ("loc00005_per00004.record",)
+
+    def test_vanished_file_dropped(self, archive):
+        path = archive.save(_record(3, 0))
+        archive.save(_record(3, 1))
+        path.unlink()
+        report = archive.repair()
+        assert report.dropped == ("3/0",)
+        assert archive.entries() == [(3, 1)]
+        assert archive.verify() == 1
+
+    def test_repair_clean_archive_is_noop(self, archive):
+        archive.save_all([_record(1, p) for p in range(3)])
+        manifest_before = (archive._directory / "manifest.json").read_bytes()
+        report = archive.repair()
+        assert report.clean
+        assert (archive._directory / "manifest.json").read_bytes() == manifest_before
+
+    def test_recover_from_trashed_manifest(self, archive):
+        for period in range(3):
+            archive.save(_record(6, period, seed=period))
+        (archive._directory / "manifest.json").write_text("{not json")
+        restored, report = RecordArchive.recover(archive._directory)
+        assert sorted(report.recovered) == [(6, 0), (6, 1), (6, 2)]
+        assert restored.verify() == 3
+        assert restored.load_store().periods_for(6) == [0, 1, 2]
+
+    def test_no_stray_tmp_files_after_save(self, archive):
+        archive.save_all([_record(1, p) for p in range(4)])
+        assert list(archive._directory.glob("*.tmp")) == []
+
+
+class TestIntegrityMislabelled:
     def test_mislabelled_record_detected(self, archive):
         """A payload whose embedded metadata disagrees with its
         manifest key is rejected."""

@@ -20,11 +20,27 @@ class TestRecordStore:
         assert store.get(1, 0) is record
         assert len(store) == 1
 
-    def test_duplicate_rejected(self):
+    def test_identical_duplicate_is_noop(self):
+        """Byte-identical re-uploads absorb silently (idempotent ingest)."""
+        store = RecordStore()
+        assert store.add(_record(1, 0)) is True
+        assert store.add(_record(1, 0)) is False
+        assert len(store) == 1
+
+    def test_conflicting_duplicate_rejected(self):
         store = RecordStore()
         store.add(_record(1, 0))
-        with pytest.raises(DataError):
-            store.add(_record(1, 0))
+        conflicting = _record(1, 0)
+        conflicting.bitmap.set(3)
+        with pytest.raises(DataError, match="conflicting"):
+            store.add(conflicting)
+
+    def test_covered_periods(self):
+        store = RecordStore()
+        for period in (0, 2):
+            store.add(_record(4, period))
+        assert store.covered_periods(4, [0, 1, 2]) == (0, 2)
+        assert store.covered_periods(99, [0, 1]) == ()
 
     def test_get_missing_returns_none(self):
         assert RecordStore().get(1, 0) is None
