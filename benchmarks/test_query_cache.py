@@ -1,0 +1,193 @@
+"""Query-plan cache and interval-join index on server-side workloads.
+
+Two workloads, both asserted bit-identical before timing is trusted:
+
+* **flow matrix** — ``L`` locations over ``t`` periods; every
+  unordered pair is a point-to-point query whose per-location
+  AND-joins the cache shares, dropping the matrix from O(L²) to O(L)
+  join computations.  The cache-on run must be at least 2x faster on
+  this smoke workload and must actually hit (hit rate > 0) — both are
+  hard CI gates.
+* **sliding window** — one monitor fed ``t`` periods with window
+  ``w``; the interval-join index turns each arrival's re-join of
+  ``w`` bitmaps into O(1) cached range joins.  Its speedup is
+  recorded without a hard threshold (small windows leave the index
+  less room than the matrix gives the cache).
+
+Timings and speedups land in the ``query_cache`` section of
+``BENCH_perf.json`` next to the estimator-throughput numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.rsu.record import TrafficRecord
+from repro.server.central import CentralServer
+from repro.server.monitor import PersistenceMonitor
+from repro.server.planner import persistent_flow_matrix
+from repro.sketch.bitmap import Bitmap
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_BENCH_PATH = _REPO_ROOT / "BENCH_perf.json"
+
+_SEED = 2017
+#: Flow-matrix smoke workload: 10 locations x 5 periods of 2^18 bits.
+_LOCATIONS = 10
+_PERIODS = 5
+_MATRIX_BITS = 1 << 19
+#: Sliding-window workload: one location, 40 arrivals, window 8.
+_WINDOW_PERIODS = 40
+_WINDOW = 8
+_WINDOW_BITS = 1 << 16
+
+
+def _merge_bench(section: str, payload: dict) -> None:
+    """Write one named section of BENCH_perf.json, keeping the others."""
+    existing = {}
+    if _BENCH_PATH.exists():
+        try:
+            existing = json.loads(_BENCH_PATH.read_text())
+        except json.JSONDecodeError:
+            existing = {}
+    if "workload" in existing:  # pre-section layout: start fresh
+        existing = {}
+    existing[section] = payload
+    _BENCH_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+
+
+def _random_records(rng, locations, periods, size):
+    """Density-0.5 random records: cheap to build, never saturated."""
+    records = []
+    for location in locations:
+        for period in range(periods):
+            records.append(
+                TrafficRecord(
+                    location=location,
+                    period=period,
+                    bitmap=Bitmap(size, rng.random(size) < 0.5),
+                )
+            )
+    return records
+
+
+def _loaded_server(records, cache):
+    server = CentralServer(s=3, load_factor=2.0, cache=cache)
+    for record in records:
+        server.receive_record(record)
+    return server
+
+
+def _timed(func):
+    started = time.perf_counter()
+    result = func()
+    return time.perf_counter() - started, result
+
+
+def _best_of(repeats, func, reset=None):
+    """Min-of-N wall clock: robust to scheduler noise on shared hosts.
+
+    ``reset`` runs before each repetition, outside the timed region
+    (the cached run flushes its cache so every repetition is cold).
+    """
+    best, result = None, None
+    for _ in range(repeats):
+        if reset is not None:
+            reset()
+        seconds, result = _timed(func)
+        best = seconds if best is None else min(best, seconds)
+    return best, result
+
+
+def test_flow_matrix_and_window_speedups():
+    rng = np.random.default_rng(_SEED)
+    locations = list(range(1, _LOCATIONS + 1))
+    records = _random_records(rng, locations, _PERIODS, _MATRIX_BITS)
+    periods = tuple(range(_PERIODS))
+
+    cached_server = _loaded_server(records, cache=True)
+    uncached_server = _loaded_server(records, cache=False)
+
+    # Warm-up outside the timed region (imports, allocator).
+    persistent_flow_matrix(uncached_server, locations[:2], periods)
+
+    uncached_seconds, uncached_matrix = _best_of(
+        3, lambda: persistent_flow_matrix(uncached_server, locations, periods)
+    )
+    cached_seconds, cached_matrix = _best_of(
+        3,
+        lambda: persistent_flow_matrix(cached_server, locations, periods),
+        reset=cached_server.cache.flush,  # every repetition starts cold
+    )
+
+    # Correctness gate: caching must be invisible in the estimates.
+    assert cached_matrix == uncached_matrix
+    assert len(cached_matrix) == _LOCATIONS * (_LOCATIONS - 1) // 2
+
+    stats = cached_server.cache.stats
+    matrix_speedup = uncached_seconds / cached_seconds
+
+    # Hard CI gates: the cache must hit and must pay for itself.
+    assert stats.hit_rate > 0, "flow matrix never hit the join cache"
+    assert matrix_speedup >= 2.0, (
+        f"cached flow matrix only {matrix_speedup:.2f}x faster "
+        f"(uncached {uncached_seconds:.3f}s, cached {cached_seconds:.3f}s)"
+    )
+
+    # Sliding window: indexed monitor vs from-scratch re-joins.
+    window_rng = np.random.default_rng([_SEED, 0xCACE])
+    window_records = _random_records(
+        window_rng, [1], _WINDOW_PERIODS, _WINDOW_BITS
+    )
+    naive_seconds, naive_samples = _best_of(
+        3, lambda: _drain_monitor(window_records, use_index=False)
+    )
+    indexed_seconds, indexed_samples = _best_of(
+        3, lambda: _drain_monitor(window_records, use_index=True)
+    )
+    assert [s.estimate for s in indexed_samples] == [
+        s.estimate for s in naive_samples
+    ]
+    window_speedup = naive_seconds / indexed_seconds
+
+    _merge_bench(
+        "query_cache",
+        {
+            "flow_matrix": {
+                "locations": _LOCATIONS,
+                "periods": _PERIODS,
+                "bitmap_bits": _MATRIX_BITS,
+                "pairs": len(cached_matrix),
+                "seconds_uncached": round(uncached_seconds, 4),
+                "seconds_cached": round(cached_seconds, 4),
+                "speedup": round(matrix_speedup, 3),
+                "cache": stats.as_dict(),
+            },
+            "sliding_window": {
+                "periods": _WINDOW_PERIODS,
+                "window": _WINDOW,
+                "bitmap_bits": _WINDOW_BITS,
+                "samples": len(indexed_samples),
+                "seconds_naive": round(naive_seconds, 4),
+                "seconds_indexed": round(indexed_seconds, 4),
+                "speedup": round(window_speedup, 3),
+            },
+            "notes": (
+                "flow_matrix.speedup >= 2.0 and cache.hit_rate > 0 are "
+                "asserted; sliding_window.speedup is informational "
+                "(small windows leave the index less headroom)."
+            ),
+        },
+    )
+    assert json.loads(_BENCH_PATH.read_text())["query_cache"]
+
+
+def _drain_monitor(records, use_index):
+    monitor = PersistenceMonitor(1, window=_WINDOW, use_index=use_index)
+    for record in records:
+        monitor.push(record)
+    return monitor.samples

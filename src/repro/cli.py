@@ -193,6 +193,16 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="append quarantined uploads to this JSONL dead-letter log",
     )
+    simulate.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "memoize per-location joins in the server's query-plan "
+            "cache (--no-cache recomputes every join; estimates are "
+            "bit-identical either way)"
+        ),
+    )
     _add_metrics_options(simulate)
 
     chaos = subparsers.add_parser(
@@ -278,6 +288,7 @@ def _run_simulate(args: argparse.Namespace) -> int:
         detection_rate=args.detection_rate,
         fault_plan=fault_plan,
         dead_letter_path=args.dead_letter,
+        cache=args.cache,
     )
     for summary in scenario.run(args.periods):
         line = (
@@ -337,6 +348,15 @@ def _run_simulate(args: argparse.Namespace) -> int:
                 PointVolumeQuery(location=location, period=0)
             )
             print(f"  zone {location}: {actual} vs {estimate:.1f}")
+    if scenario.server.cache is not None:
+        cache_stats = scenario.server.cache.stats
+        print(
+            f"\nquery-plan cache: {cache_stats.hits} hits / "
+            f"{cache_stats.lookups} lookups "
+            f"(hit rate {cache_stats.hit_rate:.0%}), "
+            f"{cache_stats.evictions} evictions, "
+            f"{cache_stats.invalidations} invalidations"
+        )
     if args.archive:
         archive = RecordArchive(args.archive)
         count = archive.save_all(scenario.server.store.all_records())

@@ -57,11 +57,19 @@ class DirectAndBenchmark:
     def estimate(self, records: Sequence[RecordLike]) -> DirectAndEstimate:
         """AND-join all records and linear-count the result."""
         bitmaps = _as_bitmaps(records)
-        joined = and_join(bitmaps)
+        return self.estimate_from_join(and_join(bitmaps), len(bitmaps))
+
+    def estimate_from_join(self, joined, periods: int) -> DirectAndEstimate:
+        """Linear-count a precomputed AND-join of ``periods`` records.
+
+        The query-plan cache memoizes the AND-join; this evaluates the
+        same linear-counting formula on it, bit-identical to
+        :meth:`estimate` on the raw records.
+        """
         v0 = joined.zero_fraction()
         value = linear_counting_estimate(v0, joined.size)
         return DirectAndEstimate(
-            estimate=value, v_star0=v0, size=joined.size, periods=len(bitmaps)
+            estimate=value, v_star0=v0, size=joined.size, periods=int(periods)
         )
 
 

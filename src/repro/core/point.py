@@ -32,7 +32,7 @@ from repro.exceptions import EstimationError, SaturatedBitmapError
 from repro.rsu.record import TrafficRecord
 from repro.sketch.batch import BitmapBatch, split_and_join_batch
 from repro.sketch.bitmap import Bitmap
-from repro.sketch.join import split_and_join
+from repro.sketch.join import SplitJoinResult, split_and_join
 
 RecordLike = Union[TrafficRecord, Bitmap]
 
@@ -119,7 +119,20 @@ class PointPersistentEstimator:
             powers of two.
         """
         bitmaps = _as_bitmaps(records)
-        split = split_and_join(bitmaps)
+        return self.estimate_from_split(split_and_join(bitmaps), len(bitmaps))
+
+    def estimate_from_split(
+        self, split: SplitJoinResult, periods: int
+    ) -> PointEstimate:
+        """Evaluate Eq. 12 on a precomputed split-and-join.
+
+        The query-plan cache and the interval-join index hand over
+        memoized :class:`~repro.sketch.join.SplitJoinResult` objects;
+        this produces the identical :class:`PointEstimate` that
+        :meth:`estimate` would compute from the raw records (the split
+        carries the same bitmaps, so the same IEEE doubles fall out).
+        ``periods`` is the record count the split was built from.
+        """
         v_a0 = split.half_a.zero_fraction()
         v_b0 = split.half_b.zero_fraction()
         v_star1 = split.joined.one_fraction()
@@ -130,7 +143,7 @@ class PointPersistentEstimator:
             v_b0=v_b0,
             v_star1=v_star1,
             size=split.size,
-            periods=len(bitmaps),
+            periods=int(periods),
         )
 
 

@@ -36,7 +36,8 @@ from repro.core.point import RecordLike, _as_bitmaps
 from repro.core.results import PointToPointEstimate
 from repro.exceptions import ConfigurationError, EstimationError, SaturatedBitmapError
 from repro.sketch.batch import BitmapBatch, two_level_join_batch
-from repro.sketch.join import two_level_join
+from repro.sketch.bitmap import Bitmap
+from repro.sketch.join import two_level_join, two_level_join_from_joined
 
 
 def point_to_point_estimate_from_statistics(
@@ -138,6 +139,26 @@ class PointToPointPersistentEstimator:
                 f"{len(records_a)} vs {len(records_b)} records"
             )
         joined = two_level_join(_as_bitmaps(records_a), _as_bitmaps(records_b))
+        return self._estimate_from_result(joined, len(records_a))
+
+    def estimate_from_joins(
+        self, joined_a: Bitmap, joined_b: Bitmap, periods: int
+    ) -> PointToPointEstimate:
+        """Evaluate Eq. 21 on precomputed per-location AND-joins.
+
+        ``joined_a`` / ``joined_b`` are the first-level AND-joins
+        ``E_*`` / ``E'_*`` of the two locations' records over the same
+        ``periods`` measurement periods — exactly what the query-plan
+        cache memoizes.  Only the second-level expansion and OR runs
+        here, and the result is bit-identical to :meth:`estimate` on
+        the underlying records (the first-level join is
+        order-independent, so a cached join is the same bitmap).
+        """
+        return self._estimate_from_result(
+            two_level_join_from_joined(joined_a, joined_b), int(periods)
+        )
+
+    def _estimate_from_result(self, joined, periods: int) -> PointToPointEstimate:
         v_0 = joined.location_a.zero_fraction()
         v_prime_0 = joined.location_b.zero_fraction()
         v_double_prime_0 = joined.joined.zero_fraction()
@@ -157,7 +178,7 @@ class PointToPointPersistentEstimator:
             size_small=joined.location_a.size,
             size_large=joined.size,
             s=self._s,
-            periods=len(records_a),
+            periods=periods,
             swapped=joined.swapped,
         )
 

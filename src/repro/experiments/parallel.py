@@ -24,19 +24,59 @@ the parent still records per-cell wall-clock times
 (``repro_parallel_cell_seconds``) and cell counts
 (``repro_parallel_cells_total``) because timing happens inside the
 (pickled) cell wrapper and travels home with the result.
+
+Pool reuse: forking a fresh ``ProcessPoolExecutor`` per sweep costs
+hundreds of milliseconds of worker spawn-and-import before the first
+cell runs, which dominates small sweeps.  The harness therefore keeps
+one module-level pool alive across :func:`map_cells` calls, growing it
+when a call asks for more workers than the resident pool has; call
+:func:`shutdown_pool` to release the workers (tests do, and it is
+registered via :mod:`atexit` for interpreter shutdown).
 """
 
 from __future__ import annotations
 
+import atexit
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Sequence, TypeVar
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 from repro.exceptions import ConfigurationError
 from repro.obs import runtime as obs
 
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
+
+_shared_pool: Optional[ProcessPoolExecutor] = None
+_shared_pool_workers = 0
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared executor, (re)built when more workers are needed.
+
+    A pool with *more* workers than requested is reused as-is — idle
+    workers are free, respawning is not — so alternating sweep sizes
+    don't thrash the pool.
+    """
+    global _shared_pool, _shared_pool_workers
+    if _shared_pool is None or _shared_pool_workers < workers:
+        if _shared_pool is not None:
+            _shared_pool.shutdown()
+        _shared_pool = ProcessPoolExecutor(max_workers=workers)
+        _shared_pool_workers = workers
+    return _shared_pool
+
+
+def shutdown_pool() -> None:
+    """Release the shared worker pool (no-op when none is alive)."""
+    global _shared_pool, _shared_pool_workers
+    if _shared_pool is not None:
+        _shared_pool.shutdown()
+        _shared_pool = None
+        _shared_pool_workers = 0
+
+
+atexit.register(shutdown_pool)
 
 
 class _TimedCell:
@@ -76,6 +116,7 @@ def map_cells(
     items: Iterable[ItemT],
     workers: int = 1,
     experiment: str = "",
+    chunksize: int = 1,
 ) -> List[ResultT]:
     """Run ``func`` over ``items``, optionally across worker processes.
 
@@ -90,27 +131,36 @@ def map_cells(
     workers:
         ``1`` (default) runs in-process — the historical serial path,
         with full observability.  ``N > 1`` fans the cells out over a
-        :class:`~concurrent.futures.ProcessPoolExecutor`.
+        shared :class:`~concurrent.futures.ProcessPoolExecutor` that
+        stays warm across calls (see :func:`shutdown_pool`).
     experiment:
         Label for the harness's metrics.
+    chunksize:
+        Cells dispatched per worker round-trip.  ``1`` (default)
+        maximizes balance; larger values amortize pickling overhead
+        for sweeps of many tiny cells.  Never changes the output:
+        ``executor.map`` reassembles results in input order for every
+        chunking.
 
     Returns
     -------
     list
         ``[func(item) for item in items]`` — same values, same order,
-        for every worker count.
+        for every worker count and chunk size.
     """
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if chunksize < 1:
+        raise ConfigurationError(f"chunksize must be >= 1, got {chunksize}")
     cells: Sequence[ItemT] = list(items)
     timed_func = _TimedCell(func)
     if workers == 1 or len(cells) <= 1:
         timed = [timed_func(item) for item in cells]
     else:
-        with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
-            # executor.map preserves input order, which is what makes
-            # parallel output byte-identical to serial.
-            timed = list(pool.map(timed_func, cells))
+        pool = _get_pool(workers)
+        # executor.map preserves input order, which is what makes
+        # parallel output byte-identical to serial.
+        timed = list(pool.map(timed_func, cells, chunksize=chunksize))
     results: List[ResultT] = []
     for seconds, result in timed:
         _observe_cell(experiment, seconds)

@@ -10,16 +10,20 @@ The server:
   (:mod:`repro.server.history`);
 * answers point and point-to-point persistent-traffic queries using
   the core estimators (:mod:`repro.server.central`,
-  :mod:`repro.server.queries`).
+  :mod:`repro.server.queries`), memoizing per-location joins in a
+  query-plan cache (:mod:`repro.server.cache`) so repeated and
+  overlapping queries — a flow matrix above all — never recompute a
+  join that is still valid.
 """
 
+from repro.server.cache import CacheStats, JoinCache
 from repro.server.central import CentralServer
 from repro.server.degradation import (
     CoveragePolicy,
     CoverageReport,
     DegradedResult,
 )
-from repro.server.history import VolumeHistory
+from repro.server.history import VolumeHistory, persistent_window_series
 from repro.server.monitor import MonitorSample, PersistenceMonitor
 from repro.server.persistence import RecordArchive, RepairReport
 from repro.server.planner import (
@@ -35,10 +39,12 @@ from repro.server.queries import (
 from repro.server.store import RecordStore
 
 __all__ = [
+    "CacheStats",
     "CentralServer",
     "CoveragePolicy",
     "CoverageReport",
     "DegradedResult",
+    "JoinCache",
     "MonitorSample",
     "PersistenceMonitor",
     "RepairReport",
@@ -50,5 +56,6 @@ __all__ = [
     "RecordStore",
     "VolumeHistory",
     "persistent_flow_matrix",
+    "persistent_window_series",
     "rank_persistent_sources",
 ]

@@ -10,7 +10,7 @@ bitmaps, which is the privacy point of the whole design.
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import List, Optional, Sequence, Union
 
 from repro.core.baselines import DirectAndBenchmark, DirectAndEstimate
 from repro.core.point import PointPersistentEstimator
@@ -19,18 +19,21 @@ from repro.core.results import PointEstimate, PointToPointEstimate
 from repro.exceptions import ConfigurationError, CoverageError
 from repro.obs import runtime as obs
 from repro.rsu.record import TrafficRecord
+from repro.server.cache import DEFAULT_MAX_ENTRIES, JoinCache
 from repro.server.degradation import (
     CoveragePolicy,
     CoverageReport,
     DegradedResult,
 )
-from repro.server.history import VolumeHistory
+from repro.server.history import VolumeHistory, persistent_window_series
+from repro.server.monitor import MonitorSample
 from repro.server.queries import (
     PointPersistentQuery,
     PointToPointPersistentQuery,
     PointVolumeQuery,
 )
 from repro.server.store import RecordStore
+from repro.sketch.join import and_join, split_and_join
 
 
 class CentralServer:
@@ -48,9 +51,25 @@ class CentralServer:
         Optional :class:`~repro.server.persistence.RecordArchive`;
         when given, every ingested record is also persisted to disk
         (month-scale queries need durable records).
+    cache:
+        ``True`` (default) memoizes per-location joins in a
+        :class:`~repro.server.cache.JoinCache` sized by
+        ``cache_entries``; ``False`` recomputes every join from raw
+        bitmaps (the historical behaviour); or pass a ready
+        :class:`~repro.server.cache.JoinCache` to share/size one
+        explicitly.  Results are bit-identical either way.
+    cache_entries:
+        LRU bound when the server builds its own cache.
     """
 
-    def __init__(self, s: int = 3, load_factor: float = 2.0, archive=None):
+    def __init__(
+        self,
+        s: int = 3,
+        load_factor: float = 2.0,
+        archive=None,
+        cache: Union[bool, JoinCache] = True,
+        cache_entries: int = DEFAULT_MAX_ENTRIES,
+    ):
         if s < 1:
             raise ConfigurationError(f"s must be >= 1, got {s}")
         self._store = RecordStore()
@@ -59,7 +78,16 @@ class CentralServer:
         self._p2p_estimator = PointToPointPersistentEstimator(s)
         self._benchmark = DirectAndBenchmark()
         self._s = int(s)
-        self._archive = archive
+        if cache is True:
+            self._cache: Optional[JoinCache] = JoinCache(max_entries=cache_entries)
+        elif cache:
+            self._cache = cache
+        else:
+            self._cache = None
+        self._store.add_listener(self._on_store_change)
+        self._archive = None
+        if archive is not None:
+            self._attach_archive(archive)
 
     @classmethod
     def from_archive(cls, archive, s: int = 3, load_factor: float = 2.0):
@@ -72,8 +100,50 @@ class CentralServer:
         server = cls(s=s, load_factor=load_factor)
         for record in archive.load_all():
             server.receive_record(record)
-        server._archive = archive
+        server._attach_archive(archive)
         return server
+
+    def _attach_archive(self, archive) -> None:
+        self._archive = archive
+        archive.add_repair_listener(self._on_archive_repair)
+
+    # ------------------------------------------------------------------
+    # Query-plan cache plumbing
+    # ------------------------------------------------------------------
+
+    def _on_store_change(self, event: str, location: int, period: int) -> None:
+        """Strict invalidation: adds drop touched joins, conflicts a site."""
+        if self._cache is None:
+            return
+        if event == "added":
+            self._cache.invalidate(location, period, reason="add")
+        elif event == "conflict":
+            self._cache.invalidate(location, reason="conflict")
+
+    def _on_archive_repair(self, report) -> None:
+        """An archive repair ran: every memoized join is suspect."""
+        if self._cache is not None:
+            self._cache.flush(reason="flush")
+
+    def _and_join_for(self, location: int, periods) -> "Bitmap":
+        """The (possibly cached) AND-join of one location's records."""
+        def build():
+            records = self._store.records_for(location, periods)
+            return and_join([r.bitmap for r in records])
+
+        if self._cache is None:
+            return build()
+        return self._cache.and_join(location, periods, build)
+
+    def _split_join_for(self, location: int, periods):
+        """The (possibly cached) Eq. 12 split-join, in request order."""
+        def build():
+            records = self._store.records_for(location, periods)
+            return split_and_join([r.bitmap for r in records])
+
+        if self._cache is None:
+            return build()
+        return self._cache.split_join(location, periods, build)
 
     # ------------------------------------------------------------------
     # Properties
@@ -93,6 +163,11 @@ class CentralServer:
     def history(self) -> VolumeHistory:
         """The per-location volume history used for sizing."""
         return self._history
+
+    @property
+    def cache(self) -> Optional[JoinCache]:
+        """The query-plan cache, or None when caching is disabled."""
+        return self._cache
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -211,14 +286,18 @@ class CentralServer:
         """
         started = time.perf_counter()
         if policy is None:
-            records = self._store.records_for(query.location, query.periods)
-            estimate = self._point_estimator.estimate(records)
+            split = self._split_join_for(query.location, query.periods)
+            estimate = self._point_estimator.estimate_from_split(
+                split, len(query.periods)
+            )
             if obs.enabled():
                 self._observe_query("point_persistent", started)
             return estimate
         report = self._resolve_coverage([query.location], query.periods, policy)
-        records = self._store.records_for(query.location, report.covered)
-        estimate = self._point_estimator.estimate(records)
+        split = self._split_join_for(query.location, report.covered)
+        estimate = self._point_estimator.estimate_from_split(
+            split, len(report.covered)
+        )
         if obs.enabled():
             self._observe_query("point_persistent", started)
         return DegradedResult(value=estimate, coverage=report)
@@ -231,14 +310,16 @@ class CentralServer:
         """The direct AND-join benchmark on the same query (Fig. 4)."""
         started = time.perf_counter()
         if policy is None:
-            records = self._store.records_for(query.location, query.periods)
-            estimate = self._benchmark.estimate(records)
+            joined = self._and_join_for(query.location, query.periods)
+            estimate = self._benchmark.estimate_from_join(
+                joined, len(query.periods)
+            )
             if obs.enabled():
                 self._observe_query("benchmark", started)
             return estimate
         report = self._resolve_coverage([query.location], query.periods, policy)
-        records = self._store.records_for(query.location, report.covered)
-        estimate = self._benchmark.estimate(records)
+        joined = self._and_join_for(query.location, report.covered)
+        estimate = self._benchmark.estimate_from_join(joined, len(report.covered))
         if obs.enabled():
             self._observe_query("benchmark", started)
         return DegradedResult(value=estimate, coverage=report)
@@ -256,18 +337,58 @@ class CentralServer:
         """
         started = time.perf_counter()
         if policy is None:
-            records_a = self._store.records_for(query.location_a, query.periods)
-            records_b = self._store.records_for(query.location_b, query.periods)
-            estimate = self._p2p_estimator.estimate(records_a, records_b)
+            estimate = self._p2p_from_cache(
+                query.location_a, query.location_b, query.periods
+            )
             if obs.enabled():
                 self._observe_query("point_to_point", started)
             return estimate
         report = self._resolve_coverage(
             [query.location_a, query.location_b], query.periods, policy
         )
-        records_a = self._store.records_for(query.location_a, report.covered)
-        records_b = self._store.records_for(query.location_b, report.covered)
-        estimate = self._p2p_estimator.estimate(records_a, records_b)
+        estimate = self._p2p_from_cache(
+            query.location_a, query.location_b, report.covered
+        )
         if obs.enabled():
             self._observe_query("point_to_point", started)
         return DegradedResult(value=estimate, coverage=report)
+
+    def _p2p_from_cache(self, location_a: int, location_b: int, periods):
+        """Eq. 21 from two (possibly cached) per-location AND-joins.
+
+        The second level (expand the smaller side, OR, linear-count)
+        is cheap; the per-location joins dominate and are shared
+        across every pair that involves the location — this is what
+        drops a flow matrix from O(L²) to O(L) join computations.
+        """
+        if len(periods) == 0:
+            # Preserve the estimator's own empty-input diagnostics.
+            return self._p2p_estimator.estimate([], [])
+        joined_a = self._and_join_for(location_a, periods)
+        joined_b = self._and_join_for(location_b, periods)
+        return self._p2p_estimator.estimate_from_joins(
+            joined_a, joined_b, len(periods)
+        )
+
+    def point_persistent_series(
+        self,
+        location: int,
+        periods: Sequence[int],
+        window: int,
+    ) -> List[MonitorSample]:
+        """Sliding-window point-persistence over a period sequence.
+
+        Answers "how did persistence evolve" retrospectively: one
+        Eq. 12 estimate per full window position, computed through an
+        interval-join index so each step costs O(1) cached joins
+        instead of re-joining the whole window
+        (:func:`repro.server.history.persistent_window_series`).
+        """
+        started = time.perf_counter()
+        records = self._store.records_for(location, periods)
+        samples = persistent_window_series(
+            records, window, estimator=self._point_estimator
+        )
+        if obs.enabled():
+            self._observe_query("point_persistent_series", started)
+        return samples

@@ -1,4 +1,4 @@
-"""Historical traffic volume per location, driving bitmap sizing.
+"""Historical views: volume averages for sizing, window series.
 
 Eq. 2 sizes each RSU's bitmap from "the expected traffic volume at the
 RSU during the measurement period based on historical average at the
@@ -6,14 +6,24 @@ same location and the same time".  :class:`VolumeHistory` keeps an
 exponentially-weighted average of per-period volume estimates (from
 single-record linear counting) per location, and recommends the next
 period's bitmap size.
+
+:func:`persistent_window_series` is the retrospective companion to the
+live :class:`~repro.server.monitor.PersistenceMonitor`: one Eq. 12
+estimate per full window position over an already-collected record
+sequence, computed through an
+:class:`~repro.sketch.interval.IntervalJoinIndex` so sweeping a window
+across ``t`` records costs O(t log w) joins instead of O(t·w).
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Optional, Sequence
 
+from repro.core.point import PointPersistentEstimator, RecordLike
 from repro.exceptions import ConfigurationError
 from repro.obs import runtime as obs
+from repro.rsu.record import TrafficRecord
+from repro.sketch.interval import IntervalJoinIndex, split_range_join
 from repro.sketch.sizing import bitmap_size_for_volume
 
 
@@ -101,3 +111,51 @@ class VolumeHistory:
         if volume <= 0:
             raise ConfigurationError(f"expected volume must be positive, got {volume}")
         self._averages[int(location)] = float(volume)
+
+
+def persistent_window_series(
+    records: Sequence[RecordLike],
+    window: int,
+    estimator: Optional[PointPersistentEstimator] = None,
+):
+    """Sliding-window Eq. 12 estimates over a collected record sequence.
+
+    Returns one :class:`~repro.server.monitor.MonitorSample` per full
+    window position, oldest first (empty when fewer than ``window``
+    records).  ``records`` may be traffic records or raw bitmaps (raw
+    bitmaps get their position as ``latest_period``) and must already
+    be in period order.
+
+    Each estimate is bit-identical to feeding the same records through
+    a :class:`~repro.server.monitor.PersistenceMonitor` — the shared
+    interval-join index just avoids re-joining ``window`` bitmaps at
+    every step.  Degenerate windows raise the same typed errors the
+    monitor raises (:class:`~repro.exceptions.EstimationError` etc.).
+    """
+    from repro.server.monitor import MonitorSample
+
+    if int(window) < 2:
+        raise ConfigurationError(
+            f"the split-join estimator needs a window >= 2, got {window}"
+        )
+    window = int(window)
+    estimator = estimator if estimator is not None else PointPersistentEstimator()
+    index = IntervalJoinIndex()
+    samples: List[MonitorSample] = []
+    for position, record in enumerate(records):
+        is_record = isinstance(record, TrafficRecord)
+        index.append(record.bitmap if is_record else record)
+        if position + 1 < window:
+            continue
+        start = position + 1 - window
+        split = split_range_join(index, start, position + 1)
+        estimate = estimator.estimate_from_split(split, window)
+        samples.append(
+            MonitorSample(
+                latest_period=record.period if is_record else position,
+                window=window,
+                estimate=estimate,
+            )
+        )
+        index.evict_before(start + 1)
+    return samples

@@ -117,6 +117,16 @@ class RecordArchive:
         self._directory.mkdir(parents=True, exist_ok=True)
         self._manifest_path = self._directory / _MANIFEST_NAME
         self._manifest = self._load_manifest()
+        self._repair_listeners: List = []
+
+    def add_repair_listener(self, listener) -> None:
+        """Subscribe ``listener(report)`` to every :meth:`repair` pass.
+
+        The central server uses this to flush its query-plan cache:
+        a repair may change which records exist, so every memoized
+        join is suspect afterwards.
+        """
+        self._repair_listeners.append(listener)
 
     # ------------------------------------------------------------------
     # Manifest handling
@@ -302,6 +312,8 @@ class RecordArchive:
                     "repro_archive_repairs_total",
                     "Archive repair passes that changed the manifest.",
                 ).inc()
+        for listener in self._repair_listeners:
+            listener(report)
         return report
 
     def _adopt_orphan(self, path: Path) -> "Tuple[int, int] | None":
@@ -339,6 +351,7 @@ class RecordArchive:
         archive._directory = directory
         archive._directory.mkdir(parents=True, exist_ok=True)
         archive._manifest_path = directory / _MANIFEST_NAME
+        archive._repair_listeners = []
         try:
             archive._manifest = archive._load_manifest()
         except DataError:

@@ -20,8 +20,39 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.core.results import PointToPointEstimate
 from repro.exceptions import ConfigurationError, EstimationError
+from repro.obs import runtime as obs
 from repro.server.central import CentralServer
 from repro.server.queries import PointToPointPersistentQuery
+
+#: Emit a planner progress event every this many evaluated pairs (a
+#: month-scale flow matrix over hundreds of locations runs for a
+#: while; operators watching the event log should see it moving).
+_PROGRESS_EVERY = 64
+
+
+def _preregister_pair_metrics() -> None:
+    """Register the pair counters so exports carry zeros from the start."""
+    obs.counter(
+        "repro_flow_pairs_total",
+        "Location pairs evaluated by planner studies.",
+    )
+    obs.counter(
+        "repro_flow_pairs_skipped_total",
+        "Planner pairs skipped because their estimate degenerated.",
+    )
+
+
+def _count_pair(skipped: bool) -> None:
+    """Account one evaluated pair (only called while obs is enabled)."""
+    obs.counter(
+        "repro_flow_pairs_total",
+        "Location pairs evaluated by planner studies.",
+    ).inc()
+    if skipped:
+        obs.counter(
+            "repro_flow_pairs_skipped_total",
+            "Planner pairs skipped because their estimate degenerated.",
+        ).inc()
 
 
 @dataclass(frozen=True)
@@ -50,13 +81,16 @@ def rank_persistent_sources(
     "priority order for planning measures of traffic relief".
 
     Candidates whose estimate degenerates (saturated joins) are
-    skipped rather than failing the whole study; an empty candidate
-    list is a configuration error.
+    skipped rather than failing the whole study — but not silently:
+    each skip increments ``repro_flow_pairs_skipped_total``.  An empty
+    candidate list is a configuration error.
     """
     if not candidates:
         raise ConfigurationError("at least one candidate source is required")
     if int(target) in {int(c) for c in candidates}:
         raise ConfigurationError("the target cannot be its own source")
+    if obs.enabled():
+        _preregister_pair_metrics()
     ranked: List[RankedSource] = []
     for candidate in candidates:
         query = PointToPointPersistentQuery(
@@ -67,7 +101,11 @@ def rank_persistent_sources(
         try:
             estimate = server.point_to_point_persistent(query)
         except EstimationError:
+            if obs.enabled():
+                _count_pair(skipped=True)
             continue
+        if obs.enabled():
+            _count_pair(skipped=False)
         ranked.append(RankedSource(location=int(candidate), estimate=estimate))
     ranked.sort(key=lambda source: source.volume, reverse=True)
     return ranked
@@ -82,11 +120,23 @@ def persistent_flow_matrix(
 
     Returns ``{(a, b): volume}`` for every unordered pair (keyed with
     ``a < b``; the estimator is symmetric in its two locations).
-    Degenerate pairs are omitted.
+    Degenerate pairs are omitted from the result but counted in
+    ``repro_flow_pairs_skipped_total``, and a ``progress`` event lands
+    in the event log every :data:`_PROGRESS_EVERY` pairs (and at the
+    end) so long studies over many locations stay observable.
+
+    With the server's query-plan cache enabled each location's
+    AND-join is computed once and shared across its ``L-1`` pairs —
+    O(L) join computations for the O(L²) matrix entries.
     """
     distinct = sorted({int(loc) for loc in locations})
     if len(distinct) < 2:
         raise ConfigurationError("a flow matrix needs at least two locations")
+    if obs.enabled():
+        _preregister_pair_metrics()
+    total = len(distinct) * (len(distinct) - 1) // 2
+    done = 0
+    skipped = 0
     matrix: Dict[Tuple[int, int], float] = {}
     for index, location_a in enumerate(distinct):
         for location_b in distinct[index + 1:]:
@@ -98,6 +148,22 @@ def persistent_flow_matrix(
             try:
                 estimate = server.point_to_point_persistent(query)
             except EstimationError:
-                continue
-            matrix[(location_a, location_b)] = estimate.clamped
+                skipped += 1
+                if obs.enabled():
+                    _count_pair(skipped=True)
+            else:
+                matrix[(location_a, location_b)] = estimate.clamped
+                if obs.enabled():
+                    _count_pair(skipped=False)
+            done += 1
+            if obs.enabled() and (done % _PROGRESS_EVERY == 0 or done == total):
+                log = obs.event_log()
+                if log is not None:
+                    log.emit(
+                        "progress",
+                        "planner.flow_matrix",
+                        done=done,
+                        total=total,
+                        skipped=skipped,
+                    )
     return matrix

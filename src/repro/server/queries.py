@@ -50,6 +50,26 @@ class PointPersistentQuery:
                 f"got {len(self.periods)}"
             )
 
+    @classmethod
+    def window(
+        cls, location: int, last_period: int, window: int
+    ) -> "PointPersistentQuery":
+        """The "last ``window`` periods ending at ``last_period``" query.
+
+        Sliding-window monitors and dashboards ask exactly this shape;
+        contiguous periods also let the server answer through its
+        interval-join index instead of a from-scratch join.
+        """
+        if int(window) < 2:
+            raise ConfigurationError(
+                f"a window query needs window >= 2, got {window}"
+            )
+        first = int(last_period) - int(window) + 1
+        return cls(
+            location=int(location),
+            periods=tuple(range(first, int(last_period) + 1)),
+        )
+
 
 @dataclass(frozen=True)
 class PointToPointPersistentQuery:

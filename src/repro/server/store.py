@@ -8,11 +8,17 @@ period), and serves the record sets that queries join.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import DataError
 from repro.obs import runtime as obs
 from repro.rsu.record import TrafficRecord
+
+#: Store-change callback: ``listener(event, location, period)`` with
+#: ``event`` one of ``"added"`` (a genuinely new record landed) or
+#: ``"conflict"`` (a mismatching re-upload was rejected).  Idempotent
+#: byte-identical duplicates fire no event at all.
+StoreListener = Callable[[str, int, int], None]
 
 
 class RecordStore:
@@ -21,6 +27,20 @@ class RecordStore:
     def __init__(self) -> None:
         self._records: Dict[Tuple[int, int], TrafficRecord] = {}
         self._total_bits = 0
+        self._listeners: List[StoreListener] = []
+
+    def add_listener(self, listener: StoreListener) -> None:
+        """Subscribe to store changes (query-plan cache invalidation).
+
+        Listeners fire *after* a new record is stored, and *before* a
+        conflicting add raises — never for absorbed duplicates, so
+        degraded transports can re-send without thrashing caches.
+        """
+        self._listeners.append(listener)
+
+    def _notify(self, event: str, location: int, period: int) -> None:
+        for listener in self._listeners:
+            listener(event, location, period)
 
     def __len__(self) -> int:
         return len(self._records)
@@ -50,12 +70,14 @@ class RecordStore:
                         "Byte-identical re-uploads absorbed as no-ops.",
                     ).inc()
                 return False
+            self._notify("conflict", record.location, record.period)
             raise DataError(
                 f"a conflicting record for location {record.location}, "
                 f"period {record.period} already exists"
             )
         self._records[key] = record
         self._total_bits += record.size
+        self._notify("added", record.location, record.period)
         if obs.enabled():
             obs.gauge(
                 "repro_store_records",

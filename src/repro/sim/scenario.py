@@ -110,6 +110,10 @@ class CityScenario:
     dead_letter_path:
         Optional JSONL file mirroring the transport's quarantine
         (only meaningful with a fault plan).
+    cache:
+        Whether the central server memoizes per-location joins in its
+        query-plan cache (default True; estimates are bit-identical
+        either way).
     """
 
     def __init__(
@@ -127,6 +131,7 @@ class CityScenario:
         detection_rate: float = 1.0,
         fault_plan=None,
         dead_letter_path=None,
+        cache: bool = True,
     ):
         if persistent_vehicles < 0 or transient_vehicles_per_period < 0:
             raise ConfigurationError("fleet sizes must be non-negative")
@@ -143,7 +148,7 @@ class CityScenario:
             self._authority,
             locations=rsu_locations,
         )
-        self._server = CentralServer(s=s, load_factor=load_factor)
+        self._server = CentralServer(s=s, load_factor=load_factor, cache=cache)
         self._keygen = KeyGenerator(master_seed=seed ^ 0x5EED, s=s)
         self._encoder = VehicleEncoder(default_hasher(seed ^ 0xA5A5, hasher_flavour))
         self._planner = TripPlanner(network, period_seconds=period_seconds)

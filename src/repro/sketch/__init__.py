@@ -14,6 +14,9 @@ paper's traffic records are built from:
   (Section III-A / Fig. 2).
 * :mod:`~repro.sketch.join` — AND/OR joins over groups of bitmaps,
   including the two-level join of Section IV-A.
+* :mod:`~repro.sketch.interval` — a doubling table resolving any
+  contiguous period window in ≤2 cached AND-joins (sliding-window
+  queries).
 * :mod:`~repro.sketch.batch` — :class:`~repro.sketch.batch.BitmapBatch`
   matrices joining whole Monte-Carlo cells as single numpy reductions.
 * :mod:`~repro.sketch.serial` — compact serialization of traffic
@@ -29,6 +32,7 @@ from repro.sketch.batch import (
 )
 from repro.sketch.bitmap import Bitmap
 from repro.sketch.expansion import expand_to, expansion_factor
+from repro.sketch.interval import IntervalJoinIndex, split_range_join
 from repro.sketch.join import (
     and_join,
     or_join,
@@ -51,6 +55,7 @@ from repro.sketch.sizing import (
 __all__ = [
     "Bitmap",
     "BitmapBatch",
+    "IntervalJoinIndex",
     "LinearCounting",
     "and_join",
     "and_join_batch",
@@ -67,6 +72,7 @@ __all__ = [
     "serialize_bitmap",
     "split_and_join",
     "split_and_join_batch",
+    "split_range_join",
     "two_level_join",
     "two_level_join_batch",
     "zero_fraction_expectation",

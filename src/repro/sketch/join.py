@@ -206,8 +206,27 @@ def two_level_join(
             max(_common_size(records_a), _common_size(records_b)),
             len(records_a) + len(records_b),
         )
-    joined_a = and_join(records_a)
-    joined_b = and_join(records_b)
+    return _assemble_two_level(and_join(records_a), and_join(records_b))
+
+
+def two_level_join_from_joined(
+    joined_a: Bitmap, joined_b: Bitmap
+) -> TwoLevelJoinResult:
+    """Second level only: OR two precomputed per-location AND-joins.
+
+    The query-plan cache memoizes each location's first-level AND-join
+    (``E_*``); this entry point runs just the cross-location expansion
+    and OR on those, producing a result bit-identical to
+    :func:`two_level_join` on the underlying records.
+    """
+    if obs.enabled():
+        _observe_join("two_level", max(joined_a.size, joined_b.size), 2)
+    return _assemble_two_level(joined_a, joined_b)
+
+
+def _assemble_two_level(
+    joined_a: Bitmap, joined_b: Bitmap
+) -> TwoLevelJoinResult:
     swapped = joined_a.size > joined_b.size
     if swapped:
         joined_a, joined_b = joined_b, joined_a

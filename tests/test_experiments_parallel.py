@@ -14,7 +14,8 @@ from repro.experiments.common import ExperimentConfig
 from repro.experiments.fig4 import format_fig4, run_fig4
 from repro.experiments.fig5 import format_fig5, run_fig5
 from repro.experiments.fig6 import format_fig6, run_fig6
-from repro.experiments.parallel import map_cells
+from repro.experiments import parallel as parallel_module
+from repro.experiments.parallel import map_cells, shutdown_pool
 from repro.experiments.table1 import format_table1, run_table1
 from repro.experiments.table2 import format_table2, run_table2
 
@@ -53,6 +54,53 @@ class TestMapCells:
     def test_cell_exception_propagates(self):
         with pytest.raises(ValueError):
             map_cells(_maybe_fail, range(4), workers=2)
+
+    def test_chunksize_never_changes_output(self):
+        serial = [x * x for x in range(11)]
+        for chunksize in (1, 2, 5, 100):
+            assert (
+                map_cells(_square, range(11), workers=3, chunksize=chunksize)
+                == serial
+            )
+
+    def test_rejects_bad_chunksize(self):
+        with pytest.raises(ConfigurationError):
+            map_cells(_square, [1, 2], workers=2, chunksize=0)
+
+
+class TestSharedPool:
+    """One executor survives across sweeps instead of forking per call."""
+
+    def test_pool_reused_across_calls(self):
+        shutdown_pool()
+        try:
+            map_cells(_square, range(4), workers=2)
+            first = parallel_module._shared_pool
+            assert first is not None
+            map_cells(_square, range(6), workers=2)
+            assert parallel_module._shared_pool is first
+        finally:
+            shutdown_pool()
+
+    def test_pool_grows_when_more_workers_requested(self):
+        shutdown_pool()
+        try:
+            map_cells(_square, range(4), workers=2)
+            first = parallel_module._shared_pool
+            map_cells(_square, range(4), workers=3)
+            grown = parallel_module._shared_pool
+            assert grown is not first
+            # A smaller request reuses the bigger pool (idle workers
+            # are free; respawning is not).
+            map_cells(_square, range(4), workers=2)
+            assert parallel_module._shared_pool is grown
+        finally:
+            shutdown_pool()
+
+    def test_shutdown_pool_is_idempotent(self):
+        shutdown_pool()
+        shutdown_pool()
+        assert parallel_module._shared_pool is None
 
 
 class TestWorkerInvariance:

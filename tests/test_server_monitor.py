@@ -85,6 +85,27 @@ class TestEstimation:
         assert monitor.trend(lookback=3) > 300
 
 
+class TestIndexEquivalence:
+    """The interval-join index must be invisible in the samples."""
+
+    def test_indexed_and_naive_paths_bit_identical(self):
+        indexed = PersistenceMonitor(LOCATION, window=4)
+        naive = PersistenceMonitor(LOCATION, window=4, use_index=False)
+        for record in _records(250, 9, seed=5):
+            sample_i = indexed.push(record)
+            sample_n = naive.push(record)
+            assert (sample_i is None) == (sample_n is None)
+            if sample_i is not None:
+                assert sample_i.estimate == sample_n.estimate
+                assert sample_i.latest_period == sample_n.latest_period
+
+    def test_index_memory_stays_bounded_by_window(self):
+        monitor = PersistenceMonitor(LOCATION, window=3)
+        for record in _records(120, 20, seed=6):
+            monitor.push(record)
+        assert len(monitor._index) <= monitor.window
+
+
 class TestValidation:
     def test_wrong_location_rejected(self):
         monitor = PersistenceMonitor(LOCATION, window=2)

@@ -108,3 +108,90 @@ class TestFlowMatrix:
     def test_duplicate_locations_deduped(self, loaded_server):
         matrix = persistent_flow_matrix(loaded_server, [1, 1, 2], PERIODS)
         assert set(matrix) == {(1, 2)}
+
+
+def _saturated_server():
+    """Two locations whose cross-location OR-join is saturated.
+
+    Each record keeps a single zero bit (so per-record volume
+    estimates work at ingestion), but the two locations' zeros sit at
+    different positions — the second-level OR has no zeros left and
+    every pair estimate degenerates.
+    """
+    server = CentralServer(s=3, load_factor=2.0)
+    bits = {1: [0] + [1] * 7, 2: [1] * 7 + [0]}
+    for location in (1, 2):
+        for period in (0, 1):
+            server.receive_record(
+                TrafficRecord(
+                    location=location,
+                    period=period,
+                    bitmap=Bitmap(8, bits[location]),
+                )
+            )
+    return server
+
+
+class TestObservability:
+    def test_pair_counters_cover_every_pair(self, loaded_server):
+        from repro.obs import runtime
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = runtime.enable(registry=MetricsRegistry())
+        try:
+            persistent_flow_matrix(loaded_server, SOURCES + (TARGET,), PERIODS)
+            assert (
+                registry.get("repro_flow_pairs_total").labels().value == 6.0
+            )
+            # Pre-registered even when nothing degenerated.
+            assert (
+                registry.get("repro_flow_pairs_skipped_total").labels().value
+                == 0.0
+            )
+        finally:
+            runtime.disable()
+
+    def test_degenerate_pairs_counted_not_swallowed(self):
+        from repro.obs import runtime
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = runtime.enable(registry=MetricsRegistry())
+        try:
+            matrix = persistent_flow_matrix(_saturated_server(), (1, 2), (0, 1))
+            assert matrix == {}
+            assert (
+                registry.get("repro_flow_pairs_skipped_total").labels().value
+                == 1.0
+            )
+            ranked = rank_persistent_sources(_saturated_server(), 2, [1], (0, 1))
+            assert ranked == []
+            assert (
+                registry.get("repro_flow_pairs_skipped_total").labels().value
+                == 2.0
+            )
+        finally:
+            runtime.disable()
+
+    def test_progress_events_emitted(self, loaded_server):
+        import json
+
+        from repro.obs import runtime
+        from repro.obs.events import memory_log
+        from repro.obs.metrics import MetricsRegistry
+
+        log, buffer = memory_log()
+        runtime.enable(registry=MetricsRegistry(), event_log=log)
+        try:
+            persistent_flow_matrix(loaded_server, SOURCES + (TARGET,), PERIODS)
+        finally:
+            runtime.disable()
+        events = [
+            json.loads(line)
+            for line in buffer.getvalue().splitlines()
+            if '"progress"' in line
+        ]
+        assert events, "flow matrix must emit progress events"
+        final = events[-1]
+        assert final["name"] == "planner.flow_matrix"
+        assert final["done"] == final["total"] == 6
+        assert final["skipped"] == 0

@@ -1,0 +1,127 @@
+"""The interval-join index must be indistinguishable from raw joins."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SketchError
+from repro.sketch.bitmap import Bitmap
+from repro.sketch.interval import IntervalJoinIndex, split_range_join
+from repro.sketch.join import and_join, split_and_join
+
+
+def _random_bitmaps(count, sizes, seed=0, density=0.5):
+    rng = np.random.default_rng(seed)
+    return [
+        Bitmap(size, rng.random(size) < density)
+        for size in (sizes[i % len(sizes)] for i in range(count))
+    ]
+
+
+class TestRangeJoin:
+    def test_every_range_matches_and_join(self):
+        bitmaps = _random_bitmaps(9, sizes=[64], seed=1)
+        index = IntervalJoinIndex()
+        for bitmap in bitmaps:
+            index.append(bitmap)
+        for start in range(9):
+            for stop in range(start + 1, 10):
+                assert index.range_join(start, stop) == and_join(
+                    bitmaps[start:stop]
+                )
+
+    def test_mixed_sizes_match_and_join(self):
+        # Expansion composes with AND, so partial joins at sub-range
+        # maxima still land on the exact from-scratch result.
+        bitmaps = _random_bitmaps(8, sizes=[32, 128, 64], seed=2)
+        index = IntervalJoinIndex()
+        for bitmap in bitmaps:
+            index.append(bitmap)
+        for start in range(8):
+            for stop in range(start + 1, 9):
+                assert index.range_join(start, stop) == and_join(
+                    bitmaps[start:stop]
+                )
+
+    def test_append_returns_absolute_position(self):
+        index = IntervalJoinIndex()
+        positions = [index.append(b) for b in _random_bitmaps(3, sizes=[16])]
+        assert positions == [0, 1, 2]
+        assert (index.start, index.stop, len(index)) == (0, 3, 3)
+
+    def test_non_power_of_two_rejected(self):
+        index = IntervalJoinIndex()
+        with pytest.raises(SketchError, match="power-of-two"):
+            index.append(Bitmap(12))
+
+    def test_empty_and_out_of_bounds_ranges_rejected(self):
+        index = IntervalJoinIndex()
+        for bitmap in _random_bitmaps(4, sizes=[16]):
+            index.append(bitmap)
+        with pytest.raises(SketchError, match="empty"):
+            index.range_join(2, 2)
+        with pytest.raises(SketchError, match="outside"):
+            index.range_join(0, 5)
+
+    def test_repeated_query_reuses_table(self):
+        bitmaps = _random_bitmaps(8, sizes=[64], seed=3)
+        index = IntervalJoinIndex()
+        for bitmap in bitmaps:
+            index.append(bitmap)
+        first = index.range_join(0, 8)
+        built = index.cached_joins
+        assert index.range_join(0, 8) == first
+        assert index.cached_joins == built  # no new entries on a re-ask
+
+
+class TestEviction:
+    def test_evicted_positions_unqueryable_rest_exact(self):
+        bitmaps = _random_bitmaps(10, sizes=[64], seed=4)
+        index = IntervalJoinIndex()
+        for bitmap in bitmaps:
+            index.append(bitmap)
+        assert index.evict_before(4) == 4
+        assert index.start == 4
+        with pytest.raises(SketchError, match="outside"):
+            index.range_join(3, 6)
+        for start in range(4, 10):
+            for stop in range(start + 1, 11):
+                assert index.range_join(start, stop) == and_join(
+                    bitmaps[start:stop]
+                )
+
+    def test_evict_is_monotone_noop_backwards(self):
+        index = IntervalJoinIndex()
+        for bitmap in _random_bitmaps(5, sizes=[16]):
+            index.append(bitmap)
+        index.evict_before(3)
+        assert index.evict_before(2) == 0
+        assert index.start == 3
+
+    def test_sliding_window_bounds_memory(self):
+        window = 4
+        index = IntervalJoinIndex()
+        for bitmap in _random_bitmaps(40, sizes=[32], seed=5):
+            index.append(bitmap)
+            index.evict_before(index.stop - window)
+            assert len(index) <= window
+
+
+class TestSplitRangeJoin:
+    def test_matches_split_and_join_everywhere(self):
+        bitmaps = _random_bitmaps(7, sizes=[32, 64], seed=6)
+        index = IntervalJoinIndex()
+        for bitmap in bitmaps:
+            index.append(bitmap)
+        for start in range(7):
+            for stop in range(start + 2, 8):
+                via_index = split_range_join(index, start, stop)
+                direct = split_and_join(bitmaps[start:stop])
+                assert via_index.half_a == direct.half_a
+                assert via_index.half_b == direct.half_b
+                assert via_index.joined == direct.joined
+
+    def test_needs_two_records(self):
+        index = IntervalJoinIndex()
+        index.append(Bitmap(16))
+        with pytest.raises(SketchError, match="at least 2"):
+            split_range_join(index, 0, 1)
