@@ -17,10 +17,14 @@ Regenerate any paper artifact, or drive the system as a tool::
 
 Every simulate/attack/experiment subcommand accepts ``--metrics-out
 PATH`` (with ``--metrics-format {prom,json,text}``) to activate the
-observability layer for the run and export the collected metrics, and
-``--events-out PATH`` to stream structured JSONL events.  Without
-those flags nothing is collected and output is unchanged.  See
-``docs/observability.md`` for the metric catalog.
+observability layer for the run and export the collected metrics,
+``--events-out PATH`` to stream structured JSONL events,
+``--serve-metrics PORT`` to expose live ``/metrics``, ``/healthz``
+and ``/traces`` endpoints while the run executes (0 picks a free
+port), and ``--trace-out PATH`` to dump recent distributed traces as
+JSONL.  Without those flags nothing is collected and output is
+unchanged.  See ``docs/observability.md`` for the metric catalog and
+the endpoint contract.
 
 The experiment defaults favour quick regeneration; the paper's own
 setting is 1000 runs per cell (``--runs 1000``).  ``--workers N`` fans
@@ -67,6 +71,23 @@ def _add_metrics_options(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         default=None,
         help="append structured JSONL events (spans, periods) to PATH",
+    )
+    parser.add_argument(
+        "--serve-metrics",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve live /metrics, /healthz and /traces on this localhost "
+            "port while the run executes (0 picks a free port, printed "
+            "at startup)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write recent traces as JSONL to PATH when the run ends",
     )
 
 
@@ -483,14 +504,31 @@ def _write_metrics(registry, path: str, fmt: str) -> None:
         handle.write(text)
 
 
+def _write_traces(traces, path: str) -> None:
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        for payload in traces.to_payloads():
+            handle.write(json.dumps(payload, sort_keys=True) + "\n")
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     metrics_out = getattr(args, "metrics_out", None)
     events_out = getattr(args, "events_out", None)
-    if not metrics_out and not events_out:
+    serve_port = getattr(args, "serve_metrics", None)
+    trace_out = getattr(args, "trace_out", None)
+    if (
+        not metrics_out
+        and not events_out
+        and serve_port is None
+        and not trace_out
+    ):
         return _dispatch_command(args)
 
-    # Observability opted in: collect for the duration of the command,
-    # then export and (for simulate) print the run report.
+    # Observability opted in: collect (and trace) for the duration of
+    # the command, then export and (for simulate) print the run report.
+    # Sinks flush/close and exporters run in the finally block, so the
+    # files are complete even when the run raises mid-flight.
     from repro import obs
 
     try:
@@ -498,29 +536,62 @@ def _dispatch(args: argparse.Namespace) -> int:
     except OSError as exc:
         print(f"error: cannot open {events_out}: {exc}", file=sys.stderr)
         return 1
-    registry = obs.enable(registry=obs.MetricsRegistry(), event_log=event_log)
+    traces = obs.TraceBuffer()
+    registry = obs.enable(
+        registry=obs.MetricsRegistry(), event_log=event_log, trace=traces
+    )
+    http_server = None
+    if serve_port is not None:
+        http_server = obs.MetricsServer(
+            registry=registry, traces=traces, port=serve_port
+        )
+        bound = http_server.start()
+        # Flush before dispatch so scrape scripts reading our stdout
+        # learn the port while the run is still executing.
+        print(
+            f"[metrics server listening on http://127.0.0.1:{bound}]",
+            flush=True,
+        )
+    code: Optional[int] = None
+    export_failed = False
     try:
         code = _dispatch_command(args)
     finally:
-        obs.disable()
-    if code == 0:
-        if args.command == "simulate":
+        if http_server is not None:
+            http_server.stop()
+        obs.disable()  # closes the event log: --events-out is complete
+        if code == 0 and args.command == "simulate":
             print()
             print(obs.format_report(registry))
         if metrics_out:
             try:
                 _write_metrics(registry, metrics_out, args.metrics_format)
+                print(
+                    f"[metrics written to {metrics_out} "
+                    f"({args.metrics_format})]"
+                )
             except OSError as exc:
                 print(
                     f"error: cannot write {metrics_out}: {exc}",
                     file=sys.stderr,
                 )
-                return 1
-            print(f"[metrics written to {metrics_out} ({args.metrics_format})]")
+                export_failed = True
+        if trace_out:
+            try:
+                _write_traces(traces, trace_out)
+                print(f"[{len(traces)} traces written to {trace_out}]")
+            except OSError as exc:
+                print(
+                    f"error: cannot write {trace_out}: {exc}",
+                    file=sys.stderr,
+                )
+                export_failed = True
         if events_out and event_log is not None:
             print(
                 f"[{event_log.events_written} events written to {events_out}]"
             )
+    if export_failed and code == 0:
+        return 1
     return code
 
 

@@ -18,12 +18,17 @@ so ``workers=N`` output is byte-identical to ``workers=1`` for every
 experiment.  The equivalence is enforced by
 ``tests/test_experiments_parallel.py``.
 
-Observability caveat: with ``workers > 1`` the cells execute in child
-processes whose in-process metric registries are not propagated back;
-the parent still records per-cell wall-clock times
-(``repro_parallel_cell_seconds``) and cell counts
-(``repro_parallel_cells_total``) because timing happens inside the
-(pickled) cell wrapper and travels home with the result.
+Cross-process observability: when the parent is collecting metrics,
+each worker activates a *fresh local registry* around its cell,
+snapshots it, and ships the snapshot home with the result; the parent
+folds every snapshot into its own registry via
+:meth:`~repro.obs.metrics.MetricsRegistry.merge` (in input order, so
+the merged totals are deterministic).  A ``--workers N`` run therefore
+reports the same join/estimator/cache counters as a serial run — plus
+``repro_registry_merges_total`` counting the folds.  The parent also
+records per-cell wall-clock times (``repro_parallel_cell_seconds``)
+and cell counts (``repro_parallel_cells_total``) measured inside the
+(pickled) cell wrapper.
 
 Pool reuse: forking a fresh ``ProcessPoolExecutor`` per sweep costs
 hundreds of milliseconds of worker spawn-and-import before the first
@@ -37,12 +42,14 @@ registered via :mod:`atexit` for interpreter shutdown).
 from __future__ import annotations
 
 import atexit
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 from repro.exceptions import ConfigurationError
 from repro.obs import runtime as obs
+from repro.obs.metrics import MetricsRegistry
 
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
@@ -80,20 +87,42 @@ atexit.register(shutdown_pool)
 
 
 class _TimedCell:
-    """Picklable wrapper timing one cell invocation.
+    """Picklable wrapper timing (and optionally metering) one cell.
 
     The elapsed time is measured *inside* the worker and returned with
     the result, so the parent can observe per-cell durations even when
     the cell ran in a child process.
+
+    When ``collect`` is set (the parent was collecting metrics at
+    dispatch time) *and* the call executes in a different process than
+    the one that built the wrapper (a real worker — detected by PID,
+    because a forked worker *inherits* the parent's enabled registry
+    and would otherwise record into a doomed copy), the call activates
+    a fresh local registry around the cell and ships its snapshot home.
+    In the serial in-process path instrumentation records live and no
+    snapshot is taken.
     """
 
-    def __init__(self, func: Callable[[ItemT], ResultT]):
+    def __init__(self, func: Callable[[ItemT], ResultT], collect: bool = False):
         self._func = func
+        self._collect = collect
+        self._parent_pid = os.getpid()
 
     def __call__(self, item: ItemT):
+        collect = self._collect and os.getpid() != self._parent_pid
+        snapshot = None
         started = time.perf_counter()
-        result = self._func(item)
-        return time.perf_counter() - started, result
+        if collect:
+            local = MetricsRegistry()
+            obs.enable(registry=local)
+            try:
+                result = self._func(item)
+            finally:
+                obs.disable()
+            snapshot = local.snapshot()
+        else:
+            result = self._func(item)
+        return time.perf_counter() - started, snapshot, result
 
 
 def _observe_cell(experiment: str, seconds: float) -> None:
@@ -153,7 +182,15 @@ def map_cells(
     if chunksize < 1:
         raise ConfigurationError(f"chunksize must be >= 1, got {chunksize}")
     cells: Sequence[ItemT] = list(items)
-    timed_func = _TimedCell(func)
+    collecting = obs.enabled()
+    if collecting:
+        # Pre-register so serial and parallel runs export the same
+        # series (zero merges in serial, N in parallel).
+        obs.counter(
+            "repro_registry_merges_total",
+            "Cross-process registry snapshots merged into this one.",
+        )
+    timed_func = _TimedCell(func, collect=collecting)
     if workers == 1 or len(cells) <= 1:
         timed = [timed_func(item) for item in cells]
     else:
@@ -162,7 +199,10 @@ def map_cells(
         # parallel output byte-identical to serial.
         timed = list(pool.map(timed_func, cells, chunksize=chunksize))
     results: List[ResultT] = []
-    for seconds, result in timed:
+    parent = obs.registry()
+    for seconds, snapshot, result in timed:
+        if snapshot:
+            parent.merge(snapshot)
         _observe_cell(experiment, seconds)
         results.append(result)
     return results

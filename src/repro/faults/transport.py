@@ -35,37 +35,82 @@ from typing import Callable, List, Optional, Union
 from repro.exceptions import DataError, ReproError, TransportError
 from repro.faults.plan import FaultInjector
 from repro.obs import runtime as obs
+from repro.obs import trace as trace_mod
+from repro.obs.spans import span
+from repro.obs.trace import CONTEXT_BYTES, TraceContext
 from repro.rsu.record import TrafficRecord
 
 #: Frame layout: magic, 32-byte SHA-256 of the payload, payload bytes.
 FRAME_MAGIC = b"RFR1"
+#: Traced frame: magic, digest, 24 ASCII bytes of trace context, payload.
+TRACED_MAGIC = b"RFR2"
 _DIGEST_BYTES = 32
 _HEADER_BYTES = len(FRAME_MAGIC) + _DIGEST_BYTES
+_TRACED_HEADER_BYTES = _HEADER_BYTES + CONTEXT_BYTES
 
 
-def frame_payload(payload: bytes) -> bytes:
-    """Wrap an upload payload in a checksummed frame."""
-    return FRAME_MAGIC + hashlib.sha256(payload).digest() + payload
+def frame_payload(
+    payload: bytes, context: Optional[TraceContext] = None
+) -> bytes:
+    """Wrap an upload payload in a checksummed frame.
+
+    Without a trace context the frame is the legacy ``RFR1`` layout,
+    byte-identical to what earlier versions emitted.  With one, the
+    ``RFR2`` layout inserts the serialized context between the digest
+    and the payload, so the upload's trace survives the wire (and
+    delayed re-deliveries periods later).  The digest covers the
+    *payload only* in both layouts — a garbled trace context must not
+    veto delivery of an intact record.
+    """
+    digest = hashlib.sha256(payload).digest()
+    if context is None:
+        return FRAME_MAGIC + digest + payload
+    return TRACED_MAGIC + digest + context.to_bytes() + payload
 
 
-def unframe_payload(frame: bytes) -> tuple:
-    """Split a frame into ``(payload, checksum_ok)``.
+def parse_frame(frame: bytes) -> tuple:
+    """Split a frame into ``(payload, checksum_ok, context)``.
 
+    Accepts both layouts; ``context`` is None for ``RFR1`` frames and
+    for ``RFR2`` frames whose context field was corrupted in flight
+    (the payload checksum, not the trace header, decides delivery).
     Raises :class:`~repro.exceptions.TransportError` only for frames
     that are structurally not frames at all (short, wrong magic) —
     a *failed checksum* is an expected in-flight fault and is reported
     through the boolean, not an exception.
     """
-    if len(frame) < _HEADER_BYTES:
+    magic = frame[: len(FRAME_MAGIC)]
+    if magic == TRACED_MAGIC:
+        header = _TRACED_HEADER_BYTES
+    elif magic == FRAME_MAGIC:
+        header = _HEADER_BYTES
+    elif len(frame) < _HEADER_BYTES:
+        header = _HEADER_BYTES  # short *and* garbled: report the length
+    else:
+        raise TransportError("frame does not start with the RFR1/RFR2 magic")
+    if len(frame) < header:
         raise TransportError(
             f"frame of {len(frame)} bytes is shorter than the "
-            f"{_HEADER_BYTES}-byte header"
+            f"{header}-byte header"
         )
-    if frame[: len(FRAME_MAGIC)] != FRAME_MAGIC:
-        raise TransportError("frame does not start with the RFR1 magic")
     digest = frame[len(FRAME_MAGIC) : _HEADER_BYTES]
-    payload = frame[_HEADER_BYTES:]
-    return payload, hashlib.sha256(payload).digest() == digest
+    context = None
+    if magic == TRACED_MAGIC:
+        context = TraceContext.from_bytes(
+            frame[_HEADER_BYTES:_TRACED_HEADER_BYTES]
+        )
+    payload = frame[header:]
+    return payload, hashlib.sha256(payload).digest() == digest, context
+
+
+def unframe_payload(frame: bytes) -> tuple:
+    """Split a frame into ``(payload, checksum_ok)``.
+
+    Back-compat wrapper over :func:`parse_frame` that drops the trace
+    context.
+    """
+    payload, checksum_ok, _ = parse_frame(frame)
+    return payload, checksum_ok
 
 
 class UploadOutcome(Enum):
@@ -96,6 +141,7 @@ class DeadLetter:
     size: int
     attempts: int
     frame: bytes = field(repr=False)
+    trace_id: str = ""
 
     def to_dict(self) -> dict:
         return {
@@ -103,6 +149,7 @@ class DeadLetter:
             "sha256": self.sha256,
             "size": self.size,
             "attempts": self.attempts,
+            "trace_id": self.trace_id,
         }
 
 
@@ -129,14 +176,21 @@ class DeadLetterLog:
         """The quarantined letters, oldest first."""
         return list(self._entries)
 
-    def append(self, reason: str, frame: bytes, attempts: int) -> DeadLetter:
-        """Quarantine one frame."""
+    def append(
+        self,
+        reason: str,
+        frame: bytes,
+        attempts: int,
+        context: Optional[TraceContext] = None,
+    ) -> DeadLetter:
+        """Quarantine one frame, remembering its upload trace if known."""
         letter = DeadLetter(
             reason=reason,
             sha256=hashlib.sha256(frame).hexdigest(),
             size=len(frame),
             attempts=attempts,
             frame=bytes(frame),
+            trace_id=context.trace_id if context is not None else "",
         )
         self._entries.append(letter)
         if self._handle is not None:
@@ -223,7 +277,8 @@ class UploadTransport:
         self.stats = TransportStats()
         self.dead_letters = DeadLetterLog(dead_letter_path)
         self._sleep = sleep if sleep is not None else _virtual_sleep(self.stats)
-        self._pending: List[bytes] = []
+        # Deferred (payload, trace-context) pairs awaiting a flush.
+        self._pending: List[tuple] = []
 
     # ------------------------------------------------------------------
     # Sending
@@ -246,86 +301,154 @@ class UploadTransport:
             upload.to_payload() if isinstance(upload, TrafficRecord) else bytes(upload)
         )
         self.stats.uploads += 1
-        if self._injector is not None and self._injector.delay_upload():
-            self._pending.append(payload)
-            self.stats.deferred += 1
-            return UploadReceipt(
-                outcome=UploadOutcome.DEFERRED, attempts=0, reason="delayed"
-            )
-        receipt = self._transmit(payload)
-        if self._injector is not None and self._injector.duplicate_upload():
-            self.stats.uploads += 1
-            self._transmit(payload)
-        return receipt
+        with span("transport.send") as send_span:
+            context = send_span.context  # None unless tracing
+            if self._injector is not None and self._injector.delay_upload():
+                # The context travels with the deferred payload so the
+                # eventual flush delivery still joins this trace.
+                self._pending.append((payload, context))
+                self.stats.deferred += 1
+                return UploadReceipt(
+                    outcome=UploadOutcome.DEFERRED, attempts=0, reason="delayed"
+                )
+            receipt = self._transmit(payload, context)
+            if self._injector is not None and self._injector.duplicate_upload():
+                self.stats.uploads += 1
+                self._transmit(payload, context)
+            return receipt
 
     def flush(self) -> List[UploadReceipt]:
-        """Deliver every delayed frame, newest first (out of order)."""
+        """Deliver every delayed frame, newest first (out of order).
+
+        Each delivery re-activates the trace context captured at
+        :meth:`send` time, so out-of-order frames still attribute their
+        retries and dead-letters to the original upload trace.
+        """
         pending, self._pending = self._pending, []
-        return [self._transmit(payload) for payload in reversed(pending)]
+        return [
+            self._transmit(payload, context)
+            for payload, context in reversed(pending)
+        ]
 
     # ------------------------------------------------------------------
     # The wire
     # ------------------------------------------------------------------
 
-    def _transmit(self, payload: bytes) -> UploadReceipt:
-        """Run the attempt loop for one framed payload."""
-        frame = frame_payload(payload)
-        attempts = 0
-        while attempts < self._max_attempts:
-            attempts += 1
-            if self._injector is not None and self._injector.upload_times_out():
-                self.stats.retries += 1
-                if obs.enabled():
-                    obs.counter(
-                        "repro_uploads_retried_total",
-                        "Upload attempts retried after in-flight timeouts.",
-                    ).inc()
-                self._sleep(
-                    self._base_backoff * self._backoff_factor ** (attempts - 1)
+    def _transmit(
+        self, payload: bytes, context: Optional[TraceContext] = None
+    ) -> UploadReceipt:
+        """Run the attempt loop for one framed payload.
+
+        ``context`` (set when the upload was sent under tracing) rides
+        inside the frame and is re-activated here, so retry and
+        dead-letter spans of deferred deliveries join the original
+        upload trace even though the sending span closed long ago.
+        """
+        frame = frame_payload(payload, context)
+        token = None
+        if context is not None and obs.tracing():
+            token = trace_mod.activate(context)
+        try:
+            attempts = 0
+            while attempts < self._max_attempts:
+                attempts += 1
+                if self._injector is not None and self._injector.upload_times_out():
+                    self.stats.retries += 1
+                    if obs.enabled():
+                        obs.counter(
+                            "repro_uploads_retried_total",
+                            "Upload attempts retried after in-flight timeouts.",
+                        ).inc()
+                        with span("transport.retry", attempt=attempts):
+                            self._sleep(
+                                self._base_backoff
+                                * self._backoff_factor ** (attempts - 1)
+                            )
+                    else:
+                        self._sleep(
+                            self._base_backoff
+                            * self._backoff_factor ** (attempts - 1)
+                        )
+                    continue
+                wire = (
+                    self._injector.corrupt_payload(frame)
+                    if self._injector is not None
+                    else frame
                 )
-                continue
-            wire = (
-                self._injector.corrupt_payload(frame)
-                if self._injector is not None
-                else frame
-            )
-            return self._deliver(wire, attempts)
-        return self._quarantine("retries_exhausted", frame, attempts)
+                return self._deliver(wire, attempts)
+            return self._quarantine("retries_exhausted", frame, attempts)
+        finally:
+            if token is not None:
+                trace_mod.restore(token)
 
     def _deliver(self, wire: bytes, attempts: int) -> UploadReceipt:
-        """Server-edge handling of one received frame."""
+        """Server-edge handling of one received frame.
+
+        The frame's own trace context (if it survived the wire) is
+        activated around ingest, so server-side spans and record
+        bindings attribute to the upload that produced the frame.
+        """
         try:
-            payload, checksum_ok = unframe_payload(wire)
+            payload, checksum_ok, context = parse_frame(wire)
         except TransportError:
             # In-flight corruption can hit the magic prefix itself.
             return self._quarantine("malformed", wire, attempts)
-        if not checksum_ok:
-            return self._quarantine("checksum", wire, attempts)
+        token = None
+        if context is not None and obs.tracing():
+            token = trace_mod.activate(context)
         try:
-            record = TrafficRecord.from_payload(payload)
-        except ReproError:
-            return self._quarantine("undecodable", wire, attempts)
-        try:
-            added = self._server.receive_record(record)
-        except DataError:
-            # A conflicting record already holds this (location, period).
-            return self._quarantine("conflict", wire, attempts)
-        if added is False:
-            self.stats.duplicates += 1
+            if not checksum_ok:
+                return self._quarantine("checksum", wire, attempts)
+            try:
+                record = TrafficRecord.from_payload(payload)
+            except ReproError:
+                return self._quarantine("undecodable", wire, attempts)
+            try:
+                added = self._server.receive_record(record)
+            except DataError:
+                # A conflicting record already holds this (location, period).
+                return self._quarantine("conflict", wire, attempts, record=record)
+            if added is False:
+                self.stats.duplicates += 1
+                return UploadReceipt(
+                    outcome=UploadOutcome.DUPLICATE,
+                    attempts=attempts,
+                    record=record,
+                    reason="byte-identical re-upload",
+                )
+            self.stats.delivered += 1
             return UploadReceipt(
-                outcome=UploadOutcome.DUPLICATE,
-                attempts=attempts,
-                record=record,
-                reason="byte-identical re-upload",
+                outcome=UploadOutcome.DELIVERED, attempts=attempts, record=record
             )
-        self.stats.delivered += 1
-        return UploadReceipt(
-            outcome=UploadOutcome.DELIVERED, attempts=attempts, record=record
-        )
+        finally:
+            if token is not None:
+                trace_mod.restore(token)
 
-    def _quarantine(self, reason: str, frame: bytes, attempts: int) -> UploadReceipt:
+    def _quarantine(
+        self,
+        reason: str,
+        frame: bytes,
+        attempts: int,
+        record: Optional[TrafficRecord] = None,
+    ) -> UploadReceipt:
         self.stats.quarantined += 1
-        self.dead_letters.append(reason, frame, attempts)
+        context = trace_mod.current() if obs.tracing() else None
+        with span("transport.dead_letter", reason=reason):
+            self.dead_letters.append(reason, frame, attempts, context=context)
+        if context is not None:
+            buffer = obs.trace_buffer()
+            if buffer is not None:
+                if record is None and reason == "retries_exhausted":
+                    # The frame never left intact, so its payload is
+                    # pristine — decode it to learn which cell was lost.
+                    try:
+                        record = TrafficRecord.from_payload(parse_frame(frame)[0])
+                    except (ReproError, TransportError):
+                        record = None
+                if record is not None:
+                    buffer.bind(
+                        record.location, record.period, context, kind="dead_letter"
+                    )
         return UploadReceipt(
             outcome=UploadOutcome.QUARANTINED, attempts=attempts, reason=reason
         )

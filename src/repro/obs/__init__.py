@@ -10,6 +10,11 @@ measurer.  It provides:
 * :mod:`repro.obs.events` — the :class:`StructuredLog` JSONL sink;
 * :mod:`repro.obs.export` — Prometheus text exposition, JSON
   snapshots, and a one-screen human report;
+* :mod:`repro.obs.trace` — distributed tracing: trace/span ids,
+  contextvar propagation, the :class:`TraceBuffer` ring, and
+  :func:`format_trace_tree` critical-path rendering;
+* :mod:`repro.obs.httpd` — a stdlib background HTTP server exposing
+  ``/metrics``, ``/healthz``, and ``/traces`` while a run executes;
 * :mod:`repro.obs.runtime` — the process-global enable/disable switch.
 
 Nothing is collected by default: instrumentation throughout the
@@ -35,9 +40,11 @@ from repro.obs.events import StructuredLog, memory_log
 from repro.obs.export import (
     format_report,
     parse_prometheus,
+    registry_from_prometheus,
     to_json,
     to_prometheus,
 )
+from repro.obs.httpd import MetricsServer
 from repro.obs.metrics import (
     DEFAULT_TIME_BUCKETS,
     NULL_REGISTRY,
@@ -60,8 +67,16 @@ from repro.obs.runtime import (
     gauge,
     histogram,
     registry,
+    trace_buffer,
+    tracing,
 )
-from repro.obs.spans import SPAN_HISTOGRAM, Span, current_span, span
+from repro.obs.spans import SPAN_HISTOGRAM, Span, add_link, current_span, span
+from repro.obs.trace import (
+    SpanRecord,
+    TraceBuffer,
+    TraceContext,
+    format_trace_tree,
+)
 
 __all__ = [
     "Counter",
@@ -70,13 +85,18 @@ __all__ = [
     "Histogram",
     "MetricFamily",
     "MetricsRegistry",
+    "MetricsServer",
     "NULL_REGISTRY",
     "NullRegistry",
     "POW2_BUCKETS",
     "SIZE_BUCKETS",
     "SPAN_HISTOGRAM",
     "Span",
+    "SpanRecord",
     "StructuredLog",
+    "TraceBuffer",
+    "TraceContext",
+    "add_link",
     "counter",
     "current_span",
     "disable",
@@ -84,13 +104,17 @@ __all__ = [
     "enabled",
     "event_log",
     "format_report",
+    "format_trace_tree",
     "gauge",
     "histogram",
     "log_buckets",
     "memory_log",
     "parse_prometheus",
     "registry",
+    "registry_from_prometheus",
     "span",
     "to_json",
     "to_prometheus",
+    "trace_buffer",
+    "tracing",
 ]

@@ -12,7 +12,12 @@ Three views over one :class:`~repro.obs.metrics.MetricsRegistry`:
 
 :func:`parse_prometheus` parses the exposition back into samples; the
 test suite round-trips through it, and it doubles as a tiny scrape
-client for ad-hoc tooling.
+client for ad-hoc tooling.  :func:`registry_from_prometheus` goes one
+step further and rebuilds a full :class:`MetricsRegistry` — histogram
+``_bucket``/``_sum``/``_count`` series are reassembled into real
+:class:`~repro.obs.metrics.Histogram` children, so a scraped worker
+exposition can be :meth:`~repro.obs.metrics.MetricsRegistry.merge`\\ d
+into another registry losslessly.
 """
 
 from __future__ import annotations
@@ -129,6 +134,120 @@ def parse_prometheus(text: str) -> Dict[Tuple[str, LabelKey], float]:
             match.group("value")
         )
     return samples
+
+
+_HEADER_RE = re.compile(
+    r"^#\s+(?P<kind>HELP|TYPE)\s+(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\s+(?P<rest>.*))?$"
+)
+
+#: Histogram series suffixes in the exposition format.
+_HIST_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def registry_from_prometheus(text: str) -> MetricsRegistry:
+    """Rebuild a :class:`MetricsRegistry` from exposition text.
+
+    The inverse of :func:`to_prometheus`, using the ``# TYPE`` headers
+    to reassemble histograms from their ``_bucket``/``_sum``/``_count``
+    series (``parse_prometheus`` deliberately stays flat for
+    line-level assertions).  Round-trips exactly:
+    ``to_prometheus(registry_from_prometheus(doc)) == doc`` for any
+    document produced by :func:`to_prometheus`.
+
+    Raises :class:`ObservabilityError` on samples without a ``# TYPE``
+    header (the type is what decides how series recombine), on
+    non-monotone cumulative buckets, and on ``_count`` disagreeing
+    with the ``+Inf`` bucket.
+    """
+    types: Dict[str, str] = {}
+    helps: Dict[str, str] = {}
+    scalars: List[Tuple[str, Dict[str, str], float]] = []
+    hist_parts: Dict[Tuple[str, LabelKey], dict] = {}
+
+    def _base_histogram(name: str) -> Tuple[str, str]:
+        for suffix in _HIST_SUFFIXES:
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and types.get(base) == "histogram":
+                return base, suffix
+        return "", ""
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            header = _HEADER_RE.match(line)
+            if header is None:
+                continue  # a plain comment
+            if header.group("kind") == "TYPE":
+                types[header.group("name")] = (header.group("rest") or "").strip()
+            else:
+                helps[header.group("name")] = header.group("rest") or ""
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ObservabilityError(f"unparseable exposition line: {line!r}")
+        name = match.group("name")
+        label_text = match.group("labels") or ""
+        labels = {
+            lname: _unescape_label_value(lvalue)
+            for lname, lvalue in _LABEL_PAIR_RE.findall(label_text)
+        }
+        value = _parse_value(match.group("value"))
+        base, suffix = _base_histogram(name)
+        if base:
+            le = labels.pop("le", None) if suffix == "_bucket" else None
+            key = (base, tuple(sorted(labels.items())))
+            part = hist_parts.setdefault(
+                key, {"labels": labels, "buckets": [], "sum": 0.0, "count": 0}
+            )
+            if suffix == "_bucket":
+                if le is None:
+                    raise ObservabilityError(
+                        f"histogram bucket sample without le label: {line!r}"
+                    )
+                part["buckets"].append((_parse_value(le), int(value)))
+            elif suffix == "_sum":
+                part["sum"] = value
+            else:
+                part["count"] = int(value)
+            continue
+        kind = types.get(name)
+        if kind is None:
+            raise ObservabilityError(
+                f"sample {name!r} has no # TYPE header; cannot rebuild"
+            )
+        scalars.append((name, labels, value))
+
+    registry = MetricsRegistry()
+    for name, labels, value in scalars:
+        kind = types[name]
+        if kind == "counter":
+            registry.counter(name, helps.get(name, ""), **labels).inc(value)
+        elif kind == "gauge":
+            registry.gauge(name, helps.get(name, ""), **labels).set(value)
+        else:
+            raise ObservabilityError(
+                f"metric {name!r} has unsupported type {kind!r}"
+            )
+    for (name, _), part in hist_parts.items():
+        pairs = sorted(part["buckets"], key=lambda item: item[0])
+        if not pairs or not math.isinf(pairs[-1][0]):
+            raise ObservabilityError(
+                f"histogram {name!r} exposition lacks a +Inf bucket"
+            )
+        snapshot_buckets = [
+            ["+Inf" if math.isinf(le) else le, cum] for le, cum in pairs
+        ]
+        finite = tuple(le for le, _ in pairs if not math.isinf(le))
+        registry.histogram(
+            name,
+            helps.get(name, ""),
+            buckets=finite or None,
+            **part["labels"],
+        ).merge_cumulative(snapshot_buckets, part["sum"], part["count"])
+    return registry
 
 
 def to_json(registry: MetricsRegistry, indent: int = 2) -> str:

@@ -228,6 +228,55 @@ class Histogram:
             self._sum = 0.0
             self._count = 0
 
+    def merge_cumulative(
+        self,
+        buckets: Sequence[Sequence[object]],
+        sum_: float,
+        count: int,
+    ) -> None:
+        """Fold another histogram's snapshot into this one.
+
+        ``buckets`` is the snapshot form: cumulative ``(le, count)``
+        pairs with ``le`` either a float or the string ``"+Inf"``,
+        ``+Inf`` last.  Both histograms must share the same finite
+        bounds — the fixed log-scale bucket convention exists exactly
+        so worker snapshots merge losslessly into the parent.
+        """
+        if len(buckets) != len(self._uppers) + 1:
+            raise ObservabilityError(
+                f"cannot merge histogram with {len(buckets)} buckets "
+                f"into one with {len(self._uppers) + 1}"
+            )
+        uppers = []
+        cumulative = []
+        for le, cum in buckets:
+            uppers.append(math.inf if le == "+Inf" else float(le))  # type: ignore[arg-type]
+            cumulative.append(int(cum))  # type: ignore[call-overload]
+        if tuple(uppers[:-1]) != self._uppers or not math.isinf(uppers[-1]):
+            raise ObservabilityError(
+                f"histogram bucket bounds differ: {tuple(uppers[:-1])} "
+                f"vs {self._uppers}"
+            )
+        per_bucket = []
+        previous = 0
+        for cum in cumulative:
+            if cum < previous:
+                raise ObservabilityError(
+                    f"cumulative bucket counts must be monotone, got {cumulative}"
+                )
+            per_bucket.append(cum - previous)
+            previous = cum
+        if cumulative[-1] != int(count):
+            raise ObservabilityError(
+                f"histogram count {count} disagrees with +Inf bucket "
+                f"{cumulative[-1]}"
+            )
+        with self._lock:
+            for index, increment in enumerate(per_bucket):
+                self._counts[index] += increment
+            self._sum += float(sum_)
+            self._count += int(count)
+
 
 class MetricFamily:
     """All children (label sets) of one named metric."""
@@ -353,6 +402,49 @@ class MetricsRegistry:
         for family in self.families():
             family.reset()
 
+    def merge(self, snapshot: Dict[str, dict]) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        This is the cross-process aggregation primitive: worker
+        processes in ``experiments.parallel.map_cells`` snapshot their
+        local registry and ship it back with each result chunk; the
+        parent merges every snapshot here so ``--workers N`` runs
+        report the same counters as serial runs.
+
+        Counters and gauges add; histograms merge bucket-wise (their
+        fixed log-scale bounds make this lossless).  Families and
+        label sets absent from this registry are created.  Each call
+        increments ``repro_registry_merges_total``.
+        """
+        for name, data in snapshot.items():
+            kind = data.get("type")
+            help_text = data.get("help", "")
+            for child in data.get("children", ()):
+                labels = child.get("labels", {})
+                if kind == "counter":
+                    self.counter(name, help_text, **labels).inc(child["value"])
+                elif kind == "gauge":
+                    # Gauges are levels, but across processes the only
+                    # meaningful fold is additive (resident records in
+                    # worker A + worker B = total resident records).
+                    self.gauge(name, help_text, **labels).inc(child["value"])
+                elif kind == "histogram":
+                    buckets = child["buckets"]
+                    finite = tuple(
+                        float(le) for le, _ in buckets if le != "+Inf"
+                    )
+                    self.histogram(
+                        name, help_text, buckets=finite or None, **labels
+                    ).merge_cumulative(buckets, child["sum"], child["count"])
+                else:
+                    raise ObservabilityError(
+                        f"cannot merge metric {name!r} of kind {kind!r}"
+                    )
+        self.counter(
+            "repro_registry_merges_total",
+            help="Cross-process registry snapshots merged into this one.",
+        ).inc()
+
     def snapshot(self) -> Dict[str, dict]:
         """A plain-data view of every metric (drives the exporters)."""
         out: Dict[str, dict] = {}
@@ -437,6 +529,9 @@ class NullRegistry:
         return None
 
     def reset(self) -> None:
+        pass
+
+    def merge(self, snapshot: Dict[str, dict]) -> None:
         pass
 
     def snapshot(self) -> Dict[str, dict]:

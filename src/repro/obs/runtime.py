@@ -42,14 +42,26 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullRegistry,
 )
+from repro.obs.trace import TraceBuffer
 
 _active: Optional[MetricsRegistry] = None
 _event_log: Optional[StructuredLog] = None
+_trace_buffer: Optional[TraceBuffer] = None
 
 
 def enabled() -> bool:
     """Whether a live registry is collecting metrics right now."""
     return _active is not None
+
+
+def tracing() -> bool:
+    """Whether spans should record full trace trees right now.
+
+    True only when collection is active *and* a :class:`TraceBuffer`
+    was installed via ``enable(trace=...)`` — plain metric collection
+    never pays the trace-id/contextvar cost.
+    """
+    return _active is not None and _trace_buffer is not None
 
 
 def registry() -> Union[MetricsRegistry, NullRegistry]:
@@ -62,23 +74,40 @@ def event_log() -> Optional[StructuredLog]:
     return _event_log
 
 
+def trace_buffer() -> Optional[TraceBuffer]:
+    """The active trace ring buffer, or None when tracing is off."""
+    return _trace_buffer
+
+
 def enable(
     registry: Optional[MetricsRegistry] = None,
     event_log: Optional[StructuredLog] = None,
+    trace: Optional[TraceBuffer] = None,
 ) -> MetricsRegistry:
     """Activate metrics collection (idempotent; returns the registry).
 
     Passing a registry replaces any active one; passing none keeps an
     already-active registry or creates a fresh one.  The event log, if
     given, receives span and simulation events until :func:`disable`.
+    Passing a :class:`TraceBuffer` additionally turns on distributed
+    tracing: spans get trace/span ids, propagate parent context, and
+    record into the buffer (served by ``/traces`` and
+    :func:`~repro.obs.trace.format_trace_tree`).
     """
-    global _active, _event_log
+    global _active, _event_log, _trace_buffer
     if registry is not None:
         _active = registry
     elif _active is None:
         _active = MetricsRegistry()
     if event_log is not None:
         _event_log = event_log
+    if trace is not None:
+        _trace_buffer = trace
+        # PR 3/4 convention: pre-register so the series exports at zero.
+        _active.counter(
+            "repro_traces_total",
+            help="Traces started (root spans opened while tracing).",
+        )
     return _active
 
 
@@ -86,11 +115,14 @@ def disable() -> Optional[MetricsRegistry]:
     """Deactivate collection; closes the event log if one was attached.
 
     Returns the registry that was active (still readable/exportable —
-    deactivation stops *collection*, not access).
+    deactivation stops *collection*, not access).  A trace buffer, like
+    the registry, stays readable after deactivation but receives no
+    further spans.
     """
-    global _active, _event_log
+    global _active, _event_log, _trace_buffer
     previous = _active
     _active = None
+    _trace_buffer = None
     if _event_log is not None:
         _event_log.close()
         _event_log = None

@@ -14,6 +14,14 @@ Spans nest naturally — a ``sim.period`` span around a measurement
 period will show up as the parent of every ``sketch.and_join`` span
 opened inside it.  Nesting is tracked per thread.
 
+When a :class:`~repro.obs.trace.TraceBuffer` is installed
+(``obs.enable(trace=...)``), spans additionally carry distributed
+trace context: a root span starts a new trace, children inherit the
+trace id via a contextvar, and every closed span is recorded into the
+buffer.  A span may also *link* to spans in other traces (a query
+touching a record delivered by an earlier upload trace) via
+:meth:`Span.add_link` / :func:`add_link`.
+
 When observability is disabled, :func:`span` returns a shared no-op
 context manager without touching the clock, so sprinkling spans on hot
 paths is safe.
@@ -25,7 +33,8 @@ import threading
 import time
 from typing import Dict, List, Optional
 
-from repro.obs import runtime
+from repro.obs import runtime, trace as trace_mod
+from repro.obs.trace import SpanRecord, TraceContext
 
 #: Histogram fed by every closed span, labelled span=<name>.
 SPAN_HISTOGRAM = "repro_span_duration_seconds"
@@ -50,15 +59,35 @@ def current_span() -> Optional["Span"]:
 class Span:
     """One timed scope.  Use via :func:`span`, not directly."""
 
-    __slots__ = ("name", "attrs", "duration", "_started", "_parent_name", "_depth")
+    __slots__ = (
+        "name",
+        "attrs",
+        "duration",
+        "context",
+        "parent_context",
+        "links",
+        "start_ts",
+        "_started",
+        "_parent_name",
+        "_depth",
+        "_ctx_token",
+    )
 
     def __init__(self, name: str, attrs: Dict[str, object]):
         self.name = name
         self.attrs = attrs
         self.duration: Optional[float] = None
+        #: This span's trace context (None unless tracing is active).
+        self.context: Optional[TraceContext] = None
+        #: The context this span was opened under, if any.
+        self.parent_context: Optional[TraceContext] = None
+        #: Cross-trace links added via :meth:`add_link`.
+        self.links: List[TraceContext] = []
+        self.start_ts = 0.0
         self._started = 0.0
         self._parent_name: Optional[str] = None
         self._depth = 0
+        self._ctx_token = None
 
     @property
     def parent_name(self) -> Optional[str]:
@@ -70,12 +99,39 @@ class Span:
         """Nesting depth at entry (0 = top level)."""
         return self._depth
 
+    def add_link(self, context: Optional[TraceContext]) -> bool:
+        """Link this span to a span in another trace.
+
+        Used when causality crosses a data boundary rather than a call
+        stack: a query span links to the upload span that delivered
+        (or dead-lettered) a record it touched, a cache hit links to
+        the trace that built the memoized join.  No-op (False) when
+        the span carries no trace context or ``context`` is None.
+        """
+        if context is None or self.context is None:
+            return False
+        self.links.append(context)
+        return True
+
     def __enter__(self) -> "Span":
         stack = _stack()
         if stack:
             self._parent_name = stack[-1].name
         self._depth = len(stack)
         stack.append(self)
+        if runtime.tracing():
+            self.parent_context = trace_mod.current()
+            if self.parent_context is None:
+                trace_id = trace_mod.new_trace_id()
+                runtime.counter(
+                    "repro_traces_total",
+                    help="Traces started (root spans opened while tracing).",
+                ).inc()
+            else:
+                trace_id = self.parent_context.trace_id
+            self.context = TraceContext(trace_id, trace_mod.new_span_id())
+            self._ctx_token = trace_mod.activate(self.context)
+            self.start_ts = time.time()
         self._started = time.perf_counter()
         return self
 
@@ -84,14 +140,40 @@ class Span:
         stack = _stack()
         if stack and stack[-1] is self:
             stack.pop()
+        if self._ctx_token is not None:
+            trace_mod.restore(self._ctx_token)
+            self._ctx_token = None
         if runtime.enabled():
             runtime.histogram(
                 SPAN_HISTOGRAM,
                 help="Wall-clock duration of instrumented spans.",
                 span=self.name,
             ).observe(self.duration)
+            buffer = runtime.trace_buffer()
+            if buffer is not None and self.context is not None:
+                buffer.record(
+                    SpanRecord(
+                        trace_id=self.context.trace_id,
+                        span_id=self.context.span_id,
+                        parent_id=(
+                            self.parent_context.span_id
+                            if self.parent_context is not None
+                            else None
+                        ),
+                        name=self.name,
+                        start=self.start_ts,
+                        duration=self.duration,
+                        attrs=dict(self.attrs),
+                        error=exc_type.__name__ if exc_type is not None else None,
+                        links=tuple(self.links),
+                    )
+                )
             log = runtime.event_log()
             if log is not None:
+                extra = {}
+                if self.context is not None:
+                    extra["trace_id"] = self.context.trace_id
+                    extra["span_id"] = self.context.span_id
                 log.emit(
                     "span",
                     self.name,
@@ -99,6 +181,7 @@ class Span:
                     parent=self._parent_name,
                     depth=self._depth,
                     error=exc_type.__name__ if exc_type is not None else None,
+                    **extra,
                     **self.attrs,
                 )
         return False
@@ -114,6 +197,12 @@ class _NullSpan:
     duration = None
     parent_name = None
     depth = 0
+    context = None
+    parent_context = None
+    links: List[TraceContext] = []
+
+    def add_link(self, context) -> bool:
+        return False
 
     def __enter__(self) -> "_NullSpan":
         return self
@@ -123,6 +212,20 @@ class _NullSpan:
 
 
 _NULL_SPAN = _NullSpan()
+
+
+def add_link(context: Optional[TraceContext]) -> bool:
+    """Link the innermost open span on this thread to ``context``.
+
+    Convenience for call sites that hold a stored context (a cache
+    entry's build context, a record binding) but not the span object.
+    Returns False when there is no open span, no trace context, or
+    ``context`` is None.
+    """
+    open_span = current_span()
+    if open_span is None:
+        return False
+    return open_span.add_link(context)
 
 
 def span(name: str, **attrs: object):

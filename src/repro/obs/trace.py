@@ -1,0 +1,473 @@
+"""Distributed tracing: causal span trees across the upload/query path.
+
+PR 1's spans are flat wall-clock timers — they record *how long*
+something took, but not *which* upload produced the record a degraded
+query later missed.  This module adds the causal layer:
+
+* a :class:`TraceContext` is a ``(trace_id, span_id)`` pair.  The
+  innermost active context lives in a :mod:`contextvars` context
+  variable, so nested spans form parent→child chains without any
+  explicit plumbing (and correctly per thread);
+* :class:`SpanRecord` is one *closed* span with its identifiers,
+  timing, attributes and cross-trace links;
+* :class:`TraceBuffer` is a bounded ring of recent traces plus the
+  *record-binding* table: ``(location, period) → upload context``.
+  The binding is what lets a query span link back to the transport
+  span that delivered (or dead-lettered) the record it touched — the
+  only causal signal left once per-vehicle identifiers are gone;
+* :func:`format_trace_tree` renders one trace as a human tree with
+  the critical path marked and linked upload subtrees inlined.
+
+Trace contexts travel *through* the system boundaries:
+
+* :mod:`repro.faults.transport` embeds the sending span's context in
+  its framed uploads (``RFR2`` frames), so a delayed frame delivered
+  periods later still joins its original upload trace;
+* :class:`~repro.faults.transport.DeadLetterLog` entries carry the
+  quarantined upload's trace id;
+* :class:`~repro.server.cache.JoinCache` remembers the context that
+  built each memoized join and links cache-served queries back to it.
+
+Identifiers are 16-hex-char trace ids (random per-process prefix + a
+process-local sequence) and 8-hex-char span ids.  They never influence
+library randomness — estimator outputs stay byte-identical whether or
+not tracing is active.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from collections import OrderedDict
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ObservabilityError
+
+#: Hex characters in a trace id / span id.
+TRACE_ID_HEX = 16
+SPAN_ID_HEX = 8
+
+#: Wire size of a serialized context (ASCII hex, fixed width).
+CONTEXT_BYTES = TRACE_ID_HEX + SPAN_ID_HEX
+
+#: Default ring bound: completed traces kept for /traces and reports.
+DEFAULT_MAX_TRACES = 256
+
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One point in a trace: the trace and the span that is active."""
+
+    trace_id: str
+    span_id: str
+
+    def to_bytes(self) -> bytes:
+        """Fixed-width ASCII serialization (RFR2 frame header field)."""
+        return (self.trace_id + self.span_id).encode("ascii")
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> Optional["TraceContext"]:
+        """Parse a serialized context; None when corrupted.
+
+        In-flight corruption can hit the context field of a frame; a
+        garbled context must degrade to "no context", never raise —
+        the payload checksum, not the trace header, decides delivery.
+        """
+        if len(raw) != CONTEXT_BYTES:
+            return None
+        try:
+            text = raw.decode("ascii")
+        except UnicodeDecodeError:
+            return None
+        if not all(ch in _HEX_DIGITS for ch in text):
+            return None
+        return cls(trace_id=text[:TRACE_ID_HEX], span_id=text[TRACE_ID_HEX:])
+
+
+#: The innermost active context (contextvars: per-thread and per-task).
+_current: "ContextVar[Optional[TraceContext]]" = ContextVar(
+    "repro_trace_context", default=None
+)
+
+#: Random per-process prefix keeps ids from colliding across processes.
+_PROCESS_PREFIX = os.urandom(4).hex()
+
+#: Process-local sequences (``next()`` on ``count`` is atomic in CPython).
+_trace_sequence = itertools.count(1)
+_span_sequence = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex trace id, unique across processes and time."""
+    return _PROCESS_PREFIX + format(next(_trace_sequence) & 0xFFFFFFFF, "08x")
+
+
+def new_span_id() -> str:
+    """A fresh 8-hex span id, unique within this process."""
+    return format(next(_span_sequence) & 0xFFFFFFFF, "08x")
+
+
+def current() -> Optional[TraceContext]:
+    """The innermost active trace context, or None."""
+    return _current.get()
+
+
+def activate(context: Optional[TraceContext]):
+    """Make ``context`` current; returns a token for :func:`restore`."""
+    return _current.set(context)
+
+
+def restore(token) -> None:
+    """Undo a matching :func:`activate`."""
+    _current.reset(token)
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One closed span, as stored in a :class:`TraceBuffer`."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    start: float
+    duration: float
+    attrs: Dict[str, object] = field(default_factory=dict)
+    error: Optional[str] = None
+    links: Tuple[TraceContext, ...] = ()
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the /traces endpoint and --trace-out)."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "ts": self.start,
+            "duration_seconds": self.duration,
+            "attrs": {key: str(value) for key, value in self.attrs.items()},
+            "error": self.error,
+            "links": [
+                {"trace_id": link.trace_id, "span_id": link.span_id}
+                for link in self.links
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class RecordBinding:
+    """Which upload trace produced (or lost) one ``(location, period)``."""
+
+    context: TraceContext
+    kind: str  # "record" (stored) or "dead_letter" (quarantined)
+
+
+class TraceBuffer:
+    """Bounded ring of recent traces plus the record-binding table.
+
+    Thread-safe.  Completed spans are appended by
+    :class:`~repro.obs.spans.Span` on exit; the oldest whole *trace*
+    is evicted once ``max_traces`` distinct trace ids are resident.
+    Evicting a trace also drops the record bindings and reverse links
+    that point into it, so the buffer never serves dangling ids.
+    """
+
+    def __init__(self, max_traces: int = DEFAULT_MAX_TRACES):
+        if int(max_traces) < 1:
+            raise ObservabilityError(
+                f"trace buffer needs max_traces >= 1, got {max_traces}"
+            )
+        self._max_traces = int(max_traces)
+        self._lock = threading.Lock()
+        self._traces: "OrderedDict[str, List[SpanRecord]]" = OrderedDict()
+        self._bindings: Dict[Tuple[int, int], List[RecordBinding]] = {}
+        self._linked_from: Dict[str, List[Tuple[str, TraceContext]]] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record(self, record: SpanRecord) -> None:
+        """Store one closed span (called by the span layer on exit)."""
+        with self._lock:
+            spans = self._traces.get(record.trace_id)
+            if spans is None:
+                spans = []
+                self._traces[record.trace_id] = spans
+            else:
+                self._traces.move_to_end(record.trace_id)
+            spans.append(record)
+            source = TraceContext(record.trace_id, record.span_id)
+            for link in record.links:
+                self._linked_from.setdefault(link.trace_id, []).append(
+                    (record.name, source)
+                )
+            while len(self._traces) > self._max_traces:
+                evicted, _ = self._traces.popitem(last=False)
+                self._drop_references(evicted)
+
+    def _drop_references(self, trace_id: str) -> None:
+        """Forget bindings and reverse links into an evicted trace."""
+        self._linked_from.pop(trace_id, None)
+        for key in list(self._bindings):
+            survivors = [
+                b
+                for b in self._bindings[key]
+                if b.context.trace_id != trace_id
+            ]
+            if survivors:
+                self._bindings[key] = survivors
+            else:
+                del self._bindings[key]
+
+    def bind(
+        self,
+        location: int,
+        period: int,
+        context: TraceContext,
+        kind: str = "record",
+    ) -> None:
+        """Remember which trace delivered (or dead-lettered) a record."""
+        binding = RecordBinding(context=context, kind=kind)
+        with self._lock:
+            self._bindings.setdefault(
+                (int(location), int(period)), []
+            ).append(binding)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of resident traces."""
+        with self._lock:
+            return len(self._traces)
+
+    def trace_ids(self) -> List[str]:
+        """Resident trace ids, oldest first."""
+        with self._lock:
+            return list(self._traces)
+
+    def latest_trace_id(self) -> Optional[str]:
+        """The most recently touched trace id, or None when empty."""
+        with self._lock:
+            return next(reversed(self._traces)) if self._traces else None
+
+    def spans(self, trace_id: str) -> List[SpanRecord]:
+        """The recorded spans of one trace (empty when unknown)."""
+        with self._lock:
+            return list(self._traces.get(trace_id, ()))
+
+    def find_span(self, context: TraceContext) -> Optional[SpanRecord]:
+        """Resolve a context to its recorded span, if still resident."""
+        with self._lock:
+            for record in self._traces.get(context.trace_id, ()):
+                if record.span_id == context.span_id:
+                    return record
+        return None
+
+    def bindings(self, location: int, period: int) -> List[RecordBinding]:
+        """Every upload binding for one ``(location, period)`` cell."""
+        with self._lock:
+            return list(self._bindings.get((int(location), int(period)), ()))
+
+    def linked_from(self, trace_id: str) -> List[Tuple[str, TraceContext]]:
+        """Spans in *other* traces that linked into this trace."""
+        with self._lock:
+            return list(self._linked_from.get(trace_id, ()))
+
+    def to_payloads(self, limit: Optional[int] = None) -> List[dict]:
+        """JSON-ready recent traces, newest first (the /traces body)."""
+        with self._lock:
+            ids = list(reversed(self._traces))
+            if limit is not None:
+                ids = ids[: max(int(limit), 0)]
+            payloads = []
+            for trace_id in ids:
+                spans = self._traces[trace_id]
+                payloads.append(
+                    {
+                        "trace_id": trace_id,
+                        "span_count": len(spans),
+                        "spans": [record.to_dict() for record in spans],
+                        "touched_by": [
+                            {
+                                "name": name,
+                                "trace_id": source.trace_id,
+                                "span_id": source.span_id,
+                            }
+                            for name, source in self._linked_from.get(
+                                trace_id, ()
+                            )
+                        ],
+                    }
+                )
+            return payloads
+
+
+# ----------------------------------------------------------------------
+# Human rendering
+# ----------------------------------------------------------------------
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value < 1e-3:
+        return f"{value * 1e6:.0f}µs"
+    if value < 1.0:
+        return f"{value * 1e3:.1f}ms"
+    return f"{value:.2f}s"
+
+
+def _children_by_parent(
+    spans: Sequence[SpanRecord],
+) -> Dict[Optional[str], List[SpanRecord]]:
+    ids = {record.span_id for record in spans}
+    children: Dict[Optional[str], List[SpanRecord]] = {}
+    for record in spans:
+        parent = record.parent_id if record.parent_id in ids else None
+        children.setdefault(parent, []).append(record)
+    for siblings in children.values():
+        siblings.sort(key=lambda record: (record.start, record.span_id))
+    return children
+
+
+def _critical_path(
+    roots: Sequence[SpanRecord],
+    children: Dict[Optional[str], List[SpanRecord]],
+) -> set:
+    """Span ids on the critical path: longest child chain from the root."""
+    marked = set()
+    if not roots:
+        return marked
+    node = max(roots, key=lambda record: record.duration)
+    while node is not None:
+        marked.add(node.span_id)
+        below = children.get(node.span_id, [])
+        node = max(below, key=lambda record: record.duration) if below else None
+    return marked
+
+
+def _span_line(record: SpanRecord, critical: set) -> str:
+    text = f"{record.name} ({_fmt_seconds(record.duration)})"
+    if record.span_id in critical:
+        text += " *"
+    if record.attrs:
+        text += "  " + " ".join(
+            f"{key}={value}" for key, value in record.attrs.items()
+        )
+    if record.error:
+        text += f"  !{record.error}"
+    return text
+
+
+def _render_subtree(
+    record: SpanRecord,
+    children: Dict[Optional[str], List[SpanRecord]],
+    critical: set,
+    prefix: str,
+    is_last: bool,
+    lines: List[str],
+    resolve_link=None,
+    depth: int = 0,
+    max_depth: int = 12,
+) -> None:
+    connector = "└─ " if is_last else "├─ "
+    lines.append(prefix + connector + _span_line(record, critical))
+    child_prefix = prefix + ("   " if is_last else "│  ")
+    if resolve_link is not None:
+        for link in record.links:
+            lines.extend(resolve_link(link, child_prefix))
+    if depth >= max_depth:
+        return
+    below = children.get(record.span_id, [])
+    for index, child in enumerate(below):
+        _render_subtree(
+            child,
+            children,
+            critical,
+            child_prefix,
+            index == len(below) - 1,
+            lines,
+            resolve_link=resolve_link,
+            depth=depth + 1,
+            max_depth=max_depth,
+        )
+
+
+def format_trace_tree(
+    buffer: TraceBuffer, trace_id: Optional[str] = None
+) -> str:
+    """Render one trace as a tree with links and the critical path.
+
+    Without ``trace_id`` the most recent trace is shown.  Spans on the
+    critical path (the chain of longest-duration children from the
+    root) are marked with ``*``.  A span's cross-trace links (a query
+    touching records delivered by earlier upload traces, a cache hit
+    reusing a join built elsewhere) are inlined as ``→ link:`` nodes
+    showing the linked span's own subtree — this is where a degraded
+    query's missing record meets the transport retry or dead-letter
+    span that explains it.  Spans in other traces that linked *into*
+    this one are listed at the bottom.
+    """
+    resolved = trace_id if trace_id is not None else buffer.latest_trace_id()
+    if resolved is None:
+        return "no traces recorded"
+    spans = buffer.spans(resolved)
+    if not spans:
+        return f"trace {resolved}: no spans recorded"
+    children = _children_by_parent(spans)
+    roots = children.get(None, [])
+    critical = _critical_path(roots, children)
+    total = sum(record.duration for record in roots)
+    lines = [
+        f"trace {resolved} — {len(spans)} span(s), {_fmt_seconds(total)}"
+    ]
+
+    def resolve_link(link: TraceContext, prefix: str) -> List[str]:
+        linked = buffer.find_span(link)
+        if linked is None:
+            return [
+                prefix
+                + f"→ link: trace {link.trace_id} span {link.span_id}"
+                + " (evicted)"
+            ]
+        out = [prefix + f"→ link: trace {link.trace_id}"]
+        linked_spans = buffer.spans(link.trace_id)
+        linked_children = _children_by_parent(linked_spans)
+        _render_subtree(
+            linked,
+            linked_children,
+            set(),
+            prefix + "  ",
+            True,
+            out,
+            resolve_link=None,
+            max_depth=4,
+        )
+        return out
+
+    for index, root in enumerate(roots):
+        _render_subtree(
+            root,
+            children,
+            critical,
+            "",
+            index == len(roots) - 1,
+            lines,
+            resolve_link=resolve_link,
+        )
+    touched = buffer.linked_from(resolved)
+    if touched:
+        lines.append("touched later by:")
+        for name, source in touched:
+            lines.append(
+                f"  ↳ {name} (trace {source.trace_id} span {source.span_id})"
+            )
+    return "\n".join(lines)

@@ -40,6 +40,8 @@ from typing import Callable, Dict, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import ConfigurationError
 from repro.obs import runtime as obs
+from repro.obs import trace as trace_mod
+from repro.obs.spans import add_link
 from repro.sketch.bitmap import Bitmap
 from repro.sketch.join import SplitJoinResult
 
@@ -191,6 +193,7 @@ class JoinCache:
         kind = key[0]
         cached = self._entries.get(key)
         if cached is not None:
+            value, built_context = cached
             self._entries.move_to_end(key)
             self._stats.hits += 1
             if obs.enabled():
@@ -199,7 +202,11 @@ class JoinCache:
                     "Query-plan cache lookups served from a memoized join.",
                     kind=kind,
                 ).inc()
-            return cached
+                # A cache-served query still causally depends on the
+                # trace that originally built the join — link to it.
+                if built_context is not None:
+                    add_link(built_context)
+            return value
         self._stats.misses += 1
         if obs.enabled():
             obs.counter(
@@ -208,7 +215,8 @@ class JoinCache:
                 kind=kind,
             ).inc()
         value = build()  # may raise (missing records); nothing cached then
-        self._entries[key] = value
+        built_context = trace_mod.current() if obs.tracing() else None
+        self._entries[key] = (value, built_context)
         self._by_location.setdefault(key[1], set()).add(key)
         while len(self._entries) > self._max_entries:
             evicted, _ = self._entries.popitem(last=False)

@@ -18,6 +18,8 @@ from repro.core.point_to_point import PointToPointPersistentEstimator
 from repro.core.results import PointEstimate, PointToPointEstimate
 from repro.exceptions import ConfigurationError, CoverageError
 from repro.obs import runtime as obs
+from repro.obs import trace as trace_mod
+from repro.obs.spans import add_link, span
 from repro.rsu.record import TrafficRecord
 from repro.server.cache import DEFAULT_MAX_ENTRIES, JoinCache
 from repro.server.degradation import (
@@ -196,6 +198,16 @@ class CentralServer:
                     "repro_archive_writes_total",
                     "Records persisted to the attached archive.",
                 ).inc()
+            if obs.tracing():
+                # Remember which upload trace produced this cell, so a
+                # later query over it can link back to the transport
+                # spans (retries included) that delivered it.
+                context = trace_mod.current()
+                buffer = obs.trace_buffer()
+                if context is not None and buffer is not None:
+                    buffer.bind(
+                        record.location, record.period, context, kind="record"
+                    )
         return True
 
     def receive_payload(self, payload: bytes) -> TrafficRecord:
@@ -226,11 +238,33 @@ class CentralServer:
             kind=kind,
         ).observe(time.perf_counter() - started)
 
+    @staticmethod
+    def _trace_links(locations, periods) -> None:
+        """Link the open query span to the uploads behind its cells.
+
+        Every ``(location, period)`` the query *requested* is looked up
+        in the trace buffer's binding table — stored records and
+        dead-lettered uploads alike — so a degraded query's trace
+        shows both the uploads it consumed and the one whose loss
+        degraded it.  No-op unless tracing is active.
+        """
+        if not obs.tracing():
+            return
+        buffer = obs.trace_buffer()
+        if buffer is None:
+            return
+        for location in locations:
+            for period in periods:
+                for binding in buffer.bindings(location, period):
+                    add_link(binding.context)
+
     def point_volume(self, query: PointVolumeQuery) -> float:
         """Single-period traffic volume estimate (Eq. 1)."""
         started = time.perf_counter()
-        record = self._store.require(query.location, query.period)
-        estimate = record.point_estimate()
+        with span("server.query", kind="point_volume"):
+            self._trace_links([query.location], [query.period])
+            record = self._store.require(query.location, query.period)
+            estimate = record.point_estimate()
         if obs.enabled():
             self._observe_query("point_volume", started)
         return estimate
@@ -285,22 +319,26 @@ class CentralServer:
         the policy floor).
         """
         started = time.perf_counter()
-        if policy is None:
-            split = self._split_join_for(query.location, query.periods)
+        with span("server.query", kind="point_persistent"):
+            self._trace_links([query.location], query.periods)
+            if policy is None:
+                split = self._split_join_for(query.location, query.periods)
+                estimate = self._point_estimator.estimate_from_split(
+                    split, len(query.periods)
+                )
+                if obs.enabled():
+                    self._observe_query("point_persistent", started)
+                return estimate
+            report = self._resolve_coverage(
+                [query.location], query.periods, policy
+            )
+            split = self._split_join_for(query.location, report.covered)
             estimate = self._point_estimator.estimate_from_split(
-                split, len(query.periods)
+                split, len(report.covered)
             )
             if obs.enabled():
                 self._observe_query("point_persistent", started)
-            return estimate
-        report = self._resolve_coverage([query.location], query.periods, policy)
-        split = self._split_join_for(query.location, report.covered)
-        estimate = self._point_estimator.estimate_from_split(
-            split, len(report.covered)
-        )
-        if obs.enabled():
-            self._observe_query("point_persistent", started)
-        return DegradedResult(value=estimate, coverage=report)
+            return DegradedResult(value=estimate, coverage=report)
 
     def point_persistent_benchmark(
         self,
@@ -309,20 +347,26 @@ class CentralServer:
     ):
         """The direct AND-join benchmark on the same query (Fig. 4)."""
         started = time.perf_counter()
-        if policy is None:
-            joined = self._and_join_for(query.location, query.periods)
+        with span("server.query", kind="benchmark"):
+            self._trace_links([query.location], query.periods)
+            if policy is None:
+                joined = self._and_join_for(query.location, query.periods)
+                estimate = self._benchmark.estimate_from_join(
+                    joined, len(query.periods)
+                )
+                if obs.enabled():
+                    self._observe_query("benchmark", started)
+                return estimate
+            report = self._resolve_coverage(
+                [query.location], query.periods, policy
+            )
+            joined = self._and_join_for(query.location, report.covered)
             estimate = self._benchmark.estimate_from_join(
-                joined, len(query.periods)
+                joined, len(report.covered)
             )
             if obs.enabled():
                 self._observe_query("benchmark", started)
-            return estimate
-        report = self._resolve_coverage([query.location], query.periods, policy)
-        joined = self._and_join_for(query.location, report.covered)
-        estimate = self._benchmark.estimate_from_join(joined, len(report.covered))
-        if obs.enabled():
-            self._observe_query("benchmark", started)
-        return DegradedResult(value=estimate, coverage=report)
+            return DegradedResult(value=estimate, coverage=report)
 
     def point_to_point_persistent(
         self,
@@ -336,22 +380,26 @@ class CentralServer:
         :class:`~repro.server.degradation.DegradedResult`.
         """
         started = time.perf_counter()
-        if policy is None:
+        with span("server.query", kind="point_to_point"):
+            self._trace_links(
+                [query.location_a, query.location_b], query.periods
+            )
+            if policy is None:
+                estimate = self._p2p_from_cache(
+                    query.location_a, query.location_b, query.periods
+                )
+                if obs.enabled():
+                    self._observe_query("point_to_point", started)
+                return estimate
+            report = self._resolve_coverage(
+                [query.location_a, query.location_b], query.periods, policy
+            )
             estimate = self._p2p_from_cache(
-                query.location_a, query.location_b, query.periods
+                query.location_a, query.location_b, report.covered
             )
             if obs.enabled():
                 self._observe_query("point_to_point", started)
-            return estimate
-        report = self._resolve_coverage(
-            [query.location_a, query.location_b], query.periods, policy
-        )
-        estimate = self._p2p_from_cache(
-            query.location_a, query.location_b, report.covered
-        )
-        if obs.enabled():
-            self._observe_query("point_to_point", started)
-        return DegradedResult(value=estimate, coverage=report)
+            return DegradedResult(value=estimate, coverage=report)
 
     def _p2p_from_cache(self, location_a: int, location_b: int, periods):
         """Eq. 21 from two (possibly cached) per-location AND-joins.
@@ -385,10 +433,12 @@ class CentralServer:
         (:func:`repro.server.history.persistent_window_series`).
         """
         started = time.perf_counter()
-        records = self._store.records_for(location, periods)
-        samples = persistent_window_series(
-            records, window, estimator=self._point_estimator
-        )
+        with span("server.query", kind="point_persistent_series"):
+            self._trace_links([location], periods)
+            records = self._store.records_for(location, periods)
+            samples = persistent_window_series(
+                records, window, estimator=self._point_estimator
+            )
         if obs.enabled():
             self._observe_query("point_persistent_series", started)
         return samples

@@ -21,6 +21,7 @@ from typing import Dict, List, Sequence, Tuple
 from repro.core.results import PointToPointEstimate
 from repro.exceptions import ConfigurationError, EstimationError
 from repro.obs import runtime as obs
+from repro.obs.spans import span
 from repro.server.central import CentralServer
 from repro.server.queries import PointToPointPersistentQuery
 
@@ -92,21 +93,24 @@ def rank_persistent_sources(
     if obs.enabled():
         _preregister_pair_metrics()
     ranked: List[RankedSource] = []
-    for candidate in candidates:
-        query = PointToPointPersistentQuery(
-            location_a=int(candidate),
-            location_b=int(target),
-            periods=tuple(periods),
-        )
-        try:
-            estimate = server.point_to_point_persistent(query)
-        except EstimationError:
+    with span("planner.rank_sources", target=target, candidates=len(candidates)):
+        for candidate in candidates:
+            query = PointToPointPersistentQuery(
+                location_a=int(candidate),
+                location_b=int(target),
+                periods=tuple(periods),
+            )
+            try:
+                estimate = server.point_to_point_persistent(query)
+            except EstimationError:
+                if obs.enabled():
+                    _count_pair(skipped=True)
+                continue
             if obs.enabled():
-                _count_pair(skipped=True)
-            continue
-        if obs.enabled():
-            _count_pair(skipped=False)
-        ranked.append(RankedSource(location=int(candidate), estimate=estimate))
+                _count_pair(skipped=False)
+            ranked.append(
+                RankedSource(location=int(candidate), estimate=estimate)
+            )
     ranked.sort(key=lambda source: source.volume, reverse=True)
     return ranked
 
@@ -138,32 +142,35 @@ def persistent_flow_matrix(
     done = 0
     skipped = 0
     matrix: Dict[Tuple[int, int], float] = {}
-    for index, location_a in enumerate(distinct):
-        for location_b in distinct[index + 1:]:
-            query = PointToPointPersistentQuery(
-                location_a=location_a,
-                location_b=location_b,
-                periods=tuple(periods),
-            )
-            try:
-                estimate = server.point_to_point_persistent(query)
-            except EstimationError:
-                skipped += 1
-                if obs.enabled():
-                    _count_pair(skipped=True)
-            else:
-                matrix[(location_a, location_b)] = estimate.clamped
-                if obs.enabled():
-                    _count_pair(skipped=False)
-            done += 1
-            if obs.enabled() and (done % _PROGRESS_EVERY == 0 or done == total):
-                log = obs.event_log()
-                if log is not None:
-                    log.emit(
-                        "progress",
-                        "planner.flow_matrix",
-                        done=done,
-                        total=total,
-                        skipped=skipped,
-                    )
+    with span("planner.flow_matrix", locations=len(distinct), pairs=total):
+        for index, location_a in enumerate(distinct):
+            for location_b in distinct[index + 1:]:
+                query = PointToPointPersistentQuery(
+                    location_a=location_a,
+                    location_b=location_b,
+                    periods=tuple(periods),
+                )
+                try:
+                    estimate = server.point_to_point_persistent(query)
+                except EstimationError:
+                    skipped += 1
+                    if obs.enabled():
+                        _count_pair(skipped=True)
+                else:
+                    matrix[(location_a, location_b)] = estimate.clamped
+                    if obs.enabled():
+                        _count_pair(skipped=False)
+                done += 1
+                if obs.enabled() and (
+                    done % _PROGRESS_EVERY == 0 or done == total
+                ):
+                    log = obs.event_log()
+                    if log is not None:
+                        log.emit(
+                            "progress",
+                            "planner.flow_matrix",
+                            done=done,
+                            total=total,
+                            skipped=skipped,
+                        )
     return matrix

@@ -270,10 +270,13 @@ class CityScenario:
 
     def run_period(self) -> PeriodSummary:
         """Simulate one full measurement period."""
-        with span("sim.period", period=self._periods_run):
+        with span("sim.period", period=self._periods_run) as period_span:
             summary = self._run_period()
         log = obs.event_log()
         if log is not None:
+            extra = {}
+            if period_span.context is not None:
+                extra["trace_id"] = period_span.context.trace_id
             log.emit(
                 "period",
                 "sim.period",
@@ -284,6 +287,7 @@ class CityScenario:
                 lost=summary.lost,
                 outaged=summary.outaged,
                 reports_by_location=summary.reports_by_location,
+                **extra,
             )
         return summary
 

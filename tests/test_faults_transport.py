@@ -183,3 +183,79 @@ class TestDeadLetterLog:
     def test_invalid_max_attempts(self):
         with pytest.raises(TransportError):
             UploadTransport(_FakeServer(), max_attempts=0)
+
+
+class TestTracedFraming:
+    """RFR2 frames: the trace context rides the wire, checksummed apart."""
+
+    def _context(self):
+        from repro.obs.trace import TraceContext
+
+        return TraceContext(trace_id="a" * 16, span_id="b" * 8)
+
+    def test_rfr1_byte_identity_without_context(self):
+        # No context → the legacy layout, bit for bit.
+        frame = frame_payload(b"payload")
+        assert frame.startswith(FRAME_MAGIC)
+        assert frame == frame_payload(b"payload", context=None)
+
+    def test_context_round_trip(self):
+        from repro.faults.transport import TRACED_MAGIC, parse_frame
+
+        context = self._context()
+        frame = frame_payload(b"payload", context=context)
+        assert frame.startswith(TRACED_MAGIC)
+        payload, ok, recovered = parse_frame(frame)
+        assert ok and payload == b"payload"
+        assert recovered == context
+
+    def test_corrupted_context_degrades_to_none_not_lost_payload(self):
+        from repro.faults.transport import parse_frame
+
+        frame = bytearray(frame_payload(b"payload", context=self._context()))
+        frame[40] ^= 0xFF  # inside the 24-byte context field
+        payload, ok, context = parse_frame(bytes(frame))
+        # The digest covers the payload only: delivery survives, the
+        # trace association is what degrades.
+        assert ok and payload == b"payload"
+        assert context is None
+
+    def test_payload_corruption_still_detected(self):
+        frame = bytearray(frame_payload(b"payload", context=self._context()))
+        frame[-1] ^= 0x01
+        _, ok = unframe_payload(bytes(frame))
+        assert not ok
+
+    def test_untraced_transport_sends_rfr1(self):
+        # Tracing off → frames on the wire are byte-identical legacy.
+        captured = []
+
+        class _Tap(_FakeServer):
+            def receive_record(self, record):
+                return super().receive_record(record)
+
+        transport = UploadTransport(_Tap())
+        original = transport._transmit
+
+        def _spy(payload, context=None):
+            captured.append(frame_payload(payload, context))
+            return original(payload, context)
+
+        transport._transmit = _spy
+        transport.send(_record())
+        assert captured and captured[0].startswith(FRAME_MAGIC)
+
+    def test_dead_letter_carries_trace_id(self):
+        from repro.obs.trace import TraceContext
+
+        log = DeadLetterLog()
+        context = TraceContext(trace_id="c" * 16, span_id="d" * 8)
+        log.append(
+            "retries_exhausted",
+            frame_payload(b"payload", context=context),
+            attempts=2,
+            context=context,
+        )
+        [letter] = log.entries
+        assert letter.trace_id == "c" * 16
+        assert letter.to_dict()["trace_id"] == "c" * 16

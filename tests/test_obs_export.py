@@ -11,10 +11,11 @@ from repro.exceptions import ObservabilityError
 from repro.obs.export import (
     format_report,
     parse_prometheus,
+    registry_from_prometheus,
     to_json,
     to_prometheus,
 )
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import Histogram, MetricsRegistry
 
 
 @pytest.fixture
@@ -89,6 +90,76 @@ class TestPrometheusExposition:
         samples = parse_prometheus("x_total +Inf\ny_total NaN\n")
         assert math.isinf(samples[("x_total", ())])
         assert math.isnan(samples[("y_total", ())])
+
+
+class TestRegistryFromPrometheus:
+    """The structured parser: exposition text back into a real registry."""
+
+    def test_exact_round_trip(self, populated):
+        text = to_prometheus(populated)
+        assert to_prometheus(registry_from_prometheus(text)) == text
+
+    def test_scalars_rebuilt_with_kinds(self, populated):
+        rebuilt = registry_from_prometheus(to_prometheus(populated))
+        assert rebuilt.get("repro_records_ingested_total").kind == "counter"
+        assert rebuilt.counter("repro_records_ingested_total").value == 9.0
+        assert rebuilt.get("repro_store_bits").kind == "gauge"
+        assert rebuilt.gauge("repro_store_bits").value == 4096.0
+        assert (
+            rebuilt.counter("repro_queries_total", kind="point_volume").value
+            == 1.0
+        )
+
+    def test_histogram_reassembled(self, populated):
+        rebuilt = registry_from_prometheus(to_prometheus(populated))
+        family = rebuilt.get("repro_estimate_latency_seconds")
+        assert family is not None and family.kind == "histogram"
+        [(labels, child)] = list(family.children())
+        assert labels == ()
+        assert isinstance(child, Histogram)
+        assert child.count == 4
+        assert child.sum == pytest.approx(2.0525)
+        # Bucket shape survives: (0.001, 0.01, 0.1) plus overflow.
+        assert child.bucket_counts() == [1, 1, 1, 1]
+
+    def test_help_text_survives(self, populated):
+        rebuilt = registry_from_prometheus(to_prometheus(populated))
+        assert (
+            rebuilt.get("repro_records_ingested_total").help_text
+            == "Records accepted."
+        )
+
+    def test_empty_document(self):
+        assert registry_from_prometheus("").families() == []
+
+    def test_sample_without_type_header_rejected(self):
+        with pytest.raises(ObservabilityError):
+            registry_from_prometheus("repro_orphan_total 1\n")
+
+    def test_histogram_missing_inf_bucket_rejected(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="0.1"} 1\n'
+            "repro_h_sum 0.05\n"
+            "repro_h_count 1\n"
+        )
+        with pytest.raises(ObservabilityError):
+            registry_from_prometheus(text)
+
+    def test_merged_registries_round_trip(self, populated):
+        # The cross-process path: a merged parent still exports text
+        # that parses back into an equivalent registry.
+        parent = registry_from_prometheus(to_prometheus(populated))
+        parent.merge(populated.snapshot())
+        text = to_prometheus(parent)
+        again = registry_from_prometheus(text)
+        assert again.counter("repro_records_ingested_total").value == 18.0
+        assert (
+            again.histogram(
+                "repro_estimate_latency_seconds", buckets=(0.001, 0.01, 0.1)
+            ).count
+            == 8
+        )
 
 
 class TestJsonExport:

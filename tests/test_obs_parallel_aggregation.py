@@ -1,0 +1,161 @@
+"""Cross-process telemetry aggregation: workers=N reports like serial.
+
+The tentpole invariant: with observability enabled, running cells
+through ``map_cells(workers=2)`` must (a) return byte-identical results
+to the serial path and (b) leave the parent registry with the same
+``repro_*`` counter totals and histogram counts — worker-side
+increments are snapshotted in the subprocess and merged back, not lost.
+``repro_registry_merges_total`` is the one legitimate difference: it
+counts the merges themselves, so it is 0 serially and one per cell in
+parallel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.experiments.parallel import map_cells, shutdown_pool
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.sketch.bitmap import Bitmap
+
+CELLS = 8
+
+#: The merge counter legitimately differs between serial and parallel.
+MERGE_COUNTER = "repro_registry_merges_total"
+
+#: Wall-clock telemetry: observation *counts* must match, values can't.
+WALL_CLOCK = "repro_parallel_cell_seconds"
+
+
+def _cell(seed):
+    """One seeded experiment cell that also emits telemetry."""
+    rng = np.random.default_rng(seed)
+    bitmap = Bitmap(256)
+    bitmap.set_many(rng.integers(0, 256, size=64))
+    obs.counter(
+        "repro_test_cells_total", "Cells evaluated by the parity test."
+    ).inc()
+    obs.counter(
+        "repro_test_ones_total", "Bits set across all cells.",
+    ).inc(bitmap.ones())
+    # Gauges merge additively across processes, so only accumulating
+    # gauges are comparable between serial and parallel runs.
+    obs.gauge(
+        "repro_test_fill_sum", "Summed one-fractions.",
+    ).inc(bitmap.one_fraction())
+    obs.histogram(
+        "repro_test_fill_fraction",
+        "Per-cell one-fraction.",
+        buckets=(0.1, 0.2, 0.3),
+    ).observe(bitmap.one_fraction())
+    return bitmap.ones()
+
+
+def _totals(registry):
+    """Comparable ``{(name, labels): total}`` snapshot of a registry."""
+    totals = {}
+    for family in registry.families():
+        if family.name == MERGE_COUNTER:
+            continue
+        for labels, child in family.children():
+            if family.name == WALL_CLOCK:
+                totals[(family.name, labels)] = child.count
+            elif isinstance(child, (Counter, Gauge)):
+                totals[(family.name, labels)] = child.value
+            elif isinstance(child, Histogram):
+                totals[(family.name, labels)] = (
+                    child.count,
+                    child.sum,
+                    tuple(child.cumulative()),
+                )
+    return totals
+
+
+def _run(workers):
+    registry = obs.enable(registry=MetricsRegistry())
+    try:
+        results = map_cells(_cell, range(CELLS), workers=workers)
+    finally:
+        obs.disable()
+    return results, registry
+
+
+@pytest.fixture(autouse=True)
+def _clean():
+    obs.disable()
+    yield
+    obs.disable()
+    shutdown_pool()
+
+
+class TestCounterParity:
+    def test_parallel_matches_serial(self):
+        serial_results, serial_registry = _run(workers=1)
+        parallel_results, parallel_registry = _run(workers=2)
+
+        # (a) byte-identical experiment output
+        assert parallel_results == serial_results
+
+        # (b) identical telemetry totals
+        serial_totals = _totals(serial_registry)
+        parallel_totals = _totals(parallel_registry)
+        assert serial_totals == parallel_totals
+        assert serial_totals[("repro_test_cells_total", ())] == CELLS
+        assert (
+            serial_totals[("repro_test_fill_fraction", ())][0] == CELLS
+        )
+
+        # The merged-worker exposition parses cleanly and still carries
+        # the aggregated totals.
+        from repro.obs.export import parse_prometheus, to_prometheus
+
+        samples = parse_prometheus(to_prometheus(parallel_registry))
+        assert samples[("repro_test_cells_total", ())] == CELLS
+        assert samples[("repro_test_fill_fraction_count", ())] == CELLS
+
+    def test_merge_counter_accounts_for_the_merges(self):
+        _, serial_registry = _run(workers=1)
+        _, parallel_registry = _run(workers=2)
+        assert serial_registry.counter(MERGE_COUNTER).value == 0
+        assert parallel_registry.counter(MERGE_COUNTER).value == CELLS
+
+    def test_disabled_parallel_collects_nothing(self):
+        results = map_cells(_cell, range(CELLS), workers=2)
+        [expected] = map_cells(_cell, [0], workers=1)
+        assert results[0] == expected
+        assert not obs.enabled()
+
+
+class TestRegistryMerge:
+    def test_merge_is_additive(self):
+        parent = MetricsRegistry()
+        parent.counter("repro_a_total", "A.").inc(2)
+        parent.histogram("repro_h", "H.", buckets=(1.0,)).observe(0.5)
+
+        child = MetricsRegistry()
+        child.counter("repro_a_total", "A.").inc(3)
+        child.counter("repro_b_total", "B.", kind="x").inc()
+        child.gauge("repro_g", "G.").set(4.0)
+        child.histogram("repro_h", "H.", buckets=(1.0,)).observe(2.0)
+
+        parent.merge(child.snapshot())
+
+        assert parent.counter("repro_a_total").value == 5
+        assert parent.counter("repro_b_total", kind="x").value == 1
+        assert parent.gauge("repro_g").value == 4.0
+        histogram = parent.histogram("repro_h", buckets=(1.0,))
+        assert histogram.count == 2
+        assert histogram.sum == pytest.approx(2.5)
+        assert parent.counter(MERGE_COUNTER).value == 1
+
+    def test_merge_rejects_mismatched_buckets(self):
+        from repro.exceptions import ObservabilityError
+
+        parent = MetricsRegistry()
+        parent.histogram("repro_h", "H.", buckets=(1.0, 2.0)).observe(0.5)
+        child = MetricsRegistry()
+        child.histogram("repro_h", "H.", buckets=(1.0, 3.0)).observe(0.5)
+        with pytest.raises(ObservabilityError):
+            parent.merge(child.snapshot())
