@@ -45,7 +45,16 @@ import atexit
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from repro.exceptions import ConfigurationError
 from repro.obs import runtime as obs
@@ -125,19 +134,32 @@ class _TimedCell:
         return time.perf_counter() - started, snapshot, result
 
 
+#: Bound handles per experiment name: the label value is open-ended,
+#: so handles are created on first sight and reused for every later
+#: cell of the same experiment.
+_CELL_HANDLES: Dict[str, Tuple[obs.BoundMetric, obs.BoundMetric]] = {}
+
+
 def _observe_cell(experiment: str, seconds: float) -> None:
     if not obs.enabled():
         return
-    obs.counter(
-        "repro_parallel_cells_total",
-        "Experiment cells executed through the parallel harness.",
-        experiment=experiment,
-    ).inc()
-    obs.histogram(
-        "repro_parallel_cell_seconds",
-        "Wall-clock time of one experiment cell (measured in-worker).",
-        experiment=experiment,
-    ).observe(seconds)
+    handles = _CELL_HANDLES.get(experiment)
+    if handles is None:
+        handles = (
+            obs.bind_counter(
+                "repro_parallel_cells_total",
+                "Experiment cells executed through the parallel harness.",
+                experiment=experiment,
+            ),
+            obs.bind_histogram(
+                "repro_parallel_cell_seconds",
+                "Wall-clock time of one experiment cell (measured in-worker).",
+                experiment=experiment,
+            ),
+        )
+        _CELL_HANDLES[experiment] = handles
+    handles[0].inc()
+    handles[1].observe(seconds)
 
 
 def map_cells(

@@ -163,7 +163,7 @@ def run_chaos(config: ChaosConfig = ChaosConfig()) -> ChaosResult:
     from repro.sim.scenario import CityScenario
     from repro.traffic.sioux_falls import sioux_falls_trip_table
 
-    if obs.enabled():
+    if obs.ACTIVE:
         # Pre-register the fault counters so the export always carries
         # all four, even for kinds that never fire at this seed.
         obs.counter(
@@ -233,7 +233,7 @@ def run_chaos(config: ChaosConfig = ChaosConfig()) -> ChaosResult:
                         violations,
                     )
                 )
-            if obs.enabled():
+            if obs.ACTIVE:
                 obs.counter(
                     "repro_chaos_cells_total",
                     "Chaos grid cells executed end-to-end.",

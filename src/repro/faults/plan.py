@@ -249,7 +249,7 @@ class FaultInjector:
 
     def _record(self, kind: FaultKind) -> None:
         self.counts[kind.value] += 1
-        if obs.enabled():
+        if obs.ACTIVE:
             obs.counter(
                 "repro_faults_injected_total",
                 "Faults injected into the pipeline, by kind.",

@@ -40,6 +40,24 @@ from repro.obs.spans import span
 from repro.obs.trace import CONTEXT_BYTES, TraceContext
 from repro.rsu.record import TrafficRecord
 
+#: Bound handles, one per quarantine reason (the transport's closed
+#: vocabulary; an unexpected reason falls back to a registry lookup).
+_QUARANTINE_REASONS = (
+    "checksum", "malformed", "undecodable", "conflict", "retries_exhausted",
+)
+_QUARANTINED = {
+    reason: obs.bind_counter(
+        "repro_records_quarantined_total",
+        "Uploads quarantined to the dead-letter log, by reason.",
+        reason=reason,
+    )
+    for reason in _QUARANTINE_REASONS
+}
+_RETRIED = obs.bind_counter(
+    "repro_uploads_retried_total",
+    "Upload attempts retried after in-flight timeouts.",
+)
+
 #: Frame layout: magic, 32-byte SHA-256 of the payload, payload bytes.
 FRAME_MAGIC = b"RFR1"
 #: Traced frame: magic, digest, 24 ASCII bytes of trace context, payload.
@@ -196,12 +214,16 @@ class DeadLetterLog:
         if self._handle is not None:
             self._handle.write(json.dumps(letter.to_dict(), sort_keys=True) + "\n")
             self._handle.flush()
-        if obs.enabled():
-            obs.counter(
-                "repro_records_quarantined_total",
-                "Uploads quarantined to the dead-letter log, by reason.",
-                reason=reason,
-            ).inc()
+        if obs.ACTIVE:
+            handle = _QUARANTINED.get(reason)
+            if handle is None:
+                obs.counter(
+                    "repro_records_quarantined_total",
+                    "Uploads quarantined to the dead-letter log, by reason.",
+                    reason=reason,
+                ).inc()
+            else:
+                handle.inc()
         return letter
 
     def close(self) -> None:
@@ -354,11 +376,8 @@ class UploadTransport:
                 attempts += 1
                 if self._injector is not None and self._injector.upload_times_out():
                     self.stats.retries += 1
-                    if obs.enabled():
-                        obs.counter(
-                            "repro_uploads_retried_total",
-                            "Upload attempts retried after in-flight timeouts.",
-                        ).inc()
+                    if obs.ACTIVE:
+                        _RETRIED.inc()
                         with span("transport.retry", attempt=attempts):
                             self._sleep(
                                 self._base_backoff

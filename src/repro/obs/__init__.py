@@ -14,8 +14,12 @@ measurer.  It provides:
   contextvar propagation, the :class:`TraceBuffer` ring, and
   :func:`format_trace_tree` critical-path rendering;
 * :mod:`repro.obs.httpd` — a stdlib background HTTP server exposing
-  ``/metrics``, ``/healthz``, and ``/traces`` while a run executes;
-* :mod:`repro.obs.runtime` — the process-global enable/disable switch.
+  ``/metrics``, ``/healthz``, ``/traces``, and ``/profile`` while a
+  run executes;
+* :mod:`repro.obs.profile` — cProfile/wall-sampling hotspot capture
+  with per-subsystem aggregation (drives ``--profile``);
+* :mod:`repro.obs.runtime` — the process-global enable/disable switch
+  and the :class:`~repro.obs.runtime.BoundMetric` hot-path handles.
 
 Nothing is collected by default: instrumentation throughout the
 library is guarded by :func:`~repro.obs.runtime.enabled` and costs a
@@ -49,6 +53,8 @@ from repro.obs.metrics import (
     DEFAULT_TIME_BUCKETS,
     NULL_REGISTRY,
     POW2_BUCKETS,
+    SAMPLES_DROPPED_COUNTER,
+    SHARD_FOLD_COUNTER,
     SIZE_BUCKETS,
     Counter,
     Gauge,
@@ -58,7 +64,18 @@ from repro.obs.metrics import (
     NullRegistry,
     log_buckets,
 )
+from repro.obs.profile import (
+    Hotspot,
+    ProfileReport,
+    Profiler,
+    last_report,
+)
 from repro.obs.runtime import (
+    PROFILE_RUNS_COUNTER,
+    BoundMetric,
+    bind_counter,
+    bind_gauge,
+    bind_histogram,
     counter,
     disable,
     enable,
@@ -79,16 +96,23 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "BoundMetric",
     "Counter",
     "DEFAULT_TIME_BUCKETS",
     "Gauge",
     "Histogram",
+    "Hotspot",
     "MetricFamily",
     "MetricsRegistry",
     "MetricsServer",
     "NULL_REGISTRY",
     "NullRegistry",
     "POW2_BUCKETS",
+    "PROFILE_RUNS_COUNTER",
+    "ProfileReport",
+    "Profiler",
+    "SAMPLES_DROPPED_COUNTER",
+    "SHARD_FOLD_COUNTER",
     "SIZE_BUCKETS",
     "SPAN_HISTOGRAM",
     "Span",
@@ -97,6 +121,9 @@ __all__ = [
     "TraceBuffer",
     "TraceContext",
     "add_link",
+    "bind_counter",
+    "bind_gauge",
+    "bind_histogram",
     "counter",
     "current_span",
     "disable",
@@ -107,6 +134,7 @@ __all__ = [
     "format_trace_tree",
     "gauge",
     "histogram",
+    "last_report",
     "log_buckets",
     "memory_log",
     "parse_prometheus",

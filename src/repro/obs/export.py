@@ -66,7 +66,11 @@ def to_prometheus(registry: MetricsRegistry) -> str:
             labels = dict(key)
             if family.kind == "histogram":
                 assert isinstance(child, Histogram)
-                for upper, cumulative_count in child.cumulative():
+                # One fold serves buckets, sum and count alike: reading
+                # them as separate properties during concurrent writes
+                # could publish a +Inf bucket disagreeing with _count.
+                pairs, sum_, count = child.exposition()
+                for upper, cumulative_count in pairs:
                     le = "+Inf" if math.isinf(upper) else _format_value(upper)
                     label_text = _format_labels(labels, extra=f'le="{le}"')
                     lines.append(
@@ -74,9 +78,9 @@ def to_prometheus(registry: MetricsRegistry) -> str:
                     )
                 label_text = _format_labels(labels)
                 lines.append(
-                    f"{family.name}_sum{label_text} {_format_value(child.sum)}"
+                    f"{family.name}_sum{label_text} {_format_value(sum_)}"
                 )
-                lines.append(f"{family.name}_count{label_text} {child.count}")
+                lines.append(f"{family.name}_count{label_text} {count}")
             else:
                 label_text = _format_labels(labels)
                 value = child.value  # type: ignore[attr-defined]

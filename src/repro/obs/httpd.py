@@ -10,7 +10,11 @@ the *live* registry instead:
   resident-trace counts;
 * ``GET /traces`` — recent traces from the installed
   :class:`~repro.obs.trace.TraceBuffer` as JSON, newest first
-  (``?limit=N`` caps the count).
+  (``?limit=N`` caps the count);
+* ``GET /profile`` — the most recent profiling report from
+  :mod:`repro.obs.profile` as JSON (``?format=text`` for the human
+  rendering, ``?top=N`` to widen the hotspot list); 404 until a
+  profile has run.
 
 Everything is standard library (``http.server``): no new dependencies,
 one daemon thread, bound to localhost by default.  Start with port 0
@@ -36,7 +40,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 from urllib.parse import parse_qs, urlparse
 
-from repro.obs import export, runtime
+from repro.obs import export, profile, runtime
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TraceBuffer
 
@@ -44,7 +48,7 @@ from repro.obs.trace import TraceBuffer
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: The endpoints this server knows about (pre-registered scrape labels).
-ENDPOINTS = ("/metrics", "/healthz", "/traces")
+ENDPOINTS = ("/metrics", "/healthz", "/traces", "/profile")
 
 
 class MetricsServer:
@@ -129,6 +133,10 @@ class MetricsServer:
                 path = parsed.path.rstrip("/") or "/"
                 if path == "/metrics":
                     server._count_scrape("/metrics")
+                    # Exposition boundary: account the shard fold and
+                    # any newly dropped histogram samples *before*
+                    # rendering, so the scrape reports itself.
+                    server.resolve_registry().account_exposition()
                     body = export.to_prometheus(
                         server.resolve_registry()
                     ).encode("utf-8")
@@ -172,11 +180,41 @@ class MetricsServer:
                         "application/json",
                         json.dumps(payload).encode("utf-8"),
                     )
+                elif path == "/profile":
+                    server._count_scrape("/profile")
+                    report = profile.last_report()
+                    if report is None:
+                        self._send(
+                            404,
+                            "text/plain; charset=utf-8",
+                            b"no profile captured yet; run with --profile\n",
+                        )
+                        return
+                    query = parse_qs(parsed.query)
+                    top = 20
+                    if "top" in query:
+                        try:
+                            top = max(1, int(query["top"][0]))
+                        except ValueError:
+                            top = 20
+                    if query.get("format", [""])[0] == "text":
+                        self._send(
+                            200,
+                            "text/plain; charset=utf-8",
+                            report.format_text(top).encode("utf-8"),
+                        )
+                    else:
+                        self._send(
+                            200,
+                            "application/json",
+                            report.to_json(top).encode("utf-8"),
+                        )
                 else:
                     self._send(
                         404,
                         "text/plain; charset=utf-8",
-                        b"not found; try /metrics, /healthz, /traces\n",
+                        b"not found; try /metrics, /healthz, /traces, "
+                        b"/profile\n",
                     )
 
         self._httpd = ThreadingHTTPServer((self._host, self._port), _Handler)

@@ -11,6 +11,20 @@ distinct label set, and has a fixed type.  Histograms use fixed
 log-scale bucket boundaries (:func:`log_buckets`), so the exposition is
 mergeable across processes.
 
+Hot-path cost model
+-------------------
+Updates are *sharded*: every metric keeps one private accumulation cell
+per writing thread, so ``inc()``/``observe()`` never take a lock — the
+GIL already serialises the single in-place add each update performs on
+its own cell.  The exact totals are folded from the shards at
+scrape/snapshot time (the cold path), which is what keeps
+metrics-enabled ingest within a few percent of disabled ingest (see
+``BENCH_obs.json``).  A thread's cell survives the thread, so totals
+are exact even after workers exit.  Histograms can additionally
+*sample* bucket attribution (``sample_rate=N`` buckets every Nth
+observation, batch-weighted) while ``count``/``sum`` stay exact — see
+:class:`Histogram`.
+
 All of this is *passive*: nothing in the library touches a registry
 unless one was activated through :mod:`repro.obs.runtime`.
 """
@@ -63,6 +77,13 @@ POW2_BUCKETS = tuple(float(2 ** k) for k in range(11))
 #: Buckets for bit/byte-sized quantities: 2^6 .. 2^24.
 SIZE_BUCKETS = tuple(float(2 ** k) for k in range(6, 25, 2))
 
+#: Counts shard folds performed at exposition time (telemetry about
+#: telemetry; incremented by :meth:`MetricsRegistry.account_exposition`).
+SHARD_FOLD_COUNTER = "repro_metric_shard_folds_total"
+
+#: Counts histogram observations that rode along in sampled batches.
+SAMPLES_DROPPED_COUNTER = "repro_histogram_samples_dropped_total"
+
 
 def _label_key(labels: Dict[str, object]) -> LabelKey:
     for name in labels:
@@ -71,14 +92,107 @@ def _label_key(labels: Dict[str, object]) -> LabelKey:
     return tuple(sorted((name, str(value)) for name, value in labels.items()))
 
 
-class Counter:
-    """A monotonically increasing count (events, records, bits)."""
+class _Cell:
+    """One thread's private accumulation slot for a scalar metric.
 
-    __slots__ = ("_lock", "_value")
+    Only the owning thread ever writes ``value`` (a single in-place
+    float add, atomic under the GIL); folds read it.  The cell outlives
+    its thread so the accumulated amount is never lost.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+
+class _Sharded:
+    """Per-thread cell bookkeeping shared by :class:`Counter`/:class:`Gauge`."""
+
+    __slots__ = ("_lock", "_base", "_cells", "_local", "_banks", "_hist_counts")
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._value = 0.0
+        #: Folded-in amount from merges/sets (never written by shards).
+        self._base = 0.0
+        self._cells: List[_Cell] = []
+        self._local = threading.local()
+        #: ``(bank, attr)`` columns feeding this metric (see
+        #: :class:`CounterBank`); folded in with the cells.
+        self._banks: List[Tuple["CounterBank", str]] = []
+        #: Histograms whose exact observation count feeds this metric
+        #: (see :meth:`_attach_histogram_count`); folded like banks.
+        self._hist_counts: List["Histogram"] = []
+
+    def _new_cell(self) -> _Cell:
+        cell = _Cell()
+        with self._lock:
+            self._cells.append(cell)
+        self._local.cell = cell
+        return cell
+
+    def _attach_bank(self, bank: "CounterBank", attr: str) -> None:
+        with self._lock:
+            self._banks.append((bank, attr))
+
+    def _attach_histogram_count(self, histogram: "Histogram") -> None:
+        """Derive this metric from ``histogram``'s observation count.
+
+        A counter that is an *identity* of a histogram's count (every
+        served query observes exactly one latency) costs the hot path
+        nothing: the count is folded in here at scrape time, and
+        sampled histograms keep their count exact by construction.
+        Idempotent per histogram, so re-binding on an observability
+        toggle never double-attaches.  A derived metric is skipped by
+        :meth:`MetricsRegistry.merge` — its cross-process total arrives
+        through the source histogram's own bucket merge.
+        """
+        with self._lock:
+            if not any(h is histogram for h in self._hist_counts):
+                self._hist_counts.append(histogram)
+
+    @property
+    def derived(self) -> bool:
+        """Whether this metric aliases a histogram count (see above)."""
+        return bool(self._hist_counts)
+
+    @property
+    def value(self) -> float:
+        """The exact current total, folded across all thread shards."""
+        with self._lock:
+            total = self._base + sum(cell.value for cell in self._cells)
+            for bank, attr in self._banks:
+                total += bank._column(attr)
+            for histogram in self._hist_counts:
+                total += histogram.count
+            return total
+
+    @property
+    def shards(self) -> int:
+        """Number of per-thread cells folded at scrape time."""
+        with self._lock:
+            return len(self._cells)
+
+    def reset(self) -> None:
+        """Zero the metric (for between-run reuse, not while writing)."""
+        with self._lock:
+            self._base = 0.0
+            for cell in self._cells:
+                cell.value = 0.0
+            for bank, attr in self._banks:
+                bank._reset_column(attr)
+
+
+class Counter(_Sharded):
+    """A monotonically increasing count (events, records, bits).
+
+    ``inc()`` is lock-free: it adds into the calling thread's private
+    cell.  ``value`` folds every cell (plus merged-in base) into the
+    exact total — strictly monotone across scrapes, exact once writers
+    quiesce.
+    """
+
+    __slots__ = ()
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be non-negative) to the counter."""
@@ -86,52 +200,145 @@ class Counter:
             raise ObservabilityError(
                 f"counters only go up; cannot inc by {amount}"
             )
-        with self._lock:
-            self._value += amount
-
-    @property
-    def value(self) -> float:
-        """The current count."""
-        return self._value
-
-    def reset(self) -> None:
-        """Zero the counter (for between-run reuse, not for scraping)."""
-        with self._lock:
-            self._value = 0.0
+        try:
+            cell = self._local.cell
+        except AttributeError:
+            cell = self._new_cell()
+        cell.value += amount
 
 
-class Gauge:
-    """A value that can go up and down (resident records, bits)."""
+class Gauge(_Sharded):
+    """A value that can go up and down (resident records, bits).
 
-    __slots__ = ("_lock", "_value")
+    ``inc()``/``dec()`` are lock-free per-thread deltas; ``set()`` is
+    an absolute assignment and therefore takes the fold lock (it zeroes
+    every shard).  Concurrent ``set`` and ``inc`` race exactly as the
+    operations' semantics suggest: the delta lands before or after the
+    assignment, never partially.
+    """
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._value = 0.0
+    __slots__ = ()
 
     def set(self, value: float) -> None:
         """Set the gauge to an absolute value."""
         with self._lock:
-            self._value = float(value)
+            self._base = float(value)
+            for cell in self._cells:
+                cell.value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (may be negative) to the gauge."""
-        with self._lock:
-            self._value += amount
+        try:
+            cell = self._local.cell
+        except AttributeError:
+            cell = self._new_cell()
+        cell.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
         """Subtract ``amount`` from the gauge."""
         self.inc(-amount)
 
-    @property
-    def value(self) -> float:
-        """The current level."""
-        return self._value
 
-    def reset(self) -> None:
-        """Zero the gauge."""
+class CounterBank:
+    """Several counter/gauge children updated through one shared cell.
+
+    A hot path that bumps several series per event (server ingest
+    touches five) would otherwise pay one guarded method call per
+    series.  A bank fuses them: the site fetches *one* per-thread cell
+    and performs plain attribute adds::
+
+        cell = _INGEST.cell()
+        cell.ingested += 1
+        cell.resident_bits += record.size
+
+    Each named field is wired to exactly one child metric, whose folds
+    include the bank cells' column, so totals stay exact and the
+    exposition is indistinguishable from per-series updates.  Only
+    counters and delta-style gauges can join a bank; a banked gauge's
+    ``set()`` zeroes its column like any other shard.
+
+    Several children may *alias* one column: ``fields`` is a sequence
+    of ``(attr, child)`` pairs and a repeated ``attr`` attaches every
+    listed child to the same cell slot.  This is for families whose
+    values are identities of each other on the hot path (the server's
+    resident-record gauge tracks its ingest counter exactly while
+    nothing evicts) — the site pays one add and every aliased family
+    folds the same column.  Aliased children must stay delta-style:
+    a ``set()`` on any of them zeroes the shared column for all.
+
+    Writes follow the cell model of :class:`_Cell`: only the owning
+    thread writes its cell's attributes (GIL-atomic in-place adds),
+    folds read them, and cells outlive their threads.
+    """
+
+    __slots__ = ("_columns", "_cell_type", "_cells", "_local", "_lock")
+
+    def __init__(self, fields):
+        items = list(fields.items()) if isinstance(fields, dict) else list(fields)
+        if not items:
+            raise ObservabilityError("a counter bank needs at least one field")
+        columns: List[str] = []
+        for attr, _child in items:
+            if attr not in columns:
+                columns.append(attr)
+        self._columns = tuple(columns)
+        self._cell_type = type(
+            "_BankCell", (object,), {"__slots__": self._columns}
+        )
+        self._cells: List[object] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        for attr, child in items:
+            child._attach_bank(self, attr)
+
+    def cell(self):
+        """This thread's cell; fields are plain attributes to add to."""
+        try:
+            return self._local.cell
+        except AttributeError:
+            return self._new_cell()
+
+    def _new_cell(self):
+        cell = self._cell_type()
+        for attr in self._columns:
+            setattr(cell, attr, 0.0)
         with self._lock:
-            self._value = 0.0
+            self._cells.append(cell)
+        self._local.cell = cell
+        return cell
+
+    def _column(self, attr: str) -> float:
+        with self._lock:
+            cells = list(self._cells)
+        return float(sum(getattr(cell, attr) for cell in cells))
+
+    def _reset_column(self, attr: str) -> None:
+        with self._lock:
+            for cell in self._cells:
+                setattr(cell, attr, 0.0)
+
+
+class _HistogramCell:
+    """One thread's private histogram shard.
+
+    ``sum`` is exact (updated on every observation).  ``counts`` holds
+    *bucketed* observations; with sampling active, up to
+    ``sample_rate - 1`` recent observations sit in ``pending`` awaiting
+    batch attribution to the next sampled observation's bucket.
+    ``last_index`` remembers the most recent sampled bucket so a fold
+    can place a still-pending tail; ``dropped`` counts observations
+    that rode along in a completed batch instead of being individually
+    bucketed.
+    """
+
+    __slots__ = ("counts", "sum", "pending", "last_index", "dropped")
+
+    def __init__(self, buckets: int) -> None:
+        self.counts = [0] * buckets
+        self.sum = 0.0
+        self.pending = 0
+        self.last_index = -1
+        self.dropped = 0
 
 
 class Histogram:
@@ -141,11 +348,30 @@ class Histogram:
     bucket with ``v <= upper``; anything beyond the last bound lands in
     the implicit ``+Inf`` overflow bucket.  Export is cumulative, as
     Prometheus expects.
+
+    ``observe()`` is lock-free: each writing thread accumulates into a
+    private shard that folds are summed from at scrape time.  With
+    ``sample_rate=N > 1`` only every Nth observation per thread pays
+    the bucket search; it carries the batch's full weight (its own
+    observation plus the ``N-1`` pending ones) into its bucket, so the
+    total bucket mass — and therefore ``count`` and the ``+Inf``
+    cumulative bucket — stays exact while the *distribution across
+    buckets* becomes an unbiased-for-stationary-streams approximation.
+    ``sum`` is always exact.  A fold attributes a thread's still-
+    pending tail (< N observations) to its most recent sampled bucket
+    (or, before any sample landed, to the bucket of the running mean),
+    so the exposed ``_count`` equals the true observation count at
+    every scrape.
     """
 
-    __slots__ = ("_lock", "_uppers", "_counts", "_sum", "_count")
+    __slots__ = ("_lock", "_uppers", "_rate", "_base_counts", "_base_sum",
+                 "_cells", "_local")
 
-    def __init__(self, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS):
+    def __init__(
+        self,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+        sample_rate: int = 1,
+    ):
         uppers = tuple(float(b) for b in buckets)
         if not uppers:
             raise ObservabilityError("a histogram needs at least one bucket")
@@ -153,51 +379,165 @@ class Histogram:
             raise ObservabilityError(
                 f"bucket bounds must be strictly increasing, got {uppers}"
             )
+        if int(sample_rate) < 1:
+            raise ObservabilityError(
+                f"sample_rate must be >= 1, got {sample_rate}"
+            )
         self._lock = threading.Lock()
         self._uppers = uppers
-        self._counts = [0] * (len(uppers) + 1)  # +1 for +Inf
-        self._sum = 0.0
-        self._count = 0
+        self._rate = int(sample_rate)
+        self._base_counts = [0] * (len(uppers) + 1)  # +1 for +Inf
+        self._base_sum = 0.0
+        self._cells: List[_HistogramCell] = []
+        self._local = threading.local()
 
     @property
     def buckets(self) -> Tuple[float, ...]:
         """The finite upper bounds (``+Inf`` is implicit)."""
         return self._uppers
 
-    def observe(self, value: float) -> None:
-        """Record one observation."""
-        index = bisect_left(self._uppers, value)
+    @property
+    def sample_rate(self) -> int:
+        """Bucket every Nth observation per thread (1 = bucket all)."""
+        return self._rate
+
+    def _new_cell(self) -> _HistogramCell:
+        cell = _HistogramCell(len(self._uppers) + 1)
         with self._lock:
-            self._counts[index] += 1
-            self._sum += value
-            self._count += 1
+            self._cells.append(cell)
+        self._local.cell = cell
+        return cell
+
+    def observe(self, value: float) -> None:
+        """Record one observation (lock-free; see class docstring)."""
+        try:
+            cell = self._local.cell
+        except AttributeError:
+            cell = self._new_cell()
+        cell.sum += value
+        pending = cell.pending + 1
+        if pending >= self._rate:
+            index = bisect_left(self._uppers, value)
+            cell.counts[index] += pending
+            cell.last_index = index
+            cell.dropped += pending - 1
+            cell.pending = 0
+        else:
+            cell.pending = pending
+
+    def observe_many(self, value: float, count: int) -> None:
+        """Record ``count`` identical observations in one call.
+
+        Unsampled, this is exactly equivalent to ``count`` consecutive
+        ``observe(value)`` calls — same bucket, count and sum — at the
+        cost of one.  Hot sites that expand a whole group at one ratio
+        (a join folding k same-sized bitmaps) use it to pay the
+        per-observation overhead once per group.  Under sampling the
+        group counts as a single sampled observation carrying any
+        previously-pending tail with it (only that carried tail counts
+        as dropped; the group itself is bucketed exactly).
+        """
+        if count <= 0:
+            return
+        try:
+            cell = self._local.cell
+        except AttributeError:
+            cell = self._new_cell()
+        cell.sum += value * count
+        pending = cell.pending + count
+        if pending >= self._rate:
+            index = bisect_left(self._uppers, value)
+            cell.counts[index] += pending
+            cell.last_index = index
+            cell.dropped += pending - count
+            cell.pending = 0
+        else:
+            cell.pending = pending
+
+    def _folded(self) -> Tuple[List[int], float]:
+        """Exact ``(per_bucket_counts, sum)`` across base and shards.
+
+        Reads shards without mutating them: a thread's pending tail is
+        attributed in the returned view only, so the owner keeps its
+        own bookkeeping and no fold ever races a writer's state.
+        """
+        with self._lock:
+            counts = list(self._base_counts)
+            total_sum = self._base_sum
+            cells = list(self._cells)
+        for cell in cells:
+            cell_counts = list(cell.counts)
+            pending = cell.pending
+            cell_sum = cell.sum
+            for index, cell_count in enumerate(cell_counts):
+                counts[index] += cell_count
+            if pending:
+                index = cell.last_index
+                if index < 0:
+                    # Nothing sampled yet: place the tail at the bucket
+                    # of the shard's running mean.
+                    observed = sum(cell_counts) + pending
+                    index = bisect_left(self._uppers, cell_sum / observed)
+                counts[index] += pending
+            total_sum += cell_sum
+        return counts, total_sum
 
     @property
     def sum(self) -> float:
-        """Sum of all observations."""
-        return self._sum
+        """Exact sum of all observations."""
+        return self._folded()[1]
 
     @property
     def count(self) -> int:
-        """Number of observations."""
-        return self._count
+        """Exact number of observations."""
+        return sum(self._folded()[0])
+
+    @property
+    def samples_dropped(self) -> int:
+        """Observations that rode along in a sampled batch.
+
+        Each completed batch of ``sample_rate`` observations buckets
+        one observation individually and carries the other
+        ``sample_rate - 1`` along — those ride-alongs are counted
+        here.  Always 0 when ``sample_rate`` is 1.
+        """
+        with self._lock:
+            return sum(cell.dropped for cell in self._cells)
+
+    @property
+    def shards(self) -> int:
+        """Number of per-thread cells folded at scrape time."""
+        with self._lock:
+            return len(self._cells)
 
     def bucket_counts(self) -> List[int]:
         """Per-bucket (non-cumulative) counts, overflow last."""
-        with self._lock:
-            return list(self._counts)
+        return self._folded()[0]
 
     def cumulative(self) -> List[Tuple[float, int]]:
         """Prometheus-style cumulative ``(le, count)`` pairs, +Inf last."""
-        with self._lock:
-            counts = list(self._counts)
+        return self.exposition()[0]
+
+    def exposition(self) -> Tuple[List[Tuple[float, int]], float, int]:
+        """Single-fold consistent ``(cumulative_pairs, sum, count)``.
+
+        ``cumulative()``, ``sum`` and ``count`` each fold the shards
+        independently, so a reader combining them while writers run
+        can pair a stale ``+Inf`` bucket with a newer count — an
+        exposition consumers (including :meth:`merge_cumulative`)
+        rightly reject.  Exporters and snapshots read all three
+        quantities out of one fold here instead, so a scrape is
+        internally consistent no matter how it races the writers.
+        """
+        counts, total_sum = self._folded()
         pairs: List[Tuple[float, int]] = []
         running = 0
         for upper, count in zip(self._uppers, counts):
             running += count
             pairs.append((upper, running))
-        pairs.append((math.inf, running + counts[-1]))
-        return pairs
+        total = running + counts[-1]
+        pairs.append((math.inf, total))
+        return pairs, total_sum, total
 
     def quantile(self, q: float) -> float:
         """Estimate the ``q``-quantile from bucket bounds.
@@ -208,9 +548,8 @@ class Histogram:
         """
         if not 0.0 <= q <= 1.0:
             raise ObservabilityError(f"quantile must lie in [0, 1], got {q}")
-        with self._lock:
-            counts = list(self._counts)
-            total = self._count
+        counts, _ = self._folded()
+        total = sum(counts)
         if total == 0:
             return math.nan
         target = q * total
@@ -224,9 +563,14 @@ class Histogram:
     def reset(self) -> None:
         """Forget all observations."""
         with self._lock:
-            self._counts = [0] * (len(self._uppers) + 1)
-            self._sum = 0.0
-            self._count = 0
+            self._base_counts = [0] * (len(self._uppers) + 1)
+            self._base_sum = 0.0
+            for cell in self._cells:
+                cell.counts = [0] * (len(self._uppers) + 1)
+                cell.sum = 0.0
+                cell.pending = 0
+                cell.last_index = -1
+                cell.dropped = 0
 
     def merge_cumulative(
         self,
@@ -273,9 +617,8 @@ class Histogram:
             )
         with self._lock:
             for index, increment in enumerate(per_bucket):
-                self._counts[index] += increment
-            self._sum += float(sum_)
-            self._count += int(count)
+                self._base_counts[index] += increment
+            self._base_sum += float(sum_)
 
 
 class MetricFamily:
@@ -287,6 +630,7 @@ class MetricFamily:
         kind: str,
         help_text: str = "",
         buckets: Optional[Sequence[float]] = None,
+        sample_rate: int = 1,
     ):
         if not _NAME_RE.match(name):
             raise ObservabilityError(f"invalid metric name {name!r}")
@@ -296,6 +640,7 @@ class MetricFamily:
         self.kind = kind
         self.help_text = help_text
         self._buckets = tuple(buckets) if buckets is not None else None
+        self._sample_rate = int(sample_rate)
         self._lock = threading.Lock()
         self._children: Dict[LabelKey, object] = {}
 
@@ -313,7 +658,10 @@ class MetricFamily:
                 elif self.kind == "gauge":
                     child = Gauge()
                 else:
-                    child = Histogram(self._buckets or DEFAULT_TIME_BUCKETS)
+                    child = Histogram(
+                        self._buckets or DEFAULT_TIME_BUCKETS,
+                        sample_rate=self._sample_rate,
+                    )
                 self._children[key] = child
             return child
 
@@ -342,6 +690,10 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._families: Dict[str, MetricFamily] = {}
+        self._banks: Dict[str, CounterBank] = {}
+        #: Dropped-sample total already shipped to the exposition
+        #: counter; see :meth:`account_exposition`.
+        self._dropped_reported = 0
 
     def _family(
         self,
@@ -349,13 +701,16 @@ class MetricsRegistry:
         kind: str,
         help_text: str,
         buckets: Optional[Sequence[float]] = None,
+        sample_rate: int = 1,
     ) -> MetricFamily:
         family = self._families.get(name)
         if family is None:
             with self._lock:
                 family = self._families.get(name)
                 if family is None:
-                    family = MetricFamily(name, kind, help_text, buckets)
+                    family = MetricFamily(
+                        name, kind, help_text, buckets, sample_rate
+                    )
                     self._families[name] = family
         if family.kind != kind:
             raise ObservabilityError(
@@ -378,15 +733,96 @@ class MetricsRegistry:
         name: str,
         help: str = "",
         buckets: Optional[Sequence[float]] = None,
+        sample_rate: Optional[int] = None,
         **labels: object,
     ) -> Histogram:
         """The histogram ``name`` for this label set.
 
-        ``buckets`` only takes effect when the family is first created;
-        later calls reuse the family's bounds (they must be consistent
-        for the exposition to merge).
+        ``buckets`` and ``sample_rate`` only take effect when the
+        family is first created; later calls reuse the family's bounds
+        and rate (they must be consistent for the exposition to merge).
         """
-        return self._family(name, "histogram", help, buckets).labels(**labels)
+        return self._family(
+            name, "histogram", help, buckets, sample_rate or 1
+        ).labels(**labels)
+
+    def bind(
+        self,
+        kind: str,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+        sample_rate: Optional[int] = None,
+        labels: Optional[Dict[str, object]] = None,
+    ):
+        """Resolve a child once so callers can cache the handle.
+
+        Returns the concrete :class:`Counter`/:class:`Gauge`/
+        :class:`Histogram` child — name validation, label sorting, and
+        family lookup happen here instead of on every update.  Labels
+        ride in a dict (not kwargs) so label names like ``kind`` can't
+        collide with the parameters.  Hot paths use this through the
+        typed :func:`repro.obs.runtime.bind_counter` /
+        ``bind_gauge`` / ``bind_histogram`` helpers, whose handles
+        also re-resolve when observability is toggled.
+        """
+        labels = labels or {}
+        if kind == "counter":
+            return self.counter(name, help, **labels)
+        if kind == "gauge":
+            return self.gauge(name, help, **labels)
+        if kind == "histogram":
+            return self.histogram(
+                name, help, buckets=buckets, sample_rate=sample_rate, **labels
+            )
+        raise ObservabilityError(f"unknown metric kind {kind!r}")
+
+    def bank(
+        self,
+        name: str,
+        fields: Dict[str, Tuple[str, str, str, Optional[Dict[str, object]]]],
+    ) -> CounterBank:
+        """The named :class:`CounterBank`, created and wired on first use.
+
+        ``fields`` maps cell attribute names to ``(kind, metric_name,
+        help, labels)`` specs; kind must be ``counter`` or ``gauge``.
+        A spec may carry a fifth element naming *another* field's
+        attribute: the child then aliases that field's cell column
+        (see :class:`CounterBank`) instead of getting its own — its
+        own attribute key never becomes a slot.  Banks are keyed by
+        ``name`` — later calls return the existing bank unchanged, so
+        handle rebinding on enable/disable can never double-attach a
+        column to its children.
+        """
+        existing = self._banks.get(name)
+        if existing is not None:
+            return existing
+        children: List[Tuple[str, _Sharded]] = []
+        for attr, spec in fields.items():
+            if len(spec) == 5:
+                kind, metric_name, help_text, labels, column = spec
+                if column not in fields or len(fields[column]) == 5:
+                    raise ObservabilityError(
+                        f"bank field {attr!r} aliases {column!r}, which is "
+                        f"not a direct field of this bank"
+                    )
+            else:
+                kind, metric_name, help_text, labels = spec
+                column = attr
+            if kind not in ("counter", "gauge"):
+                raise ObservabilityError(
+                    f"bank field {attr!r} must be a counter or gauge, "
+                    f"not a {kind}"
+                )
+            children.append(
+                (column, self.bind(kind, metric_name, help_text, labels=labels))
+            )
+        with self._lock:
+            existing = self._banks.get(name)
+            if existing is None:
+                existing = CounterBank(children)
+                self._banks[name] = existing
+            return existing
 
     def families(self) -> List[MetricFamily]:
         """All families, sorted by name."""
@@ -401,6 +837,48 @@ class MetricsRegistry:
         """Reset every metric in place (families and labels survive)."""
         for family in self.families():
             family.reset()
+        with self._lock:
+            self._dropped_reported = 0
+
+    def samples_dropped_total(self) -> int:
+        """Histogram observations batch-attributed instead of bucketed.
+
+        Summed across every histogram child in this process (worker
+        snapshots merge bucket counts, not drop diagnostics, so this
+        is a per-process figure).  Zero unless some histogram was
+        created with ``sample_rate > 1``.
+        """
+        total = 0
+        for family in self.families():
+            if family.kind != "histogram":
+                continue
+            for _, child in family.children():
+                total += child.samples_dropped  # type: ignore[attr-defined]
+        return total
+
+    def account_exposition(self) -> None:
+        """Record one exposition's worth of telemetry-about-telemetry.
+
+        Called at exposition boundaries only (the ``/metrics`` handler
+        and the CLI metrics sink) — *not* from :meth:`snapshot` or the
+        exporters, which must stay pure so worker snapshots and
+        Prometheus round-trips don't manufacture counts.  Increments
+        ``repro_metric_shard_folds_total`` once and ships the growth in
+        dropped histogram samples since the previous call.
+        """
+        dropped = self.samples_dropped_total()
+        with self._lock:
+            delta = dropped - self._dropped_reported
+            self._dropped_reported = dropped
+        self.counter(
+            SHARD_FOLD_COUNTER,
+            help="Shard folds performed at metric exposition time.",
+        ).inc()
+        if delta > 0:
+            self.counter(
+                SAMPLES_DROPPED_COUNTER,
+                help="Histogram observations batch-attributed by sampling.",
+            ).inc(delta)
 
     def merge(self, snapshot: Dict[str, dict]) -> None:
         """Fold a :meth:`snapshot` from another registry into this one.
@@ -422,7 +900,13 @@ class MetricsRegistry:
             for child in data.get("children", ()):
                 labels = child.get("labels", {})
                 if kind == "counter":
-                    self.counter(name, help_text, **labels).inc(child["value"])
+                    target = self.counter(name, help_text, **labels)
+                    # A derived counter (histogram-count alias) gets its
+                    # cross-process total through the source histogram's
+                    # bucket merge below; folding the snapshot value too
+                    # would double-count every remote event.
+                    if not target.derived:
+                        target.inc(child["value"])
                 elif kind == "gauge":
                     # Gauges are levels, but across processes the only
                     # meaningful fold is additive (resident records in
@@ -453,14 +937,15 @@ class MetricsRegistry:
             for key, child in family.children():
                 labels = dict(key)
                 if family.kind == "histogram":
+                    pairs, sum_, count = child.exposition()  # type: ignore[attr-defined]
                     children.append(
                         {
                             "labels": labels,
-                            "sum": child.sum,  # type: ignore[attr-defined]
-                            "count": child.count,  # type: ignore[attr-defined]
+                            "sum": sum_,
+                            "count": count,
                             "buckets": [
-                                ["+Inf" if math.isinf(le) else le, count]
-                                for le, count in child.cumulative()  # type: ignore[attr-defined]
+                                ["+Inf" if math.isinf(le) else le, bucket]
+                                for le, bucket in pairs
                             ],
                         }
                     )
@@ -493,11 +978,37 @@ class _NullMetric:
     def observe(self, value: float) -> None:  # noqa: D102
         pass
 
+    def observe_many(self, value: float, count: int) -> None:  # noqa: D102
+        pass
+
     def reset(self) -> None:  # noqa: D102
         pass
 
 
 NULL_METRIC = _NullMetric()
+
+
+class _NullBank:
+    """Write-absorbing :class:`CounterBank` stand-in for disabled mode.
+
+    Hands out one shared cell whose fields exist and accept in-place
+    adds; the writes go nowhere.  Shared across threads — the garbage
+    sums are never read.
+    """
+
+    __slots__ = ("_cell",)
+
+    def __init__(self, fields: Sequence[str]):
+        cell_type = type(
+            "_NullBankCell", (object,), {"__slots__": tuple(fields)}
+        )
+        cell = cell_type()
+        for attr in fields:
+            setattr(cell, attr, 0.0)
+        self._cell = cell
+
+    def cell(self):
+        return self._cell
 
 
 class NullRegistry:
@@ -506,6 +1017,9 @@ class NullRegistry:
     Every lookup returns the shared :data:`NULL_METRIC`, so
     instrumentation can run unconditionally without allocating.
     """
+
+    def __init__(self) -> None:
+        self._banks: Dict[str, _NullBank] = {}
 
     def counter(self, name: str, help: str = "", **labels: object) -> _NullMetric:
         return NULL_METRIC
@@ -518,9 +1032,31 @@ class NullRegistry:
         name: str,
         help: str = "",
         buckets: Optional[Sequence[float]] = None,
+        sample_rate: Optional[int] = None,
         **labels: object,
     ) -> _NullMetric:
         return NULL_METRIC
+
+    def bind(
+        self,
+        kind: str,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+        sample_rate: Optional[int] = None,
+        labels: Optional[Dict[str, object]] = None,
+    ) -> _NullMetric:
+        return NULL_METRIC
+
+    def bank(
+        self,
+        name: str,
+        fields: Dict[str, Tuple[str, str, str, Optional[Dict[str, object]]]],
+    ) -> _NullBank:
+        existing = self._banks.get(name)
+        if existing is None:
+            existing = self._banks[name] = _NullBank(tuple(fields))
+        return existing
 
     def families(self) -> List[MetricFamily]:
         return []
@@ -529,6 +1065,12 @@ class NullRegistry:
         return None
 
     def reset(self) -> None:
+        pass
+
+    def samples_dropped_total(self) -> int:
+        return 0
+
+    def account_exposition(self) -> None:
         pass
 
     def merge(self, snapshot: Dict[str, dict]) -> None:

@@ -1,0 +1,334 @@
+"""Hotspot profiling for simulate/experiment runs (``--profile``).
+
+Two engines behind one :class:`Profiler` context manager:
+
+* ``cprofile`` — deterministic tracing via :mod:`cProfile`.  Exact
+  call counts and per-function self/cumulative time, at the cost of
+  tracing overhead on every call (fine for offline analysis, the
+  default for ``--profile``).
+* ``wall`` — statistical sampling: a daemon thread snapshots the
+  profiled thread's stack (``sys._current_frames()``) every
+  ``interval`` seconds.  Near-zero overhead on the profiled code;
+  self/total seconds are estimated as ``samples x interval``.
+
+Either way the result is a :class:`ProfileReport`: ranked
+:class:`Hotspot` rows plus a per-subsystem rollup
+(:meth:`ProfileReport.by_subsystem`) that attributes time to the repro
+subpackage owning each frame — the breakdown BENCH_obs.json uses to
+show where the enabled-telemetry tax lives.  Reports render as JSON
+(``to_json``) and human text (``format_text``) and are served by the
+httpd ``/profile`` endpoint via :func:`last_report`.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import pstats
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import ObservabilityError
+from repro.obs import runtime as obs
+from repro.obs.runtime import PROFILE_RUNS_COUNTER
+
+#: Engines accepted by :class:`Profiler` and the CLI ``--profile`` flag.
+ENGINES = ("cprofile", "wall")
+
+#: Subsystems of the ``repro`` package used for rollups; frames outside
+#: the package (stdlib, numpy, ...) are attributed to ``other``.
+_SUBSYSTEM_MARKER = "repro"
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """One profiled function, ranked by self time."""
+
+    function: str
+    file: str
+    line: int
+    calls: int
+    self_seconds: float
+    total_seconds: float
+
+    @property
+    def subsystem(self) -> str:
+        """The repro subpackage owning this frame (``other`` outside)."""
+        return subsystem_of(self.file)
+
+    def to_dict(self) -> dict:
+        return {
+            "function": self.function,
+            "file": self.file,
+            "line": self.line,
+            "calls": self.calls,
+            "self_seconds": round(self.self_seconds, 6),
+            "total_seconds": round(self.total_seconds, 6),
+            "subsystem": self.subsystem,
+        }
+
+
+def subsystem_of(path: str) -> str:
+    """Map a frame's file path to the repro subpackage that owns it.
+
+    ``.../src/repro/sketch/join.py`` -> ``sketch``; top-level modules
+    (``repro/cli.py``) map to their stem; anything outside the package
+    (stdlib, site-packages, builtins) maps to ``other``.
+    """
+    parts = path.replace("\\", "/").split("/")
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == _SUBSYSTEM_MARKER:
+            remainder = parts[index + 1:]
+            if not remainder:
+                break
+            if len(remainder) == 1:  # repro/cli.py, repro/__init__.py
+                stem = remainder[0].rsplit(".", 1)[0]
+                return "repro" if stem == "__init__" else stem
+            return remainder[0]
+    return "other"
+
+
+@dataclass
+class ProfileReport:
+    """The outcome of one profiling session."""
+
+    engine: str
+    duration_seconds: float
+    hotspots: List[Hotspot] = field(default_factory=list)
+    #: Wall engine only: stack snapshots taken (0 for cprofile).
+    samples: int = 0
+
+    def top(self, n: int = 10) -> List[Hotspot]:
+        """The ``n`` largest hotspots by self time."""
+        return sorted(
+            self.hotspots, key=lambda h: h.self_seconds, reverse=True
+        )[:n]
+
+    def by_subsystem(self) -> Dict[str, float]:
+        """Self-seconds rolled up per repro subsystem, largest first."""
+        totals: Dict[str, float] = {}
+        for hotspot in self.hotspots:
+            key = hotspot.subsystem
+            totals[key] = totals.get(key, 0.0) + hotspot.self_seconds
+        return dict(
+            sorted(totals.items(), key=lambda item: item[1], reverse=True)
+        )
+
+    def to_dict(self, top_n: int = 20) -> dict:
+        return {
+            "engine": self.engine,
+            "duration_seconds": round(self.duration_seconds, 6),
+            "samples": self.samples,
+            "subsystems": {
+                name: round(seconds, 6)
+                for name, seconds in self.by_subsystem().items()
+            },
+            "hotspots": [h.to_dict() for h in self.top(top_n)],
+        }
+
+    def to_json(self, top_n: int = 20) -> str:
+        return json.dumps(self.to_dict(top_n), indent=2, sort_keys=True)
+
+    def format_text(self, top_n: int = 20) -> str:
+        """A one-screen human rendering (mirrors ``format_report``)."""
+        lines = [
+            f"profile: engine={self.engine} "
+            f"duration={self.duration_seconds:.3f}s"
+            + (f" samples={self.samples}" if self.engine == "wall" else ""),
+            "",
+            "by subsystem (self seconds):",
+        ]
+        subsystems = self.by_subsystem()
+        total = sum(subsystems.values()) or 1.0
+        for name, seconds in subsystems.items():
+            lines.append(
+                f"  {name:<14} {seconds:>9.4f}s  {100 * seconds / total:5.1f}%"
+            )
+        lines.append("")
+        lines.append(f"top {top_n} hotspots (self seconds):")
+        for h in self.top(top_n):
+            location = f"{h.file}:{h.line}"
+            lines.append(
+                f"  {h.self_seconds:>9.4f}s {h.total_seconds:>9.4f}s "
+                f"{h.calls:>9d}  {h.function}  ({location})"
+            )
+        return "\n".join(lines) + "\n"
+
+
+#: The most recent completed report, served by the ``/profile`` endpoint.
+_last_report: Optional[ProfileReport] = None
+_last_lock = threading.Lock()
+
+
+def last_report() -> Optional[ProfileReport]:
+    """The most recently completed profile, or None."""
+    with _last_lock:
+        return _last_report
+
+
+def _set_last_report(report: ProfileReport) -> None:
+    global _last_report
+    with _last_lock:
+        _last_report = report
+
+
+class _WallSampler:
+    """Daemon thread that samples one thread's stack at an interval."""
+
+    def __init__(self, thread_ident: int, interval: float):
+        self._ident = thread_ident
+        self._interval = interval
+        self._stop = threading.Event()
+        #: (file, line, function) -> [self_samples, total_samples]
+        self.frames: Dict[Tuple[str, int, str], List[int]] = {}
+        self.samples = 0
+        self._thread = threading.Thread(
+            target=self._run, name="repro-wall-profiler", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            frame = sys._current_frames().get(self._ident)
+            if frame is None:
+                continue
+            self.samples += 1
+            seen = set()
+            leaf = True
+            while frame is not None:
+                code = frame.f_code
+                key = (code.co_filename, code.co_firstlineno, code.co_name)
+                entry = self.frames.setdefault(key, [0, 0])
+                if leaf:
+                    entry[0] += 1
+                    leaf = False
+                if key not in seen:  # count recursion once per stack
+                    entry[1] += 1
+                    seen.add(key)
+                frame = frame.f_back
+
+
+class Profiler:
+    """Capture hotspots for a code region; usable as a context manager.
+
+    >>> with Profiler(engine="cprofile") as profiler:
+    ...     sum(range(1000))
+    500500
+    >>> profiler.report.engine
+    'cprofile'
+
+    On ``stop()`` the report is published to :func:`last_report` (the
+    ``/profile`` endpoint) and ``repro_profile_runs_total`` is
+    incremented when observability is enabled.
+    """
+
+    def __init__(self, engine: str = "cprofile", interval: float = 0.005):
+        if engine not in ENGINES:
+            raise ObservabilityError(
+                f"unknown profile engine {engine!r}; expected one of {ENGINES}"
+            )
+        if interval <= 0:
+            raise ObservabilityError(
+                f"sampling interval must be positive, got {interval}"
+            )
+        self.engine = engine
+        self.interval = interval
+        self.report: Optional[ProfileReport] = None
+        self._started_at = 0.0
+        self._cprofile: Optional[cProfile.Profile] = None
+        self._sampler: Optional[_WallSampler] = None
+
+    def start(self) -> "Profiler":
+        """Begin capturing (idempotent start is an error by design)."""
+        self._started_at = time.perf_counter()
+        if self.engine == "cprofile":
+            self._cprofile = cProfile.Profile()
+            self._cprofile.enable()
+        else:
+            self._sampler = _WallSampler(
+                threading.get_ident(), self.interval
+            )
+            self._sampler.start()
+        return self
+
+    def stop(self) -> ProfileReport:
+        """Finish capturing and publish the report."""
+        duration = time.perf_counter() - self._started_at
+        if self.engine == "cprofile":
+            assert self._cprofile is not None
+            self._cprofile.disable()
+            report = self._from_cprofile(self._cprofile, duration)
+            self._cprofile = None
+        else:
+            assert self._sampler is not None
+            self._sampler.stop()
+            report = self._from_sampler(self._sampler, duration)
+            self._sampler = None
+        self.report = report
+        _set_last_report(report)
+        if obs.enabled():
+            obs.counter(
+                PROFILE_RUNS_COUNTER,
+                "Profiling sessions completed (cprofile or wall engine).",
+            ).inc()
+        return report
+
+    def __enter__(self) -> "Profiler":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def _from_cprofile(
+        self, profile: cProfile.Profile, duration: float
+    ) -> ProfileReport:
+        stats = pstats.Stats(profile)
+        hotspots = []
+        for (file, line, function), entry in stats.stats.items():  # type: ignore[attr-defined]
+            _, ncalls, tottime, cumtime, _ = entry
+            hotspots.append(
+                Hotspot(
+                    function=function,
+                    file=file,
+                    line=line,
+                    calls=ncalls,
+                    self_seconds=tottime,
+                    total_seconds=cumtime,
+                )
+            )
+        return ProfileReport(
+            engine="cprofile", duration_seconds=duration, hotspots=hotspots
+        )
+
+    def _from_sampler(
+        self, sampler: _WallSampler, duration: float
+    ) -> ProfileReport:
+        # Convert sample counts to seconds: each sample represents one
+        # interval of wall time attributed to the sampled stack.
+        hotspots = [
+            Hotspot(
+                function=function,
+                file=file,
+                line=line,
+                calls=0,
+                self_seconds=self_samples * self.interval,
+                total_seconds=total_samples * self.interval,
+            )
+            for (file, line, function), (self_samples, total_samples)
+            in sampler.frames.items()
+        ]
+        return ProfileReport(
+            engine="wall",
+            duration_seconds=duration,
+            hotspots=hotspots,
+            samples=sampler.samples,
+        )

@@ -26,16 +26,32 @@ The canonical instrumentation idiom is::
 The ``if`` guard keeps the disabled cost to the single ``enabled()``
 call (no label kwargs are even packed); calling the accessors without
 the guard is also safe — they return no-op metrics when disabled.
+
+Hot call sites avoid even the accessor cost (name validation, label
+sorting, family lookup) by *binding* a handle once at import time::
+
+    _THINGS = obs.bind_counter("repro_things_total", kind="x")
+    ...
+    if obs.enabled():
+        _THINGS.inc()
+
+A :class:`BoundMetric` caches the resolved child and is re-resolved
+eagerly by :func:`enable`/:func:`disable` (handles register in a weak
+set), so the enabled cost of an update is a single delegation to one
+lock-free shard add — no staleness check on the hot path.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+import weakref
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.obs.events import StructuredLog
 from repro.obs.metrics import (
     NULL_METRIC,
     NULL_REGISTRY,
+    SAMPLES_DROPPED_COUNTER,
+    SHARD_FOLD_COUNTER,
     Counter,
     Gauge,
     Histogram,
@@ -44,9 +60,40 @@ from repro.obs.metrics import (
 )
 from repro.obs.trace import TraceBuffer
 
+#: Counts completed profiling sessions (see :mod:`repro.obs.profile`).
+PROFILE_RUNS_COUNTER = "repro_profile_runs_total"
+
 _active: Optional[MetricsRegistry] = None
 _event_log: Optional[StructuredLog] = None
 _trace_buffer: Optional[TraceBuffer] = None
+
+#: Mode flags mirroring the private state above, refreshed by
+#: :func:`enable`/:func:`disable` (the only two mode transitions).
+#: The hottest guards read these as plain module attributes —
+#: ``if obs.ACTIVE:`` — which is measurably cheaper in situ than a
+#: function call; :func:`enabled`/:func:`tracing` stay as the stable
+#: API for everything else.
+ACTIVE: bool = False
+TRACING: bool = False
+#: Tracing *or* an event log: spans must be real objects, not fused
+#: fast paths, because something downstream consumes them.
+DETAILED: bool = False
+
+
+def _refresh_flags() -> None:
+    global ACTIVE, TRACING, DETAILED
+    ACTIVE = _active is not None
+    TRACING = ACTIVE and _trace_buffer is not None
+    DETAILED = TRACING or _event_log is not None
+
+#: Every live BoundMetric; enable()/disable() re-resolve them eagerly
+#: so updates are a single delegation with no staleness check.
+_handles: "weakref.WeakSet[BoundMetric]" = weakref.WeakSet()
+
+
+def _rebind_handles() -> None:
+    for handle in list(_handles):
+        handle.resolve()
 
 
 def enabled() -> bool:
@@ -108,6 +155,21 @@ def enable(
             "repro_traces_total",
             help="Traces started (root spans opened while tracing).",
         )
+    # Telemetry-about-telemetry series export at zero from the start.
+    _active.counter(
+        SHARD_FOLD_COUNTER,
+        help="Shard folds performed at metric exposition time.",
+    )
+    _active.counter(
+        SAMPLES_DROPPED_COUNTER,
+        help="Histogram observations batch-attributed by sampling.",
+    )
+    _active.counter(
+        PROFILE_RUNS_COUNTER,
+        help="Profiling sessions completed (cprofile or wall engine).",
+    )
+    _refresh_flags()
+    _rebind_handles()
     return _active
 
 
@@ -126,6 +188,8 @@ def disable() -> Optional[MetricsRegistry]:
     if _event_log is not None:
         _event_log.close()
         _event_log = None
+    _refresh_flags()
+    _rebind_handles()
     return previous
 
 
@@ -143,7 +207,228 @@ def histogram(
     name: str,
     help: str = "",
     buckets: Optional[Sequence[float]] = None,
+    sample_rate: Optional[int] = None,
     **labels: object,
 ) -> Histogram:
     """Histogram ``name`` on the active registry (no-op when disabled)."""
-    return registry().histogram(name, help, buckets, **labels)
+    return registry().histogram(name, help, buckets, sample_rate, **labels)
+
+
+class BoundMetric:
+    """A cached handle to one metric child, safe to create at import.
+
+    Resolution (name validation, label sorting, family/child lookup)
+    happens when the handle is created and again on every
+    observability toggle — handles register in a module-level weak set
+    and :func:`enable`/:func:`disable` re-resolve them eagerly — so
+    hot-path updates are a plain delegation to the cached child with
+    no staleness check at all.  While observability is disabled the
+    cached child is the shared :data:`~repro.obs.metrics.NULL_METRIC`,
+    so using a handle unconditionally is always safe — though hot
+    paths keep the ``if obs.enabled():`` guard to skip even the
+    delegation.
+    """
+
+    #: ``inc``/``dec``/``set``/``observe`` are *slots*, not methods:
+    #: :meth:`resolve` assigns the child's bound methods directly, so a
+    #: hot-path update is one call into the child with zero indirection.
+    __slots__ = (
+        "_kind", "_name", "_help", "_buckets", "_sample_rate", "_labels",
+        "_child", "inc", "dec", "set", "observe", "observe_many",
+        "__weakref__",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+        sample_rate: Optional[int] = None,
+        labels: Optional[Dict[str, object]] = None,
+    ):
+        self._kind = kind
+        self._name = name
+        self._help = help
+        self._buckets = buckets
+        self._sample_rate = sample_rate
+        self._labels = labels or {}
+        self._child = NULL_METRIC
+        self.inc = NULL_METRIC.inc
+        self.dec = NULL_METRIC.dec
+        self.set = NULL_METRIC.set
+        self.observe = NULL_METRIC.observe
+        self.observe_many = NULL_METRIC.observe_many
+        _handles.add(self)
+        # Bind immediately so handles created while collection is
+        # already active (spans, per-experiment cells) work without
+        # waiting for the next toggle.
+        self.resolve()
+
+    @property
+    def name(self) -> str:
+        """The bound family name."""
+        return self._name
+
+    def resolve(self):
+        """(Re)bind to the active registry's child and return it."""
+        child = registry().bind(
+            self._kind,
+            self._name,
+            self._help,
+            buckets=self._buckets,
+            sample_rate=self._sample_rate,
+            labels=self._labels,
+        )
+        self._child = child
+        # Lift the child's update methods onto the handle.  A method the
+        # child lacks (a counter has no ``observe``) keeps the previous
+        # no-op binding from NULL_METRIC — kinds never change, so a
+        # stale binding can only ever be the null sink.
+        for method in ("inc", "dec", "set", "observe", "observe_many"):
+            bound = getattr(child, method, None)
+            if bound is not None:
+                setattr(self, method, bound)
+        return child
+
+
+def bind_counter(name: str, help: str = "", **labels: object) -> BoundMetric:
+    """A cached counter handle (see :class:`BoundMetric`)."""
+    return BoundMetric("counter", name, help, labels=labels)
+
+
+def bind_gauge(name: str, help: str = "", **labels: object) -> BoundMetric:
+    """A cached gauge handle (see :class:`BoundMetric`)."""
+    return BoundMetric("gauge", name, help, labels=labels)
+
+
+def bind_histogram(
+    name: str,
+    help: str = "",
+    buckets: Optional[Sequence[float]] = None,
+    sample_rate: Optional[int] = None,
+    **labels: object,
+) -> BoundMetric:
+    """A cached histogram handle (see :class:`BoundMetric`)."""
+    return BoundMetric(
+        "histogram", name, help, buckets=buckets, sample_rate=sample_rate,
+        labels=labels,
+    )
+
+
+class BoundCountAlias:
+    """A counter family derived from a histogram's observation count.
+
+    When a counter is an *identity* of a histogram's count — every
+    served query observes exactly one latency, so
+    ``repro_queries_total{kind}`` always equals
+    ``repro_estimate_latency_seconds_count{kind}`` — maintaining both
+    on the hot path pays twice to export one number.  This handle
+    registers the counter family and attaches the histogram as its
+    fold-time source: the counter's value is computed at scrape, the
+    hot path only feeds the histogram, and sampling keeps the count
+    exact.  Cross-process merges flow through the histogram (see
+    :meth:`~repro.obs.metrics.MetricsRegistry.merge`).
+
+    The handle is never touched on the hot path; it exists so the
+    derived family is (re)attached on every observability toggle.
+    """
+
+    __slots__ = ("_name", "_help", "_labels", "_source", "__weakref__")
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        source: BoundMetric,
+        labels: Optional[Dict[str, object]] = None,
+    ):
+        self._name = name
+        self._help = help
+        self._labels = labels or {}
+        self._source = source
+        _handles.add(self)
+        self.resolve()
+
+    @property
+    def name(self) -> str:
+        """The derived counter family's name."""
+        return self._name
+
+    def resolve(self):
+        """(Re)attach the derived counter on the active registry."""
+        histogram = self._source.resolve()
+        child = registry().bind(
+            "counter", self._name, self._help, labels=self._labels
+        )
+        if isinstance(child, Counter) and isinstance(histogram, Histogram):
+            child._attach_histogram_count(histogram)
+        return child
+
+
+def bind_count_of(
+    name: str,
+    help: str,
+    source: BoundMetric,
+    **labels: object,
+) -> BoundCountAlias:
+    """Register counter ``name`` as the fold-time count of ``source``.
+
+    ``source`` must be a bound histogram handle; the counter's exported
+    value tracks its exact observation count with zero hot-path cost.
+    """
+    return BoundCountAlias(name, help, source, labels=labels)
+
+
+class BoundBank:
+    """A cached handle to one :class:`~repro.obs.metrics.CounterBank`.
+
+    The fastest instrumentation shape for sites that bump several
+    series per event: ``cell()`` (rebound on every observability
+    toggle, like :class:`BoundMetric`) fetches the calling thread's
+    bank cell, and each series is then a plain attribute add::
+
+        _INGEST = obs.bind_bank("server_ingest", {
+            "ingested": ("counter", "repro_records_ingested_total", "...", None),
+            "resident_bits": ("gauge", "repro_store_bits", "...", None),
+        })
+        ...
+        if obs.enabled():
+            cell = _INGEST.cell()
+            cell.ingested += 1
+            cell.resident_bits += record.size
+
+    While disabled, ``cell()`` hands out a shared write-absorbing
+    dummy, so unguarded use is safe too.
+    """
+
+    __slots__ = ("_name", "_fields", "cell", "__weakref__")
+
+    def __init__(
+        self,
+        name: str,
+        fields: Dict[str, Tuple[str, str, str, Optional[Dict[str, object]]]],
+    ):
+        self._name = name
+        self._fields = dict(fields)
+        _handles.add(self)
+        self.resolve()
+
+    @property
+    def name(self) -> str:
+        """The bank's registry key."""
+        return self._name
+
+    def resolve(self):
+        """(Re)bind to the active registry's bank and return it."""
+        bank = registry().bank(self._name, self._fields)
+        self.cell = bank.cell
+        return bank
+
+
+def bind_bank(
+    name: str,
+    fields: Dict[str, Tuple[str, str, str, Optional[Dict[str, object]]]],
+) -> BoundBank:
+    """A cached multi-series bank handle (see :class:`BoundBank`)."""
+    return BoundBank(name, fields)

@@ -39,6 +39,35 @@ from repro.obs.trace import SpanRecord, TraceContext
 #: Histogram fed by every closed span, labelled span=<name>.
 SPAN_HISTOGRAM = "repro_span_duration_seconds"
 
+#: Span durations sample bucket attribution (count and sum — the
+#: quantities dashboards rate() and average — stay exact; only the
+#: per-bucket split of each thread's stream is approximated).  The
+#: rate is family-wide, so every binder of :data:`SPAN_HISTOGRAM`
+#: must pass it.
+SPAN_SAMPLE_RATE = 8
+
+#: Bound duration handles per span name: names are open-ended but few,
+#: so handles are created on first close and reused ever after.
+_duration_handles: Dict[str, "runtime.BoundMetric"] = {}
+_duration_lock = threading.Lock()
+
+
+def _duration_handle(name: str) -> "runtime.BoundMetric":
+    handle = _duration_handles.get(name)
+    if handle is None:
+        with _duration_lock:
+            handle = _duration_handles.get(name)
+            if handle is None:
+                handle = runtime.bind_histogram(
+                    SPAN_HISTOGRAM,
+                    help="Wall-clock duration of instrumented spans.",
+                    sample_rate=SPAN_SAMPLE_RATE,
+                    span=name,
+                )
+                _duration_handles[name] = handle
+    return handle
+
+
 _stacks = threading.local()
 
 
@@ -144,11 +173,7 @@ class Span:
             trace_mod.restore(self._ctx_token)
             self._ctx_token = None
         if runtime.enabled():
-            runtime.histogram(
-                SPAN_HISTOGRAM,
-                help="Wall-clock duration of instrumented spans.",
-                span=self.name,
-            ).observe(self.duration)
+            _duration_handle(self.name).observe(self.duration)
             buffer = runtime.trace_buffer()
             if buffer is not None and self.context is not None:
                 buffer.record(
@@ -184,6 +209,69 @@ class Span:
                     **extra,
                     **self.attrs,
                 )
+        return False
+
+
+class _MetricSpan:
+    """Metrics-only span: nesting stack + duration histogram, nothing else.
+
+    :func:`span` hands these out when neither tracing nor an event log
+    is active — the overwhelmingly common enabled configuration — so
+    the per-span cost is two clock reads, two stack operations and one
+    histogram observe.  The trace-facing surface (``context``,
+    ``links``, :meth:`add_link`) is present but inert, matching what a
+    full :class:`Span` reports when tracing is off.  A trace buffer or
+    event log attached *while* such a span is open is picked up only
+    by spans opened afterwards.
+    """
+
+    __slots__ = (
+        "name", "attrs", "duration", "_started", "_parent_name", "_depth",
+    )
+
+    #: Trace context never exists in metrics-only mode.
+    context = None
+    parent_context = None
+    links: List[TraceContext] = []
+    start_ts = 0.0
+
+    def __init__(self, name: str, attrs: Dict[str, object]):
+        self.name = name
+        self.attrs = attrs
+        self.duration: Optional[float] = None
+        self._parent_name: Optional[str] = None
+        self._depth = 0
+
+    @property
+    def parent_name(self) -> Optional[str]:
+        """Name of the enclosing span at entry, or None at top level."""
+        return self._parent_name
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth at entry (0 = top level)."""
+        return self._depth
+
+    def add_link(self, context) -> bool:
+        """Links need trace context; always False in metrics-only mode."""
+        return False
+
+    def __enter__(self) -> "_MetricSpan":
+        stack = _stack()
+        if stack:
+            self._parent_name = stack[-1].name
+        self._depth = len(stack)
+        stack.append(self)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self._started
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        if runtime.ACTIVE:
+            _duration_handle(self.name).observe(self.duration)
         return False
 
 
@@ -235,6 +323,23 @@ def span(name: str, **attrs: object):
     (they do *not* become histogram labels — durations aggregate per
     span name only, keeping cardinality bounded).
     """
-    if not runtime.enabled():
+    if not runtime.ACTIVE:
         return _NULL_SPAN
-    return Span(name, attrs)
+    if runtime.DETAILED:
+        return Span(name, attrs)
+    return _MetricSpan(name, attrs)
+
+
+def trace_span(name: str, **attrs: object):
+    """A span only when it will be externally visible.
+
+    Hands out a full :class:`Span` while a trace buffer or event log
+    is attached, and the shared no-op otherwise.  For call sites whose
+    duration histogram is fed by fused accounting the site already
+    performs (e.g. ``CentralServer._observe_query``) — a metrics-only
+    :class:`_MetricSpan` there would duplicate both the clock reads
+    and the histogram observation.
+    """
+    if runtime.DETAILED:
+        return Span(name, attrs)
+    return _NULL_SPAN

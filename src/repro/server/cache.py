@@ -86,33 +86,35 @@ class CacheStats:
         }
 
 
-def _preregister_metrics() -> None:
-    """Register the cache metric family so exports carry zeros.
-
-    Called on construction and on flush while obs is enabled, so a
-    run that never hits/evicts still exposes the full catalog.
-    """
-    for kind in ("and", "split"):
-        obs.counter(
-            "repro_join_cache_hits_total",
-            "Query-plan cache lookups served from a memoized join.",
-            kind=kind,
-        )
-        obs.counter(
-            "repro_join_cache_misses_total",
-            "Query-plan cache lookups that computed a fresh join.",
-            kind=kind,
-        )
-    obs.counter(
-        "repro_join_cache_evictions_total",
-        "Cached joins dropped by the LRU bound.",
+#: Bound handles for the lookup hot path, one per closed label value.
+_HITS = {
+    kind: obs.bind_counter(
+        "repro_join_cache_hits_total",
+        "Query-plan cache lookups served from a memoized join.",
+        kind=kind,
     )
-    for reason in ("add", "conflict", "flush"):
-        obs.counter(
-            "repro_join_cache_invalidations_total",
-            "Cached joins dropped by invalidation, by reason.",
-            reason=reason,
-        )
+    for kind in ("and", "split")
+}
+_MISSES = {
+    kind: obs.bind_counter(
+        "repro_join_cache_misses_total",
+        "Query-plan cache lookups that computed a fresh join.",
+        kind=kind,
+    )
+    for kind in ("and", "split")
+}
+_EVICTIONS = obs.bind_counter(
+    "repro_join_cache_evictions_total",
+    "Cached joins dropped by the LRU bound.",
+)
+_INVALIDATIONS = {
+    reason: obs.bind_counter(
+        "repro_join_cache_invalidations_total",
+        "Cached joins dropped by invalidation, by reason.",
+        reason=reason,
+    )
+    for reason in ("add", "conflict", "flush")
+}
 
 
 class JoinCache:
@@ -135,8 +137,6 @@ class JoinCache:
         self._entries: "OrderedDict[_CacheKey, object]" = OrderedDict()
         self._by_location: Dict[int, Set[_CacheKey]] = {}
         self._stats = CacheStats()
-        if obs.enabled():
-            _preregister_metrics()
 
     # ------------------------------------------------------------------
     # Properties
@@ -196,37 +196,26 @@ class JoinCache:
             value, built_context = cached
             self._entries.move_to_end(key)
             self._stats.hits += 1
-            if obs.enabled():
-                obs.counter(
-                    "repro_join_cache_hits_total",
-                    "Query-plan cache lookups served from a memoized join.",
-                    kind=kind,
-                ).inc()
+            if obs.ACTIVE:
+                _HITS[kind].inc()
                 # A cache-served query still causally depends on the
                 # trace that originally built the join — link to it.
                 if built_context is not None:
                     add_link(built_context)
             return value
         self._stats.misses += 1
-        if obs.enabled():
-            obs.counter(
-                "repro_join_cache_misses_total",
-                "Query-plan cache lookups that computed a fresh join.",
-                kind=kind,
-            ).inc()
+        if obs.ACTIVE:
+            _MISSES[kind].inc()
         value = build()  # may raise (missing records); nothing cached then
-        built_context = trace_mod.current() if obs.tracing() else None
+        built_context = trace_mod.current() if obs.TRACING else None
         self._entries[key] = (value, built_context)
         self._by_location.setdefault(key[1], set()).add(key)
         while len(self._entries) > self._max_entries:
             evicted, _ = self._entries.popitem(last=False)
             self._forget(evicted)
             self._stats.evictions += 1
-            if obs.enabled():
-                obs.counter(
-                    "repro_join_cache_evictions_total",
-                    "Cached joins dropped by the LRU bound.",
-                ).inc()
+            if obs.ACTIVE:
+                _EVICTIONS.inc()
         return value
 
     def _forget(self, key: _CacheKey) -> None:
@@ -282,10 +271,14 @@ class JoinCache:
     def _account_invalidation(self, dropped: int, reason: str) -> int:
         if dropped:
             self._stats.invalidations += dropped
-            if obs.enabled():
-                obs.counter(
-                    "repro_join_cache_invalidations_total",
-                    "Cached joins dropped by invalidation, by reason.",
-                    reason=reason,
-                ).inc(dropped)
+            if obs.ACTIVE:
+                handle = _INVALIDATIONS.get(reason)
+                if handle is None:  # uncatalogued reason string
+                    obs.counter(
+                        "repro_join_cache_invalidations_total",
+                        "Cached joins dropped by invalidation, by reason.",
+                        reason=reason,
+                    ).inc(dropped)
+                else:
+                    handle.inc(dropped)
         return dropped

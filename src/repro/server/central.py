@@ -19,7 +19,12 @@ from repro.core.results import PointEstimate, PointToPointEstimate
 from repro.exceptions import ConfigurationError, CoverageError
 from repro.obs import runtime as obs
 from repro.obs import trace as trace_mod
-from repro.obs.spans import add_link, span
+from repro.obs.spans import (
+    SPAN_HISTOGRAM,
+    SPAN_SAMPLE_RATE,
+    add_link,
+    trace_span,
+)
 from repro.rsu.record import TrafficRecord
 from repro.server.cache import DEFAULT_MAX_ENTRIES, JoinCache
 from repro.server.degradation import (
@@ -36,6 +41,110 @@ from repro.server.queries import (
 )
 from repro.server.store import RecordStore
 from repro.sketch.join import and_join, split_and_join
+
+#: Bound handles for the ingest/query hot paths (labels are closed
+#: enums, so every child is resolvable at import time).  Ingest bumps
+#: up to seven series per record — store residency, history, archive —
+#: so they share one counter bank: a single per-thread cell fetch,
+#: then plain attribute adds.  Resident records and volume
+#: observations are *identities* of the ingest count on this path (the
+#: store never evicts, and every accepted record folds exactly one
+#: volume estimate into the history), so their families alias the
+#: ``ingested`` column and cost the hot path nothing.
+_INGEST = obs.bind_bank(
+    "server_ingest",
+    {
+        "ingested": (
+            "counter",
+            "repro_records_ingested_total",
+            "Traffic records accepted by the central server.",
+            None,
+        ),
+        "duplicates": (
+            "counter",
+            "repro_store_duplicates_total",
+            "Byte-identical re-uploads absorbed as no-ops.",
+            None,
+        ),
+        "archive_writes": (
+            "counter",
+            "repro_archive_writes_total",
+            "Records persisted to the attached archive.",
+            None,
+        ),
+        "resident_records": (
+            "gauge",
+            "repro_store_records",
+            "Traffic records resident in the in-memory store.",
+            None,
+            "ingested",
+        ),
+        "resident_bits": (
+            "gauge",
+            "repro_store_bits",
+            "Bitmap bits resident in the in-memory store.",
+            None,
+        ),
+        "volume_observations": (
+            "counter",
+            "repro_volume_observations_total",
+            "Per-period volume estimates folded into the history.",
+            None,
+            "ingested",
+        ),
+        "history_locations": (
+            "gauge",
+            "repro_history_locations",
+            "Locations with a tracked volume average.",
+            None,
+        ),
+    },
+)
+_DEGRADED = obs.bind_counter(
+    "repro_queries_degraded_total",
+    "Queries answered over incomplete period coverage.",
+)
+_QUERY_KINDS = (
+    "point_volume",
+    "point_persistent",
+    "benchmark",
+    "point_to_point",
+    "point_persistent_series",
+)
+_QUERY_HELP = "Queries served by the central server."
+#: Latency buckets are sampled (count/sum stay exact, only bucket
+#: attribution is approximated) — queries are the hottest span-wrapped
+#: endpoint and the exact per-bucket split of microsecond estimates is
+#: not worth a full bisect per call.
+_QUERY_LATENCY = {
+    kind: obs.bind_histogram(
+        "repro_estimate_latency_seconds",
+        "Wall-clock latency of answering one query.",
+        sample_rate=8,
+        kind=kind,
+    )
+    for kind in _QUERY_KINDS
+}
+#: ``repro_queries_total{kind}`` is an identity of the latency
+#: histogram's exact count (every served query observes exactly one
+#: latency), so it is derived at fold time and never touched on the
+#: hot path.
+_QUERY_TOTAL = {
+    kind: obs.bind_count_of(
+        "repro_queries_total", _QUERY_HELP, _QUERY_LATENCY[kind], kind=kind
+    )
+    for kind in _QUERY_KINDS
+}
+#: In metrics-only mode :func:`~repro.obs.spans.trace_span` is a no-op
+#: and the ``server.query`` span duration is fed from the elapsed time
+#: ``_observe_query`` already measured — one clock pair per query
+#: instead of two, no span object, no stack traffic.
+_QUERY_SPAN_DURATION = obs.bind_histogram(
+    SPAN_HISTOGRAM,
+    "Wall-clock duration of instrumented spans.",
+    sample_rate=SPAN_SAMPLE_RATE,
+    span="server.query",
+)
 
 
 class CentralServer:
@@ -184,21 +293,26 @@ class CentralServer:
         again, so degraded transports can re-send safely.
         """
         if not self._store.add(record):
+            if obs.ACTIVE:
+                _INGEST.cell().duplicates += 1
             return False
-        self._history.observe(record.location, max(record.point_estimate(), 1.0))
+        new_location = self._history.observe(
+            record.location, max(record.point_estimate(), 1.0)
+        )
         if self._archive is not None:
             self._archive.save(record)
-        if obs.enabled():
-            obs.counter(
-                "repro_records_ingested_total",
-                "Traffic records accepted by the central server.",
-            ).inc()
+        if obs.ACTIVE:
+            # Resident records and volume observations alias the
+            # ``ingested`` column (see the bank spec), so two adds and
+            # two branches cover seven exported series.
+            cell = _INGEST.cell()
+            cell.ingested += 1
+            cell.resident_bits += record.size
+            if new_location:
+                cell.history_locations += 1
             if self._archive is not None:
-                obs.counter(
-                    "repro_archive_writes_total",
-                    "Records persisted to the attached archive.",
-                ).inc()
-            if obs.tracing():
+                cell.archive_writes += 1
+            if obs.TRACING:
                 # Remember which upload trace produced this cell, so a
                 # later query over it can link back to the transport
                 # spans (retries included) that delivered it.
@@ -226,17 +340,19 @@ class CentralServer:
 
     @staticmethod
     def _observe_query(kind: str, started: float) -> None:
-        """Account one served query (only called while obs is enabled)."""
-        obs.counter(
-            "repro_queries_total",
-            "Queries served by the central server.",
-            kind=kind,
-        ).inc()
-        obs.histogram(
-            "repro_estimate_latency_seconds",
-            "Wall-clock latency of answering one query.",
-            kind=kind,
-        ).observe(time.perf_counter() - started)
+        """Account one served query (only called while obs is enabled).
+
+        One sampled histogram observe covers both the latency series
+        and the per-kind query count (``repro_queries_total`` is
+        derived from the histogram's exact count at fold time).  The
+        ``server.query`` span duration is fused in here too — unless a
+        full :class:`~repro.obs.spans.Span` is open (tracing or event
+        log active), which records the duration itself on exit.
+        """
+        elapsed = time.perf_counter() - started
+        _QUERY_LATENCY[kind].observe(elapsed)
+        if not obs.DETAILED:
+            _QUERY_SPAN_DURATION.observe(elapsed)
 
     @staticmethod
     def _trace_links(locations, periods) -> None:
@@ -248,7 +364,7 @@ class CentralServer:
         shows both the uploads it consumed and the one whose loss
         degraded it.  No-op unless tracing is active.
         """
-        if not obs.tracing():
+        if not obs.TRACING:
             return
         buffer = obs.trace_buffer()
         if buffer is None:
@@ -261,11 +377,11 @@ class CentralServer:
     def point_volume(self, query: PointVolumeQuery) -> float:
         """Single-period traffic volume estimate (Eq. 1)."""
         started = time.perf_counter()
-        with span("server.query", kind="point_volume"):
+        with trace_span("server.query", kind="point_volume"):
             self._trace_links([query.location], [query.period])
             record = self._store.require(query.location, query.period)
             estimate = record.point_estimate()
-        if obs.enabled():
+        if obs.ACTIVE:
             self._observe_query("point_volume", started)
         return estimate
 
@@ -296,11 +412,8 @@ class CentralServer:
                 f"min_periods={policy.min_periods})",
                 coverage=report,
             )
-        if report.degraded and obs.enabled():
-            obs.counter(
-                "repro_queries_degraded_total",
-                "Queries answered over incomplete period coverage.",
-            ).inc()
+        if report.degraded and obs.ACTIVE:
+            _DEGRADED.inc()
         return report
 
     def point_persistent(
@@ -319,14 +432,14 @@ class CentralServer:
         the policy floor).
         """
         started = time.perf_counter()
-        with span("server.query", kind="point_persistent"):
+        with trace_span("server.query", kind="point_persistent"):
             self._trace_links([query.location], query.periods)
             if policy is None:
                 split = self._split_join_for(query.location, query.periods)
                 estimate = self._point_estimator.estimate_from_split(
                     split, len(query.periods)
                 )
-                if obs.enabled():
+                if obs.ACTIVE:
                     self._observe_query("point_persistent", started)
                 return estimate
             report = self._resolve_coverage(
@@ -336,7 +449,7 @@ class CentralServer:
             estimate = self._point_estimator.estimate_from_split(
                 split, len(report.covered)
             )
-            if obs.enabled():
+            if obs.ACTIVE:
                 self._observe_query("point_persistent", started)
             return DegradedResult(value=estimate, coverage=report)
 
@@ -347,14 +460,14 @@ class CentralServer:
     ):
         """The direct AND-join benchmark on the same query (Fig. 4)."""
         started = time.perf_counter()
-        with span("server.query", kind="benchmark"):
+        with trace_span("server.query", kind="benchmark"):
             self._trace_links([query.location], query.periods)
             if policy is None:
                 joined = self._and_join_for(query.location, query.periods)
                 estimate = self._benchmark.estimate_from_join(
                     joined, len(query.periods)
                 )
-                if obs.enabled():
+                if obs.ACTIVE:
                     self._observe_query("benchmark", started)
                 return estimate
             report = self._resolve_coverage(
@@ -364,7 +477,7 @@ class CentralServer:
             estimate = self._benchmark.estimate_from_join(
                 joined, len(report.covered)
             )
-            if obs.enabled():
+            if obs.ACTIVE:
                 self._observe_query("benchmark", started)
             return DegradedResult(value=estimate, coverage=report)
 
@@ -380,7 +493,7 @@ class CentralServer:
         :class:`~repro.server.degradation.DegradedResult`.
         """
         started = time.perf_counter()
-        with span("server.query", kind="point_to_point"):
+        with trace_span("server.query", kind="point_to_point"):
             self._trace_links(
                 [query.location_a, query.location_b], query.periods
             )
@@ -388,7 +501,7 @@ class CentralServer:
                 estimate = self._p2p_from_cache(
                     query.location_a, query.location_b, query.periods
                 )
-                if obs.enabled():
+                if obs.ACTIVE:
                     self._observe_query("point_to_point", started)
                 return estimate
             report = self._resolve_coverage(
@@ -397,7 +510,7 @@ class CentralServer:
             estimate = self._p2p_from_cache(
                 query.location_a, query.location_b, report.covered
             )
-            if obs.enabled():
+            if obs.ACTIVE:
                 self._observe_query("point_to_point", started)
             return DegradedResult(value=estimate, coverage=report)
 
@@ -433,12 +546,12 @@ class CentralServer:
         (:func:`repro.server.history.persistent_window_series`).
         """
         started = time.perf_counter()
-        with span("server.query", kind="point_persistent_series"):
+        with trace_span("server.query", kind="point_persistent_series"):
             self._trace_links([location], periods)
             records = self._store.records_for(location, periods)
             samples = persistent_window_series(
                 records, window, estimator=self._point_estimator
             )
-        if obs.enabled():
+        if obs.ACTIVE:
             self._observe_query("point_persistent_series", started)
         return samples

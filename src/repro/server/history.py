@@ -26,6 +26,21 @@ from repro.rsu.record import TrafficRecord
 from repro.sketch.interval import IntervalJoinIndex, split_range_join
 from repro.sketch.sizing import bitmap_size_for_volume
 
+#: Bound handles for the non-ingest paths.  Per-ingest accounting
+#: (volume observations, the location gauge) is recorded by
+#: :meth:`~repro.server.central.CentralServer.receive_record` through
+#: its fused counter bank; the location gauge accumulates +1 on first
+#: sight of a location (the map never shrinks), so every path stays
+#: lock-free.
+_HISTORY_LOCATIONS = obs.bind_gauge(
+    "repro_history_locations",
+    "Locations with a tracked volume average.",
+)
+_SIZING_RECOMMENDATIONS = obs.bind_counter(
+    "repro_sizing_recommendations_total",
+    "Eq. 2 bitmap-size recommendations issued.",
+)
+
 
 class VolumeHistory:
     """Tracks expected traffic volume ``n̄`` per location.
@@ -72,8 +87,13 @@ class VolumeHistory:
         """Current expectation ``n̄`` for a location."""
         return self._averages.get(int(location), self._default_volume)
 
-    def observe(self, location: int, volume_estimate: float) -> None:
-        """Fold a new per-period volume estimate into the average."""
+    def observe(self, location: int, volume_estimate: float) -> bool:
+        """Fold a new per-period volume estimate into the average.
+
+        Returns True when this is the first observation for the
+        location (the caller accounts the location-gauge bump along
+        with its other ingest metrics).
+        """
         if volume_estimate < 0:
             raise ConfigurationError(
                 f"volume estimate must be non-negative, got {volume_estimate}"
@@ -81,36 +101,28 @@ class VolumeHistory:
         key = int(location)
         if key not in self._averages:
             self._averages[key] = float(volume_estimate)
-        else:
-            previous = self._averages[key]
-            self._averages[key] = (
-                self._smoothing * float(volume_estimate)
-                + (1.0 - self._smoothing) * previous
-            )
-        if obs.enabled():
-            obs.counter(
-                "repro_volume_observations_total",
-                "Per-period volume estimates folded into the history.",
-            ).inc()
-            obs.gauge(
-                "repro_history_locations",
-                "Locations with a tracked volume average.",
-            ).set(len(self._averages))
+            return True
+        previous = self._averages[key]
+        self._averages[key] = (
+            self._smoothing * float(volume_estimate)
+            + (1.0 - self._smoothing) * previous
+        )
+        return False
 
     def recommend_size(self, location: int) -> int:
         """Bitmap size for the location's next period (Eq. 2)."""
-        if obs.enabled():
-            obs.counter(
-                "repro_sizing_recommendations_total",
-                "Eq. 2 bitmap-size recommendations issued.",
-            ).inc()
+        if obs.ACTIVE:
+            _SIZING_RECOMMENDATIONS.inc()
         return bitmap_size_for_volume(self.expected_volume(location), self._load_factor)
 
     def set_expected_volume(self, location: int, volume: float) -> None:
         """Override the expectation (e.g. seeded from planning data)."""
         if volume <= 0:
             raise ConfigurationError(f"expected volume must be positive, got {volume}")
-        self._averages[int(location)] = float(volume)
+        key = int(location)
+        if key not in self._averages and obs.ACTIVE:
+            _HISTORY_LOCATIONS.inc(1)
+        self._averages[key] = float(volume)
 
 
 def persistent_window_series(

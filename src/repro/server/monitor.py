@@ -141,7 +141,7 @@ class PersistenceMonitor:
             estimate=estimate,
         )
         self._samples.append(sample)
-        if obs.enabled():
+        if obs.ACTIVE:
             obs.counter(
                 "repro_monitor_refreshes_total",
                 "Sliding-window re-estimates emitted by monitors.",

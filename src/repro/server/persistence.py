@@ -307,7 +307,7 @@ class RecordArchive:
         )
         if not report.clean:
             self._write_manifest()
-            if obs.enabled():
+            if obs.ACTIVE:
                 obs.counter(
                     "repro_archive_repairs_total",
                     "Archive repair passes that changed the manifest.",

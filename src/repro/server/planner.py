@@ -90,7 +90,7 @@ def rank_persistent_sources(
         raise ConfigurationError("at least one candidate source is required")
     if int(target) in {int(c) for c in candidates}:
         raise ConfigurationError("the target cannot be its own source")
-    if obs.enabled():
+    if obs.ACTIVE:
         _preregister_pair_metrics()
     ranked: List[RankedSource] = []
     with span("planner.rank_sources", target=target, candidates=len(candidates)):
@@ -103,10 +103,10 @@ def rank_persistent_sources(
             try:
                 estimate = server.point_to_point_persistent(query)
             except EstimationError:
-                if obs.enabled():
+                if obs.ACTIVE:
                     _count_pair(skipped=True)
                 continue
-            if obs.enabled():
+            if obs.ACTIVE:
                 _count_pair(skipped=False)
             ranked.append(
                 RankedSource(location=int(candidate), estimate=estimate)
@@ -136,7 +136,7 @@ def persistent_flow_matrix(
     distinct = sorted({int(loc) for loc in locations})
     if len(distinct) < 2:
         raise ConfigurationError("a flow matrix needs at least two locations")
-    if obs.enabled():
+    if obs.ACTIVE:
         _preregister_pair_metrics()
     total = len(distinct) * (len(distinct) - 1) // 2
     done = 0
@@ -154,14 +154,14 @@ def persistent_flow_matrix(
                     estimate = server.point_to_point_persistent(query)
                 except EstimationError:
                     skipped += 1
-                    if obs.enabled():
+                    if obs.ACTIVE:
                         _count_pair(skipped=True)
                 else:
                     matrix[(location_a, location_b)] = estimate.clamped
-                    if obs.enabled():
+                    if obs.ACTIVE:
                         _count_pair(skipped=False)
                 done += 1
-                if obs.enabled() and (
+                if obs.ACTIVE and (
                     done % _PROGRESS_EVERY == 0 or done == total
                 ):
                     log = obs.event_log()

@@ -4,6 +4,12 @@ The store accepts either deserialized :class:`TrafficRecord` objects
 or raw upload payloads, absorbs byte-identical re-uploads while
 rejecting conflicting ones (an RSU produces exactly one record per
 period), and serves the record sets that queries join.
+
+The store itself carries no instrumentation: ingest accounting
+(resident records/bits, duplicates) is recorded by
+:meth:`~repro.server.central.CentralServer.receive_record` through a
+single fused counter-bank update, so direct store use (archive
+materialization, tests) stays metric-free.
 """
 
 from __future__ import annotations
@@ -11,7 +17,6 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import DataError
-from repro.obs import runtime as obs
 from repro.rsu.record import TrafficRecord
 
 #: Store-change callback: ``listener(event, location, period)`` with
@@ -19,7 +24,6 @@ from repro.rsu.record import TrafficRecord
 #: ``"conflict"`` (a mismatching re-upload was rejected).  Idempotent
 #: byte-identical duplicates fire no event at all.
 StoreListener = Callable[[str, int, int], None]
-
 
 class RecordStore:
     """In-memory store of traffic records."""
@@ -64,11 +68,6 @@ class RecordStore:
         existing = self._records.get(key)
         if existing is not None:
             if existing.bitmap == record.bitmap:
-                if obs.enabled():
-                    obs.counter(
-                        "repro_store_duplicates_total",
-                        "Byte-identical re-uploads absorbed as no-ops.",
-                    ).inc()
                 return False
             self._notify("conflict", record.location, record.period)
             raise DataError(
@@ -78,15 +77,6 @@ class RecordStore:
         self._records[key] = record
         self._total_bits += record.size
         self._notify("added", record.location, record.period)
-        if obs.enabled():
-            obs.gauge(
-                "repro_store_records",
-                "Traffic records resident in the in-memory store.",
-            ).set(len(self._records))
-            obs.gauge(
-                "repro_store_bits",
-                "Bitmap bits resident in the in-memory store.",
-            ).set(self._total_bits)
         return True
 
     def add_payload(self, payload: bytes) -> TrafficRecord:

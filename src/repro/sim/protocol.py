@@ -23,6 +23,20 @@ from repro.obs import runtime as obs
 from repro.rsu.unit import RoadSideUnit
 from repro.vehicle.onboard import OnBoardUnit
 
+#: Bound handles, one per encounter outcome (a closed enum).
+_ENCOUNTERS = {
+    outcome: obs.bind_counter(
+        "repro_encounters_total",
+        "V2I encounters executed, by outcome.",
+        outcome=outcome,
+    )
+    for outcome in ("encoded", "rejected_rogue", "lost_channel")
+}
+_BITS_SET = obs.bind_counter(
+    "repro_bits_set_total",
+    "Bitmap bits set by successful encounters.",
+)
+
 
 class EncounterOutcome(Enum):
     """How a V2I encounter ended."""
@@ -84,36 +98,21 @@ class ProtocolDriver:
         else:
             report = obu.respond_to_beacon(beacon)
         if report is None:
-            if obs.enabled():
-                obs.counter(
-                    "repro_encounters_total",
-                    "V2I encounters executed, by outcome.",
-                    outcome="rejected_rogue",
-                ).inc()
+            if obs.ACTIVE:
+                _ENCOUNTERS["rejected_rogue"].inc()
             return EncounterResult(
                 outcome=EncounterOutcome.REJECTED_ROGUE, beacon_delay=delay
             )
         if self._injector is not None and self._injector.drop_report():
-            if obs.enabled():
-                obs.counter(
-                    "repro_encounters_total",
-                    "V2I encounters executed, by outcome.",
-                    outcome="lost_channel",
-                ).inc()
+            if obs.ACTIVE:
+                _ENCOUNTERS["lost_channel"].inc()
             return EncounterResult(
                 outcome=EncounterOutcome.LOST_CHANNEL, beacon_delay=delay
             )
         rsu.receive_report(report)
-        if obs.enabled():
-            obs.counter(
-                "repro_encounters_total",
-                "V2I encounters executed, by outcome.",
-                outcome="encoded",
-            ).inc()
-            obs.counter(
-                "repro_bits_set_total",
-                "Bitmap bits set by successful encounters.",
-            ).inc()
+        if obs.ACTIVE:
+            _ENCOUNTERS["encoded"].inc()
+            _BITS_SET.inc()
         return EncounterResult(
             outcome=EncounterOutcome.ENCODED,
             beacon_delay=delay,

@@ -33,6 +33,12 @@ from repro.network.deployment import RsuDeployment
 from repro.network.road import RoadNetwork
 from repro.obs import runtime as obs
 from repro.obs.spans import span
+
+#: Bound handle for the per-pass loss accounting hot path.
+_LOSS_EVENTS = obs.bind_counter(
+    "repro_loss_events_total",
+    "Physical passes lost to V2I channel faults.",
+)
 from repro.network.trajectory import TripPlanner
 from repro.server.central import CentralServer
 from repro.sim.events import SimulationEngine
@@ -389,11 +395,8 @@ class CityScenario:
                 and self._rng.random() >= self._detection_rate
             ):
                 counters["missed"] += 1
-                if obs.enabled():
-                    obs.counter(
-                        "repro_loss_events_total",
-                        "Physical passes lost to V2I channel faults.",
-                    ).inc()
+                if obs.ACTIVE:
+                    _LOSS_EVENTS.inc()
                 return
             rsu = self._deployment.rsu_at(location)
             result = self._driver.run_encounter(

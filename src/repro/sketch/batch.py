@@ -29,7 +29,12 @@ import numpy as np
 from repro.exceptions import SketchError
 from repro.obs import runtime as obs
 from repro.sketch.bitmap import Bitmap
-from repro.sketch.expansion import apply_expanded, expansion_factor
+from repro.sketch.expansion import (
+    _EXPANSION_RATIO,
+    apply_expanded,
+    expansion_factor,
+    observe_expansion_group,
+)
 
 
 class BitmapBatch:
@@ -169,6 +174,8 @@ class BitmapBatch:
 
     def _combine(self, other: "BitmapBatch", op: np.ufunc) -> "BitmapBatch":
         big, small = (self, other) if self.size >= other.size else (other, self)
+        if big.size != small.size and obs.ACTIVE:
+            _EXPANSION_RATIO.observe(float(big.size // small.size))
         out = np.array(big._bits)
         apply_expanded(out, small._bits, op)
         return BitmapBatch._adopt(out)
@@ -249,8 +256,9 @@ def and_join_batch(
     result's row ``r`` equals ``and_join([batches[0].row(r), ...])``.
     """
     size = _common_size(batches, size)
-    if obs.enabled():
+    if obs.ACTIVE:
         _observe_batch_join("and", size, batches)
+        observe_expansion_group([b.size for b in batches], size)
     return _accumulate_batch_join(np.logical_and, batches, size)
 
 
@@ -259,8 +267,9 @@ def or_join_batch(
 ) -> BitmapBatch:
     """Per-run :func:`repro.sketch.join.or_join` across period batches."""
     size = _common_size(batches, size)
-    if obs.enabled():
+    if obs.ACTIVE:
         _observe_batch_join("or", size, batches)
+        observe_expansion_group([b.size for b in batches], size)
     return _accumulate_batch_join(np.logical_or, batches, size)
 
 
@@ -285,7 +294,7 @@ def split_and_join_batch(batches: Sequence[BitmapBatch]) -> SplitJoinBatchResult
             f"split-and-join needs at least 2 traffic records, got {len(batches)}"
         )
     size = _common_size(batches, None)
-    if obs.enabled():
+    if obs.ACTIVE:
         _observe_batch_join("split", size, batches)
     midpoint = (len(batches) + 1) // 2  # ceil(t/2), as in the paper
     half_a = and_join_batch(batches[:midpoint], size=size)
@@ -315,7 +324,7 @@ def two_level_join_batch(
     batches_a: Sequence[BitmapBatch], batches_b: Sequence[BitmapBatch]
 ) -> TwoLevelJoinBatchResult:
     """Per-run two-level join: batched Section IV-A pipeline."""
-    if obs.enabled():
+    if obs.ACTIVE:
         _observe_batch_join(
             "two_level",
             max(_common_size(batches_a, None), _common_size(batches_b, None)),

@@ -40,17 +40,44 @@ def expansion_factor(source_size: int, target_size: int) -> int:
     return target_size // source_size
 
 
-def _observe_expansion(factor: int) -> None:
-    """Account one (possibly virtual) expansion while obs is enabled."""
-    obs.counter(
-        "repro_expansions_total",
-        "Replication-based bitmap expansions (incl. factor 1).",
-    ).inc()
-    obs.histogram(
-        "repro_expansion_ratio",
-        "Replication factor m/l of each expansion.",
-        buckets=POW2_BUCKETS,
-    ).observe(factor)
+#: Bound handle: this is the hottest instrumentation site in the tree
+#: (one observation per input bitmap per join), so it is doubly
+#: cheapened: joins batch a whole group of same-ratio inputs into one
+#: ``observe_many`` call (:func:`observe_expansion_group`), and the
+#: histogram samples bucket attribution — count/sum stay exact, only
+#: the per-bucket split is approximated (see docs/observability.md).
+#: The exact expansion count is ``repro_expansion_ratio_count``; a
+#: separate counter series would double the hot-path cost to say the
+#: same number.
+_EXPANSION_RATIO = obs.bind_histogram(
+    "repro_expansion_ratio",
+    "Replication factor m/l of each expansion (count = expansions).",
+    buckets=POW2_BUCKETS,
+    sample_rate=16,
+)
+
+
+def observe_expansion_group(sizes, target: int) -> None:
+    """Account one join group's expansion ratios, batched.
+
+    One observation per input that actually expands (``size <
+    target``) — an input already at the target size is passed through
+    untouched (the paper's "if l_j = m then E_j is simply B_j"), so it
+    is not an expansion and costs nothing to account.  The common
+    mixed case — every input at one size — collapses into a single
+    ``observe_many`` carrying the whole group.  Callers guard with
+    ``obs.ACTIVE`` and skip the call entirely when no input expands
+    (``min(sizes) == target``); ``sizes`` must be non-empty.
+    """
+    first = sizes[0]
+    for size in sizes:
+        if size != first:
+            for size in sizes:
+                if size != target:
+                    _EXPANSION_RATIO.observe(float(target // size))
+            return
+    if first != target:
+        _EXPANSION_RATIO.observe_many(float(target // first), len(sizes))
 
 
 def expand_to(bitmap: Bitmap, target_size: int) -> Bitmap:
@@ -61,10 +88,10 @@ def expand_to(bitmap: Bitmap, target_size: int) -> Bitmap:
     simply B_j".
     """
     factor = expansion_factor(bitmap.size, target_size)
-    if obs.enabled():
-        _observe_expansion(factor)
     if factor == 1:
         return bitmap
+    if obs.ACTIVE:
+        _EXPANSION_RATIO.observe(factor)
     tiled = np.tile(bitmap.bits, factor)
     return Bitmap(target_size, tiled)
 
@@ -82,10 +109,12 @@ def apply_expanded(out: np.ndarray, bits: np.ndarray, op: np.ufunc) -> None:
 
     Works on 1-D accumulators (single bitmaps) and on 2-D ``(runs, m)``
     batch matrices, where ``bits`` may be ``(l,)`` or ``(runs, l)``.
+
+    This is a pure kernel: expansion-ratio accounting belongs to the
+    caller (joins batch it per input group via
+    :func:`observe_expansion_group`), not to every in-place fold.
     """
     factor = expansion_factor(bits.shape[-1], out.shape[-1])
-    if obs.enabled():
-        _observe_expansion(factor)
     if factor == 1:
         op(out, bits, out=out)
         return

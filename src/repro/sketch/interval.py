@@ -34,7 +34,7 @@ from repro.exceptions import SketchError
 from repro.obs import runtime as obs
 from repro.sketch.bitmap import Bitmap
 from repro.sketch.expansion import expand_to
-from repro.sketch.join import SplitJoinResult, _observe_join, and_join
+from repro.sketch.join import _JOINS, SplitJoinResult, and_join
 
 
 class IntervalJoinIndex:
@@ -176,8 +176,10 @@ def split_range_join(
     half_a = index.range_join(start, start + midpoint)
     half_b = index.range_join(start + midpoint, stop)
     size = max(half_a.size, half_b.size)
-    if obs.enabled():
-        _observe_join("split", size, span)
+    if obs.ACTIVE:
+        cell = _JOINS.cell()
+        cell.op_split += 1
+        cell.bits += size * span
     half_a = expand_to(half_a, size)
     half_b = expand_to(half_b, size)
     return SplitJoinResult(half_a=half_a, half_b=half_b, joined=half_a & half_b)

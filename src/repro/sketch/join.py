@@ -16,7 +16,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -24,17 +24,21 @@ from repro.exceptions import SketchError
 from repro.obs import runtime as obs
 from repro.sketch.bitmap import Bitmap
 from repro.sketch.expansion import (
-    _observe_expansion,
     apply_expanded,
     expand_to,
     expansion_factor,
+    observe_expansion_group,
 )
 
 
-def _common_size(bitmaps: Sequence[Bitmap], size: Optional[int] = None) -> int:
+def _sizes(bitmaps: Sequence[Bitmap]) -> List[int]:
     if not bitmaps:
         raise SketchError("cannot join an empty collection of bitmaps")
-    largest = max(b.size for b in bitmaps)
+    return [b.size for b in bitmaps]
+
+
+def _common_size(sizes: Sequence[int], size: Optional[int] = None) -> int:
+    largest = max(sizes)
     if size is None:
         return largest
     if int(size) < largest:
@@ -45,20 +49,32 @@ def _common_size(bitmaps: Sequence[Bitmap], size: Optional[int] = None) -> int:
     return int(size)
 
 
-def _observe_join(op: str, size: int, inputs: int) -> None:
-    """Account one join (only called while obs is enabled).
-
-    ``and``/``or`` joins performed inside ``split``/``two_level``
-    pipelines are counted under their own op as well — the counters
-    measure work done, not top-level API calls.
-    """
-    obs.counter(
-        "repro_joins_total", "Bitmap joins performed.", op=op
-    ).inc()
-    obs.counter(
-        "repro_join_bits_processed_total",
-        "Bitmap bits streamed through joins (size x inputs).",
-    ).inc(size * inputs)
+#: One bound bank for the join accounting (the op label is a closed
+#: enum): each join bumps its per-op series and the shared bits series
+#: through a single per-thread cell fetch.  ``and``/``or`` joins
+#: performed inside ``split``/``two_level`` pipelines are counted
+#: under their own op as well — the counters measure work done, not
+#: top-level API calls.
+_JOIN_HELP = "Bitmap joins performed."
+_JOINS = obs.bind_bank(
+    "sketch_joins",
+    {
+        "op_and": ("counter", "repro_joins_total", _JOIN_HELP, {"op": "and"}),
+        "op_or": ("counter", "repro_joins_total", _JOIN_HELP, {"op": "or"}),
+        "op_split": (
+            "counter", "repro_joins_total", _JOIN_HELP, {"op": "split"},
+        ),
+        "op_two_level": (
+            "counter", "repro_joins_total", _JOIN_HELP, {"op": "two_level"},
+        ),
+        "bits": (
+            "counter",
+            "repro_join_bits_processed_total",
+            "Bitmap bits streamed through joins (size x inputs).",
+            None,
+        ),
+    },
+)
 
 
 def _accumulate_join(
@@ -76,8 +92,6 @@ def _accumulate_join(
         out = np.array(bitmaps[0].bits)  # the one unavoidable copy
     else:
         out = np.tile(bitmaps[0].bits, factor)
-    if obs.enabled():
-        _observe_expansion(factor)
     for bitmap in bitmaps[1:]:
         apply_expanded(out, bitmap.bits, op)
     return Bitmap._adopt(out)
@@ -94,17 +108,27 @@ def and_join(bitmaps: Sequence[Bitmap], size: Optional[int] = None) -> Bitmap:
     inputs' maximum — callers composing joins at an outer common size
     (e.g. :func:`split_and_join`) use it to skip re-expansion.
     """
-    size = _common_size(bitmaps, size)
-    if obs.enabled():
-        _observe_join("and", size, len(bitmaps))
+    sizes = _sizes(bitmaps)
+    size = _common_size(sizes, size)
+    if obs.ACTIVE:
+        cell = _JOINS.cell()
+        cell.op_and += 1
+        cell.bits += size * len(sizes)
+        if min(sizes) != size:
+            observe_expansion_group(sizes, size)
     return _accumulate_join(np.logical_and, bitmaps, size)
 
 
 def or_join(bitmaps: Sequence[Bitmap], size: Optional[int] = None) -> Bitmap:
     """Expand all bitmaps to a common size and OR them together."""
-    size = _common_size(bitmaps, size)
-    if obs.enabled():
-        _observe_join("or", size, len(bitmaps))
+    sizes = _sizes(bitmaps)
+    size = _common_size(sizes, size)
+    if obs.ACTIVE:
+        cell = _JOINS.cell()
+        cell.op_or += 1
+        cell.bits += size * len(sizes)
+        if min(sizes) != size:
+            observe_expansion_group(sizes, size)
     return _accumulate_join(np.logical_or, bitmaps, size)
 
 
@@ -145,12 +169,22 @@ def split_and_join(bitmaps: Sequence[Bitmap]) -> SplitJoinResult:
         raise SketchError(
             f"split-and-join needs at least 2 traffic records, got {len(bitmaps)}"
         )
-    size = _common_size(bitmaps)
-    if obs.enabled():
-        _observe_join("split", size, len(bitmaps))
+    sizes = _sizes(bitmaps)
+    size = _common_size(sizes)
+    if obs.ACTIVE:
+        # Fused accounting for the split and both half-joins: one cell
+        # fetch and one ratio group instead of three guarded blocks.
+        # ``bits`` counts the split pass plus each half's AND work —
+        # the same 2·size·t the two inner ``and_join`` calls would add.
+        cell = _JOINS.cell()
+        cell.op_split += 1
+        cell.op_and += 2
+        cell.bits += 2 * size * len(bitmaps)
+        if min(sizes) != size:
+            observe_expansion_group(sizes, size)
     midpoint = (len(bitmaps) + 1) // 2  # ceil(t/2), as in the paper
-    half_a = and_join(bitmaps[:midpoint], size=size)
-    half_b = and_join(bitmaps[midpoint:], size=size)
+    half_a = _accumulate_join(np.logical_and, bitmaps[:midpoint], size)
+    half_b = _accumulate_join(np.logical_and, bitmaps[midpoint:], size)
     return SplitJoinResult(half_a=half_a, half_b=half_b, joined=half_a & half_b)
 
 
@@ -200,12 +234,12 @@ def two_level_join(
     locations internally when needed and reports it via ``swapped`` so
     the estimator can keep its parameters straight.
     """
-    if obs.enabled():
-        _observe_join(
-            "two_level",
-            max(_common_size(records_a), _common_size(records_b)),
-            len(records_a) + len(records_b),
-        )
+    if obs.ACTIVE:
+        cell = _JOINS.cell()
+        cell.op_two_level += 1
+        cell.bits += max(
+            _common_size(_sizes(records_a)), _common_size(_sizes(records_b))
+        ) * (len(records_a) + len(records_b))
     return _assemble_two_level(and_join(records_a), and_join(records_b))
 
 
@@ -219,8 +253,10 @@ def two_level_join_from_joined(
     and OR on those, producing a result bit-identical to
     :func:`two_level_join` on the underlying records.
     """
-    if obs.enabled():
-        _observe_join("two_level", max(joined_a.size, joined_b.size), 2)
+    if obs.ACTIVE:
+        cell = _JOINS.cell()
+        cell.op_two_level += 1
+        cell.bits += max(joined_a.size, joined_b.size) * 2
     return _assemble_two_level(joined_a, joined_b)
 
 

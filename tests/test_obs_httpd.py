@@ -158,4 +158,4 @@ class TestRuntimeFallback:
             _get(port, "/healthz")
 
     def test_endpoint_catalog(self):
-        assert ENDPOINTS == ("/metrics", "/healthz", "/traces")
+        assert ENDPOINTS == ("/metrics", "/healthz", "/traces", "/profile")

@@ -86,10 +86,25 @@ class TestServerCounters:
         assert not runtime.enabled()
         scenario = _run_small_scenario()
         scenario.run(1)
-        # A registry enabled *afterwards* starts empty.
+        # A registry enabled *afterwards* carries no trace of the run:
+        # enable() eagerly rebinds every live handle, so the full
+        # catalog (plus the pre-registered telemetry-about-telemetry
+        # series) exports — but strictly at zero.
         reg = runtime.enable(registry=MetricsRegistry())
         try:
-            assert reg.snapshot() == {}
+            snapshot = reg.snapshot()
+            assert {
+                "repro_histogram_samples_dropped_total",
+                "repro_metric_shard_folds_total",
+                "repro_profile_runs_total",
+            } <= set(snapshot)
+            for name, family in snapshot.items():
+                for child in family["children"]:
+                    if "value" in child:
+                        assert child["value"] == 0.0, name
+                    else:  # histogram child
+                        assert child["count"] == 0, name
+                        assert child["sum"] == 0.0, name
         finally:
             runtime.disable()
 

@@ -1,0 +1,187 @@
+"""Tests for the profiling subsystem (repro.obs.profile).
+
+The profiler answers "where does an enabled run spend its time" with
+two engines — exact tracing (cprofile) and low-overhead stack
+sampling (wall) — and publishes each completed report to the
+``/profile`` endpoint and, when observability is enabled, to the
+``repro_profile_runs_total`` counter.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.exceptions import ObservabilityError
+from repro.obs import profile
+from repro.obs.httpd import MetricsServer
+from repro.obs.profile import (
+    PROFILE_RUNS_COUNTER,
+    Profiler,
+    last_report,
+    subsystem_of,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs(monkeypatch):
+    obs.disable()
+    monkeypatch.setattr(profile, "_last_report", None)
+    yield
+    obs.disable()
+
+
+def _busy_work():
+    from repro.sketch.bitmap import Bitmap
+
+    bitmap = Bitmap(4096)
+    for index in range(200):
+        bitmap.set(index * 7 % 4096)
+    total = 0
+    for _ in range(40):
+        total += bitmap.ones()
+    return total
+
+
+class TestSubsystemMapping:
+    def test_repro_subpackages(self):
+        assert subsystem_of("/x/src/repro/sketch/join.py") == "sketch"
+        assert subsystem_of("/x/src/repro/server/central.py") == "server"
+        assert subsystem_of("/x/src/repro/cli.py") == "cli"
+
+    def test_outside_repro_is_other(self):
+        assert subsystem_of("/usr/lib/python3.11/json/decoder.py") == "other"
+
+
+class TestCprofileEngine:
+    def test_report_shape(self):
+        with Profiler(engine="cprofile") as profiler:
+            _busy_work()
+        report = profiler.report
+        assert report is not None
+        assert report.engine == "cprofile"
+        assert report.top(5)
+        assert "sketch" in report.by_subsystem()
+        payload = json.loads(report.to_json())
+        assert payload["engine"] == "cprofile"
+        assert payload["hotspots"]
+        assert payload["subsystems"]
+        assert report.format_text().startswith("profile: engine=")
+
+    def test_publishes_last_report(self):
+        assert last_report() is None
+        with Profiler(engine="cprofile"):
+            _busy_work()
+        assert last_report() is not None
+
+    def test_counts_runs_when_enabled(self):
+        registry = obs.MetricsRegistry()
+        obs.enable(registry=registry)
+        try:
+            with Profiler(engine="cprofile"):
+                _busy_work()
+            with Profiler(engine="cprofile"):
+                _busy_work()
+        finally:
+            obs.disable()
+        assert registry.counter(PROFILE_RUNS_COUNTER).value == 2
+
+    def test_disabled_obs_runs_but_does_not_count(self):
+        with Profiler(engine="cprofile"):
+            _busy_work()
+        assert last_report() is not None
+
+
+class TestWallEngine:
+    def test_samples_a_busy_region(self):
+        import time
+
+        with Profiler(engine="wall", interval=0.001) as profiler:
+            deadline = time.perf_counter() + 0.08
+            while time.perf_counter() < deadline:
+                _busy_work()
+        report = profiler.report
+        assert report is not None
+        assert report.engine == "wall"
+        assert report.samples > 0
+
+
+class TestValidation:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Profiler(engine="perf")
+
+    def test_non_positive_interval_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Profiler(engine="wall", interval=0.0)
+
+
+def _get(port, path):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=5
+    ) as response:
+        return response.status, response.headers, response.read()
+
+
+class TestProfileEndpoint:
+    @pytest.fixture
+    def server(self):
+        instance = MetricsServer(registry=obs.MetricsRegistry())
+        instance.start()
+        yield instance
+        instance.stop()
+
+    def test_404_before_any_profile(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.port, "/profile")
+        assert excinfo.value.code == 404
+        assert b"no profile captured yet" in excinfo.value.read()
+
+    def test_serves_latest_report_as_json(self, server):
+        with Profiler(engine="cprofile"):
+            _busy_work()
+        status, headers, body = _get(server.port, "/profile?top=5")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["engine"] == "cprofile"
+        assert len(payload["hotspots"]) <= 5
+
+    def test_text_format(self, server):
+        with Profiler(engine="cprofile"):
+            _busy_work()
+        status, _headers, body = _get(server.port, "/profile?format=text")
+        assert status == 200
+        assert body.decode("utf-8").startswith("profile: engine=")
+
+
+class TestCliIntegration:
+    def test_profile_out_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "profile.json"
+        assert (
+            main(
+                [
+                    "table2",
+                    "--runs",
+                    "1",
+                    "--profile",
+                    "cprofile",
+                    "--profile-out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(out.read_text())
+        assert payload["engine"] == "cprofile"
+        assert payload["hotspots"]
+        assert payload["subsystems"]
+
+    def test_profile_without_out_prints_summary(self, capsys):
+        assert main(["table2", "--runs", "1", "--profile", "wall"]) == 0
+        captured = capsys.readouterr()
+        assert "profile: engine=wall" in captured.out

@@ -1,0 +1,192 @@
+"""Sampled-histogram accuracy contract.
+
+``sample_rate=N`` histograms batch bucket attribution — every Nth
+observation per thread pays the bucket search and carries the pending
+tail with it — but the contract is that the *aggregate* quantities
+stay exact: ``count`` and ``sum`` match an unsampled reference to the
+unit, through folds, ``merge_cumulative`` and Prometheus round-trips
+alike.  Only the per-bucket split of each thread's stream is
+approximated.  These tests pin that contract with seeded workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs.export import (
+    parse_prometheus,
+    registry_from_prometheus,
+    to_prometheus,
+)
+from repro.obs.metrics import (
+    SAMPLES_DROPPED_COUNTER,
+    SHARD_FOLD_COUNTER,
+    MetricsRegistry,
+)
+
+BUCKETS = (0.5, 1.0, 2.0, 4.0)
+
+
+def _seeded_values(count=4000, seed=7):
+    rng = np.random.default_rng(seed)
+    return [float(v) for v in rng.gamma(2.0, 0.6, size=count)]
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestAggregateExactness:
+    def test_count_and_sum_match_unsampled_reference(self, registry):
+        values = _seeded_values()
+        sampled = registry.histogram(
+            "repro_sampled_seconds", buckets=BUCKETS, sample_rate=4
+        )
+        reference = registry.histogram(
+            "repro_reference_seconds", buckets=BUCKETS
+        )
+        for value in values:
+            sampled.observe(value)
+            reference.observe(value)
+        assert sampled.count == reference.count == len(values)
+        assert sampled.sum == pytest.approx(reference.sum)
+        assert sampled.sum == pytest.approx(sum(values))
+
+    def test_per_bucket_split_stays_close(self, registry):
+        """Bucket attribution is approximate but not wild.
+
+        A batch lands in its trigger observation's bucket, so a bucket
+        can be off by at most the in-flight batches; over thousands of
+        i.i.d. observations the split stays within a few percent of
+        the true distribution.
+        """
+        values = _seeded_values(count=8000)
+        sampled = registry.histogram(
+            "repro_sampled_seconds", buckets=BUCKETS, sample_rate=4
+        )
+        reference = registry.histogram(
+            "repro_reference_seconds", buckets=BUCKETS
+        )
+        for value in values:
+            sampled.observe(value)
+            reference.observe(value)
+        for approx, exact in zip(
+            sampled.bucket_counts(), reference.bucket_counts()
+        ):
+            assert abs(approx - exact) <= 0.10 * len(values)
+
+    def test_pending_tail_still_counted(self, registry):
+        """Fewer observations than the rate are still visible at scrape."""
+        histogram = registry.histogram(
+            "repro_sampled_seconds", buckets=BUCKETS, sample_rate=16
+        )
+        histogram.observe(0.25)
+        histogram.observe(0.25)
+        histogram.observe(0.25)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(0.75)
+        # The fold attributes the tail without consuming it: folding
+        # again must not double-count.
+        assert histogram.count == 3
+        assert histogram.samples_dropped == 0
+
+    def test_observe_many_unsampled_equals_repeated_observe(self, registry):
+        grouped = registry.histogram("repro_grouped_seconds", buckets=BUCKETS)
+        repeated = registry.histogram(
+            "repro_repeated_seconds", buckets=BUCKETS
+        )
+        grouped.observe_many(1.5, 37)
+        for _ in range(37):
+            repeated.observe(1.5)
+        assert grouped.count == repeated.count == 37
+        assert grouped.sum == pytest.approx(repeated.sum)
+        assert grouped.bucket_counts() == repeated.bucket_counts()
+
+    def test_observe_many_sampled_keeps_totals_exact(self, registry):
+        histogram = registry.histogram(
+            "repro_sampled_seconds", buckets=BUCKETS, sample_rate=8
+        )
+        histogram.observe(0.1)  # pending tail the group will carry
+        histogram.observe_many(2.5, 20)
+        assert histogram.count == 21
+        assert histogram.sum == pytest.approx(0.1 + 2.5 * 20)
+        # Only the carried tail counts as dropped; the group itself is
+        # bucketed exactly.
+        assert histogram.samples_dropped == 1
+
+
+class TestExactThroughAggregation:
+    def test_merge_cumulative_exact(self, registry):
+        values = _seeded_values(count=1000, seed=11)
+        worker = registry.histogram(
+            "repro_worker_seconds", buckets=BUCKETS, sample_rate=4
+        )
+        parent = registry.histogram(
+            "repro_parent_seconds", buckets=BUCKETS, sample_rate=4
+        )
+        for value in values:
+            worker.observe(value)
+        pairs = [
+            ("+Inf" if le == float("inf") else le, count)
+            for le, count in worker.cumulative()
+        ]
+        parent.merge_cumulative(pairs, worker.sum, worker.count)
+        parent.merge_cumulative(pairs, worker.sum, worker.count)
+        assert parent.count == 2 * len(values)
+        assert parent.sum == pytest.approx(2 * sum(values))
+
+    def test_prometheus_round_trip_exact(self):
+        values = _seeded_values(count=1500, seed=3)
+        source = MetricsRegistry()
+        histogram = source.histogram(
+            "repro_sampled_seconds", buckets=BUCKETS, sample_rate=4
+        )
+        for value in values:
+            histogram.observe(value)
+        revived = registry_from_prometheus(to_prometheus(source))
+        copy = revived.get("repro_sampled_seconds").labels()
+        assert copy.count == len(values)
+        assert copy.sum == pytest.approx(sum(values))
+        assert copy.cumulative() == histogram.cumulative()
+
+    def test_registry_merge_snapshot_exact(self):
+        values = _seeded_values(count=1200, seed=5)
+        parent = MetricsRegistry()
+        worker = MetricsRegistry()
+        for reg in (parent, worker):
+            reg.histogram(
+                "repro_sampled_seconds", buckets=BUCKETS, sample_rate=4
+            )
+        for value in values:
+            worker.get("repro_sampled_seconds").labels().observe(value)
+        parent.merge(worker.snapshot())
+        merged = parent.get("repro_sampled_seconds").labels()
+        assert merged.count == len(values)
+        assert merged.sum == pytest.approx(sum(values))
+
+
+class TestTelemetryAboutSampling:
+    def test_dropped_samples_surface_at_exposition(self, registry):
+        histogram = registry.histogram(
+            "repro_sampled_seconds", buckets=BUCKETS, sample_rate=4
+        )
+        for value in _seeded_values(count=400, seed=2):
+            histogram.observe(value)
+        assert histogram.samples_dropped > 0
+        registry.account_exposition()
+        samples = parse_prometheus(to_prometheus(registry))
+        assert samples[(SHARD_FOLD_COUNTER, ())] == 1.0
+        assert samples[(SAMPLES_DROPPED_COUNTER, ())] == float(
+            histogram.samples_dropped
+        )
+
+    def test_unsampled_histogram_drops_nothing(self, registry):
+        histogram = registry.histogram(
+            "repro_reference_seconds", buckets=BUCKETS
+        )
+        for value in _seeded_values(count=400, seed=2):
+            histogram.observe(value)
+        assert histogram.samples_dropped == 0
+        assert registry.samples_dropped_total() == 0
