@@ -19,9 +19,11 @@ repo root.  The parallel dimension only pays off with real cores —
 numbers aren't mistaken for the CI-class result, and the batch×workers
 product is reported as ``projected_4core_speedup`` for such hosts.
 
-The assertions pin correctness and the single-core batch win
-(``batch_speedup > 1``); absolute thresholds are left to humans
-reading the JSON, so the bench never flakes on slow shared runners.
+The assertions pin correctness and the single-core batch win:
+``batch_vs_serial >= 1.2`` is a hard CI gate (the batch engine has
+consistently cleared 1.3x on both 1-core containers and CI runners,
+so 1.2 leaves noise headroom without tolerating a regression to
+parity).  Larger thresholds are left to humans reading the JSON.
 """
 
 from __future__ import annotations
@@ -184,6 +186,7 @@ def test_batch_and_parallel_throughput():
             "projected_4core_speedup": round(batch_speedup * _WORKERS, 3),
         },
         "notes": (
+            "batch_vs_serial >= 1.2 is asserted in CI. "
             "batch_parallel_vs_serial only exceeds batch_vs_serial when "
             "cpu_count > 1; on a single-core host the pool adds fork "
             "overhead and projected_4core_speedup (batch speedup x 4 "
@@ -196,7 +199,9 @@ def test_batch_and_parallel_throughput():
     reread = json.loads(_BENCH_PATH.read_text())
     assert reread["estimator_throughput"]["speedup"]["batch_vs_serial"] > 0
 
-    # The batch engine must beat the seed path even on one core.
-    assert batch_speedup > 1.0, (
-        f"batch engine slower than seed serial path: {batch_speedup:.2f}x"
+    # Hard CI gate: the batch engine must clearly beat the seed path
+    # even on one core (measured >= 1.3x everywhere; 1.2 = headroom).
+    assert batch_speedup >= 1.2, (
+        f"batch engine only {batch_speedup:.2f}x the seed serial path "
+        f"(serial {serial_seconds:.3f}s, batch {batch_seconds:.3f}s)"
     )

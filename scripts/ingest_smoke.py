@@ -1,0 +1,138 @@
+"""CI ingest smoke: boot a sharded tier, batter it, kill it, revive it.
+
+Run as a *file* (``python scripts/ingest_smoke.py``), never piped to
+stdin: the shard workers use the ``spawn`` multiprocessing context,
+which re-imports ``__main__`` from its path in each child.
+
+The drill, end to end over real TCP:
+
+1. boot a 2-shard tier on an ephemeral port;
+2. push a few thousand RFR1 frames in batches, plus one corrupted
+   frame that must be dead-lettered — not crash anything;
+3. SIGKILL one shard and assert the merged query degrades honestly
+   (every cell of the dead shard's locations reported uncovered);
+4. restart the shard and assert WAL replay restored every
+   acknowledged record, bit-for-bit queryable again.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+import numpy as np
+
+from repro.faults.transport import frame_payload
+from repro.rsu.record import TrafficRecord
+from repro.server.degradation import CoveragePolicy
+from repro.server.sharded.client import ShardClient
+from repro.server.sharded.engine import policy_to_payload
+from repro.server.sharded.frontdoor import decode_sharded_result
+from repro.server.sharded.service import ShardedIngestService
+from repro.sketch.bitmap import Bitmap
+
+SEED = 2017
+LOCATIONS = 40
+PERIODS = 50  # 40 x 50 = 2000 frames
+BITS = 1 << 10
+BATCH = 200
+POLICY = CoveragePolicy(min_coverage=0.5, min_periods=2)
+
+
+def build_frames():
+    rng = np.random.default_rng([SEED, 0x51])
+    frames = []
+    for location in range(1, LOCATIONS + 1):
+        for period in range(PERIODS):
+            record = TrafficRecord(
+                location=location,
+                period=period,
+                bitmap=Bitmap(BITS, rng.random(BITS) < 0.4),
+            )
+            frames.append(frame_payload(record.to_payload()))
+    return frames
+
+
+def query(client, locations):
+    reply = client.query(
+        {
+            "kind": "multi_point_persistent",
+            "locations": locations,
+            "periods": list(range(PERIODS)),
+            "policy": policy_to_payload(POLICY),
+        }
+    )
+    assert reply["ok"], reply
+    return decode_sharded_result(reply["result"])
+
+
+def main() -> int:
+    frames = build_frames()
+    locations = list(range(1, LOCATIONS + 1))
+    with tempfile.TemporaryDirectory(prefix="ingest-smoke-") as tmp:
+        with ShardedIngestService(2, tmp) as service:
+            client = ShardClient("127.0.0.1", service.port)
+            try:
+                delivered = 0
+                for start in range(0, len(frames), BATCH):
+                    counts = client.upload_batch(frames[start : start + BATCH])
+                    delivered += counts.get("delivered", 0)
+                assert delivered == len(frames), (delivered, len(frames))
+                print(f"delivered {delivered} frames over TCP")
+
+                corrupt = bytearray(frames[0])
+                corrupt[-1] ^= 0xFF
+                ack = client.upload(bytes(corrupt))
+                assert ack == {
+                    "outcome": "quarantined",
+                    "reason": "checksum",
+                }, ack
+                assert client.ping(), "tier died on a corrupted frame"
+                stats = client.stats()
+                assert stats["records"] == len(frames), stats["records"]
+                dead_letters = sum(
+                    shard["dead_letters"]
+                    for shard in stats["shards"].values()
+                )
+                assert dead_letters >= 1, stats
+                print("corrupted frame dead-lettered, tier still serving")
+
+                healthy = query(client, locations)
+                assert not healthy.degraded, healthy.uncovered[:5]
+
+                service.kill_shard(0)
+                degraded = query(client, locations)
+                dead = set(degraded.dead_locations)
+                expected_dead = {
+                    loc
+                    for loc in locations
+                    if service.coordinator.router.shard_for(loc) == 0
+                }
+                assert dead == expected_dead and dead, (dead, expected_dead)
+                assert set(degraded.uncovered) == {
+                    (loc, period)
+                    for loc in dead
+                    for period in range(PERIODS)
+                }
+                print(
+                    f"killed shard 0: {len(dead)} locations / "
+                    f"{len(degraded.uncovered)} cells reported uncovered"
+                )
+
+                service.restart_shard(0)
+                recovered = query(client, locations)
+                assert recovered.dead_locations == (), recovered.dead_locations
+                assert not recovered.degraded, recovered.uncovered[:5]
+                assert client.stats()["records"] == len(frames)
+                print(
+                    f"restarted shard 0: WAL replay restored all "
+                    f"{len(frames)} acknowledged records"
+                )
+            finally:
+                client.close()
+    print("ingest smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -235,6 +235,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="append quarantined uploads to this JSONL dead-letter log",
     )
     simulate.add_argument(
+        "--server",
+        metavar="URL",
+        default=None,
+        help=(
+            "after the run, upload every collected record to a sharded "
+            "ingest tier at tcp://host:port and re-answer the "
+            "persistent-traffic queries remotely (see `serve`)"
+        ),
+    )
+    simulate.add_argument(
         "--cache",
         action=argparse.BooleanOptionalAction,
         default=True,
@@ -270,6 +280,28 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     archive.add_argument("action", choices=["verify", "inspect", "repair"])
     archive.add_argument("directory")
+
+    serve = subparsers.add_parser(
+        "serve", help="run the sharded multi-process TCP ingest tier"
+    )
+    serve.add_argument(
+        "--shards", type=int, default=2, help="worker process count"
+    )
+    serve.add_argument(
+        "--port", type=int, default=0, help="front-door port (0 = free port)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--data-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "root for per-shard WALs and archives (default: a fresh "
+            "temporary directory, printed at startup)"
+        ),
+    )
+    serve.add_argument("--s", type=int, default=3, dest="s")
+    serve.add_argument("--load-factor", type=float, default=2.0)
 
     return parser
 
@@ -402,6 +434,103 @@ def _run_simulate(args: argparse.Namespace) -> int:
         archive = RecordArchive(args.archive)
         count = archive.save_all(scenario.server.store.all_records())
         print(f"\narchived {count} records to {args.archive}")
+    if args.server:
+        return _push_to_server(args, scenario, periods, policy)
+    return 0
+
+
+def _push_to_server(args, scenario, periods, policy) -> int:
+    """Ship a finished simulation's records to a sharded tier over TCP
+    and re-answer the persistent-traffic queries remotely."""
+    from repro.faults.transport import frame_payload
+    from repro.server.sharded.client import ShardClient
+    from repro.server.sharded.engine import policy_to_payload
+    from repro.server.sharded.frontdoor import decode_sharded_result
+
+    client = ShardClient.from_url(args.server)
+    try:
+        frames = [
+            frame_payload(record.to_payload())
+            for record in scenario.server.store.all_records()
+        ]
+        counts = client.upload_batch(frames)
+        print(
+            f"\nuploaded {len(frames)} records to {args.server}: "
+            f"{counts.get('delivered', 0)} delivered, "
+            f"{counts.get('duplicate', 0)} duplicate, "
+            f"{counts.get('quarantined', 0)} quarantined"
+        )
+        if len(periods) < 2:
+            return 0
+        reply = client.query(
+            {
+                "kind": "multi_point_persistent",
+                "locations": [int(loc) for loc in args.locations],
+                "periods": [int(p) for p in periods],
+                "policy": policy_to_payload(policy),
+            }
+        )
+        if not reply.get("ok"):
+            print(f"remote query failed: {reply.get('error')}")
+            return 1
+        result = decode_sharded_result(reply["result"])
+        print("remote sharded estimates:")
+        for outcome in result.outcomes:
+            if outcome.result is None:
+                print(
+                    f"  zone {outcome.location} (shard {outcome.shard}): "
+                    f"unavailable ({outcome.error})"
+                )
+                continue
+            coverage = outcome.result.coverage
+            tag = ""
+            if outcome.result.degraded:
+                tag = (
+                    f"  [degraded: {len(coverage.covered)}/"
+                    f"{len(coverage.requested)} periods]"
+                )
+            print(
+                f"  zone {outcome.location} (shard {outcome.shard}): "
+                f"{outcome.result.value.clamped:.1f}{tag}"
+            )
+    finally:
+        client.close()
+    return 0
+
+
+def _run_serve(args) -> int:
+    import tempfile
+
+    from repro.server.sharded.service import ShardedIngestService
+
+    data_dir = args.data_dir
+    if data_dir is None:
+        data_dir = tempfile.mkdtemp(prefix="repro-shards-")
+    service = ShardedIngestService(
+        n_shards=args.shards,
+        data_dir=data_dir,
+        host=args.host,
+        port=args.port,
+        s=args.s,
+        load_factor=args.load_factor,
+    )
+    port = service.start()
+    print(f"[shard data under {data_dir}]")
+    print(
+        f"[sharded ingest tier: {args.shards} shard(s) behind "
+        f"tcp://{args.host}:{port}]",
+        flush=True,
+    )
+    try:
+        # A client's MSG_SHUTDOWN stops the front door remotely; exit
+        # then, not just on Ctrl-C.
+        while service.running:
+            time.sleep(0.5)
+        print("shut down by client request")
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        service.stop()
     return 0
 
 
@@ -673,6 +802,8 @@ def _dispatch_command(args: argparse.Namespace) -> int:
         return _run_attack(args)
     if args.command == "archive":
         return _run_archive(args)
+    if args.command == "serve":
+        return _run_serve(args)
     raise KeyError(args.command)  # pragma: no cover
 
 

@@ -277,21 +277,39 @@ class UploadTransport:
     sleep:
         Backoff hook; defaults to accumulating virtual seconds on
         :attr:`stats` so simulations never block.
+    wire:
+        Alternative delivery backend: anything with
+        ``deliver(frame: bytes) -> dict`` returning a server ack
+        (``{"outcome": "delivered" | "duplicate" | "quarantined",
+        "reason": ...}``), normally a
+        :class:`~repro.server.sharded.client.TcpUploadClient` pointed
+        at a sharded front door.  Exactly one of ``server`` / ``wire``
+        must be given; with ``wire`` the server edge (checksum
+        verification, dead-lettering, idempotent absorption) runs
+        remotely and this transport folds the ack into its receipt,
+        stats and a mirrored local dead-letter entry.
     """
 
     def __init__(
         self,
-        server,
+        server=None,
         injector: Optional[FaultInjector] = None,
         max_attempts: int = 4,
         base_backoff: float = 0.05,
         backoff_factor: float = 2.0,
         dead_letter_path=None,
         sleep: Optional[Callable[[float], None]] = None,
+        wire=None,
     ):
         if max_attempts < 1:
             raise TransportError(f"max_attempts must be >= 1, got {max_attempts}")
+        if (server is None) == (wire is None):
+            raise TransportError(
+                "exactly one of server= (in-memory) or wire= (socket "
+                "backend) must be given"
+            )
         self._server = server
+        self._wire = wire
         self._injector = injector
         self._max_attempts = int(max_attempts)
         self._base_backoff = float(base_backoff)
@@ -407,6 +425,8 @@ class UploadTransport:
         activated around ingest, so server-side spans and record
         bindings attribute to the upload that produced the frame.
         """
+        if self._wire is not None:
+            return self._deliver_remote(wire, attempts)
         try:
             payload, checksum_ok, context = parse_frame(wire)
         except TransportError:
@@ -442,6 +462,37 @@ class UploadTransport:
         finally:
             if token is not None:
                 trace_mod.restore(token)
+
+    def _deliver_remote(self, wire: bytes, attempts: int) -> UploadReceipt:
+        """Ship one frame over the socket backend and fold its ack.
+
+        The remote edge is authoritative for quarantine decisions (its
+        dead-letter log holds the canonical entry); a remote
+        quarantine is mirrored locally with a ``remote:``-prefixed
+        reason so the sender can still inspect and re-drive frames.
+        An unreachable server quarantines as ``unreachable`` — the
+        retry loop above only covers injected (simulated) timeouts.
+        """
+        try:
+            ack = self._wire.deliver(wire)
+        except (TransportError, OSError):
+            return self._quarantine("unreachable", wire, attempts)
+        outcome = ack.get("outcome")
+        if outcome == "delivered":
+            self.stats.delivered += 1
+            return UploadReceipt(
+                outcome=UploadOutcome.DELIVERED, attempts=attempts
+            )
+        if outcome == "duplicate":
+            self.stats.duplicates += 1
+            return UploadReceipt(
+                outcome=UploadOutcome.DUPLICATE,
+                attempts=attempts,
+                reason=ack.get("reason", ""),
+            )
+        return self._quarantine(
+            f"remote:{ack.get('reason', 'unknown')}", wire, attempts
+        )
 
     def _quarantine(
         self,

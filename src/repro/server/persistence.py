@@ -46,8 +46,18 @@ _MANIFEST_NAME = "manifest.json"
 _FORMAT_VERSION = 1
 
 
-def _record_filename(location: int, period: int) -> str:
+def record_filename(location: int, period: int) -> str:
+    """The canonical on-disk name of one record's payload file.
+
+    Public because the sharded tier's write-ahead-log replay
+    (:mod:`repro.server.sharded.wal`) materializes recovered payloads
+    under exactly this name so :meth:`RecordArchive.repair` adopts
+    them as ordinary orphans.
+    """
     return f"loc{location:05d}_per{period:05d}.record"
+
+
+_record_filename = record_filename
 
 
 def _checksum(payload: bytes) -> str:

@@ -1,0 +1,215 @@
+"""Blocking RPC clients for the sharded tier's socket protocol.
+
+:class:`ShardClient` speaks the length-prefixed message protocol of
+:mod:`~repro.server.sharded.wire` to one endpoint — a shard worker or
+the front door (both answer the same request types).  It keeps a
+single persistent connection and is *not* thread-safe; the front
+door's per-shard connection pool hands each fan-out thread its own
+client.
+
+:class:`TcpUploadClient` adapts a client to the ``wire`` duck type of
+:class:`~repro.faults.transport.UploadTransport`, which is what makes
+``simulate --server tcp://...`` ship its uploads over real sockets
+with unchanged retry/dead-letter semantics.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import TransportError
+from repro.server.sharded import wire
+from repro.server.sharded.coordinator import ShardDownError
+
+
+def parse_server_url(url: str) -> Tuple[str, int]:
+    """Split ``tcp://host:port`` into ``(host, port)``.
+
+    A bare ``host:port`` is accepted too; anything else raises
+    :class:`~repro.exceptions.TransportError`.
+    """
+    spec = url
+    if spec.startswith("tcp://"):
+        spec = spec[len("tcp://") :]
+    elif "://" in spec:
+        scheme = spec.split("://", 1)[0]
+        raise TransportError(
+            f"unsupported server scheme {scheme!r} (expected tcp://)"
+        )
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host:
+        raise TransportError(
+            f"server URL {url!r} is not of the form tcp://host:port"
+        )
+    try:
+        return host, int(port)
+    except ValueError as exc:
+        raise TransportError(
+            f"server URL {url!r} has a non-numeric port"
+        ) from exc
+
+
+class ShardClient:
+    """One blocking connection to a shard worker or front door."""
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0):
+        self._address = (host, int(port))
+        self._timeout = timeout
+        self._sock: Optional[socket.socket] = None
+
+    @classmethod
+    def from_url(cls, url: str, timeout: float = 10.0) -> "ShardClient":
+        host, port = parse_server_url(url)
+        return cls(host, port, timeout=timeout)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._address
+
+    def _connect(self) -> socket.socket:
+        if self._sock is None:
+            try:
+                self._sock = socket.create_connection(
+                    self._address, timeout=self._timeout
+                )
+                self._sock.setsockopt(
+                    socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                )
+            except OSError as exc:
+                raise ShardDownError(
+                    f"cannot connect to {self._address[0]}:"
+                    f"{self._address[1]}: {exc}"
+                ) from exc
+        return self._sock
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def _request(
+        self, msg_type: int, body: bytes, expect: int
+    ) -> bytes:
+        """One request/response round trip; reconnects once if the
+        persistent connection went stale between calls."""
+        for attempt in (0, 1):
+            sock = self._connect()
+            try:
+                wire.send_message(sock, msg_type, body)
+                reply = wire.recv_message(sock)
+            except (TransportError, OSError) as exc:
+                self.close()
+                if attempt == 0 and not isinstance(exc, ShardDownError):
+                    continue
+                raise ShardDownError(
+                    f"lost connection to {self._address[0]}:"
+                    f"{self._address[1]}: {exc}"
+                ) from exc
+            if reply is None:
+                self.close()
+                if attempt == 0:
+                    continue
+                raise ShardDownError(
+                    f"{self._address[0]}:{self._address[1]} closed the "
+                    "connection mid-request"
+                )
+            reply_type, reply_body = reply
+            if reply_type == wire.MSG_ERROR:
+                raise TransportError(
+                    wire.decode_json(reply_body).get("error", "unknown error")
+                )
+            if reply_type != expect:
+                self.close()
+                raise TransportError(
+                    f"expected reply type 0x{expect:02x}, "
+                    f"got 0x{reply_type:02x}"
+                )
+            return reply_body
+        raise ShardDownError("unreachable")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # RPCs
+    # ------------------------------------------------------------------
+
+    def upload(self, frame: bytes) -> dict:
+        """Ship one RFR1/RFR2 frame; returns the server's ack dict."""
+        return wire.decode_json(
+            self._request(wire.MSG_UPLOAD, frame, wire.MSG_ACK)
+        )
+
+    def upload_batch(self, frames: Sequence[bytes]) -> dict:
+        """Ship many frames in one message; returns outcome counts."""
+        return wire.decode_json(
+            self._request(
+                wire.MSG_UPLOAD_BATCH,
+                wire.pack_frames(list(frames)),
+                wire.MSG_ACK_BATCH,
+            )
+        )
+
+    def query(self, payload: dict) -> dict:
+        """Send one JSON query; returns the raw reply payload."""
+        import json
+
+        return wire.decode_json(
+            self._request(
+                wire.MSG_QUERY,
+                json.dumps(payload, sort_keys=True).encode("utf-8"),
+                wire.MSG_RESULT,
+            )
+        )
+
+    def stats(self) -> dict:
+        """The endpoint's health/metrics snapshot."""
+        return wire.decode_json(
+            self._request(wire.MSG_STATS, b"", wire.MSG_STATS_REPLY)
+        )
+
+    def ping(self) -> bool:
+        """True when the endpoint answers; never raises."""
+        try:
+            self._request(wire.MSG_PING, b"", wire.MSG_PONG)
+            return True
+        except (TransportError, OSError):
+            return False
+
+    def shutdown(self) -> None:
+        """Ask the endpoint to stop serving (graceful)."""
+        self._request(wire.MSG_SHUTDOWN, b"", wire.MSG_PONG)
+        self.close()
+
+
+class TcpUploadClient:
+    """The ``wire`` backend that sends UploadTransport frames over TCP.
+
+    Satisfies the one-method duck type
+    ``deliver(frame: bytes) -> dict`` that
+    :class:`~repro.faults.transport.UploadTransport` accepts as its
+    ``wire`` parameter: the frame crosses a real socket to the front
+    door (or a single shard) and the returned ack dict carries the
+    server-side outcome (``delivered`` / ``duplicate`` /
+    ``quarantined``) for the transport to fold into its receipt and
+    stats.
+    """
+
+    def __init__(self, client: ShardClient):
+        self._client = client
+
+    @classmethod
+    def connect(cls, url: str, timeout: float = 10.0) -> "TcpUploadClient":
+        """Build a client from a ``tcp://host:port`` URL."""
+        return cls(ShardClient.from_url(url, timeout=timeout))
+
+    def deliver(self, frame: bytes) -> dict:
+        """Ship one frame; raises TransportError when unreachable."""
+        return self._client.upload(frame)
+
+    def deliver_batch(self, frames: List[bytes]) -> dict:
+        """Ship many frames in one round trip."""
+        return self._client.upload_batch(frames)
+
+    def close(self) -> None:
+        self._client.close()

@@ -1,0 +1,374 @@
+"""Routing and fan-out over abstract shard backends.
+
+The coordinator is the brain the front door and the in-process tests
+share: it routes upload frames by location hash, fans multi-location
+queries out to the owning shards, and folds the per-shard answers —
+including the silence of dead shards — into one honest
+:class:`~repro.server.sharded.merge.ShardedQueryResult`.
+
+Backends come in two flavours with the same duck type:
+
+* :class:`LocalShardBackend` — wraps a
+  :class:`~repro.server.sharded.engine.ShardEngine` in-process.  Used
+  by tests to pin the merge semantics down bit-for-bit without
+  sockets, and as the single-shard degenerate case.
+* :class:`~repro.server.sharded.frontdoor.RemoteShardBackend` — the
+  same calls forwarded over a socket to a shard worker process.
+
+A backend signals its death by raising :class:`ShardDownError`; the
+coordinator never lets that abort a fan-out — the dead shard's cells
+are reported as uncovered instead.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+from repro.exceptions import ReproError, TransportError
+from repro.faults.transport import DeadLetterLog
+from repro.obs import runtime as obs
+from repro.server.degradation import (
+    CoveragePolicy,
+    CoverageReport,
+    DegradedResult,
+)
+from repro.server.sharded.engine import ShardEngine
+from repro.server.sharded.merge import LocationOutcome, ShardedQueryResult
+from repro.server.sharded.router import ShardRouter
+from repro.server.sharded.wire import peek_location
+
+
+class ShardDownError(TransportError):
+    """A shard backend is unreachable (process dead, socket refused)."""
+
+
+class LocalShardBackend:
+    """An in-process shard: the engine called directly.
+
+    ``kill()`` simulates a crashed worker — every later call raises
+    :class:`ShardDownError`, which is exactly how the remote backend
+    reports a refused connection.
+    """
+
+    def __init__(self, engine: ShardEngine):
+        self.engine = engine
+        self._alive = True
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def kill(self) -> None:
+        """Make every later call fail like a dead worker process."""
+        self._alive = False
+
+    def revive(self) -> None:
+        self._alive = True
+
+    def _check(self) -> None:
+        if not self._alive:
+            raise ShardDownError(
+                f"shard {self.engine.shard_id} is down"
+            )
+
+    def deliver_frame(self, frame: bytes) -> dict:
+        self._check()
+        return self.engine.handle_frame(frame)
+
+    def deliver_batch(self, frames: Sequence[bytes]) -> dict:
+        self._check()
+        return self.engine.handle_batch(frames)
+
+    def point_persistent(
+        self,
+        location: int,
+        periods: Sequence[int],
+        policy: Optional[CoveragePolicy],
+    ):
+        self._check()
+        return self.engine.point_persistent(location, periods, policy)
+
+    def covered_periods(self, location: int, periods: Sequence[int]):
+        self._check()
+        return self.engine.covered_periods(location, periods)
+
+    def stats(self) -> dict:
+        self._check()
+        return self.engine.stats()
+
+    def close(self) -> None:
+        pass
+
+
+class ShardedCoordinator:
+    """Routes uploads and fans out queries across shard backends.
+
+    Parameters
+    ----------
+    backends:
+        Mapping of shard index → backend, one per shard, covering
+        ``0 .. n-1`` densely.
+    router:
+        Optional explicit router (defaults to hashing over
+        ``len(backends)`` shards).
+    dead_letter_path:
+        Optional JSONL mirror for the *coordinator's own* quarantine:
+        frames that cannot even be routed (mangled beyond claiming a
+        location) or whose owning shard is down.
+    """
+
+    def __init__(
+        self,
+        backends: Dict[int, object],
+        router: Optional[ShardRouter] = None,
+        dead_letter_path=None,
+    ):
+        if not backends:
+            raise TransportError("a sharded tier needs at least one backend")
+        self._backends = dict(backends)
+        self._router = (
+            router if router is not None else ShardRouter(len(backends))
+        )
+        missing = set(range(self._router.n_shards)) - set(self._backends)
+        if missing:
+            raise TransportError(
+                f"router expects shards {sorted(missing)} but no backend "
+                "was provided for them"
+            )
+        self.dead_letters = DeadLetterLog(dead_letter_path)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(2, self._router.n_shards),
+            thread_name_prefix="shard-fanout",
+        )
+
+    @property
+    def router(self) -> ShardRouter:
+        return self._router
+
+    @property
+    def n_shards(self) -> int:
+        return self._router.n_shards
+
+    @property
+    def backends(self) -> Dict[int, object]:
+        """The live shard-index → backend mapping (read-only copy)."""
+        return dict(self._backends)
+
+    def backend_for(self, location: int):
+        """The backend owning a location's records."""
+        return self._backends[self._router.shard_for(location)]
+
+    def replace_backend(self, shard: int, backend) -> None:
+        """Swap one shard's backend (a restarted worker's new port)."""
+        if shard not in self._backends:
+            raise TransportError(f"no shard {shard} to replace")
+        old = self._backends[shard]
+        self._backends[shard] = backend
+        old.close()
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False)
+        for backend in self._backends.values():
+            backend.close()
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def _count_routed(self, outcome: str) -> None:
+        if obs.ACTIVE:
+            obs.counter(
+                "repro_ingest_frames_total",
+                "Upload frames routed by the sharded front door, by outcome.",
+                outcome=outcome,
+            ).inc()
+
+    def _unrouted(self, frame: bytes, reason: str) -> dict:
+        self.dead_letters.append(reason, frame, attempts=1)
+        self._count_routed("unrouted")
+        return {"outcome": "quarantined", "reason": reason}
+
+    def ingest_frame(self, frame: bytes) -> dict:
+        """Route one upload frame to its owning shard; returns the ack.
+
+        Unroutable frames (too mangled to claim a location) and frames
+        whose shard is down are quarantined at the front door — never
+        raised, mirroring the transport's fault contract.
+        """
+        location = peek_location(frame)
+        if location is None:
+            return self._unrouted(frame, "malformed")
+        shard = self._router.shard_for(location)
+        try:
+            ack = self._backends[shard].deliver_frame(frame)
+        except ShardDownError:
+            return self._unrouted(frame, "shard_down")
+        self._count_routed(ack.get("outcome", "unknown"))
+        return ack
+
+    def ingest_batch(self, frames: Sequence[bytes]) -> dict:
+        """Route a batch, fanning per-shard sub-batches out in parallel.
+
+        Frames are grouped by owning shard and each group ships as one
+        sub-batch on the coordinator's thread pool, so N shard
+        processes parse and store concurrently.  Returns summed
+        outcome counts over the whole batch.
+        """
+        counts = {"delivered": 0, "duplicate": 0, "quarantined": 0}
+        groups: Dict[int, List[bytes]] = {}
+        for frame in frames:
+            location = peek_location(frame)
+            if location is None:
+                self._unrouted(frame, "malformed")
+                counts["quarantined"] += 1
+                continue
+            groups.setdefault(
+                self._router.shard_for(location), []
+            ).append(frame)
+
+        def _ship(shard: int, group: List[bytes]) -> dict:
+            try:
+                return self._backends[shard].deliver_batch(group)
+            except ShardDownError:
+                for frame in group:
+                    self._unrouted(frame, "shard_down")
+                return {"quarantined": len(group)}
+
+        if len(groups) <= 1:
+            results = [_ship(s, g) for s, g in groups.items()]
+        else:
+            results = list(
+                self._pool.map(lambda item: _ship(*item), groups.items())
+            )
+        for result in results:
+            for outcome, count in result.items():
+                counts[outcome] = counts.get(outcome, 0) + count
+        if obs.ACTIVE and counts["delivered"]:
+            obs.counter(
+                "repro_ingest_frames_total",
+                "Upload frames routed by the sharded front door, by outcome.",
+                outcome="delivered",
+            ).inc(counts["delivered"])
+        return counts
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def multi_point_persistent(
+        self,
+        locations: Sequence[int],
+        periods: Sequence[int],
+        policy: Optional[CoveragePolicy] = None,
+    ) -> ShardedQueryResult:
+        """One Eq. 12 estimate per location, merged across shards.
+
+        Locations are grouped by owning shard and each shard's
+        sub-queries run on one fan-out thread; a dead shard (or a
+        shard refusing a location for coverage reasons) yields a
+        ``result=None`` outcome and its cells surface in
+        :attr:`~repro.server.sharded.merge.ShardedQueryResult.uncovered`
+        — the answer degrades, it never lies.
+        """
+        periods = tuple(int(p) for p in periods)
+        groups = self._router.group_locations(locations)
+
+        def _query_shard(shard: int, group: List[int]) -> List[LocationOutcome]:
+            backend = self._backends[shard]
+            outcomes = []
+            for location in group:
+                try:
+                    result = backend.point_persistent(
+                        location, periods, policy
+                    )
+                except ShardDownError as exc:
+                    outcomes.append(
+                        LocationOutcome(
+                            location=location,
+                            shard=shard,
+                            result=None,
+                            error=str(exc),
+                        )
+                    )
+                    continue
+                except ReproError as exc:
+                    outcomes.append(
+                        LocationOutcome(
+                            location=location,
+                            shard=shard,
+                            result=None,
+                            error=str(exc),
+                        )
+                    )
+                    continue
+                if not isinstance(result, DegradedResult):
+                    # A strict (policy-less) answer implies full
+                    # coverage; normalize so merging is uniform.
+                    result = DegradedResult(
+                        value=result,
+                        coverage=CoverageReport(
+                            requested=periods, covered=periods
+                        ),
+                    )
+                outcomes.append(
+                    LocationOutcome(
+                        location=location, shard=shard, result=result
+                    )
+                )
+            return outcomes
+
+        if len(groups) <= 1:
+            shard_outcomes = [_query_shard(s, g) for s, g in groups.items()]
+        else:
+            shard_outcomes = list(
+                self._pool.map(
+                    lambda item: _query_shard(*item), groups.items()
+                )
+            )
+        by_location = {
+            outcome.location: outcome
+            for outcomes in shard_outcomes
+            for outcome in outcomes
+        }
+        ordered = tuple(by_location[int(loc)] for loc in locations)
+        return ShardedQueryResult(
+            outcomes=ordered, requested_periods=periods
+        )
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Per-shard health plus one merged metrics view.
+
+        Every reachable shard's registry snapshot is folded through
+        :meth:`~repro.obs.metrics.MetricsRegistry.merge` into a fresh
+        registry, so per-shard ingest counters (labelled
+        ``shard="k"``) survive side by side and process-wide totals
+        add up exactly as the parallel experiment harness's do.
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        merged = MetricsRegistry()
+        shards: Dict[str, dict] = {}
+        total_records = 0
+        for shard, backend in sorted(self._backends.items()):
+            try:
+                payload = backend.stats()
+            except ShardDownError as exc:
+                shards[str(shard)] = {"alive": False, "error": str(exc)}
+                continue
+            metrics = payload.pop("metrics", {}) or {}
+            if metrics:
+                merged.merge(metrics)
+            payload["alive"] = True
+            shards[str(shard)] = payload
+            total_records += payload.get("records", 0)
+        return {
+            "shards": shards,
+            "records": total_records,
+            "front_door_dead_letters": len(self.dead_letters),
+            "metrics": merged.snapshot(),
+        }

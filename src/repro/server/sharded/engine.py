@@ -1,0 +1,230 @@
+"""The shard edge: what one shard does with frames and queries.
+
+One :class:`ShardEngine` is the entire server-side state of one shard
+— a :class:`~repro.server.central.CentralServer` (record store, join
+cache, volume history), a
+:class:`~repro.faults.transport.DeadLetterLog`, and optionally a
+:class:`~repro.server.sharded.wal.ShardWriteAheadLog`.  It is
+deliberately transport-agnostic: the in-process
+:class:`~repro.server.sharded.coordinator.LocalShardBackend` calls it
+directly, and the :mod:`~repro.server.sharded.worker` process wraps
+the same object behind a socket — so a sharded query can be asserted
+bit-for-bit against a single-process server because both run exactly
+this code.
+
+Frame handling mirrors the server edge of
+:class:`~repro.faults.transport.UploadTransport`: checksum failures,
+undecodable payloads and conflicting re-uploads are quarantined to the
+dead-letter log (never raised), byte-identical duplicates are absorbed
+idempotently, and an RFR2 frame's surviving trace context is activated
+around ingest so record bindings attribute to the upload's trace.  A
+record is acknowledged ``delivered`` only after its payload is in the
+write-ahead log, which is what makes SIGKILL-then-replay lossless for
+acknowledged uploads.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.exceptions import (
+    CoverageError,
+    DataError,
+    ReproError,
+    TransportError,
+)
+from repro.faults.transport import DeadLetterLog, parse_frame
+from repro.obs import runtime as obs
+from repro.obs import trace as trace_mod
+from repro.rsu.record import TrafficRecord
+from repro.server.central import CentralServer
+from repro.server.degradation import CoveragePolicy
+from repro.server.queries import (
+    PointPersistentQuery,
+    PointVolumeQuery,
+)
+from repro.server.sharded import wire
+from repro.server.sharded.wal import ShardWriteAheadLog
+
+
+def policy_from_payload(payload: Optional[dict]) -> Optional[CoveragePolicy]:
+    """Rebuild a coverage policy from its JSON form (None stays None)."""
+    if payload is None:
+        return None
+    return CoveragePolicy(
+        min_coverage=payload.get("min_coverage", 0.5),
+        min_periods=payload.get("min_periods", 2),
+    )
+
+
+def policy_to_payload(policy: Optional[CoveragePolicy]) -> Optional[dict]:
+    """JSON form of a coverage policy (None stays None)."""
+    if policy is None:
+        return None
+    return {
+        "min_coverage": policy.min_coverage,
+        "min_periods": policy.min_periods,
+    }
+
+
+class ShardEngine:
+    """One shard's stores, quarantine and write-ahead log."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        server: Optional[CentralServer] = None,
+        wal: Optional[ShardWriteAheadLog] = None,
+        dead_letter_path=None,
+        s: int = 3,
+        load_factor: float = 2.0,
+    ):
+        self.shard_id = int(shard_id)
+        self.server = (
+            server
+            if server is not None
+            else CentralServer(s=s, load_factor=load_factor)
+        )
+        self.wal = wal
+        self.dead_letters = DeadLetterLog(dead_letter_path)
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def _count_upload(self, outcome: str) -> None:
+        if obs.ACTIVE:
+            obs.counter(
+                "repro_shard_uploads_total",
+                "Upload frames handled at a shard edge, by outcome.",
+                shard=str(self.shard_id),
+                outcome=outcome,
+            ).inc()
+
+    def _quarantine(self, reason: str, frame: bytes, context=None) -> dict:
+        self.dead_letters.append(reason, frame, attempts=1, context=context)
+        self._count_upload("quarantined")
+        return {"outcome": "quarantined", "reason": reason}
+
+    def handle_frame(self, frame: bytes) -> dict:
+        """Ingest one RFR1/RFR2 frame; returns the JSON-safe ack.
+
+        Never raises for in-flight damage — the ack (and the shard's
+        dead-letter log) reports what happened.
+        """
+        try:
+            payload, checksum_ok, context = parse_frame(frame)
+        except TransportError:
+            return self._quarantine("malformed", frame)
+        token = None
+        if context is not None and obs.tracing():
+            token = trace_mod.activate(context)
+        try:
+            if not checksum_ok:
+                return self._quarantine("checksum", frame, context)
+            try:
+                record = TrafficRecord.from_payload(payload)
+            except ReproError:
+                return self._quarantine("undecodable", frame, context)
+            try:
+                added = self.server.receive_record(record)
+            except DataError:
+                return self._quarantine("conflict", frame, context)
+            if not added:
+                self._count_upload("duplicate")
+                return {
+                    "outcome": "duplicate",
+                    "reason": "byte-identical re-upload",
+                }
+            if self.wal is not None:
+                self.wal.append(payload)
+            self._count_upload("delivered")
+            return {"outcome": "delivered", "reason": ""}
+        finally:
+            if token is not None:
+                trace_mod.restore(token)
+
+    def handle_batch(self, frames: Sequence[bytes]) -> dict:
+        """Ingest many frames; returns summed outcome counts."""
+        counts = {"delivered": 0, "duplicate": 0, "quarantined": 0}
+        for frame in frames:
+            counts[self.handle_frame(frame)["outcome"]] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Queries (real objects — the socket layer JSON-wraps these)
+    # ------------------------------------------------------------------
+
+    def point_persistent(
+        self,
+        location: int,
+        periods: Sequence[int],
+        policy: Optional[CoveragePolicy] = None,
+    ):
+        """Eq. 12 on this shard's records (raises like the server)."""
+        query = PointPersistentQuery(
+            location=int(location), periods=tuple(periods)
+        )
+        return self.server.point_persistent(query, policy=policy)
+
+    def point_volume(self, location: int, period: int) -> float:
+        """Eq. 1 on one of this shard's records."""
+        return self.server.point_volume(
+            PointVolumeQuery(location=int(location), period=int(period))
+        )
+
+    def covered_periods(self, location: int, periods: Sequence[int]):
+        """Which requested periods this shard holds for a location."""
+        return self.server.store.covered_periods(location, periods)
+
+    # ------------------------------------------------------------------
+    # JSON boundary (shared by the worker process)
+    # ------------------------------------------------------------------
+
+    def handle_query(self, payload: dict) -> dict:
+        """Answer one JSON query; errors come back as typed payloads."""
+        kind = payload.get("kind")
+        try:
+            if kind == "point_persistent":
+                policy = policy_from_payload(payload.get("policy"))
+                result = self.point_persistent(
+                    payload["location"], payload["periods"], policy
+                )
+                if policy is None:
+                    return {"ok": True, "result": wire.encode_estimate(result)}
+                return {"ok": True, "result": wire.encode_degraded(result)}
+            if kind == "point_volume":
+                estimate = self.point_volume(
+                    payload["location"], payload["period"]
+                )
+                return {"ok": True, "result": wire.encode_estimate(estimate)}
+            if kind == "covered_periods":
+                covered = self.covered_periods(
+                    payload["location"], payload["periods"]
+                )
+                return {"ok": True, "result": list(covered)}
+        except CoverageError as exc:
+            return {"ok": False, "error": str(exc), "error_kind": "coverage"}
+        except ReproError as exc:
+            return {"ok": False, "error": str(exc), "error_kind": "data"}
+        return {
+            "ok": False,
+            "error": f"unknown query kind {kind!r}",
+            "error_kind": "protocol",
+        }
+
+    def stats(self) -> dict:
+        """JSON-safe health/metric snapshot of this shard."""
+        payload = {
+            "shard": self.shard_id,
+            "records": len(self.server.store),
+            "locations": sorted(self.server.store.locations()),
+            "dead_letters": len(self.dead_letters),
+            "wal_entries": (
+                self.wal.entries_written if self.wal is not None else 0
+            ),
+            "metrics": {},
+        }
+        if obs.enabled():
+            payload["metrics"] = obs.registry().snapshot()
+        return payload

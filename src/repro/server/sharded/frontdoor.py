@@ -1,0 +1,395 @@
+"""The accepting tier: a thread-pool TCP front door over N shards.
+
+Vehicles (or the simulator's transport) connect *here*; the front door
+routes each upload frame to its owning shard over a pooled worker
+connection, fans queries out, and merges the per-shard answers.  Every
+client connection gets its own handler thread (the thread pool), and
+every handler thread borrows per-shard connections from a small pool
+so concurrent clients do not serialize on one worker socket.
+
+Under tracing, an RFR2 upload's surviving trace context is activated
+around routing and a ``server.shard`` span (labelled with the owning
+shard) is opened inside it, so an upload's journey — vehicle, RSU,
+transport, front door, shard — reads as one trace.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+from contextlib import contextmanager
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import (
+    CoverageError,
+    DataError,
+    ReproError,
+    TransportError,
+)
+from repro.faults.transport import parse_frame
+from repro.obs import runtime as obs
+from repro.obs import trace as trace_mod
+from repro.obs.spans import span
+from repro.server.degradation import CoveragePolicy
+from repro.server.sharded import wire
+from repro.server.sharded.client import ShardClient
+from repro.server.sharded.coordinator import (
+    ShardDownError,
+    ShardedCoordinator,
+)
+from repro.server.sharded.engine import policy_from_payload
+from repro.server.sharded.merge import LocationOutcome, ShardedQueryResult
+
+
+class RemoteShardBackend:
+    """Coordinator backend that forwards calls to a shard worker.
+
+    Keeps a small LIFO pool of persistent connections; each borrowing
+    thread gets exclusive use of one, and connections that die are
+    discarded rather than returned.  Connection failures surface as
+    :class:`~repro.server.sharded.coordinator.ShardDownError`, which
+    is exactly the signal the coordinator degrades on.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        host: str,
+        port: int,
+        timeout: float = 10.0,
+        pool_size: int = 4,
+    ):
+        self.shard_id = int(shard_id)
+        self._host = host
+        self._port = int(port)
+        self._timeout = timeout
+        self._pool_size = int(pool_size)
+        self._idle: List[ShardClient] = []
+        self._lock = threading.Lock()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self._host, self._port)
+
+    @contextmanager
+    def _client(self):
+        with self._lock:
+            client = self._idle.pop() if self._idle else None
+        if client is None:
+            client = ShardClient(self._host, self._port, timeout=self._timeout)
+        try:
+            yield client
+        except BaseException:
+            client.close()
+            raise
+        with self._lock:
+            if len(self._idle) < self._pool_size:
+                self._idle.append(client)
+                client = None
+        if client is not None:
+            client.close()
+
+    def close(self) -> None:
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for client in idle:
+            client.close()
+
+    # ------------------------------------------------------------------
+    # Backend duck type
+    # ------------------------------------------------------------------
+
+    def deliver_frame(self, frame: bytes) -> dict:
+        with self._client() as client:
+            return client.upload(frame)
+
+    def deliver_batch(self, frames: Sequence[bytes]) -> dict:
+        with self._client() as client:
+            return client.upload_batch(frames)
+
+    @staticmethod
+    def _raise_remote(reply: dict) -> None:
+        kind = reply.get("error_kind")
+        message = reply.get("error", "remote query failed")
+        if kind == "coverage":
+            raise CoverageError(message)
+        if kind == "data":
+            raise DataError(message)
+        raise TransportError(message)
+
+    def point_persistent(
+        self,
+        location: int,
+        periods: Sequence[int],
+        policy: Optional[CoveragePolicy],
+    ):
+        from repro.server.sharded.engine import policy_to_payload
+
+        payload = {
+            "kind": "point_persistent",
+            "location": int(location),
+            "periods": list(int(p) for p in periods),
+            "policy": policy_to_payload(policy),
+        }
+        with self._client() as client:
+            reply = client.query(payload)
+        if not reply.get("ok"):
+            self._raise_remote(reply)
+        result = reply["result"]
+        if result.get("type") == "degraded":
+            return wire.decode_degraded(result)
+        return wire.decode_estimate(result)
+
+    def covered_periods(self, location: int, periods: Sequence[int]):
+        payload = {
+            "kind": "covered_periods",
+            "location": int(location),
+            "periods": list(int(p) for p in periods),
+        }
+        with self._client() as client:
+            reply = client.query(payload)
+        if not reply.get("ok"):
+            self._raise_remote(reply)
+        return tuple(reply["result"])
+
+    def stats(self) -> dict:
+        with self._client() as client:
+            return client.stats()
+
+    def shutdown(self) -> None:
+        """Gracefully stop the remote worker (best effort)."""
+        try:
+            with self._client() as client:
+                client.shutdown()
+        except (TransportError, OSError):
+            pass
+
+
+# ----------------------------------------------------------------------
+# Sharded result serialization (front door <-> remote querying clients)
+# ----------------------------------------------------------------------
+
+
+def encode_sharded_result(result: ShardedQueryResult) -> dict:
+    """JSON form of a merged multi-location answer."""
+    outcomes = []
+    for outcome in result.outcomes:
+        outcomes.append(
+            {
+                "location": outcome.location,
+                "shard": outcome.shard,
+                "error": outcome.error,
+                "result": (
+                    wire.encode_degraded(outcome.result)
+                    if outcome.result is not None
+                    else None
+                ),
+            }
+        )
+    return {
+        "type": "sharded",
+        "requested_periods": list(result.requested_periods),
+        "outcomes": outcomes,
+    }
+
+
+def decode_sharded_result(payload: dict) -> ShardedQueryResult:
+    """Inverse of :func:`encode_sharded_result`."""
+    outcomes = tuple(
+        LocationOutcome(
+            location=entry["location"],
+            shard=entry["shard"],
+            result=(
+                wire.decode_degraded(entry["result"])
+                if entry.get("result") is not None
+                else None
+            ),
+            error=entry.get("error", ""),
+        )
+        for entry in payload["outcomes"]
+    )
+    return ShardedQueryResult(
+        outcomes=outcomes,
+        requested_periods=tuple(payload["requested_periods"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# The front door server
+# ----------------------------------------------------------------------
+
+
+class _FrontDoorHandler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:  # noqa: D102 - socketserver contract
+        door: "FrontDoor" = self.server.door
+        while True:
+            try:
+                message = wire.recv_message(self.request)
+            except (TransportError, OSError):
+                return
+            if message is None:
+                return
+            msg_type, body = message
+            try:
+                if not door.dispatch(self.request, msg_type, body):
+                    return
+            except (TransportError, OSError) as exc:
+                try:
+                    wire.send_json(
+                        self.request, wire.MSG_ERROR, {"error": str(exc)}
+                    )
+                except OSError:
+                    pass
+                return
+
+
+class _FrontDoorServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, door: "FrontDoor"):
+        super().__init__(address, _FrontDoorHandler)
+        self.door = door
+
+
+class FrontDoor:
+    """The TCP server clients talk to; owns a coordinator."""
+
+    def __init__(
+        self,
+        coordinator: ShardedCoordinator,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.coordinator = coordinator
+        self._server = _FrontDoorServer((host, port), self)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._server.server_address[:2]
+        return (host, port)
+
+    @property
+    def running(self) -> bool:
+        """True while the serving thread is accepting connections."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> int:
+        """Serve on a background thread; returns the bound port."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="front-door",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def dispatch(self, sock, msg_type: int, body: bytes) -> bool:
+        """Handle one client message; False closes the connection."""
+        if msg_type == wire.MSG_UPLOAD:
+            wire.send_json(sock, wire.MSG_ACK, self._ingest(body))
+        elif msg_type == wire.MSG_UPLOAD_BATCH:
+            counts = self.coordinator.ingest_batch(wire.unpack_frames(body))
+            wire.send_json(sock, wire.MSG_ACK_BATCH, counts)
+        elif msg_type == wire.MSG_QUERY:
+            reply = self._query(wire.decode_json(body))
+            wire.send_json(sock, wire.MSG_RESULT, reply)
+        elif msg_type == wire.MSG_STATS:
+            wire.send_json(
+                sock, wire.MSG_STATS_REPLY, self.coordinator.stats()
+            )
+        elif msg_type == wire.MSG_PING:
+            wire.send_message(sock, wire.MSG_PONG)
+        elif msg_type == wire.MSG_SHUTDOWN:
+            wire.send_message(sock, wire.MSG_PONG)
+            threading.Thread(target=self.stop, daemon=True).start()
+            return False
+        else:
+            wire.send_json(
+                sock,
+                wire.MSG_ERROR,
+                {"error": f"unknown message type 0x{msg_type:02x}"},
+            )
+        return True
+
+    def _ingest(self, frame: bytes) -> dict:
+        """Route one upload, under a ``server.shard`` span when tracing."""
+        if not obs.tracing():
+            return self.coordinator.ingest_frame(frame)
+        try:
+            _payload, _ok, context = parse_frame(frame)
+        except TransportError:
+            context = None
+        token = (
+            trace_mod.activate(context) if context is not None else None
+        )
+        try:
+            location = wire.peek_location(frame)
+            shard = (
+                self.coordinator.router.shard_for(location)
+                if location is not None
+                else -1
+            )
+            with span("server.shard", shard=str(shard)):
+                return self.coordinator.ingest_frame(frame)
+        finally:
+            if token is not None:
+                trace_mod.restore(token)
+
+    def _query(self, payload: dict) -> dict:
+        kind = payload.get("kind")
+        try:
+            if kind == "multi_point_persistent":
+                result = self.coordinator.multi_point_persistent(
+                    payload["locations"],
+                    payload["periods"],
+                    policy_from_payload(payload.get("policy")),
+                )
+                return {"ok": True, "result": encode_sharded_result(result)}
+            if kind in ("point_persistent", "covered_periods"):
+                backend = self.coordinator.backend_for(payload["location"])
+                if kind == "covered_periods":
+                    covered = backend.covered_periods(
+                        payload["location"], payload["periods"]
+                    )
+                    return {"ok": True, "result": list(covered)}
+                policy = policy_from_payload(payload.get("policy"))
+                result = backend.point_persistent(
+                    payload["location"], payload["periods"], policy
+                )
+                from repro.server.degradation import DegradedResult
+
+                if isinstance(result, DegradedResult):
+                    return {
+                        "ok": True,
+                        "result": wire.encode_degraded(result),
+                    }
+                return {"ok": True, "result": wire.encode_estimate(result)}
+        except ShardDownError as exc:
+            return {"ok": False, "error": str(exc), "error_kind": "shard_down"}
+        except CoverageError as exc:
+            return {"ok": False, "error": str(exc), "error_kind": "coverage"}
+        except ReproError as exc:
+            return {"ok": False, "error": str(exc), "error_kind": "data"}
+        return {
+            "ok": False,
+            "error": f"unknown query kind {kind!r}",
+            "error_kind": "protocol",
+        }

@@ -1,0 +1,74 @@
+"""Deterministic location-hash partitioning of the keyspace.
+
+Every record belongs to exactly one shard, decided purely by its
+location ID: queries for a location always land where its records
+live, and a location's whole period history stays co-resident so
+per-location joins (the unit the
+:class:`~repro.server.cache.JoinCache` memoizes) never cross a shard
+boundary.
+
+The hash is a splitmix64 finalizer over the location integer — stable
+across processes, Python versions and machines (unlike builtin
+``hash``, which is salted), and avalanching enough that consecutive
+location IDs spread evenly instead of striping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.exceptions import ConfigurationError
+
+_MASK = (1 << 64) - 1
+
+
+def _splitmix64(value: int) -> int:
+    """The splitmix64 finalizer: a cheap, well-avalanched 64-bit mix."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK
+    return value ^ (value >> 31)
+
+
+class ShardRouter:
+    """Maps location IDs to shard indices ``0 .. n_shards-1``.
+
+    Examples
+    --------
+    >>> router = ShardRouter(4)
+    >>> router.shard_for(17) == router.shard_for(17)
+    True
+    >>> 0 <= router.shard_for(17) < 4
+    True
+    """
+
+    def __init__(self, n_shards: int):
+        if n_shards < 1:
+            raise ConfigurationError(
+                f"n_shards must be >= 1, got {n_shards}"
+            )
+        self._n_shards = int(n_shards)
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards the keyspace is split across."""
+        return self._n_shards
+
+    def shard_for(self, location: int) -> int:
+        """The shard that owns every record of ``location``."""
+        return _splitmix64(int(location)) % self._n_shards
+
+    def group_locations(
+        self, locations: Iterable[int]
+    ) -> Dict[int, List[int]]:
+        """Partition ``locations`` by owning shard, preserving order."""
+        groups: Dict[int, List[int]] = {}
+        for location in locations:
+            groups.setdefault(self.shard_for(location), []).append(
+                int(location)
+            )
+        return groups
+
+    def assignment(self, locations: Iterable[int]) -> List[Tuple[int, int]]:
+        """``(location, shard)`` pairs, in input order (for reports)."""
+        return [(int(loc), self.shard_for(loc)) for loc in locations]

@@ -1,0 +1,224 @@
+"""Process supervision for the sharded ingest tier.
+
+:class:`ShardedIngestService` owns the whole stack: it spawns N shard
+worker processes (``spawn`` context — the front door runs threads in
+this process, and forking a threaded parent is a deadlock lottery),
+waits for each worker to publish its bound port, wires
+:class:`~repro.server.sharded.frontdoor.RemoteShardBackend` pools into
+a coordinator, and starts the front door.  ``kill_shard`` /
+``restart_shard`` are the crash-drill API the kill-and-replay test
+(and the CI ingest smoke) drive: SIGKILL the process, restart it on
+the same data directory, and the worker's WAL replay restores every
+acknowledged record.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.exceptions import TransportError
+from repro.server.sharded.coordinator import ShardedCoordinator
+from repro.server.sharded.frontdoor import FrontDoor, RemoteShardBackend
+from repro.server.sharded.router import ShardRouter
+from repro.server.sharded.worker import ShardConfig, run_shard
+
+#: How long to wait for a spawned worker to publish its port.
+_STARTUP_TIMEOUT = 30.0
+
+
+class ShardedIngestService:
+    """Spawns, supervises and tears down a sharded ingest tier.
+
+    Parameters
+    ----------
+    n_shards:
+        Worker process count (>= 1).
+    data_dir:
+        Root directory; shard ``k`` lives in ``<data_dir>/shard-<k>``.
+    host / port:
+        Front-door listening address (port 0 picks a free port).
+    s / load_factor:
+        Estimator parameters for every shard's server.
+    shard_metrics:
+        Enable per-worker metric registries (folded into the front
+        door's ``stats()`` reply).
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        data_dir,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        s: int = 3,
+        load_factor: float = 2.0,
+        shard_metrics: bool = True,
+    ):
+        if n_shards < 1:
+            raise TransportError(f"n_shards must be >= 1, got {n_shards}")
+        self._n_shards = int(n_shards)
+        self._data_dir = Path(data_dir)
+        self._host = host
+        self._port = int(port)
+        self._mp = multiprocessing.get_context("spawn")
+        self._configs: Dict[int, ShardConfig] = {
+            shard: ShardConfig(
+                shard_id=shard,
+                data_dir=str(self._data_dir / f"shard-{shard}"),
+                host=host,
+                s=s,
+                load_factor=load_factor,
+                metrics=shard_metrics,
+            )
+            for shard in range(self._n_shards)
+        }
+        self._processes: Dict[int, multiprocessing.Process] = {}
+        self.coordinator: Optional[ShardedCoordinator] = None
+        self.front_door: Optional[FrontDoor] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return self._n_shards
+
+    @property
+    def port(self) -> int:
+        """The front door's bound port (after :meth:`start`)."""
+        if self.front_door is None:
+            raise TransportError("service is not started")
+        return self.front_door.port
+
+    @property
+    def url(self) -> str:
+        return f"tcp://{self._host}:{self.port}"
+
+    @property
+    def running(self) -> bool:
+        """True while the front door is accepting connections.
+
+        Goes False after :meth:`stop` — including the remote-initiated
+        stop a ``MSG_SHUTDOWN`` client triggers — so a serving loop
+        can poll it instead of sleeping forever.
+        """
+        return self.front_door is not None and self.front_door.running
+
+    def shard_port(self, shard: int) -> int:
+        """The bound port of one worker (from its port file)."""
+        return int(self._configs[shard].port_file.read_text().strip())
+
+    def _spawn(self, shard: int) -> None:
+        config = self._configs[shard]
+        Path(config.data_dir).mkdir(parents=True, exist_ok=True)
+        # A stale port file from a killed incarnation must not be
+        # mistaken for the new worker's announcement.
+        try:
+            config.port_file.unlink()
+        except FileNotFoundError:
+            pass
+        process = self._mp.Process(
+            target=run_shard, args=(config,), name=f"shard-{shard}"
+        )
+        process.daemon = True
+        process.start()
+        self._processes[shard] = process
+
+    def _await_port(self, shard: int) -> int:
+        config = self._configs[shard]
+        process = self._processes[shard]
+        deadline = time.monotonic() + _STARTUP_TIMEOUT
+        while time.monotonic() < deadline:
+            if config.port_file.exists():
+                text = config.port_file.read_text().strip()
+                if text:
+                    return int(text)
+            if not process.is_alive():
+                raise TransportError(
+                    f"shard {shard} exited with code {process.exitcode} "
+                    "before publishing its port"
+                )
+            time.sleep(0.02)
+        raise TransportError(
+            f"shard {shard} did not publish a port within "
+            f"{_STARTUP_TIMEOUT:.0f}s"
+        )
+
+    def start(self) -> int:
+        """Spawn every worker, start the front door; returns its port."""
+        if self.front_door is not None:
+            raise TransportError("service is already started")
+        for shard in range(self._n_shards):
+            self._spawn(shard)
+        backends = {
+            shard: RemoteShardBackend(
+                shard, self._host, self._await_port(shard)
+            )
+            for shard in range(self._n_shards)
+        }
+        self.coordinator = ShardedCoordinator(
+            backends, router=ShardRouter(self._n_shards)
+        )
+        self.front_door = FrontDoor(
+            self.coordinator, host=self._host, port=self._port
+        )
+        return self.front_door.start()
+
+    def kill_shard(self, shard: int) -> None:
+        """SIGKILL one worker — no flush, no goodbye (the crash drill)."""
+        process = self._processes[shard]
+        process.kill()
+        process.join(timeout=10)
+
+    def restart_shard(self, shard: int) -> int:
+        """Respawn a (dead) worker on its data dir; returns its port.
+
+        The new incarnation replays its WAL into the shard archive
+        before accepting connections, so every previously acknowledged
+        record is queryable again.  The coordinator's backend is
+        swapped to the new port.
+        """
+        process = self._processes.get(shard)
+        if process is not None and process.is_alive():
+            raise TransportError(
+                f"shard {shard} is still running; kill it first"
+            )
+        self._spawn(shard)
+        port = self._await_port(shard)
+        if self.coordinator is not None:
+            self.coordinator.replace_backend(
+                shard, RemoteShardBackend(shard, self._host, port)
+            )
+        return port
+
+    def stop(self) -> None:
+        """Stop the front door and terminate every worker."""
+        if self.front_door is not None:
+            self.front_door.stop()
+            self.front_door = None
+        if self.coordinator is not None:
+            for backend in self.coordinator.backends.values():
+                if isinstance(backend, RemoteShardBackend):
+                    backend.shutdown()
+            self.coordinator.close()
+            self.coordinator = None
+        for process in self._processes.values():
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes.values():
+            process.join(timeout=10)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.kill()
+                process.join(timeout=5)
+        self._processes.clear()
+
+    def __enter__(self) -> "ShardedIngestService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,170 @@
+"""Per-shard append-only write-ahead log.
+
+A shard acknowledges an upload only after the record payload is
+appended (and flushed to the OS) here, so a SIGKILLed shard process
+loses *no acknowledged record*: on restart the log is replayed into
+the shard's :class:`~repro.server.persistence.RecordArchive` as
+orphaned ``.record`` files, and the archive's existing crash-recovery
+path — :meth:`~repro.server.persistence.RecordArchive.repair` —
+adopts, validates, or quarantines them exactly as it does for its own
+crash-mid-save orphans.  One recovery code path, two crash sources.
+
+Entry layout (all integers little-endian)::
+
+    u32 payload length | u32 crc32(payload) | payload bytes
+
+A torn tail entry (the process died mid-append) fails its length or
+CRC check and replay stops there — everything before it was flushed
+before its ack left the socket, so acknowledged records always parse.
+
+Durability model: :meth:`append` flushes Python's buffer to the OS on
+every entry (surviving process kills) but only ``fsync``\\ s on
+:meth:`sync` and :meth:`close` — the tier's stated guarantee is
+replay-after-SIGKILL, not power-loss durability, and a per-record
+fsync would put a disk round-trip on the ingest hot path.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+from repro.exceptions import DataError, ReproError
+from repro.rsu.record import TrafficRecord
+from repro.server.persistence import RecordArchive, record_filename
+
+_ENTRY_HEADER = struct.Struct("<II")
+
+
+class ShardWriteAheadLog:
+    """Append-only log of upload payloads for one shard."""
+
+    def __init__(self, path):
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self._path, "ab")
+        self._entries_written = 0
+
+    @property
+    def path(self) -> Path:
+        """Where the log lives on disk."""
+        return self._path
+
+    @property
+    def entries_written(self) -> int:
+        """Entries appended through this handle (not counting replays)."""
+        return self._entries_written
+
+    def append(self, payload: bytes) -> None:
+        """Append one record payload; flushed to the OS before returning."""
+        self._handle.write(
+            _ENTRY_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        )
+        self._handle.flush()
+        self._entries_written += 1
+
+    def sync(self) -> None:
+        """Force the log to stable storage (fsync)."""
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Sync and close the log handle."""
+        if self._handle.closed:
+            return
+        self.sync()
+        self._handle.close()
+
+    def truncate(self) -> None:
+        """Drop every entry (records now durable elsewhere)."""
+        self._handle.truncate(0)
+        self._handle.seek(0)
+        self._handle.flush()
+
+    def replay(self) -> Iterator[bytes]:
+        """Yield every intact payload, oldest first.
+
+        Stops silently at the first torn or corrupt tail entry; a
+        corrupt entry *followed by intact ones* raises
+        :class:`~repro.exceptions.DataError` instead, because that is
+        not a torn tail — it is unexplained damage the operator should
+        see.
+        """
+        self._handle.flush()
+        data = self._path.read_bytes()
+        offset, total = 0, len(data)
+        pending_error = None
+        while offset < total:
+            if offset + _ENTRY_HEADER.size > total:
+                pending_error = "torn entry header"
+                break
+            length, crc = _ENTRY_HEADER.unpack_from(data, offset)
+            start = offset + _ENTRY_HEADER.size
+            if start + length > total:
+                pending_error = "torn entry payload"
+                break
+            payload = data[start : start + length]
+            if zlib.crc32(payload) != crc:
+                pending_error = "entry failed its CRC"
+                break
+            yield payload
+            offset = start + length
+        if pending_error is not None and self._has_intact_entry_after(
+            data, offset
+        ):
+            raise DataError(
+                f"write-ahead log {self._path} is corrupt mid-file "
+                f"({pending_error} at byte {offset}, with intact entries "
+                "after it)"
+            )
+
+    @staticmethod
+    def _has_intact_entry_after(data: bytes, offset: int) -> bool:
+        """Scan past a bad entry for any parseable later entry."""
+        total = len(data)
+        probe = offset + 1
+        while probe + _ENTRY_HEADER.size <= total:
+            length, crc = _ENTRY_HEADER.unpack_from(data, probe)
+            start = probe + _ENTRY_HEADER.size
+            if start + length <= total:
+                if zlib.crc32(data[start : start + length]) == crc:
+                    return True
+            probe += 1
+        return False
+
+
+def replay_into_archive(
+    wal: ShardWriteAheadLog, archive_directory
+) -> Tuple[RecordArchive, List[Tuple[int, int]]]:
+    """Recover a shard's records: WAL → orphan files → archive repair.
+
+    Each intact WAL payload is decoded and written as an *orphaned*
+    ``.record`` file in ``archive_directory`` (skipping names the
+    directory already has — earlier recoveries or archive saves own
+    those), then :meth:`RecordArchive.recover` runs the ordinary
+    orphan-adoption repair.  Undecodable WAL payloads are skipped — the
+    repair pass would quarantine them anyway, but they never earned an
+    ack so nothing is owed.
+
+    Returns the repaired archive and the ``(location, period)`` pairs
+    the repair pass recovered.  On success the WAL is truncated: its
+    records are now durable (fsynced, checksummed, manifest-indexed)
+    in the archive.
+    """
+    directory = Path(archive_directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for payload in wal.replay():
+        try:
+            record = TrafficRecord.from_payload(payload)
+        except (ReproError, ValueError):
+            continue
+        path = directory / record_filename(record.location, record.period)
+        if path.exists():
+            continue
+        path.write_bytes(payload)
+    archive, report = RecordArchive.recover(directory)
+    wal.truncate()
+    return archive, list(report.recovered)

@@ -1,0 +1,262 @@
+"""Length-prefixed socket framing for the sharded ingest tier.
+
+The RFR1/RFR2 layouts of :mod:`repro.faults.transport` are the *upload
+payload* wire format — checksummed, trace-carrying, dead-letterable.
+This module gives them an actual stream transport: every message on a
+TCP connection is
+
+.. code-block:: text
+
+    u32 big-endian body length | u8 message type | body
+
+so a reader always knows exactly how many bytes to consume, and a
+corrupted RFR frame arrives *intact as a message* for the shard edge
+to checksum-reject and dead-letter (stream framing and payload
+integrity are deliberately separate layers).
+
+Upload acks, query results and stats replies are UTF-8 JSON bodies.
+Estimate serialization round-trips every IEEE double exactly (Python's
+JSON emits shortest-round-trip reprs), so a remote query answer
+compares bit-for-bit equal to the in-process one.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import List, Optional, Tuple
+
+from repro.core.results import PointEstimate, PointToPointEstimate
+from repro.exceptions import TransportError
+from repro.faults.transport import FRAME_MAGIC, TRACED_MAGIC, _HEADER_BYTES
+from repro.obs.trace import CONTEXT_BYTES
+from repro.server.degradation import CoverageReport, DegradedResult
+
+#: Requests.
+MSG_UPLOAD = 0x01
+MSG_UPLOAD_BATCH = 0x02
+MSG_QUERY = 0x03
+MSG_STATS = 0x04
+MSG_PING = 0x05
+MSG_SHUTDOWN = 0x06
+#: Responses.
+MSG_ACK = 0x81
+MSG_ACK_BATCH = 0x82
+MSG_RESULT = 0x83
+MSG_ERROR = 0x84
+MSG_STATS_REPLY = 0x85
+MSG_PONG = 0x86
+
+_HEADER = struct.Struct(">IB")
+#: Upper bound on one message body; far above any real record batch,
+#: low enough that a garbled length prefix cannot OOM the server.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+def send_message(sock: socket.socket, msg_type: int, body: bytes = b"") -> None:
+    """Write one length-prefixed message to a connected socket."""
+    if len(body) > MAX_BODY_BYTES:
+        raise TransportError(
+            f"message body of {len(body)} bytes exceeds the "
+            f"{MAX_BODY_BYTES}-byte wire limit"
+        )
+    sock.sendall(_HEADER.pack(len(body), msg_type) + body)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes, or None on a clean EOF at byte 0."""
+    chunks: List[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if remaining == count:
+                return None
+            raise TransportError(
+                f"connection closed {remaining} bytes short of a "
+                f"{count}-byte read"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> Optional[Tuple[int, bytes]]:
+    """Read one message; None when the peer closed between messages."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    length, msg_type = _HEADER.unpack(header)
+    if length > MAX_BODY_BYTES:
+        raise TransportError(
+            f"announced message body of {length} bytes exceeds the "
+            f"{MAX_BODY_BYTES}-byte wire limit"
+        )
+    body = _recv_exact(sock, length) if length else b""
+    if length and body is None:  # pragma: no cover - EOF mid-message
+        raise TransportError("connection closed before the message body")
+    return msg_type, body or b""
+
+
+def send_json(sock: socket.socket, msg_type: int, payload: dict) -> None:
+    """Send a JSON-bodied message."""
+    send_message(
+        sock, msg_type, json.dumps(payload, sort_keys=True).encode("utf-8")
+    )
+
+
+def decode_json(body: bytes) -> dict:
+    """Decode a JSON message body, wrapping failures as transport errors."""
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TransportError(f"undecodable JSON message body: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Batched upload framing
+# ----------------------------------------------------------------------
+
+_SUBFRAME = struct.Struct(">I")
+
+
+def pack_frames(frames: List[bytes]) -> bytes:
+    """Concatenate upload frames into one ``MSG_UPLOAD_BATCH`` body."""
+    parts: List[bytes] = []
+    for frame in frames:
+        parts.append(_SUBFRAME.pack(len(frame)))
+        parts.append(frame)
+    return b"".join(parts)
+
+
+def unpack_frames(body: bytes) -> List[bytes]:
+    """Inverse of :func:`pack_frames`."""
+    frames: List[bytes] = []
+    offset = 0
+    total = len(body)
+    while offset < total:
+        if offset + _SUBFRAME.size > total:
+            raise TransportError("truncated sub-frame length in batch")
+        (length,) = _SUBFRAME.unpack_from(body, offset)
+        offset += _SUBFRAME.size
+        if offset + length > total:
+            raise TransportError("truncated sub-frame in batch")
+        frames.append(body[offset : offset + length])
+        offset += length
+    return frames
+
+
+# ----------------------------------------------------------------------
+# Routing peek
+# ----------------------------------------------------------------------
+
+
+def peek_location(frame: bytes) -> Optional[int]:
+    """The location ID an upload frame claims, without verifying it.
+
+    The front door routes on this — a cheap fixed-offset read of the
+    record payload's location header, *not* a checksum pass (integrity
+    stays the shard edge's job).  Returns None when the frame is too
+    short or mis-magicked to even claim a location; such frames cannot
+    be routed and are dead-lettered at the front door.  A frame whose
+    corruption hit the location bytes routes to the "wrong" shard and
+    is checksum-rejected there, which is just as dead.
+    """
+    magic = frame[: len(FRAME_MAGIC)]
+    if magic == TRACED_MAGIC:
+        offset = _HEADER_BYTES + CONTEXT_BYTES
+    elif magic == FRAME_MAGIC:
+        offset = _HEADER_BYTES
+    else:
+        return None
+    if len(frame) < offset + 8:
+        return None
+    return int.from_bytes(frame[offset : offset + 8], "little")
+
+
+# ----------------------------------------------------------------------
+# Estimate / result serialization
+# ----------------------------------------------------------------------
+
+
+def encode_estimate(value) -> dict:
+    """Serialize an estimator result (or float) to a JSON-safe dict."""
+    if isinstance(value, PointEstimate):
+        return {
+            "type": "point",
+            "estimate": value.estimate,
+            "v_a0": value.v_a0,
+            "v_b0": value.v_b0,
+            "v_star1": value.v_star1,
+            "size": value.size,
+            "periods": value.periods,
+        }
+    if isinstance(value, PointToPointEstimate):
+        return {
+            "type": "point_to_point",
+            "estimate": value.estimate,
+            "v_0": value.v_0,
+            "v_prime_0": value.v_prime_0,
+            "v_double_prime_0": value.v_double_prime_0,
+            "size_small": value.size_small,
+            "size_large": value.size_large,
+            "s": value.s,
+            "periods": value.periods,
+            "swapped": value.swapped,
+        }
+    if isinstance(value, float):
+        return {"type": "float", "estimate": value}
+    raise TransportError(
+        f"cannot serialize estimate of type {type(value).__name__}"
+    )
+
+
+def decode_estimate(payload: dict):
+    """Inverse of :func:`encode_estimate` — rebuilds the dataclass."""
+    kind = payload.get("type")
+    if kind == "point":
+        return PointEstimate(
+            estimate=payload["estimate"],
+            v_a0=payload["v_a0"],
+            v_b0=payload["v_b0"],
+            v_star1=payload["v_star1"],
+            size=payload["size"],
+            periods=payload["periods"],
+        )
+    if kind == "point_to_point":
+        return PointToPointEstimate(
+            estimate=payload["estimate"],
+            v_0=payload["v_0"],
+            v_prime_0=payload["v_prime_0"],
+            v_double_prime_0=payload["v_double_prime_0"],
+            size_small=payload["size_small"],
+            size_large=payload["size_large"],
+            s=payload["s"],
+            periods=payload["periods"],
+            swapped=payload["swapped"],
+        )
+    if kind == "float":
+        return payload["estimate"]
+    raise TransportError(f"cannot deserialize estimate of kind {kind!r}")
+
+
+def encode_degraded(result: DegradedResult) -> dict:
+    """Serialize a coverage-wrapped estimate."""
+    return {
+        "type": "degraded",
+        "value": encode_estimate(result.value),
+        "requested": list(result.coverage.requested),
+        "covered": list(result.coverage.covered),
+    }
+
+
+def decode_degraded(payload: dict) -> DegradedResult:
+    """Inverse of :func:`encode_degraded`."""
+    return DegradedResult(
+        value=decode_estimate(payload["value"]),
+        coverage=CoverageReport(
+            requested=tuple(payload["requested"]),
+            covered=tuple(payload["covered"]),
+        ),
+    )

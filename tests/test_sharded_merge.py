@@ -1,0 +1,275 @@
+"""S3: cross-shard DegradedResult merging against the one-process truth.
+
+The contract under test: a sharded tier answers a multi-location query
+exactly as a single-process :class:`CentralServer` holding the same
+records would — bit-for-bit on every surviving shard — and when a
+shard dies the merged result reports the *exact* ``(location, period)``
+cells that went dark, never an optimistic estimate.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults.transport import frame_payload
+from repro.rsu.record import TrafficRecord
+from repro.server.central import CentralServer
+from repro.server.degradation import CoveragePolicy, DegradedResult
+from repro.server.queries import PointPersistentQuery
+from repro.server.sharded.coordinator import (
+    LocalShardBackend,
+    ShardedCoordinator,
+)
+from repro.server.sharded.engine import ShardEngine
+from repro.sketch.bitmap import Bitmap
+
+_SEED = 2017
+_LOCATIONS = list(range(1, 9))
+_PERIODS = tuple(range(6))
+_BITS = 256
+#: Cells deliberately never uploaded, to exercise partial coverage.
+_HOLES = {(2, 4), (2, 5), (5, 0)}
+_POLICY = CoveragePolicy(min_coverage=0.5, min_periods=2)
+
+
+def _record(location, period):
+    rng = np.random.default_rng([_SEED, location, period])
+    return TrafficRecord(
+        location=location,
+        period=period,
+        bitmap=Bitmap(_BITS, rng.random(_BITS) < 0.5),
+    )
+
+
+def _records():
+    return [
+        _record(location, period)
+        for location in _LOCATIONS
+        for period in _PERIODS
+        if (location, period) not in _HOLES
+    ]
+
+
+@pytest.fixture()
+def single_server():
+    server = CentralServer(s=3, load_factor=2.0)
+    for record in _records():
+        server.receive_record(record)
+    return server
+
+
+@pytest.fixture()
+def coordinator():
+    backends = {
+        shard: LocalShardBackend(ShardEngine(shard_id=shard))
+        for shard in range(3)
+    }
+    coord = ShardedCoordinator(backends)
+    for record in _records():
+        ack = coord.ingest_frame(frame_payload(record.to_payload()))
+        assert ack["outcome"] == "delivered"
+    yield coord
+    coord.close()
+
+
+class TestMergeParity:
+    def test_bit_for_bit_parity_with_single_process(
+        self, coordinator, single_server
+    ):
+        merged = coordinator.multi_point_persistent(
+            _LOCATIONS, _PERIODS, policy=_POLICY
+        )
+        assert [o.location for o in merged.outcomes] == _LOCATIONS
+        for outcome in merged.outcomes:
+            expected = single_server.point_persistent(
+                PointPersistentQuery(
+                    location=outcome.location, periods=_PERIODS
+                ),
+                policy=_POLICY,
+            )
+            assert outcome.answered
+            assert isinstance(expected, DegradedResult)
+            # Dataclass equality on PointEstimate compares the raw
+            # IEEE doubles: identical records -> identical bits.
+            assert outcome.result.value == expected.value
+            assert outcome.result.coverage == expected.coverage
+
+    def test_holes_surface_as_uncovered_cells(self, coordinator):
+        merged = coordinator.multi_point_persistent(
+            _LOCATIONS, _PERIODS, policy=_POLICY
+        )
+        assert set(merged.uncovered) == _HOLES
+        assert merged.degraded
+        assert merged.requested_cells == len(_LOCATIONS) * len(_PERIODS)
+        assert merged.covered_cells == merged.requested_cells - len(_HOLES)
+        assert merged.coverage_fraction == pytest.approx(
+            1 - len(_HOLES) / merged.requested_cells
+        )
+
+    def test_strict_answers_are_normalized_to_full_coverage(
+        self, coordinator, single_server
+    ):
+        # policy=None: shards answer raw PointEstimates for fully
+        # covered locations; the merge must still expose coverage.
+        covered = [
+            loc
+            for loc in _LOCATIONS
+            if not any(h[0] == loc for h in _HOLES)
+        ]
+        merged = coordinator.multi_point_persistent(
+            covered, _PERIODS, policy=None
+        )
+        assert merged.uncovered == ()
+        assert not merged.degraded
+        for outcome in merged.outcomes:
+            expected = single_server.point_persistent(
+                PointPersistentQuery(
+                    location=outcome.location, periods=_PERIODS
+                )
+            )
+            assert outcome.result.value == expected
+
+
+class TestDeadShardMerging:
+    def test_dead_shard_reports_exact_uncovered_cells(self, coordinator):
+        dead_shard = coordinator.router.shard_for(_LOCATIONS[0])
+        dead_locations = [
+            loc
+            for loc in _LOCATIONS
+            if coordinator.router.shard_for(loc) == dead_shard
+        ]
+        surviving = [
+            loc for loc in _LOCATIONS if loc not in dead_locations
+        ]
+        assert dead_locations and surviving  # the split is non-trivial
+        coordinator.backends[dead_shard].kill()
+
+        merged = coordinator.multi_point_persistent(
+            _LOCATIONS, _PERIODS, policy=_POLICY
+        )
+        expected_dark = {
+            (loc, period)
+            for loc in dead_locations
+            for period in _PERIODS
+        }
+        expected_holes = {
+            cell for cell in _HOLES if cell[0] not in dead_locations
+        }
+        assert set(merged.uncovered) == expected_dark | expected_holes
+        assert set(merged.dead_locations) == set(dead_locations)
+        for loc in dead_locations:
+            outcome = merged.outcome_for(loc)
+            assert not outcome.answered
+            assert outcome.error
+
+    def test_surviving_shards_still_match_single_process(
+        self, coordinator, single_server
+    ):
+        dead_shard = coordinator.router.shard_for(_LOCATIONS[0])
+        coordinator.backends[dead_shard].kill()
+        surviving = [
+            loc
+            for loc in _LOCATIONS
+            if coordinator.router.shard_for(loc) != dead_shard
+        ]
+        merged = coordinator.multi_point_persistent(
+            _LOCATIONS, _PERIODS, policy=_POLICY
+        )
+        for loc in surviving:
+            outcome = merged.outcome_for(loc)
+            expected = single_server.point_persistent(
+                PointPersistentQuery(location=loc, periods=_PERIODS),
+                policy=_POLICY,
+            )
+            assert outcome.answered
+            assert outcome.result.value == expected.value
+            assert outcome.result.coverage == expected.coverage
+
+    def test_revived_shard_answers_again(self, coordinator):
+        dead_shard = coordinator.router.shard_for(_LOCATIONS[0])
+        coordinator.backends[dead_shard].kill()
+        assert coordinator.multi_point_persistent(
+            _LOCATIONS, _PERIODS, policy=_POLICY
+        ).dead_locations
+        coordinator.backends[dead_shard].revive()
+        merged = coordinator.multi_point_persistent(
+            _LOCATIONS, _PERIODS, policy=_POLICY
+        )
+        assert merged.dead_locations == ()
+
+
+class TestIngestFaults:
+    def test_unroutable_frame_dead_letters_at_the_front_door(
+        self, coordinator
+    ):
+        before = len(coordinator.dead_letters)
+        ack = coordinator.ingest_frame(b"garbage, not a frame")
+        assert ack == {"outcome": "quarantined", "reason": "malformed"}
+        assert len(coordinator.dead_letters) == before + 1
+        assert coordinator.dead_letters.entries[-1].reason == "malformed"
+
+    def test_corrupt_frame_dead_letters_at_its_shard(self, coordinator):
+        frame = bytearray(frame_payload(_record(1, 0).to_payload()))
+        frame[-1] ^= 0xFF  # payload damage: routes fine, checksum fails
+        shard = coordinator.router.shard_for(1)
+        engine = coordinator.backends[shard].engine
+        before = len(engine.dead_letters)
+        ack = coordinator.ingest_frame(bytes(frame))
+        assert ack["outcome"] == "quarantined"
+        assert ack["reason"] == "checksum"
+        assert len(engine.dead_letters) == before + 1
+
+    def test_frames_for_a_dead_shard_are_quarantined_not_raised(
+        self, coordinator
+    ):
+        shard = coordinator.router.shard_for(3)
+        coordinator.backends[shard].kill()
+        ack = coordinator.ingest_frame(
+            frame_payload(_record(3, 0).to_payload())
+        )
+        assert ack == {"outcome": "quarantined", "reason": "shard_down"}
+        assert (
+            coordinator.dead_letters.entries[-1].reason == "shard_down"
+        )
+
+    def test_batch_with_a_dead_shard_counts_honestly(self, coordinator):
+        shard = coordinator.router.shard_for(3)
+        doomed = [
+            loc
+            for loc in range(100, 160)
+            if coordinator.router.shard_for(loc) == shard
+        ][:4]
+        safe = [
+            loc
+            for loc in range(100, 160)
+            if coordinator.router.shard_for(loc) != shard
+        ][:6]
+        coordinator.backends[shard].kill()
+        frames = [
+            frame_payload(_record(loc, 0).to_payload())
+            for loc in doomed + safe
+        ] + [b"junk"]
+        counts = coordinator.ingest_batch(frames)
+        assert counts["delivered"] == len(safe)
+        assert counts["quarantined"] == len(doomed) + 1
+
+
+class TestMergedStats:
+    def test_stats_sum_records_across_shards(self, coordinator):
+        stats = coordinator.stats()
+        assert stats["records"] == len(_records())
+        assert set(stats["shards"]) == {"0", "1", "2"}
+        per_shard = sum(
+            payload["records"] for payload in stats["shards"].values()
+        )
+        assert per_shard == stats["records"]
+        assert json.dumps(stats)  # the payload must stay JSON-safe
+
+    def test_stats_mark_dead_shards(self, coordinator):
+        coordinator.backends[1].kill()
+        stats = coordinator.stats()
+        assert stats["shards"]["1"]["alive"] is False
+        assert stats["shards"]["0"]["alive"] is True

@@ -1,0 +1,189 @@
+"""Socket framing, routing peek and estimate serialization."""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.core.results import PointEstimate, PointToPointEstimate
+from repro.exceptions import TransportError
+from repro.faults.transport import frame_payload
+from repro.obs.trace import TraceContext, new_span_id, new_trace_id
+from repro.rsu.record import TrafficRecord
+from repro.server.degradation import CoverageReport, DegradedResult
+from repro.server.sharded import wire
+from repro.sketch.bitmap import Bitmap
+
+
+def _frame(location=11, period=3, context=None):
+    record = TrafficRecord(
+        location=location, period=period, bitmap=Bitmap(64, [1] * 64)
+    )
+    return frame_payload(record.to_payload(), context)
+
+
+class TestMessageFraming:
+    def test_round_trip_over_a_real_socket(self):
+        left, right = socket.socketpair()
+        try:
+            wire.send_message(left, wire.MSG_UPLOAD, b"hello frame")
+            assert wire.recv_message(right) == (
+                wire.MSG_UPLOAD,
+                b"hello frame",
+            )
+        finally:
+            left.close()
+            right.close()
+
+    def test_empty_body_and_eof(self):
+        left, right = socket.socketpair()
+        try:
+            wire.send_message(left, wire.MSG_PING)
+            assert wire.recv_message(right) == (wire.MSG_PING, b"")
+            left.close()
+            assert wire.recv_message(right) is None  # clean EOF
+        finally:
+            right.close()
+
+    def test_eof_mid_message_raises(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(b"\x00\x00")  # half a header, then gone
+            left.close()
+            with pytest.raises(TransportError):
+                wire.recv_message(right)
+        finally:
+            right.close()
+
+    def test_oversized_announcement_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(
+                (wire.MAX_BODY_BYTES + 1).to_bytes(4, "big") + b"\x01"
+            )
+            with pytest.raises(TransportError):
+                wire.recv_message(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_oversized_send_rejected(self):
+        left, _right = socket.socketpair()
+        with pytest.raises(TransportError):
+            wire.send_message(
+                left, wire.MSG_UPLOAD, b"x" * (wire.MAX_BODY_BYTES + 1)
+            )
+        left.close()
+        _right.close()
+
+    def test_json_round_trip(self):
+        left, right = socket.socketpair()
+        try:
+            wire.send_json(left, wire.MSG_ACK, {"outcome": "delivered"})
+            msg_type, body = wire.recv_message(right)
+            assert msg_type == wire.MSG_ACK
+            assert wire.decode_json(body) == {"outcome": "delivered"}
+        finally:
+            left.close()
+            right.close()
+
+    def test_undecodable_json_raises(self):
+        with pytest.raises(TransportError):
+            wire.decode_json(b"\xff not json")
+
+
+class TestBatchFraming:
+    def test_pack_unpack_round_trip(self):
+        frames = [_frame(loc, per) for loc in (1, 2) for per in (0, 1)]
+        assert wire.unpack_frames(wire.pack_frames(frames)) == frames
+
+    def test_empty_batch(self):
+        assert wire.unpack_frames(wire.pack_frames([])) == []
+
+    def test_truncated_batch_raises(self):
+        body = wire.pack_frames([_frame()])
+        with pytest.raises(TransportError):
+            wire.unpack_frames(body[:-1])
+        with pytest.raises(TransportError):
+            wire.unpack_frames(body[:2])
+
+
+class TestPeekLocation:
+    def test_rfr1_frame(self):
+        assert wire.peek_location(_frame(location=1234)) == 1234
+
+    def test_rfr2_frame_skips_trace_context(self):
+        context = TraceContext(
+            trace_id=new_trace_id(), span_id=new_span_id()
+        )
+        frame = _frame(location=777, context=context)
+        assert wire.peek_location(frame) == 777
+
+    def test_corrupted_payload_still_peeks(self):
+        # Corruption past the location bytes routes normally; the
+        # owning shard's checksum rejects it.
+        frame = bytearray(_frame(location=55))
+        frame[-1] ^= 0xFF
+        assert wire.peek_location(bytes(frame)) == 55
+
+    def test_garbage_is_unroutable(self):
+        assert wire.peek_location(b"not a frame at all") is None
+        assert wire.peek_location(b"") is None
+        assert wire.peek_location(b"RFR1short") is None
+
+
+class TestEstimateSerialization:
+    def test_point_estimate_bit_for_bit(self):
+        estimate = PointEstimate(
+            estimate=123.4567890123456789,
+            v_a0=0.1 + 0.2,  # deliberately non-representable nicely
+            v_b0=1 / 3,
+            v_star1=2 / 7,
+            size=4096,
+            periods=5,
+        )
+        import json
+
+        decoded = wire.decode_estimate(
+            json.loads(json.dumps(wire.encode_estimate(estimate)))
+        )
+        assert decoded == estimate  # dataclass equality: exact floats
+
+    def test_point_to_point_estimate_bit_for_bit(self):
+        estimate = PointToPointEstimate(
+            estimate=99.000000000000001,
+            v_0=1 / 7,
+            v_prime_0=1 / 11,
+            v_double_prime_0=1 / 13,
+            size_small=1024,
+            size_large=2048,
+            s=3,
+            periods=4,
+            swapped=True,
+        )
+        decoded = wire.decode_estimate(wire.encode_estimate(estimate))
+        assert decoded == estimate
+
+    def test_float_passthrough(self):
+        assert wire.decode_estimate(wire.encode_estimate(3.25)) == 3.25
+
+    def test_unknown_types_raise(self):
+        with pytest.raises(TransportError):
+            wire.encode_estimate("not an estimate")
+        with pytest.raises(TransportError):
+            wire.decode_estimate({"type": "mystery"})
+
+    def test_degraded_round_trip(self):
+        result = DegradedResult(
+            value=PointEstimate(
+                estimate=10.5, v_a0=0.5, v_b0=0.25, v_star1=0.125,
+                size=64, periods=3,
+            ),
+            coverage=CoverageReport(
+                requested=(0, 1, 2, 3), covered=(0, 2, 3)
+            ),
+        )
+        decoded = wire.decode_degraded(wire.encode_degraded(result))
+        assert decoded == result
+        assert decoded.coverage.missing == result.coverage.missing
