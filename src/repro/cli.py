@@ -245,6 +245,12 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     simulate.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        help="socket timeout (seconds) for --server uploads and queries",
+    )
+    simulate.add_argument(
         "--cache",
         action=argparse.BooleanOptionalAction,
         default=True,
@@ -263,6 +269,28 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--periods", type=int, default=6)
     chaos.add_argument("--commuters", type=int, default=120)
     chaos.add_argument("--transients", type=int, default=600)
+    chaos.add_argument(
+        "--distributed",
+        action="store_true",
+        help=(
+            "run the distributed drill instead: a supervised sharded "
+            "tier behind a wire-level chaos proxy — kill, partition "
+            "and flap shards under live TCP ingest, asserting zero "
+            "acknowledged-record loss and coverage-honest answers"
+        ),
+    )
+    chaos.add_argument(
+        "--shards",
+        type=int,
+        default=3,
+        help="worker process count of the --distributed drill",
+    )
+    chaos.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="write the --distributed drill report as JSON to PATH",
+    )
     _add_metrics_options(chaos)
 
     attack = subparsers.add_parser(
@@ -302,6 +330,31 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--s", type=int, default=3, dest="s")
     serve.add_argument("--load-factor", type=float, default=2.0)
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        help="front-door-to-shard socket timeout in seconds",
+    )
+    serve.add_argument(
+        "--supervise",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "watch shard workers and auto-restart dead or wedged ones "
+            "(exponential backoff; a flapping shard is fenced after "
+            "its restart budget and its cells report uncovered)"
+        ),
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help=(
+            "front-door concurrent-request bound; excess requests are "
+            "refused with a retryable MSG_BUSY (0 sheds everything)"
+        ),
+    )
 
     return parser
 
@@ -447,7 +500,7 @@ def _push_to_server(args, scenario, periods, policy) -> int:
     from repro.server.sharded.engine import policy_to_payload
     from repro.server.sharded.frontdoor import decode_sharded_result
 
-    client = ShardClient.from_url(args.server)
+    client = ShardClient.from_url(args.server, timeout=args.timeout)
     try:
         frames = [
             frame_payload(record.to_payload())
@@ -513,12 +566,16 @@ def _run_serve(args) -> int:
         port=args.port,
         s=args.s,
         load_factor=args.load_factor,
+        timeout=args.timeout,
+        max_inflight=args.max_inflight,
+        supervise=args.supervise,
     )
     port = service.start()
     print(f"[shard data under {data_dir}]")
     print(
         f"[sharded ingest tier: {args.shards} shard(s) behind "
-        f"tcp://{args.host}:{port}]",
+        f"tcp://{args.host}:{port}"
+        f"{', supervised' if args.supervise else ''}]",
         flush=True,
     )
     try:
@@ -570,6 +627,8 @@ def _run_attack(args: argparse.Namespace) -> int:
 def _run_chaos(args: argparse.Namespace) -> int:
     from repro.faults.chaos import ChaosConfig, format_chaos, run_chaos
 
+    if args.distributed:
+        return _run_distributed_chaos(args)
     config = ChaosConfig(
         seed=args.seed,
         periods=args.periods,
@@ -581,6 +640,32 @@ def _run_chaos(args: argparse.Namespace) -> int:
     if not result.ok:
         print(
             f"\nchaos sweep FAILED: {len(result.violations)} violation(s)",
+            file=sys.stderr,
+        )
+        for violation in result.violations:
+            print(f"  - {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_distributed_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.drill import (
+        DistributedChaosConfig,
+        format_distributed_chaos,
+        run_distributed_chaos,
+    )
+
+    config = DistributedChaosConfig(seed=args.seed, shards=args.shards)
+    result = run_distributed_chaos(config)
+    print(format_distributed_chaos(result))
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json() + "\n")
+        print(f"\n[drill report written to {args.report}]")
+    if not result.ok:
+        print(
+            f"\ndistributed drill FAILED: {len(result.violations)} "
+            "violation(s)",
             file=sys.stderr,
         )
         for violation in result.violations:

@@ -82,6 +82,45 @@ class TransportError(ReproError):
     """
 
 
+class WireProtocolError(TransportError):
+    """A socket message violated the length-prefixed wire protocol.
+
+    Raised by :mod:`repro.server.sharded.wire` for structural damage at
+    the *stream framing* layer — truncated reads, oversized or
+    zero-length bodies, garbled sub-frame tables — as opposed to
+    payload-level corruption, which the RFR checksum catches and the
+    shard edge quarantines.  Servers drop the offending connection;
+    clients treat it like any other dead socket.
+    """
+
+
+class RetryableTransportError(TransportError):
+    """A delivery failed in a way the sender should retry.
+
+    Carries the server's requested ``retry_after`` pause (seconds).
+    :class:`~repro.faults.transport.UploadTransport` treats this
+    exactly like an in-flight timeout: back off, retry, and only
+    dead-letter once the attempt budget is exhausted.  The canonical
+    raiser is a front door shedding load with a ``MSG_BUSY`` reply.
+    """
+
+    def __init__(self, message, retry_after: float = 0.0):
+        super().__init__(message)
+        #: Seconds the server asked the sender to wait before retrying.
+        self.retry_after = float(retry_after)
+
+
+class DeadlineExceededError(TransportError):
+    """A request's deadline expired before the work completed.
+
+    Deadlines propagate on the wire (see
+    :class:`~repro.server.sharded.wire.Deadline`): the front door and
+    every shard check the remaining budget before — and, for batches,
+    during — the work, and abort with this error instead of serving an
+    answer the caller has already given up on.
+    """
+
+
 class ObservabilityError(ReproError):
     """The observability layer was used incorrectly.
 

@@ -16,7 +16,14 @@ those failure processes first-class and reproducible:
   quarantine for payloads that cannot be delivered intact;
 * :mod:`repro.faults.chaos` — the chaos harness: end-to-end scenario
   sweeps across loss/outage/corruption rates asserting the pipeline
-  never crashes and the estimators stay within bounded error.
+  never crashes and the estimators stay within bounded error;
+* :mod:`repro.faults.proxy` — :class:`ChaosProxy`, a wire-level fault
+  injector severing, stalling, truncating and partitioning real TCP
+  streams between clients and the sharded tier;
+* :mod:`repro.faults.drill` — the distributed chaos drill: kill,
+  partition and flap shard workers under live proxied ingest while
+  asserting zero acknowledged-record loss and coverage-honest
+  degraded answers.
 
 Every injected fault increments ``repro_faults_injected_total`` (by
 ``kind``) on the active :mod:`repro.obs` registry, so chaos runs export
@@ -31,7 +38,14 @@ from repro.faults.chaos import (
     format_chaos,
     run_chaos,
 )
+from repro.faults.drill import (
+    DistributedChaosConfig,
+    DistributedChaosResult,
+    format_distributed_chaos,
+    run_distributed_chaos,
+)
 from repro.faults.plan import FaultInjector, FaultKind, FaultPlan, OutageWindow
+from repro.faults.proxy import ChaosProxy
 from repro.faults.transport import (
     DeadLetter,
     DeadLetterLog,
@@ -43,9 +57,12 @@ from repro.faults.transport import (
 __all__ = [
     "ChaosCellResult",
     "ChaosConfig",
+    "ChaosProxy",
     "ChaosResult",
     "DeadLetter",
     "DeadLetterLog",
+    "DistributedChaosConfig",
+    "DistributedChaosResult",
     "FaultInjector",
     "FaultKind",
     "FaultPlan",
@@ -54,5 +71,7 @@ __all__ = [
     "UploadReceipt",
     "UploadTransport",
     "format_chaos",
+    "format_distributed_chaos",
     "run_chaos",
+    "run_distributed_chaos",
 ]

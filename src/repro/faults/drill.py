@@ -1,0 +1,501 @@
+"""The distributed chaos drill: kill, partition, flap — lose nothing.
+
+Where :func:`~repro.faults.chaos.run_chaos` batters the *in-process*
+pipeline, this drill batters the sharded TCP tier as deployed: a
+supervised :class:`~repro.server.sharded.service.ShardedIngestService`
+behind a :class:`~repro.faults.proxy.ChaosProxy`, with a live
+:class:`~repro.faults.transport.UploadTransport` streaming records
+through the proxy's wire faults while the drill
+
+1. **SIGKILLs one shard mid-ingest** and asserts the supervisor
+   restarts it (WAL replay path, ``repro_shard_restarts_total``);
+2. **partitions the ingest wire** and heals it, relying on the
+   transport's retry/dead-letter contract to keep the sender honest;
+3. **flaps a second shard** — kills it after every supervised restart
+   until the restart budget fences it
+   (``repro_shard_flaps_total``) — then asserts the merged query
+   reports *exactly* the fenced shard's cells uncovered;
+4. **restarts the fenced shard manually** and asserts every record
+   the tier ever acknowledged is queryable again: the zero
+   acknowledged-record-loss contract, end to end.
+
+Violations collect in :attr:`DistributedChaosResult.violations`;
+:meth:`DistributedChaosResult.check` raises with the list.  The CI
+``chaos-sharded`` step runs ``python -m repro chaos --distributed``
+and uploads :meth:`DistributedChaosResult.to_json` as an artifact.
+
+Run only from an importable ``__main__`` (``-m repro``, a script file,
+or pytest) — the shard workers use the ``spawn`` context.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import TransportError
+from repro.faults.plan import FaultPlan
+from repro.faults.proxy import ChaosProxy
+from repro.faults.transport import UploadOutcome, UploadTransport
+from repro.obs import runtime as obs
+from repro.rsu.record import TrafficRecord
+from repro.server.degradation import CoveragePolicy
+from repro.server.sharded.client import ShardClient, TcpUploadClient
+from repro.server.sharded.engine import policy_to_payload
+from repro.server.sharded.frontdoor import decode_sharded_result
+from repro.server.sharded.service import ShardedIngestService
+from repro.server.sharded.supervisor import RestartPolicy
+from repro.sketch.bitmap import Bitmap
+
+#: Cells are (location, period) pairs throughout.
+Cell = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class DistributedChaosConfig:
+    """Shape and fault rates of one distributed drill.
+
+    Defaults are sized for the CI smoke budget (< 90 s): a 3-shard
+    tier, a few hundred small records, restart policy tight enough
+    that supervised restarts and fencing land in a couple of seconds.
+    """
+
+    seed: int = 2017
+    shards: int = 3
+    locations: int = 36
+    periods: int = 8
+    bits: int = 256
+    wire_drop: float = 0.02
+    wire_delay: float = 0.05
+    wire_truncate: float = 0.01
+    proxy_delay_seconds: float = 0.02
+    timeout: float = 2.0
+    max_attempts: int = 5
+    partition_seconds: float = 0.4
+    #: Sends before the first shard kill (the "mid-ingest" marker).
+    kill_after_sends: int = 50
+    data_dir: Optional[str] = None
+    restart_policy: RestartPolicy = RestartPolicy(
+        check_interval=0.1,
+        ping_interval=0.5,
+        ping_timeout=0.5,
+        ping_failures=2,
+        backoff_base=0.3,
+        backoff_factor=2.0,
+        backoff_max=2.0,
+        max_restarts=2,
+        restart_window=60.0,
+    )
+
+    def fault_plan(self) -> FaultPlan:
+        return FaultPlan(
+            seed=self.seed,
+            wire_drop=self.wire_drop,
+            wire_delay=self.wire_delay,
+            wire_truncate=self.wire_truncate,
+        )
+
+
+@dataclass
+class DistributedChaosResult:
+    """Everything one distributed drill observed."""
+
+    sent: int = 0
+    acked: int = 0
+    redriven: int = 0
+    unacked_fenced: int = 0
+    restarts: Dict[int, int] = field(default_factory=dict)
+    fenced: Dict[int, str] = field(default_factory=dict)
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    transport_stats: Dict[str, float] = field(default_factory=dict)
+    events: List[str] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+    duration_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def check(self) -> "DistributedChaosResult":
+        """Raise AssertionError listing every violation (if any)."""
+        if self.violations:
+            raise AssertionError(
+                "distributed chaos drill failed:\n  "
+                + "\n  ".join(self.violations)
+            )
+        return self
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "ok": self.ok,
+                "sent": self.sent,
+                "acked": self.acked,
+                "redriven": self.redriven,
+                "unacked_fenced": self.unacked_fenced,
+                "restarts": {str(k): v for k, v in self.restarts.items()},
+                "fenced": {str(k): v for k, v in self.fenced.items()},
+                "fault_counts": self.fault_counts,
+                "transport_stats": self.transport_stats,
+                "events": self.events,
+                "violations": self.violations,
+                "duration_seconds": round(self.duration_seconds, 3),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def _build_records(config: DistributedChaosConfig) -> Dict[Cell, TrafficRecord]:
+    rng = np.random.default_rng([config.seed, 0xD121])
+    records: Dict[Cell, TrafficRecord] = {}
+    for location in range(1, config.locations + 1):
+        for period in range(config.periods):
+            records[(location, period)] = TrafficRecord(
+                location=location,
+                period=period,
+                bitmap=Bitmap(config.bits, rng.random(config.bits) < 0.4),
+            )
+    return records
+
+
+def _wait_until(predicate, timeout: float, interval: float = 0.05) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return bool(predicate())
+
+
+def _query_all(
+    client: ShardClient, config: DistributedChaosConfig
+):
+    reply = client.query(
+        {
+            "kind": "multi_point_persistent",
+            "locations": list(range(1, config.locations + 1)),
+            "periods": list(range(config.periods)),
+            "policy": policy_to_payload(
+                CoveragePolicy(min_coverage=0.25, min_periods=1)
+            ),
+        }
+    )
+    if not reply.get("ok"):
+        raise TransportError(f"drill query failed: {reply}")
+    return decode_sharded_result(reply["result"])
+
+
+class _IngestWorker(threading.Thread):
+    """Streams every record through the proxied transport, tracking acks.
+
+    The front door acks remotely (``receipt.record`` is None), so ack
+    bookkeeping goes by send order: the i-th send is the i-th cell.
+    """
+
+    def __init__(self, transport: UploadTransport, cells, records, marker, marker_at):
+        super().__init__(name="drill-ingest", daemon=True)
+        self._transport = transport
+        self._cells = cells
+        self._records = records
+        self._marker = marker
+        self._marker_at = marker_at
+        self.acked: Set[Cell] = set()
+        self.failed: List[Cell] = []
+        self.error: Optional[BaseException] = None
+
+    def run(self) -> None:  # noqa: D102 - Thread contract
+        try:
+            for index, cell in enumerate(self._cells):
+                if index == self._marker_at:
+                    self._marker.set()
+                receipt = self._transport.send(self._records[cell])
+                if receipt.outcome in (
+                    UploadOutcome.DELIVERED,
+                    UploadOutcome.DUPLICATE,
+                ):
+                    self.acked.add(cell)
+                else:
+                    self.failed.append(cell)
+        except BaseException as exc:  # noqa: BLE001 - reported by the drill
+            self.error = exc
+        finally:
+            self._marker.set()
+
+
+def run_distributed_chaos(
+    config: DistributedChaosConfig = DistributedChaosConfig(),
+) -> DistributedChaosResult:
+    """Run the full distributed drill; injected faults never raise."""
+    started = time.monotonic()
+    result = DistributedChaosResult()
+    records = _build_records(config)
+    cells = sorted(records)
+
+    with tempfile.TemporaryDirectory(prefix="chaos-sharded-") as tmp:
+        data_dir = config.data_dir if config.data_dir is not None else tmp
+        service = ShardedIngestService(
+            config.shards,
+            data_dir,
+            timeout=config.timeout,
+            supervise=True,
+            restart_policy=config.restart_policy,
+        )
+        service.start()
+        injector = config.fault_plan().injector()
+        proxy = ChaosProxy(
+            service.host,
+            service.port,
+            injector=injector,
+            delay_seconds=config.proxy_delay_seconds,
+        )
+        proxy.start()
+        transport = UploadTransport(
+            wire=TcpUploadClient.connect(proxy.url, timeout=config.timeout),
+            max_attempts=config.max_attempts,
+            base_backoff=0.05,
+            sleep=time.sleep,
+        )
+        direct = ShardClient(service.host, service.port, timeout=10.0)
+        try:
+            _drill(
+                config, result, service, proxy, transport, direct,
+                records, cells,
+            )
+        finally:
+            result.fault_counts = dict(injector.counts)
+            stats = transport.stats
+            result.transport_stats = {
+                "uploads": stats.uploads,
+                "delivered": stats.delivered,
+                "duplicates": stats.duplicates,
+                "quarantined": stats.quarantined,
+                "retries": stats.retries,
+            }
+            direct.close()
+            proxy.stop()
+            service.stop()
+        result.duration_seconds = time.monotonic() - started
+    return result
+
+
+def _drill(
+    config: DistributedChaosConfig,
+    result: DistributedChaosResult,
+    service: ShardedIngestService,
+    proxy: ChaosProxy,
+    transport: UploadTransport,
+    direct: ShardClient,
+    records: Dict[Cell, TrafficRecord],
+    cells: List[Cell],
+) -> None:
+    router = service.coordinator.router
+    owners: Dict[int, List[int]] = {}
+    for location in range(1, config.locations + 1):
+        owners.setdefault(router.shard_for(location), []).append(location)
+    owning = sorted(shard for shard in owners if owners[shard])
+    if len(owning) < 2:
+        result.violations.append(
+            f"drill needs >= 2 shards owning locations, got {owning}"
+        )
+        return
+    victim, flapper = owning[0], owning[1]
+    result.events.append(
+        f"victim shard {victim} ({len(owners[victim])} locations), "
+        f"flapper shard {flapper} ({len(owners[flapper])} locations)"
+    )
+
+    marker = threading.Event()
+    worker = _IngestWorker(
+        transport, cells, records, marker, config.kill_after_sends
+    )
+    worker.start()
+
+    # --- Phase 1: SIGKILL the victim mid-ingest; supervisor restarts.
+    marker.wait(timeout=60)
+    service.kill_shard(victim, auto_restart=True)
+    result.events.append(f"killed shard {victim} mid-ingest")
+    if _wait_until(lambda: service.restart_count(victim) >= 1, timeout=30):
+        result.events.append(
+            f"supervisor restarted shard {victim} "
+            f"(restart_count={service.restart_count(victim)})"
+        )
+    else:
+        result.violations.append(
+            f"supervisor did not restart shard {victim} within 30s"
+        )
+    if obs.ACTIVE:
+        restarts_metric = obs.counter(
+            "repro_shard_restarts_total",
+            "Supervised automatic shard worker restarts.",
+            shard=str(victim),
+        ).value
+        if restarts_metric < 1:
+            result.violations.append(
+                "repro_shard_restarts_total did not record the "
+                f"supervised restart of shard {victim}"
+            )
+
+    # --- Phase 2: partition the ingest wire, then heal it.
+    proxy.partition()
+    result.events.append("partitioned the ingest wire")
+    time.sleep(config.partition_seconds)
+    proxy.heal()
+    result.events.append("healed the partition")
+
+    # --- Phase 3: flap the flapper until the supervisor fences it.
+    flaps = 0
+    fence_deadline = time.monotonic() + 60
+    while not service.is_fenced(flapper):
+        if time.monotonic() > fence_deadline:
+            result.violations.append(
+                f"shard {flapper} was not fenced within 60s "
+                f"({flaps} kills, restart_count="
+                f"{service.restart_count(flapper)})"
+            )
+            break
+        if service.shard_alive(flapper):
+            service.kill_shard(flapper, auto_restart=True)
+            flaps += 1
+        time.sleep(0.1)
+    if service.is_fenced(flapper):
+        result.events.append(
+            f"shard {flapper} fenced after {flaps} kills "
+            f"({service.restart_count(flapper)} supervised restarts)"
+        )
+        if obs.ACTIVE:
+            flap_metric = obs.counter(
+                "repro_shard_flaps_total",
+                "Shards fenced for exhausting their restart budget.",
+                shard=str(flapper),
+            ).value
+            if flap_metric < 1:
+                result.violations.append(
+                    "repro_shard_flaps_total did not record the "
+                    f"fencing of shard {flapper}"
+                )
+
+    # --- Phase 4: finish ingest, re-drive what the wire ate.
+    worker.join(timeout=180)
+    if worker.is_alive():
+        result.violations.append("ingest worker did not finish within 180s")
+        return
+    if worker.error is not None:
+        result.violations.append(
+            f"ingest worker crashed: {worker.error!r} (the transport "
+            "contract says injected faults never raise)"
+        )
+        return
+    result.sent = len(cells)
+    acked: Set[Cell] = set(worker.acked)
+    # Re-drive undelivered cells for live shards over a clean direct
+    # connection — the sender still owns anything never acked.
+    for cell in worker.failed:
+        if service.is_fenced(router.shard_for(cell[0])):
+            result.unacked_fenced += 1
+            continue
+        ack = direct.upload(_frame(records[cell]))
+        if ack.get("outcome") in ("delivered", "duplicate"):
+            acked.add(cell)
+            result.redriven += 1
+        else:
+            result.violations.append(
+                f"re-drive of cell {cell} failed: {ack}"
+            )
+    result.acked = len(acked)
+    result.events.append(
+        f"ingest finished: {len(acked)}/{len(cells)} cells acked "
+        f"({result.redriven} re-driven, {result.unacked_fenced} "
+        "unacked cells owned by the fenced shard)"
+    )
+
+    # --- Phase 5: the degraded answer must be exactly honest.
+    merged = _query_all(direct, config)
+    uncovered = set(merged.uncovered)
+    fenced_cells = {
+        (location, period)
+        for location in owners[flapper]
+        for period in range(config.periods)
+    }
+    if service.is_fenced(flapper) and uncovered != fenced_cells:
+        extra = sorted(uncovered - fenced_cells)[:5]
+        missing = sorted(fenced_cells - uncovered)[:5]
+        result.violations.append(
+            "degraded query is not coverage-honest: uncovered != the "
+            f"fenced shard's cells (extra={extra}, missing={missing})"
+        )
+    lost_live = sorted(
+        cell for cell in acked - fenced_cells if cell in uncovered
+    )
+    if lost_live:
+        result.violations.append(
+            f"acked records lost on live shards: {lost_live[:10]}"
+        )
+    result.restarts = {
+        shard: service.restart_count(shard)
+        for shard in range(config.shards)
+    }
+    result.fenced = service.fenced
+
+    # --- Phase 6: manual restart lifts the fence; WAL replay must
+    # bring back every record the fenced shard ever acknowledged.
+    service.restart_shard(flapper)
+    result.events.append(f"manually restarted fenced shard {flapper}")
+    recovered = _query_all(direct, config)
+    still_uncovered = set(recovered.uncovered)
+    lost_fenced = sorted(
+        cell for cell in acked & fenced_cells if cell in still_uncovered
+    )
+    if lost_fenced:
+        result.violations.append(
+            "acked records lost across the fenced shard's WAL replay: "
+            f"{lost_fenced[:10]}"
+        )
+    result.events.append(
+        f"post-restart query covers all {len(acked)} acked cells"
+        if not lost_fenced
+        else "post-restart query lost acked cells"
+    )
+
+
+def _frame(record: TrafficRecord) -> bytes:
+    from repro.faults.transport import frame_payload
+
+    return frame_payload(record.to_payload())
+
+
+def format_distributed_chaos(result: DistributedChaosResult) -> str:
+    """Render a distributed drill as a text report."""
+    lines = ["distributed chaos drill", "=" * 23]
+    lines.extend(f"  {event}" for event in result.events)
+    faults = ", ".join(
+        f"{kind}={count}"
+        for kind, count in sorted(result.fault_counts.items())
+        if count
+    )
+    lines.append(f"faults injected : {faults or 'none'}")
+    lines.append(
+        "transport       : "
+        + ", ".join(
+            f"{name}={value:g}"
+            for name, value in sorted(result.transport_stats.items())
+        )
+    )
+    lines.append(
+        f"acked           : {result.acked}/{result.sent} "
+        f"({result.redriven} re-driven)"
+    )
+    lines.append(f"restarts        : {result.restarts}")
+    lines.append(f"fenced          : {sorted(result.fenced) or 'none'}")
+    lines.append(f"duration        : {result.duration_seconds:.1f}s")
+    lines.append(f"verdict         : {'OK' if result.ok else 'FAILED'}")
+    if result.violations:
+        lines.append("violations:")
+        lines.extend(f"  - {v}" for v in result.violations)
+    return "\n".join(lines)

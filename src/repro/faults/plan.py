@@ -33,6 +33,9 @@ class FaultKind(Enum):
     CORRUPTION = "corruption"
     DUPLICATE = "duplicate"
     DELAY = "delay"
+    WIRE_DROP = "wire_drop"
+    WIRE_DELAY = "wire_delay"
+    WIRE_TRUNCATE = "wire_truncate"
 
 
 @dataclass(frozen=True)
@@ -81,7 +84,16 @@ class OutageWindow:
         )
 
 
-_RATE_FIELDS = ("channel_loss", "timeout", "corruption", "duplicate", "delay")
+_RATE_FIELDS = (
+    "channel_loss",
+    "timeout",
+    "corruption",
+    "duplicate",
+    "delay",
+    "wire_drop",
+    "wire_delay",
+    "wire_truncate",
+)
 
 
 @dataclass(frozen=True)
@@ -110,6 +122,15 @@ class FaultPlan:
     delay:
         Per-upload probability the record is held back and delivered
         out of order at the next transport flush.
+    wire_drop:
+        Per-event probability (at connection accept and per forwarded
+        chunk) that a :class:`~repro.faults.proxy.ChaosProxy` severs
+        the TCP connection outright.
+    wire_delay:
+        Per-chunk probability the proxy stalls a forwarded chunk.
+    wire_truncate:
+        Per-chunk probability the proxy forwards only half a chunk and
+        then severs the connection (a torn message mid-frame).
     outages:
         RSU outage windows blanking whole ``(location, period)`` cells.
     """
@@ -120,6 +141,9 @@ class FaultPlan:
     corruption: float = 0.0
     duplicate: float = 0.0
     delay: float = 0.0
+    wire_drop: float = 0.0
+    wire_delay: float = 0.0
+    wire_truncate: float = 0.0
     outages: Tuple[OutageWindow, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
@@ -295,6 +319,18 @@ class FaultInjector:
     def delay_upload(self) -> bool:
         """Whether this record is held back until the next flush."""
         return self._sample(FaultKind.DELAY, self._plan.delay)
+
+    def drop_connection(self) -> bool:
+        """Whether the chaos proxy severs this connection/chunk."""
+        return self._sample(FaultKind.WIRE_DROP, self._plan.wire_drop)
+
+    def delay_chunk(self) -> bool:
+        """Whether the chaos proxy stalls this forwarded chunk."""
+        return self._sample(FaultKind.WIRE_DELAY, self._plan.wire_delay)
+
+    def truncate_chunk(self) -> bool:
+        """Whether the proxy forwards half this chunk, then severs."""
+        return self._sample(FaultKind.WIRE_TRUNCATE, self._plan.wire_truncate)
 
     def corrupt_payload(self, payload: bytes) -> bytes:
         """Maybe flip one random bit of ``payload``.

@@ -32,7 +32,12 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, List, Optional, Union
 
-from repro.exceptions import DataError, ReproError, TransportError
+from repro.exceptions import (
+    DataError,
+    ReproError,
+    RetryableTransportError,
+    TransportError,
+)
 from repro.faults.plan import FaultInjector
 from repro.obs import runtime as obs
 from repro.obs import trace as trace_mod
@@ -412,7 +417,22 @@ class UploadTransport:
                     if self._injector is not None
                     else frame
                 )
-                return self._deliver(wire, attempts)
+                try:
+                    return self._deliver(wire, attempts)
+                except RetryableTransportError as exc:
+                    # The server shed the request (MSG_BUSY): same
+                    # contract as a timeout — back off at least as long
+                    # as the server asked, then retry the pristine frame.
+                    self.stats.retries += 1
+                    if obs.ACTIVE:
+                        _RETRIED.inc()
+                    self._sleep(
+                        max(
+                            self._base_backoff
+                            * self._backoff_factor ** (attempts - 1),
+                            exc.retry_after,
+                        )
+                    )
             return self._quarantine("retries_exhausted", frame, attempts)
         finally:
             if token is not None:
@@ -475,6 +495,8 @@ class UploadTransport:
         """
         try:
             ack = self._wire.deliver(wire)
+        except RetryableTransportError:
+            raise  # load shedding is the attempt loop's business
         except (TransportError, OSError):
             return self._quarantine("unreachable", wire, attempts)
         outcome = ack.get("outcome")

@@ -26,16 +26,22 @@ Layers (bottom up):
 * :mod:`~repro.server.sharded.client` — blocking RPC clients,
   including the :class:`~repro.faults.transport.UploadTransport` TCP
   backend.
-* :mod:`~repro.server.sharded.service` — process supervision: spawn,
-  kill, restart.
+* :mod:`~repro.server.sharded.breaker` — per-shard circuit breakers
+  turning connect-timeout stalls into fast local failures.
+* :mod:`~repro.server.sharded.supervisor` — the self-healing watchdog:
+  liveness/ping probing, backoff restarts, flap fencing.
+* :mod:`~repro.server.sharded.service` — process lifecycle: spawn,
+  kill, restart, fence.
 """
 
+from repro.server.sharded.breaker import CircuitBreaker
 from repro.server.sharded.client import (
     ShardClient,
     TcpUploadClient,
     parse_server_url,
 )
 from repro.server.sharded.coordinator import (
+    FencedShardBackend,
     LocalShardBackend,
     ShardDownError,
     ShardedCoordinator,
@@ -45,19 +51,26 @@ from repro.server.sharded.frontdoor import FrontDoor, RemoteShardBackend
 from repro.server.sharded.merge import LocationOutcome, ShardedQueryResult
 from repro.server.sharded.router import ShardRouter
 from repro.server.sharded.service import ShardedIngestService
+from repro.server.sharded.supervisor import RestartPolicy, ShardSupervisor
 from repro.server.sharded.wal import ShardWriteAheadLog, replay_into_archive
+from repro.server.sharded.wire import Deadline
 from repro.server.sharded.worker import ShardConfig, run_shard
 
 __all__ = [
+    "CircuitBreaker",
+    "Deadline",
+    "FencedShardBackend",
     "FrontDoor",
     "LocalShardBackend",
     "LocationOutcome",
     "RemoteShardBackend",
+    "RestartPolicy",
     "ShardClient",
     "ShardConfig",
     "ShardDownError",
     "ShardEngine",
     "ShardRouter",
+    "ShardSupervisor",
     "ShardWriteAheadLog",
     "ShardedCoordinator",
     "ShardedIngestService",

@@ -1,0 +1,160 @@
+"""Per-shard circuit breakers: stop hammering a shard that is down.
+
+A dead or drowning shard worker makes every routed call pay a full
+connect-timeout before it fails.  The breaker converts that into a
+fast local failure: after ``failure_threshold`` *consecutive*
+connection-level failures the circuit opens and calls are refused
+immediately (the coordinator degrades exactly as it would for a dead
+shard — cells honestly uncovered); after ``reset_timeout`` seconds one
+half-open probe call is let through, and its outcome decides whether
+the circuit closes again or re-opens for another cooldown.
+
+Only connection-level failures
+(:class:`~repro.server.sharded.coordinator.ShardDownError`) trip the
+breaker — a typed remote error (coverage refusal, data conflict) is
+the shard *working*, and must not open the circuit.
+
+State transitions set the ``repro_shard_breaker_state`` gauge
+(labelled by shard): 0 closed, 1 half-open, 2 open.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.obs import runtime as obs
+
+#: Breaker states (also the gauge values).
+CLOSED = 0
+HALF_OPEN = 1
+OPEN = 2
+
+_STATE_NAMES = {CLOSED: "closed", HALF_OPEN: "half_open", OPEN: "open"}
+
+
+class CircuitBreaker:
+    """A thread-safe consecutive-failure circuit breaker.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that open the circuit.
+    reset_timeout:
+        Seconds the circuit stays open before admitting one half-open
+        probe.
+    name:
+        Label for the state gauge (normally the shard index).
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 2.0,
+        name: str = "",
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self._threshold = int(failure_threshold)
+        self._reset_timeout = float(reset_timeout)
+        self._name = str(name)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> int:
+        """Current state (``CLOSED`` / ``HALF_OPEN`` / ``OPEN``).
+
+        An expired open cooldown reads as ``HALF_OPEN`` — the state a
+        caller would observe by asking :meth:`allow`.
+        """
+        with self._lock:
+            if self._state == OPEN and self._cooldown_elapsed():
+                return HALF_OPEN
+            return self._state
+
+    @property
+    def state_name(self) -> str:
+        return _STATE_NAMES[self.state]
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._failures
+
+    # ------------------------------------------------------------------
+    # The protocol: allow -> (record_success | record_failure)
+    # ------------------------------------------------------------------
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now.
+
+        Open circuit: False until ``reset_timeout`` has elapsed, then
+        True for exactly one caller (the half-open probe) and False
+        for everyone else until that probe reports its outcome.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN and self._cooldown_elapsed():
+                self._set_state(HALF_OPEN)
+            if self._state == HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A permitted call completed: close the circuit."""
+        with self._lock:
+            self._failures = 0
+            self._probing = False
+            if self._state != CLOSED:
+                self._set_state(CLOSED)
+
+    def record_failure(self) -> None:
+        """A permitted call failed at the connection level."""
+        with self._lock:
+            self._failures += 1
+            if self._state == HALF_OPEN or (
+                self._state == CLOSED and self._failures >= self._threshold
+            ):
+                self._open()
+            self._probing = False
+
+    # ------------------------------------------------------------------
+    # Internals (lock held)
+    # ------------------------------------------------------------------
+
+    def _cooldown_elapsed(self) -> bool:
+        return (
+            self._opened_at is not None
+            and self._clock() - self._opened_at >= self._reset_timeout
+        )
+
+    def _open(self) -> None:
+        self._opened_at = self._clock()
+        self._set_state(OPEN)
+
+    def _set_state(self, state: int) -> None:
+        self._state = state
+        if obs.ACTIVE:
+            obs.gauge(
+                "repro_shard_breaker_state",
+                "Per-shard circuit breaker state "
+                "(0 closed, 1 half-open, 2 open).",
+                shard=self._name,
+            ).set(float(state))

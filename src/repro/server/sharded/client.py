@@ -16,9 +16,14 @@ with unchanged retry/dead-letter semantics.
 from __future__ import annotations
 
 import socket
-from typing import List, Optional, Sequence, Tuple
+import time
+from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.exceptions import TransportError
+from repro.exceptions import (
+    DeadlineExceededError,
+    RetryableTransportError,
+    TransportError,
+)
 from repro.server.sharded import wire
 from repro.server.sharded.coordinator import ShardDownError
 
@@ -51,17 +56,40 @@ def parse_server_url(url: str) -> Tuple[str, int]:
 
 
 class ShardClient:
-    """One blocking connection to a shard worker or front door."""
+    """One blocking connection to a shard worker or front door.
 
-    def __init__(self, host: str, port: int, timeout: float = 10.0):
+    A request finding its persistent socket stale (the peer restarted,
+    an idle timeout fired, a proxy dropped the stream) does not fail
+    the call: the client reconnects with exponential backoff, up to
+    ``reconnect_attempts`` fresh connections per request, before
+    surfacing :class:`~repro.server.sharded.coordinator.ShardDownError`.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 10.0,
+        reconnect_attempts: int = 2,
+        reconnect_backoff: float = 0.05,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
         self._address = (host, int(port))
         self._timeout = timeout
+        self._reconnect_attempts = max(0, int(reconnect_attempts))
+        self._reconnect_backoff = float(reconnect_backoff)
+        self._sleep = sleep
         self._sock: Optional[socket.socket] = None
 
     @classmethod
     def from_url(cls, url: str, timeout: float = 10.0) -> "ShardClient":
         host, port = parse_server_url(url)
         return cls(host, port, timeout=timeout)
+
+    @property
+    def timeout(self) -> float:
+        """The per-operation socket timeout, in seconds."""
+        return self._timeout
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -91,18 +119,44 @@ class ShardClient:
                 self._sock = None
 
     def _request(
-        self, msg_type: int, body: bytes, expect: int
+        self,
+        msg_type: int,
+        body: bytes,
+        expect: int,
+        deadline: Optional[wire.Deadline] = None,
     ) -> bytes:
-        """One request/response round trip; reconnects once if the
-        persistent connection went stale between calls."""
-        for attempt in (0, 1):
+        """One request/response round trip.
+
+        A stale persistent connection is reconnected with exponential
+        backoff (``reconnect_attempts`` fresh tries) instead of failing
+        the call.  With a ``deadline``, the request ships inside a
+        :data:`~repro.server.sharded.wire.MSG_DEADLINE` envelope and an
+        already-expired budget raises
+        :class:`~repro.exceptions.DeadlineExceededError` client-side.
+        """
+        last_attempt = self._reconnect_attempts
+        for attempt in range(last_attempt + 1):
+            if deadline is not None and deadline.expired:
+                raise DeadlineExceededError(
+                    f"deadline expired before the request to "
+                    f"{self._address[0]}:{self._address[1]} was sent"
+                )
             sock = self._connect()
             try:
-                wire.send_message(sock, msg_type, body)
+                if deadline is not None:
+                    wrapped_type, wrapped = wire.wrap_deadline(
+                        msg_type, body, deadline
+                    )
+                    wire.send_message(sock, wrapped_type, wrapped)
+                else:
+                    wire.send_message(sock, msg_type, body)
                 reply = wire.recv_message(sock)
             except (TransportError, OSError) as exc:
                 self.close()
-                if attempt == 0 and not isinstance(exc, ShardDownError):
+                if attempt < last_attempt and not isinstance(
+                    exc, ShardDownError
+                ):
+                    self._sleep(self._reconnect_backoff * (2 ** attempt))
                     continue
                 raise ShardDownError(
                     f"lost connection to {self._address[0]}:"
@@ -110,17 +164,28 @@ class ShardClient:
                 ) from exc
             if reply is None:
                 self.close()
-                if attempt == 0:
+                if attempt < last_attempt:
+                    self._sleep(self._reconnect_backoff * (2 ** attempt))
                     continue
                 raise ShardDownError(
                     f"{self._address[0]}:{self._address[1]} closed the "
                     "connection mid-request"
                 )
             reply_type, reply_body = reply
-            if reply_type == wire.MSG_ERROR:
-                raise TransportError(
-                    wire.decode_json(reply_body).get("error", "unknown error")
+            if reply_type == wire.MSG_BUSY:
+                raise RetryableTransportError(
+                    f"{self._address[0]}:{self._address[1]} is shedding "
+                    "load",
+                    retry_after=float(
+                        wire.decode_json(reply_body).get("retry_after", 0.0)
+                    ),
                 )
+            if reply_type == wire.MSG_ERROR:
+                payload = wire.decode_json(reply_body)
+                message = payload.get("error", "unknown error")
+                if payload.get("error_kind") == "deadline":
+                    raise DeadlineExceededError(message)
+                raise TransportError(message)
             if reply_type != expect:
                 self.close()
                 raise TransportError(
@@ -134,23 +199,34 @@ class ShardClient:
     # RPCs
     # ------------------------------------------------------------------
 
-    def upload(self, frame: bytes) -> dict:
+    def upload(
+        self, frame: bytes, deadline: Optional[wire.Deadline] = None
+    ) -> dict:
         """Ship one RFR1/RFR2 frame; returns the server's ack dict."""
         return wire.decode_json(
-            self._request(wire.MSG_UPLOAD, frame, wire.MSG_ACK)
+            self._request(
+                wire.MSG_UPLOAD, frame, wire.MSG_ACK, deadline=deadline
+            )
         )
 
-    def upload_batch(self, frames: Sequence[bytes]) -> dict:
+    def upload_batch(
+        self,
+        frames: Sequence[bytes],
+        deadline: Optional[wire.Deadline] = None,
+    ) -> dict:
         """Ship many frames in one message; returns outcome counts."""
         return wire.decode_json(
             self._request(
                 wire.MSG_UPLOAD_BATCH,
                 wire.pack_frames(list(frames)),
                 wire.MSG_ACK_BATCH,
+                deadline=deadline,
             )
         )
 
-    def query(self, payload: dict) -> dict:
+    def query(
+        self, payload: dict, deadline: Optional[wire.Deadline] = None
+    ) -> dict:
         """Send one JSON query; returns the raw reply payload."""
         import json
 
@@ -159,6 +235,7 @@ class ShardClient:
                 wire.MSG_QUERY,
                 json.dumps(payload, sort_keys=True).encode("utf-8"),
                 wire.MSG_RESULT,
+                deadline=deadline,
             )
         )
 

@@ -25,7 +25,11 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence
 
-from repro.exceptions import ReproError, TransportError
+from repro.exceptions import (
+    DeadlineExceededError,
+    ReproError,
+    TransportError,
+)
 from repro.faults.transport import DeadLetterLog
 from repro.obs import runtime as obs
 from repro.server.degradation import (
@@ -36,11 +40,58 @@ from repro.server.degradation import (
 from repro.server.sharded.engine import ShardEngine
 from repro.server.sharded.merge import LocationOutcome, ShardedQueryResult
 from repro.server.sharded.router import ShardRouter
-from repro.server.sharded.wire import peek_location
+from repro.server.sharded.wire import Deadline, peek_location
 
 
 class ShardDownError(TransportError):
     """A shard backend is unreachable (process dead, socket refused)."""
+
+
+def _count_deadline(stage: str) -> None:
+    if obs.ACTIVE:
+        obs.counter(
+            "repro_deadline_exceeded_total",
+            "Requests aborted because their deadline expired, by stage.",
+            stage=stage,
+        ).inc()
+
+
+class FencedShardBackend:
+    """The tombstone backend of a permanently-dead (fenced) shard.
+
+    Installed by the supervisor once a flapping shard exhausts its
+    restart budget: every call raises :class:`ShardDownError`, so
+    queries keep reporting the shard's cells as honestly uncovered and
+    uploads routed to it keep dead-lettering at the front door — all
+    without a single socket syscall.
+    """
+
+    def __init__(self, shard_id: int, reason: str = ""):
+        self.shard_id = int(shard_id)
+        self.reason = reason or (
+            f"shard {shard_id} is fenced (restart budget exhausted)"
+        )
+
+    def _down(self):
+        raise ShardDownError(self.reason)
+
+    def deliver_frame(self, frame, deadline=None):
+        self._down()
+
+    def deliver_batch(self, frames, deadline=None):
+        self._down()
+
+    def point_persistent(self, location, periods, policy, deadline=None):
+        self._down()
+
+    def covered_periods(self, location, periods):
+        self._down()
+
+    def stats(self):
+        self._down()
+
+    def close(self) -> None:
+        pass
 
 
 class LocalShardBackend:
@@ -72,21 +123,32 @@ class LocalShardBackend:
                 f"shard {self.engine.shard_id} is down"
             )
 
-    def deliver_frame(self, frame: bytes) -> dict:
+    def deliver_frame(
+        self, frame: bytes, deadline: Optional[Deadline] = None
+    ) -> dict:
         self._check()
         return self.engine.handle_frame(frame)
 
-    def deliver_batch(self, frames: Sequence[bytes]) -> dict:
+    def deliver_batch(
+        self, frames: Sequence[bytes], deadline: Optional[Deadline] = None
+    ) -> dict:
         self._check()
-        return self.engine.handle_batch(frames)
+        return self.engine.handle_batch(frames, deadline=deadline)
 
     def point_persistent(
         self,
         location: int,
         periods: Sequence[int],
         policy: Optional[CoveragePolicy],
+        deadline: Optional[Deadline] = None,
     ):
         self._check()
+        if deadline is not None and deadline.expired:
+            _count_deadline("shard")
+            raise DeadlineExceededError(
+                f"deadline expired before shard {self.engine.shard_id} "
+                f"could answer location {location}"
+            )
         return self.engine.point_persistent(location, periods, policy)
 
     def covered_periods(self, location: int, periods: Sequence[int]):
@@ -189,25 +251,39 @@ class ShardedCoordinator:
         self._count_routed("unrouted")
         return {"outcome": "quarantined", "reason": reason}
 
-    def ingest_frame(self, frame: bytes) -> dict:
+    def ingest_frame(
+        self, frame: bytes, deadline: Optional[Deadline] = None
+    ) -> dict:
         """Route one upload frame to its owning shard; returns the ack.
 
         Unroutable frames (too mangled to claim a location) and frames
         whose shard is down are quarantined at the front door — never
-        raised, mirroring the transport's fault contract.
+        raised, mirroring the transport's fault contract.  A frame
+        whose deadline already expired is *rejected*, not quarantined:
+        the sender still owns it and will retry or dead-letter it.
         """
+        if deadline is not None and deadline.expired:
+            _count_deadline("front_door")
+            return {"outcome": "rejected", "reason": "deadline"}
         location = peek_location(frame)
         if location is None:
             return self._unrouted(frame, "malformed")
         shard = self._router.shard_for(location)
         try:
-            ack = self._backends[shard].deliver_frame(frame)
+            ack = self._backends[shard].deliver_frame(
+                frame, deadline=deadline
+            )
         except ShardDownError:
             return self._unrouted(frame, "shard_down")
+        except DeadlineExceededError:
+            _count_deadline("shard")
+            return {"outcome": "rejected", "reason": "deadline"}
         self._count_routed(ack.get("outcome", "unknown"))
         return ack
 
-    def ingest_batch(self, frames: Sequence[bytes]) -> dict:
+    def ingest_batch(
+        self, frames: Sequence[bytes], deadline: Optional[Deadline] = None
+    ) -> dict:
         """Route a batch, fanning per-shard sub-batches out in parallel.
 
         Frames are grouped by owning shard and each group ships as one
@@ -229,11 +305,18 @@ class ShardedCoordinator:
 
         def _ship(shard: int, group: List[bytes]) -> dict:
             try:
-                return self._backends[shard].deliver_batch(group)
+                return self._backends[shard].deliver_batch(
+                    group, deadline=deadline
+                )
             except ShardDownError:
                 for frame in group:
                     self._unrouted(frame, "shard_down")
                 return {"quarantined": len(group)}
+            except DeadlineExceededError:
+                # The budget ran out before the sub-batch even shipped;
+                # the sender still owns these frames.
+                _count_deadline("shard")
+                return {"aborted": len(group)}
 
         if len(groups) <= 1:
             results = [_ship(s, g) for s, g in groups.items()]
@@ -261,6 +344,7 @@ class ShardedCoordinator:
         locations: Sequence[int],
         periods: Sequence[int],
         policy: Optional[CoveragePolicy] = None,
+        deadline: Optional[Deadline] = None,
     ) -> ShardedQueryResult:
         """One Eq. 12 estimate per location, merged across shards.
 
@@ -269,7 +353,11 @@ class ShardedCoordinator:
         shard refusing a location for coverage reasons) yields a
         ``result=None`` outcome and its cells surface in
         :attr:`~repro.server.sharded.merge.ShardedQueryResult.uncovered`
-        — the answer degrades, it never lies.
+        — the answer degrades, it never lies.  With a ``deadline``,
+        each per-location sub-query checks the remaining budget before
+        it starts; locations the budget never reached come back as
+        unanswered outcomes (their cells uncovered), so a slow shard
+        costs coverage, not correctness.
         """
         periods = tuple(int(p) for p in periods)
         groups = self._router.group_locations(locations)
@@ -278,9 +366,20 @@ class ShardedCoordinator:
             backend = self._backends[shard]
             outcomes = []
             for location in group:
+                if deadline is not None and deadline.expired:
+                    _count_deadline("fanout")
+                    outcomes.append(
+                        LocationOutcome(
+                            location=location,
+                            shard=shard,
+                            result=None,
+                            error="deadline expired before the sub-query",
+                        )
+                    )
+                    continue
                 try:
                     result = backend.point_persistent(
-                        location, periods, policy
+                        location, periods, policy, deadline=deadline
                     )
                 except ShardDownError as exc:
                     outcomes.append(

@@ -144,10 +144,30 @@ class ShardEngine:
             if token is not None:
                 trace_mod.restore(token)
 
-    def handle_batch(self, frames: Sequence[bytes]) -> dict:
-        """Ingest many frames; returns summed outcome counts."""
+    def handle_batch(
+        self,
+        frames: Sequence[bytes],
+        deadline: Optional[wire.Deadline] = None,
+    ) -> dict:
+        """Ingest many frames; returns summed outcome counts.
+
+        With a ``deadline``, the budget is re-checked *between* frames:
+        frames the budget never reached come back counted ``aborted``
+        (never half-ingested — each frame is WAL-then-ack atomic), so
+        the sender knows exactly which tail to retry.
+        """
         counts = {"delivered": 0, "duplicate": 0, "quarantined": 0}
-        for frame in frames:
+        for index, frame in enumerate(frames):
+            if deadline is not None and deadline.expired:
+                if obs.ACTIVE:
+                    obs.counter(
+                        "repro_deadline_exceeded_total",
+                        "Requests aborted because their deadline "
+                        "expired, by stage.",
+                        stage="shard",
+                    ).inc()
+                counts["aborted"] = len(frames) - index
+                break
             counts[self.handle_frame(frame)["outcome"]] += 1
         return counts
 
@@ -181,9 +201,29 @@ class ShardEngine:
     # JSON boundary (shared by the worker process)
     # ------------------------------------------------------------------
 
-    def handle_query(self, payload: dict) -> dict:
+    def handle_query(
+        self,
+        payload: dict,
+        deadline: Optional[wire.Deadline] = None,
+    ) -> dict:
         """Answer one JSON query; errors come back as typed payloads."""
         kind = payload.get("kind")
+        if deadline is not None and deadline.expired:
+            if obs.ACTIVE:
+                obs.counter(
+                    "repro_deadline_exceeded_total",
+                    "Requests aborted because their deadline expired, "
+                    "by stage.",
+                    stage="shard",
+                ).inc()
+            return {
+                "ok": False,
+                "error": (
+                    f"deadline expired before shard {self.shard_id} "
+                    f"started the {kind!r} query"
+                ),
+                "error_kind": "deadline",
+            }
         try:
             if kind == "point_persistent":
                 policy = policy_from_payload(payload.get("policy"))

@@ -15,6 +15,7 @@ transport, front door, shard — reads as one trace.
 
 from __future__ import annotations
 
+import logging
 import socketserver
 import threading
 from contextlib import contextmanager
@@ -23,8 +24,10 @@ from typing import List, Optional, Sequence, Tuple
 from repro.exceptions import (
     CoverageError,
     DataError,
+    DeadlineExceededError,
     ReproError,
     TransportError,
+    WireProtocolError,
 )
 from repro.faults.transport import parse_frame
 from repro.obs import runtime as obs
@@ -32,6 +35,7 @@ from repro.obs import trace as trace_mod
 from repro.obs.spans import span
 from repro.server.degradation import CoveragePolicy
 from repro.server.sharded import wire
+from repro.server.sharded.breaker import CircuitBreaker
 from repro.server.sharded.client import ShardClient
 from repro.server.sharded.coordinator import (
     ShardDownError,
@@ -39,6 +43,8 @@ from repro.server.sharded.coordinator import (
 )
 from repro.server.sharded.engine import policy_from_payload
 from repro.server.sharded.merge import LocationOutcome, ShardedQueryResult
+
+logger = logging.getLogger("repro.server.sharded")
 
 
 class RemoteShardBackend:
@@ -49,6 +55,12 @@ class RemoteShardBackend:
     discarded rather than returned.  Connection failures surface as
     :class:`~repro.server.sharded.coordinator.ShardDownError`, which
     is exactly the signal the coordinator degrades on.
+
+    Every call passes through a per-shard
+    :class:`~repro.server.sharded.breaker.CircuitBreaker`: after
+    ``breaker_failures`` consecutive connection-level failures the
+    backend fails calls locally (no connect-timeout tax) until a
+    half-open probe finds the worker answering again.
     """
 
     def __init__(
@@ -58,6 +70,8 @@ class RemoteShardBackend:
         port: int,
         timeout: float = 10.0,
         pool_size: int = 4,
+        breaker_failures: int = 5,
+        breaker_reset: float = 2.0,
     ):
         self.shard_id = int(shard_id)
         self._host = host
@@ -66,22 +80,46 @@ class RemoteShardBackend:
         self._pool_size = int(pool_size)
         self._idle: List[ShardClient] = []
         self._lock = threading.Lock()
+        self.breaker = CircuitBreaker(
+            failure_threshold=breaker_failures,
+            reset_timeout=breaker_reset,
+            name=str(self.shard_id),
+        )
 
     @property
     def address(self) -> Tuple[str, int]:
         return (self._host, self._port)
 
+    @property
+    def timeout(self) -> float:
+        return self._timeout
+
     @contextmanager
     def _client(self):
+        if not self.breaker.allow():
+            raise ShardDownError(
+                f"shard {self.shard_id} circuit breaker is open "
+                f"({self.breaker.consecutive_failures} consecutive "
+                "failures)"
+            )
         with self._lock:
             client = self._idle.pop() if self._idle else None
         if client is None:
             client = ShardClient(self._host, self._port, timeout=self._timeout)
         try:
             yield client
-        except BaseException:
+        except ShardDownError:
+            self.breaker.record_failure()
             client.close()
             raise
+        except BaseException:
+            # Typed remote errors (coverage, data, deadline) mean the
+            # worker answered; that is breaker success, but the
+            # connection state is unknown enough to discard.
+            self.breaker.record_success()
+            client.close()
+            raise
+        self.breaker.record_success()
         with self._lock:
             if len(self._idle) < self._pool_size:
                 self._idle.append(client)
@@ -99,13 +137,19 @@ class RemoteShardBackend:
     # Backend duck type
     # ------------------------------------------------------------------
 
-    def deliver_frame(self, frame: bytes) -> dict:
+    def deliver_frame(
+        self, frame: bytes, deadline: Optional[wire.Deadline] = None
+    ) -> dict:
         with self._client() as client:
-            return client.upload(frame)
+            return client.upload(frame, deadline=deadline)
 
-    def deliver_batch(self, frames: Sequence[bytes]) -> dict:
+    def deliver_batch(
+        self,
+        frames: Sequence[bytes],
+        deadline: Optional[wire.Deadline] = None,
+    ) -> dict:
         with self._client() as client:
-            return client.upload_batch(frames)
+            return client.upload_batch(frames, deadline=deadline)
 
     @staticmethod
     def _raise_remote(reply: dict) -> None:
@@ -113,6 +157,8 @@ class RemoteShardBackend:
         message = reply.get("error", "remote query failed")
         if kind == "coverage":
             raise CoverageError(message)
+        if kind == "deadline":
+            raise DeadlineExceededError(message)
         if kind == "data":
             raise DataError(message)
         raise TransportError(message)
@@ -122,6 +168,7 @@ class RemoteShardBackend:
         location: int,
         periods: Sequence[int],
         policy: Optional[CoveragePolicy],
+        deadline: Optional[wire.Deadline] = None,
     ):
         from repro.server.sharded.engine import policy_to_payload
 
@@ -132,7 +179,7 @@ class RemoteShardBackend:
             "policy": policy_to_payload(policy),
         }
         with self._client() as client:
-            reply = client.query(payload)
+            reply = client.query(payload, deadline=deadline)
         if not reply.get("ok"):
             self._raise_remote(reply)
         result = reply["result"]
@@ -155,6 +202,27 @@ class RemoteShardBackend:
     def stats(self) -> dict:
         with self._client() as client:
             return client.stats()
+
+    def ping(self, timeout: Optional[float] = None) -> bool:
+        """One throwaway-connection health probe; never raises.
+
+        Bypasses the pool (and deliberately *not* the breaker's
+        accounting: a successful probe is exactly the evidence that
+        should close a half-open circuit).
+        """
+        client = ShardClient(
+            self._host,
+            self._port,
+            timeout=self._timeout if timeout is None else timeout,
+            reconnect_attempts=0,
+        )
+        try:
+            alive = client.ping()
+        finally:
+            client.close()
+        if alive:
+            self.breaker.record_success()
+        return alive
 
     def shutdown(self) -> None:
         """Gracefully stop the remote worker (best effort)."""
@@ -219,12 +287,24 @@ def decode_sharded_result(payload: dict) -> ShardedQueryResult:
 # ----------------------------------------------------------------------
 
 
+def _count_wire_error(endpoint: str) -> None:
+    if obs.ACTIVE:
+        obs.counter(
+            "repro_wire_errors_total",
+            "Connections dropped for structural wire-protocol damage.",
+            endpoint=endpoint,
+        ).inc()
+
+
 class _FrontDoorHandler(socketserver.BaseRequestHandler):
     def handle(self) -> None:  # noqa: D102 - socketserver contract
         door: "FrontDoor" = self.server.door
         while True:
             try:
                 message = wire.recv_message(self.request)
+            except WireProtocolError:
+                _count_wire_error("front_door")
+                return
             except (TransportError, OSError):
                 return
             if message is None:
@@ -233,6 +313,12 @@ class _FrontDoorHandler(socketserver.BaseRequestHandler):
             try:
                 if not door.dispatch(self.request, msg_type, body):
                     return
+            except WireProtocolError:
+                # A structurally damaged request (bad deadline envelope,
+                # torn batch table, garbage JSON) leaves the stream's
+                # framing untrustworthy: drop the connection, no reply.
+                _count_wire_error("front_door")
+                return
             except (TransportError, OSError) as exc:
                 try:
                     wire.send_json(
@@ -253,15 +339,36 @@ class _FrontDoorServer(socketserver.ThreadingTCPServer):
 
 
 class FrontDoor:
-    """The TCP server clients talk to; owns a coordinator."""
+    """The TCP server clients talk to; owns a coordinator.
+
+    ``max_inflight`` bounds the number of requests being worked at
+    once: request number ``max_inflight + 1`` is refused immediately
+    with a :data:`~repro.server.sharded.wire.MSG_BUSY` reply carrying
+    ``busy_retry_after`` seconds, instead of queuing until the client
+    times out.  ``max_inflight=None`` disables shedding; ``0`` sheds
+    everything (useful for deterministic tests).
+    """
 
     def __init__(
         self,
         coordinator: ShardedCoordinator,
         host: str = "127.0.0.1",
         port: int = 0,
+        max_inflight: Optional[int] = 64,
+        busy_retry_after: float = 0.05,
     ):
+        if max_inflight is not None and max_inflight < 0:
+            raise ValueError(
+                f"max_inflight must be >= 0 or None, got {max_inflight}"
+            )
         self.coordinator = coordinator
+        self._max_inflight = max_inflight
+        self._busy_retry_after = float(busy_retry_after)
+        self._admission = (
+            threading.Semaphore(max_inflight)
+            if max_inflight is not None
+            else None
+        )
         self._server = _FrontDoorServer((host, port), self)
         self._thread: Optional[threading.Thread] = None
 
@@ -295,21 +402,71 @@ class FrontDoor:
         self._server.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)
+            if self._thread.is_alive():
+                # A daemon thread wedged in a handler cannot be killed;
+                # surface it loudly instead of pretending we stopped.
+                logger.warning(
+                    "front door thread still alive after 5s shutdown "
+                    "grace; abandoning it (daemon thread, dies with the "
+                    "process)"
+                )
             self._thread = None
 
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
 
+    #: Request types subject to load shedding.  Health probes and
+    #: shutdown must keep working on a drowning server.
+    _SHEDDABLE = frozenset(
+        {wire.MSG_UPLOAD, wire.MSG_UPLOAD_BATCH, wire.MSG_QUERY}
+    )
+
     def dispatch(self, sock, msg_type: int, body: bytes) -> bool:
         """Handle one client message; False closes the connection."""
+        deadline: Optional[wire.Deadline] = None
+        if msg_type == wire.MSG_DEADLINE:
+            deadline, msg_type, body = wire.unwrap_deadline(body)
+            if msg_type == wire.MSG_DEADLINE:
+                raise WireProtocolError("nested deadline envelope")
+        admitted = False
+        if self._admission is not None and msg_type in self._SHEDDABLE:
+            admitted = self._admission.acquire(blocking=False)
+            if not admitted:
+                if obs.ACTIVE:
+                    obs.counter(
+                        "repro_requests_shed_total",
+                        "Requests refused with MSG_BUSY because the "
+                        "front door was at its in-flight limit.",
+                    ).inc()
+                wire.send_json(
+                    sock,
+                    wire.MSG_BUSY,
+                    {"retry_after": self._busy_retry_after},
+                )
+                return True
+        try:
+            return self._dispatch_admitted(sock, msg_type, body, deadline)
+        finally:
+            if admitted:
+                self._admission.release()
+
+    def _dispatch_admitted(
+        self,
+        sock,
+        msg_type: int,
+        body: bytes,
+        deadline: Optional[wire.Deadline],
+    ) -> bool:
         if msg_type == wire.MSG_UPLOAD:
-            wire.send_json(sock, wire.MSG_ACK, self._ingest(body))
+            wire.send_json(sock, wire.MSG_ACK, self._ingest(body, deadline))
         elif msg_type == wire.MSG_UPLOAD_BATCH:
-            counts = self.coordinator.ingest_batch(wire.unpack_frames(body))
+            counts = self.coordinator.ingest_batch(
+                wire.unpack_frames(body), deadline=deadline
+            )
             wire.send_json(sock, wire.MSG_ACK_BATCH, counts)
         elif msg_type == wire.MSG_QUERY:
-            reply = self._query(wire.decode_json(body))
+            reply = self._query(wire.decode_json(body), deadline)
             wire.send_json(sock, wire.MSG_RESULT, reply)
         elif msg_type == wire.MSG_STATS:
             wire.send_json(
@@ -329,10 +486,12 @@ class FrontDoor:
             )
         return True
 
-    def _ingest(self, frame: bytes) -> dict:
+    def _ingest(
+        self, frame: bytes, deadline: Optional[wire.Deadline] = None
+    ) -> dict:
         """Route one upload, under a ``server.shard`` span when tracing."""
         if not obs.tracing():
-            return self.coordinator.ingest_frame(frame)
+            return self.coordinator.ingest_frame(frame, deadline=deadline)
         try:
             _payload, _ok, context = parse_frame(frame)
         except TransportError:
@@ -348,12 +507,14 @@ class FrontDoor:
                 else -1
             )
             with span("server.shard", shard=str(shard)):
-                return self.coordinator.ingest_frame(frame)
+                return self.coordinator.ingest_frame(frame, deadline=deadline)
         finally:
             if token is not None:
                 trace_mod.restore(token)
 
-    def _query(self, payload: dict) -> dict:
+    def _query(
+        self, payload: dict, deadline: Optional[wire.Deadline] = None
+    ) -> dict:
         kind = payload.get("kind")
         try:
             if kind == "multi_point_persistent":
@@ -361,6 +522,7 @@ class FrontDoor:
                     payload["locations"],
                     payload["periods"],
                     policy_from_payload(payload.get("policy")),
+                    deadline=deadline,
                 )
                 return {"ok": True, "result": encode_sharded_result(result)}
             if kind in ("point_persistent", "covered_periods"):
@@ -372,7 +534,10 @@ class FrontDoor:
                     return {"ok": True, "result": list(covered)}
                 policy = policy_from_payload(payload.get("policy"))
                 result = backend.point_persistent(
-                    payload["location"], payload["periods"], policy
+                    payload["location"],
+                    payload["periods"],
+                    policy,
+                    deadline=deadline,
                 )
                 from repro.server.degradation import DegradedResult
 
@@ -384,6 +549,8 @@ class FrontDoor:
                 return {"ok": True, "result": wire.encode_estimate(result)}
         except ShardDownError as exc:
             return {"ok": False, "error": str(exc), "error_kind": "shard_down"}
+        except DeadlineExceededError as exc:
+            return {"ok": False, "error": str(exc), "error_kind": "deadline"}
         except CoverageError as exc:
             return {"ok": False, "error": str(exc), "error_kind": "coverage"}
         except ReproError as exc:

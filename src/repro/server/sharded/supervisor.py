@@ -1,0 +1,236 @@
+"""Self-healing for the sharded tier: detect, restart, fence.
+
+:class:`ShardSupervisor` is a background thread watching every shard
+worker of a :class:`~repro.server.sharded.service.ShardedIngestService`
+through two signals:
+
+* **process liveness** — ``Process.is_alive()``, which catches crashes
+  and kills immediately;
+* **responsiveness** — a periodic ``MSG_PING`` over a throwaway
+  connection, which catches the nastier failure of a process that is
+  alive but wedged (after ``ping_failures`` consecutive silent probes
+  the supervisor kills the worker itself and lets the restart path
+  take over).
+
+A dead worker is restarted through the service's ordinary respawn path
+— the new incarnation replays its WAL before accepting connections, so
+supervision never weakens the acknowledged-records durability
+contract.  Restarts back off exponentially, and a shard that keeps
+dying (``max_restarts`` inside ``restart_window`` seconds) is *fenced*:
+its backend is replaced with a
+:class:`~repro.server.sharded.coordinator.FencedShardBackend` so
+queries keep reporting its cells honestly uncovered instead of the
+tier thrashing forever.  A later manual
+:meth:`~repro.server.sharded.service.ShardedIngestService.restart_shard`
+clears the fence.
+
+Counters: ``repro_shard_restarts_total`` / ``repro_shard_flaps_total``
+(both labelled by shard).
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.exceptions import TransportError
+from repro.obs import runtime as obs
+
+logger = logging.getLogger("repro.server.sharded")
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Knobs of the supervision loop (all durations in seconds).
+
+    Attributes
+    ----------
+    check_interval:
+        How often the supervisor sweeps all shards.
+    ping_interval / ping_timeout:
+        How often each live shard is probed with ``MSG_PING``, and how
+        long one probe may take.
+    ping_failures:
+        Consecutive failed probes before a live-but-wedged worker is
+        killed and restarted.
+    backoff_base / backoff_factor / backoff_max:
+        Exponential backoff between restart attempts of one shard.
+    max_restarts / restart_window:
+        The flap budget: hitting ``max_restarts`` restarts within one
+        sliding ``restart_window`` fences the shard permanently.
+    """
+
+    check_interval: float = 0.25
+    ping_interval: float = 1.0
+    ping_timeout: float = 1.0
+    ping_failures: int = 3
+    backoff_base: float = 0.2
+    backoff_factor: float = 2.0
+    backoff_max: float = 5.0
+    max_restarts: int = 5
+    restart_window: float = 30.0
+
+
+class _ShardState:
+    """Per-shard supervision bookkeeping (supervisor thread only)."""
+
+    __slots__ = ("ping_failures", "last_ping", "history", "next_restart_at")
+
+    def __init__(self):
+        self.ping_failures = 0
+        self.last_ping = 0.0
+        #: Monotonic times of recent restart attempts (pruned to the
+        #: policy's sliding window).
+        self.history: List[float] = []
+        self.next_restart_at = 0.0
+
+
+class ShardSupervisor(threading.Thread):
+    """The watchdog thread of one sharded ingest service."""
+
+    def __init__(self, service, policy: RestartPolicy):
+        super().__init__(name="shard-supervisor", daemon=True)
+        self._service = service
+        self._policy = policy
+        self._states: Dict[int, _ShardState] = {
+            shard: _ShardState() for shard in range(service.n_shards)
+        }
+        self._stopped = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Stop sweeping and join the thread."""
+        self._stopped.set()
+        if self.is_alive():
+            self.join(timeout=10)
+            if self.is_alive():  # pragma: no cover - wedged probe
+                logger.warning(
+                    "shard supervisor still alive after 10s shutdown "
+                    "grace; abandoning it"
+                )
+
+    def reset(self, shard: int) -> None:
+        """Forget a shard's failure history (after a manual restart)."""
+        self._states[shard] = _ShardState()
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:  # noqa: D102 - Thread contract
+        while not self._stopped.wait(self._policy.check_interval):
+            for shard in range(self._service.n_shards):
+                if self._stopped.is_set():
+                    return
+                try:
+                    self._check(shard)
+                except Exception:  # pragma: no cover - belt and braces
+                    # The watchdog must outlive any single bad sweep.
+                    logger.exception(
+                        "supervisor sweep failed for shard %d", shard
+                    )
+
+    def _check(self, shard: int) -> None:
+        service = self._service
+        if service.is_fenced(shard) or service.is_held(shard):
+            return
+        state = self._states[shard]
+        if service.shard_alive(shard):
+            if not self._probe_due_and_dead(shard, state):
+                return
+            # Alive but unresponsive: make it honestly dead first, so
+            # the restart goes through the ordinary WAL-replay path.
+            logger.warning(
+                "shard %d alive but unresponsive after %d failed pings; "
+                "killing it for restart",
+                shard,
+                state.ping_failures,
+            )
+            service.kill_shard(shard, auto_restart=True)
+        self._restart_dead(shard, state)
+
+    def _probe_due_and_dead(self, shard: int, state: _ShardState) -> bool:
+        """Ping when due; True when the worker must be presumed wedged."""
+        now = time.monotonic()
+        if now - state.last_ping < self._policy.ping_interval:
+            return False
+        state.last_ping = now
+        if self._ping(shard):
+            state.ping_failures = 0
+            return False
+        state.ping_failures += 1
+        return state.ping_failures >= self._policy.ping_failures
+
+    def _ping(self, shard: int) -> bool:
+        from repro.server.sharded.client import ShardClient
+
+        try:
+            port = self._service.shard_port(shard)
+        except (OSError, ValueError):
+            return False
+        client = ShardClient(
+            self._service.host,
+            port,
+            timeout=self._policy.ping_timeout,
+            reconnect_attempts=0,
+        )
+        try:
+            return client.ping()
+        finally:
+            client.close()
+
+    def _restart_dead(self, shard: int, state: _ShardState) -> None:
+        policy = self._policy
+        now = time.monotonic()
+        if now < state.next_restart_at:
+            return
+        state.history = [
+            at for at in state.history if now - at < policy.restart_window
+        ]
+        if len(state.history) >= policy.max_restarts:
+            reason = (
+                f"shard {shard} fenced after {len(state.history)} restarts "
+                f"within {policy.restart_window:.0f}s"
+            )
+            logger.error("%s", reason)
+            if obs.ACTIVE:
+                obs.counter(
+                    "repro_shard_flaps_total",
+                    "Shards fenced for exhausting their restart budget.",
+                    shard=str(shard),
+                ).inc()
+            self._service.fence_shard(shard, reason)
+            return
+        state.history.append(now)
+        state.next_restart_at = now + min(
+            policy.backoff_max,
+            policy.backoff_base
+            * policy.backoff_factor ** (len(state.history) - 1),
+        )
+        state.ping_failures = 0
+        try:
+            port = self._service.respawn_shard(shard)
+        except TransportError as exc:
+            logger.warning(
+                "supervised restart of shard %d failed: %s", shard, exc
+            )
+            return
+        logger.info(
+            "supervisor restarted shard %d on port %d (attempt %d in "
+            "window)",
+            shard,
+            port,
+            len(state.history),
+        )
+        if obs.ACTIVE:
+            obs.counter(
+                "repro_shard_restarts_total",
+                "Supervised automatic shard worker restarts.",
+                shard=str(shard),
+            ).inc()

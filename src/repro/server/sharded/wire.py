@@ -25,10 +25,11 @@ from __future__ import annotations
 import json
 import socket
 import struct
+import time
 from typing import List, Optional, Tuple
 
 from repro.core.results import PointEstimate, PointToPointEstimate
-from repro.exceptions import TransportError
+from repro.exceptions import TransportError, WireProtocolError
 from repro.faults.transport import FRAME_MAGIC, TRACED_MAGIC, _HEADER_BYTES
 from repro.obs.trace import CONTEXT_BYTES
 from repro.server.degradation import CoverageReport, DegradedResult
@@ -40,6 +41,8 @@ MSG_QUERY = 0x03
 MSG_STATS = 0x04
 MSG_PING = 0x05
 MSG_SHUTDOWN = 0x06
+#: A deadline envelope: ``f64 budget seconds | u8 inner type | body``.
+MSG_DEADLINE = 0x07
 #: Responses.
 MSG_ACK = 0x81
 MSG_ACK_BATCH = 0x82
@@ -47,6 +50,9 @@ MSG_RESULT = 0x83
 MSG_ERROR = 0x84
 MSG_STATS_REPLY = 0x85
 MSG_PONG = 0x86
+#: Load-shed reply: the server refused the request; the JSON body's
+#: ``retry_after`` (seconds) tells the sender when to try again.
+MSG_BUSY = 0x87
 
 _HEADER = struct.Struct(">IB")
 #: Upper bound on one message body; far above any real record batch,
@@ -57,9 +63,13 @@ MAX_BODY_BYTES = 64 * 1024 * 1024
 def send_message(sock: socket.socket, msg_type: int, body: bytes = b"") -> None:
     """Write one length-prefixed message to a connected socket."""
     if len(body) > MAX_BODY_BYTES:
-        raise TransportError(
+        raise WireProtocolError(
             f"message body of {len(body)} bytes exceeds the "
             f"{MAX_BODY_BYTES}-byte wire limit"
+        )
+    if not 0 <= int(msg_type) <= 0xFF:
+        raise WireProtocolError(
+            f"message type 0x{int(msg_type):x} does not fit the u8 type byte"
         )
     sock.sendall(_HEADER.pack(len(body), msg_type) + body)
 
@@ -73,7 +83,7 @@ def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
         if not chunk:
             if remaining == count:
                 return None
-            raise TransportError(
+            raise WireProtocolError(
                 f"connection closed {remaining} bytes short of a "
                 f"{count}-byte read"
             )
@@ -83,19 +93,29 @@ def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
 
 
 def recv_message(sock: socket.socket) -> Optional[Tuple[int, bytes]]:
-    """Read one message; None when the peer closed between messages."""
+    """Read one message; None when the peer closed between messages.
+
+    Structural damage — a truncated header or body, an announced
+    length past :data:`MAX_BODY_BYTES` — raises the typed
+    :class:`~repro.exceptions.WireProtocolError` so servers can drop
+    the connection without leaking ``struct.error`` or bare
+    ``ConnectionError`` to their dispatch loops.
+    """
     header = _recv_exact(sock, _HEADER.size)
     if header is None:
         return None
     length, msg_type = _HEADER.unpack(header)
     if length > MAX_BODY_BYTES:
-        raise TransportError(
+        raise WireProtocolError(
             f"announced message body of {length} bytes exceeds the "
             f"{MAX_BODY_BYTES}-byte wire limit"
         )
     body = _recv_exact(sock, length) if length else b""
-    if length and body is None:  # pragma: no cover - EOF mid-message
-        raise TransportError("connection closed before the message body")
+    if length and body is None:
+        raise WireProtocolError(
+            "connection closed between the message header and its "
+            f"{length}-byte body"
+        )
     return msg_type, body or b""
 
 
@@ -107,11 +127,88 @@ def send_json(sock: socket.socket, msg_type: int, payload: dict) -> None:
 
 
 def decode_json(body: bytes) -> dict:
-    """Decode a JSON message body, wrapping failures as transport errors."""
+    """Decode a JSON message body, wrapping failures as wire errors."""
+    if not body:
+        raise WireProtocolError("zero-length body where JSON was expected")
     try:
         return json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise TransportError(f"undecodable JSON message body: {exc}") from exc
+        raise WireProtocolError(
+            f"undecodable JSON message body: {exc}"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# Deadlines on the wire
+# ----------------------------------------------------------------------
+
+_DEADLINE_HEADER = struct.Struct(">dB")
+
+
+class Deadline:
+    """An absolute give-up time, carried on the wire as remaining budget.
+
+    Clocks are not assumed synchronized between processes: what
+    crosses the socket is the *remaining* budget in seconds
+    (:meth:`remaining`), and each receiver re-anchors it against its
+    own monotonic clock.  Skew therefore only ever costs the one-way
+    latency of the message itself.
+    """
+
+    __slots__ = ("_at",)
+
+    def __init__(self, at: float):
+        self._at = float(at)
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline ``seconds`` from now (monotonic)."""
+        return cls(time.monotonic() + float(seconds))
+
+    @property
+    def remaining(self) -> float:
+        """Seconds left before the deadline (negative when past it)."""
+        return self._at - time.monotonic()
+
+    @property
+    def expired(self) -> bool:
+        """True once the budget has run out."""
+        return self.remaining <= 0.0
+
+    def __repr__(self) -> str:
+        return f"Deadline(remaining={self.remaining:.3f}s)"
+
+
+def wrap_deadline(
+    msg_type: int, body: bytes, deadline: Deadline
+) -> Tuple[int, bytes]:
+    """Envelope a request in a :data:`MSG_DEADLINE` frame.
+
+    Returns the ``(msg_type, body)`` pair to put on the wire; the
+    remaining budget is sampled at call time, so wrap immediately
+    before sending.
+    """
+    return (
+        MSG_DEADLINE,
+        _DEADLINE_HEADER.pack(deadline.remaining, msg_type) + body,
+    )
+
+
+def unwrap_deadline(body: bytes) -> Tuple[Deadline, int, bytes]:
+    """Inverse of :func:`wrap_deadline`, re-anchored to this clock."""
+    if len(body) < _DEADLINE_HEADER.size:
+        raise WireProtocolError(
+            f"deadline envelope of {len(body)} bytes is shorter than its "
+            f"{_DEADLINE_HEADER.size}-byte header"
+        )
+    budget, inner_type = _DEADLINE_HEADER.unpack_from(body)
+    if budget != budget or budget in (float("inf"), float("-inf")):
+        raise WireProtocolError(f"non-finite deadline budget {budget!r}")
+    return (
+        Deadline.after(budget),
+        inner_type,
+        body[_DEADLINE_HEADER.size :],
+    )
 
 
 # ----------------------------------------------------------------------
@@ -131,17 +228,28 @@ def pack_frames(frames: List[bytes]) -> bytes:
 
 
 def unpack_frames(body: bytes) -> List[bytes]:
-    """Inverse of :func:`pack_frames`."""
+    """Inverse of :func:`pack_frames`.
+
+    A batch whose sub-frame table is structurally damaged — truncated
+    lengths, a zero-length sub-frame (no RFR frame is empty), a length
+    running past the body — raises
+    :class:`~repro.exceptions.WireProtocolError`.
+    """
     frames: List[bytes] = []
     offset = 0
     total = len(body)
     while offset < total:
         if offset + _SUBFRAME.size > total:
-            raise TransportError("truncated sub-frame length in batch")
+            raise WireProtocolError("truncated sub-frame length in batch")
         (length,) = _SUBFRAME.unpack_from(body, offset)
         offset += _SUBFRAME.size
+        if length == 0:
+            raise WireProtocolError(
+                f"zero-length sub-frame at byte {offset - _SUBFRAME.size} "
+                "of batch"
+            )
         if offset + length > total:
-            raise TransportError("truncated sub-frame in batch")
+            raise WireProtocolError("truncated sub-frame in batch")
         frames.append(body[offset : offset + length])
         offset += length
     return frames

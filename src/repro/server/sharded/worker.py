@@ -31,7 +31,8 @@ import threading
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.exceptions import TransportError
+from repro.exceptions import TransportError, WireProtocolError
+from repro.obs import runtime as obs
 from repro.server.central import CentralServer
 from repro.server.sharded import wire
 from repro.server.sharded.engine import ShardEngine
@@ -101,6 +102,9 @@ class _ShardHandler(socketserver.BaseRequestHandler):
         while True:
             try:
                 message = wire.recv_message(self.request)
+            except WireProtocolError:
+                self._count_wire_error()
+                return
             except (TransportError, OSError):
                 return
             if message is None:
@@ -109,6 +113,11 @@ class _ShardHandler(socketserver.BaseRequestHandler):
             try:
                 if not self._dispatch(msg_type, body):
                     return
+            except WireProtocolError:
+                # Structural damage: the stream framing can no longer
+                # be trusted, so drop the connection without replying.
+                self._count_wire_error()
+                return
             except (TransportError, OSError) as exc:
                 try:
                     wire.send_json(
@@ -118,16 +127,51 @@ class _ShardHandler(socketserver.BaseRequestHandler):
                     pass
                 return
 
+    @staticmethod
+    def _count_wire_error() -> None:
+        if obs.ACTIVE:
+            obs.counter(
+                "repro_wire_errors_total",
+                "Connections dropped for structural wire-protocol "
+                "damage.",
+                endpoint="shard",
+            ).inc()
+
     def _dispatch(self, msg_type: int, body: bytes) -> bool:
         engine: ShardEngine = self.server.engine
         sock = self.request
+        deadline = None
+        if msg_type == wire.MSG_DEADLINE:
+            deadline, msg_type, body = wire.unwrap_deadline(body)
+            if msg_type == wire.MSG_DEADLINE:
+                raise WireProtocolError("nested deadline envelope")
         if msg_type == wire.MSG_UPLOAD:
-            wire.send_json(sock, wire.MSG_ACK, engine.handle_frame(body))
+            if deadline is not None and deadline.expired:
+                if obs.ACTIVE:
+                    obs.counter(
+                        "repro_deadline_exceeded_total",
+                        "Requests aborted because their deadline "
+                        "expired, by stage.",
+                        stage="shard",
+                    ).inc()
+                wire.send_json(
+                    sock,
+                    wire.MSG_ACK,
+                    {"outcome": "rejected", "reason": "deadline"},
+                )
+            else:
+                wire.send_json(
+                    sock, wire.MSG_ACK, engine.handle_frame(body)
+                )
         elif msg_type == wire.MSG_UPLOAD_BATCH:
-            counts = engine.handle_batch(wire.unpack_frames(body))
+            counts = engine.handle_batch(
+                wire.unpack_frames(body), deadline=deadline
+            )
             wire.send_json(sock, wire.MSG_ACK_BATCH, counts)
         elif msg_type == wire.MSG_QUERY:
-            reply = engine.handle_query(wire.decode_json(body))
+            reply = engine.handle_query(
+                wire.decode_json(body), deadline=deadline
+            )
             wire.send_json(sock, wire.MSG_RESULT, reply)
         elif msg_type == wire.MSG_STATS:
             wire.send_json(sock, wire.MSG_STATS_REPLY, engine.stats())

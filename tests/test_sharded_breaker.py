@@ -1,0 +1,144 @@
+"""Circuit breaker unit tests: the allow/record protocol on a fake clock.
+
+The breaker's contract is small but sharp: only *consecutive*
+connection-level failures open it, an open circuit admits exactly one
+half-open probe per cooldown, and that probe's outcome alone decides
+whether traffic resumes.  Everything here drives an injectable clock —
+no sleeps, no sockets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import runtime as obs
+from repro.server.sharded.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+def _breaker(clock, threshold=3, reset=2.0):
+    return CircuitBreaker(
+        failure_threshold=threshold,
+        reset_timeout=reset,
+        name="t",
+        clock=clock,
+    )
+
+
+class TestClosedCircuit:
+    def test_starts_closed_and_allows(self, clock):
+        breaker = _breaker(clock)
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        assert breaker.state_name == "closed"
+
+    def test_opens_only_after_threshold(self, clock):
+        breaker = _breaker(clock, threshold=3)
+        for _ in range(2):
+            assert breaker.allow()
+            breaker.record_failure()
+            assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_consecutive_count(self, clock):
+        breaker = _breaker(clock, threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        # Interleaved successes mean failures were never consecutive.
+        assert breaker.state == CLOSED
+        assert breaker.consecutive_failures == 1
+
+    def test_rejects_silly_threshold(self, clock):
+        with pytest.raises(ValueError):
+            _breaker(clock, threshold=0)
+
+
+def _trip(breaker, threshold=3):
+    for _ in range(threshold):
+        breaker.record_failure()
+
+
+class TestOpenCircuit:
+    def test_refuses_until_cooldown(self, clock):
+        breaker = _breaker(clock, reset=2.0)
+        _trip(breaker)
+        assert not breaker.allow()
+        clock.advance(1.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()
+
+    def test_exactly_one_half_open_probe(self, clock):
+        breaker = _breaker(clock, reset=1.0)
+        _trip(breaker)
+        clock.advance(1.0)
+        assert breaker.allow()
+        # The probe is in flight: everyone else keeps getting refused.
+        assert not breaker.allow()
+        assert not breaker.allow()
+
+    def test_probe_success_closes(self, clock):
+        breaker = _breaker(clock, reset=1.0)
+        _trip(breaker)
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow() and breaker.allow()
+
+    def test_probe_failure_reopens_for_another_cooldown(self, clock):
+        breaker = _breaker(clock, reset=1.0)
+        _trip(breaker)
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        # A fresh cooldown admits a fresh probe.
+        clock.advance(1.0)
+        assert breaker.allow()
+
+
+class TestStateGauge:
+    def test_transitions_export_the_gauge(self, clock):
+        obs.enable()
+        try:
+            breaker = _breaker(clock, threshold=1, reset=1.0)
+            breaker.record_failure()
+            gauge = obs.gauge(
+                "repro_shard_breaker_state",
+                "Per-shard circuit breaker state "
+                "(0 closed, 1 half-open, 2 open).",
+                shard="t",
+            )
+            assert gauge.value == float(OPEN)
+            clock.advance(1.0)
+            assert breaker.allow()
+            breaker.record_success()
+            assert gauge.value == float(CLOSED)
+        finally:
+            obs.disable()

@@ -1,0 +1,403 @@
+"""Self-healing supervision: detect, restart, fence — and never lose acks.
+
+Two layers of coverage:
+
+* **Unit** — :class:`ShardSupervisor` driven against a fake service, so
+  the decision logic (ping-based wedge detection, restart backoff, flap
+  fencing, held/fenced shards being off-limits) is exercised without a
+  single process spawn;
+* **End to end** — a real 2-shard :class:`ShardedIngestService` with
+  supervision on: SIGKILLed workers come back through WAL replay with
+  every acknowledged record intact, a flapping shard is fenced after
+  its restart budget and reported honestly uncovered, and a manual
+  ``restart_shard`` lifts the fence.  The final drill restarts a shard
+  *under concurrent live uploads* and proves no acked record is lost.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.faults.transport import frame_payload
+from repro.obs import runtime as obs
+from repro.rsu.record import TrafficRecord
+from repro.server.degradation import CoveragePolicy
+from repro.server.sharded.client import ShardClient
+from repro.server.sharded.engine import policy_to_payload
+from repro.server.sharded.frontdoor import decode_sharded_result
+from repro.server.sharded.service import ShardedIngestService
+from repro.server.sharded.supervisor import RestartPolicy, ShardSupervisor
+from repro.sketch.bitmap import Bitmap
+
+_SEED = 2017
+_LOCATIONS = list(range(1, 9))
+_PERIODS = tuple(range(3))
+_BITS = 128
+_POLICY = CoveragePolicy(min_coverage=0.25, min_periods=1)
+
+#: Fast sweeps, no ping probing (interval beyond test life), a
+#: two-restart flap budget.
+_TEST_POLICY = RestartPolicy(
+    check_interval=0.05,
+    ping_interval=60.0,
+    backoff_base=0.02,
+    backoff_max=0.1,
+    max_restarts=2,
+    restart_window=60.0,
+)
+
+
+def _record(location, period):
+    rng = np.random.default_rng([_SEED, location, period])
+    return TrafficRecord(
+        location=location,
+        period=period,
+        bitmap=Bitmap(_BITS, rng.random(_BITS) < 0.5),
+    )
+
+
+def _frames():
+    return [
+        frame_payload(_record(loc, per).to_payload())
+        for loc in _LOCATIONS
+        for per in _PERIODS
+    ]
+
+
+def _wait_until(predicate, timeout=20.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def _query_all(client):
+    return decode_sharded_result(
+        client.query(
+            {
+                "kind": "multi_point_persistent",
+                "locations": _LOCATIONS,
+                "periods": list(_PERIODS),
+                "policy": policy_to_payload(_POLICY),
+            }
+        )["result"]
+    )
+
+
+# ----------------------------------------------------------------------
+# Unit: the supervision loop against a fake service
+# ----------------------------------------------------------------------
+
+
+class FakeService:
+    """Just enough service surface for the supervisor's decisions."""
+
+    def __init__(self, n_shards=1):
+        self.n_shards = n_shards
+        self.host = "127.0.0.1"
+        self.alive = {shard: True for shard in range(n_shards)}
+        self.held = set()
+        self.fenced = {}
+        self.kills = []
+        self.respawns = []
+        #: Dead TCP port: pings always fail.
+        self._port = _dead_port()
+
+    def is_fenced(self, shard):
+        return shard in self.fenced
+
+    def is_held(self, shard):
+        return shard in self.held
+
+    def shard_alive(self, shard):
+        return self.alive[shard]
+
+    def shard_port(self, shard):
+        return self._port
+
+    def kill_shard(self, shard, auto_restart=False):
+        self.kills.append(shard)
+        self.alive[shard] = False
+
+    def respawn_shard(self, shard):
+        self.respawns.append(shard)
+        self.alive[shard] = True
+        return self._port
+
+    def fence_shard(self, shard, reason):
+        self.fenced[shard] = reason
+
+
+def _dead_port():
+    import socket
+
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+def _run_supervisor(service, policy, until, timeout=10.0):
+    supervisor = ShardSupervisor(service, policy)
+    supervisor.start()
+    try:
+        assert _wait_until(until, timeout=timeout)
+    finally:
+        supervisor.stop()
+        assert not supervisor.is_alive()
+
+
+class TestSupervisorLogic:
+    def test_dead_shard_is_respawned(self):
+        service = FakeService()
+        service.alive[0] = False
+        _run_supervisor(
+            service,
+            RestartPolicy(check_interval=0.01, backoff_base=0.01),
+            lambda: service.respawns,
+        )
+        assert service.respawns[0] == 0
+        assert service.alive[0]
+
+    def test_wedged_worker_is_killed_then_respawned(self):
+        # Process alive, but every ping lands on a closed port: after
+        # ping_failures consecutive misses the supervisor must kill the
+        # worker itself and restart it.
+        service = FakeService()
+        _run_supervisor(
+            service,
+            RestartPolicy(
+                check_interval=0.01,
+                ping_interval=0.01,
+                ping_timeout=0.2,
+                ping_failures=2,
+                backoff_base=0.01,
+            ),
+            lambda: service.kills and service.respawns,
+        )
+        assert 0 in service.kills and 0 in service.respawns
+
+    def test_flapping_shard_is_fenced_with_budget_spent(self):
+        service = FakeService()
+        service.alive[0] = False
+        # Respawn "succeeds" but the shard is immediately dead again.
+        original = service.respawn_shard
+
+        def flaky_respawn(shard):
+            port = original(shard)
+            service.alive[shard] = False
+            return port
+
+        service.respawn_shard = flaky_respawn
+        _run_supervisor(
+            service,
+            RestartPolicy(
+                check_interval=0.01,
+                ping_interval=60.0,
+                backoff_base=0.01,
+                backoff_max=0.02,
+                max_restarts=3,
+                restart_window=60.0,
+            ),
+            lambda: service.fenced,
+        )
+        assert len(service.respawns) == 3
+        assert "fenced after 3 restarts" in service.fenced[0]
+
+    def test_held_and_fenced_shards_are_off_limits(self):
+        service = FakeService(n_shards=2)
+        service.alive = {0: False, 1: False}
+        service.held.add(0)
+        service.fenced[1] = "already fenced"
+        supervisor = ShardSupervisor(
+            service, RestartPolicy(check_interval=0.01)
+        )
+        supervisor.start()
+        time.sleep(0.3)
+        supervisor.stop()
+        assert service.respawns == []
+        assert service.kills == []
+
+
+# ----------------------------------------------------------------------
+# End to end: real processes, real WALs
+# ----------------------------------------------------------------------
+
+
+class TestSupervisedTier:
+    def test_restart_fence_and_manual_recovery(self, tmp_path):
+        obs.enable()
+        with ShardedIngestService(
+            2,
+            tmp_path,
+            timeout=5.0,
+            supervise=True,
+            restart_policy=_TEST_POLICY,
+        ) as service:
+            client = ShardClient("127.0.0.1", service.port, timeout=5.0)
+            try:
+                counts = client.upload_batch(_frames())
+                assert counts["delivered"] == len(_frames())
+                shard0_cells = {
+                    (loc, per)
+                    for loc in _LOCATIONS
+                    for per in _PERIODS
+                    if service.coordinator.router.shard_for(loc) == 0
+                }
+                assert shard0_cells
+
+                # 1. Crash → supervised restart, acks intact.
+                service.kill_shard(0, auto_restart=True)
+                assert _wait_until(lambda: service.restart_count(0) >= 1)
+                assert _wait_until(lambda: service.shard_alive(0))
+                assert _wait_until(
+                    lambda: client.stats()["records"] == len(_frames())
+                )
+                restarts = obs.counter(
+                    "repro_shard_restarts_total",
+                    "Supervised automatic shard worker restarts.",
+                    shard="0",
+                )
+                assert restarts.value >= 1
+
+                # 2. A manually-killed (held) shard stays down.
+                service.kill_shard(1)
+                time.sleep(0.4)  # several supervision sweeps
+                assert not service.shard_alive(1)
+                assert service.is_held(1)
+                assert service.restart_count(1) == 0
+                service.restart_shard(1)
+                assert service.shard_alive(1)
+
+                # 3. Flap past the budget → fenced, honestly uncovered.
+                fence_deadline = time.monotonic() + 30.0
+                while (
+                    not service.is_fenced(0)
+                    and time.monotonic() < fence_deadline
+                ):
+                    if service.shard_alive(0) and not service.is_held(0):
+                        service.kill_shard(0, auto_restart=True)
+                    time.sleep(0.05)
+                assert service.is_fenced(0)
+                flaps = obs.counter(
+                    "repro_shard_flaps_total",
+                    "Shards fenced for exhausting their restart budget.",
+                    shard="0",
+                )
+                assert flaps.value == 1
+                degraded = _query_all(client)
+                assert set(degraded.uncovered) == shard0_cells
+                # Uploads routed to the fenced shard dead-letter at the
+                # front door instead of hanging on a corpse.
+                shard0_loc = next(iter(shard0_cells))[0]
+                ack = client.upload(
+                    frame_payload(_record(shard0_loc, 0).to_payload())
+                )
+                assert ack == {
+                    "outcome": "quarantined",
+                    "reason": "shard_down",
+                }
+
+                # 4. Manual restart lifts the fence; zero acked loss.
+                service.restart_shard(0)
+                assert not service.is_fenced(0)
+                recovered = _query_all(client)
+                assert recovered.uncovered == ()
+                assert client.stats()["records"] == len(_frames())
+            finally:
+                client.close()
+        # stop() asserted shutdown: no worker survives the service.
+        assert all(
+            not process.is_alive()
+            for process in service._processes.values()
+        )
+
+
+class TestRestartUnderLiveUploads:
+    def test_no_acked_record_lost_across_restarts(self, tmp_path):
+        locations = list(range(1, 13))
+        periods = tuple(range(4))
+        with ShardedIngestService(2, tmp_path, timeout=5.0) as service:
+            acked = set()
+            acked_lock = threading.Lock()
+            errors = []
+            stop = threading.Event()
+
+            def uploader(worker_cells):
+                # Cycle the same cells until the restarts are over, so
+                # uploads are guaranteed in flight across every kill and
+                # respawn window (duplicates are absorbed server-side).
+                client = ShardClient(
+                    "127.0.0.1", service.port, timeout=5.0
+                )
+                try:
+                    while not stop.is_set():
+                        for loc, per in worker_cells:
+                            frame = frame_payload(
+                                _record(loc, per).to_payload()
+                            )
+                            try:
+                                ack = client.upload(frame)
+                            except Exception:
+                                continue
+                            if ack.get("outcome") in (
+                                "delivered",
+                                "duplicate",
+                            ):
+                                with acked_lock:
+                                    acked.add((loc, per))
+                            time.sleep(0.002)
+                except Exception as exc:  # pragma: no cover - diagnostics
+                    errors.append(exc)
+                finally:
+                    client.close()
+
+            cells = [
+                (loc, per) for loc in locations for per in periods
+            ]
+            threads = [
+                threading.Thread(target=uploader, args=(cells[k::3],))
+                for k in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            try:
+                # Two kill/restart cycles while uploads are in flight.
+                for _ in range(2):
+                    time.sleep(0.2)
+                    service.kill_shard(0)
+                    time.sleep(0.1)
+                    service.restart_shard(0)
+                time.sleep(0.2)
+            finally:
+                stop.set()
+            for thread in threads:
+                thread.join(timeout=60)
+                assert not thread.is_alive()
+            assert not errors
+            assert acked
+
+            client = ShardClient("127.0.0.1", service.port, timeout=5.0)
+            try:
+                result = decode_sharded_result(
+                    client.query(
+                        {
+                            "kind": "multi_point_persistent",
+                            "locations": locations,
+                            "periods": list(periods),
+                            "policy": policy_to_payload(_POLICY),
+                        }
+                    )["result"]
+                )
+                lost = acked & set(result.uncovered)
+                assert lost == set()
+                assert client.stats()["records"] >= len(acked)
+            finally:
+                client.close()
