@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.core.baselines import DirectAndBenchmark
 from repro.core.point import PointPersistentEstimator
+from repro.experiments.common import bench_environment
 from repro.experiments.parallel import map_cells
 from repro.traffic.synthetic import SyntheticPointScenario, expected_volume
 from repro.traffic.workloads import PointWorkload
@@ -175,6 +176,7 @@ def test_batch_and_parallel_throughput():
             "volumes": list(scenario.volumes),
         },
         "hardware": {"cpu_count": cpu_count, "pool_workers": _WORKERS},
+        "environment": bench_environment(),
         "seconds": {
             "seed_serial": round(serial_seconds, 4),
             "batch": round(batch_seconds, 4),

@@ -30,6 +30,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.experiments.common import bench_environment
 from repro.faults.transport import frame_payload
 from repro.rsu.record import TrafficRecord
 from repro.server.sharded.client import ShardClient
@@ -115,6 +116,7 @@ def test_ingest_throughput():
             "unbatched_frames": _UNBATCHED_FRAMES,
         },
         "hardware": {"cpu_count": cpu_count},
+        "environment": bench_environment(),
         "seconds": {
             "single_shard_batched": round(single_seconds, 4),
             "two_shard_batched": round(sharded_seconds, 4),

@@ -41,6 +41,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.experiments.common import bench_environment
 from repro.obs import runtime
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import Profiler
@@ -241,6 +242,7 @@ def test_obs_overhead_within_budget():
             "bitmap_size": _BITMAP_SIZE,
             "operations_per_pass": len(records) + _LOCATIONS,
         },
+        "environment": bench_environment(),
         "ingest_query_ops_per_second": {
             "metrics_disabled": round(disabled_ops, 1),
             "metrics_enabled": round(enabled_ops, 1),

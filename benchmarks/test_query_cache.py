@@ -27,6 +27,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.experiments.common import bench_environment
 from repro.rsu.record import TrafficRecord
 from repro.server.central import CentralServer
 from repro.server.monitor import PersistenceMonitor
@@ -171,6 +172,7 @@ def test_flow_matrix_and_window_speedups():
     _merge_bench(
         "query_cache",
         {
+            "environment": bench_environment(),
             "flow_matrix": {
                 "locations": _LOCATIONS,
                 "periods": _PERIODS,

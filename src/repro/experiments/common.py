@@ -9,10 +9,13 @@ artifacts regenerate in minutes — pass ``--runs`` (CLI) or
 
 from __future__ import annotations
 
+import platform
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Dict, Iterator
+
+import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.obs import runtime as obs
@@ -56,6 +59,24 @@ class ExperimentConfig:
             raise ConfigurationError(
                 f"workers must be >= 1, got {self.workers}"
             )
+
+
+def bench_environment() -> Dict[str, object]:
+    """The software environment a benchmark artifact was measured on.
+
+    Benchmark artifacts (``BENCH_*.json``) embed this next to the
+    hardware block so a figure can be read in context: the packed-word
+    popcount path in particular differs by numpy version —
+    ``np.bitwise_count`` (numpy >= 2.0) versus the byte-LUT fallback —
+    and throughput figures are not comparable across that boundary.
+    """
+    from repro.sketch.backends import HAVE_BITWISE_COUNT
+
+    return {
+        "python_version": platform.python_version(),
+        "numpy_version": np.__version__,
+        "numpy_bitwise_count": HAVE_BITWISE_COUNT,
+    }
 
 
 @contextmanager

@@ -37,6 +37,7 @@ from repro.server.queries import (
     PointVolumeQuery,
 )
 from repro.server.store import RecordStore
+from repro.server.tiers import TieredRecordStore
 
 __all__ = [
     "CacheStats",
@@ -54,6 +55,7 @@ __all__ = [
     "RankedSource",
     "RecordArchive",
     "RecordStore",
+    "TieredRecordStore",
     "VolumeHistory",
     "persistent_flow_matrix",
     "persistent_window_series",

@@ -113,7 +113,7 @@ _INVALIDATIONS = {
         "Cached joins dropped by invalidation, by reason.",
         reason=reason,
     )
-    for reason in ("add", "conflict", "flush")
+    for reason in ("add", "conflict", "flush", "tier")
 }
 
 

@@ -1,0 +1,331 @@
+"""Tiered residency for traffic records: hot RAM, warm mmap, cold RLE.
+
+A city-scale deployment accumulates millions of ``(location, period)``
+records, of which queries touch a recent, skewed subset.  Holding every
+bitmap unpacked in RAM — the seed's behaviour — caps the store at
+whatever fits in memory.  :class:`TieredRecordStore` keeps the
+:class:`~repro.server.store.RecordStore` contract (same ``add``
+semantics, same listener events, bit-identical query results) while
+records move between three residency tiers:
+
+``hot``
+    In-RAM packed-word records, bounded by ``hot_capacity`` with LRU
+    eviction to warm.  The working set queries join against.
+``warm``
+    Records whose dense words are **memory-mapped read-only** from
+    their archive ``.record`` file — the v2 payload layout puts the
+    words at byte 32, 8-byte aligned, precisely so the file region can
+    be mapped as ``uint64`` with zero copies.  A warm record costs page
+    cache, not heap; joins read it like any other word array.
+``cold``
+    On disk only.  :meth:`demote` to cold rewrites the archive file
+    with the record's smallest representation
+    (:meth:`~repro.sketch.bitmap.Bitmap.compress` — sparse or RLE for
+    the sparse cells that dominate at city scale), and reads load and
+    decode it on demand.
+
+Every tier move fires a ``"tier:<tier>"`` store event, which
+:class:`~repro.server.central.CentralServer` routes into the existing
+:class:`~repro.server.cache.JoinCache` invalidation path — a cold
+demotion conservatively drops the cached joins that contain the moved
+record, so cached and uncached answers stay strictly identical across
+the whole lifecycle.  Moves are also counted per destination tier in
+``repro_archive_tier_moves_total{tier}`` (docs/observability.md).
+
+The store persists every accepted record itself (``persists_records``
+is True), so the central server does not double-write the archive.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.obs import runtime as obs
+from repro.rsu.record import TrafficRecord
+from repro.sketch import backends
+from repro.sketch.bitmap import Bitmap
+from repro.sketch.serial import parse_header
+from repro.server.store import RecordStore
+
+#: Default hot-tier bound: at 2^20-bit records this is ~128 MB of words.
+DEFAULT_HOT_CAPACITY = 1024
+
+TIERS = ("hot", "warm", "cold")
+
+_TIER_MOVES = {
+    tier: obs.bind_counter(
+        "repro_archive_tier_moves_total",
+        "Record tier transitions by destination tier.",
+        tier=tier,
+    )
+    for tier in TIERS
+}
+
+#: Byte offset of a dense v2 record's words inside its ``.record``
+#: file: 16 bytes of location/period plus the 16-byte bitmap header.
+_WORDS_OFFSET = 32
+
+
+class TieredRecordStore(RecordStore):
+    """A :class:`RecordStore` whose records live in residency tiers.
+
+    Parameters
+    ----------
+    archive:
+        The :class:`~repro.server.persistence.RecordArchive` backing
+        the warm and cold tiers.  Records already in the archive are
+        adopted as cold (loaded on first access); new records are
+        persisted on ``add`` before they count as stored.
+    hot_capacity:
+        Maximum records resident in RAM; the least-recently-used hot
+        record is demoted to warm when the bound is exceeded.
+    promote_on_access:
+        When True, reading a warm or cold record promotes it to hot
+        (touch-driven working sets).  Default False: reads leave tiers
+        alone, so measurement and batch sweeps do not thrash the hot
+        set — promotion stays an explicit policy decision.
+    """
+
+    #: The central server skips its own archive writes for stores that
+    #: persist records themselves (this class does, inside ``add``).
+    persists_records = True
+
+    def __init__(
+        self,
+        archive,
+        hot_capacity: int = DEFAULT_HOT_CAPACITY,
+        promote_on_access: bool = False,
+    ):
+        if int(hot_capacity) < 1:
+            raise ConfigurationError(
+                f"hot_capacity must be >= 1, got {hot_capacity}"
+            )
+        super().__init__()
+        self._archive = archive
+        self._hot_capacity = int(hot_capacity)
+        self._promote_on_access = bool(promote_on_access)
+        self._tier: Dict[Tuple[int, int], str] = {}
+        self._warm: Dict[Tuple[int, int], TrafficRecord] = {}
+        self._lru: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
+        # Everything already archived is reachable immediately, paying
+        # RAM only when touched: adopted as cold, whatever encoding the
+        # file happens to use (seed-era legacy payloads included).
+        for location, period in archive.entries():
+            self._tier[(location, period)] = "cold"
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+
+    @property
+    def hot_capacity(self) -> int:
+        """The hot-tier LRU bound."""
+        return self._hot_capacity
+
+    @property
+    def archive(self):
+        """The backing archive."""
+        return self._archive
+
+    def tier_of(self, location: int, period: int) -> Optional[str]:
+        """The record's current tier, or None when unknown."""
+        return self._tier.get((int(location), int(period)))
+
+    def tier_counts(self) -> Dict[str, int]:
+        """How many records sit in each tier right now."""
+        counts = {tier: 0 for tier in TIERS}
+        for tier in self._tier.values():
+            counts[tier] += 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self._tier)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def add(self, record: TrafficRecord) -> bool:
+        """Store one record durably; returns whether it was newly added.
+
+        Same contract as :meth:`RecordStore.add` — idempotent
+        duplicates return False, conflicts raise — but the duplicate
+        check reads through every tier (a re-upload of a record that
+        has gone cold is still a duplicate, compared bit-for-bit across
+        representations), and a new record hits the archive *before*
+        it is visible in the store, so nothing queryable can be lost
+        to a crash.
+        """
+        key = (record.location, record.period)
+        if self._tier.get(key) in ("warm", "cold"):
+            existing = self.get(*key)
+            if existing is not None and existing.bitmap == record.bitmap:
+                return False
+            self._notify("conflict", record.location, record.period)
+            raise DataError(
+                f"a conflicting record for location {record.location}, "
+                f"period {record.period} already exists"
+            )
+        if key not in self._tier:
+            self._archive.save(record)
+        added = super().add(record)
+        if added:
+            self._tier[key] = "hot"
+            self._lru[key] = None
+            self._shrink_hot(keep=key)
+        return added
+
+    def _shrink_hot(self, keep: Optional[Tuple[int, int]] = None) -> None:
+        while len(self._records) > self._hot_capacity:
+            victim = next(iter(self._lru))
+            if victim == keep:
+                self._lru.move_to_end(victim)
+                victim = next(iter(self._lru))
+            self.demote(victim[0], victim[1], "warm")
+
+    # ------------------------------------------------------------------
+    # Reads (through every tier)
+    # ------------------------------------------------------------------
+
+    def get(self, location: int, period: int) -> Optional[TrafficRecord]:
+        key = (int(location), int(period))
+        tier = self._tier.get(key)
+        if tier is None:
+            return None
+        if tier == "hot":
+            self._lru.move_to_end(key)
+            return self._records[key]
+        if tier == "warm":
+            record = self._warm[key]
+        else:
+            record = self._archive.load(*key)
+        if self._promote_on_access:
+            return self._insert_hot(key, record)
+        return record
+
+    def locations(self) -> Set[int]:
+        return {location for location, _ in self._tier}
+
+    def periods_for(self, location: int) -> List[int]:
+        return sorted(
+            period for loc, period in self._tier if loc == int(location)
+        )
+
+    def all_records(self) -> Iterable[TrafficRecord]:
+        """Iterate every record — cold ones are loaded (not promoted)."""
+        for location, period in sorted(self._tier):
+            yield self.require(location, period)
+
+    # ------------------------------------------------------------------
+    # Tier moves
+    # ------------------------------------------------------------------
+
+    def _note_move(self, tier: str, location: int, period: int) -> None:
+        if obs.ACTIVE:
+            _TIER_MOVES[tier].inc()
+        self._notify(f"tier:{tier}", location, period)
+
+    def _drop_resident(self, key: Tuple[int, int]) -> Optional[TrafficRecord]:
+        """Remove a record from RAM/mmap residency; returns it."""
+        record = self._records.pop(key, None)
+        if record is not None:
+            self._total_bits -= record.size
+            self._lru.pop(key, None)
+            return record
+        return self._warm.pop(key, None)
+
+    def _insert_hot(self, key: Tuple[int, int], record: TrafficRecord) -> TrafficRecord:
+        """Make ``record`` hot-resident (a private in-RAM dense copy)."""
+        bitmap = Bitmap._adopt_words(
+            record.size, np.array(record.bitmap._words_view())
+        )
+        record = TrafficRecord(key[0], key[1], bitmap)
+        self._drop_resident(key)
+        self._records[key] = record
+        self._total_bits += record.size
+        self._lru[key] = None
+        self._tier[key] = "hot"
+        self._note_move("hot", key[0], key[1])
+        self._shrink_hot(keep=key)
+        return record
+
+    def promote(self, location: int, period: int) -> TrafficRecord:
+        """Move a record to the hot tier; returns the resident record."""
+        key = (int(location), int(period))
+        tier = self._tier.get(key)
+        if tier is None:
+            raise DataError(
+                f"no traffic record for location {location}, period {period}"
+            )
+        if tier == "hot":
+            return self._records[key]
+        record = self._warm[key] if tier == "warm" else self._archive.load(*key)
+        return self._insert_hot(key, record)
+
+    def demote(self, location: int, period: int, tier: str = "warm") -> None:
+        """Move a record down to the ``warm`` or ``cold`` tier.
+
+        Warm demotion guarantees the archive file holds mappable dense
+        words (rewriting legacy/compressed payloads once if needed) and
+        replaces the in-RAM record with one whose words are a read-only
+        memory map of that file.  Cold demotion rewrites the file with
+        the smallest representation for the record's actual fill and
+        releases all residency; the ``"tier:cold"`` event makes the
+        server drop the cached joins containing the record.
+        """
+        key = (int(location), int(period))
+        current = self._tier.get(key)
+        if current is None:
+            raise DataError(
+                f"no traffic record for location {location}, period {period}"
+            )
+        if tier not in ("warm", "cold"):
+            raise ConfigurationError(
+                f"demotion target must be 'warm' or 'cold', got {tier!r}"
+            )
+        if current == tier or (current == "cold" and tier == "warm"):
+            # Re-warming a cold record is a promotion decision, not a
+            # demotion; keep the lifecycle one-directional here.
+            if current == "cold" and tier == "warm":
+                record = self._archive.load(*key)
+                self._warm[key] = self._map_warm(key, record)
+                self._tier[key] = "warm"
+                self._note_move("warm", location, period)
+            return
+        record = self._drop_resident(key)
+        if record is None:
+            record = self._archive.load(*key)
+        if tier == "warm":
+            self._warm[key] = self._map_warm(key, record)
+        else:
+            compressed = record.bitmap.copy().compress()
+            self._archive.rewrite(
+                TrafficRecord(key[0], key[1], compressed)
+            )
+        self._tier[key] = tier
+        self._note_move(tier, location, period)
+
+    def _map_warm(self, key: Tuple[int, int], record: TrafficRecord) -> TrafficRecord:
+        """A record whose words are a read-only mmap of its file."""
+        path = self._archive.entry_path(*key)
+        payload_kind, _, _ = parse_header(path.read_bytes()[16:])
+        if payload_kind != "dense":
+            # Legacy or compressed on disk: rewrite once as dense v2 so
+            # the word region exists to map.
+            dense = TrafficRecord(
+                key[0], key[1], record.bitmap.to_representation("dense")
+            )
+            path = self._archive.rewrite(dense)
+        words = np.memmap(
+            path,
+            dtype="<u8",
+            mode="r",
+            offset=_WORDS_OFFSET,
+            shape=(backends.word_count(record.size),),
+        )
+        bitmap = Bitmap._with_rep(record.size, backends.DenseWordsRep(words))
+        return TrafficRecord(key[0], key[1], bitmap)

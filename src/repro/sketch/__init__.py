@@ -21,6 +21,9 @@ paper's traffic records are built from:
   matrices joining whole Monte-Carlo cells as single numpy reductions.
 * :mod:`~repro.sketch.serial` — compact serialization of traffic
   records for RSU-to-server uploads.
+* :mod:`~repro.sketch.backends` — the packed-word / sparse-index /
+  run-length representations behind :class:`~repro.sketch.bitmap.Bitmap`
+  (see docs/performance.md, "Compressed bitmaps & tiered storage").
 """
 
 from repro.sketch.batch import (
@@ -45,7 +48,12 @@ from repro.sketch.linear_counting import (
     linear_counting_stddev,
     zero_fraction_expectation,
 )
-from repro.sketch.serial import deserialize_bitmap, serialize_bitmap
+from repro.sketch.serial import (
+    deserialize_bitmap,
+    parse_header,
+    serialize_bitmap,
+    serialize_bitmap_legacy,
+)
 from repro.sketch.sizing import (
     bitmap_size_for_volume,
     is_power_of_two,
@@ -69,7 +77,9 @@ __all__ = [
     "next_power_of_two",
     "or_join",
     "or_join_batch",
+    "parse_header",
     "serialize_bitmap",
+    "serialize_bitmap_legacy",
     "split_and_join",
     "split_and_join_batch",
     "split_range_join",

@@ -1,0 +1,411 @@
+"""Packed-word, sparse and run-length bitmap representations.
+
+The seed stored every traffic record as a dense ``numpy.bool_`` array —
+one full byte per bit.  At city scale most ``(location, period)`` cells
+are sparse and most periods are cold, so the system now supports three
+interchangeable representations, all describing the identical bit
+string:
+
+``dense``
+    ``uint64`` words, 64 bits per word (8x smaller than bool arrays).
+    The default working form: AND/OR/XOR run as ``np.bitwise_*`` over
+    words and touch 1/8th the bytes the bool arrays did, and zero
+    counting uses the hardware popcount (``np.bitwise_count``) when the
+    installed numpy has it, falling back to a byte lookup table.
+``sparse``
+    A sorted ``uint32`` array of set-bit indices.  4 bytes per set bit,
+    so it beats the word form below ~1/16 fill and beats the bool form
+    below ~1/4 fill.  The natural shape for near-empty records.
+``rle``
+    Run-length encoding: ``(start, length)`` pairs of consecutive one
+    runs, 8 bytes per run.  The cold-storage form — clustered bits
+    compress far below the sparse form, and a fully-empty or
+    fully-saturated bitmap is 0 or 1 run.
+
+Bit layout of the word form is little-endian throughout: bit ``i`` of
+the bitmap is bit ``i % 64`` of word ``i // 64``, matching
+``np.packbits(..., bitorder="little")`` viewed as native uint64 on a
+little-endian host (the only hosts the project targets; the
+serialization layer pins ``<u8`` on disk and on the wire).
+
+Everything here is pure array plumbing; representation *policy* (which
+form a bitmap should take, promotion/demotion thresholds) lives in
+:mod:`repro.sketch.bitmap`, and the tiered archive policy in
+:mod:`repro.server.tiers`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import SketchError
+
+WORD_BITS = 64
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def word_count(size: int) -> int:
+    """Words needed to hold ``size`` bits."""
+    return (int(size) + WORD_BITS - 1) >> 6
+
+
+def tail_mask(size: int) -> np.uint64:
+    """Mask of the valid bits in the (possibly partial) last word."""
+    rem = int(size) & 63
+    if rem == 0:
+        return _ALL_ONES
+    return np.uint64((1 << rem) - 1)
+
+
+# ----------------------------------------------------------------------
+# bool <-> words
+# ----------------------------------------------------------------------
+
+
+def pack_bool(bits: np.ndarray) -> np.ndarray:
+    """Pack a flat bool array into little-endian-bit uint64 words.
+
+    Bits past ``len(bits)`` in the final word are zero — the invariant
+    every word array in the system maintains, so popcounts and
+    equality never see garbage tail bits.
+    """
+    size = int(bits.shape[0])
+    packed = np.packbits(bits, bitorder="little")
+    needed = word_count(size) * 8
+    if packed.shape[0] != needed:
+        padded = np.zeros(needed, dtype=np.uint8)
+        padded[: packed.shape[0]] = packed
+        packed = padded
+    return packed.view(np.uint64)
+
+
+def unpack_words(words: np.ndarray, size: int) -> np.ndarray:
+    """Inverse of :func:`pack_bool`: words back to a flat bool array."""
+    return np.unpackbits(
+        np.ascontiguousarray(words).view(np.uint8),
+        count=int(size),
+        bitorder="little",
+    ).view(np.bool_)
+
+
+def pack_bool_matrix(bits: np.ndarray) -> np.ndarray:
+    """Pack a ``(runs, size)`` bool matrix into ``(runs, words)`` uint64."""
+    runs, size = bits.shape
+    packed = np.packbits(bits, axis=1, bitorder="little")
+    needed = word_count(size) * 8
+    if packed.shape[1] != needed:
+        padded = np.zeros((runs, needed), dtype=np.uint8)
+        padded[:, : packed.shape[1]] = packed
+        packed = padded
+    return np.ascontiguousarray(packed).view(np.uint64)
+
+
+def unpack_words_matrix(words: np.ndarray, size: int) -> np.ndarray:
+    """Inverse of :func:`pack_bool_matrix`."""
+    rows = np.ascontiguousarray(words).view(np.uint8)
+    return np.unpackbits(rows, axis=1, bitorder="little")[
+        :, : int(size)
+    ].view(np.bool_)
+
+
+# ----------------------------------------------------------------------
+# Popcount: hardware ufunc when numpy has it, byte LUT otherwise
+# ----------------------------------------------------------------------
+
+HAVE_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+#: Set-bit count of every byte value — the fallback popcount kernel for
+#: numpy < 2.0 (``np.bitwise_count`` landed in 2.0).
+_POPCOUNT_LUT = np.array(
+    [bin(value).count("1") for value in range(256)], dtype=np.uint16
+)
+
+
+def _popcount_words_lut(words: np.ndarray) -> int:
+    return int(
+        _POPCOUNT_LUT[np.ascontiguousarray(words).view(np.uint8)].sum()
+    )
+
+
+def _popcount_rows_lut(words: np.ndarray) -> np.ndarray:
+    per_byte = _POPCOUNT_LUT[np.ascontiguousarray(words).view(np.uint8)]
+    return per_byte.sum(axis=1, dtype=np.int64)
+
+
+if HAVE_BITWISE_COUNT:
+
+    def popcount_words(words: np.ndarray) -> int:
+        """Total set bits across a word array."""
+        return int(np.bitwise_count(words).sum(dtype=np.int64))
+
+    def popcount_rows(words: np.ndarray) -> np.ndarray:
+        """Per-row set-bit counts of a ``(runs, words)`` matrix."""
+        return np.bitwise_count(words).sum(axis=1, dtype=np.int64)
+
+else:  # pragma: no cover - exercised on numpy < 2.0 runners
+    popcount_words = _popcount_words_lut
+    popcount_rows = _popcount_rows_lut
+
+
+# ----------------------------------------------------------------------
+# Scatter / tiling kernels
+# ----------------------------------------------------------------------
+
+
+def set_bits_in_words(words: np.ndarray, indices: np.ndarray) -> None:
+    """OR the given bit indices into a word array (duplicates fine)."""
+    idx = indices.astype(np.uint64, copy=False)
+    np.bitwise_or.at(
+        words,
+        (idx >> np.uint64(6)).astype(np.intp),
+        np.left_shift(np.uint64(1), idx & np.uint64(63)),
+    )
+
+
+def _replicate_multiplier(pattern_bits: int, target_bits: int) -> np.uint64:
+    """Multiplier replicating a sub-word pattern across ``target_bits``.
+
+    A value below ``2**pattern_bits`` times this constant tiles the
+    pattern ``target_bits // pattern_bits`` times with no carries —
+    the in-word analogue of ``np.tile`` for the paper's power-of-two
+    expansion at sizes under one word.
+    """
+    return np.uint64(
+        sum(1 << (rep * pattern_bits) for rep in range(target_bits // pattern_bits))
+    )
+
+
+def tile_words(words: np.ndarray, size: int, factor: int) -> np.ndarray:
+    """Expand ``size`` bits of words to ``size * factor`` by replication.
+
+    Always returns a freshly-allocated array (callers use it to seed
+    join accumulators, so ``factor == 1`` is a copy, not a view).
+    """
+    factor = int(factor)
+    if factor == 1:
+        return np.array(words)
+    size = int(size)
+    target = size * factor
+    if size % WORD_BITS == 0:
+        return np.tile(words, factor)
+    if size < WORD_BITS and size & (size - 1) == 0:
+        pattern = words[0]
+        if target <= WORD_BITS:
+            return np.array(
+                [pattern * _replicate_multiplier(size, target)], dtype=np.uint64
+            )
+        full = pattern * _replicate_multiplier(size, WORD_BITS)
+        return np.full(target >> 6, full, dtype=np.uint64)
+    # Irregular sizes (non-power-of-two sub-word) take the slow road.
+    return pack_bool(np.tile(unpack_words(words, size), factor))
+
+
+def tile_words_rows(words: np.ndarray, size: int, factor: int) -> np.ndarray:
+    """Row-wise :func:`tile_words` for a ``(runs, words)`` matrix."""
+    factor = int(factor)
+    if factor == 1:
+        return np.array(words)
+    size = int(size)
+    target = size * factor
+    if size % WORD_BITS == 0:
+        return np.tile(words, (1, factor))
+    if size < WORD_BITS and size & (size - 1) == 0:
+        if target <= WORD_BITS:
+            return words * _replicate_multiplier(size, target)
+        full = words * _replicate_multiplier(size, WORD_BITS)
+        return np.tile(full, (1, target >> 6))
+    return pack_bool_matrix(
+        np.tile(unpack_words_matrix(words, size), (1, factor))
+    )
+
+
+def apply_expanded_words(
+    out: np.ndarray,
+    out_size: int,
+    src: np.ndarray,
+    src_size: int,
+    op: np.ufunc,
+) -> None:
+    """Fold ``src`` into ``out`` as if ``src`` were tile-expanded.
+
+    The word-level counterpart of
+    :func:`repro.sketch.expansion.apply_expanded`: ``out`` (last axis
+    words, ``out_size`` bits) is combined in place with the replication
+    of ``src`` (``src_size`` bits, ``out_size = k * src_size``) without
+    materializing the expansion.  ``op`` is ``np.bitwise_and`` /
+    ``np.bitwise_or``.  Works on 1-D word arrays and on ``(runs,
+    words)`` matrices (``src`` then ``(words,)`` or ``(runs, words)``).
+    """
+    out_size, src_size = int(out_size), int(src_size)
+    if src_size == out_size:
+        op(out, src, out=out)
+        return
+    if src_size < WORD_BITS:
+        if out_size <= WORD_BITS:
+            op(out, src * _replicate_multiplier(src_size, out_size), out=out)
+            return
+        src = src * _replicate_multiplier(src_size, WORD_BITS)
+        src_size = WORD_BITS
+    factor = out_size // src_size
+    nwords = src_size >> 6
+    view = out.reshape(out.shape[:-1] + (factor, nwords))
+    if src.ndim > 1:
+        src = src[..., np.newaxis, :]
+    op(view, src, out=view)
+
+
+# ----------------------------------------------------------------------
+# words <-> sparse indices <-> run lengths
+# ----------------------------------------------------------------------
+
+
+def words_to_indices(words: np.ndarray, size: int) -> np.ndarray:
+    """Sorted uint32 indices of the set bits."""
+    if int(size) >= 1 << 32:
+        raise SketchError(
+            f"sparse representation requires size < 2^32, got {size}"
+        )
+    return np.flatnonzero(unpack_words(words, size)).astype(np.uint32)
+
+
+def indices_to_words(indices: np.ndarray, size: int) -> np.ndarray:
+    """Dense words with exactly the given bit indices set."""
+    words = np.zeros(word_count(size), dtype=np.uint64)
+    if indices.shape[0]:
+        set_bits_in_words(words, indices)
+    return words
+
+
+def words_to_runs(
+    words: np.ndarray, size: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(starts, lengths)`` uint32 arrays of the maximal one-runs."""
+    if int(size) >= 1 << 32:
+        raise SketchError(f"RLE representation requires size < 2^32, got {size}")
+    bits = unpack_words(words, size).astype(np.int8)
+    boundaries = np.diff(bits, prepend=np.int8(0), append=np.int8(0))
+    starts = np.flatnonzero(boundaries == 1).astype(np.uint32)
+    ends = np.flatnonzero(boundaries == -1).astype(np.uint32)
+    return starts, (ends - starts).astype(np.uint32)
+
+
+def runs_to_words(
+    starts: np.ndarray, lengths: np.ndarray, size: int
+) -> np.ndarray:
+    """Inverse of :func:`words_to_runs`."""
+    delta = np.zeros(int(size) + 1, dtype=np.int32)
+    np.add.at(delta, starts.astype(np.int64), 1)
+    np.add.at(delta, (starts.astype(np.int64) + lengths.astype(np.int64)), -1)
+    bits = np.cumsum(delta[: int(size)]) > 0
+    return pack_bool(bits)
+
+
+# ----------------------------------------------------------------------
+# Representation containers
+# ----------------------------------------------------------------------
+
+
+class DenseWordsRep:
+    """Packed uint64 words — the default working representation."""
+
+    kind = "dense"
+    __slots__ = ("words",)
+
+    def __init__(self, words: np.ndarray):
+        self.words = words
+
+    def nbytes(self) -> int:
+        return int(self.words.nbytes)
+
+    def copy(self) -> "DenseWordsRep":
+        return DenseWordsRep(np.array(self.words))
+
+    def to_words(self, size: int) -> np.ndarray:
+        return self.words
+
+    def popcount(self, size: int) -> int:
+        return popcount_words(self.words)
+
+    def get(self, size: int, index: int) -> bool:
+        word = self.words[index >> 6]
+        return bool((int(word) >> (index & 63)) & 1)
+
+
+class SparseBitsRep:
+    """Sorted set-bit indices — frozen; mutation promotes to dense."""
+
+    kind = "sparse"
+    __slots__ = ("indices",)
+
+    def __init__(self, indices: np.ndarray):
+        self.indices = indices
+
+    def nbytes(self) -> int:
+        return int(self.indices.nbytes)
+
+    def copy(self) -> "SparseBitsRep":
+        return SparseBitsRep(np.array(self.indices))
+
+    def to_words(self, size: int) -> np.ndarray:
+        return indices_to_words(self.indices, size)
+
+    def popcount(self, size: int) -> int:
+        return int(self.indices.shape[0])
+
+    def get(self, size: int, index: int) -> bool:
+        pos = int(np.searchsorted(self.indices, np.uint32(index)))
+        return pos < self.indices.shape[0] and int(self.indices[pos]) == index
+
+
+class RunLengthRep:
+    """Run-length (start, length) pairs — the cold-storage form."""
+
+    kind = "rle"
+    __slots__ = ("starts", "lengths")
+
+    def __init__(self, starts: np.ndarray, lengths: np.ndarray):
+        self.starts = starts
+        self.lengths = lengths
+
+    def nbytes(self) -> int:
+        return int(self.starts.nbytes + self.lengths.nbytes)
+
+    def copy(self) -> "RunLengthRep":
+        return RunLengthRep(np.array(self.starts), np.array(self.lengths))
+
+    def to_words(self, size: int) -> np.ndarray:
+        return runs_to_words(self.starts, self.lengths, size)
+
+    def popcount(self, size: int) -> int:
+        return int(self.lengths.sum(dtype=np.int64))
+
+    def get(self, size: int, index: int) -> bool:
+        pos = int(np.searchsorted(self.starts, np.uint32(index), side="right"))
+        if pos == 0:
+            return False
+        start = int(self.starts[pos - 1])
+        return index < start + int(self.lengths[pos - 1])
+
+
+def representation_sizes(words: np.ndarray, size: int) -> dict:
+    """Byte cost of each representation of the given bit string.
+
+    The measured-fill selection rule (:meth:`Bitmap.compress`) and the
+    memory benchmark both read from this one table, so the promotion
+    thresholds the docs quote are exactly what the code computes.
+    """
+    ones = popcount_words(words)
+    starts, lengths = (
+        words_to_runs(words, size) if size < 1 << 32 else (None, None)
+    )
+    sizes = {
+        "dense": word_count(size) * 8,
+        "dense_bool_seed": int(size),  # the pre-PR-9 baseline: 1 byte/bit
+    }
+    if size < 1 << 32:
+        sizes["sparse"] = ones * 4
+        sizes["rle"] = int(starts.shape[0]) * 8
+    return sizes

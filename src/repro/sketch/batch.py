@@ -4,15 +4,17 @@ The experiment harness evaluates every estimator over many independent
 runs per cell (the paper uses 1000).  Joining each run's ``t`` records
 one :class:`~repro.sketch.bitmap.Bitmap` at a time leaves most of the
 wall clock in Python call overhead.  A :class:`BitmapBatch` stacks the
-same-period records of all runs into one ``(runs, m)`` boolean matrix
-so the AND/OR joins of Sections III and IV and the zero/one accounting
-of Eq. 1 run as axis-wise numpy operations over the whole cell.
+same-period records of all runs into one ``(runs, words)`` packed
+``uint64`` matrix so the AND/OR joins of Sections III and IV run as
+word-wise numpy operations over the whole cell — 1/8th the bytes of
+the seed's bool matrices — and the zero/one accounting of Eq. 1 is a
+per-row popcount.
 
 Joins across different bitmap sizes use the same broadcast trick as
-:func:`repro.sketch.expansion.apply_expanded`: the ``(runs, m)``
-accumulator is viewed as ``(runs, m/l, l)`` and the smaller ``(runs,
-l)`` batch is broadcast in, which the paper's power-of-two alignment
-property makes bit-identical to joining tiled expansions.
+:func:`repro.sketch.expansion.apply_expanded_words`: the ``(runs,
+m/64)`` accumulator is viewed as ``(runs, m/l, l/64)`` and the smaller
+batch's words are broadcast in, which the paper's power-of-two
+alignment property makes bit-identical to joining tiled expansions.
 
 Every operation here is bit-for-bit equivalent to its scalar
 counterpart in :mod:`repro.sketch.join`; ``tests/test_sketch_batch.py``
@@ -28,24 +30,27 @@ import numpy as np
 
 from repro.exceptions import SketchError
 from repro.obs import runtime as obs
+from repro.sketch import backends
 from repro.sketch.bitmap import Bitmap
 from repro.sketch.expansion import (
     _EXPANSION_RATIO,
-    apply_expanded,
+    apply_expanded_words,
     expansion_factor,
     observe_expansion_group,
 )
 
 
 class BitmapBatch:
-    """A stack of ``runs`` same-size bitmaps in one boolean matrix.
+    """A stack of ``runs`` same-size bitmaps in one packed word matrix.
 
     Row ``r`` is run ``r``'s bitmap for one measurement period.  The
     batch is the unit the batched estimators operate on: one
     :class:`BitmapBatch` per period, all sharing the same run count.
+    Construction accepts ``(runs, size)`` bool matrices (the workload
+    generators' native scatter target) and packs them once.
     """
 
-    __slots__ = ("_bits",)
+    __slots__ = ("_words", "_size")
 
     def __init__(self, bits: np.ndarray, copy: bool = True):
         arr = np.asarray(bits, dtype=np.bool_)
@@ -59,7 +64,9 @@ class BitmapBatch:
                 f"a bitmap batch needs at least one run and one bit, "
                 f"got shape {arr.shape}"
             )
-        self._bits = arr.copy() if copy else arr
+        # Packing copies regardless, so ``copy`` is honoured for free.
+        self._size = int(arr.shape[1])
+        self._words = backends.pack_bool_matrix(arr)
 
     # ------------------------------------------------------------------
     # Construction
@@ -72,7 +79,10 @@ class BitmapBatch:
             raise SketchError(
                 f"runs and size must be positive, got ({runs}, {size})"
             )
-        return cls(np.zeros((int(runs), int(size)), dtype=np.bool_), copy=False)
+        return cls._adopt_words(
+            int(size),
+            np.zeros((int(runs), backends.word_count(size)), dtype=np.uint64),
+        )
 
     @classmethod
     def from_bitmaps(cls, bitmaps: Sequence[Bitmap]) -> "BitmapBatch":
@@ -84,13 +94,35 @@ class BitmapBatch:
             raise SketchError(
                 f"all bitmaps in a batch must share one size, got {sorted(sizes)}"
             )
-        return cls(np.stack([b.bits for b in bitmaps]), copy=False)
+        return cls._adopt_words(
+            bitmaps[0].size, np.stack([b._dense_words() for b in bitmaps])
+        )
 
     @classmethod
     def _adopt(cls, bits: np.ndarray) -> "BitmapBatch":
-        """Wrap a freshly-allocated ``(runs, size)`` bool matrix, no copy."""
+        """Pack a freshly-scattered ``(runs, size)`` bool matrix.
+
+        The workload generators scatter vehicle hashes into a bool
+        matrix (byte-per-bit scatters beat word read-modify-writes by
+        ~5x) and hand it over here; the one ``packbits`` pass per
+        period is the entire conversion cost.
+        """
         batch = cls.__new__(cls)
-        batch._bits = bits
+        batch._size = int(bits.shape[1])
+        batch._words = backends.pack_bool_matrix(bits)
+        return batch
+
+    @classmethod
+    def _adopt_words(cls, size: int, words: np.ndarray) -> "BitmapBatch":
+        """Wrap a ``(runs, words)`` uint64 matrix *without* copying.
+
+        Internal: the caller transfers ownership and guarantees the
+        tail-bit invariant (bits beyond ``size`` in each row's last
+        word are zero).
+        """
+        batch = cls.__new__(cls)
+        batch._size = int(size)
+        batch._words = words
         return batch
 
     # ------------------------------------------------------------------
@@ -100,23 +132,30 @@ class BitmapBatch:
     @property
     def runs(self) -> int:
         """Number of stacked bitmaps (Monte-Carlo runs)."""
-        return int(self._bits.shape[0])
+        return int(self._words.shape[0])
 
     @property
     def size(self) -> int:
         """Bits per bitmap ``m`` (shared by every run)."""
-        return int(self._bits.shape[1])
+        return self._size
+
+    @property
+    def words(self) -> np.ndarray:
+        """Read-only ``(runs, words)`` view of the packed matrix."""
+        view = self._words.view()
+        view.flags.writeable = False
+        return view
 
     @property
     def bits(self) -> np.ndarray:
-        """Read-only ``(runs, size)`` view of the backing matrix."""
-        view = self._bits.view()
+        """Read-only ``(runs, size)`` bool matrix, unpacked on demand."""
+        view = backends.unpack_words_matrix(self._words, self._size)
         view.flags.writeable = False
         return view
 
     def row(self, run: int) -> Bitmap:
         """Materialize run ``run``'s bitmap as a scalar :class:`Bitmap`."""
-        return Bitmap(self.size, self._bits[run])
+        return Bitmap._adopt_words(self._size, np.array(self._words[run]))
 
     def to_bitmaps(self) -> List[Bitmap]:
         """Materialize every run as a scalar :class:`Bitmap`."""
@@ -128,7 +167,7 @@ class BitmapBatch:
 
     def set_row_indices(self, run: int, indices: np.ndarray) -> None:
         """Set the given (already range-reduced) bits of one run."""
-        self._bits[run, indices] = True
+        backends.set_bits_in_words(self._words[run], indices)
 
     # ------------------------------------------------------------------
     # Accounting — per-run vectors of the scalar Bitmap accessors
@@ -136,19 +175,19 @@ class BitmapBatch:
 
     def ones(self) -> np.ndarray:
         """Per-run count of one bits, shape ``(runs,)``."""
-        return np.count_nonzero(self._bits, axis=1)
+        return backends.popcount_rows(self._words)
 
     def zeros_count(self) -> np.ndarray:
         """Per-run count of zero bits, shape ``(runs,)``."""
-        return self.size - self.ones()
+        return self._size - self.ones()
 
     def one_fractions(self) -> np.ndarray:
         """Per-run ``V_1`` vector."""
-        return self.ones() / self.size
+        return self.ones() / self._size
 
     def zero_fractions(self) -> np.ndarray:
         """Per-run ``V_0`` vector."""
-        return self.zeros_count() / self.size
+        return self.zeros_count() / self._size
 
     # ------------------------------------------------------------------
     # Combination / expansion
@@ -156,10 +195,13 @@ class BitmapBatch:
 
     def expand(self, target_size: int) -> "BitmapBatch":
         """Tile every run's bitmap up to ``target_size`` (Fig. 2)."""
-        factor = expansion_factor(self.size, target_size)
+        factor = expansion_factor(self._size, target_size)
         if factor == 1:
             return self
-        return BitmapBatch(np.tile(self._bits, (1, factor)), copy=False)
+        return BitmapBatch._adopt_words(
+            int(target_size),
+            backends.tile_words_rows(self._words, self._size, factor),
+        )
 
     def _check_runs(self, other: "BitmapBatch", op: str) -> None:
         if not isinstance(other, BitmapBatch):
@@ -176,23 +218,23 @@ class BitmapBatch:
         big, small = (self, other) if self.size >= other.size else (other, self)
         if big.size != small.size and obs.ACTIVE:
             _EXPANSION_RATIO.observe(float(big.size // small.size))
-        out = np.array(big._bits)
-        apply_expanded(out, small._bits, op)
-        return BitmapBatch._adopt(out)
+        out = np.array(big._words)
+        apply_expanded_words(out, big.size, small._words, small.size, op)
+        return BitmapBatch._adopt_words(big.size, out)
 
     def __and__(self, other: "BitmapBatch") -> "BitmapBatch":
         self._check_runs(other, "AND")
-        return self._combine(other, np.logical_and)
+        return self._combine(other, np.bitwise_and)
 
     def __or__(self, other: "BitmapBatch") -> "BitmapBatch":
         self._check_runs(other, "OR")
-        return self._combine(other, np.logical_or)
+        return self._combine(other, np.bitwise_or)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, BitmapBatch):
             return NotImplemented
-        return self._bits.shape == other._bits.shape and bool(
-            np.array_equal(self._bits, other._bits)
+        return self._size == other._size and bool(
+            np.array_equal(self._words, other._words)
         )
 
     def __hash__(self) -> int:  # pragma: no cover - batches are mutable
@@ -238,13 +280,11 @@ def _accumulate_batch_join(
 ) -> BitmapBatch:
     first = batches[0]
     factor = expansion_factor(first.size, size)
-    if factor == 1:
-        out = np.array(first.bits)
-    else:
-        out = np.tile(first.bits, (1, factor))
+    # tile_words_rows copies even at factor 1 — the accumulator seed.
+    out = backends.tile_words_rows(first._words, first.size, factor)
     for batch in batches[1:]:
-        apply_expanded(out, batch.bits, op)
-    return BitmapBatch._adopt(out)
+        apply_expanded_words(out, size, batch._words, batch.size, op)
+    return BitmapBatch._adopt_words(size, out)
 
 
 def and_join_batch(
@@ -259,7 +299,7 @@ def and_join_batch(
     if obs.ACTIVE:
         _observe_batch_join("and", size, batches)
         observe_expansion_group([b.size for b in batches], size)
-    return _accumulate_batch_join(np.logical_and, batches, size)
+    return _accumulate_batch_join(np.bitwise_and, batches, size)
 
 
 def or_join_batch(
@@ -270,7 +310,7 @@ def or_join_batch(
     if obs.ACTIVE:
         _observe_batch_join("or", size, batches)
         observe_expansion_group([b.size for b in batches], size)
-    return _accumulate_batch_join(np.logical_or, batches, size)
+    return _accumulate_batch_join(np.bitwise_or, batches, size)
 
 
 @dataclass(frozen=True)

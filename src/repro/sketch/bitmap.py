@@ -2,14 +2,31 @@
 
 The paper's traffic record is "a bitmap ``B`` of ``m`` bits" whose bits
 are set by passing vehicles (Section II-D).  This module provides a
-numpy-backed :class:`Bitmap` with the operations the rest of the system
-needs: single and bulk bit setting, zero/one accounting, bitwise
-AND/OR combination, and replication-based expansion.
+:class:`Bitmap` with the operations the rest of the system needs:
+single and bulk bit setting, zero/one accounting, bitwise AND/OR
+combination, and replication-based expansion.
 
-The backing store is a ``numpy.ndarray`` of ``bool``.  For the sizes
-the paper uses (up to 2^20 bits) this is both faster and simpler than a
-packed representation, and the serialization layer
-(:mod:`repro.sketch.serial`) packs to actual bits for transport.
+The representation is pluggable (see :mod:`repro.sketch.backends`):
+
+* ``dense`` — packed ``uint64`` words, the default working form.
+  AND/OR/XOR run as word ops over 1/8th the bytes of the seed's bool
+  arrays, and counting uses hardware popcount where numpy offers it.
+* ``sparse`` — sorted set-bit indices, for near-empty records.
+* ``rle`` — run-length pairs, the cold-storage form.
+
+Freshly-constructed empty bitmaps additionally *stage* in a mutable
+bool array: scattering vehicle hashes into a byte-per-bit array is
+several times faster than read-modify-write word scatters, so the RSU
+encoding hot path mutates the stage and the bitmap packs itself into
+words on first use as an operand (``words``/joins/serialization).
+Staged bitmaps report ``backend_kind == "dense"`` — the stage is a
+write buffer in front of the dense form, not a fourth representation.
+
+Mutating a ``sparse`` or ``rle`` bitmap transparently promotes it to
+``dense`` first; :meth:`Bitmap.compress` demotes to whichever
+representation measures smallest for the actual bit content.  All
+representations describe the identical bit string, so every estimator
+is bit-for-bit unaffected by representation choice.
 """
 
 from __future__ import annotations
@@ -19,7 +36,64 @@ from typing import Iterable, Iterator, Union
 import numpy as np
 
 from repro.exceptions import SketchError
+from repro.obs import runtime as obs
+from repro.sketch import backends
+from repro.sketch.backends import (
+    DenseWordsRep,
+    RunLengthRep,
+    SparseBitsRep,
+)
 from repro.sketch.sizing import is_power_of_two
+
+#: Destination-kind conversion counters, bound at import so the
+#: families export at zero from the moment observability is enabled.
+_REPR_CONVERSIONS = {
+    kind: obs.bind_counter(
+        "repro_bitmap_representation_total",
+        help="Bitmap representation conversions by destination kind.",
+        kind=kind,
+    )
+    for kind in ("dense", "sparse", "rle")
+}
+
+REPRESENTATION_KINDS = ("dense", "sparse", "rle")
+
+
+class _StageRep:
+    """Mutable bool staging buffer in front of the dense form.
+
+    Only empty-constructed bitmaps get one; it exists because bulk
+    index scatters (``bits[idx] = True``) into a byte-per-bit array
+    beat ``np.bitwise_or.at`` word scatters by ~5x at production
+    sizes.  The first packed-word consumer swaps it for
+    :class:`~repro.sketch.backends.DenseWordsRep`.
+    """
+
+    kind = "stage"
+    __slots__ = ("bits",)
+
+    def __init__(self, bits: np.ndarray):
+        self.bits = bits
+
+    def nbytes(self) -> int:
+        return int(self.bits.nbytes)
+
+    def copy(self) -> "_StageRep":
+        return _StageRep(self.bits.copy())
+
+    def to_words(self, size: int) -> np.ndarray:
+        return backends.pack_bool(self.bits)
+
+    def popcount(self, size: int) -> int:
+        return int(np.count_nonzero(self.bits))
+
+    def get(self, size: int, index: int) -> bool:
+        return bool(self.bits[index])
+
+
+def _note_conversion(kind: str) -> None:
+    if obs.ACTIVE:
+        _REPR_CONVERSIONS[kind].inc()
 
 
 class Bitmap:
@@ -48,14 +122,15 @@ class Bitmap:
     0.875
     """
 
-    __slots__ = ("_bits",)
+    __slots__ = ("_size", "_rep")
 
     def __init__(self, size: int, bits: Union[np.ndarray, Iterable[int], None] = None):
         if int(size) <= 0:
             raise SketchError(f"bitmap size must be positive, got {size}")
         size = int(size)
+        self._size = size
         if bits is None:
-            self._bits = np.zeros(size, dtype=np.bool_)
+            self._rep = _StageRep(np.zeros(size, dtype=np.bool_))
         else:
             arr = np.asarray(bits, dtype=np.bool_)
             if arr.ndim != 1 or arr.shape[0] != size:
@@ -63,7 +138,7 @@ class Bitmap:
                     f"initial bits must be a flat array of length {size}, "
                     f"got shape {arr.shape}"
                 )
-            self._bits = arr.copy()
+            self._rep = DenseWordsRep(backends.pack_bool(arr))
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -80,11 +155,34 @@ class Bitmap:
         """Wrap a freshly-allocated boolean array *without* copying.
 
         Internal: the caller transfers ownership of ``bits`` (a flat,
-        non-empty ``bool_`` array nobody else mutates).  Used by the
-        join accumulators to avoid a defensive copy per join.
+        non-empty ``bool_`` array nobody else mutates).  The array
+        becomes the bitmap's mutation stage; word consumers pack it
+        lazily like any other staged bitmap.
         """
         bitmap = cls.__new__(cls)
-        bitmap._bits = bits
+        bitmap._size = int(bits.shape[0])
+        bitmap._rep = _StageRep(bits)
+        return bitmap
+
+    @classmethod
+    def _adopt_words(cls, size: int, words: np.ndarray) -> "Bitmap":
+        """Wrap a freshly-allocated word array *without* copying.
+
+        Internal: ``words`` must be a ``uint64`` array of exactly
+        ``word_count(size)`` words whose bits beyond ``size`` are zero
+        (the tail invariant every producer in this package maintains).
+        Used by the join accumulators and the interval-index pools.
+        """
+        bitmap = cls.__new__(cls)
+        bitmap._size = int(size)
+        bitmap._rep = DenseWordsRep(words)
+        return bitmap
+
+    @classmethod
+    def _with_rep(cls, size: int, rep) -> "Bitmap":
+        bitmap = cls.__new__(cls)
+        bitmap._size = int(size)
+        bitmap._rep = rep
         return bitmap
 
     @classmethod
@@ -99,8 +197,8 @@ class Bitmap:
         return bitmap
 
     def copy(self) -> "Bitmap":
-        """Return an independent copy of this bitmap."""
-        return Bitmap(self.size, self._bits)
+        """Return an independent copy, preserving the representation."""
+        return Bitmap._with_rep(self._size, self._rep.copy())
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -109,19 +207,113 @@ class Bitmap:
     @property
     def size(self) -> int:
         """Number of bits ``m`` in the bitmap."""
-        return int(self._bits.shape[0])
+        return self._size
 
     @property
     def bits(self) -> np.ndarray:
-        """Read-only view of the underlying boolean array."""
-        view = self._bits.view()
+        """Read-only boolean array of the bitmap's content.
+
+        For staged bitmaps this is a view of the live stage; for packed
+        representations it is unpacked on demand.  Either way it is not
+        writable — mutation goes through :meth:`set`/:meth:`set_many`.
+        """
+        rep = self._rep
+        if rep.kind == "stage":
+            view = rep.bits.view()
+        else:
+            view = backends.unpack_words(rep.to_words(self._size), self._size)
         view.flags.writeable = False
         return view
 
     @property
+    def words(self) -> np.ndarray:
+        """Read-only packed ``uint64`` words (little-endian bit order).
+
+        Accessing this on a staged/sparse/rle bitmap converts it to the
+        dense form in place first, so repeated word consumers pay the
+        conversion once.
+        """
+        view = self._dense_words().view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def backend_kind(self) -> str:
+        """Current representation: ``dense``, ``sparse`` or ``rle``."""
+        kind = self._rep.kind
+        return "dense" if kind == "stage" else kind
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the current representation's arrays."""
+        return self._rep.nbytes()
+
+    @property
     def is_power_of_two_sized(self) -> bool:
         """Whether ``size`` is a power of two (required for joining)."""
-        return is_power_of_two(self.size)
+        return is_power_of_two(self._size)
+
+    # ------------------------------------------------------------------
+    # Representation management
+    # ------------------------------------------------------------------
+
+    def _dense_words(self) -> np.ndarray:
+        """The packed words, converting this bitmap to dense in place."""
+        rep = self._rep
+        if rep.kind != "dense":
+            rep = DenseWordsRep(rep.to_words(self._size))
+            self._rep = rep
+            _note_conversion("dense")
+        return rep.words
+
+    def _words_view(self) -> np.ndarray:
+        """Packed words *without* changing the stored representation."""
+        return self._rep.to_words(self._size)
+
+    def pack(self) -> "Bitmap":
+        """Ensure the dense packed-word form; returns ``self``."""
+        self._dense_words()
+        return self
+
+    def compress(self) -> "Bitmap":
+        """Switch to whichever representation measures smallest.
+
+        The choice is by actual byte cost for this bitmap's content —
+        the "measured fill thresholds" are therefore exact, not tuned:
+        sparse (4 B/set bit) wins below 1/16 fill, RLE (8 B/run) wins
+        whenever bits cluster into few runs, dense wins ties.  Returns
+        ``self``.
+        """
+        words = self._words_view()
+        sizes = backends.representation_sizes(words, self._size)
+        best = min(REPRESENTATION_KINDS, key=lambda kind: sizes.get(kind, 1 << 62))
+        if sizes["dense"] <= sizes.get(best, 1 << 62):
+            best = "dense"
+        return self._convert_to(best, words)
+
+    def to_representation(self, kind: str) -> "Bitmap":
+        """A new bitmap with the same bits in the given representation."""
+        if kind not in REPRESENTATION_KINDS:
+            raise SketchError(
+                f"unknown bitmap representation {kind!r}; "
+                f"expected one of {REPRESENTATION_KINDS}"
+            )
+        return self.copy()._convert_to(kind, None)
+
+    def _convert_to(self, kind: str, words) -> "Bitmap":
+        if kind == self._rep.kind:
+            return self
+        if words is None:
+            words = self._words_view()
+        if kind == "dense":
+            self._rep = DenseWordsRep(words)
+        elif kind == "sparse":
+            self._rep = SparseBitsRep(backends.words_to_indices(words, self._size))
+        else:
+            starts, lengths = backends.words_to_runs(words, self._size)
+            self._rep = RunLengthRep(starts, lengths)
+        _note_conversion(kind)
+        return self
 
     # ------------------------------------------------------------------
     # Mutation
@@ -130,9 +322,14 @@ class Bitmap:
     def set(self, index: int) -> None:
         """Set the bit at ``index`` to one (the paper's ``B[h_v] = 1``)."""
         idx = int(index)
-        if not 0 <= idx < self.size:
-            raise SketchError(f"bit index {idx} out of range for size {self.size}")
-        self._bits[idx] = True
+        if not 0 <= idx < self._size:
+            raise SketchError(f"bit index {idx} out of range for size {self._size}")
+        rep = self._rep
+        if rep.kind == "stage":
+            rep.bits[idx] = True
+        else:
+            words = self._dense_words()
+            words[idx >> 6] |= np.uint64(1) << np.uint64(idx & 63)
 
     def set_many(
         self, indices: Iterable[int], *, assume_in_range: bool = False
@@ -158,16 +355,26 @@ class Bitmap:
             return
         if not assume_in_range:
             idx = idx.astype(np.int64, copy=False)
-            if idx.min() < 0 or idx.max() >= self.size:
+            if idx.min() < 0 or idx.max() >= self._size:
                 raise SketchError(
-                    f"bit indices must lie in [0, {self.size}), "
+                    f"bit indices must lie in [0, {self._size}), "
                     f"got range [{idx.min()}, {idx.max()}]"
                 )
-        self._bits[idx] = True
+        rep = self._rep
+        if rep.kind == "stage":
+            rep.bits[idx] = True
+        else:
+            backends.set_bits_in_words(self._dense_words(), idx)
 
     def clear(self) -> None:
         """Reset every bit to zero (start of a new measurement period)."""
-        self._bits[:] = False
+        rep = self._rep
+        if rep.kind == "stage":
+            rep.bits[:] = False
+        else:
+            self._rep = DenseWordsRep(
+                np.zeros(backends.word_count(self._size), dtype=np.uint64)
+            )
 
     # ------------------------------------------------------------------
     # Accounting
@@ -176,33 +383,33 @@ class Bitmap:
     def get(self, index: int) -> bool:
         """Return the value of the bit at ``index``."""
         idx = int(index)
-        if not 0 <= idx < self.size:
-            raise SketchError(f"bit index {idx} out of range for size {self.size}")
-        return bool(self._bits[idx])
+        if not 0 <= idx < self._size:
+            raise SketchError(f"bit index {idx} out of range for size {self._size}")
+        return self._rep.get(self._size, idx)
 
     def ones(self) -> int:
-        """Number of bits that are one."""
-        return int(np.count_nonzero(self._bits))
+        """Number of bits that are one (popcount on the dense form)."""
+        return self._rep.popcount(self._size)
 
     def zeros(self) -> int:
         """Number of bits that are zero."""
-        return self.size - self.ones()
+        return self._size - self.ones()
 
     def one_fraction(self) -> float:
         """Fraction of bits that are one (the paper's ``V_1``)."""
-        return self.ones() / self.size
+        return self.ones() / self._size
 
     def zero_fraction(self) -> float:
         """Fraction of bits that are zero (the paper's ``V_0``)."""
-        return self.zeros() / self.size
+        return self.zeros() / self._size
 
     def is_saturated(self) -> bool:
         """True when every bit is one — no counting information left."""
-        return bool(self._bits.all())
+        return self.ones() == self._size
 
     def is_empty(self) -> bool:
         """True when every bit is zero."""
-        return not self._bits.any()
+        return self.ones() == 0
 
     # ------------------------------------------------------------------
     # Combination
@@ -211,31 +418,44 @@ class Bitmap:
     def _check_same_size(self, other: "Bitmap", op: str) -> None:
         if not isinstance(other, Bitmap):
             raise SketchError(f"cannot {op} a Bitmap with {type(other).__name__}")
-        if other.size != self.size:
+        if other.size != self._size:
             raise SketchError(
                 f"cannot {op} bitmaps of different sizes "
-                f"({self.size} vs {other.size}); expand first"
+                f"({self._size} vs {other.size}); expand first"
             )
 
     def __and__(self, other: "Bitmap") -> "Bitmap":
         self._check_same_size(other, "AND")
-        return Bitmap(self.size, self._bits & other._bits)
+        return Bitmap._adopt_words(
+            self._size, self._dense_words() & other._dense_words()
+        )
 
     def __or__(self, other: "Bitmap") -> "Bitmap":
         self._check_same_size(other, "OR")
-        return Bitmap(self.size, self._bits | other._bits)
+        return Bitmap._adopt_words(
+            self._size, self._dense_words() | other._dense_words()
+        )
 
     def __xor__(self, other: "Bitmap") -> "Bitmap":
         self._check_same_size(other, "XOR")
-        return Bitmap(self.size, self._bits ^ other._bits)
+        return Bitmap._adopt_words(
+            self._size, self._dense_words() ^ other._dense_words()
+        )
 
     def __invert__(self) -> "Bitmap":
-        return Bitmap(self.size, ~self._bits)
+        inverted = ~self._dense_words()
+        inverted[-1] &= backends.tail_mask(self._size)
+        return Bitmap._adopt_words(self._size, inverted)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Bitmap):
             return NotImplemented
-        return self.size == other.size and bool(np.array_equal(self._bits, other._bits))
+        # Via the side-effect-free word view: equality across mixed
+        # representations (a hot dense record vs its cold RLE twin)
+        # must not silently re-inflate the compressed one.
+        return self._size == other.size and bool(
+            np.array_equal(self._words_view(), other._words_view())
+        )
 
     def __hash__(self) -> int:  # pragma: no cover - bitmaps are mutable
         raise TypeError("Bitmap is mutable and unhashable")
@@ -261,10 +481,10 @@ class Bitmap:
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return self.size
+        return self._size
 
     def __iter__(self) -> Iterator[bool]:
-        return (bool(b) for b in self._bits)
+        return (bool(b) for b in self.bits)
 
     def __repr__(self) -> str:
-        return f"Bitmap(size={self.size}, ones={self.ones()})"
+        return f"Bitmap(size={self._size}, ones={self.ones()})"

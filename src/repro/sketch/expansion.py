@@ -18,6 +18,7 @@ import numpy as np
 from repro.exceptions import SketchError
 from repro.obs import runtime as obs
 from repro.obs.metrics import POW2_BUCKETS
+from repro.sketch import backends
 from repro.sketch.bitmap import Bitmap
 from repro.sketch.sizing import is_power_of_two
 
@@ -92,8 +93,8 @@ def expand_to(bitmap: Bitmap, target_size: int) -> Bitmap:
         return bitmap
     if obs.ACTIVE:
         _EXPANSION_RATIO.observe(factor)
-    tiled = np.tile(bitmap.bits, factor)
-    return Bitmap(target_size, tiled)
+    tiled = backends.tile_words(bitmap._words_view(), bitmap.size, factor)
+    return Bitmap._adopt_words(target_size, tiled)
 
 
 def apply_expanded(out: np.ndarray, bits: np.ndarray, op: np.ufunc) -> None:
@@ -122,6 +123,30 @@ def apply_expanded(out: np.ndarray, bits: np.ndarray, op: np.ufunc) -> None:
     if bits.ndim > 1:
         bits = bits[..., np.newaxis, :]
     op(view, bits, out=view)
+
+
+def apply_expanded_words(
+    out: np.ndarray,
+    out_size: int,
+    src: np.ndarray,
+    src_size: int,
+    op: np.ufunc,
+) -> None:
+    """Word-level :func:`apply_expanded`: fold packed words in place.
+
+    ``out`` is a ``uint64`` accumulator whose last axis holds
+    ``out_size`` bits; ``src`` holds ``src_size`` bits with
+    ``out_size = k·src_size`` (both powers of two).  ``op`` is
+    ``np.bitwise_and``/``np.bitwise_or``.  Sub-word sources are first
+    replicated across one word by a multiply (no carries for
+    power-of-two patterns), after which the tiling is a reshaped
+    broadcast exactly as in the bool kernel — but over 1/8th the bytes.
+
+    Like :func:`apply_expanded` this is a pure kernel; expansion-ratio
+    accounting stays with the caller.
+    """
+    expansion_factor(src_size, out_size)  # validate pow2 + ordering
+    backends.apply_expanded_words(out, out_size, src, src_size, op)
 
 
 def verify_alignment(bitmap: Bitmap, target_size: int, hash_value: int) -> bool:

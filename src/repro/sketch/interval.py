@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.exceptions import SketchError
 from repro.obs import runtime as obs
+from repro.sketch.backends import word_count
 from repro.sketch.bitmap import Bitmap
 from repro.sketch.expansion import expand_to
 from repro.sketch.join import _JOINS, SplitJoinResult, and_join
@@ -64,11 +65,13 @@ class IntervalJoinIndex:
         self._base = 0
         self._bitmaps: List[Bitmap] = []
         self._table: Dict[Tuple[int, int], Bitmap] = {}
-        # Buffer recycling: evicted entries' arrays, per size, reused
-        # as combine outputs.  A sliding window evicts about as many
-        # entries as it creates per step, so steady-state combines
-        # write into recently-hot buffers instead of faulting in fresh
-        # pages — that, not the AND itself, dominates at 2^19 bits.
+        # Buffer recycling: evicted entries' packed-word arrays, keyed
+        # by bitmap size, reused as combine outputs.  A sliding window
+        # evicts about as many entries as it creates per step, so
+        # steady-state combines write into recently-hot buffers instead
+        # of faulting in fresh pages — that, not the AND itself,
+        # dominates at 2^19 bits.  Word buffers are 8x smaller than the
+        # seed's bool buffers, so the pool's cap costs 1/8th the RAM.
         self._pools: Dict[int, List[np.ndarray]] = {}
         # Entries handed to callers by range_join: their buffers must
         # never be recycled (the caller may still hold the bitmap).
@@ -131,9 +134,12 @@ class IntervalJoinIndex:
             if key in self._escaped:
                 self._escaped.discard(key)
                 continue
+            rep = value._rep
+            if rep.kind != "dense":
+                continue
             pool = self._pools.setdefault(value.size, [])
             if len(pool) < _POOL_LIMIT:
-                pool.append(value._bits)
+                pool.append(rep.words)
         self._table = kept
         return drop
 
@@ -164,9 +170,13 @@ class IntervalJoinIndex:
             cell.op_and += 1
             cell.bits += left.size * 2
         pool = self._pools.get(left.size)
-        out = pool.pop() if pool else np.empty(left.size, dtype=np.bool_)
-        np.bitwise_and(left.bits, right.bits, out=out)
-        return Bitmap._adopt(out)
+        out = (
+            pool.pop()
+            if pool
+            else np.empty(word_count(left.size), dtype=np.uint64)
+        )
+        np.bitwise_and(left._dense_words(), right._dense_words(), out=out)
+        return Bitmap._adopt_words(left.size, out)
 
     def _entry(self, level: int, start: int) -> Bitmap:
         """The AND-join of the ``2^level`` bitmaps from ``start`` on."""

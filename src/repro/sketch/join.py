@@ -22,9 +22,10 @@ import numpy as np
 
 from repro.exceptions import SketchError
 from repro.obs import runtime as obs
+from repro.sketch import backends
 from repro.sketch.bitmap import Bitmap
 from repro.sketch.expansion import (
-    apply_expanded,
+    apply_expanded_words,
     expand_to,
     expansion_factor,
     observe_expansion_group,
@@ -80,21 +81,22 @@ _JOINS = obs.bind_bank(
 def _accumulate_join(
     op: np.ufunc, bitmaps: Sequence[Bitmap], size: int
 ) -> Bitmap:
-    """AND/OR ``bitmaps`` into one freshly-allocated accumulator.
+    """AND/OR ``bitmaps`` into one freshly-allocated word accumulator.
 
-    The first bitmap seeds the accumulator (tiled when smaller than
-    ``size``); every further input is folded in place through the
-    broadcast view of :func:`apply_expanded`, so no per-input expansion
-    is ever materialized and no defensive copies are chained.
+    The first bitmap seeds the accumulator (word-tiled when smaller
+    than ``size``); every further input is folded in place through the
+    broadcast view of :func:`apply_expanded_words`, so no per-input
+    expansion is ever materialized, no defensive copies are chained,
+    and nothing round-trips through a bool array — every fold touches
+    1/8th the bytes the seed's bool accumulator did.
     """
-    factor = expansion_factor(bitmaps[0].size, size)
-    if factor == 1:
-        out = np.array(bitmaps[0].bits)  # the one unavoidable copy
-    else:
-        out = np.tile(bitmaps[0].bits, factor)
+    first = bitmaps[0]
+    factor = expansion_factor(first.size, size)
+    # tile_words copies even at factor 1 — the one unavoidable copy.
+    out = backends.tile_words(first._dense_words(), first.size, factor)
     for bitmap in bitmaps[1:]:
-        apply_expanded(out, bitmap.bits, op)
-    return Bitmap._adopt(out)
+        apply_expanded_words(out, size, bitmap._dense_words(), bitmap.size, op)
+    return Bitmap._adopt_words(size, out)
 
 
 def and_join(bitmaps: Sequence[Bitmap], size: Optional[int] = None) -> Bitmap:
@@ -116,7 +118,7 @@ def and_join(bitmaps: Sequence[Bitmap], size: Optional[int] = None) -> Bitmap:
         cell.bits += size * len(sizes)
         if min(sizes) != size:
             observe_expansion_group(sizes, size)
-    return _accumulate_join(np.logical_and, bitmaps, size)
+    return _accumulate_join(np.bitwise_and, bitmaps, size)
 
 
 def or_join(bitmaps: Sequence[Bitmap], size: Optional[int] = None) -> Bitmap:
@@ -129,7 +131,7 @@ def or_join(bitmaps: Sequence[Bitmap], size: Optional[int] = None) -> Bitmap:
         cell.bits += size * len(sizes)
         if min(sizes) != size:
             observe_expansion_group(sizes, size)
-    return _accumulate_join(np.logical_or, bitmaps, size)
+    return _accumulate_join(np.bitwise_or, bitmaps, size)
 
 
 @dataclass(frozen=True)
@@ -183,8 +185,8 @@ def split_and_join(bitmaps: Sequence[Bitmap]) -> SplitJoinResult:
         if min(sizes) != size:
             observe_expansion_group(sizes, size)
     midpoint = (len(bitmaps) + 1) // 2  # ceil(t/2), as in the paper
-    half_a = _accumulate_join(np.logical_and, bitmaps[:midpoint], size)
-    half_b = _accumulate_join(np.logical_and, bitmaps[midpoint:], size)
+    half_a = _accumulate_join(np.bitwise_and, bitmaps[:midpoint], size)
+    half_b = _accumulate_join(np.bitwise_and, bitmaps[midpoint:], size)
     return SplitJoinResult(half_a=half_a, half_b=half_b, joined=half_a & half_b)
 
 

@@ -128,7 +128,15 @@ class LinearCounting:
         return self._exact
 
     def estimate(self, bitmap: Bitmap) -> LinearCountingResult:
-        """Estimate the number of distinct items encoded in ``bitmap``."""
+        """Estimate the number of distinct items encoded in ``bitmap``.
+
+        ``V_0`` comes from :meth:`Bitmap.zero_fraction`, which counts
+        set bits on the bitmap's current representation — a popcount
+        over packed words for dense bitmaps (hardware
+        ``np.bitwise_count`` where available), the index count for
+        sparse ones, a run-length sum for RLE — so estimation never
+        forces a representation change.
+        """
         v0 = bitmap.zero_fraction()
         value = linear_counting_estimate(v0, bitmap.size, exact=self._exact)
         return LinearCountingResult(estimate=value, zero_fraction=v0, size=bitmap.size)

@@ -3,41 +3,181 @@
 At the end of each measurement period the RSU "sends the content of
 the bitmap B as its traffic record to the central server" (Section
 II-D).  This module packs a :class:`~repro.sketch.bitmap.Bitmap` into a
-small byte payload (1 bit per bit plus an 8-byte size header) and back,
-so the transport layer of the simulation moves realistic message sizes.
+small byte payload and back.
+
+Wire format (version 2, magic ``RBW2``)::
+
+    offset  size  field
+    0       4     magic  b"RBW2"
+    4       1     kind   0 = dense words, 1 = sparse indices, 2 = RLE
+    5       3     padding (zero) — keeps the body 8-byte aligned
+    8       8     bit count m, little-endian uint64
+    16      ...   body
+
+* dense body — the packed ``uint64`` words as little-endian bytes,
+  ``8 * ceil(m/64)`` of them.  Because the in-memory representation is
+  already packed words, serialization is a header plus ``tobytes()``
+  and deserialization a ``frombuffer`` copy: the seed's per-upload
+  ``np.packbits``/``np.unpackbits`` round-trip is gone.
+* sparse body — the sorted set-bit indices as little-endian uint32.
+* rle body — interleaved little-endian uint32 ``(start, length)``
+  pairs of the maximal one-runs.
+
+The 16-byte header is exactly the :class:`~repro.rsu.record`
+payload's bitmap offset alignment: a record payload is 16 bytes of
+location/period followed by this serialization, so a dense record's
+words begin at byte 32 of the record file — 8-byte aligned, which is
+what lets the warm tier memory-map ``.record`` files directly
+(:mod:`repro.server.tiers`).
+
+The seed's version-1 format (8-byte size header + big-bit-order
+``np.packbits`` body, no magic) is still read transparently:
+:func:`deserialize_bitmap` detects the magic and falls back.  A
+version-1 size header would need a bit count whose low four bytes
+spell ``"RBW2"`` little-endian (≈843 M bits) *and* a matching body
+length to collide — and :func:`serialize_bitmap_legacy` keeps the old
+writer available for compatibility tests and tooling.
 """
 
 from __future__ import annotations
 
 import struct
+from typing import Tuple
 
 import numpy as np
 
 from repro.exceptions import SketchError
+from repro.sketch import backends
 from repro.sketch.bitmap import Bitmap
 
-_HEADER = struct.Struct("<Q")  # little-endian uint64 bit count
+_LEGACY_HEADER = struct.Struct("<Q")  # v1: little-endian uint64 bit count
+_MAGIC = b"RBW2"
+_HEADER = struct.Struct("<4sB3xQ")  # magic, kind, pad, bit count
+
+HEADER_SIZE = _HEADER.size
+
+KIND_DENSE = 0
+KIND_SPARSE = 1
+KIND_RLE = 2
+
+_KIND_BY_NAME = {"dense": KIND_DENSE, "sparse": KIND_SPARSE, "rle": KIND_RLE}
+_NAME_BY_KIND = {v: k for k, v in _KIND_BY_NAME.items()}
 
 
 def serialize_bitmap(bitmap: Bitmap) -> bytes:
-    """Pack a bitmap into ``8 + ceil(m/8)`` bytes."""
+    """Pack a bitmap, preserving its current representation.
+
+    Dense (and staged) bitmaps serialize as raw words; sparse and RLE
+    bitmaps keep their compressed form on the wire and on disk, so a
+    cold archive file is as small as the in-memory representation.
+    """
+    rep = bitmap._rep
+    kind = _KIND_BY_NAME.get(rep.kind, KIND_DENSE)
+    if kind == KIND_DENSE:
+        words = bitmap._words_view()
+        body = words.astype("<u8", copy=False).tobytes()
+    elif kind == KIND_SPARSE:
+        body = rep.indices.astype("<u4", copy=False).tobytes()
+    else:
+        pairs = np.empty((rep.starts.shape[0], 2), dtype="<u4")
+        pairs[:, 0] = rep.starts
+        pairs[:, 1] = rep.lengths
+        body = pairs.tobytes()
+    return _HEADER.pack(_MAGIC, kind, bitmap.size) + body
+
+
+def serialize_bitmap_legacy(bitmap: Bitmap) -> bytes:
+    """The seed's version-1 writer: size header + big-bit-order pack.
+
+    Kept for compatibility tests and for regenerating old-format
+    fixtures; production paths always write version 2.
+    """
     packed = np.packbits(bitmap.bits)
-    return _HEADER.pack(bitmap.size) + packed.tobytes()
+    return _LEGACY_HEADER.pack(bitmap.size) + packed.tobytes()
 
 
-def deserialize_bitmap(payload: bytes) -> Bitmap:
-    """Inverse of :func:`serialize_bitmap`."""
-    if len(payload) < _HEADER.size:
+def parse_header(payload: bytes) -> Tuple[str, int, int]:
+    """``(kind, size, body_offset)`` of a serialized bitmap.
+
+    Understands both formats; the body offset lets callers (the warm
+    tier's memory-mapper) locate the dense words inside a larger file
+    without copying the payload.
+    """
+    if payload[:4] == _MAGIC and len(payload) >= HEADER_SIZE:
+        _, kind, size = _HEADER.unpack_from(payload)
+        if kind not in _NAME_BY_KIND:
+            raise SketchError(f"unknown bitmap representation kind {kind}")
+        return _NAME_BY_KIND[kind], int(size), HEADER_SIZE
+    if len(payload) < _LEGACY_HEADER.size:
         raise SketchError("bitmap payload too short to contain a header")
-    (size,) = _HEADER.unpack_from(payload)
-    body = payload[_HEADER.size:]
+    (size,) = _LEGACY_HEADER.unpack_from(payload)
+    return "legacy", int(size), _LEGACY_HEADER.size
+
+
+def _deserialize_legacy(size: int, body: bytes) -> Bitmap:
     expected_bytes = (size + 7) // 8
     if len(body) != expected_bytes:
         raise SketchError(
             f"bitmap payload body has {len(body)} bytes, "
             f"expected {expected_bytes} for {size} bits"
         )
-    if size == 0:
-        raise SketchError("bitmap payload declares zero bits")
     bits = np.unpackbits(np.frombuffer(body, dtype=np.uint8))[:size]
     return Bitmap(int(size), bits.astype(np.bool_))
+
+
+def deserialize_bitmap(payload: bytes) -> Bitmap:
+    """Inverse of :func:`serialize_bitmap` (reads v1 and v2 payloads)."""
+    kind, size, offset = parse_header(payload)
+    if size == 0:
+        raise SketchError("bitmap payload declares zero bits")
+    body = payload[offset:]
+    if kind == "legacy":
+        return _deserialize_legacy(size, body)
+    if kind == "dense":
+        expected = backends.word_count(size) * 8
+        if len(body) != expected:
+            raise SketchError(
+                f"dense bitmap body has {len(body)} bytes, "
+                f"expected {expected} for {size} bits"
+            )
+        words = np.frombuffer(body, dtype="<u8").astype(np.uint64)
+        if int(words[-1]) & ~int(backends.tail_mask(size)) & 0xFFFFFFFFFFFFFFFF:
+            raise SketchError(
+                f"dense bitmap body sets bits beyond the declared "
+                f"size of {size}"
+            )
+        return Bitmap._adopt_words(size, words)
+    if len(body) % 4 != 0:
+        raise SketchError(
+            f"{kind} bitmap body length {len(body)} is not a multiple of 4"
+        )
+    values = np.frombuffer(body, dtype="<u4").astype(np.uint32)
+    if kind == "sparse":
+        if values.shape[0] and (
+            int(values.max()) >= size
+            or np.any(values[1:] <= values[:-1])
+        ):
+            raise SketchError(
+                "sparse bitmap body must be strictly increasing "
+                f"indices below {size}"
+            )
+        return Bitmap._with_rep(
+            size, backends.SparseBitsRep(values)
+        )
+    if values.shape[0] % 2 != 0:
+        raise SketchError("rle bitmap body must hold (start, length) pairs")
+    pairs = values.reshape(-1, 2)
+    starts = np.ascontiguousarray(pairs[:, 0])
+    lengths = np.ascontiguousarray(pairs[:, 1])
+    if starts.shape[0]:
+        ends = starts.astype(np.int64) + lengths.astype(np.int64)
+        if (
+            int(ends.max()) > size
+            or np.any(lengths == 0)
+            or np.any(starts[1:].astype(np.int64) < ends[:-1])
+        ):
+            raise SketchError(
+                f"rle bitmap body has overlapping, empty or out-of-range "
+                f"runs for size {size}"
+            )
+    return Bitmap._with_rep(size, backends.RunLengthRep(starts, lengths))

@@ -1,0 +1,169 @@
+"""Seeded equivalence: every query path is bit-identical across
+bitmap representations.
+
+The tentpole guarantee of the packed-word backend is that
+representation is *invisible* to estimation: dense words, sparse
+index sets, and RLE runs describe the same bit vector, so every
+estimator — point, point-to-point, the direct-AND benchmark, the flow
+matrix, the sliding-window series — must return float-identical
+results whichever representation each record happens to hold,
+including joins over *mixed* representations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.server.central import CentralServer
+from repro.server.planner import persistent_flow_matrix
+from repro.server.queries import (
+    PointPersistentQuery,
+    PointToPointPersistentQuery,
+    PointVolumeQuery,
+)
+from repro.rsu.record import TrafficRecord
+from repro.sketch.bitmap import REPRESENTATION_KINDS, Bitmap
+from repro.sketch.join import and_join, or_join, split_and_join
+
+LOCATIONS = (1, 2, 3)
+PERIODS = (0, 1, 2, 3)
+SIZE = 4096
+
+
+def build_records(seed=2026, fill=0.08):
+    """One record per (location, period), deterministic, mid fill."""
+    rng = np.random.default_rng(seed)
+    records = {}
+    for loc in LOCATIONS:
+        for per in PERIODS:
+            bitmap = Bitmap(SIZE)
+            bitmap.set_many(rng.integers(0, SIZE, size=int(SIZE * fill)))
+            records[(loc, per)] = TrafficRecord(loc, per, bitmap)
+    return records
+
+
+def server_with(records, kind=None, mixed=False):
+    """A server whose stored bitmaps use one representation (or a
+    deterministic per-record mix when ``mixed``)."""
+    server = CentralServer(s=3, load_factor=2.0)
+    for i, key in enumerate(sorted(records)):
+        record = records[key]
+        if mixed:
+            use = REPRESENTATION_KINDS[i % len(REPRESENTATION_KINDS)]
+        else:
+            use = kind
+        bitmap = record.bitmap if use is None else record.bitmap.to_representation(use)
+        server.receive_record(TrafficRecord(record.location, record.period, bitmap))
+    return server
+
+
+@pytest.fixture(scope="module")
+def records():
+    return build_records()
+
+
+@pytest.fixture(scope="module")
+def baseline(records):
+    return server_with(records)
+
+
+def variant_servers(records):
+    for kind in REPRESENTATION_KINDS:
+        yield kind, server_with(records, kind=kind)
+    yield "mixed", server_with(records, mixed=True)
+
+
+class TestQueryPathEquivalence:
+    def test_point_volume(self, records, baseline):
+        for name, server in variant_servers(records):
+            for loc in LOCATIONS:
+                for per in PERIODS:
+                    query = PointVolumeQuery(loc, per)
+                    assert server.point_volume(query) == baseline.point_volume(
+                        query
+                    ), (name, loc, per)
+
+    def test_point_persistent(self, records, baseline):
+        query = PointPersistentQuery(location=1, periods=PERIODS)
+        expected = baseline.point_persistent(query)
+        for name, server in variant_servers(records):
+            got = server.point_persistent(query)
+            assert got.estimate == expected.estimate, name
+            assert got.v_a0 == expected.v_a0, name
+            assert got.v_b0 == expected.v_b0, name
+
+    def test_point_persistent_benchmark(self, records, baseline):
+        query = PointPersistentQuery(location=2, periods=PERIODS)
+        expected = baseline.point_persistent_benchmark(query)
+        for name, server in variant_servers(records):
+            got = server.point_persistent_benchmark(query)
+            assert got.estimate == expected.estimate, name
+
+    def test_point_to_point_persistent(self, records, baseline):
+        query = PointToPointPersistentQuery(
+            location_a=1, location_b=2, periods=PERIODS
+        )
+        expected = baseline.point_to_point_persistent(query)
+        for name, server in variant_servers(records):
+            got = server.point_to_point_persistent(query)
+            assert got.estimate == expected.estimate, name
+
+    def test_flow_matrix(self, records, baseline):
+        expected = persistent_flow_matrix(baseline, LOCATIONS, PERIODS)
+        for name, server in variant_servers(records):
+            got = persistent_flow_matrix(server, LOCATIONS, PERIODS)
+            assert got == expected, name
+
+    def test_window_series(self, records, baseline):
+        expected = baseline.point_persistent_series(3, PERIODS, window=2)
+        for name, server in variant_servers(records):
+            got = server.point_persistent_series(3, PERIODS, window=2)
+            assert [s.estimate for s in got] == [
+                s.estimate for s in expected
+            ], name
+
+
+class TestMixedRepresentationJoins:
+    """Joins straight at the sketch layer, one operand per kind."""
+
+    def _mixed_operands(self, records):
+        bitmaps = [records[(1, p)].bitmap for p in PERIODS[:3]]
+        kinds = list(REPRESENTATION_KINDS)
+        return [
+            b.to_representation(kinds[i % len(kinds)])
+            for i, b in enumerate(bitmaps)
+        ], bitmaps
+
+    def test_and_join(self, records):
+        mixed, dense = self._mixed_operands(records)
+        assert and_join(mixed) == and_join(dense)
+
+    def test_or_join(self, records):
+        mixed, dense = self._mixed_operands(records)
+        assert or_join(mixed) == or_join(dense)
+
+    def test_split_join(self, records):
+        mixed, dense = self._mixed_operands(records)
+        got, expected = split_and_join(mixed), split_and_join(dense)
+        assert got.joined == expected.joined
+        assert got.half_a == expected.half_a
+        assert got.half_b == expected.half_b
+
+    def test_mixed_sizes_and_representations(self, records):
+        """Expansion joins (different bitmap sizes) across kinds."""
+        rng = np.random.default_rng(99)
+        small = Bitmap(512)
+        small.set_many(rng.integers(0, 512, size=40))
+        big = records[(1, 0)].bitmap
+        expected = and_join([small, big])
+        for kind in REPRESENTATION_KINDS:
+            got = and_join([small.to_representation(kind), big])
+            assert got == expected, kind
+
+    def test_representation_survives_compress_roundtrip(self, records):
+        bitmap = records[(2, 1)].bitmap
+        for kind in REPRESENTATION_KINDS:
+            converted = bitmap.to_representation(kind)
+            assert converted.backend_kind == kind
+            assert converted == bitmap
+            recompressed = converted.copy().compress()
+            assert recompressed == bitmap

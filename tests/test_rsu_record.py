@@ -31,8 +31,8 @@ class TestTrafficRecord:
 
     def test_payload_is_compact(self):
         record = TrafficRecord(location=1, period=0, bitmap=Bitmap(65536))
-        # 16 bytes of metadata + 8 bytes bitmap header + bits.
-        assert len(record.to_payload()) == 16 + 8 + 65536 // 8
+        # 16 bytes of metadata + 16 bytes bitmap header + packed words.
+        assert len(record.to_payload()) == 16 + 16 + 65536 // 8
 
 
 class TestEncodingReport:

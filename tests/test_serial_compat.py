@@ -1,0 +1,161 @@
+"""Backward compatibility: seed-era (v1 dense-bool) data still loads.
+
+The packed-word rewrite changed the canonical serialized form, but
+deployments hold v1 artifacts — archived ``.record`` files and shard
+WAL segments written before the change.  These tests freeze the
+guarantee that every v1 byte stream keeps loading bit-for-bit through
+the compatibility reader: raw payloads, ``RecordArchive`` repair
+adoption and ``load_all``, and shard WAL replay.
+"""
+
+import numpy as np
+import pytest
+
+from repro.rsu.record import TrafficRecord
+from repro.server.persistence import RecordArchive, record_filename
+from repro.server.sharded.wal import ShardWriteAheadLog, replay_into_archive
+from repro.sketch.bitmap import Bitmap
+from repro.sketch.serial import (
+    deserialize_bitmap,
+    parse_header,
+    serialize_bitmap,
+    serialize_bitmap_legacy,
+)
+
+
+def legacy_record_payload(record: TrafficRecord) -> bytes:
+    """A record payload exactly as the seed implementation wrote it."""
+    header = record.location.to_bytes(8, "little") + record.period.to_bytes(
+        8, "little"
+    )
+    return header + serialize_bitmap_legacy(record.bitmap)
+
+
+def random_bitmap(rng, size=2048, n=300) -> Bitmap:
+    bitmap = Bitmap(size)
+    bitmap.set_many(rng.integers(0, size, size=n))
+    return bitmap
+
+
+class TestLegacyPayloads:
+    def test_legacy_frame_deserializes_bit_for_bit(self, rng):
+        bitmap = random_bitmap(rng)
+        legacy = serialize_bitmap_legacy(bitmap)
+        restored = deserialize_bitmap(legacy)
+        assert restored == bitmap
+        assert np.array_equal(restored.bits, bitmap.bits)
+
+    def test_parse_header_flags_legacy(self, rng):
+        bitmap = random_bitmap(rng, size=512, n=50)
+        kind, size, offset = parse_header(serialize_bitmap_legacy(bitmap))
+        assert kind == "legacy"
+        assert size == 512
+        assert offset == 8
+        kind, size, _ = parse_header(serialize_bitmap(bitmap))
+        assert kind == "dense"
+        assert size == 512
+
+    def test_legacy_is_smaller_headers_only(self, rng):
+        """v1 and v2 dense bodies carry the same bits; only the header
+        grew (8 -> 16 bytes)."""
+        bitmap = random_bitmap(rng, size=4096)
+        assert len(serialize_bitmap(bitmap)) == len(
+            serialize_bitmap_legacy(bitmap)
+        ) + 8
+
+    def test_legacy_record_payload_loads(self, rng):
+        record = TrafficRecord(7, 3, random_bitmap(rng))
+        restored = TrafficRecord.from_payload(legacy_record_payload(record))
+        assert restored.location == 7
+        assert restored.period == 3
+        assert restored.bitmap == record.bitmap
+
+    @pytest.mark.parametrize("size", [1, 63, 64, 65, 1000])
+    def test_legacy_odd_sizes_roundtrip(self, rng, size):
+        bitmap = Bitmap(size)
+        bitmap.set_many(rng.integers(0, size, size=min(size, 10)))
+        assert deserialize_bitmap(serialize_bitmap_legacy(bitmap)) == bitmap
+
+
+class TestLegacyArchives:
+    def _seed_archive_dir(self, tmp_path, records):
+        """A directory of v1 ``.record`` files, as a seed-era archive
+        crash (or plain file copy) would leave them: payloads present,
+        no manifest entries."""
+        directory = tmp_path / "seed_archive"
+        directory.mkdir()
+        for record in records:
+            path = directory / record_filename(record.location, record.period)
+            path.write_bytes(legacy_record_payload(record))
+        return directory
+
+    def test_repair_adopts_legacy_records(self, rng, tmp_path):
+        records = [TrafficRecord(1, p, random_bitmap(rng)) for p in range(3)]
+        directory = self._seed_archive_dir(tmp_path, records)
+        archive, report = RecordArchive.recover(directory)
+        assert sorted(report.recovered) == [(1, 0), (1, 1), (1, 2)]
+        for record in records:
+            loaded = archive.load(record.location, record.period)
+            assert loaded.bitmap == record.bitmap
+            assert np.array_equal(loaded.bitmap.bits, record.bitmap.bits)
+
+    def test_load_all_streams_legacy_records(self, rng, tmp_path):
+        records = [TrafficRecord(9, p, random_bitmap(rng)) for p in range(4)]
+        archive, _ = RecordArchive.recover(
+            self._seed_archive_dir(tmp_path, records)
+        )
+        loaded = {(r.location, r.period): r for r in archive.load_all()}
+        assert len(loaded) == 4
+        for record in records:
+            assert loaded[(record.location, record.period)].bitmap == record.bitmap
+
+    def test_legacy_archive_restores_a_server(self, rng, tmp_path):
+        from repro.server.central import CentralServer
+        from repro.server.queries import PointPersistentQuery
+
+        records = [TrafficRecord(1, p, random_bitmap(rng)) for p in range(3)]
+        archive, _ = RecordArchive.recover(
+            self._seed_archive_dir(tmp_path, records)
+        )
+        server = CentralServer.from_archive(archive)
+        baseline = CentralServer()
+        for record in records:
+            baseline.receive_record(record)
+        query = PointPersistentQuery(location=1, periods=(0, 1, 2))
+        assert (
+            server.point_persistent(query).estimate
+            == baseline.point_persistent(query).estimate
+        )
+
+
+class TestLegacyWalSegments:
+    def test_replay_recovers_legacy_payloads(self, rng, tmp_path):
+        records = [TrafficRecord(4, p, random_bitmap(rng)) for p in range(3)]
+        wal = ShardWriteAheadLog(tmp_path / "shard.wal")
+        for record in records:
+            wal.append(legacy_record_payload(record))
+        wal.close()
+
+        replayer = ShardWriteAheadLog(tmp_path / "shard.wal")
+        archive, recovered = replay_into_archive(
+            replayer, tmp_path / "recovered"
+        )
+        assert sorted(recovered) == [(4, 0), (4, 1), (4, 2)]
+        for record in records:
+            assert archive.load(4, record.period).bitmap == record.bitmap
+
+    def test_mixed_format_wal_replays_in_order(self, rng, tmp_path):
+        """A WAL spanning the format change (old entries v1, new ones
+        v2) replays completely."""
+        old = TrafficRecord(2, 0, random_bitmap(rng))
+        new = TrafficRecord(2, 1, random_bitmap(rng))
+        wal = ShardWriteAheadLog(tmp_path / "mixed.wal")
+        wal.append(legacy_record_payload(old))
+        wal.append(new.to_payload())
+        wal.close()
+
+        replayer = ShardWriteAheadLog(tmp_path / "mixed.wal")
+        archive, recovered = replay_into_archive(replayer, tmp_path / "out")
+        assert sorted(recovered) == [(2, 0), (2, 1)]
+        assert archive.load(2, 0).bitmap == old.bitmap
+        assert archive.load(2, 1).bitmap == new.bitmap

@@ -1,0 +1,293 @@
+"""Tests for repro.server.tiers (hot/warm/cold record residency)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.obs import runtime
+from repro.rsu.record import TrafficRecord
+from repro.server.central import CentralServer
+from repro.server.persistence import RecordArchive
+from repro.server.queries import (
+    PointPersistentQuery,
+    PointToPointPersistentQuery,
+)
+from repro.server.tiers import TieredRecordStore
+from repro.sketch.bitmap import Bitmap
+
+SIZE = 4096
+
+
+def make_record(rng, loc, per, n=400):
+    bitmap = Bitmap(SIZE)
+    bitmap.set_many(rng.integers(0, SIZE, size=n))
+    return TrafficRecord(loc, per, bitmap)
+
+
+@pytest.fixture
+def archive(tmp_path):
+    return RecordArchive(tmp_path / "archive")
+
+
+class TestLifecycle:
+    def test_add_lands_hot_and_persists(self, rng, archive):
+        store = TieredRecordStore(archive, hot_capacity=8)
+        record = make_record(rng, 1, 0)
+        assert store.add(record)
+        assert store.tier_of(1, 0) == "hot"
+        assert archive.load(1, 0).bitmap == record.bitmap
+
+    def test_lru_eviction_demotes_to_warm(self, rng, archive):
+        store = TieredRecordStore(archive, hot_capacity=2)
+        records = [make_record(rng, 1, p) for p in range(4)]
+        for record in records:
+            store.add(record)
+        assert store.tier_counts() == {"hot": 2, "warm": 2, "cold": 0}
+        # Oldest two went warm, newest two stayed hot.
+        assert store.tier_of(1, 0) == "warm"
+        assert store.tier_of(1, 3) == "hot"
+
+    def test_warm_record_is_memory_mapped_and_identical(self, rng, archive):
+        store = TieredRecordStore(archive, hot_capacity=1)
+        first = make_record(rng, 1, 0)
+        store.add(first)
+        store.add(make_record(rng, 1, 1))
+        warm = store.get(1, 0)
+        words = warm.bitmap._words_view()
+        assert isinstance(words, np.memmap)
+        assert not words.flags.writeable
+        assert warm.bitmap == first.bitmap
+
+    def test_cold_demotion_compresses_and_reloads(self, rng, archive):
+        store = TieredRecordStore(archive, hot_capacity=8)
+        record = make_record(rng, 1, 0, n=20)  # sparse: compression wins
+        store.add(record)
+        path = archive.entry_path(1, 0)
+        dense_bytes = path.stat().st_size
+        store.demote(1, 0, "cold")
+        assert store.tier_of(1, 0) == "cold"
+        assert path.stat().st_size < dense_bytes
+        assert store.get(1, 0).bitmap == record.bitmap
+
+    def test_promote_restores_hot_residency(self, rng, archive):
+        store = TieredRecordStore(archive, hot_capacity=8)
+        record = make_record(rng, 1, 0)
+        store.add(record)
+        store.demote(1, 0, "cold")
+        promoted = store.promote(1, 0)
+        assert store.tier_of(1, 0) == "hot"
+        assert promoted.bitmap == record.bitmap
+        # Promotion materialized a private in-RAM copy, not a memmap.
+        assert not isinstance(promoted.bitmap._words_view(), np.memmap)
+
+    def test_cold_to_warm_maps_the_compressed_file_as_dense(self, rng, archive):
+        store = TieredRecordStore(archive, hot_capacity=8)
+        record = make_record(rng, 1, 0, n=15)
+        store.add(record)
+        store.demote(1, 0, "cold")
+        store.demote(1, 0, "warm")
+        warm = store.get(1, 0)
+        assert isinstance(warm.bitmap._words_view(), np.memmap)
+        assert warm.bitmap == record.bitmap
+
+    def test_archive_entries_adopted_as_cold(self, rng, archive):
+        records = [make_record(rng, 1, p) for p in range(3)]
+        for record in records:
+            archive.save(record)
+        store = TieredRecordStore(archive)
+        assert store.tier_counts() == {"hot": 0, "warm": 0, "cold": 3}
+        assert len(store) == 3
+        assert store.locations() == {1}
+        assert store.periods_for(1) == [0, 1, 2]
+        for record in records:
+            assert store.get(1, record.period).bitmap == record.bitmap
+
+    def test_all_records_spans_every_tier(self, rng, archive):
+        store = TieredRecordStore(archive, hot_capacity=8)
+        records = [make_record(rng, 1, p) for p in range(3)]
+        for record in records:
+            store.add(record)
+        store.demote(1, 0, "warm")
+        store.demote(1, 1, "cold")
+        loaded = {r.period: r for r in store.all_records()}
+        assert sorted(loaded) == [0, 1, 2]
+        for record in records:
+            assert loaded[record.period].bitmap == record.bitmap
+
+
+class TestContract:
+    def test_duplicate_add_through_cold_tier_is_noop(self, rng, archive):
+        store = TieredRecordStore(archive, hot_capacity=8)
+        record = make_record(rng, 1, 0)
+        store.add(record)
+        store.demote(1, 0, "cold")
+        assert store.add(record) is False
+        assert store.tier_of(1, 0) == "cold"
+
+    def test_conflicting_add_through_warm_tier_raises(self, rng, archive):
+        store = TieredRecordStore(archive, hot_capacity=8)
+        store.add(make_record(rng, 1, 0))
+        store.demote(1, 0, "warm")
+        events = []
+        store.add_listener(lambda e, l, p: events.append((e, l, p)))
+        with pytest.raises(DataError):
+            store.add(make_record(rng, 1, 0, n=50))
+        assert ("conflict", 1, 0) in events
+
+    def test_tier_events_fire(self, rng, archive):
+        store = TieredRecordStore(archive, hot_capacity=8)
+        events = []
+        store.add_listener(lambda e, l, p: events.append(e))
+        store.add(make_record(rng, 1, 0))
+        store.demote(1, 0, "warm")
+        store.demote(1, 0, "cold")
+        store.promote(1, 0)
+        assert events == ["added", "tier:warm", "tier:cold", "tier:hot"]
+
+    def test_demote_unknown_record_raises(self, archive):
+        store = TieredRecordStore(archive)
+        with pytest.raises(DataError):
+            store.demote(5, 5, "warm")
+
+    def test_demote_rejects_bad_tier(self, rng, archive):
+        store = TieredRecordStore(archive)
+        store.add(make_record(rng, 1, 0))
+        with pytest.raises(ConfigurationError):
+            store.demote(1, 0, "hot")
+
+    def test_hot_capacity_must_be_positive(self, archive):
+        with pytest.raises(ConfigurationError):
+            TieredRecordStore(archive, hot_capacity=0)
+
+    def test_promote_on_access(self, rng, archive):
+        store = TieredRecordStore(archive, hot_capacity=8, promote_on_access=True)
+        store.add(make_record(rng, 1, 0))
+        store.demote(1, 0, "cold")
+        store.get(1, 0)
+        assert store.tier_of(1, 0) == "hot"
+
+    def test_tier_move_counters(self, rng, archive):
+        store = TieredRecordStore(archive, hot_capacity=8)
+        store.add(make_record(rng, 1, 0))
+        runtime.enable()
+        try:
+            store.demote(1, 0, "warm")
+            store.demote(1, 0, "cold")
+            store.promote(1, 0)
+            for tier in ("warm", "cold", "hot"):
+                assert (
+                    runtime.counter(
+                        "repro_archive_tier_moves_total", tier=tier
+                    ).value
+                    == 1
+                ), tier
+        finally:
+            runtime.disable()
+
+
+class TestServerIntegration:
+    def _populate(self, rng, server):
+        records = []
+        for loc in (1, 2):
+            for per in range(3):
+                record = make_record(rng, loc, per)
+                records.append(record)
+                server.receive_record(record)
+        return records
+
+    def test_tiered_server_skips_double_archive_write(self, rng, archive):
+        store = TieredRecordStore(archive, hot_capacity=8)
+        server = CentralServer(store=store, archive=archive)
+        record = make_record(rng, 1, 0)
+        assert server.receive_record(record)
+        assert not server.receive_record(record)  # idempotent re-upload
+        assert archive.load(1, 0).bitmap == record.bitmap
+
+    def test_cached_equals_uncached_across_full_eviction_lifecycle(
+        self, rng, archive, tmp_path
+    ):
+        """The acceptance bar: cached and uncached answers stay
+        bit-identical while records move hot -> warm -> cold and back.
+        """
+        store = TieredRecordStore(archive, hot_capacity=8)
+        cached = CentralServer(store=store, archive=archive, cache=True)
+        uncached = CentralServer(cache=False)
+        records = self._populate(rng, cached)
+        for record in records:
+            uncached.receive_record(record)
+
+        point = PointPersistentQuery(location=1, periods=(0, 1, 2))
+        p2p = PointToPointPersistentQuery(
+            location_a=1, location_b=2, periods=(0, 1, 2)
+        )
+
+        def check():
+            assert (
+                cached.point_persistent(point).estimate
+                == uncached.point_persistent(point).estimate
+            )
+            assert (
+                cached.point_to_point_persistent(p2p).estimate
+                == uncached.point_to_point_persistent(p2p).estimate
+            )
+
+        check()  # populates the cache
+        for per in range(3):
+            store.demote(1, per, "warm")
+        check()
+        for per in range(3):
+            store.demote(1, per, "cold")  # invalidates via tier events
+        check()
+        store.promote(1, 0)
+        check()
+
+    def test_cold_demotion_invalidates_containing_joins(self, rng, archive):
+        store = TieredRecordStore(archive, hot_capacity=8)
+        server = CentralServer(store=store, archive=archive, cache=True)
+        self._populate(rng, server)
+        query = PointPersistentQuery(location=1, periods=(0, 1, 2))
+        server.point_persistent(query)
+        assert len(server.cache) > 0
+        before = server.cache.stats.invalidations
+        store.demote(1, 1, "cold")
+        assert server.cache.stats.invalidations > before
+
+    def test_from_archive_tiered_matches_eager_restore(self, rng, archive):
+        seeder = CentralServer(archive=archive)
+        records = self._populate(rng, seeder)
+
+        eager = CentralServer.from_archive(archive)
+        tiered = CentralServer.from_archive(archive, tiered=True, hot_capacity=2)
+        assert isinstance(tiered.store, TieredRecordStore)
+        assert tiered.store.tier_counts()["cold"] == len(records)
+
+        point = PointPersistentQuery(location=1, periods=(0, 1, 2))
+        assert (
+            tiered.point_persistent(point).estimate
+            == eager.point_persistent(point).estimate
+        )
+        # History rebuilt identically: same sizing recommendation.
+        assert tiered.recommend_bitmap_size(1) == eager.recommend_bitmap_size(1)
+
+    def test_wal_replay_then_tiered_restore(self, rng, tmp_path):
+        from repro.server.sharded.wal import (
+            ShardWriteAheadLog,
+            replay_into_archive,
+        )
+
+        records = [make_record(rng, 1, p) for p in range(3)]
+        wal = ShardWriteAheadLog(tmp_path / "shard.wal")
+        for record in records:
+            wal.append(record.to_payload())
+        wal.close()
+
+        replayer = ShardWriteAheadLog(tmp_path / "shard.wal")
+        recovered_archive, recovered = replay_into_archive(
+            replayer, tmp_path / "recovered"
+        )
+        assert sorted(recovered) == [(1, 0), (1, 1), (1, 2)]
+        server = CentralServer.from_archive(recovered_archive, tiered=True)
+        for record in records:
+            assert (
+                server.store.get(1, record.period).bitmap == record.bitmap
+            )

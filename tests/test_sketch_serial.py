@@ -4,7 +4,7 @@ import pytest
 
 from repro.exceptions import SketchError
 from repro.sketch.bitmap import Bitmap
-from repro.sketch.serial import deserialize_bitmap, serialize_bitmap
+from repro.sketch.serial import HEADER_SIZE, deserialize_bitmap, serialize_bitmap
 
 
 class TestRoundTrip:
@@ -24,10 +24,19 @@ class TestRoundTrip:
         assert deserialize_bitmap(serialize_bitmap(bitmap)) == bitmap
 
     def test_payload_size_is_compact(self):
-        """8-byte header + 1 bit per bit."""
+        """16-byte header + the packed words, 1 bit per bit."""
         bitmap = Bitmap(2**20)
         payload = serialize_bitmap(bitmap)
-        assert len(payload) == 8 + 2**20 // 8
+        assert len(payload) == HEADER_SIZE + 2**20 // 8
+
+    def test_compressed_payload_keeps_representation(self):
+        """Sparse/RLE bitmaps stay compressed on the wire."""
+        bitmap = Bitmap.from_indices(2**16, [5, 900, 40000])
+        sparse_payload = serialize_bitmap(bitmap.to_representation("sparse"))
+        assert len(sparse_payload) == HEADER_SIZE + 3 * 4
+        restored = deserialize_bitmap(sparse_payload)
+        assert restored.backend_kind == "sparse"
+        assert restored == bitmap
 
 
 class TestMalformedPayloads:
