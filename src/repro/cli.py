@@ -235,6 +235,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="append quarantined uploads to this JSONL dead-letter log",
     )
     simulate.add_argument(
+        "--explain",
+        action="store_true",
+        help=(
+            "with --server: ask the tier to explain the remote query "
+            "(per-shard wire/engine latency, cache deltas, coverage "
+            "contribution, deadline budget) and print the breakdown"
+        ),
+    )
+    simulate.add_argument(
         "--server",
         metavar="URL",
         default=None,
@@ -353,6 +362,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "front-door concurrent-request bound; excess requests are "
             "refused with a retryable MSG_BUSY (0 sheds everything)"
+        ),
+    )
+    serve.add_argument(
+        "--serve-metrics",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve the cluster-merged live endpoints (/metrics, "
+            "/healthz, /traces, /profile, /shards) on this localhost "
+            "port (0 picks a free port, printed at startup)"
         ),
     )
 
@@ -521,7 +541,8 @@ def _push_to_server(args, scenario, periods, policy) -> int:
                 "locations": [int(loc) for loc in args.locations],
                 "periods": [int(p) for p in periods],
                 "policy": policy_to_payload(policy),
-            }
+            },
+            explain=getattr(args, "explain", False),
         )
         if not reply.get("ok"):
             print(f"remote query failed: {reply.get('error')}")
@@ -546,9 +567,49 @@ def _push_to_server(args, scenario, periods, policy) -> int:
                 f"  zone {outcome.location} (shard {outcome.shard}): "
                 f"{outcome.result.value.clamped:.1f}{tag}"
             )
+        if getattr(args, "explain", False) and result.explain:
+            _print_explain(result.explain)
     finally:
         client.close()
     return 0
+
+
+def _print_explain(explain: dict) -> None:
+    """Render a sharded query's explain payload for the terminal."""
+    print(
+        f"query explain: {explain['total_seconds'] * 1000:.1f} ms total, "
+        f"{explain['locations']} location(s) x {explain['periods']} "
+        f"period(s), coverage {explain['coverage_fraction']:.0%}"
+    )
+    budget = explain.get("deadline_budget_seconds")
+    if budget is not None:
+        consumed = explain.get("deadline_consumed_seconds") or 0.0
+        print(
+            f"  deadline: {consumed * 1000:.1f} ms of "
+            f"{budget * 1000:.1f} ms budget consumed"
+        )
+    for shard in sorted(explain.get("per_shard", {}), key=int):
+        detail = explain["per_shard"][shard]
+        timing = ""
+        if detail.get("wall_seconds") is not None:
+            timing = f", wall {detail['wall_seconds'] * 1000:.1f} ms"
+        if detail.get("engine_seconds") is not None:
+            timing += f", engine {detail['engine_seconds'] * 1000:.1f} ms"
+        if detail.get("wire_seconds") is not None:
+            timing += f", wire {detail['wire_seconds'] * 1000:.1f} ms"
+        cache = ""
+        if detail.get("cache_lookups") is not None:
+            cache = (
+                f", cache {detail.get('cache_hits', 0)}/"
+                f"{detail['cache_lookups']}"
+            )
+        print(
+            f"  shard {shard}: {detail.get('answered', 0)}/"
+            f"{detail.get('locations', 0)} location(s) answered, "
+            f"{detail.get('covered_cells', 0)}/"
+            f"{detail.get('requested_cells', 0)} cell(s) covered"
+            f"{timing}{cache}"
+        )
 
 
 def _run_serve(args) -> int:
@@ -578,6 +639,22 @@ def _run_serve(args) -> int:
         f"{', supervised' if args.supervise else ''}]",
         flush=True,
     )
+    metrics_server = None
+    if getattr(args, "serve_metrics", None) is not None:
+        from repro import obs
+
+        # The obs session in _dispatch already enabled the registry
+        # and trace buffer; here we attach the tier's telemetry
+        # collector so the endpoints serve the *cluster-merged* view.
+        cluster = service.cluster_telemetry()
+        metrics_server = obs.MetricsServer(
+            port=args.serve_metrics, cluster=cluster
+        )
+        bound = metrics_server.start()
+        print(
+            f"[metrics server listening on http://127.0.0.1:{bound}]",
+            flush=True,
+        )
     try:
         # A client's MSG_SHUTDOWN stops the front door remotely; exit
         # then, not just on Ctrl-C.
@@ -587,6 +664,8 @@ def _run_serve(args) -> int:
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
+        if metrics_server is not None:
+            metrics_server.stop()
         service.stop()
     return 0
 
@@ -781,7 +860,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         registry=obs.MetricsRegistry(), event_log=event_log, trace=traces
     )
     http_server = None
-    if serve_port is not None:
+    # `serve` wires its own cluster-aware MetricsServer inside
+    # _run_serve (it needs the running service to merge shard
+    # telemetry); the obs session here still owns enable/disable.
+    if serve_port is not None and args.command != "serve":
         http_server = obs.MetricsServer(
             registry=registry, traces=traces, port=serve_port
         )

@@ -14,8 +14,12 @@ measurer.  It provides:
   contextvar propagation, the :class:`TraceBuffer` ring, and
   :func:`format_trace_tree` critical-path rendering;
 * :mod:`repro.obs.httpd` — a stdlib background HTTP server exposing
-  ``/metrics``, ``/healthz``, ``/traces``, and ``/profile`` while a
-  run executes;
+  ``/metrics``, ``/healthz``, ``/traces``, ``/profile``, and
+  ``/shards`` while a run executes;
+* :mod:`repro.obs.cluster` — the distributed telemetry plane: the
+  worker-side :class:`TelemetryBuffer` export queue and the
+  front-door :class:`ClusterTelemetry` collector that merges shard
+  spans, bindings, and metrics into one coherent domain;
 * :mod:`repro.obs.profile` — cProfile/wall-sampling hotspot capture
   with per-subsystem aggregation (drives ``--profile``);
 * :mod:`repro.obs.runtime` — the process-global enable/disable switch
@@ -40,6 +44,11 @@ The metric catalog (names, types, labels, units) lives in
 ``docs/observability.md``.
 """
 
+from repro.obs.cluster import (
+    ClusterTelemetry,
+    TelemetryBuffer,
+    register_cluster_metrics,
+)
 from repro.obs.events import StructuredLog, memory_log
 from repro.obs.export import (
     format_report,
@@ -97,6 +106,7 @@ from repro.obs.trace import (
 
 __all__ = [
     "BoundMetric",
+    "ClusterTelemetry",
     "Counter",
     "DEFAULT_TIME_BUCKETS",
     "Gauge",
@@ -118,6 +128,7 @@ __all__ = [
     "Span",
     "SpanRecord",
     "StructuredLog",
+    "TelemetryBuffer",
     "TraceBuffer",
     "TraceContext",
     "add_link",
@@ -138,6 +149,7 @@ __all__ = [
     "log_buckets",
     "memory_log",
     "parse_prometheus",
+    "register_cluster_metrics",
     "registry",
     "registry_from_prometheus",
     "span",

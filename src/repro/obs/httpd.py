@@ -14,7 +14,15 @@ the *live* registry instead:
 * ``GET /profile`` — the most recent profiling report from
   :mod:`repro.obs.profile` as JSON (``?format=text`` for the human
   rendering, ``?top=N`` to widen the hotspot list); 404 until a
-  profile has run.
+  profile has run;
+* ``GET /shards`` — per-shard liveness/health of an attached sharded
+  tier (404 unless the server was built with ``cluster=...``).
+
+With a :class:`~repro.obs.cluster.ClusterTelemetry` attached,
+``/metrics`` serves the *cluster-merged* view (front door plus every
+shard's registry, refreshed on scrape within the collector's
+staleness bound) and ``/traces`` refreshes shard telemetry first so
+cross-process traces render connected.
 
 Everything is standard library (``http.server``): no new dependencies,
 one daemon thread, bound to localhost by default.  Start with port 0
@@ -48,7 +56,7 @@ from repro.obs.trace import TraceBuffer
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: The endpoints this server knows about (pre-registered scrape labels).
-ENDPOINTS = ("/metrics", "/healthz", "/traces", "/profile")
+ENDPOINTS = ("/metrics", "/healthz", "/traces", "/profile", "/shards")
 
 
 class MetricsServer:
@@ -57,6 +65,10 @@ class MetricsServer:
     ``registry``/``traces`` default to whatever is active in
     :mod:`repro.obs.runtime` *at request time*, so a server started
     before ``obs.enable()`` serves the right registry afterwards.
+
+    ``cluster`` (a :class:`~repro.obs.cluster.ClusterTelemetry`)
+    upgrades the server to the tier-wide view: merged ``/metrics``,
+    telemetry-refreshed ``/traces``, and a live ``/shards`` endpoint.
     """
 
     def __init__(
@@ -65,9 +77,11 @@ class MetricsServer:
         traces: Optional[TraceBuffer] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        cluster=None,
     ):
         self._registry = registry
         self._traces = traces
+        self._cluster = cluster
         self._host = host
         self._port = int(port)
         self._httpd: Optional[ThreadingHTTPServer] = None
@@ -137,9 +151,13 @@ class MetricsServer:
                     # any newly dropped histogram samples *before*
                     # rendering, so the scrape reports itself.
                     server.resolve_registry().account_exposition()
-                    body = export.to_prometheus(
-                        server.resolve_registry()
-                    ).encode("utf-8")
+                    cluster = server._cluster
+                    if cluster is not None:
+                        cluster.refresh()
+                        exported = cluster.merged_registry()
+                    else:
+                        exported = server.resolve_registry()
+                    body = export.to_prometheus(exported).encode("utf-8")
                     self._send(200, PROMETHEUS_CONTENT_TYPE, body)
                 elif path == "/healthz":
                     server._count_scrape("/healthz")
@@ -160,6 +178,10 @@ class MetricsServer:
                     )
                 elif path == "/traces":
                     server._count_scrape("/traces")
+                    if server._cluster is not None:
+                        # Pull shard spans in first, so a trace whose
+                        # tail lives in a worker renders connected.
+                        server._cluster.refresh()
                     traces = server.resolve_traces()
                     limit = None
                     query = parse_qs(parsed.query)
@@ -209,12 +231,32 @@ class MetricsServer:
                             "application/json",
                             report.to_json(top).encode("utf-8"),
                         )
+                elif path == "/shards":
+                    server._count_scrape("/shards")
+                    cluster = server._cluster
+                    if cluster is None:
+                        self._send(
+                            404,
+                            "text/plain; charset=utf-8",
+                            b"no sharded tier attached to this endpoint\n",
+                        )
+                        return
+                    cluster.refresh()
+                    payload = {
+                        "shards": cluster.shards_payload(),
+                        "staleness_seconds": cluster.staleness(),
+                    }
+                    self._send(
+                        200,
+                        "application/json",
+                        json.dumps(payload).encode("utf-8"),
+                    )
                 else:
                     self._send(
                         404,
                         "text/plain; charset=utf-8",
                         b"not found; try /metrics, /healthz, /traces, "
-                        b"/profile\n",
+                        b"/profile, /shards\n",
                     )
 
         self._httpd = ThreadingHTTPServer((self._host, self._port), _Handler)

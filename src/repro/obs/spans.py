@@ -176,6 +176,9 @@ class Span:
             _duration_handle(self.name).observe(self.duration)
             buffer = runtime.trace_buffer()
             if buffer is not None and self.context is not None:
+                # ``attrs`` is handed over, not copied: it is the
+                # span-private dict built from ``span()``'s kwargs, and
+                # the span is closed.
                 buffer.record(
                     SpanRecord(
                         trace_id=self.context.trace_id,
@@ -188,7 +191,7 @@ class Span:
                         name=self.name,
                         start=self.start_ts,
                         duration=self.duration,
-                        attrs=dict(self.attrs),
+                        attrs=self.attrs,
                         error=exc_type.__name__ if exc_type is not None else None,
                         links=tuple(self.links),
                     )

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import re
 import threading
 from collections import OrderedDict
 from contextvars import ContextVar
@@ -56,7 +57,11 @@ CONTEXT_BYTES = TRACE_ID_HEX + SPAN_ID_HEX
 #: Default ring bound: completed traces kept for /traces and reports.
 DEFAULT_MAX_TRACES = 256
 
-_HEX_DIGITS = frozenset("0123456789abcdef")
+#: Whole-context wire pattern; one C-level match replaces a per-char
+#: membership scan on the ingest hot path.
+_CONTEXT_WIRE = re.compile(
+    (b"[0-9a-f]{%d}" % CONTEXT_BYTES)
+)
 
 
 @dataclass(frozen=True)
@@ -80,12 +85,9 @@ class TraceContext:
         """
         if len(raw) != CONTEXT_BYTES:
             return None
-        try:
-            text = raw.decode("ascii")
-        except UnicodeDecodeError:
+        if _CONTEXT_WIRE.fullmatch(raw) is None:
             return None
-        if not all(ch in _HEX_DIGITS for ch in text):
-            return None
+        text = raw.decode("ascii")
         return cls(trace_id=text[:TRACE_ID_HEX], span_id=text[TRACE_ID_HEX:])
 
 
@@ -158,6 +160,57 @@ class SpanRecord:
             ],
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> Optional["SpanRecord"]:
+        """Inverse of :meth:`to_dict`; None when structurally damaged.
+
+        The cross-process telemetry path (shard workers shipping their
+        closed spans to the front door) carries spans as JSON, and a
+        garbled payload must degrade to "span lost" — counted, never
+        raised — exactly like a corrupted trace context on an upload
+        frame.  Attribute values come back as strings (``to_dict``
+        stringifies them), which is all the renderers need.
+        """
+        if not isinstance(payload, dict):
+            return None
+        try:
+            trace_id = str(payload["trace_id"])
+            span_id = str(payload["span_id"])
+            name = str(payload["name"])
+            start = float(payload["ts"])
+            duration = float(payload["duration_seconds"])
+        except (KeyError, TypeError, ValueError):
+            return None
+        parent = payload.get("parent_id")
+        attrs = payload.get("attrs") or {}
+        if not isinstance(attrs, dict):
+            return None
+        links = []
+        for link in payload.get("links") or ():
+            try:
+                links.append(
+                    TraceContext(
+                        trace_id=str(link["trace_id"]),
+                        span_id=str(link["span_id"]),
+                    )
+                )
+            except (KeyError, TypeError):
+                # A garbled link loses the cross-reference, not the
+                # span: ids and timing are still worth absorbing.
+                continue
+        error = payload.get("error")
+        return cls(
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_id=str(parent) if parent is not None else None,
+            name=name,
+            start=start,
+            duration=duration,
+            attrs={str(key): str(value) for key, value in attrs.items()},
+            error=str(error) if error is not None else None,
+            links=tuple(links),
+        )
+
 
 @dataclass(frozen=True)
 class RecordBinding:
@@ -187,6 +240,11 @@ class TraceBuffer:
         self._traces: "OrderedDict[str, List[SpanRecord]]" = OrderedDict()
         self._bindings: Dict[Tuple[int, int], List[RecordBinding]] = {}
         self._linked_from: Dict[str, List[Tuple[str, TraceContext]]] = {}
+        #: Reverse index trace -> bound cells, so evicting a trace
+        #: prunes only its own bindings instead of sweeping the whole
+        #: binding table (which grows with distinct cells and made
+        #: eviction cost climb over a long-lived worker's life).
+        self._cells_by_trace: Dict[str, set] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -202,23 +260,29 @@ class TraceBuffer:
             else:
                 self._traces.move_to_end(record.trace_id)
             spans.append(record)
-            source = TraceContext(record.trace_id, record.span_id)
-            for link in record.links:
-                self._linked_from.setdefault(link.trace_id, []).append(
-                    (record.name, source)
-                )
+            if record.links:
+                source = TraceContext(record.trace_id, record.span_id)
+                for link in record.links:
+                    self._linked_from.setdefault(link.trace_id, []).append(
+                        (record.name, source)
+                    )
             while len(self._traces) > self._max_traces:
                 evicted, _ = self._traces.popitem(last=False)
                 self._drop_references(evicted)
 
     def _drop_references(self, trace_id: str) -> None:
-        """Forget bindings and reverse links into an evicted trace."""
+        """Forget bindings and reverse links into an evicted trace.
+
+        O(cells bound by this trace), not O(all cells): the reverse
+        index names exactly the keys that can hold a dangling binding.
+        """
         self._linked_from.pop(trace_id, None)
-        for key in list(self._bindings):
+        for key in self._cells_by_trace.pop(trace_id, ()):
+            bindings = self._bindings.get(key)
+            if bindings is None:
+                continue
             survivors = [
-                b
-                for b in self._bindings[key]
-                if b.context.trace_id != trace_id
+                b for b in bindings if b.context.trace_id != trace_id
             ]
             if survivors:
                 self._bindings[key] = survivors
@@ -234,10 +298,10 @@ class TraceBuffer:
     ) -> None:
         """Remember which trace delivered (or dead-lettered) a record."""
         binding = RecordBinding(context=context, kind=kind)
+        key = (int(location), int(period))
         with self._lock:
-            self._bindings.setdefault(
-                (int(location), int(period)), []
-            ).append(binding)
+            self._bindings.setdefault(key, []).append(binding)
+            self._cells_by_trace.setdefault(context.trace_id, set()).add(key)
 
     # ------------------------------------------------------------------
     # Reading

@@ -96,6 +96,15 @@ class CircuitBreaker:
         with self._lock:
             return self._failures
 
+    def snapshot(self) -> dict:
+        """JSON-safe state summary (for the ``/shards`` endpoint)."""
+        state = self.state
+        return {
+            "state": state,
+            "name": _STATE_NAMES[state],
+            "consecutive_failures": self.consecutive_failures,
+        }
+
     # ------------------------------------------------------------------
     # The protocol: allow -> (record_success | record_failure)
     # ------------------------------------------------------------------

@@ -225,11 +225,23 @@ class ShardClient:
         )
 
     def query(
-        self, payload: dict, deadline: Optional[wire.Deadline] = None
+        self,
+        payload: dict,
+        deadline: Optional[wire.Deadline] = None,
+        explain: bool = False,
     ) -> dict:
-        """Send one JSON query; returns the raw reply payload."""
+        """Send one JSON query; returns the raw reply payload.
+
+        ``explain=True`` asks the server for a timing/attribution
+        breakdown: a front door answers a ``multi_point_persistent``
+        query with the breakdown inside ``result["explain"]``, a shard
+        worker attaches its engine timing as a top-level ``explain``
+        key.
+        """
         import json
 
+        if explain:
+            payload = dict(payload, explain=True)
         return wire.decode_json(
             self._request(
                 wire.MSG_QUERY,
@@ -243,6 +255,14 @@ class ShardClient:
         """The endpoint's health/metrics snapshot."""
         return wire.decode_json(
             self._request(wire.MSG_STATS, b"", wire.MSG_STATS_REPLY)
+        )
+
+    def telemetry(self) -> dict:
+        """Drain the endpoint's buffered telemetry (spans + bindings)."""
+        return wire.decode_json(
+            self._request(
+                wire.MSG_TELEMETRY, b"", wire.MSG_TELEMETRY_REPLY
+            )
         )
 
     def ping(self) -> bool:

@@ -22,6 +22,7 @@ are reported as uncovered instead.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence
 
@@ -32,6 +33,7 @@ from repro.exceptions import (
 )
 from repro.faults.transport import DeadLetterLog
 from repro.obs import runtime as obs
+from repro.obs.spans import trace_span
 from repro.server.degradation import (
     CoveragePolicy,
     CoverageReport,
@@ -81,13 +83,18 @@ class FencedShardBackend:
     def deliver_batch(self, frames, deadline=None):
         self._down()
 
-    def point_persistent(self, location, periods, policy, deadline=None):
+    def point_persistent(
+        self, location, periods, policy, deadline=None, **observe
+    ):
         self._down()
 
     def covered_periods(self, location, periods):
         self._down()
 
     def stats(self):
+        self._down()
+
+    def telemetry(self):
         self._down()
 
     def close(self) -> None:
@@ -141,7 +148,17 @@ class LocalShardBackend:
         periods: Sequence[int],
         policy: Optional[CoveragePolicy],
         deadline: Optional[Deadline] = None,
+        trace=None,
+        explain: Optional[dict] = None,
     ):
+        """The engine call, optionally observed.
+
+        ``trace`` (a :class:`~repro.obs.trace.TraceContext`) parents
+        the shard-side query span to the caller's fan-out span;
+        ``explain`` is an out-parameter dict this backend fills with
+        its timing attribution (engine latency; no wire cost
+        in-process).
+        """
         self._check()
         if deadline is not None and deadline.expired:
             _count_deadline("shard")
@@ -149,7 +166,33 @@ class LocalShardBackend:
                 f"deadline expired before shard {self.engine.shard_id} "
                 f"could answer location {location}"
             )
-        return self.engine.point_persistent(location, periods, policy)
+        if trace is None and explain is None:
+            return self.engine.point_persistent(location, periods, policy)
+        from repro.obs import trace as trace_mod
+
+        token = trace_mod.activate(trace) if trace is not None else None
+        started = time.perf_counter()
+        try:
+            if trace is not None:
+                with trace_span(
+                    "shard.query",
+                    shard=str(self.engine.shard_id),
+                    kind="point_persistent",
+                ):
+                    result = self.engine.point_persistent(
+                        location, periods, policy
+                    )
+            else:
+                result = self.engine.point_persistent(
+                    location, periods, policy
+                )
+        finally:
+            if token is not None:
+                trace_mod.restore(token)
+        if explain is not None:
+            explain["shard"] = self.engine.shard_id
+            explain["engine_seconds"] = time.perf_counter() - started
+        return result
 
     def covered_periods(self, location: int, periods: Sequence[int]):
         self._check()
@@ -158,6 +201,10 @@ class LocalShardBackend:
     def stats(self) -> dict:
         self._check()
         return self.engine.stats()
+
+    def telemetry(self) -> dict:
+        self._check()
+        return self.engine.telemetry()
 
     def close(self) -> None:
         pass
@@ -199,6 +246,11 @@ class ShardedCoordinator:
                 "was provided for them"
             )
         self.dead_letters = DeadLetterLog(dead_letter_path)
+        #: Optional :class:`~repro.obs.cluster.ClusterTelemetry` that
+        #: absorbs telemetry payloads piggy-backed on shard stats
+        #: replies (attached by the service when cluster collection is
+        #: wired up).
+        self.telemetry_collector = None
         self._pool = ThreadPoolExecutor(
             max_workers=max(2, self._router.n_shards),
             thread_name_prefix="shard-fanout",
@@ -345,6 +397,7 @@ class ShardedCoordinator:
         periods: Sequence[int],
         policy: Optional[CoveragePolicy] = None,
         deadline: Optional[Deadline] = None,
+        explain: bool = False,
     ) -> ShardedQueryResult:
         """One Eq. 12 estimate per location, merged across shards.
 
@@ -358,82 +411,235 @@ class ShardedCoordinator:
         it starts; locations the budget never reached come back as
         unanswered outcomes (their cells uncovered), so a slow shard
         costs coverage, not correctness.
+
+        With ``explain=True`` the merged result carries a timing and
+        attribution breakdown
+        (:attr:`~repro.server.sharded.merge.ShardedQueryResult.explain`):
+        total and per-shard wall/engine/wire latency, cache hit/miss
+        deltas, coverage contribution per shard, and the deadline
+        budget consumed.  Under tracing, the fan-out runs inside a
+        ``server.fanout`` span whose context is forwarded to every
+        shard, so shard-side query spans join this trace.
         """
         periods = tuple(int(p) for p in periods)
         groups = self._router.group_locations(locations)
-
-        def _query_shard(shard: int, group: List[int]) -> List[LocationOutcome]:
-            backend = self._backends[shard]
-            outcomes = []
-            for location in group:
-                if deadline is not None and deadline.expired:
-                    _count_deadline("fanout")
-                    outcomes.append(
-                        LocationOutcome(
-                            location=location,
-                            shard=shard,
-                            result=None,
-                            error="deadline expired before the sub-query",
-                        )
-                    )
-                    continue
-                try:
-                    result = backend.point_persistent(
-                        location, periods, policy, deadline=deadline
-                    )
-                except ShardDownError as exc:
-                    outcomes.append(
-                        LocationOutcome(
-                            location=location,
-                            shard=shard,
-                            result=None,
-                            error=str(exc),
-                        )
-                    )
-                    continue
-                except ReproError as exc:
-                    outcomes.append(
-                        LocationOutcome(
-                            location=location,
-                            shard=shard,
-                            result=None,
-                            error=str(exc),
-                        )
-                    )
-                    continue
-                if not isinstance(result, DegradedResult):
-                    # A strict (policy-less) answer implies full
-                    # coverage; normalize so merging is uniform.
-                    result = DegradedResult(
-                        value=result,
-                        coverage=CoverageReport(
-                            requested=periods, covered=periods
-                        ),
-                    )
-                outcomes.append(
-                    LocationOutcome(
-                        location=location, shard=shard, result=result
-                    )
-                )
-            return outcomes
-
-        if len(groups) <= 1:
-            shard_outcomes = [_query_shard(s, g) for s, g in groups.items()]
-        else:
-            shard_outcomes = list(
-                self._pool.map(
-                    lambda item: _query_shard(*item), groups.items()
-                )
-            )
-        by_location = {
-            outcome.location: outcome
-            for outcomes in shard_outcomes
-            for outcome in outcomes
-        }
-        ordered = tuple(by_location[int(loc)] for loc in locations)
-        return ShardedQueryResult(
-            outcomes=ordered, requested_periods=periods
+        want_explain = bool(explain)
+        if want_explain and obs.ACTIVE:
+            obs.counter(
+                "repro_query_explain_total",
+                "Fan-out queries that requested an explain breakdown.",
+            ).inc()
+        budget = deadline.remaining if deadline is not None else None
+        started = time.perf_counter()
+        shard_details: Optional[Dict[str, dict]] = (
+            {} if want_explain else None
         )
+
+        fanout = trace_span(
+            "server.fanout",
+            locations=str(len(tuple(locations))),
+            shards=str(len(groups)),
+        )
+        with fanout:
+            # Contextvars do not cross the fan-out pool's threads; the
+            # span's context is handed to each shard call explicitly.
+            context = getattr(fanout, "context", None)
+
+            def _query_shard(
+                shard: int, group: List[int]
+            ) -> List[LocationOutcome]:
+                backend = self._backends[shard]
+                outcomes = []
+                detail = None
+                if shard_details is not None:
+                    detail = {
+                        "locations": len(group),
+                        "answered": 0,
+                        "errors": 0,
+                        "wall_seconds": 0.0,
+                        "engine_seconds": 0.0,
+                        "wire_seconds": 0.0,
+                        "cache_hits": 0,
+                        "cache_lookups": 0,
+                    }
+                    shard_details[str(shard)] = detail
+                shard_started = time.perf_counter()
+                for location in group:
+                    if deadline is not None and deadline.expired:
+                        _count_deadline("fanout")
+                        if detail is not None:
+                            detail["errors"] += 1
+                        outcomes.append(
+                            LocationOutcome(
+                                location=location,
+                                shard=shard,
+                                result=None,
+                                error="deadline expired before the sub-query",
+                            )
+                        )
+                        continue
+                    observe = {}
+                    if context is not None:
+                        observe["trace"] = context
+                    probe: Optional[dict] = None
+                    if detail is not None:
+                        probe = {}
+                        observe["explain"] = probe
+                    try:
+                        result = backend.point_persistent(
+                            location,
+                            periods,
+                            policy,
+                            deadline=deadline,
+                            **observe,
+                        )
+                    except ShardDownError as exc:
+                        if detail is not None:
+                            detail["errors"] += 1
+                        outcomes.append(
+                            LocationOutcome(
+                                location=location,
+                                shard=shard,
+                                result=None,
+                                error=str(exc),
+                            )
+                        )
+                        continue
+                    except ReproError as exc:
+                        if detail is not None:
+                            detail["errors"] += 1
+                        outcomes.append(
+                            LocationOutcome(
+                                location=location,
+                                shard=shard,
+                                result=None,
+                                error=str(exc),
+                            )
+                        )
+                        continue
+                    if detail is not None:
+                        detail["answered"] += 1
+                        if probe:
+                            for key in ("engine_seconds", "wire_seconds"):
+                                if key in probe:
+                                    detail[key] += float(probe[key])
+                            for key in ("cache_hits", "cache_lookups"):
+                                if key in probe:
+                                    detail[key] += int(probe[key])
+                    if not isinstance(result, DegradedResult):
+                        # A strict (policy-less) answer implies full
+                        # coverage; normalize so merging is uniform.
+                        result = DegradedResult(
+                            value=result,
+                            coverage=CoverageReport(
+                                requested=periods, covered=periods
+                            ),
+                        )
+                    outcomes.append(
+                        LocationOutcome(
+                            location=location, shard=shard, result=result
+                        )
+                    )
+                if detail is not None:
+                    detail["wall_seconds"] = (
+                        time.perf_counter() - shard_started
+                    )
+                return outcomes
+
+            if len(groups) <= 1:
+                shard_outcomes = [
+                    _query_shard(s, g) for s, g in groups.items()
+                ]
+            else:
+                shard_outcomes = list(
+                    self._pool.map(
+                        lambda item: _query_shard(*item), groups.items()
+                    )
+                )
+            by_location = {
+                outcome.location: outcome
+                for outcomes in shard_outcomes
+                for outcome in outcomes
+            }
+            ordered = tuple(by_location[int(loc)] for loc in locations)
+            explain_payload = None
+            if want_explain:
+                explain_payload = self._build_explain(
+                    ordered,
+                    periods,
+                    shard_details or {},
+                    total_seconds=time.perf_counter() - started,
+                    budget=budget,
+                    deadline=deadline,
+                )
+                if context is not None:
+                    # The breakdown also lands on the fan-out span, so
+                    # a trace tree shows the same attribution the
+                    # client got.  (Guarded: the no-op span's attrs
+                    # dict is shared.)
+                    fanout.attrs.update(
+                        {
+                            "explain_total_seconds": (
+                                f"{explain_payload['total_seconds']:.6f}"
+                            ),
+                            "explain_coverage": (
+                                f"{explain_payload['coverage_fraction']:.3f}"
+                            ),
+                        }
+                    )
+            return ShardedQueryResult(
+                outcomes=ordered,
+                requested_periods=periods,
+                explain=explain_payload,
+            )
+
+    @staticmethod
+    def _build_explain(
+        outcomes,
+        periods,
+        shard_details: Dict[str, dict],
+        total_seconds: float,
+        budget: Optional[float],
+        deadline: Optional[Deadline],
+    ) -> dict:
+        """Fold per-shard probes and coverage into one explain payload."""
+        for outcome in outcomes:
+            detail = shard_details.setdefault(
+                str(outcome.shard),
+                {"locations": 0, "answered": 0, "errors": 0},
+            )
+            covered = 0
+            if outcome.result is not None:
+                covered = len(periods) - len(
+                    outcome.result.coverage.missing
+                )
+            detail["covered_cells"] = (
+                detail.get("covered_cells", 0) + covered
+            )
+            detail["requested_cells"] = (
+                detail.get("requested_cells", 0) + len(periods)
+            )
+        requested = len(outcomes) * len(periods)
+        covered_total = sum(
+            detail.get("covered_cells", 0)
+            for detail in shard_details.values()
+        )
+        payload = {
+            "total_seconds": total_seconds,
+            "locations": len(outcomes),
+            "periods": len(periods),
+            "coverage_fraction": (
+                covered_total / requested if requested else 1.0
+            ),
+            "per_shard": shard_details,
+            "deadline_budget_seconds": budget,
+            "deadline_consumed_seconds": (
+                max(0.0, budget - deadline.remaining)
+                if deadline is not None and budget is not None
+                else None
+            ),
+        }
+        return payload
 
     # ------------------------------------------------------------------
     # Stats
@@ -462,6 +668,15 @@ class ShardedCoordinator:
             metrics = payload.pop("metrics", {}) or {}
             if metrics:
                 merged.merge(metrics)
+            # Telemetry piggy-backed on the stats reply: hand it to
+            # the attached collector.  Without one it stays in the
+            # payload — the drain is destructive, so dropping it here
+            # would lose the shard's spans.
+            telemetry = payload.pop("telemetry", None)
+            if telemetry and self.telemetry_collector is not None:
+                self.telemetry_collector.absorb(shard, telemetry)
+            elif telemetry:
+                payload["telemetry"] = telemetry
             payload["alive"] = True
             shards[str(shard)] = payload
             total_records += payload.get("records", 0)

@@ -25,6 +25,7 @@ acknowledged uploads.
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Sequence
 
 from repro.exceptions import (
@@ -36,6 +37,7 @@ from repro.exceptions import (
 from repro.faults.transport import DeadLetterLog, parse_frame
 from repro.obs import runtime as obs
 from repro.obs import trace as trace_mod
+from repro.obs.spans import trace_span
 from repro.rsu.record import TrafficRecord
 from repro.server.central import CentralServer
 from repro.server.degradation import CoveragePolicy
@@ -87,19 +89,33 @@ class ShardEngine:
         )
         self.wal = wal
         self.dead_letters = DeadLetterLog(dead_letter_path)
+        # Bound counter children by outcome, valid for one registry
+        # generation; resolving labels through the registry on every
+        # frame is measurable at ingest rates.
+        self._upload_counters: dict = {}
+        self._upload_counter_registry = None
 
     # ------------------------------------------------------------------
     # Ingest
     # ------------------------------------------------------------------
 
     def _count_upload(self, outcome: str) -> None:
-        if obs.ACTIVE:
-            obs.counter(
+        if not obs.ACTIVE:
+            return
+        registry = obs.registry()
+        if registry is not self._upload_counter_registry:
+            self._upload_counters.clear()
+            self._upload_counter_registry = registry
+        child = self._upload_counters.get(outcome)
+        if child is None:
+            child = registry.counter(
                 "repro_shard_uploads_total",
                 "Upload frames handled at a shard edge, by outcome.",
                 shard=str(self.shard_id),
                 outcome=outcome,
-            ).inc()
+            )
+            self._upload_counters[outcome] = child
+        child.inc()
 
     def _quarantine(self, reason: str, frame: bytes, context=None) -> dict:
         self.dead_letters.append(reason, frame, attempts=1, context=context)
@@ -120,29 +136,55 @@ class ShardEngine:
         if context is not None and obs.tracing():
             token = trace_mod.activate(context)
         try:
-            if not checksum_ok:
-                return self._quarantine("checksum", frame, context)
-            try:
-                record = TrafficRecord.from_payload(payload)
-            except ReproError:
-                return self._quarantine("undecodable", frame, context)
-            try:
-                added = self.server.receive_record(record)
-            except DataError:
-                return self._quarantine("conflict", frame, context)
-            if not added:
-                self._count_upload("duplicate")
-                return {
-                    "outcome": "duplicate",
-                    "reason": "byte-identical re-upload",
-                }
-            if self.wal is not None:
-                self.wal.append(payload)
-            self._count_upload("delivered")
-            return {"outcome": "delivered", "reason": ""}
+            if token is None:
+                return self._ingest_parsed(
+                    frame, payload, checksum_ok, context
+                )
+            # A shard-process span under the upload's surviving trace
+            # context: once shipped to the front door it renders in the
+            # same tree as the client/front-door spans.  Gated on an
+            # activated context so context-less RFR1 frames never open
+            # one root trace per frame.
+            with trace_span("shard.ingest", shard=str(self.shard_id)):
+                return self._ingest_parsed(
+                    frame, payload, checksum_ok, context
+                )
         finally:
             if token is not None:
                 trace_mod.restore(token)
+
+    def _ingest_parsed(
+        self, frame: bytes, payload: bytes, checksum_ok: bool, context
+    ) -> dict:
+        if not checksum_ok:
+            return self._quarantine("checksum", frame, context)
+        try:
+            record = TrafficRecord.from_payload(payload)
+        except ReproError:
+            return self._quarantine("undecodable", frame, context)
+        try:
+            added = self.server.receive_record(record)
+        except DataError:
+            return self._quarantine("conflict", frame, context)
+        if not added:
+            self._count_upload("duplicate")
+            return {
+                "outcome": "duplicate",
+                "reason": "byte-identical re-upload",
+            }
+        if self.wal is not None:
+            if trace_mod.current() is not None:
+                # Only under an activated upload context — a WAL span
+                # with no parent would start a fresh root trace per
+                # context-less RFR1 frame.
+                with trace_span(
+                    "shard.wal_append", shard=str(self.shard_id)
+                ):
+                    self.wal.append(payload)
+            else:
+                self.wal.append(payload)
+        self._count_upload("delivered")
+        return {"outcome": "delivered", "reason": ""}
 
     def handle_batch(
         self,
@@ -206,7 +248,14 @@ class ShardEngine:
         payload: dict,
         deadline: Optional[wire.Deadline] = None,
     ) -> dict:
-        """Answer one JSON query; errors come back as typed payloads."""
+        """Answer one JSON query; errors come back as typed payloads.
+
+        A ``"trace"`` field (24 hex chars, the serialized fan-out span
+        context) is activated around the query so the shard-side span
+        joins the caller's trace once shipped; ``"explain": true`` adds
+        an ``explain`` breakdown (engine latency, cache hit/miss delta)
+        to the reply.
+        """
         kind = payload.get("kind")
         if deadline is not None and deadline.expired:
             if obs.ACTIVE:
@@ -224,6 +273,53 @@ class ShardEngine:
                 ),
                 "error_kind": "deadline",
             }
+        context = None
+        if obs.tracing():
+            raw = payload.get("trace")
+            if isinstance(raw, str):
+                context = trace_mod.TraceContext.from_bytes(
+                    raw.encode("ascii", "replace")
+                )
+        if payload.get("explain") or context is not None:
+            return self._query_observed(payload, kind, context)
+        return self._answer_query(payload, kind)
+
+    def _query_observed(
+        self, payload: dict, kind, context
+    ) -> dict:
+        """Run one query under its caller's trace and/or explain timing."""
+        token = trace_mod.activate(context) if context is not None else None
+        cache = getattr(self.server, "cache", None)
+        # ``cache.stats`` is the live running-total object, so the
+        # before-side must copy the scalars, not hold the reference.
+        hits_before = cache.stats.hits if cache is not None else 0
+        lookups_before = cache.stats.lookups if cache is not None else 0
+        started = time.perf_counter()
+        try:
+            if context is not None:
+                with trace_span(
+                    "shard.query", shard=str(self.shard_id), kind=str(kind)
+                ):
+                    reply = self._answer_query(payload, kind)
+            else:
+                reply = self._answer_query(payload, kind)
+        finally:
+            if token is not None:
+                trace_mod.restore(token)
+        if payload.get("explain"):
+            detail = {
+                "shard": self.shard_id,
+                "engine_seconds": time.perf_counter() - started,
+            }
+            if cache is not None:
+                detail["cache_hits"] = cache.stats.hits - hits_before
+                detail["cache_lookups"] = (
+                    cache.stats.lookups - lookups_before
+                )
+            reply["explain"] = detail
+        return reply
+
+    def _answer_query(self, payload: dict, kind) -> dict:
         try:
             if kind == "point_persistent":
                 policy = policy_from_payload(payload.get("policy"))
@@ -253,8 +349,26 @@ class ShardEngine:
             "error_kind": "protocol",
         }
 
+    def telemetry(self) -> dict:
+        """Drain this shard's buffered spans/bindings for shipping.
+
+        Destructive (each span ships exactly once); empty when the
+        worker's trace buffer is not a
+        :class:`~repro.obs.cluster.TelemetryBuffer`.
+        """
+        buffer = obs.trace_buffer()
+        drain = getattr(buffer, "drain", None)
+        if drain is None:
+            return {"spans": [], "bindings": []}
+        return drain()
+
     def stats(self) -> dict:
-        """JSON-safe health/metric snapshot of this shard."""
+        """JSON-safe health/metric snapshot of this shard.
+
+        When the worker runs a telemetry-exporting trace buffer, the
+        pending spans piggy-back on the reply under ``"telemetry"`` —
+        every stats pull doubles as a telemetry drain.
+        """
         payload = {
             "shard": self.shard_id,
             "records": len(self.server.store),
@@ -265,6 +379,12 @@ class ShardEngine:
             ),
             "metrics": {},
         }
+        # Drain *before* snapshotting: the drain bumps the shipped/
+        # dropped counters, and the reply that carries the spans should
+        # also account them — otherwise a scrape is always one pull
+        # behind its own telemetry.
+        if getattr(obs.trace_buffer(), "drain", None) is not None:
+            payload["telemetry"] = self.telemetry()
         if obs.enabled():
             payload["metrics"] = obs.registry().snapshot()
         return payload

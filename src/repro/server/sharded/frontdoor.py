@@ -18,6 +18,7 @@ from __future__ import annotations
 import logging
 import socketserver
 import threading
+import time
 from contextlib import contextmanager
 from typing import List, Optional, Sequence, Tuple
 
@@ -169,7 +170,17 @@ class RemoteShardBackend:
         periods: Sequence[int],
         policy: Optional[CoveragePolicy],
         deadline: Optional[wire.Deadline] = None,
+        trace=None,
+        explain: Optional[dict] = None,
     ):
+        """The remote query, optionally observed.
+
+        ``trace`` (a :class:`~repro.obs.trace.TraceContext`) rides the
+        JSON payload so the worker parents its query span to the
+        caller's fan-out span; ``explain`` is an out-parameter dict
+        filled with the worker's breakdown plus this side's measured
+        wire round-trip.
+        """
         from repro.server.sharded.engine import policy_to_payload
 
         payload = {
@@ -178,8 +189,22 @@ class RemoteShardBackend:
             "periods": list(int(p) for p in periods),
             "policy": policy_to_payload(policy),
         }
+        if trace is not None:
+            payload["trace"] = trace.to_bytes().decode("ascii")
+        if explain is not None:
+            payload["explain"] = True
+        started = time.perf_counter()
         with self._client() as client:
             reply = client.query(payload, deadline=deadline)
+        if explain is not None:
+            round_trip = time.perf_counter() - started
+            detail = reply.get("explain") or {}
+            explain.update(detail)
+            explain["round_trip_seconds"] = round_trip
+            # Wire cost = round trip minus the worker's engine time.
+            explain["wire_seconds"] = max(
+                0.0, round_trip - float(detail.get("engine_seconds", 0.0))
+            )
         if not reply.get("ok"):
             self._raise_remote(reply)
         result = reply["result"]
@@ -202,6 +227,11 @@ class RemoteShardBackend:
     def stats(self) -> dict:
         with self._client() as client:
             return client.stats()
+
+    def telemetry(self) -> dict:
+        """Drain the worker's buffered spans/bindings (``MSG_TELEMETRY``)."""
+        with self._client() as client:
+            return client.telemetry()
 
     def ping(self, timeout: Optional[float] = None) -> bool:
         """One throwaway-connection health probe; never raises.
@@ -254,11 +284,14 @@ def encode_sharded_result(result: ShardedQueryResult) -> dict:
                 ),
             }
         )
-    return {
+    payload = {
         "type": "sharded",
         "requested_periods": list(result.requested_periods),
         "outcomes": outcomes,
     }
+    if result.explain is not None:
+        payload["explain"] = result.explain
+    return payload
 
 
 def decode_sharded_result(payload: dict) -> ShardedQueryResult:
@@ -279,6 +312,7 @@ def decode_sharded_result(payload: dict) -> ShardedQueryResult:
     return ShardedQueryResult(
         outcomes=outcomes,
         requested_periods=tuple(payload["requested_periods"]),
+        explain=payload.get("explain"),
     )
 
 
@@ -523,6 +557,7 @@ class FrontDoor:
                     payload["periods"],
                     policy_from_payload(payload.get("policy")),
                     deadline=deadline,
+                    explain=bool(payload.get("explain")),
                 )
                 return {"ok": True, "result": encode_sharded_result(result)}
             if kind in ("point_persistent", "covered_periods"):

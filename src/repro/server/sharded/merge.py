@@ -62,10 +62,17 @@ class ShardedQueryResult:
         request order.
     requested_periods:
         The periods the query asked for (same for every location).
+    explain:
+        Optional timing/attribution breakdown (populated when the
+        query was issued with ``explain=True``): total and per-shard
+        wall/engine/wire latency, cache hit/miss deltas, coverage
+        contribution per shard, and deadline budget consumed.  JSON-
+        safe, carried verbatim across the wire.
     """
 
     outcomes: Tuple[LocationOutcome, ...]
     requested_periods: Tuple[int, ...]
+    explain: Optional[dict] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "outcomes", tuple(self.outcomes))

@@ -61,6 +61,10 @@ class ShardedIngestService:
     shard_metrics:
         Enable per-worker metric registries (folded into the front
         door's ``stats()`` reply).
+    shard_telemetry:
+        Give each worker a telemetry-exporting trace buffer so its
+        spans ship to the front door (see
+        :class:`~repro.obs.cluster.ClusterTelemetry`).
     timeout:
         Socket timeout (seconds) of every front-door-to-shard
         connection.
@@ -83,6 +87,7 @@ class ShardedIngestService:
         s: int = 3,
         load_factor: float = 2.0,
         shard_metrics: bool = True,
+        shard_telemetry: bool = True,
         timeout: float = 10.0,
         max_inflight: Optional[int] = 64,
         supervise: bool = False,
@@ -109,6 +114,7 @@ class ShardedIngestService:
                 s=s,
                 load_factor=load_factor,
                 metrics=shard_metrics,
+                telemetry=shard_telemetry,
             )
             for shard in range(self._n_shards)
         }
@@ -318,6 +324,36 @@ class ShardedIngestService:
             if self.supervisor is not None:
                 self.supervisor.reset(shard)
             return port
+
+    def cluster_telemetry(
+        self,
+        buffer=None,
+        registry=None,
+        max_staleness: float = 1.0,
+    ):
+        """Build (once) the cluster telemetry collector for this tier.
+
+        Returns a :class:`~repro.obs.cluster.ClusterTelemetry` wired to
+        this service and attached to the coordinator, so telemetry
+        piggy-backed on ``stats()`` pulls is absorbed into the
+        front-door trace buffer.  Idempotent: repeated calls return
+        the same collector.
+        """
+        from repro.obs.cluster import ClusterTelemetry
+
+        existing = getattr(self, "_cluster_telemetry", None)
+        if existing is not None:
+            return existing
+        collector = ClusterTelemetry(
+            self,
+            buffer=buffer,
+            registry=registry,
+            max_staleness=max_staleness,
+        )
+        self._cluster_telemetry = collector
+        if self.coordinator is not None:
+            self.coordinator.telemetry_collector = collector
+        return collector
 
     def fence_shard(self, shard: int, reason: str) -> None:
         """Mark a shard permanently dead and tombstone its backend.

@@ -119,6 +119,21 @@ class ShardSupervisor(threading.Thread):
         """Forget a shard's failure history (after a manual restart)."""
         self._states[shard] = _ShardState()
 
+    def status(self) -> Dict[int, dict]:
+        """Per-shard supervision snapshot (for the ``/shards`` endpoint).
+
+        Reads are racy against the sweep loop but each field is a
+        scalar or a list swap, so the worst case is one sweep's worth
+        of staleness — fine for an observability surface.
+        """
+        return {
+            shard: {
+                "ping_failures": state.ping_failures,
+                "restarts_in_window": len(state.history),
+            }
+            for shard, state in self._states.items()
+        }
+
     # ------------------------------------------------------------------
     # The loop
     # ------------------------------------------------------------------

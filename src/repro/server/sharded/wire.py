@@ -52,6 +52,8 @@ MSG_PING = 0x05
 MSG_SHUTDOWN = 0x06
 #: A deadline envelope: ``f64 budget seconds | u8 inner type | body``.
 MSG_DEADLINE = 0x07
+#: Drain a worker's buffered telemetry (closed spans + bindings).
+MSG_TELEMETRY = 0x08
 #: Responses.
 MSG_ACK = 0x81
 MSG_ACK_BATCH = 0x82
@@ -62,6 +64,8 @@ MSG_PONG = 0x86
 #: Load-shed reply: the server refused the request; the JSON body's
 #: ``retry_after`` (seconds) tells the sender when to try again.
 MSG_BUSY = 0x87
+#: A drained telemetry payload: ``{"spans": [...], "bindings": [...]}``.
+MSG_TELEMETRY_REPLY = 0x88
 
 _HEADER = struct.Struct(">IB")
 #: Upper bound on one message body; far above any real record batch,

@@ -24,6 +24,7 @@ up to date at the next restart's replay.
 
 from __future__ import annotations
 
+import gc
 import os
 import signal
 import socketserver
@@ -68,6 +69,13 @@ class ShardConfig:
         When True the worker enables its own metrics registry so
         ``stats()`` replies carry a snapshot the front door can fold
         through :meth:`~repro.obs.metrics.MetricsRegistry.merge`.
+    telemetry:
+        When True the worker's trace buffer is a
+        :class:`~repro.obs.cluster.TelemetryBuffer`, so spans recorded
+        in this process ship to the front door (piggy-backed on stats
+        replies and via ``MSG_TELEMETRY`` drains).  Implies an enabled
+        registry even when ``metrics`` is False, because tracing needs
+        an active runtime.
     """
 
     shard_id: int
@@ -77,6 +85,7 @@ class ShardConfig:
     s: int = 3
     load_factor: float = 2.0
     metrics: bool = True
+    telemetry: bool = True
 
     @property
     def wal_path(self) -> Path:
@@ -175,6 +184,10 @@ class _ShardHandler(socketserver.BaseRequestHandler):
             wire.send_json(sock, wire.MSG_RESULT, reply)
         elif msg_type == wire.MSG_STATS:
             wire.send_json(sock, wire.MSG_STATS_REPLY, engine.stats())
+        elif msg_type == wire.MSG_TELEMETRY:
+            wire.send_json(
+                sock, wire.MSG_TELEMETRY_REPLY, engine.telemetry()
+            )
         elif msg_type == wire.MSG_PING:
             wire.send_message(sock, wire.MSG_PONG)
         elif msg_type == wire.MSG_SHUTDOWN:
@@ -232,10 +245,15 @@ def recover_engine(config: ShardConfig) -> ShardEngine:
 def run_shard(config: ShardConfig) -> None:
     """Process entry point: recover, bind, publish the port, serve."""
     Path(config.data_dir).mkdir(parents=True, exist_ok=True)
-    if config.metrics:
+    if config.metrics or config.telemetry:
         from repro import obs
+        from repro.obs.cluster import TelemetryBuffer, register_cluster_metrics
 
-        obs.enable(registry=obs.MetricsRegistry())
+        registry = obs.enable(
+            registry=obs.MetricsRegistry(),
+            trace=TelemetryBuffer() if config.telemetry else None,
+        )
+        register_cluster_metrics(registry)
 
     def _terminate(signum, frame):  # pragma: no cover - signal path
         raise SystemExit(0)
@@ -246,6 +264,12 @@ def run_shard(config: ShardConfig) -> None:
         pass
 
     engine = recover_engine(config)
+    # The replayed archive is permanent state: collect once, then
+    # freeze it out of the collector's scan set so steady-state ingest
+    # (which allocates records, spans and acks at wire rate) does not
+    # drag ever-longer GC pauses over a growing resident heap.
+    gc.collect()
+    gc.freeze()
     server = _ShardServer((config.host, config.port), engine)
     try:
         _publish_port(config.port_file, server.server_address[1])

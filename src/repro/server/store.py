@@ -32,6 +32,9 @@ class RecordStore:
         self._records: Dict[Tuple[int, int], TrafficRecord] = {}
         self._total_bits = 0
         self._listeners: List[StoreListener] = []
+        # Maintained incrementally: stats/health snapshots ask for the
+        # location set on every poll, and records are never removed.
+        self._locations: Set[int] = set()
 
     def add_listener(self, listener: StoreListener) -> None:
         """Subscribe to store changes (query-plan cache invalidation).
@@ -76,6 +79,7 @@ class RecordStore:
             )
         self._records[key] = record
         self._total_bits += record.size
+        self._locations.add(record.location)
         self._notify("added", record.location, record.period)
         return True
 
@@ -120,7 +124,7 @@ class RecordStore:
 
     def locations(self) -> Set[int]:
         """All locations that have uploaded at least one record."""
-        return {location for location, _ in self._records}
+        return set(self._locations)
 
     def periods_for(self, location: int) -> List[int]:
         """Sorted list of periods covered at a location."""

@@ -126,6 +126,102 @@ class TestEndpoints:
         assert 'endpoint="/traces"} 0' in text
 
 
+class TestEndpointErrorPaths:
+    """Hostile query strings and concurrent writers must not 500."""
+
+    @pytest.fixture
+    def profiled(self, monkeypatch):
+        from repro.obs import profile as profile_mod
+        from repro.obs.profile import Profiler
+
+        monkeypatch.setattr(profile_mod, "_last_report", None)
+        with Profiler(engine="cprofile"):
+            sum(range(1000))
+        assert profile_mod.last_report() is not None
+
+    def test_profile_bad_top_falls_back(self, server, profiled):
+        status, headers, body = _get(server.port, "/profile?top=bogus")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        assert json.loads(body)["engine"] == "cprofile"
+
+    def test_profile_negative_top_clamped(self, server, profiled):
+        status, _, body = _get(server.port, "/profile?top=-3")
+        assert status == 200
+        assert json.loads(body)["engine"] == "cprofile"
+
+    def test_profile_unknown_format_serves_json(self, server, profiled):
+        status, headers, body = _get(
+            server.port, "/profile?format=yaml"
+        )
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        json.loads(body)
+
+    def test_profile_text_format(self, server, profiled):
+        status, headers, body = _get(
+            server.port, "/profile?format=text&top=5"
+        )
+        assert status == 200
+        assert "text/plain" in headers["Content-Type"]
+
+    def test_profile_404_before_any_run(self, server, monkeypatch):
+        from repro.obs import profile as profile_mod
+
+        monkeypatch.setattr(profile_mod, "_last_report", None)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.port, "/profile")
+        assert excinfo.value.code == 404
+
+    def test_shards_404_without_cluster(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.port, "/shards")
+        assert excinfo.value.code == 404
+        body = excinfo.value.read()
+        assert b"no sharded tier" in body
+
+    def test_traces_under_concurrent_writers(self, server):
+        import threading
+
+        from repro.obs.trace import SpanRecord
+
+        buffer = server.resolve_traces()
+        stop = threading.Event()
+
+        def hammer(worker):
+            index = 0
+            while not stop.is_set():
+                buffer.record(
+                    SpanRecord(
+                        trace_id=f"{worker:08d}{index % 97:08d}",
+                        span_id=f"{index:08x}",
+                        parent_id=None,
+                        name=f"op-{worker}",
+                        start=float(index),
+                        duration=0.001,
+                    )
+                )
+                index += 1
+
+        writers = [
+            threading.Thread(target=hammer, args=(worker,), daemon=True)
+            for worker in range(4)
+        ]
+        for thread in writers:
+            thread.start()
+        try:
+            for _ in range(10):
+                status, _, body = _get(server.port, "/traces?limit=16")
+                assert status == 200
+                payload = json.loads(body)
+                for trace in payload["traces"]:
+                    assert trace["spans"]  # never a torn, empty trace
+        finally:
+            stop.set()
+            for thread in writers:
+                thread.join(timeout=5)
+
+
 class TestRuntimeFallback:
     def test_falls_back_to_runtime_globals(self):
         with MetricsServer() as server:
@@ -158,4 +254,10 @@ class TestRuntimeFallback:
             _get(port, "/healthz")
 
     def test_endpoint_catalog(self):
-        assert ENDPOINTS == ("/metrics", "/healthz", "/traces", "/profile")
+        assert ENDPOINTS == (
+            "/metrics",
+            "/healthz",
+            "/traces",
+            "/profile",
+            "/shards",
+        )

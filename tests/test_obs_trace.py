@@ -280,6 +280,124 @@ class TestFormatTraceTree:
         buffer.record(_record("a" * 16, "1" * 8))
         assert "no spans recorded" in format_trace_tree(buffer, "f" * 16)
 
+    def test_siblings_sorted_by_start_regardless_of_insertion(self):
+        """Sibling order is start time, not arrival order.
+
+        Cluster telemetry absorbs shard spans long after the front
+        door's own spans landed, so insertion order is essentially
+        random — the tree must still read chronologically.  Ties on
+        start break by span id, so rendering is deterministic.
+        """
+        import random
+
+        trace_id = "9" * 16
+        children = [
+            ("aa111111", 0.40),
+            ("bb222222", 0.10),
+            ("cc333333", 0.30),
+            ("dd444444", 0.20),
+            # Tie on start: span id decides (ee... before ff...).
+            ("ff666666", 0.25),
+            ("ee555555", 0.25),
+        ]
+        expected = [
+            span_id
+            for span_id, start in sorted(
+                children, key=lambda item: (item[1], item[0])
+            )
+        ]
+        rng = random.Random(2017)
+        for _ in range(10):
+            shuffled = list(children)
+            rng.shuffle(shuffled)
+            buffer = TraceBuffer()
+            buffer.record(
+                _record(trace_id, "00000000", name="root", duration=1.0)
+            )
+            for span_id, start in shuffled:
+                buffer.record(
+                    _record(
+                        trace_id,
+                        span_id,
+                        parent="00000000",
+                        name=f"child-{span_id}",
+                        start=start,
+                        duration=0.01,
+                    )
+                )
+            tree = format_trace_tree(buffer, trace_id)
+            positions = [tree.index(f"child-{sid}") for sid in expected]
+            assert positions == sorted(positions), tree
+
+
+class TestSpanRecordFromDict:
+    def test_round_trips_to_dict(self):
+        link = TraceContext("c" * 16, "d" * 8)
+        original = _record(
+            "a" * 16,
+            "b" * 8,
+            parent="1" * 8,
+            name="shard.ingest",
+            start=12.5,
+            duration=0.25,
+            links=[link],
+            shard="1",
+        )
+        rebuilt = SpanRecord.from_dict(original.to_dict())
+        assert rebuilt is not None
+        assert rebuilt.trace_id == original.trace_id
+        assert rebuilt.span_id == original.span_id
+        assert rebuilt.parent_id == original.parent_id
+        assert rebuilt.name == original.name
+        assert rebuilt.start == original.start
+        assert rebuilt.duration == original.duration
+        assert rebuilt.links == (link,)
+        assert rebuilt.attrs == {"shard": "1"}
+
+    def test_error_field_survives(self):
+        original = _record("a" * 16, "b" * 8)
+        payload = original.to_dict()
+        payload["error"] = "ValueError"
+        rebuilt = SpanRecord.from_dict(payload)
+        assert rebuilt is not None and rebuilt.error == "ValueError"
+
+    @pytest.mark.parametrize(
+        "damage",
+        [
+            None,
+            "not-a-dict",
+            {},
+            {"trace_id": "a" * 16},
+            {
+                "trace_id": "a" * 16,
+                "span_id": "b" * 8,
+                "name": "x",
+                "ts": "NaN-ish-garbage",
+                "duration_seconds": 0.1,
+            },
+            {
+                "trace_id": "a" * 16,
+                "span_id": "b" * 8,
+                "name": "x",
+                "ts": 0.0,
+                "duration_seconds": None,
+            },
+        ],
+    )
+    def test_damaged_payload_is_none_not_error(self, damage):
+        assert SpanRecord.from_dict(damage) is None
+
+    def test_damaged_link_dropped_not_fatal(self):
+        payload = _record("a" * 16, "b" * 8).to_dict()
+        payload["links"] = [
+            {"trace_id": "c" * 16, "span_id": "d" * 8},
+            {"trace_id": None},
+            "garbage",
+        ]
+        rebuilt = SpanRecord.from_dict(payload)
+        assert rebuilt is not None
+        assert rebuilt.links == (TraceContext("c" * 16, "d" * 8),)
+
 
 class TestEndToEndUploadQueryLink:
     """The acceptance-criterion trace: a degraded query's span links
